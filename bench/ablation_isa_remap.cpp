@@ -1,0 +1,80 @@
+// Ablation — prior work [6] (Benini et al., low-power ISA encoding) vs
+// ASIMT on the opcode field. The ISA remap is a design-time decision that
+// helps every program a little; ASIMT is post-silicon, per-application, and
+// covers all 32 lines. Measured on the dynamic opcode-field transitions of
+// the same streams.
+#include <bit>
+#include <cstdio>
+
+#include "baselines/opcode_remap.h"
+#include "cfg/cfg.h"
+#include "core/selection.h"
+#include "isa/assembler.h"
+#include "sim/bus.h"
+#include "sim/cpu.h"
+#include "workloads/workload.h"
+
+int main() {
+  using namespace asimt;
+  std::printf("opcode-field (bits 31:26) dynamic transitions\n");
+  std::printf("%-6s %12s %12s %12s %12s %12s\n", "bench", "raw ISA",
+              "remapped[6]", "asimt k=5", "remap red%", "asimt red%");
+
+  for (const workloads::Workload& w :
+       workloads::make_all(workloads::SizeConfig::small())) {
+    const isa::Program program = isa::assemble(w.source);
+    const cfg::Cfg cfg = cfg::build_cfg(program);
+
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    w.init(memory, cpu.state());
+    cfg::Profiler profiler(cfg);
+    baselines::OpcodeRemapper remapper;
+    cpu.run(50'000'000, [&](std::uint32_t pc, std::uint32_t word) {
+      profiler.on_fetch(pc);
+      remapper.observe(word);
+    });
+    const cfg::Profile profile = profiler.take();
+
+    const long long raw =
+        remapper.field_transitions(baselines::OpcodeRemapper::identity_mapping());
+    const long long remapped = remapper.field_transitions(remapper.solve());
+
+    // ASIMT's effect on the same six lines.
+    core::SelectionOptions sel;
+    sel.chain.block_size = 5;
+    const core::SelectionResult selection = core::select_and_encode(cfg, profile, sel);
+    const sim::TextImage image(cfg.text_base,
+                               selection.apply_to_text(cfg.text, cfg.text_base));
+    sim::Memory memory2;
+    memory2.load_program(program);
+    sim::Cpu cpu2(memory2);
+    cpu2.state().pc = program.entry();
+    w.init(memory2, cpu2.state());
+    long long asimt_field = 0;
+    std::uint32_t prev = 0;
+    bool first = true;
+    cpu2.run(50'000'000, [&](std::uint32_t pc, std::uint32_t word) {
+      const std::uint32_t bus =
+          (image.contains(pc) ? image.word_at(pc) : word) >> 26;
+      if (!first) asimt_field += std::popcount(prev ^ bus);
+      prev = bus;
+      first = false;
+    });
+
+    auto pct = [&](long long v) {
+      return raw == 0 ? 0.0
+                      : 100.0 * static_cast<double>(raw - v) / static_cast<double>(raw);
+    };
+    std::printf("%-6s %12lld %12lld %12lld %11.1f%% %11.1f%%\n", w.name.c_str(),
+                raw, remapped, asimt_field, pct(remapped), pct(asimt_field));
+  }
+  std::printf(
+      "\nthe static ISA remap recovers part of the opcode-field activity but\n"
+      "is fixed at ISA-design time for all programs; ASIMT adapts per\n"
+      "application and also covers the other 26 bus lines (§2's argument for\n"
+      "application-specific techniques).\n");
+  return 0;
+}

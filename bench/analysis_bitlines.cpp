@@ -1,0 +1,74 @@
+// Analysis bench — where do the savings come from?
+//
+// Breaks transitions down per bus line, grouped by the MIPS instruction
+// fields the lines carry (opcode [31:26], rs [25:21], rt [20:16],
+// rd/imm-high [15:11], shamt/imm-mid [10:6], funct/imm-low [5:0]). The
+// "vertical" encoding premise (§4) predicts the biggest wins on the highly
+// correlated opcode/register fields and smaller ones on immediates.
+#include <cstdio>
+
+#include "core/chain_encoder.h"
+#include "isa/assembler.h"
+#include "workloads/workload.h"
+
+namespace {
+
+struct Field {
+  const char* name;
+  unsigned lo, hi;  // inclusive bit range
+};
+
+constexpr Field kFields[] = {
+    {"opcode[31:26]", 26, 31}, {"rs[25:21]", 21, 25},
+    {"rt[20:16]", 16, 20},     {"rd/imm[15:11]", 11, 15},
+    {"sh/imm[10:6]", 6, 10},   {"fn/imm[5:0]", 0, 5},
+};
+
+}  // namespace
+
+int main() {
+  using namespace asimt;
+  std::printf("static per-field transition reduction, k=5 (whole text)\n");
+  std::printf("%-6s", "bench");
+  for (const Field& f : kFields) std::printf("%16s", f.name);
+  std::printf("\n");
+
+  core::ChainOptions options;
+  options.block_size = 5;
+  options.strategy = core::ChainStrategy::kOptimalDp;
+  const core::ChainEncoder encoder(options);
+
+  for (const workloads::Workload& w :
+       workloads::make_all(workloads::SizeConfig::small())) {
+    const isa::Program program = isa::assemble(w.source);
+    std::printf("%-6s", w.name.c_str());
+    for (const Field& field : kFields) {
+      long long base = 0, encoded = 0;
+      for (unsigned line = field.lo; line <= field.hi; ++line) {
+        const bits::BitSeq seq = bits::vertical_line(program.text, line);
+        base += seq.transitions();
+        encoded += encoder.encode(seq).stored.transitions();
+      }
+      if (base == 0) {
+        std::printf("%15s%%", "-");
+      } else {
+        std::printf("%15.1f%%",
+                    100.0 * static_cast<double>(base - encoded) / static_cast<double>(base));
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Absolute per-line profile for one workload, to show where activity lives.
+  const isa::Program program =
+      isa::assemble(workloads::make_mmul(workloads::SizeConfig::small()).source);
+  std::printf("\nmmul text, transitions per bus line (base -> encoded):\n");
+  for (unsigned line = 0; line < 32; ++line) {
+    const bits::BitSeq seq = bits::vertical_line(program.text, line);
+    const int base = seq.transitions();
+    const int enc = encoder.encode(seq).stored.transitions();
+    std::printf("  line %2u: %3d -> %3d %s\n", line, base, enc,
+                std::string(static_cast<std::size_t>(base), '#').c_str());
+  }
+  return 0;
+}

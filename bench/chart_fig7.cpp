@@ -1,0 +1,49 @@
+// E7 — regenerates the paper's Figure 7: the percentage-reduction comparison
+// across benchmarks and block sizes, rendered as a terminal bar chart.
+// Set ASIMT_FAST=1 for reduced problem sizes.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "experiments/experiment.h"
+
+int main() {
+  using namespace asimt;
+  const workloads::SizeConfig sizes = experiments::bench_sizes();
+  experiments::ExperimentOptions opt;
+
+  std::vector<experiments::WorkloadResult> results;
+  for (const workloads::Workload& w : workloads::make_all(sizes)) {
+    std::fprintf(stderr, "[fig7] running %s...\n", w.name.c_str());
+    results.push_back(experiments::run_workload(w, opt));
+  }
+
+  std::printf("Figure 7: percentage reduction comparison\n\n");
+  constexpr int kScale = 60;  // chart width for 60%
+  for (const auto& r : results) {
+    std::printf("%s\n", r.name.c_str());
+    for (const auto& per : r.per_block_size) {
+      const int width = static_cast<int>(per.reduction_percent * kScale / 60.0);
+      std::printf("  %d-block |%-*s| %5.1f%%\n", per.block_size, kScale,
+                  std::string(static_cast<std::size_t>(std::max(width, 0)), '#').c_str(),
+                  per.reduction_percent);
+    }
+  }
+
+  std::printf("\nseries (benchmark, then reduction %% for k=4,5,6,7):\n");
+  for (const auto& r : results) {
+    std::printf("%-5s", r.name.c_str());
+    for (const auto& per : r.per_block_size) std::printf(" %6.1f", per.reduction_percent);
+    std::printf("\n");
+  }
+
+  // Machine-readable form for external plotting tools.
+  std::printf("\ncsv:\nbenchmark,k,transitions,reduction_percent\n");
+  for (const auto& r : results) {
+    for (const auto& per : r.per_block_size) {
+      std::printf("%s,%d,%lld,%.2f\n", r.name.c_str(), per.block_size,
+                  per.transitions, per.reduction_percent);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// A6 — google-benchmark microbenchmarks: tooling throughput (encoder,
+// decoder model, simulator, solver). These are engineering numbers for the
+// library itself, not paper results.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/block_code.h"
+#include "core/chain_encoder.h"
+#include "core/fetch_decoder.h"
+#include "core/program_encoder.h"
+#include "isa/assembler.h"
+#include "sim/cpu.h"
+
+namespace {
+
+using namespace asimt;
+
+bits::BitSeq random_seq(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  bits::BitSeq seq(n);
+  for (std::size_t i = 0; i < n; ++i) seq.set(i, static_cast<int>(rng() & 1));
+  return seq;
+}
+
+void BM_ChainEncodeGreedy(benchmark::State& state) {
+  const bits::BitSeq seq = random_seq(static_cast<std::size_t>(state.range(0)), 1);
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  const core::ChainEncoder encoder(opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(seq));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChainEncodeGreedy)->Arg(100)->Arg(1000);
+
+void BM_ChainEncodeDp(benchmark::State& state) {
+  const bits::BitSeq seq = random_seq(static_cast<std::size_t>(state.range(0)), 2);
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  opt.strategy = core::ChainStrategy::kOptimalDp;
+  const core::ChainEncoder encoder(opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(seq));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChainEncodeDp)->Arg(100)->Arg(1000);
+
+void BM_EncodeBasicBlock(benchmark::State& state) {
+  std::mt19937 rng(3);
+  std::vector<std::uint32_t> words(static_cast<std::size_t>(state.range(0)));
+  for (auto& w : words) w = rng();
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::encode_basic_block(words, 0x1000, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeBasicBlock)->Arg(8)->Arg(64);
+
+void BM_FetchDecoderFeed(benchmark::State& state) {
+  std::mt19937 rng(4);
+  std::vector<std::uint32_t> words(64);
+  for (auto& w : words) w = rng();
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  const core::BlockEncoding enc = core::encode_basic_block(words, 0x1000, opt);
+  core::TtConfig tt;
+  tt.block_size = 5;
+  tt.entries = enc.tt_entries;
+  core::FetchDecoder decoder(tt, {core::BbitEntry{0x1000, 0}});
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      benchmark::DoNotOptimize(decoder.feed(
+          0x1000 + 4 * static_cast<std::uint32_t>(i), enc.encoded_words[i]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(words.size()));
+}
+BENCHMARK(BM_FetchDecoderFeed);
+
+void BM_SolveBlockCode(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_block_code(k));
+  }
+}
+BENCHMARK(BM_SolveBlockCode)->Arg(5)->Arg(7);
+
+void BM_SimulatorLoop(benchmark::State& state) {
+  const isa::Program program = isa::assemble(R"(
+        li      $t0, 0
+        li      $t1, 10000
+loop:   addiu   $t0, $t0, 1
+        lw      $t2, 0($a0)
+        addu    $t3, $t3, $t2
+        bne     $t0, $t1, loop
+        halt
+)");
+  for (auto _ : state) {
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    cpu.state().r[isa::kA0] = 0x10000;
+    const std::uint64_t steps = cpu.run(1'000'000);
+    benchmark::DoNotOptimize(steps);
+    state.counters["instructions"] = static_cast<double>(steps);
+  }
+  state.SetItemsProcessed(state.iterations() * 40003);
+}
+BENCHMARK(BM_SimulatorLoop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

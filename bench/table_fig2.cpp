@@ -1,0 +1,25 @@
+// E1 — regenerates the paper's Figure 2: the optimal power-efficient
+// transformation table for three-bit blocks.
+#include <cstdio>
+
+#include "bitstream/bitseq.h"
+#include "core/block_code.h"
+
+int main() {
+  using namespace asimt;
+  std::printf("Figure 2: power efficient transformations for three bit blocks\n");
+  std::printf("%-6s %-6s %-5s %-4s %-4s\n", "X", "X~", "tau", "Tx", "Tx~");
+  const core::BlockCode code = core::solve_block_code(3);
+  long long ttn = 0, rtn = 0;
+  for (const core::CodeAssignment& e : code.entries) {
+    std::printf("%-6s %-6s %-5s %-4d %-4d\n",
+                bits::BitSeq::from_word(e.word, 3).to_figure_string().c_str(),
+                bits::BitSeq::from_word(e.code, 3).to_figure_string().c_str(),
+                e.tau.name().c_str(), e.word_transitions, e.code_transitions);
+    ttn += e.word_transitions;
+    rtn += e.code_transitions;
+  }
+  std::printf("\nTTN=%lld RTN=%lld reduction=%.1f%%  (paper: 8 -> 2, 75%%)\n",
+              ttn, rtn, 100.0 * static_cast<double>(ttn - rtn) / static_cast<double>(ttn));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// E6 — regenerates the paper's Figure 6: dynamic bus transition counts and
+// percentage reductions for the six benchmarks at block sizes 4..7 with a
+// 16-entry Transformation Table.
+//
+// Absolute counts differ from the paper (different ISA and hand-written
+// rather than compiled kernels — see DESIGN.md §4); the shape is what
+// reproduces: sizable reductions shrinking with block size, fft weakest.
+// Set ASIMT_FAST=1 for reduced problem sizes.
+#include <cstdio>
+
+#include "experiments/experiment.h"
+
+int main() {
+  using namespace asimt;
+  const workloads::SizeConfig sizes = experiments::bench_sizes();
+  experiments::ExperimentOptions opt;
+
+  std::vector<experiments::WorkloadResult> results;
+  for (const workloads::Workload& w : workloads::make_all(sizes)) {
+    std::fprintf(stderr, "[fig6] running %s (%s)...\n", w.name.c_str(),
+                 w.description.c_str());
+    results.push_back(experiments::run_workload(w, opt));
+    if (!results.back().check_passed) {
+      std::fprintf(stderr, "FATAL: %s failed validation: %s\n",
+                   results.back().name.c_str(),
+                   results.back().check_error.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("Figure 6: transition reduction results (transitions in millions)\n");
+  std::printf("TT budget: %d entries; strategy: greedy (paper)\n\n", opt.tt_budget);
+  std::printf("%s\n", experiments::format_fig6_table(results).c_str());
+
+  std::printf("paper's Figure 6 for comparison:\n");
+  std::printf("%-14s%10s%10s%10s%10s%10s%10s\n", "", "mmul", "sor", "ej", "fft", "tri", "lu");
+  std::printf("%-14s%10s%10s%10s%10s%10s%10s\n", "#TR", "14.0", "3.3", "113.4", "0.2", "8.1", "63.8");
+  std::printf("%-14s%10s%10s%10s%10s%10s%10s\n", "Red. 4-block", "44.0", "44.3", "45.5", "20.6", "51.6", "32.7");
+  std::printf("%-14s%10s%10s%10s%10s%10s%10s\n", "Red. 5-block", "39.2", "30.5", "38.8", "17.5", "37.8", "23.6");
+  std::printf("%-14s%10s%10s%10s%10s%10s%10s\n", "Red. 6-block", "26.7", "35.3", "38.7", "13.4", "31.1", "19.1");
+  std::printf("%-14s%10s%10s%10s%10s%10s%10s\n", "Red. 7-block", "28.5", "20.1", "23.1", "0.0", "24.4", "9.4");
+
+  std::printf("\ninstruction counts and Bus-Invert baseline:\n");
+  for (const auto& r : results) {
+    std::printf("  %-5s %12llu instructions, bus-invert reduction %.1f%%\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.instructions),
+                100.0 * static_cast<double>(r.baseline_transitions - r.bus_invert_transitions) /
+                    static_cast<double>(r.baseline_transitions));
+  }
+  return 0;
+}

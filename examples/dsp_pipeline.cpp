@@ -1,0 +1,91 @@
+// DSP pipeline scenario: the full deployment flow on a realistic workload.
+//
+// Models what a firmware engineer would do with ASIMT for an embedded DSP
+// product (the paper's motivating context): take the FFT kernel, profile it
+// on the target, let the selector spend a 16-entry Transformation Table on
+// the hottest basic blocks, and report the resulting instruction-bus energy
+// with an off-chip flash instruction memory.
+#include <cstdio>
+
+#include "cfg/cfg.h"
+#include "core/selection.h"
+#include "experiments/experiment.h"
+#include "isa/assembler.h"
+#include "power/power.h"
+#include "sim/cpu.h"
+#include "workloads/workload.h"
+
+int main() {
+  using namespace asimt;
+
+  workloads::SizeConfig sizes;
+  sizes.fft_n = 256;  // the paper's FFT block size
+  const workloads::Workload fft = workloads::make_fft(sizes);
+  std::printf("workload: %s\n", fft.description.c_str());
+
+  // Profile pass on the target simulator.
+  const isa::Program program = isa::assemble(fft.source);
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  fft.init(memory, cpu.state());
+  cfg::Profiler profiler(cfg);
+  cpu.run(100'000'000,
+          [&](std::uint32_t pc, std::uint32_t) { profiler.on_fetch(pc); });
+  const cfg::Profile profile = profiler.take();
+  std::string error;
+  if (!fft.check(memory, &error)) {
+    std::printf("FATAL: kernel validation failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("profiled %llu dynamic instructions over %zu basic blocks\n",
+              static_cast<unsigned long long>(profile.total_instructions),
+              cfg.blocks.size());
+
+  // Where does the time go? (the paper's "major application loops")
+  const auto loops = cfg::find_natural_loops(cfg);
+  std::printf("natural loops: %zu\n", loops.size());
+  std::printf("hottest blocks:\n");
+  std::vector<int> order(cfg.blocks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return profile.block_counts[static_cast<std::size_t>(a)] * cfg.blocks[static_cast<std::size_t>(a)].instruction_count() >
+           profile.block_counts[static_cast<std::size_t>(b)] * cfg.blocks[static_cast<std::size_t>(b)].instruction_count();
+  });
+  for (int i = 0; i < 5 && i < static_cast<int>(order.size()); ++i) {
+    const cfg::BasicBlock& b = cfg.blocks[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+    std::printf("  pc=%08x  %2zu instrs  x%llu executions\n", b.start,
+                b.instruction_count(),
+                static_cast<unsigned long long>(
+                    profile.block_counts[static_cast<std::size_t>(b.index)]));
+  }
+
+  // Spend the TT budget.
+  core::SelectionOptions sel;
+  sel.chain.block_size = 5;
+  sel.tt_budget = 16;
+  const core::SelectionResult selection = core::select_and_encode(cfg, profile, sel);
+  std::printf("\nselected %zu blocks; TT entries used %d/16; BBIT entries %zu\n",
+              selection.encodings.size(), selection.tt_entries_used,
+              selection.bbit.size());
+  const unsigned tt_bits =
+      static_cast<unsigned>(selection.tt.entries.size()) * core::TtConfig::entry_bits();
+  std::printf("decode-side SRAM: %u bits TT + %zu x 48-bit BBIT\n", tt_bits,
+              selection.bbit.size());
+
+  // Measure the dynamic effect.
+  const auto image = selection.apply_to_text(cfg.text, cfg.text_base);
+  const long long base =
+      experiments::dynamic_transitions(cfg, profile, cfg.text);
+  const long long encoded =
+      experiments::dynamic_transitions(cfg, profile, image);
+  const power::BusParams flash = power::BusParams::off_chip();
+  std::printf("\noff-chip flash instruction bus, one FFT invocation:\n%s\n",
+              power::format_comparison(
+                  power::make_report("original", base, profile.total_instructions, flash),
+                  power::make_report("asimt k=5", encoded, profile.total_instructions, flash))
+                  .c_str());
+  return 0;
+}

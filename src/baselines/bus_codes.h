@@ -1,0 +1,117 @@
+// Prior-work bus encodings the paper positions against (§2).
+//
+// Bus-Invert (Stan & Burleson) is the general-purpose DATA bus technique the
+// paper calls out as "limited ... on data streams exhibiting regularities";
+// the A4 ablation compares it against ASIMT on identical instruction
+// streams. Gray and T0 are ADDRESS bus codes, included to complete the §2
+// survey and to show the two bus sides are orthogonal.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace asimt::baselines {
+
+// Bus-Invert coding: drive ~word and assert the invert line whenever that
+// halves the Hamming distance to the previous bus state. Counts transitions
+// on the 32 data lines plus the extra invert line.
+class BusInvertMonitor {
+ public:
+  void observe(std::uint32_t word) {
+    if (first_) {
+      bus_ = word;
+      invert_ = false;
+      first_ = false;
+      ++words_;
+      return;
+    }
+    const int keep = std::popcount(bus_ ^ word);
+    const int flip = std::popcount(bus_ ^ ~word);
+    const bool invert = flip < keep;  // strictly fewer; ties keep polarity
+    const std::uint32_t driven = invert ? ~word : word;
+    transitions_ += std::popcount(bus_ ^ driven);
+    transitions_ += (invert != invert_) ? 1 : 0;  // the invert signal itself
+    bus_ = driven;
+    invert_ = invert;
+    ++words_;
+  }
+
+  long long transitions() const { return transitions_; }
+  std::uint64_t words_observed() const { return words_; }
+
+ private:
+  std::uint32_t bus_ = 0;
+  bool invert_ = false;
+  bool first_ = true;
+  long long transitions_ = 0;
+  std::uint64_t words_ = 0;
+};
+
+// Plain binary address bus (baseline for the address-side codes).
+class BinaryAddressMonitor {
+ public:
+  void observe(std::uint32_t addr) {
+    if (!first_) transitions_ += std::popcount(prev_ ^ addr);
+    prev_ = addr;
+    first_ = false;
+  }
+  long long transitions() const { return transitions_; }
+
+ private:
+  std::uint32_t prev_ = 0;
+  bool first_ = true;
+  long long transitions_ = 0;
+};
+
+// Gray-coded address bus.
+class GrayAddressMonitor {
+ public:
+  void observe(std::uint32_t addr) {
+    const std::uint32_t gray = addr ^ (addr >> 1);
+    if (!first_) transitions_ += std::popcount(prev_ ^ gray);
+    prev_ = gray;
+    first_ = false;
+  }
+  long long transitions() const { return transitions_; }
+
+ private:
+  std::uint32_t prev_ = 0;
+  bool first_ = true;
+  long long transitions_ = 0;
+};
+
+// T0 coding: sequential addresses freeze the bus and toggle nothing; the
+// redundant INC line tells the receiver to increment instead (Benini et al.).
+class T0AddressMonitor {
+ public:
+  explicit T0AddressMonitor(std::uint32_t stride = 4) : stride_(stride) {}
+
+  void observe(std::uint32_t addr) {
+    if (first_) {
+      bus_ = addr;
+      expected_ = addr + stride_;
+      first_ = false;
+      return;
+    }
+    const bool sequential = addr == expected_;
+    if (!sequential) {
+      transitions_ += std::popcount(bus_ ^ addr);
+      bus_ = addr;
+    }
+    transitions_ += (sequential != inc_) ? 1 : 0;  // INC line toggles
+    inc_ = sequential;
+    expected_ = addr + stride_;
+  }
+
+  long long transitions() const { return transitions_; }
+
+ private:
+  std::uint32_t stride_;
+  std::uint32_t bus_ = 0;
+  std::uint32_t expected_ = 0;
+  bool inc_ = false;
+  bool first_ = true;
+  long long transitions_ = 0;
+};
+
+}  // namespace asimt::baselines

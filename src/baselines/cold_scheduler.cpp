@@ -1,0 +1,78 @@
+#include "baselines/cold_scheduler.h"
+
+#include <bit>
+
+#include "bitstream/bitseq.h"
+#include "isa/effects.h"
+
+namespace asimt::baselines {
+
+ColdScheduleResult cold_schedule_block(std::span<const std::uint32_t> words) {
+  ColdScheduleResult result;
+  result.original_transitions = bits::total_bus_transitions(words);
+  const std::size_t n = words.size();
+  if (n <= 2) {
+    result.words.assign(words.begin(), words.end());
+    result.scheduled_transitions = result.original_transitions;
+    return result;
+  }
+
+  std::vector<isa::Effects> fx(n);
+  for (std::size_t i = 0; i < n; ++i) fx[i] = isa::effects(isa::decode(words[i]));
+
+  // Dependence edges i -> j (i before j) as per-node predecessor counts and
+  // successor lists; O(n^2) is fine for basic-block sizes.
+  std::vector<int> preds(n, 0);
+  std::vector<std::vector<std::size_t>> succs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (fx[i].conflicts_with(fx[j])) {
+        succs[i].push_back(j);
+        ++preds[j];
+      }
+    }
+  }
+
+  // Greedy list schedule: among ready instructions pick the one closest (in
+  // Hamming distance) to the previously emitted word; tie-break by original
+  // position for determinism and stability.
+  std::vector<bool> done(n, false);
+  result.words.reserve(n);
+  std::uint32_t prev = 0;
+  bool have_prev = false;
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    std::size_t best = n;
+    int best_cost = 33;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i] || preds[i] != 0) continue;
+      const int cost = have_prev ? std::popcount(prev ^ words[i]) : 0;
+      if (best == n || cost < best_cost) {
+        best = i;
+        best_cost = cost;
+      }
+      if (!have_prev) break;  // first slot: keep the original first ready op
+    }
+    done[best] = true;
+    for (std::size_t j : succs[best]) --preds[j];
+    result.words.push_back(words[best]);
+    prev = words[best];
+    have_prev = true;
+  }
+  result.scheduled_transitions = bits::total_bus_transitions(result.words);
+  return result;
+}
+
+std::vector<std::uint32_t> cold_schedule_program(const cfg::Cfg& cfg) {
+  std::vector<std::uint32_t> image = cfg.text;
+  for (const cfg::BasicBlock& block : cfg.blocks) {
+    const auto words = cfg.block_words(block);
+    const ColdScheduleResult scheduled = cold_schedule_block(words);
+    const std::size_t first = (block.start - cfg.text_base) / 4;
+    for (std::size_t i = 0; i < scheduled.words.size(); ++i) {
+      image[first + i] = scheduled.words[i];
+    }
+  }
+  return image;
+}
+
+}  // namespace asimt::baselines

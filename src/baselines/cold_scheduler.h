@@ -1,0 +1,35 @@
+// "Cold scheduling" baseline: compiler-side instruction reordering for low
+// bus power (Su, Tsui & Despain's technique family). Within each basic
+// block, independent instructions are list-scheduled so consecutive words
+// have small Hamming distance — a zero-hardware alternative the paper's §2
+// survey class of software techniques would include.
+//
+// Semantics are preserved exactly: instructions only move when no
+// register / hi-lo / FCC / memory dependence orders them, and control-flow
+// instructions never move. Composes with ASIMT (schedule first, encode
+// after) — see bench/ablation_cold_schedule.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cfg/cfg.h"
+
+namespace asimt::baselines {
+
+struct ColdScheduleResult {
+  std::vector<std::uint32_t> words;  // reordered block
+  long long original_transitions = 0;
+  long long scheduled_transitions = 0;
+};
+
+// Reorders one basic block. The final instruction stays in place when it is
+// control flow; everything else moves freely subject to dependences.
+ColdScheduleResult cold_schedule_block(std::span<const std::uint32_t> words);
+
+// Applies cold scheduling to every basic block of a program; returns the
+// full reordered text image.
+std::vector<std::uint32_t> cold_schedule_program(const cfg::Cfg& cfg);
+
+}  // namespace asimt::baselines

@@ -1,0 +1,79 @@
+#include "baselines/opcode_remap.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace asimt::baselines {
+
+void OpcodeRemapper::observe(std::uint32_t word) {
+  const std::uint32_t opcode = word >> 26;
+  if (!first_) {
+    ++adjacency_[previous_opcode_][opcode];
+    ++pairs_;
+  }
+  previous_opcode_ = opcode;
+  first_ = false;
+}
+
+OpcodeRemapper::Mapping OpcodeRemapper::identity_mapping() {
+  Mapping mapping{};
+  for (unsigned i = 0; i < kOpcodes; ++i) mapping[i] = static_cast<std::uint8_t>(i);
+  return mapping;
+}
+
+OpcodeRemapper::Mapping OpcodeRemapper::solve() const {
+  // Symmetric adjacency mass (direction does not matter for transitions).
+  std::array<std::array<std::uint64_t, kOpcodes>, kOpcodes> weight{};
+  std::array<std::uint64_t, kOpcodes> mass{};
+  for (unsigned a = 0; a < kOpcodes; ++a) {
+    for (unsigned b = 0; b < kOpcodes; ++b) {
+      weight[a][b] = adjacency_[a][b] + adjacency_[b][a];
+      mass[a] += adjacency_[a][b] + adjacency_[b][a];
+    }
+  }
+
+  std::array<unsigned, kOpcodes> order{};
+  for (unsigned i = 0; i < kOpcodes; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](unsigned a, unsigned b) { return mass[a] > mass[b]; });
+
+  Mapping mapping{};
+  std::array<bool, kOpcodes> code_used{};
+  std::array<bool, kOpcodes> placed{};
+  for (unsigned rank = 0; rank < kOpcodes; ++rank) {
+    const unsigned opcode = order[rank];
+    unsigned best_code = 0;
+    std::uint64_t best_cost = ~0ull;
+    for (unsigned code = 0; code < kOpcodes; ++code) {
+      if (code_used[code]) continue;
+      std::uint64_t cost = 0;
+      for (unsigned other = 0; other < kOpcodes; ++other) {
+        if (!placed[other] || weight[opcode][other] == 0) continue;
+        cost += weight[opcode][other] *
+                static_cast<std::uint64_t>(std::popcount(code ^ mapping[other]));
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_code = code;
+      }
+    }
+    mapping[opcode] = static_cast<std::uint8_t>(best_code);
+    code_used[best_code] = true;
+    placed[opcode] = true;
+  }
+  return mapping;
+}
+
+long long OpcodeRemapper::field_transitions(const Mapping& mapping) const {
+  long long total = 0;
+  for (unsigned a = 0; a < kOpcodes; ++a) {
+    for (unsigned b = 0; b < kOpcodes; ++b) {
+      if (adjacency_[a][b] == 0) continue;
+      total += static_cast<long long>(adjacency_[a][b]) *
+               std::popcount(static_cast<unsigned>(mapping[a] ^ mapping[b]));
+    }
+  }
+  return total;
+}
+
+}  // namespace asimt::baselines

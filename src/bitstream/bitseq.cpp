@@ -1,0 +1,123 @@
+#include "bitstream/bitseq.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace asimt::bits {
+
+BitSeq::BitSeq(std::size_t n, int fill)
+    : bits_(n, static_cast<std::uint8_t>(fill & 1)) {}
+
+BitSeq BitSeq::from_stream_string(std::string_view s) {
+  BitSeq seq;
+  seq.bits_.reserve(s.size());
+  for (char c : s) {
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("BitSeq: expected only '0'/'1' characters");
+    }
+    seq.bits_.push_back(static_cast<std::uint8_t>(c - '0'));
+  }
+  return seq;
+}
+
+BitSeq BitSeq::from_figure_string(std::string_view s) {
+  BitSeq seq = from_stream_string(s);
+  std::reverse(seq.bits_.begin(), seq.bits_.end());
+  return seq;
+}
+
+BitSeq BitSeq::from_word(std::uint64_t word, std::size_t n) {
+  BitSeq seq;
+  seq.bits_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seq.bits_.push_back(static_cast<std::uint8_t>((word >> i) & 1));
+  }
+  return seq;
+}
+
+int BitSeq::transitions() const {
+  if (bits_.empty()) return 0;
+  return transitions_in(0, bits_.size() - 1);
+}
+
+int BitSeq::transitions_in(std::size_t first, std::size_t last) const {
+  int count = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    count += bits_[i] != bits_[i + 1];
+  }
+  return count;
+}
+
+BitSeq BitSeq::slice(std::size_t first, std::size_t len) const {
+  BitSeq out;
+  out.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(first),
+                   bits_.begin() + static_cast<std::ptrdiff_t>(first + len));
+  return out;
+}
+
+std::uint64_t BitSeq::to_word(std::size_t n) const {
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    word |= static_cast<std::uint64_t>(bits_[i]) << i;
+  }
+  return word;
+}
+
+std::string BitSeq::to_stream_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (std::uint8_t b : bits_) s.push_back(static_cast<char>('0' + b));
+  return s;
+}
+
+std::string BitSeq::to_figure_string() const {
+  std::string s = to_stream_string();
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+
+int word_transitions(std::uint64_t word, int k) {
+  if (k <= 1) return 0;
+  // XOR of the sequence with itself shifted by one position marks every
+  // adjacent differing pair.
+  const std::uint64_t mask = (k >= 64) ? ~0ULL : ((1ULL << (k - 1)) - 1);
+  return std::popcount((word ^ (word >> 1)) & mask);
+}
+
+BitSeq vertical_line(std::span<const std::uint32_t> words, unsigned line) {
+  BitSeq seq;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    seq.push_back(static_cast<int>((words[i] >> line) & 1u));
+  }
+  return seq;
+}
+
+std::vector<std::uint32_t> from_vertical_lines(std::span<const BitSeq> lines,
+                                               std::size_t count) {
+  if (lines.size() != 32) {
+    throw std::invalid_argument("from_vertical_lines: expected 32 lines");
+  }
+  for (const BitSeq& line : lines) {
+    if (line.size() != count) {
+      throw std::invalid_argument("from_vertical_lines: line length mismatch");
+    }
+  }
+  std::vector<std::uint32_t> words(count, 0);
+  for (unsigned b = 0; b < 32; ++b) {
+    for (std::size_t i = 0; i < count; ++i) {
+      words[i] |= static_cast<std::uint32_t>(lines[b][i]) << b;
+    }
+  }
+  return words;
+}
+
+long long total_bus_transitions(std::span<const std::uint32_t> words) {
+  long long total = 0;
+  for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+    total += std::popcount(words[i] ^ words[i + 1]);
+  }
+  return total;
+}
+
+}  // namespace asimt::bits

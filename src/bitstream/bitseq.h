@@ -1,0 +1,95 @@
+// Bit sequences and transition counting.
+//
+// The unit of analysis in ASIMT is the "vertical" bit sequence: the stream of
+// values a single instruction-bus line takes as consecutive instruction words
+// are fetched (paper Fig. 1b). This header provides the value type for such
+// sequences plus the transition metric that the whole technique minimizes.
+//
+// Bit-order convention (normative, see DESIGN.md §6): index 0 is the bit that
+// appears EARLIEST in time. The paper's figures print the earliest bit as the
+// RIGHTMOST character; conversion helpers for that notation are provided.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asimt::bits {
+
+// A sequence of bits with index 0 = earliest in time.
+//
+// Bits are stored one per byte (values 0/1). Sequences in this library are
+// short (basic-block length, at most a few thousand bits), so simplicity and
+// O(1) random access win over packed storage.
+class BitSeq {
+ public:
+  BitSeq() = default;
+
+  // `n` bits, all set to `fill` (0 or 1).
+  explicit BitSeq(std::size_t n, int fill = 0);
+
+  // Builds from stream order: s[0] is the earliest bit. Characters must be
+  // '0' or '1'. Throws std::invalid_argument otherwise.
+  static BitSeq from_stream_string(std::string_view s);
+
+  // Builds from the paper's figure notation: the RIGHTMOST character of `s`
+  // is the earliest bit (e.g. Fig. 2's block word "010").
+  static BitSeq from_figure_string(std::string_view s);
+
+  // Builds from the low `n` bits of `word`, where bit 0 of `word` is the
+  // earliest bit.
+  static BitSeq from_word(std::uint64_t word, std::size_t n);
+
+  std::size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  int operator[](std::size_t i) const { return bits_[i]; }
+  void set(std::size_t i, int value) { bits_[i] = static_cast<std::uint8_t>(value & 1); }
+  void push_back(int value) { bits_.push_back(static_cast<std::uint8_t>(value & 1)); }
+
+  // Number of adjacent positions i with bit[i] != bit[i+1] — the quantity
+  // proportional to bus switching power.
+  int transitions() const;
+
+  // Transitions restricted to the window [first, last] (inclusive indices).
+  int transitions_in(std::size_t first, std::size_t last) const;
+
+  // Sub-sequence [first, first+len).
+  BitSeq slice(std::size_t first, std::size_t len) const;
+
+  // Packs bits [0, n) into a word, bit 0 of the result = earliest bit.
+  // Requires n <= 64 and n <= size().
+  std::uint64_t to_word(std::size_t n) const;
+
+  // Stream order: earliest bit first.
+  std::string to_stream_string() const;
+  // Figure order: earliest bit rightmost (matches the paper's tables).
+  std::string to_figure_string() const;
+
+  bool operator==(const BitSeq&) const = default;
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+// Transitions of the low `k` bits of `word` viewed as a bit sequence
+// (bit 0 earliest). Cheap path used by the exhaustive block-code solver.
+int word_transitions(std::uint64_t word, int k);
+
+// Extracts the vertical bit sequence of bus line `line` (0 = LSB) across the
+// instruction `words` in fetch order — Fig. 1b's column view.
+BitSeq vertical_line(std::span<const std::uint32_t> words, unsigned line);
+
+// Rebuilds 32-bit words from 32 per-line sequences (inverse of taking
+// vertical_line for each line). All sequences must have length `count`.
+std::vector<std::uint32_t> from_vertical_lines(std::span<const BitSeq> lines,
+                                               std::size_t count);
+
+// Total transitions across all 32 bus lines between consecutive words —
+// i.e. sum over adjacent pairs of popcount(w[i] ^ w[i+1]).
+long long total_bus_transitions(std::span<const std::uint32_t> words);
+
+}  // namespace asimt::bits

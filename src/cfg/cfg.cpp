@@ -1,0 +1,221 @@
+#include "cfg/cfg.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "isa/isa.h"
+
+namespace asimt::cfg {
+
+int Cfg::block_containing(std::uint32_t pc) const {
+  // blocks are sorted by start; binary search for the covering range
+  auto it = std::upper_bound(blocks.begin(), blocks.end(), pc,
+                             [](std::uint32_t addr, const BasicBlock& b) {
+                               return addr < b.start;
+                             });
+  if (it == blocks.begin()) return -1;
+  --it;
+  return (pc >= it->start && pc < it->end) ? it->index : -1;
+}
+
+int Cfg::block_starting_at(std::uint32_t pc) const {
+  auto it = block_by_start.find(pc);
+  return it == block_by_start.end() ? -1 : it->second;
+}
+
+std::vector<std::uint32_t> Cfg::block_words(const BasicBlock& block) const {
+  const std::size_t first = (block.start - text_base) / 4;
+  const std::size_t count = block.instruction_count();
+  return {text.begin() + static_cast<std::ptrdiff_t>(first),
+          text.begin() + static_cast<std::ptrdiff_t>(first + count)};
+}
+
+Cfg build_cfg(const isa::Program& program) {
+  Cfg cfg;
+  cfg.text_base = program.text_base;
+  cfg.text = program.text;
+  const std::uint32_t end = program.text_end();
+
+  std::set<std::uint32_t> leaders;
+  if (!program.text.empty()) leaders.insert(program.text_base);
+  for (std::size_t idx = 0; idx < program.text.size(); ++idx) {
+    const std::uint32_t pc = program.text_base + 4 * static_cast<std::uint32_t>(idx);
+    const isa::Instruction inst = isa::decode(program.text[idx]);
+    if (!isa::ends_basic_block(inst.op)) continue;
+    const std::uint32_t next = pc + 4;
+    if (next < end) leaders.insert(next);
+    if (isa::is_branch(inst.op)) {
+      const std::uint32_t target = isa::branch_target(pc, inst);
+      if (target >= program.text_base && target < end) leaders.insert(target);
+    } else if (isa::is_jump(inst.op)) {
+      const std::uint32_t target = isa::jump_target(pc, inst);
+      if (target >= program.text_base && target < end) leaders.insert(target);
+    }
+  }
+
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    BasicBlock block;
+    block.index = static_cast<int>(cfg.blocks.size());
+    block.start = *it;
+    const auto next = std::next(it);
+    std::uint32_t stop = next == leaders.end() ? end : *next;
+    // A block also ends at its first control-flow instruction.
+    for (std::uint32_t pc = block.start; pc < stop; pc += 4) {
+      const isa::Instruction inst =
+          isa::decode(program.text[(pc - program.text_base) / 4]);
+      if (isa::ends_basic_block(inst.op)) {
+        stop = pc + 4;
+        break;
+      }
+    }
+    block.end = stop;
+    cfg.block_by_start[block.start] = block.index;
+    cfg.blocks.push_back(block);
+  }
+
+  // Successor edges.
+  for (BasicBlock& block : cfg.blocks) {
+    const std::uint32_t last = block.last_pc();
+    const isa::Instruction inst =
+        isa::decode(program.text[(last - program.text_base) / 4]);
+    auto add_edge = [&](std::uint32_t target) {
+      const int succ = cfg.block_starting_at(target);
+      if (succ >= 0) block.successors.push_back(succ);
+    };
+    if (isa::is_halt(inst.op)) {
+      // no successors
+    } else if (isa::is_branch(inst.op)) {
+      add_edge(isa::branch_target(last, inst));
+      add_edge(last + 4);  // fallthrough
+    } else if (isa::is_jump(inst.op)) {
+      add_edge(isa::jump_target(last, inst));
+      if (inst.op == isa::Op::kJal) add_edge(last + 4);  // eventual return
+    } else if (isa::is_indirect_jump(inst.op)) {
+      block.has_indirect_exit = true;
+      if (inst.op == isa::Op::kJalr) add_edge(last + 4);
+    } else {
+      add_edge(last + 4);  // plain fallthrough (block ended at next leader)
+    }
+    std::sort(block.successors.begin(), block.successors.end());
+    block.successors.erase(
+        std::unique(block.successors.begin(), block.successors.end()),
+        block.successors.end());
+  }
+  return cfg;
+}
+
+namespace {
+
+// Iterative dominator computation (simple dataflow; graphs here are tiny).
+std::vector<std::vector<bool>> dominators(const Cfg& cfg) {
+  const std::size_t n = cfg.blocks.size();
+  std::vector<std::vector<int>> preds(n);
+  for (const BasicBlock& b : cfg.blocks) {
+    for (int succ : b.successors) {
+      preds[static_cast<std::size_t>(succ)].push_back(b.index);
+    }
+  }
+  std::vector<std::vector<bool>> dom(n, std::vector<bool>(n, true));
+  if (n == 0) return dom;
+  // Entry dominates only itself.
+  dom[0].assign(n, false);
+  dom[0][0] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t v = 1; v < n; ++v) {
+      std::vector<bool> next(n, !preds[v].empty());
+      if (preds[v].empty()) next.assign(n, false);  // unreachable
+      for (int p : preds[v]) {
+        for (std::size_t d = 0; d < n; ++d) {
+          next[d] = next[d] && dom[static_cast<std::size_t>(p)][d];
+        }
+      }
+      next[v] = true;
+      if (next != dom[v]) {
+        dom[v] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  return dom;
+}
+
+}  // namespace
+
+std::vector<Loop> find_natural_loops(const Cfg& cfg) {
+  const auto dom = dominators(cfg);
+  const std::size_t n = cfg.blocks.size();
+  std::vector<std::vector<int>> preds(n);
+  for (const BasicBlock& b : cfg.blocks) {
+    for (int succ : b.successors) {
+      preds[static_cast<std::size_t>(succ)].push_back(b.index);
+    }
+  }
+
+  // header -> union of body blocks over all back edges into it
+  std::unordered_map<int, std::set<int>> loops;
+  for (const BasicBlock& b : cfg.blocks) {
+    for (int succ : b.successors) {
+      const auto h = static_cast<std::size_t>(succ);
+      if (!dom[static_cast<std::size_t>(b.index)][h]) continue;
+      // back edge b -> succ: body = succ + all blocks reaching b without
+      // passing through succ
+      std::set<int>& body = loops[succ];
+      body.insert(succ);
+      std::vector<int> stack;
+      if (body.insert(b.index).second) stack.push_back(b.index);
+      while (!stack.empty()) {
+        const int v = stack.back();
+        stack.pop_back();
+        for (int p : preds[static_cast<std::size_t>(v)]) {
+          if (p != succ && body.insert(p).second) stack.push_back(p);
+        }
+      }
+    }
+  }
+
+  std::vector<Loop> result;
+  for (auto& [header, body] : loops) {
+    Loop loop;
+    loop.header = header;
+    loop.body.assign(body.begin(), body.end());
+    result.push_back(std::move(loop));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Loop& a, const Loop& b) { return a.header < b.header; });
+  return result;
+}
+
+long long dynamic_transitions(const Cfg& cfg, const Profile& profile,
+                              std::span<const std::uint32_t> image) {
+  long long total = 0;
+  for (const BasicBlock& block : cfg.blocks) {
+    const std::uint64_t count =
+        profile.block_counts[static_cast<std::size_t>(block.index)];
+    if (count == 0) continue;
+    const std::size_t first = (block.start - cfg.text_base) / 4;
+    long long intra = 0;
+    for (std::size_t i = 1; i < block.instruction_count(); ++i) {
+      intra += std::popcount(image[first + i - 1] ^ image[first + i]);
+    }
+    total += intra * static_cast<long long>(count);
+  }
+  for (const auto& [key, count] : profile.edge_counts) {
+    const int from = static_cast<int>(key >> 32);
+    const int to = static_cast<int>(key & 0xFFFFFFFFu);
+    const BasicBlock& a = cfg.blocks[static_cast<std::size_t>(from)];
+    const BasicBlock& b = cfg.blocks[static_cast<std::size_t>(to)];
+    const std::uint32_t last = image[(a.last_pc() - cfg.text_base) / 4];
+    const std::uint32_t head = image[(b.start - cfg.text_base) / 4];
+    total += static_cast<long long>(count) * std::popcount(last ^ head);
+  }
+  return total;
+}
+
+Profiler::Profiler(const Cfg& cfg) : cfg_(&cfg) {
+  profile_.block_counts.assign(cfg.blocks.size(), 0);
+}
+
+}  // namespace asimt::cfg

@@ -1,0 +1,109 @@
+// Control-flow graph extraction from assembled binaries.
+//
+// This is the paper's "the application code is analyzed with particular
+// emphasis on the major application loops" step (§1/§4): basic blocks are
+// the unit the power encoding is applied to (encoded blocks never span basic
+// block boundaries, §7.1), and loop/profile information drives which blocks
+// earn Transformation Table entries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/assembler.h"
+
+namespace asimt::cfg {
+
+struct BasicBlock {
+  int index = 0;
+  std::uint32_t start = 0;  // address of the first instruction
+  std::uint32_t end = 0;    // exclusive address just past the last instruction
+  std::vector<int> successors;    // static successors (fallthrough/branch)
+  bool has_indirect_exit = false; // ends in jr/jalr: some successors unknown
+
+  std::size_t instruction_count() const { return (end - start) / 4; }
+  std::uint32_t last_pc() const { return end - 4; }
+};
+
+struct Cfg {
+  std::uint32_t text_base = 0;
+  std::vector<std::uint32_t> text;  // original instruction words
+  std::vector<BasicBlock> blocks;   // sorted by start address
+  std::unordered_map<std::uint32_t, int> block_by_start;
+
+  // Index of the block whose range contains `pc`, or -1.
+  int block_containing(std::uint32_t pc) const;
+  // Index of the block starting exactly at `pc`, or -1.
+  int block_starting_at(std::uint32_t pc) const;
+  // The instruction words of one block.
+  std::vector<std::uint32_t> block_words(const BasicBlock& block) const;
+};
+
+// Partitions the program text into maximal basic blocks: leaders are the
+// entry point, branch/jump targets, and instructions following any
+// control-flow instruction.
+Cfg build_cfg(const isa::Program& program);
+
+// A natural loop: `header` dominates every block in `body` (header included)
+// and some body block branches back to the header.
+struct Loop {
+  int header = 0;
+  std::vector<int> body;  // block indices, sorted
+};
+
+// Immediate dominator-based natural loop detection. Blocks unreachable from
+// the entry are ignored.
+std::vector<Loop> find_natural_loops(const Cfg& cfg);
+
+// Dynamic execution profile gathered from a simulation run.
+struct Profile {
+  std::vector<std::uint64_t> block_counts;  // executions per block index
+  // Dynamic edge counts: (from block, to block) -> times taken.
+  std::unordered_map<std::uint64_t, std::uint64_t> edge_counts;
+  std::uint64_t total_instructions = 0;
+
+  static std::uint64_t edge_key(int from, int to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+};
+
+// Exact dynamic bus-transition count for a text image under a profile:
+// execution inside a basic block is strictly sequential, so
+//   total = sum_blocks count(b) * intra_transitions(b, image)
+//         + sum_dynamic_edges count(e) * hamming(last(from), first(to)).
+// `image` must cover the same address range as cfg.text.
+long long dynamic_transitions(const Cfg& cfg, const Profile& profile,
+                              std::span<const std::uint32_t> image);
+
+// Feed every fetched PC to on_fetch(); take() returns the finished profile.
+// Counting happens only at block leaders, so the per-fetch cost is one hash
+// lookup.
+class Profiler {
+ public:
+  explicit Profiler(const Cfg& cfg);
+
+  void on_fetch(std::uint32_t pc) {
+    ++profile_.total_instructions;
+    const auto it = cfg_->block_by_start.find(pc);
+    if (it == cfg_->block_by_start.end()) return;
+    const int block = it->second;
+    ++profile_.block_counts[static_cast<std::size_t>(block)];
+    if (previous_ >= 0) {
+      ++profile_.edge_counts[Profile::edge_key(previous_, block)];
+    }
+    previous_ = block;
+  }
+
+  Profile take() { return std::move(profile_); }
+
+ private:
+  const Cfg* cfg_;
+  Profile profile_;
+  int previous_ = -1;
+};
+
+}  // namespace asimt::cfg

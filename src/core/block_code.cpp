@@ -1,0 +1,208 @@
+#include "core/block_code.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+#include "bitstream/bitseq.h"
+
+namespace asimt::core {
+
+namespace {
+
+void check_k(int k) {
+  if (k < 1 || k > 20) {
+    throw std::invalid_argument("block size k must be in [1, 20]");
+  }
+}
+
+// All k-bit words ordered by (transition count, numeric value): the order in
+// which the solver tries candidate code words, mirroring the paper's
+// "initially we try to assign a code word with 0 transitions" procedure.
+std::vector<std::uint32_t> codes_by_transitions(int k) {
+  std::vector<std::uint32_t> codes(std::size_t{1} << k);
+  for (std::uint32_t c = 0; c < codes.size(); ++c) codes[c] = c;
+  std::stable_sort(codes.begin(), codes.end(),
+                   [k](std::uint32_t a, std::uint32_t b) {
+                     return bits::word_transitions(a, k) < bits::word_transitions(b, k);
+                   });
+  return codes;
+}
+
+}  // namespace
+
+std::uint32_t decode_block(Transform tau, std::uint32_t code, int k) {
+  std::uint32_t word = code & 1u;  // x_0 = x̃_0
+  int prev = static_cast<int>(code & 1u);
+  for (int i = 1; i < k; ++i) {
+    const int enc = static_cast<int>((code >> i) & 1u);
+    const int orig = tau.apply(enc, prev);
+    word |= static_cast<std::uint32_t>(orig) << i;
+    prev = orig;
+  }
+  return word;
+}
+
+std::uint32_t decode_block_overlapped(Transform tau, std::uint32_t code,
+                                      int overlap_original, int k) {
+  std::uint32_t word = static_cast<std::uint32_t>(overlap_original & 1);
+  // History for the first recurrence instance is the ENCODED overlap bit.
+  int prev = static_cast<int>(code & 1u);
+  for (int i = 1; i < k; ++i) {
+    const int enc = static_cast<int>((code >> i) & 1u);
+    const int orig = tau.apply(enc, prev);
+    word |= static_cast<std::uint32_t>(orig) << i;
+    prev = orig;
+  }
+  return word;
+}
+
+long long BlockCode::ttn() const {
+  long long total = 0;
+  for (const CodeAssignment& e : entries) total += e.word_transitions;
+  return total;
+}
+
+long long BlockCode::rtn() const {
+  long long total = 0;
+  for (const CodeAssignment& e : entries) total += e.code_transitions;
+  return total;
+}
+
+double BlockCode::improvement_percent() const {
+  const long long t = ttn();
+  if (t == 0) return 0.0;
+  return 100.0 * static_cast<double>(t - rtn()) / static_cast<double>(t);
+}
+
+BlockCode solve_block_code(int k, std::span<const Transform> allowed) {
+  check_k(k);
+  const std::uint32_t nwords = std::uint32_t{1} << k;
+  const std::vector<std::uint32_t> candidates = codes_by_transitions(k);
+
+  BlockCode result;
+  result.k = k;
+  result.entries.resize(nwords);
+  for (std::uint32_t word = 0; word < nwords; ++word) {
+    CodeAssignment entry;
+    entry.word = word;
+    entry.word_transitions = bits::word_transitions(word, k);
+    bool found = false;
+    for (std::uint32_t code : candidates) {
+      // decode forces x_0 = x̃_0, so mismatching first bits can never work.
+      if ((code & 1u) != (word & 1u)) continue;
+      for (Transform tau : allowed) {
+        if (decode_block(tau, code, k) == word) {
+          entry.code = code;
+          entry.tau = tau;
+          entry.code_transitions = bits::word_transitions(code, k);
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (!found) {
+      throw std::logic_error(
+          "solve_block_code: no feasible code (allowed set lacks identity?)");
+    }
+    result.entries[word] = entry;
+  }
+  return result;
+}
+
+BlockCode solve_block_code(int k) {
+  return solve_block_code(k, std::span<const Transform>{kAllTransforms});
+}
+
+int min_code_transitions(std::uint32_t word, int k,
+                         std::span<const Transform> allowed) {
+  check_k(k);
+  const std::uint32_t ncodes = std::uint32_t{1} << k;
+  int best = std::numeric_limits<int>::max();
+  for (std::uint32_t code = 0; code < ncodes; ++code) {
+    if ((code & 1u) != (word & 1u)) continue;
+    const int t = bits::word_transitions(code, k);
+    if (t >= best) continue;
+    for (Transform tau : allowed) {
+      if (decode_block(tau, code, k) == word) {
+        best = t;
+        break;
+      }
+    }
+  }
+  if (best == std::numeric_limits<int>::max()) {
+    throw std::logic_error("min_code_transitions: infeasible word");
+  }
+  return best;
+}
+
+namespace {
+
+// best_single[word][t] = fewest code transitions achievable for `word` using
+// only Transform{t}, or INT_MAX if that transform cannot produce the word.
+std::vector<std::array<int, 16>> per_transform_minima(int k) {
+  const std::uint32_t nwords = std::uint32_t{1} << k;
+  std::vector<std::array<int, 16>> best(nwords);
+  for (auto& row : best) row.fill(std::numeric_limits<int>::max());
+  for (std::uint32_t code = 0; code < nwords; ++code) {
+    const int t = bits::word_transitions(code, k);
+    for (unsigned tt = 0; tt < 16; ++tt) {
+      const std::uint32_t word = decode_block(Transform{tt}, code, k);
+      best[word][tt] = std::min(best[word][tt], t);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+bool subset_is_optimal(int k, std::span<const Transform> subset) {
+  const auto best = per_transform_minima(k);
+  for (const auto& row : best) {
+    int full = std::numeric_limits<int>::max();
+    for (int v : row) full = std::min(full, v);
+    int restricted = std::numeric_limits<int>::max();
+    for (Transform t : subset) {
+      restricted = std::min(restricted, row[t.truth_table()]);
+    }
+    if (restricted != full) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> optimal_subsets_of_size(int size, int max_k) {
+  if (size < 1 || size > 16) {
+    throw std::invalid_argument("subset size must be in [1, 16]");
+  }
+  // Per-word minima for each k, computed once.
+  std::vector<std::vector<std::array<int, 16>>> minima;
+  for (int k = 2; k <= max_k; ++k) minima.push_back(per_transform_minima(k));
+
+  std::vector<std::uint32_t> winners;
+  for (std::uint32_t mask = 0; mask < (1u << 16); ++mask) {
+    if (std::popcount(mask) != size) continue;
+    bool ok = true;
+    for (const auto& table : minima) {
+      for (const auto& row : table) {
+        int full = std::numeric_limits<int>::max();
+        for (int v : row) full = std::min(full, v);
+        int restricted = std::numeric_limits<int>::max();
+        for (unsigned tt = 0; tt < 16; ++tt) {
+          if (mask & (1u << tt)) restricted = std::min(restricted, row[tt]);
+        }
+        if (restricted != full) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+    }
+    if (ok) winners.push_back(mask);
+  }
+  return winners;
+}
+
+}  // namespace asimt::core

@@ -1,0 +1,81 @@
+// Optimal power codes for fixed-size blocks (paper §5).
+//
+// For a block size k, every k-bit "block word" X is assigned a "code word" X̃
+// and a transformation τ such that decoding X̃ with τ restores X and the
+// number of bit transitions inside X̃ is minimal. This module implements the
+// exhaustive solver the paper uses to derive Figures 2, 3 and 4, plus the
+// minimal-subset analysis of §5.2.
+//
+// Word representation: the low k bits of a uint32_t, bit 0 = earliest bit in
+// time (the figure's rightmost character).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/transform.h"
+
+namespace asimt::core {
+
+// Decodes a chain-initial block: x_0 = x̃_0, x_i = τ(x̃_i, x_{i-1}).
+// Returns the original word reconstructed from `code`.
+std::uint32_t decode_block(Transform tau, std::uint32_t code, int k);
+
+// Decodes an overlapped block (§6): bit 0 of `code` is the stored value of
+// the overlap bit, `overlap_original` its already-decoded original value.
+// The first recurrence instance uses the ENCODED overlap bit as history
+// ("τ2 uses x̃_n instead of x_n"); later instances use original history.
+// Bit 0 of the result is `overlap_original`.
+std::uint32_t decode_block_overlapped(Transform tau, std::uint32_t code,
+                                      int overlap_original, int k);
+
+// One row of a code table (one line of Fig. 2 / Fig. 4).
+struct CodeAssignment {
+  std::uint32_t word = 0;       // original block word
+  std::uint32_t code = 0;       // power-efficient stored word
+  Transform tau;                // restoring transformation
+  int word_transitions = 0;     // T_x
+  int code_transitions = 0;     // T_x̃
+};
+
+// The complete optimal code for one block size under a given transform set.
+struct BlockCode {
+  int k = 0;
+  std::vector<CodeAssignment> entries;  // indexed by block word, size 2^k
+
+  // Total Transition Number: Σ T_x over all 2^k block words (Fig. 3 row 2).
+  long long ttn() const;
+  // Reduced Transition Number: Σ T_x̃ (Fig. 3 row 3).
+  long long rtn() const;
+  // 100 * (TTN - RTN) / TTN (Fig. 3 row 4).
+  double improvement_percent() const;
+};
+
+// Exhaustively finds, for every k-bit block word, the code word with the
+// fewest transitions that some transform in `allowed` maps back to the
+// original (chain-initial semantics). Ties are broken toward the earliest
+// transform in `allowed`, then the numerically smallest code word, making the
+// output deterministic. k must be in [1, 20].
+BlockCode solve_block_code(int k, std::span<const Transform> allowed);
+
+// Convenience: the unrestricted optimum over all 16 transforms.
+BlockCode solve_block_code(int k);
+
+// Minimal number of transitions achievable for a single block word under
+// `allowed` (chain-initial). Always succeeds: identity maps word to itself.
+int min_code_transitions(std::uint32_t word, int k,
+                         std::span<const Transform> allowed);
+
+// §5.2 verification support: true iff `subset` achieves, for EVERY k-bit
+// word, the same minimal code transitions as the full 16-transform set.
+bool subset_is_optimal(int k, std::span<const Transform> subset);
+
+// Searches all transform subsets of size `size` that are optimal for every
+// block size in [2, max_k]. The paper claims size 8 yields a UNIQUE such
+// subset for max_k = 7. Subsets are returned as truth-table bitmasks
+// (bit t set ⇔ Transform{t} in subset).
+std::vector<std::uint32_t> optimal_subsets_of_size(int size, int max_k);
+
+}  // namespace asimt::core

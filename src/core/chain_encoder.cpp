@@ -1,0 +1,232 @@
+#include "core/chain_encoder.h"
+
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "core/block_code.h"
+
+namespace asimt::core {
+
+namespace {
+
+// A candidate (code word, transform) pair for one block.
+struct BlockChoice {
+  std::uint32_t code = 0;
+  Transform tau;
+  int cost = 0;  // transitions inside the stored block
+};
+
+// Finds the cheapest feasible choice for a block whose original bits are the
+// low `len` bits of `word` (bit 0 = overlap/first bit) given that the stored
+// value of the first bit is `s_in`. Returns nullopt when no transform in
+// `allowed` can realize the block (possible only for exotic transform sets
+// lacking the identity).
+std::optional<BlockChoice> best_choice(std::uint32_t word, int len, int s_in,
+                                       bool chain_initial,
+                                       std::span<const Transform> allowed) {
+  if (chain_initial && s_in != static_cast<int>(word & 1u)) {
+    return std::nullopt;  // chain-initial blocks store their first bit plain
+  }
+  std::optional<BlockChoice> best;
+  int best_tau_rank = 0;
+  const std::uint32_t rest_count = std::uint32_t{1} << (len - 1);
+  for (std::uint32_t rest = 0; rest < rest_count; ++rest) {
+    const std::uint32_t code =
+        static_cast<std::uint32_t>(s_in & 1) | (rest << 1);
+    const int cost = bits::word_transitions(code, len);
+    for (std::size_t ti = 0; ti < allowed.size(); ++ti) {
+      const Transform tau = allowed[ti];
+      const std::uint32_t decoded =
+          chain_initial
+              ? decode_block(tau, code, len)
+              : decode_block_overlapped(tau, code, static_cast<int>(word & 1u),
+                                        len);
+      if (decoded != word) continue;
+      const bool better =
+          !best || cost < best->cost ||
+          (cost == best->cost &&
+           (static_cast<int>(ti) < best_tau_rank ||
+            (static_cast<int>(ti) == best_tau_rank && code < best->code)));
+      if (better) {
+        best = BlockChoice{code, tau, cost};
+        best_tau_rank = static_cast<int>(ti);
+      }
+      break;  // earlier transforms in `allowed` were already tried for this code
+    }
+  }
+  return best;
+}
+
+std::uint32_t window_word(const bits::BitSeq& seq, std::size_t start, int len) {
+  std::uint32_t w = 0;
+  for (int i = 0; i < len; ++i) {
+    w |= static_cast<std::uint32_t>(seq[start + static_cast<std::size_t>(i)])
+         << i;
+  }
+  return w;
+}
+
+void write_code(bits::BitSeq& stored, std::size_t start, int len,
+                std::uint32_t code) {
+  for (int i = 0; i < len; ++i) {
+    stored.set(start + static_cast<std::size_t>(i),
+               static_cast<int>((code >> i) & 1u));
+  }
+}
+
+}  // namespace
+
+ChainEncoder::ChainEncoder(ChainOptions options) : options_(options) {
+  if (options_.block_size < 2 || options_.block_size > 16) {
+    throw std::invalid_argument("chain block size must be in [2, 16]");
+  }
+  if (options_.allowed.empty()) {
+    throw std::invalid_argument("chain encoder needs a non-empty transform set");
+  }
+}
+
+std::vector<ChainBlock> ChainEncoder::partition(std::size_t m, int block_size) {
+  std::vector<ChainBlock> blocks;
+  if (m == 0) return blocks;
+  if (m == 1) {
+    blocks.push_back(ChainBlock{0, 1, kIdentity});
+    return blocks;
+  }
+  std::size_t start = 0;
+  while (true) {
+    const int len = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(block_size), m - start));
+    blocks.push_back(ChainBlock{start, len, kIdentity});
+    const std::size_t next = start + static_cast<std::size_t>(len) - 1;
+    if (m - next <= 1) break;  // nothing but the overlap bit remains
+    start = next;
+  }
+  return blocks;
+}
+
+EncodedChain ChainEncoder::encode(const bits::BitSeq& original) const {
+  switch (options_.strategy) {
+    case ChainStrategy::kGreedy: return encode_greedy(original);
+    case ChainStrategy::kOptimalDp: return encode_dp(original);
+  }
+  throw std::logic_error("unknown chain strategy");
+}
+
+EncodedChain ChainEncoder::encode_greedy(const bits::BitSeq& original) const {
+  EncodedChain out;
+  out.stored = bits::BitSeq(original.size());
+  out.blocks = partition(original.size(), options_.block_size);
+  if (out.blocks.empty()) return out;
+  if (original.size() == 1) {
+    out.stored.set(0, original[0]);
+    return out;
+  }
+  int s_in = original[0];
+  for (std::size_t bi = 0; bi < out.blocks.size(); ++bi) {
+    ChainBlock& block = out.blocks[bi];
+    const std::uint32_t word = window_word(original, block.start, block.length);
+    const auto choice =
+        best_choice(word, block.length, s_in, bi == 0, options_.allowed);
+    if (!choice) {
+      throw std::logic_error("chain encoder: infeasible block (no identity?)");
+    }
+    block.tau = choice->tau;
+    write_code(out.stored, block.start, block.length, choice->code);
+    s_in = static_cast<int>((choice->code >> (block.length - 1)) & 1u);
+  }
+  return out;
+}
+
+EncodedChain ChainEncoder::encode_dp(const bits::BitSeq& original) const {
+  EncodedChain out;
+  out.stored = bits::BitSeq(original.size());
+  out.blocks = partition(original.size(), options_.block_size);
+  if (out.blocks.empty()) return out;
+  if (original.size() == 1) {
+    out.stored.set(0, original[0]);
+    return out;
+  }
+
+  constexpr int kInf = std::numeric_limits<int>::max() / 2;
+  const std::size_t nblocks = out.blocks.size();
+
+  // cost[s]: cheapest total transitions with the current boundary bit stored
+  // as s. Backpointers record each block's decision per outgoing state.
+  struct Decision {
+    std::uint32_t code = 0;
+    Transform tau;
+    int prev_state = 0;
+  };
+  std::vector<std::array<Decision, 2>> decisions(nblocks);
+  std::array<int, 2> cost = {kInf, kInf};
+  cost[original[0]] = 0;  // chain-initial block stores its first bit plain
+
+  for (std::size_t bi = 0; bi < nblocks; ++bi) {
+    const ChainBlock& block = out.blocks[bi];
+    const std::uint32_t word = window_word(original, block.start, block.length);
+    std::array<int, 2> next_cost = {kInf, kInf};
+    for (int s_in = 0; s_in < 2; ++s_in) {
+      if (cost[s_in] >= kInf) continue;
+      // Enumerate every feasible (code, tau); fold into the outgoing state.
+      const std::uint32_t rest_count = std::uint32_t{1} << (block.length - 1);
+      for (std::uint32_t rest = 0; rest < rest_count; ++rest) {
+        const std::uint32_t code =
+            static_cast<std::uint32_t>(s_in) | (rest << 1);
+        const int block_cost = bits::word_transitions(code, block.length);
+        for (Transform tau : options_.allowed) {
+          const std::uint32_t decoded =
+              bi == 0 ? decode_block(tau, code, block.length)
+                      : decode_block_overlapped(
+                            tau, code, static_cast<int>(word & 1u),
+                            block.length);
+          if (decoded != word) continue;
+          const int s_out =
+              static_cast<int>((code >> (block.length - 1)) & 1u);
+          const int total = cost[s_in] + block_cost;
+          if (total < next_cost[s_out]) {
+            next_cost[s_out] = total;
+            decisions[bi][s_out] = Decision{code, tau, s_in};
+          }
+          break;  // cheaper tau ranks first; cost identical for same code
+        }
+      }
+    }
+    cost = next_cost;
+  }
+
+  int state = cost[0] <= cost[1] ? 0 : 1;
+  if (cost[state] >= kInf) {
+    throw std::logic_error("chain encoder DP: no feasible encoding");
+  }
+  for (std::size_t bi = nblocks; bi-- > 0;) {
+    const Decision& d = decisions[bi][state];
+    out.blocks[bi].tau = d.tau;
+    write_code(out.stored, out.blocks[bi].start, out.blocks[bi].length, d.code);
+    state = d.prev_state;
+  }
+  return out;
+}
+
+bits::BitSeq decode_chain(const EncodedChain& chain) {
+  const bits::BitSeq& stored = chain.stored;
+  bits::BitSeq original(stored.size());
+  if (stored.empty()) return original;
+  original.set(0, stored[0]);
+  int history = stored[0];
+  for (const ChainBlock& block : chain.blocks) {
+    // History register reloads from the raw stored overlap bit at each block
+    // switch (paper §6: "τ uses the encoded bit value ... in the initial
+    // instance").
+    history = stored[block.start];
+    for (int j = 1; j < block.length; ++j) {
+      const std::size_t pos = block.start + static_cast<std::size_t>(j);
+      const int decoded = block.tau.apply(stored[pos], history);
+      original.set(pos, decoded);
+      history = decoded;
+    }
+  }
+  return original;
+}
+
+}  // namespace asimt::core

@@ -1,0 +1,74 @@
+// Encoding of arbitrary-length bit streams as chains of overlapped blocks
+// (paper §6, "Applying the power codes").
+//
+// A stream of m bits is split into blocks of `block_size` bits where each
+// block shares its FIRST bit with the previous block's LAST bit (one-bit
+// overlap). Each block gets its own transformation τ. The stored value of
+// the overlap bit is fixed by the previous block, which couples consecutive
+// block choices; the paper uses a greedy pass and reports it is within ~1% of
+// optimal on random streams. This module provides both the greedy pass and
+// an exact dynamic program (the coupling is only through the single stored
+// overlap bit, so a 2-state DP is optimal), which the ablation benches
+// compare.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitstream/bitseq.h"
+#include "core/transform.h"
+
+namespace asimt::core {
+
+// One block of an encoded chain.
+struct ChainBlock {
+  std::size_t start = 0;  // index of the block's first bit (the overlap bit
+                          // for every block but the first)
+  int length = 0;         // bits covered, including the overlap bit
+  Transform tau;          // restoring transformation for bits start+1..end
+};
+
+// A fully encoded bit stream.
+struct EncodedChain {
+  bits::BitSeq stored;             // what goes into instruction memory
+  std::vector<ChainBlock> blocks;  // per-block transforms, in stream order
+};
+
+enum class ChainStrategy {
+  kGreedy,     // paper §6: pick each block's best code left to right
+  kOptimalDp,  // exact: DP over the stored value of each overlap bit
+};
+
+struct ChainOptions {
+  int block_size = 5;
+  std::span<const Transform> allowed = kPaperSubset;
+  ChainStrategy strategy = ChainStrategy::kGreedy;
+};
+
+class ChainEncoder {
+ public:
+  explicit ChainEncoder(ChainOptions options);
+
+  // Encodes `original`; the returned stored sequence has the same length.
+  EncodedChain encode(const bits::BitSeq& original) const;
+
+  // Block partition for a stream of `m` bits: blocks start at multiples of
+  // (block_size - 1); a final fragment shorter than 2 bits is absorbed by
+  // the previous block's overlap and produces no extra block.
+  static std::vector<ChainBlock> partition(std::size_t m, int block_size);
+
+  const ChainOptions& options() const { return options_; }
+
+ private:
+  EncodedChain encode_greedy(const bits::BitSeq& original) const;
+  EncodedChain encode_dp(const bits::BitSeq& original) const;
+
+  ChainOptions options_;
+};
+
+// Serial hardware-faithful decode: replays the per-bit recurrence, reloading
+// the history register from the raw stored bit at every block boundary.
+bits::BitSeq decode_chain(const EncodedChain& chain);
+
+}  // namespace asimt::core

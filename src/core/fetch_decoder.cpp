@@ -1,0 +1,94 @@
+#include "core/fetch_decoder.h"
+
+#include <stdexcept>
+
+namespace asimt::core {
+
+FetchDecoder::FetchDecoder(TtConfig tt, std::vector<BbitEntry> bbit)
+    : tt_(std::move(tt)) {
+  if (tt_.block_size < 2 || tt_.block_size > 16) {
+    throw std::invalid_argument("FetchDecoder: bad block size");
+  }
+  for (const BbitEntry& entry : bbit) {
+    if (entry.tt_index >= tt_.entries.size() && !tt_.entries.empty()) {
+      throw std::invalid_argument("FetchDecoder: BBIT points past TT");
+    }
+    bbit_.emplace(entry.pc, entry.tt_index);
+  }
+}
+
+void FetchDecoder::enter_entry(std::size_t index, bool at_bb_entry) {
+  if (index >= tt_.entries.size()) {
+    throw std::logic_error("FetchDecoder: ran past the TT");
+  }
+  entry_index_ = index;
+  pos_in_block_ = 0;
+  // The chain-initial entry covers k instructions; every later entry adds
+  // k-1 new instructions (its first bit is the one-bit overlap).
+  entry_quota_ = at_bb_entry ? tt_.block_size : tt_.block_size - 1;
+  const TtEntry& entry = tt_.entries[index];
+  if (entry.end) {
+    // CT counts the tail block's instructions including the overlap bit; at
+    // a block switch the overlap instruction was already consumed by the
+    // previous entry (at BB entry there is no previous entry).
+    countdown_ = at_bb_entry ? entry.ct : entry.ct - 1;
+  } else {
+    countdown_ = -1;
+  }
+}
+
+std::uint32_t FetchDecoder::decode_word(std::uint32_t bus_word) {
+  const TtEntry& entry = tt_.entries[entry_index_];
+  std::uint32_t word = 0;
+  for (unsigned line = 0; line < kBusLines; ++line) {
+    const int enc = static_cast<int>((bus_word >> line) & 1u);
+    const int hist = static_cast<int>((history_ >> line) & 1u);
+    word |= static_cast<std::uint32_t>(entry.transform(line).apply(enc, hist))
+            << line;
+  }
+  return word;
+}
+
+std::uint32_t FetchDecoder::feed(std::uint32_t pc, std::uint32_t bus_word) {
+  ++stats_.fetches;
+
+  // BBIT lookup happens for every fetch address; a hit (re)enters encoded
+  // mode at that block's first TT entry — this is how loop back edges resume
+  // decoding at the header (paper §7.2).
+  if (const auto hit = bbit_.find(pc); hit != bbit_.end()) {
+    ++stats_.bbit_hits;
+    active_ = true;
+    enter_entry(hit->second, /*at_bb_entry=*/true);
+    // The first instruction of a chain is stored plain; it seeds history.
+    history_ = bus_word;
+    ++stats_.decoded;
+    if (countdown_ > 0 && --countdown_ == 0) active_ = false;
+    ++pos_in_block_;
+    return bus_word;
+  }
+
+  if (!active_) {
+    ++stats_.raw;
+    return bus_word;  // identity mode
+  }
+
+  const std::uint32_t decoded = decode_word(bus_word);
+  ++stats_.decoded;
+  ++pos_in_block_;
+  if (countdown_ > 0 && --countdown_ == 0) {
+    active_ = false;
+    return decoded;
+  }
+  if (pos_in_block_ == entry_quota_) {
+    // This fetch was the block's last instruction (the next block's overlap
+    // bit): advance to the next TT entry and reload the history registers
+    // from the RAW bus value (DESIGN.md §6 rule 3).
+    enter_entry(entry_index_ + 1, /*at_bb_entry=*/false);
+    history_ = bus_word;
+  } else {
+    history_ = decoded;
+  }
+  return decoded;
+}
+
+}  // namespace asimt::core

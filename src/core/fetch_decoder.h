@@ -1,0 +1,57 @@
+// Cycle-by-cycle model of the fetch-side decode hardware (paper §7, Fig. 5).
+//
+// The decoder watches the PC and bus-word stream the fetch engine produces.
+// A BBIT hit at a fetched PC enters "encoded mode" and selects the first TT
+// entry of that basic block; per-line single-gate transformations then
+// restore the original bits of each subsequent fetch. The E/CT fields of the
+// tail TT entry tell the hardware when the encoded region ends; everything
+// else passes through untouched (identity).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hw_tables.h"
+
+namespace asimt::core {
+
+class FetchDecoder {
+ public:
+  struct Stats {
+    std::uint64_t fetches = 0;
+    std::uint64_t decoded = 0;    // fetches that went through transformations
+    std::uint64_t raw = 0;        // identity / not-encoded fetches
+    std::uint64_t bbit_hits = 0;  // encoded-mode entries
+  };
+
+  FetchDecoder(TtConfig tt, std::vector<BbitEntry> bbit);
+
+  // Processes one fetch: `bus_word` is what the instruction memory drove on
+  // the bus for `pc`; the return value is the restored instruction word.
+  std::uint32_t feed(std::uint32_t pc, std::uint32_t bus_word);
+
+  bool in_encoded_mode() const { return active_; }
+  const Stats& stats() const { return stats_; }
+
+  // Hardware budget introspection.
+  std::size_t tt_entries() const { return tt_.entries.size(); }
+  std::size_t bbit_entries() const { return bbit_.size(); }
+
+ private:
+  std::uint32_t decode_word(std::uint32_t bus_word);
+  void enter_entry(std::size_t index, bool at_block_entry);
+
+  TtConfig tt_;
+  std::unordered_map<std::uint32_t, std::uint16_t> bbit_;
+  Stats stats_;
+
+  bool active_ = false;
+  std::size_t entry_index_ = 0;  // current TT entry
+  int pos_in_block_ = 0;         // instructions decoded under this entry
+  int entry_quota_ = 0;          // instructions this entry covers (k or k-1)
+  int countdown_ = -1;           // remaining instructions when E entry active
+  std::uint32_t history_ = 0;    // 32 per-line history flip-flops
+};
+
+}  // namespace asimt::core

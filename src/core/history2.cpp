@@ -1,0 +1,122 @@
+#include "core/history2.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "bitstream/bitseq.h"
+
+namespace asimt::core {
+
+std::uint32_t decode_block_h2(Transform2 tau, std::uint32_t code, int k) {
+  if (k == 1) return code & 1u;
+  std::uint32_t word = code & 3u;  // first two bits stored plain
+  int prev1 = static_cast<int>((code >> 1) & 1u);
+  int prev2 = static_cast<int>(code & 1u);
+  for (int i = 2; i < k; ++i) {
+    const int enc = static_cast<int>((code >> i) & 1u);
+    const int orig = tau.apply(enc, prev1, prev2);
+    word |= static_cast<std::uint32_t>(orig) << i;
+    prev2 = prev1;
+    prev1 = orig;
+  }
+  return word;
+}
+
+namespace {
+
+void check_k(int k) {
+  if (k < 2 || k > 12) {
+    throw std::invalid_argument("h2 block size must be in [2, 12]");
+  }
+}
+
+// minima[word][t] = fewest code transitions for `word` via Transform2{t}.
+std::vector<std::vector<int>> h2_minima(int k) {
+  const std::uint32_t nwords = std::uint32_t{1} << k;
+  std::vector<std::vector<int>> best(
+      nwords, std::vector<int>(256, std::numeric_limits<int>::max()));
+  for (std::uint32_t code = 0; code < nwords; ++code) {
+    const int t = bits::word_transitions(code, k);
+    for (unsigned tt = 0; tt < 256; ++tt) {
+      const std::uint32_t word = decode_block_h2(Transform2{tt}, code, k);
+      best[word][tt] = std::min(best[word][tt], t);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+H2CodeStats solve_h2_stats(int k) {
+  check_k(k);
+  const auto minima = h2_minima(k);
+  H2CodeStats stats;
+  stats.k = k;
+  for (std::uint32_t word = 0; word < minima.size(); ++word) {
+    stats.ttn += bits::word_transitions(word, k);
+    int best = std::numeric_limits<int>::max();
+    for (int v : minima[word]) best = std::min(best, v);
+    stats.rtn += best;
+  }
+  return stats;
+}
+
+int greedy_h2_subset_size(int max_k) {
+  check_k(max_k);
+  // Requirement set: for every k and word, at least one selected transform
+  // must reach the per-word unrestricted optimum.
+  struct Requirement {
+    std::array<std::uint64_t, 4> satisfied_by{};  // 256-bit mask of transforms
+  };
+  std::vector<Requirement> requirements;
+  for (int k = 2; k <= max_k; ++k) {
+    const auto minima = h2_minima(k);
+    for (const auto& row : minima) {
+      int best = std::numeric_limits<int>::max();
+      for (int v : row) best = std::min(best, v);
+      Requirement req;
+      for (unsigned tt = 0; tt < 256; ++tt) {
+        if (row[tt] == best) req.satisfied_by[tt / 64] |= 1ULL << (tt % 64);
+      }
+      requirements.push_back(req);
+    }
+  }
+  // Greedy cover: repeatedly pick the transform satisfying the most
+  // outstanding requirements.
+  int selected = 0;
+  std::vector<bool> done(requirements.size(), false);
+  std::size_t remaining = requirements.size();
+  while (remaining > 0) {
+    int best_tt = -1;
+    std::size_t best_cover = 0;
+    for (unsigned tt = 0; tt < 256; ++tt) {
+      std::size_t cover = 0;
+      for (std::size_t r = 0; r < requirements.size(); ++r) {
+        if (!done[r] &&
+            (requirements[r].satisfied_by[tt / 64] >> (tt % 64)) & 1ULL) {
+          ++cover;
+        }
+      }
+      if (cover > best_cover) {
+        best_cover = cover;
+        best_tt = static_cast<int>(tt);
+      }
+    }
+    if (best_tt < 0) break;  // unsatisfiable (cannot happen: identity covers)
+    ++selected;
+    for (std::size_t r = 0; r < requirements.size(); ++r) {
+      if (!done[r] &&
+          (requirements[r].satisfied_by[static_cast<unsigned>(best_tt) / 64] >>
+           (static_cast<unsigned>(best_tt) % 64)) & 1ULL) {
+        done[r] = true;
+        --remaining;
+      }
+    }
+  }
+  return selected;
+}
+
+}  // namespace asimt::core

@@ -1,0 +1,63 @@
+// Two-bit-history transformations — the extension direction §5.1 leaves
+// open ("while transformations with various history lengths can be
+// considered, in this paper we concentrate ... on one bit history").
+//
+// With h = 2 the restoring function is x_n = τ(x̃_n, x_{n-1}, x_{n-2}), one
+// of the 2^(2^3) = 256 three-input Boolean functions. The first two bits of
+// a block are stored plain. The ext_history2 bench quantifies how much the
+// extra history buys over the paper's h = 1 codes (and what it costs: 8-bit
+// control fields instead of 3-bit, plus an extra history flip-flop per bus
+// line).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace asimt::core {
+
+// A three-input Boolean function encoded as an 8-bit truth table:
+// bit (x + 2*y1 + 4*y2) holds τ(x, y1, y2) where y1 = x_{n-1}, y2 = x_{n-2}.
+class Transform2 {
+ public:
+  constexpr Transform2() : tt_(0b10101010) {}  // identity in x
+  constexpr explicit Transform2(unsigned truth_table)
+      : tt_(truth_table & 0xFFu) {}
+
+  constexpr int apply(int x, int y1, int y2) const {
+    return static_cast<int>(
+        (tt_ >> ((x & 1) + 2 * (y1 & 1) + 4 * (y2 & 1))) & 1u);
+  }
+
+  constexpr unsigned truth_table() const { return tt_; }
+  constexpr bool operator==(const Transform2&) const = default;
+
+ private:
+  unsigned tt_;
+};
+
+// Decodes a chain-initial h=2 block: x_0 = x̃_0, x_1 = x̃_1, then
+// x_i = τ(x̃_i, x_{i-1}, x_{i-2}).
+std::uint32_t decode_block_h2(Transform2 tau, std::uint32_t code, int k);
+
+// Per-word optimum over all 256 functions (h=2 analogue of Fig. 3's RTN).
+struct H2CodeStats {
+  int k = 0;
+  long long ttn = 0;
+  long long rtn = 0;
+  double improvement_percent() const {
+    return ttn == 0 ? 0.0
+                    : 100.0 * static_cast<double>(ttn - rtn) /
+                          static_cast<double>(ttn);
+  }
+};
+
+// Exhaustive h=2 table statistics for one block size (k in [2, 12]).
+H2CodeStats solve_h2_stats(int k);
+
+// Smallest number of h=2 transforms achieving the unrestricted h=2 optimum
+// for every block size in [2, max_k] — greedy set-cover style upper bound
+// (exact subset search over 2^256 is impossible; this mirrors how a hardware
+// designer would size the control field).
+int greedy_h2_subset_size(int max_k);
+
+}  // namespace asimt::core

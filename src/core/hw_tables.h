@@ -1,0 +1,68 @@
+// The reprogrammable decode-side tables of the paper's hardware architecture
+// (§7.2, Fig. 5): the Transformation Table (TT) and the Basic Block
+// Identification Table (BBIT).
+//
+// One TT entry holds, for a single k-instruction block position, the 3-bit
+// transformation index of every one of the 32 bus lines, plus the E
+// (end-of-basic-block) delimiter and the CT tail-length counter. A BBIT
+// entry maps a basic block's starting PC to its first TT entry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/transform.h"
+
+namespace asimt::core {
+
+inline constexpr unsigned kBusLines = 32;
+inline constexpr unsigned kTauIndexBits = 3;  // indexes kPaperSubset
+
+struct TtEntry {
+  // kPaperSubset index per bus line (Fig. 5a's per-line control fields).
+  std::array<std::uint8_t, kBusLines> tau{};
+  bool end = false;     // E: this entry covers the block's tail sequence
+  std::uint8_t ct = 0;  // tail length in instructions, read only when E set
+
+  Transform transform(unsigned line) const {
+    return kPaperSubset[tau[line] & ((1u << kTauIndexBits) - 1)];
+  }
+
+  bool operator==(const TtEntry&) const = default;
+};
+
+// The TT contents for one application loop, plus the block size the encoder
+// used (a fixed hardware parameter in a real implementation).
+struct TtConfig {
+  int block_size = 5;
+  std::vector<TtEntry> entries;
+
+  // Storage cost of one entry in bits: 32 lines x 3 bits + E + CT.
+  static constexpr unsigned entry_bits() {
+    return kBusLines * kTauIndexBits + 1 + 3;
+  }
+
+  bool operator==(const TtConfig&) const = default;
+};
+
+struct BbitEntry {
+  std::uint32_t pc = 0;        // starting PC of the basic block
+  std::uint16_t tt_index = 0;  // first TT entry for that block
+
+  bool operator==(const BbitEntry&) const = default;
+};
+
+// TT entries needed for a basic block of `instructions` instructions with
+// one-bit overlap between consecutive k-blocks (DESIGN.md §6 rule 7).
+constexpr int tt_entries_for(std::size_t instructions, int block_size) {
+  if (instructions == 0) return 0;
+  const std::size_t k = static_cast<std::size_t>(block_size);
+  if (instructions <= k) return 1;
+  const std::size_t extra = instructions - k;
+  const std::size_t step = k - 1;
+  return 1 + static_cast<int>((extra + step - 1) / step);
+}
+
+}  // namespace asimt::core

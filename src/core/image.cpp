@@ -1,0 +1,121 @@
+#include "core/image.h"
+
+#include "core/tt_format.h"
+
+namespace asimt::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x544D5341u;  // 'ASMT' little-endian
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    if (pos_ + 4 > bytes_.size()) throw ImageError("image truncated");
+    const std::uint32_t v = static_cast<std::uint32_t>(bytes_[pos_]) |
+                            (static_cast<std::uint32_t>(bytes_[pos_ + 1]) << 8) |
+                            (static_cast<std::uint32_t>(bytes_[pos_ + 2]) << 16) |
+                            (static_cast<std::uint32_t>(bytes_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return v;
+  }
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::uint32_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t hash = 2166136261u;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const FirmwareImage& image) {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + 4 * image.text.size() + 16 * image.tt.entries.size() +
+              8 * image.bbit.size() + 4);
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(image.tt.block_size));
+  put_u32(out, image.text_base);
+  put_u32(out, static_cast<std::uint32_t>(image.text.size()));
+  put_u32(out, static_cast<std::uint32_t>(image.tt.entries.size()));
+  put_u32(out, static_cast<std::uint32_t>(image.bbit.size()));
+  for (std::uint32_t word : image.text) put_u32(out, word);
+  for (const TtEntry& entry : image.tt.entries) {
+    for (std::uint32_t word : pack_tt_entry(entry)) put_u32(out, word);
+  }
+  for (const BbitEntry& entry : image.bbit) {
+    put_u32(out, entry.pc);
+    put_u32(out, entry.tt_index);
+  }
+  put_u32(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+FirmwareImage deserialize(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 32) throw ImageError("image too small");
+  const std::uint32_t stored_checksum =
+      static_cast<std::uint32_t>(bytes[bytes.size() - 4]) |
+      (static_cast<std::uint32_t>(bytes[bytes.size() - 3]) << 8) |
+      (static_cast<std::uint32_t>(bytes[bytes.size() - 2]) << 16) |
+      (static_cast<std::uint32_t>(bytes[bytes.size() - 1]) << 24);
+  if (fnv1a(bytes.data(), bytes.size() - 4) != stored_checksum) {
+    throw ImageError("image checksum mismatch");
+  }
+
+  Reader reader(bytes);
+  if (reader.u32() != kMagic) throw ImageError("bad image magic");
+  if (reader.u32() != kVersion) throw ImageError("unsupported image version");
+
+  FirmwareImage image;
+  const std::uint32_t block_size = reader.u32();
+  if (block_size < 2 || block_size > 16) throw ImageError("bad block size");
+  image.tt.block_size = static_cast<int>(block_size);
+  image.text_base = reader.u32();
+  const std::uint32_t text_words = reader.u32();
+  const std::uint32_t tt_entries = reader.u32();
+  const std::uint32_t bbit_entries = reader.u32();
+  const std::size_t expected =
+      28 + 4ull * text_words + 16ull * tt_entries + 8ull * bbit_entries + 4;
+  if (bytes.size() != expected) throw ImageError("image length mismatch");
+
+  image.text.reserve(text_words);
+  for (std::uint32_t i = 0; i < text_words; ++i) image.text.push_back(reader.u32());
+  image.tt.entries.reserve(tt_entries);
+  for (std::uint32_t i = 0; i < tt_entries; ++i) {
+    std::array<std::uint32_t, kTtEntryWords> words{};
+    for (std::uint32_t& w : words) w = reader.u32();
+    image.tt.entries.push_back(unpack_tt_entry(words));
+  }
+  image.bbit.reserve(bbit_entries);
+  for (std::uint32_t i = 0; i < bbit_entries; ++i) {
+    BbitEntry entry;
+    entry.pc = reader.u32();
+    const std::uint32_t index = reader.u32();
+    if (index >= tt_entries) throw ImageError("BBIT index out of range");
+    entry.tt_index = static_cast<std::uint16_t>(index);
+    image.bbit.push_back(entry);
+  }
+  return image;
+}
+
+}  // namespace asimt::core

@@ -1,0 +1,43 @@
+// Firmware-image serialization — the first reprogramming alternative of
+// §7.1: "load the content of these tables at the same time as the
+// application code upload to the instruction memory. This approach is
+// particularly suitable for firmware applications."
+//
+// A FirmwareImage bundles the power-encoded text segment with the TT and
+// BBIT contents that make it decodable, in a versioned, checksummed binary
+// format a boot loader could ship to flash.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hw_tables.h"
+
+namespace asimt::core {
+
+class ImageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FirmwareImage {
+  std::uint32_t text_base = 0;
+  std::vector<std::uint32_t> text;  // power-encoded instruction words
+  TtConfig tt;
+  std::vector<BbitEntry> bbit;
+
+  bool operator==(const FirmwareImage&) const = default;
+};
+
+// Binary layout (all fields little-endian 32-bit words):
+//   magic 'ASMT', format version, block size, text base, text words,
+//   TT entry count, BBIT entry count, payload (text, packed TT entries,
+//   BBIT pc/index pairs), FNV-1a checksum over everything before it.
+std::vector<std::uint8_t> serialize(const FirmwareImage& image);
+
+// Parses and validates (magic, version, lengths, checksum, BBIT indices in
+// range). Throws ImageError on any corruption.
+FirmwareImage deserialize(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace asimt::core

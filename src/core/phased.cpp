@@ -1,0 +1,112 @@
+#include "core/phased.h"
+
+#include <algorithm>
+
+namespace asimt::core {
+
+std::uint64_t Phase::reprogram_instructions_per_entry() const {
+  // One li for the peripheral base plus (li, sw) per register write:
+  // reset, block size, TT index seed, four data words per TT entry, two
+  // writes per BBIT pair, and the enable. li of a 32-bit constant is two
+  // instructions in the worst case; count every li as two for a
+  // conservative estimate.
+  const std::uint64_t stores = 3 + 4 * selection.tt.entries.size() +
+                               2 * selection.bbit.size() + 1;
+  return 2 + 3 * stores;  // li (2 words) + sw per store
+}
+
+std::vector<std::uint32_t> PhasedSelection::apply_to_text(
+    std::span<const std::uint32_t> original_text,
+    std::uint32_t text_base) const {
+  std::vector<std::uint32_t> image(original_text.begin(), original_text.end());
+  for (const Phase& phase : phases) {
+    for (const BlockEncoding& enc : phase.selection.encodings) {
+      const std::size_t first = (enc.start_pc - text_base) / 4;
+      for (std::size_t i = 0; i < enc.encoded_words.size(); ++i) {
+        image[first + i] = enc.encoded_words[i];
+      }
+    }
+  }
+  return image;
+}
+
+PhasedSelection select_phased(const cfg::Cfg& cfg, const cfg::Profile& profile,
+                              const SelectionOptions& options,
+                              PhaseGranularity granularity) {
+  const std::vector<cfg::Loop> all_loops = cfg::find_natural_loops(cfg);
+
+  std::vector<cfg::Loop> loops;
+  std::vector<int> owner(cfg.blocks.size(), -1);
+  if (granularity == PhaseGranularity::kOutermostLoops) {
+    // A phase is a MAXIMAL loop nest: software reprograms once per nest
+    // entry, not before every inner-loop trip. Keep only loops not nested
+    // inside another loop.
+    for (std::size_t i = 0; i < all_loops.size(); ++i) {
+      bool nested = false;
+      for (std::size_t j = 0; j < all_loops.size() && !nested; ++j) {
+        if (i == j || all_loops[j].body.size() <= all_loops[i].body.size()) continue;
+        nested = std::includes(all_loops[j].body.begin(), all_loops[j].body.end(),
+                               all_loops[i].body.begin(), all_loops[i].body.end());
+      }
+      if (!nested) loops.push_back(all_loops[i]);
+    }
+    // Assign each block to the (first) maximal loop containing it.
+    for (std::size_t li = 0; li < loops.size(); ++li) {
+      for (int block : loops[li].body) {
+        const auto b = static_cast<std::size_t>(block);
+        if (owner[b] < 0) owner[b] = static_cast<int>(li);
+      }
+    }
+  } else {
+    // Innermost granularity: each block belongs to the smallest loop
+    // containing it; every loop becomes a phase with the full budget.
+    loops = all_loops;
+    std::vector<std::size_t> owner_size(cfg.blocks.size(), ~std::size_t{0});
+    for (std::size_t li = 0; li < loops.size(); ++li) {
+      for (int block : loops[li].body) {
+        const auto b = static_cast<std::size_t>(block);
+        if (loops[li].body.size() < owner_size[b]) {
+          owner[b] = static_cast<int>(li);
+          owner_size[b] = loops[li].body.size();
+        }
+      }
+    }
+  }
+
+  PhasedSelection result;
+  for (std::size_t li = 0; li < loops.size(); ++li) {
+    Phase phase;
+    phase.loop_header = loops[li].header;
+    for (std::size_t b = 0; b < owner.size(); ++b) {
+      if (owner[b] == static_cast<int>(li)) phase.blocks.push_back(static_cast<int>(b));
+    }
+    if (phase.blocks.empty()) continue;
+
+    // Selection sees only this phase's blocks.
+    cfg::Profile restricted = profile;
+    for (std::size_t b = 0; b < restricted.block_counts.size(); ++b) {
+      if (owner[b] != static_cast<int>(li)) restricted.block_counts[b] = 0;
+    }
+    phase.selection = select_and_encode(cfg, restricted, options);
+    if (phase.selection.encodings.empty()) continue;
+
+    // Dynamic activations: edges entering the phase from non-phase blocks.
+    for (const auto& [key, count] : profile.edge_counts) {
+      const int from = static_cast<int>(key >> 32);
+      const int to = static_cast<int>(key & 0xFFFFFFFFu);
+      if (owner[static_cast<std::size_t>(to)] == static_cast<int>(li) &&
+          owner[static_cast<std::size_t>(from)] != static_cast<int>(li)) {
+        phase.entries_from_outside += count;
+      }
+    }
+    result.reprogram_instructions +=
+        phase.entries_from_outside * phase.reprogram_instructions_per_entry();
+    result.phases.push_back(std::move(phase));
+  }
+
+  const auto image = result.apply_to_text(cfg.text, cfg.text_base);
+  result.encoded_transitions = cfg::dynamic_transitions(cfg, profile, image);
+  return result;
+}
+
+}  // namespace asimt::core

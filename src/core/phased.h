@@ -1,0 +1,64 @@
+// Phased Transformation Table management.
+//
+// §7.1's software path reloads the TT "just prior to entering the loop
+// under consideration" — which means the 16-entry budget is per LOOP, not
+// per program: before each hot loop, software swaps in that loop's tables.
+// Encoded images of different loops coexist in instruction memory (they
+// cover disjoint basic blocks); only the decode-side tables are switched.
+//
+// This module partitions the program into phases (one per natural loop,
+// blocks assigned to their innermost loop), runs hot-block selection with
+// the full TT budget inside each phase, and accounts for the reprogramming
+// cost: the configuration stores executed every time control enters the
+// phase from outside.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "core/selection.h"
+
+namespace asimt::core {
+
+struct Phase {
+  int loop_header = -1;          // block index of the phase's loop header
+  std::vector<int> blocks;       // blocks owned by this phase (sorted)
+  SelectionResult selection;     // TT/BBIT for this phase, full budget
+  std::uint64_t entries_from_outside = 0;  // dynamic phase activations
+  // Instructions the §7.1 configuration stub executes per activation:
+  // li+sw per register write (reset, block size, TT index, 4 words per TT
+  // entry, 2 per BBIT pair, enable).
+  std::uint64_t reprogram_instructions_per_entry() const;
+};
+
+struct PhasedSelection {
+  std::vector<Phase> phases;
+
+  // Dynamic bus transitions with every phase's blocks encoded (the combined
+  // image) — excludes reprogramming overhead.
+  long long encoded_transitions = 0;
+  // Total dynamic instructions spent reprogramming across the run.
+  std::uint64_t reprogram_instructions = 0;
+
+  // The union image: every phase's encoded blocks patched into the text.
+  std::vector<std::uint32_t> apply_to_text(
+      std::span<const std::uint32_t> original_text,
+      std::uint32_t text_base) const;
+};
+
+// Phase granularity: one phase per maximal loop nest (reprogram once per
+// nest entry — cheap, but the nest shares one TT budget) or one per
+// innermost loop (every loop gets the full budget, paid for by
+// reprogramming on each inner-loop entry).
+enum class PhaseGranularity { kOutermostLoops, kInnermostLoops };
+
+// Builds phases from the CFG's natural loops, selects per phase under
+// `options` (the TT budget applies to each phase independently), and
+// evaluates the result against `profile`.
+PhasedSelection select_phased(
+    const cfg::Cfg& cfg, const cfg::Profile& profile,
+    const SelectionOptions& options,
+    PhaseGranularity granularity = PhaseGranularity::kOutermostLoops);
+
+}  // namespace asimt::core

@@ -1,0 +1,87 @@
+#include "core/program_encoder.h"
+
+#include <stdexcept>
+
+#include "bitstream/bitseq.h"
+
+namespace asimt::core {
+
+BlockEncoding encode_basic_block(std::span<const std::uint32_t> words,
+                                 std::uint32_t start_pc,
+                                 const ChainOptions& options) {
+  for (Transform t : options.allowed) {
+    if (paper_subset_index(t) < 0) {
+      throw std::invalid_argument(
+          "encode_basic_block: transform set must fit 3-bit TT indices");
+    }
+  }
+  BlockEncoding enc;
+  enc.start_pc = start_pc;
+  enc.block_size = options.block_size;
+  enc.original_words.assign(words.begin(), words.end());
+  enc.original_transitions = bits::total_bus_transitions(words);
+  if (words.empty()) return enc;
+
+  const std::size_t m = words.size();
+  const auto layout = ChainEncoder::partition(m, options.block_size);
+  enc.tt_entries.resize(layout.size());
+
+  std::vector<bits::BitSeq> stored_lines(kBusLines);
+  const ChainEncoder encoder(options);
+  for (unsigned line = 0; line < kBusLines; ++line) {
+    const bits::BitSeq original = bits::vertical_line(words, line);
+    EncodedChain chain = encoder.encode(original);
+    if (chain.blocks.size() != layout.size()) {
+      throw std::logic_error("encode_basic_block: partition mismatch");
+    }
+    for (std::size_t bi = 0; bi < chain.blocks.size(); ++bi) {
+      enc.tt_entries[bi].tau[line] =
+          static_cast<std::uint8_t>(paper_subset_index(chain.blocks[bi].tau));
+    }
+    stored_lines[line] = std::move(chain.stored);
+  }
+  enc.encoded_words = bits::from_vertical_lines(stored_lines, m);
+  enc.encoded_transitions = bits::total_bus_transitions(enc.encoded_words);
+
+  // E/CT mark the tail block (paper §7.2). CT counts the instructions the
+  // tail sequence covers, overlap bit included.
+  TtEntry& tail = enc.tt_entries.back();
+  tail.end = true;
+  tail.ct = static_cast<std::uint8_t>(layout.back().length);
+  return enc;
+}
+
+std::vector<std::uint32_t> decode_basic_block(
+    std::span<const std::uint32_t> encoded_words,
+    std::span<const TtEntry> tt_entries, int block_size) {
+  const std::size_t m = encoded_words.size();
+  std::vector<std::uint32_t> decoded(m, 0);
+  if (m == 0) return decoded;
+
+  const auto layout = ChainEncoder::partition(m, block_size);
+  if (layout.size() != tt_entries.size()) {
+    throw std::invalid_argument("decode_basic_block: TT entry count mismatch");
+  }
+  decoded[0] = encoded_words[0];  // chain-initial words stored plain
+  for (std::size_t bi = 0; bi < layout.size(); ++bi) {
+    const ChainBlock& block = layout[bi];
+    // History registers reload from the raw bus word at each block start.
+    std::uint32_t history = encoded_words[block.start];
+    for (int j = 1; j < block.length; ++j) {
+      const std::size_t pos = block.start + static_cast<std::size_t>(j);
+      std::uint32_t word = 0;
+      for (unsigned line = 0; line < kBusLines; ++line) {
+        const int enc_bit = static_cast<int>((encoded_words[pos] >> line) & 1u);
+        const int hist_bit = static_cast<int>((history >> line) & 1u);
+        word |= static_cast<std::uint32_t>(
+                    tt_entries[bi].transform(line).apply(enc_bit, hist_bit))
+                << line;
+      }
+      decoded[pos] = word;
+      history = word;
+    }
+  }
+  return decoded;
+}
+
+}  // namespace asimt::core

@@ -1,0 +1,51 @@
+// Basic-block-level power encoding ("vertical" instruction transformation,
+// paper §4/§6).
+//
+// Takes the instruction words of one basic block, encodes each of the 32 bus
+// lines independently as a chain of overlapped k-blocks, and emits both the
+// power-efficient words to store in instruction memory and the TT entries the
+// fetch-side decoder needs to restore the originals.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/chain_encoder.h"
+#include "core/hw_tables.h"
+
+namespace asimt::core {
+
+// The encoding of one basic block.
+struct BlockEncoding {
+  std::uint32_t start_pc = 0;
+  int block_size = 0;
+  std::vector<std::uint32_t> original_words;
+  std::vector<std::uint32_t> encoded_words;
+  std::vector<TtEntry> tt_entries;  // one per k-block position, E/CT set
+
+  // Static intra-block bus transitions before/after encoding: the savings
+  // every execution of this block realizes.
+  long long original_transitions = 0;
+  long long encoded_transitions = 0;
+
+  long long saved_transitions() const {
+    return original_transitions - encoded_transitions;
+  }
+};
+
+// Encodes one basic block. The transform set in `options.allowed` must be a
+// subset of kPaperSubset so every chosen transform has a 3-bit TT index
+// (throws std::invalid_argument otherwise).
+BlockEncoding encode_basic_block(std::span<const std::uint32_t> words,
+                                 std::uint32_t start_pc,
+                                 const ChainOptions& options);
+
+// Software re-implementation of the decode path (block-structured, not the
+// cycle-level hardware model — see FetchDecoder for that). Used as the
+// encoder's self-check.
+std::vector<std::uint32_t> decode_basic_block(
+    std::span<const std::uint32_t> encoded_words,
+    std::span<const TtEntry> tt_entries, int block_size);
+
+}  // namespace asimt::core

@@ -1,0 +1,119 @@
+#include "core/selection.h"
+
+#include <algorithm>
+
+namespace asimt::core {
+
+std::vector<std::uint32_t> SelectionResult::apply_to_text(
+    std::span<const std::uint32_t> original_text,
+    std::uint32_t text_base) const {
+  std::vector<std::uint32_t> image(original_text.begin(), original_text.end());
+  for (const BlockEncoding& enc : encodings) {
+    const std::size_t first = (enc.start_pc - text_base) / 4;
+    for (std::size_t i = 0; i < enc.encoded_words.size(); ++i) {
+      image[first + i] = enc.encoded_words[i];
+    }
+  }
+  return image;
+}
+
+SelectionResult select_and_encode(const cfg::Cfg& cfg,
+                                  const cfg::Profile& profile,
+                                  const SelectionOptions& options) {
+  struct Candidate {
+    BlockEncoding encoding;
+    int cost = 0;           // TT entries
+    long long benefit = 0;  // saved transitions x executions
+  };
+
+  std::vector<Candidate> candidates;
+  for (const cfg::BasicBlock& block : cfg.blocks) {
+    const std::uint64_t count =
+        profile.block_counts[static_cast<std::size_t>(block.index)];
+    if (count < options.min_executions) continue;
+    if (block.instruction_count() < 2) continue;  // nothing vertical to encode
+    Candidate c;
+    c.encoding = encode_basic_block(cfg.block_words(block), block.start,
+                                    options.chain);
+    c.cost = tt_entries_for(block.instruction_count(), options.chain.block_size);
+    c.benefit = c.encoding.saved_transitions() * static_cast<long long>(count);
+    if (c.benefit <= 0) continue;
+    candidates.push_back(std::move(c));
+  }
+
+  if (options.policy == SelectionPolicy::kGreedyDensity) {
+    // Highest benefit per TT entry first; ties broken by address for
+    // determinism.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                const auto lhs = static_cast<double>(a.benefit) / a.cost;
+                const auto rhs = static_cast<double>(b.benefit) / b.cost;
+                if (lhs != rhs) return lhs > rhs;
+                return a.encoding.start_pc < b.encoding.start_pc;
+              });
+  } else {
+    // Exact 0/1 knapsack over TT entries (budgets are tiny, so the DP is
+    // cheap); the BBIT budget is handled by a second DP dimension.
+    const int w_max = std::max(options.tt_budget, 0);
+    const int n_max = std::max(options.bbit_budget, 0);
+    // value[w][n]: best total benefit with w entries and n blocks used.
+    std::vector<std::vector<long long>> value(
+        static_cast<std::size_t>(w_max) + 1,
+        std::vector<long long>(static_cast<std::size_t>(n_max) + 1, 0));
+    std::vector<std::vector<std::vector<bool>>> take(
+        candidates.size(),
+        std::vector<std::vector<bool>>(
+            static_cast<std::size_t>(w_max) + 1,
+            std::vector<bool>(static_cast<std::size_t>(n_max) + 1, false)));
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Candidate& c = candidates[i];
+      for (int w = w_max; w >= c.cost; --w) {
+        for (int n = n_max; n >= 1; --n) {
+          const long long with =
+              value[static_cast<std::size_t>(w - c.cost)]
+                   [static_cast<std::size_t>(n - 1)] + c.benefit;
+          auto& cell = value[static_cast<std::size_t>(w)][static_cast<std::size_t>(n)];
+          if (with > cell) {
+            cell = with;
+            take[i][static_cast<std::size_t>(w)][static_cast<std::size_t>(n)] = true;
+          }
+        }
+      }
+    }
+    // Backtrack and keep only the chosen candidates (address order).
+    std::vector<Candidate> chosen;
+    int w = w_max, n = n_max;
+    for (std::size_t i = candidates.size(); i-- > 0;) {
+      if (take[i][static_cast<std::size_t>(w)][static_cast<std::size_t>(n)]) {
+        w -= candidates[i].cost;
+        --n;
+        chosen.push_back(std::move(candidates[i]));
+      }
+    }
+    std::sort(chosen.begin(), chosen.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.encoding.start_pc < b.encoding.start_pc;
+              });
+    candidates = std::move(chosen);
+  }
+
+  SelectionResult result;
+  result.tt.block_size = options.chain.block_size;
+  for (Candidate& c : candidates) {
+    if (result.tt_entries_used + c.cost > options.tt_budget) continue;
+    if (static_cast<int>(result.bbit.size()) >= options.bbit_budget) break;
+    BbitEntry bbit;
+    bbit.pc = c.encoding.start_pc;
+    bbit.tt_index = static_cast<std::uint16_t>(result.tt.entries.size());
+    result.bbit.push_back(bbit);
+    result.tt.entries.insert(result.tt.entries.end(),
+                             c.encoding.tt_entries.begin(),
+                             c.encoding.tt_entries.end());
+    result.tt_entries_used += c.cost;
+    result.predicted_dynamic_savings += c.benefit;
+    result.encodings.push_back(std::move(c.encoding));
+  }
+  return result;
+}
+
+}  // namespace asimt::core

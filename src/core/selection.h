@@ -1,0 +1,52 @@
+// Hot-block selection under the Transformation Table budget (paper §7).
+//
+// The TT is a small SRAM (16 entries in the paper's evaluation), so only the
+// basic blocks that contribute most dynamic bus activity earn entries. Cold
+// blocks stay unencoded in memory (equivalently: identity transformation).
+// Selection is a greedy benefit/cost knapsack: benefit = statically saved
+// transitions x dynamic execution count, cost = TT entries required.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "core/program_encoder.h"
+
+namespace asimt::core {
+
+enum class SelectionPolicy {
+  kGreedyDensity,    // benefit per TT entry, descending (default)
+  kOptimalKnapsack,  // exact 0/1 knapsack over the TT budget
+};
+
+struct SelectionOptions {
+  ChainOptions chain;         // block size, transform set, strategy
+  int tt_budget = 16;         // paper §8: "up to 16 entries"
+  int bbit_budget = 16;       // paper §7.2: "typically ... in the range of 10"
+  std::uint64_t min_executions = 2;  // ignore blocks colder than this
+  SelectionPolicy policy = SelectionPolicy::kGreedyDensity;
+};
+
+struct SelectionResult {
+  std::vector<BlockEncoding> encodings;  // chosen blocks, encode order = TT order
+  TtConfig tt;
+  std::vector<BbitEntry> bbit;
+  int tt_entries_used = 0;
+  // Predicted dynamic intra-block transition savings (selection's objective;
+  // the harness measures the true value including block-boundary effects).
+  long long predicted_dynamic_savings = 0;
+
+  // Patches the encoded words of every selected block into a copy of the
+  // original text segment, producing the image the instruction memory holds.
+  std::vector<std::uint32_t> apply_to_text(
+      std::span<const std::uint32_t> original_text,
+      std::uint32_t text_base) const;
+};
+
+SelectionResult select_and_encode(const cfg::Cfg& cfg,
+                                  const cfg::Profile& profile,
+                                  const SelectionOptions& options);
+
+}  // namespace asimt::core

@@ -1,0 +1,27 @@
+#include "core/transform.h"
+
+namespace asimt::core {
+
+std::string Transform::name() const {
+  switch (tt_) {
+    case 0b1010: return "x";
+    case 0b0101: return "~x";
+    case 0b1100: return "y";
+    case 0b0011: return "~y";
+    case 0b0110: return "xor";
+    case 0b1001: return "xnor";
+    case 0b0001: return "nor";
+    case 0b0111: return "nand";
+    case 0b0000: return "0";
+    case 0b1111: return "1";
+    case 0b1000: return "and";
+    case 0b1110: return "or";
+    case 0b0010: return "x&~y";
+    case 0b0100: return "~x&y";
+    case 0b1011: return "x|~y";
+    case 0b1101: return "~x|y";
+    default: return "?";
+  }
+}
+
+}  // namespace asimt::core

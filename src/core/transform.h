@@ -1,0 +1,109 @@
+// The functional transformations of the paper (§5.1).
+//
+// A transformation τ restores an original bit from the encoded (bus) bit and
+// one bit of history: x_n = τ(x̃_n, x_{n-1}). With one history bit, τ is one
+// of the 16 two-input Boolean functions. §5.2 shows that a fixed subset of 8
+// of them achieves, for every block size up to 7, the same optimum as the
+// full set — this subset is what the 3-bit TT control fields index.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace asimt::core {
+
+// One two-input Boolean function τ(x, y).
+//
+// x is the current encoded bit, y the history bit. Encoded as a 4-bit truth
+// table: bit (x + 2y) of `truth_table` holds τ(x, y).
+class Transform {
+ public:
+  constexpr Transform() : tt_(0b1010) {}  // identity: τ(x,y) = x
+  constexpr explicit Transform(unsigned truth_table) : tt_(truth_table & 0xFu) {}
+
+  constexpr int apply(int x, int y) const {
+    return static_cast<int>((tt_ >> ((x & 1) + 2 * (y & 1))) & 1u);
+  }
+
+  constexpr unsigned truth_table() const { return tt_; }
+
+  // The transform obtained by inverting every bit of both X and X̃ — the
+  // symmetry the paper uses to show only half of each code table (§5.2):
+  // τ'(x, y) = ¬τ(¬x, ¬y). Swaps XOR↔XNOR and NOR↔NAND, fixes x/x̄/y/ȳ.
+  constexpr Transform dual() const {
+    unsigned d = 0;
+    for (int x = 0; x < 2; ++x) {
+      for (int y = 0; y < 2; ++y) {
+        const int v = 1 - apply(1 - x, 1 - y);
+        d |= static_cast<unsigned>(v) << (x + 2 * y);
+      }
+    }
+    return Transform{d};
+  }
+
+  // True when τ(·, y) is a bijection for every history value — i.e. the
+  // encoded bit is always recoverable from the original bit and history.
+  // Exactly four transforms have this property: x, x̄, XOR, XNOR.
+  constexpr bool invertible_in_x() const {
+    return apply(0, 0) != apply(1, 0) && apply(0, 1) != apply(1, 1);
+  }
+
+  // Human-readable name in the paper's notation ("x", "~x", "~y", "xor", ...).
+  std::string name() const;
+
+  constexpr bool operator==(const Transform&) const = default;
+  // Orders transforms by truth table; lets Transform key ordered containers.
+  constexpr auto operator<=>(const Transform&) const = default;
+
+ private:
+  unsigned tt_;
+};
+
+// Named transforms. The first eight, in this order, are the paper's
+// sufficient subset (§5.2); their position in kPaperSubset is the 3-bit
+// index stored in Transformation Table entries.
+inline constexpr Transform kIdentity{0b1010};   // τ(x,y) = x
+inline constexpr Transform kInvert{0b0101};     // τ(x,y) = ~x
+inline constexpr Transform kHistory{0b1100};    // τ(x,y) = y
+inline constexpr Transform kNotHistory{0b0011}; // τ(x,y) = ~y
+inline constexpr Transform kXor{0b0110};
+inline constexpr Transform kXnor{0b1001};
+inline constexpr Transform kNor{0b0001};
+inline constexpr Transform kNand{0b0111};
+inline constexpr Transform kConst0{0b0000};
+inline constexpr Transform kConst1{0b1111};
+inline constexpr Transform kAnd{0b1000};
+inline constexpr Transform kOr{0b1110};
+inline constexpr Transform kXAndNotY{0b0010};   // x & ~y
+inline constexpr Transform kNotXAndY{0b0100};   // ~x & y
+inline constexpr Transform kXOrNotY{0b1011};    // x | ~y
+inline constexpr Transform kNotXOrY{0b1101};    // ~x | y
+
+// The paper's 8-transform subset. Index into this array is the TT control
+// field value (3 bits per bus line).
+inline constexpr std::array<Transform, 8> kPaperSubset = {
+    kIdentity, kInvert, kHistory, kNotHistory, kXor, kXnor, kNor, kNand};
+
+// All 16 two-input functions, the "unrestricted" universe of §5.1. Ordered
+// with the paper subset first so that solver tie-breaking prefers the
+// hardware-supported transforms.
+inline constexpr std::array<Transform, 16> kAllTransforms = {
+    kIdentity, kInvert,   kHistory, kNotHistory, kXor,      kXnor,
+    kNor,      kNand,     kConst0,  kConst1,     kAnd,      kOr,
+    kXAndNotY, kNotXAndY, kXOrNotY, kNotXOrY};
+
+// Only the four transforms invertible in x.
+inline constexpr std::array<Transform, 4> kInvertibleSubset = {
+    kIdentity, kInvert, kXor, kXnor};
+
+// Index of `t` within kPaperSubset, or -1 if it is not a member.
+constexpr int paper_subset_index(Transform t) {
+  for (std::size_t i = 0; i < kPaperSubset.size(); ++i) {
+    if (kPaperSubset[i] == t) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace asimt::core

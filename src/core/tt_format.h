@@ -1,0 +1,49 @@
+// Wire format for Transformation Table entries.
+//
+// A TT entry is 100 bits of hardware state (32 lines x 3-bit transform
+// index, the E delimiter, the 3-bit CT tail counter). Both reprogramming
+// paths of §7.1 move entries as four 32-bit words:
+//
+//   word 0  lines  0..9   (3 bits each, line 0 in bits [2:0])
+//   word 1  lines 10..19
+//   word 2  lines 20..29
+//   word 3  bits [5:0] = lines 30..31, bit 6 = E, bits [11:7] = CT (5 bits: tails up to the max block size 16)
+//
+// The firmware-image loader (core/image.h) and the memory-mapped decoder
+// peripheral (sim/decoder_port.h) share this packing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/hw_tables.h"
+
+namespace asimt::core {
+
+inline constexpr std::size_t kTtEntryWords = 4;
+
+constexpr std::array<std::uint32_t, kTtEntryWords> pack_tt_entry(
+    const TtEntry& entry) {
+  std::array<std::uint32_t, kTtEntryWords> words{};
+  for (unsigned line = 0; line < kBusLines; ++line) {
+    const std::uint32_t tau = entry.tau[line] & 0x7u;
+    words[line / 10] |= tau << (3 * (line % 10));
+  }
+  words[3] |= static_cast<std::uint32_t>(entry.end ? 1 : 0) << 6;
+  words[3] |= static_cast<std::uint32_t>(entry.ct & 0x1Fu) << 7;
+  return words;
+}
+
+constexpr TtEntry unpack_tt_entry(
+    const std::array<std::uint32_t, kTtEntryWords>& words) {
+  TtEntry entry;
+  for (unsigned line = 0; line < kBusLines; ++line) {
+    entry.tau[line] =
+        static_cast<std::uint8_t>((words[line / 10] >> (3 * (line % 10))) & 0x7u);
+  }
+  entry.end = ((words[3] >> 6) & 1u) != 0;
+  entry.ct = static_cast<std::uint8_t>((words[3] >> 7) & 0x1Fu);
+  return entry;
+}
+
+}  // namespace asimt::core

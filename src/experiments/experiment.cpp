@@ -1,0 +1,167 @@
+#include "experiments/experiment.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "baselines/bus_codes.h"
+#include "core/fetch_decoder.h"
+#include "isa/assembler.h"
+#include "power/power.h"
+#include "sim/bus.h"
+#include "sim/cpu.h"
+
+namespace asimt::experiments {
+
+long long dynamic_transitions(const cfg::Cfg& cfg, const cfg::Profile& profile,
+                              std::span<const std::uint32_t> image) {
+  return cfg::dynamic_transitions(cfg, profile, image);
+}
+
+namespace {
+
+// Verifies that the cycle-level FetchDecoder hardware model restores every
+// original word of every selected block when fed the encoded bus stream.
+void verify_selection_decodes(const core::SelectionResult& selection) {
+  core::FetchDecoder decoder(selection.tt, selection.bbit);
+  for (const core::BlockEncoding& enc : selection.encodings) {
+    for (std::size_t i = 0; i < enc.encoded_words.size(); ++i) {
+      const std::uint32_t pc =
+          enc.start_pc + 4 * static_cast<std::uint32_t>(i);
+      const std::uint32_t decoded = decoder.feed(pc, enc.encoded_words[i]);
+      if (decoded != enc.original_words[i]) {
+        throw std::logic_error(
+            "FetchDecoder failed to restore word at pc=" + std::to_string(pc));
+      }
+    }
+    if (decoder.in_encoded_mode()) {
+      throw std::logic_error("FetchDecoder did not exit encoded mode at block end");
+    }
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_workload(const workloads::Workload& workload,
+                            const ExperimentOptions& options) {
+  WorkloadResult result;
+  result.name = workload.name;
+
+  const isa::Program program = isa::assemble(workload.source);
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+
+  // --- single simulation: profile, correctness, Bus-Invert baseline -------
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  workload.init(memory, cpu.state());
+
+  cfg::Profiler profiler(cfg);
+  baselines::BusInvertMonitor bus_invert;
+  const std::uint64_t steps =
+      cpu.run(options.max_steps, [&](std::uint32_t pc, std::uint32_t word) {
+        profiler.on_fetch(pc);
+        bus_invert.observe(word);
+      });
+  if (!cpu.state().halted) {
+    throw std::runtime_error(workload.name + ": did not halt within step budget");
+  }
+  result.instructions = steps;
+  result.bus_invert_transitions = bus_invert.transitions();
+
+  std::string error;
+  result.check_passed = workload.check(memory, &error);
+  result.check_error = error;
+
+  const cfg::Profile profile = profiler.take();
+  result.baseline_transitions = cfg::dynamic_transitions(cfg, profile, cfg.text);
+
+  // --- per block size: select, encode, verify, measure --------------------
+  for (const int k : options.block_sizes) {
+    core::SelectionOptions sel;
+    sel.chain.block_size = k;
+    sel.chain.strategy = options.strategy;
+    sel.tt_budget = options.tt_budget;
+    sel.bbit_budget = options.bbit_budget;
+    const core::SelectionResult selection =
+        core::select_and_encode(cfg, profile, sel);
+    if (options.verify_decode) verify_selection_decodes(selection);
+
+    const std::vector<std::uint32_t> image =
+        selection.apply_to_text(cfg.text, cfg.text_base);
+
+    PerBlockSizeResult per;
+    per.block_size = k;
+    per.transitions = cfg::dynamic_transitions(cfg, profile, image);
+    per.reduction_percent =
+        power::reduction_percent(result.baseline_transitions, per.transitions);
+    per.tt_entries_used = selection.tt_entries_used;
+    per.blocks_encoded = static_cast<int>(selection.encodings.size());
+    for (const core::BlockEncoding& enc : selection.encodings) {
+      const int idx = cfg.block_starting_at(enc.start_pc);
+      per.decoded_fetches +=
+          profile.block_counts[static_cast<std::size_t>(idx)] *
+          enc.original_words.size();
+    }
+    result.per_block_size.push_back(per);
+  }
+  return result;
+}
+
+std::string format_fig6_table(const std::vector<WorkloadResult>& results) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-14s", "");
+  out += buf;
+  for (const WorkloadResult& r : results) {
+    std::snprintf(buf, sizeof buf, "%10s", r.name.c_str());
+    out += buf;
+  }
+  out += '\n';
+
+  auto row_label = [&](const std::string& label) {
+    std::snprintf(buf, sizeof buf, "%-14s", label.c_str());
+    out += buf;
+  };
+
+  row_label("#TR");
+  for (const WorkloadResult& r : results) {
+    std::snprintf(buf, sizeof buf, "%10.2f",
+                  static_cast<double>(r.baseline_transitions) / 1e6);
+    out += buf;
+  }
+  out += '\n';
+
+  const std::size_t sweeps = results.empty() ? 0 : results[0].per_block_size.size();
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    row_label("#" + std::to_string(results[0].per_block_size[s].block_size) +
+              "-block");
+    for (const WorkloadResult& r : results) {
+      std::snprintf(buf, sizeof buf, "%10.2f",
+                    static_cast<double>(r.per_block_size[s].transitions) / 1e6);
+      out += buf;
+    }
+    out += '\n';
+    row_label("Reduction(%)");
+    for (const WorkloadResult& r : results) {
+      std::snprintf(buf, sizeof buf, "%10.1f",
+                    r.per_block_size[s].reduction_percent);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool fast_mode() {
+  const char* value = std::getenv("ASIMT_FAST");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+workloads::SizeConfig bench_sizes() {
+  return fast_mode() ? workloads::SizeConfig::small() : workloads::SizeConfig{};
+}
+
+}  // namespace asimt::experiments

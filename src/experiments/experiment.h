@@ -1,0 +1,76 @@
+// The measurement harness behind the paper's §8 evaluation (Figures 6 and 7)
+// and the ablation benches.
+//
+// Pipeline per workload:
+//   assemble -> build CFG -> simulate once (profile + correctness check +
+//   Bus-Invert baseline) -> for each block size: select hot blocks under the
+//   TT budget, encode, verify the hardware decode restores every original
+//   word, and compute dynamic bus transitions.
+//
+// Dynamic transitions are computed analytically from the profile: execution
+// within a basic block is strictly sequential, so
+//   total = sum_blocks count(b) * intra_transitions(b, image)
+//         + sum_dynamic_edges count(e) * hamming(last_word(from), first_word(to))
+// which is exact for any text image and lets one simulation serve every
+// configuration. (Tests cross-validate this against direct bus monitoring.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "core/selection.h"
+#include "workloads/workload.h"
+
+namespace asimt::experiments {
+
+struct PerBlockSizeResult {
+  int block_size = 0;
+  long long transitions = 0;       // dynamic bus transitions after encoding
+  double reduction_percent = 0.0;  // vs. the unencoded baseline
+  int tt_entries_used = 0;
+  int blocks_encoded = 0;
+  std::uint64_t decoded_fetches = 0;  // dynamic fetches inside encoded blocks
+};
+
+struct WorkloadResult {
+  std::string name;
+  std::uint64_t instructions = 0;
+  long long baseline_transitions = 0;
+  std::vector<PerBlockSizeResult> per_block_size;
+  long long bus_invert_transitions = 0;  // A4 ablation baseline
+  bool check_passed = false;
+  std::string check_error;
+};
+
+struct ExperimentOptions {
+  std::vector<int> block_sizes = {4, 5, 6, 7};  // the paper's sweep
+  int tt_budget = 16;                           // paper: "up to 16 entries"
+  int bbit_budget = 16;
+  core::ChainStrategy strategy = core::ChainStrategy::kGreedy;
+  // Re-decode every selected block through the FetchDecoder hardware model
+  // and require exact restoration (cheap; on by default).
+  bool verify_decode = true;
+  std::uint64_t max_steps = 500'000'000;
+};
+
+// Runs one workload through the full pipeline.
+WorkloadResult run_workload(const workloads::Workload& workload,
+                            const ExperimentOptions& options);
+
+// Analytic dynamic transition count for `image` under `profile` (see file
+// comment). `image` must cover the same text range as `cfg`.
+long long dynamic_transitions(const cfg::Cfg& cfg, const cfg::Profile& profile,
+                              std::span<const std::uint32_t> image);
+
+// Formats a WorkloadResult table row set in the style of the paper's Fig. 6.
+std::string format_fig6_table(const std::vector<WorkloadResult>& results);
+
+// True when the ASIMT_FAST environment variable asks for reduced problem
+// sizes (used by benches so CI-style runs stay quick).
+bool fast_mode();
+workloads::SizeConfig bench_sizes();
+
+}  // namespace asimt::experiments

@@ -1,0 +1,53 @@
+#include "experiments/reprogram.h"
+
+#include <cstdio>
+
+#include "core/tt_format.h"
+#include "sim/decoder_port.h"
+
+namespace asimt::experiments {
+
+namespace {
+
+void emit_store(std::string& out, std::uint32_t value, std::uint32_t offset) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "        li      $t9, 0x%x\n"
+                "        sw      $t9, %u($t8)\n",
+                value, offset);
+  out += buf;
+}
+
+}  // namespace
+
+std::string decoder_config_assembly(const core::TtConfig& tt,
+                                    std::span<const core::BbitEntry> bbit,
+                                    std::uint32_t mmio_base) {
+  using sim::DecoderPeripheral;
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "        # program the ASIMT decoder peripheral\n"
+                "        li      $t8, 0x%x\n",
+                mmio_base);
+  out += buf;
+  emit_store(out, 2, DecoderPeripheral::kCtrl);  // reset
+  emit_store(out, static_cast<std::uint32_t>(tt.block_size),
+             DecoderPeripheral::kBlockSize);
+  emit_store(out, 0, DecoderPeripheral::kTtIndex);
+  for (const core::TtEntry& entry : tt.entries) {
+    const auto words = core::pack_tt_entry(entry);
+    emit_store(out, words[0], DecoderPeripheral::kTtData0);
+    emit_store(out, words[1], DecoderPeripheral::kTtData1);
+    emit_store(out, words[2], DecoderPeripheral::kTtData2);
+    emit_store(out, words[3], DecoderPeripheral::kTtData3);  // commits
+  }
+  for (const core::BbitEntry& entry : bbit) {
+    emit_store(out, entry.pc, DecoderPeripheral::kBbitPc);
+    emit_store(out, entry.tt_index, DecoderPeripheral::kBbitIndex);
+  }
+  emit_store(out, 1, DecoderPeripheral::kCtrl);  // enable decode
+  return out;
+}
+
+}  // namespace asimt::experiments

@@ -1,0 +1,21 @@
+// Generates the "set of instructions inserted within the application code
+// and executed just prior to entering the loop" (§7.1): an assembly
+// sequence that programs a DecoderPeripheral's TT and BBIT through its
+// memory-mapped registers and flips the enable bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/hw_tables.h"
+
+namespace asimt::experiments {
+
+// Emits assembly text (clobbers $t8/$t9) that resets the peripheral mapped
+// at `mmio_base`, uploads every TT entry and BBIT pair, and enables decode.
+std::string decoder_config_assembly(const core::TtConfig& tt,
+                                    std::span<const core::BbitEntry> bbit,
+                                    std::uint32_t mmio_base);
+
+}  // namespace asimt::experiments

@@ -1,0 +1,779 @@
+#include "isa/assembler.h"
+
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+
+#include "isa/isa.h"
+
+namespace asimt::isa {
+
+std::uint32_t Program::symbol(const std::string& label) const {
+  auto it = symbols.find(label);
+  if (it == symbols.end()) {
+    throw std::out_of_range("undefined symbol: " + label);
+  }
+  return it->second;
+}
+
+namespace {
+
+struct Statement {
+  int line = 0;
+  std::string mnemonic;               // lower-case, empty for directives-only
+  std::vector<std::string> operands;  // comma-separated, trimmed
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool is_label_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+class Assembler {
+ public:
+  explicit Assembler(AssemblerOptions options) : options_(options) {
+    program_.text_base = options.text_base;
+    program_.data_base = options.data_base;
+  }
+
+  Program run(std::string_view source) {
+    parse(source);
+    layout_pass();
+    emit_pass();
+    return std::move(program_);
+  }
+
+ private:
+  enum class Section { kText, kData };
+
+  struct Line {
+    int number = 0;
+    std::vector<std::string> labels;
+    Statement stmt;  // mnemonic may be a directive (starts with '.')
+    bool has_stmt = false;
+  };
+
+  [[noreturn]] void fail(int line, const std::string& msg) const {
+    throw AssemblyError(line, msg);
+  }
+
+  // ---- parsing ---------------------------------------------------------
+
+  void parse(std::string_view source) {
+    int number = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      const std::size_t eol = source.find('\n', pos);
+      std::string raw(source.substr(
+          pos, eol == std::string_view::npos ? std::string_view::npos
+                                             : eol - pos));
+      ++number;
+      parse_line(number, raw);
+      if (eol == std::string_view::npos) break;
+      pos = eol + 1;
+    }
+  }
+
+  void parse_line(int number, std::string raw) {
+    // Strip comments.
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '#' || raw[i] == ';') {
+        raw.resize(i);
+        break;
+      }
+    }
+    Line line;
+    line.number = number;
+    std::string rest = trim(raw);
+    // Leading labels.
+    while (true) {
+      std::size_t i = 0;
+      while (i < rest.size() && is_label_char(rest[i])) ++i;
+      if (i == 0 || i >= rest.size() || rest[i] != ':') break;
+      line.labels.push_back(rest.substr(0, i));
+      rest = trim(rest.substr(i + 1));
+    }
+    if (!rest.empty()) {
+      std::size_t i = 0;
+      while (i < rest.size() && !std::isspace(static_cast<unsigned char>(rest[i]))) ++i;
+      line.stmt.line = number;
+      line.stmt.mnemonic = lower(rest.substr(0, i));
+      std::string ops = trim(rest.substr(i));
+      if (!ops.empty()) {
+        std::size_t start = 0;
+        int depth = 0;
+        for (std::size_t j = 0; j <= ops.size(); ++j) {
+          if (j == ops.size() || (ops[j] == ',' && depth == 0)) {
+            line.stmt.operands.push_back(trim(ops.substr(start, j - start)));
+            start = j + 1;
+          } else if (ops[j] == '(') {
+            ++depth;
+          } else if (ops[j] == ')') {
+            --depth;
+          }
+        }
+      }
+      line.has_stmt = true;
+    }
+    if (!line.labels.empty() || line.has_stmt) lines_.push_back(std::move(line));
+  }
+
+  // ---- pass 1: layout ----------------------------------------------------
+
+  static int li_words(std::int64_t v) {
+    if (v >= -32768 && v <= 32767) return 1;  // addiu
+    if (v >= 0 && v <= 65535) return 1;       // ori
+    return 2;                                 // lui + ori
+  }
+
+  void layout_pass() {
+    Section section = Section::kText;
+    std::uint32_t text_pc = options_.text_base;
+    std::uint32_t data_pc = options_.data_base;
+    for (const Line& line : lines_) {
+      std::uint32_t& pc = section == Section::kText ? text_pc : data_pc;
+      for (const std::string& label : line.labels) {
+        if (program_.symbols.count(label)) {
+          fail(line.number, "duplicate label: " + label);
+        }
+        program_.symbols[label] = pc;
+      }
+      if (!line.has_stmt) continue;
+      const Statement& s = line.stmt;
+      if (s.mnemonic == ".text") {
+        section = Section::kText;
+        if (!s.operands.empty()) {
+          fail(line.number, ".text with explicit address is unsupported");
+        }
+      } else if (s.mnemonic == ".data") {
+        section = Section::kData;
+        if (!s.operands.empty()) {
+          fail(line.number, ".data with explicit address is unsupported");
+        }
+      } else if (s.mnemonic == ".word" || s.mnemonic == ".float") {
+        if (section != Section::kData) fail(line.number, "data directive outside .data");
+        data_pc += 4 * static_cast<std::uint32_t>(s.operands.size());
+      } else if (s.mnemonic == ".space") {
+        if (section != Section::kData) fail(line.number, ".space outside .data");
+        data_pc += static_cast<std::uint32_t>(parse_integer(line.number, s.operands.at(0)));
+      } else if (s.mnemonic == ".align") {
+        const auto n = static_cast<std::uint32_t>(parse_integer(line.number, s.operands.at(0)));
+        const std::uint32_t align = 1u << n;
+        std::uint32_t& p = section == Section::kText ? text_pc : data_pc;
+        p = (p + align - 1) & ~(align - 1);
+      } else if (s.mnemonic == ".globl" || s.mnemonic == ".global") {
+        // accepted and ignored
+      } else if (s.mnemonic[0] == '.') {
+        fail(line.number, "unknown directive: " + s.mnemonic);
+      } else {
+        if (section != Section::kText) fail(line.number, "instruction outside .text");
+        text_pc += 4 * static_cast<std::uint32_t>(instruction_words_pass1(s));
+      }
+    }
+  }
+
+  // Pass-1 sizing; immediates must be literal for size-variable pseudos.
+  int instruction_words_pass1(const Statement& s) const {
+    const std::string& m = s.mnemonic;
+    if (m == "li") {
+      if (s.operands.size() != 2) fail(s.line, "li needs 2 operands");
+      return li_words(parse_integer(s.line, s.operands[1]));
+    }
+    if (m == "la" || m == "li.s" || m == "mul" || m == "blt" || m == "bgt" ||
+        m == "ble" || m == "bge") {
+      return 2;
+    }
+    return 1;
+  }
+
+  // ---- pass 2: emission --------------------------------------------------
+
+  void emit_pass() {
+    Section section = Section::kText;
+    for (const Line& line : lines_) {
+      if (!line.has_stmt) continue;
+      const Statement& s = line.stmt;
+      if (s.mnemonic == ".text") {
+        section = Section::kText;
+      } else if (s.mnemonic == ".data") {
+        section = Section::kData;
+      } else if (s.mnemonic == ".word") {
+        for (const std::string& op : s.operands) {
+          emit_data_word(static_cast<std::uint32_t>(parse_value(line.number, op)));
+        }
+      } else if (s.mnemonic == ".float") {
+        for (const std::string& op : s.operands) {
+          emit_data_word(std::bit_cast<std::uint32_t>(parse_float(line.number, op)));
+        }
+      } else if (s.mnemonic == ".space") {
+        const auto n = static_cast<std::size_t>(parse_integer(line.number, s.operands.at(0)));
+        program_.data.insert(program_.data.end(), n, 0);
+      } else if (s.mnemonic == ".align") {
+        const auto n = static_cast<std::uint32_t>(parse_integer(line.number, s.operands.at(0)));
+        const std::uint32_t align = 1u << n;
+        if (section == Section::kData) {
+          while (program_.data.size() % align) program_.data.push_back(0);
+        } else {
+          while ((program_.text.size() * 4) % align) emit(nop_word());
+        }
+      } else if (s.mnemonic == ".globl" || s.mnemonic == ".global") {
+        // ignored
+      } else {
+        emit_instruction(s);
+      }
+    }
+  }
+
+  static std::uint32_t nop_word() { return 0; }
+
+  void emit(std::uint32_t word) { program_.text.push_back(word); }
+
+  void emit(const Instruction& inst) { emit(encode(inst)); }
+
+  void emit_data_word(std::uint32_t v) {
+    program_.data.push_back(static_cast<std::uint8_t>(v));
+    program_.data.push_back(static_cast<std::uint8_t>(v >> 8));
+    program_.data.push_back(static_cast<std::uint8_t>(v >> 16));
+    program_.data.push_back(static_cast<std::uint8_t>(v >> 24));
+  }
+
+  std::uint32_t here() const {
+    return program_.text_base + 4 * static_cast<std::uint32_t>(program_.text.size());
+  }
+
+  // ---- operand parsing -----------------------------------------------------
+
+  std::int64_t parse_integer(int line, const std::string& text) const {
+    const std::string t = trim(text);
+    if (t.empty()) fail(line, "empty integer operand");
+    char* end = nullptr;
+    const long long v = std::strtoll(t.c_str(), &end, 0);
+    if (end != t.c_str() + t.size()) fail(line, "bad integer: " + t);
+    return v;
+  }
+
+  float parse_float(int line, const std::string& text) const {
+    const std::string t = trim(text);
+    char* end = nullptr;
+    const float v = std::strtof(t.c_str(), &end);
+    if (end != t.c_str() + t.size()) fail(line, "bad float: " + t);
+    return v;
+  }
+
+  // Integer literal, label address, or %hi/%lo of a label.
+  std::int64_t parse_value(int line, const std::string& text) const {
+    const std::string t = trim(text);
+    if (t.empty()) fail(line, "empty operand");
+    if (t.rfind("%hi(", 0) == 0 && t.back() == ')') {
+      return (resolve_label(line, t.substr(4, t.size() - 5)) >> 16) & 0xFFFF;
+    }
+    if (t.rfind("%lo(", 0) == 0 && t.back() == ')') {
+      return resolve_label(line, t.substr(4, t.size() - 5)) & 0xFFFF;
+    }
+    if (std::isdigit(static_cast<unsigned char>(t[0])) || t[0] == '-' || t[0] == '+') {
+      return parse_integer(line, t);
+    }
+    return resolve_label(line, t);
+  }
+
+  std::uint32_t resolve_label(int line, const std::string& name) const {
+    auto it = program_.symbols.find(trim(name));
+    if (it == program_.symbols.end()) fail(line, "undefined label: " + name);
+    return it->second;
+  }
+
+  unsigned reg_operand(int line, const std::string& text) const {
+    auto r = parse_reg(trim(text));
+    if (!r) fail(line, "expected integer register, got: " + text);
+    return *r;
+  }
+
+  unsigned freg_operand(int line, const std::string& text) const {
+    auto r = parse_freg(trim(text));
+    if (!r) fail(line, "expected FP register, got: " + text);
+    return *r;
+  }
+
+  // off($reg): returns {offset, base register}.
+  std::pair<std::int32_t, unsigned> mem_operand(int line, const std::string& text) const {
+    const std::string t = trim(text);
+    const std::size_t open = t.find('(');
+    if (open == std::string::npos || t.back() != ')') {
+      fail(line, "expected mem operand off($reg), got: " + text);
+    }
+    const std::string off = trim(t.substr(0, open));
+    const std::string base = t.substr(open + 1, t.size() - open - 2);
+    std::int64_t offset = off.empty() ? 0 : parse_value(line, off);
+    if (offset < -32768 || offset > 32767) fail(line, "mem offset out of range");
+    return {static_cast<std::int32_t>(offset), reg_operand(line, base)};
+  }
+
+  std::int32_t imm16_operand(int line, const std::string& text, bool zero_ext) const {
+    const std::int64_t v = parse_value(line, text);
+    if (zero_ext ? (v < 0 || v > 65535) : (v < -32768 || v > 65535)) {
+      fail(line, "immediate out of 16-bit range: " + text);
+    }
+    return static_cast<std::int32_t>(v);
+  }
+
+  std::int32_t branch_offset(int line, const std::string& label_text) const {
+    const std::uint32_t target = static_cast<std::uint32_t>(parse_value(line, label_text));
+    const std::int64_t delta =
+        (static_cast<std::int64_t>(target) - (static_cast<std::int64_t>(here()) + 4)) >> 2;
+    if (delta < -32768 || delta > 32767) fail(line, "branch target out of range");
+    return static_cast<std::int32_t>(delta);
+  }
+
+  // ---- instruction emission ------------------------------------------------
+
+  void expect_operands(const Statement& s, std::size_t n) const {
+    if (s.operands.size() != n) {
+      fail(s.line, s.mnemonic + " expects " + std::to_string(n) + " operands");
+    }
+  }
+
+  void emit_r3(const Statement& s, Op op) {
+    expect_operands(s, 3);
+    Instruction i;
+    i.op = op;
+    i.rd = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+    i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+    i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[2]));
+    emit(i);
+  }
+
+  void emit_shift(const Statement& s, Op op) {
+    expect_operands(s, 3);
+    Instruction i;
+    i.op = op;
+    i.rd = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+    i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+    const std::int64_t sh = parse_integer(s.line, s.operands[2]);
+    if (sh < 0 || sh > 31) fail(s.line, "shift amount out of range");
+    i.shamt = static_cast<std::uint8_t>(sh);
+    emit(i);
+  }
+
+  void emit_shiftv(const Statement& s, Op op) {
+    expect_operands(s, 3);
+    Instruction i;
+    i.op = op;
+    i.rd = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+    i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+    i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[2]));
+    emit(i);
+  }
+
+  void emit_imm(const Statement& s, Op op, bool zero_ext) {
+    expect_operands(s, 3);
+    Instruction i;
+    i.op = op;
+    i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+    i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+    i.imm = imm16_operand(s.line, s.operands[2], zero_ext);
+    emit(i);
+  }
+
+  void emit_mem(const Statement& s, Op op, bool fp) {
+    expect_operands(s, 2);
+    Instruction i;
+    i.op = op;
+    if (fp) {
+      i.ft = static_cast<std::uint8_t>(freg_operand(s.line, s.operands[0]));
+    } else {
+      i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+    }
+    const auto [offset, base] = mem_operand(s.line, s.operands[1]);
+    i.imm = offset;
+    i.rs = static_cast<std::uint8_t>(base);
+    emit(i);
+  }
+
+  void emit_f3(const Statement& s, Op op) {
+    expect_operands(s, 3);
+    Instruction i;
+    i.op = op;
+    i.fd = static_cast<std::uint8_t>(freg_operand(s.line, s.operands[0]));
+    i.fs = static_cast<std::uint8_t>(freg_operand(s.line, s.operands[1]));
+    i.ft = static_cast<std::uint8_t>(freg_operand(s.line, s.operands[2]));
+    emit(i);
+  }
+
+  void emit_f2(const Statement& s, Op op) {
+    expect_operands(s, 2);
+    Instruction i;
+    i.op = op;
+    i.fd = static_cast<std::uint8_t>(freg_operand(s.line, s.operands[0]));
+    i.fs = static_cast<std::uint8_t>(freg_operand(s.line, s.operands[1]));
+    emit(i);
+  }
+
+  void emit_fcmp(const Statement& s, Op op) {
+    expect_operands(s, 2);
+    Instruction i;
+    i.op = op;
+    i.fs = static_cast<std::uint8_t>(freg_operand(s.line, s.operands[0]));
+    i.ft = static_cast<std::uint8_t>(freg_operand(s.line, s.operands[1]));
+    emit(i);
+  }
+
+  void emit_branch2(const Statement& s, Op op) {
+    expect_operands(s, 3);
+    Instruction i;
+    i.op = op;
+    i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+    i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+    i.imm = branch_offset(s.line, s.operands[2]);
+    emit(i);
+  }
+
+  void emit_branch1(const Statement& s, Op op) {
+    expect_operands(s, 2);
+    Instruction i;
+    i.op = op;
+    i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+    i.imm = branch_offset(s.line, s.operands[1]);
+    emit(i);
+  }
+
+  void emit_li(int line, unsigned rd, std::int64_t v) {
+    Instruction i;
+    if (v >= -32768 && v <= 32767) {
+      i.op = Op::kAddiu;
+      i.rt = static_cast<std::uint8_t>(rd);
+      i.rs = 0;
+      i.imm = static_cast<std::int32_t>(v);
+      emit(i);
+    } else if (v >= 0 && v <= 65535) {
+      i.op = Op::kOri;
+      i.rt = static_cast<std::uint8_t>(rd);
+      i.rs = 0;
+      i.imm = static_cast<std::int32_t>(v);
+      emit(i);
+    } else {
+      const auto u = static_cast<std::uint32_t>(v);
+      i.op = Op::kLui;
+      i.rt = static_cast<std::uint8_t>(rd);
+      i.imm = static_cast<std::int32_t>(u >> 16);
+      emit(i);
+      Instruction j;
+      j.op = Op::kOri;
+      j.rt = static_cast<std::uint8_t>(rd);
+      j.rs = static_cast<std::uint8_t>(rd);
+      j.imm = static_cast<std::int32_t>(u & 0xFFFFu);
+      emit(j);
+    }
+    (void)line;
+  }
+
+  // Compare-and-branch pseudos: slt $at, a, b (or swapped) + beq/bne.
+  void emit_cmp_branch(const Statement& s, bool swap, bool branch_on_set) {
+    expect_operands(s, 3);
+    const unsigned a = reg_operand(s.line, s.operands[0]);
+    const unsigned b = reg_operand(s.line, s.operands[1]);
+    Instruction slt;
+    slt.op = Op::kSlt;
+    slt.rd = kAt;
+    slt.rs = static_cast<std::uint8_t>(swap ? b : a);
+    slt.rt = static_cast<std::uint8_t>(swap ? a : b);
+    emit(slt);
+    Instruction br;
+    br.op = branch_on_set ? Op::kBne : Op::kBeq;
+    br.rs = kAt;
+    br.rt = 0;
+    br.imm = branch_offset(s.line, s.operands[2]);
+    emit(br);
+  }
+
+  void emit_instruction(const Statement& s) {
+    const std::string& m = s.mnemonic;
+    // R-type ALU.
+    if (m == "add") return emit_r3(s, Op::kAdd);
+    if (m == "addu") return emit_r3(s, Op::kAddu);
+    if (m == "sub") return emit_r3(s, Op::kSub);
+    if (m == "subu") return emit_r3(s, Op::kSubu);
+    if (m == "and") return emit_r3(s, Op::kAnd);
+    if (m == "or") return emit_r3(s, Op::kOr);
+    if (m == "xor") return emit_r3(s, Op::kXor);
+    if (m == "nor") return emit_r3(s, Op::kNor);
+    if (m == "slt") return emit_r3(s, Op::kSlt);
+    if (m == "sltu") return emit_r3(s, Op::kSltu);
+    if (m == "sll") return emit_shift(s, Op::kSll);
+    if (m == "srl") return emit_shift(s, Op::kSrl);
+    if (m == "sra") return emit_shift(s, Op::kSra);
+    if (m == "sllv") return emit_shiftv(s, Op::kSllv);
+    if (m == "srlv") return emit_shiftv(s, Op::kSrlv);
+    if (m == "srav") return emit_shiftv(s, Op::kSrav);
+    // hi/lo.
+    if (m == "mult" || m == "multu" || m == "div" || m == "divu") {
+      expect_operands(s, 2);
+      Instruction i;
+      i.op = m == "mult" ? Op::kMult
+             : m == "multu" ? Op::kMultu
+             : m == "div" ? Op::kDiv
+                          : Op::kDivu;
+      i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+      return emit(i);
+    }
+    if (m == "mfhi" || m == "mflo") {
+      expect_operands(s, 1);
+      Instruction i;
+      i.op = m == "mfhi" ? Op::kMfhi : Op::kMflo;
+      i.rd = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      return emit(i);
+    }
+    if (m == "mthi" || m == "mtlo") {
+      expect_operands(s, 1);
+      Instruction i;
+      i.op = m == "mthi" ? Op::kMthi : Op::kMtlo;
+      i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      return emit(i);
+    }
+    // Immediates.
+    if (m == "addi") return emit_imm(s, Op::kAddi, false);
+    if (m == "addiu") return emit_imm(s, Op::kAddiu, false);
+    if (m == "slti") return emit_imm(s, Op::kSlti, false);
+    if (m == "sltiu") return emit_imm(s, Op::kSltiu, false);
+    if (m == "andi") return emit_imm(s, Op::kAndi, true);
+    if (m == "ori") return emit_imm(s, Op::kOri, true);
+    if (m == "xori") return emit_imm(s, Op::kXori, true);
+    if (m == "lui") {
+      expect_operands(s, 2);
+      Instruction i;
+      i.op = Op::kLui;
+      i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      i.imm = imm16_operand(s.line, s.operands[1], true);
+      return emit(i);
+    }
+    // Memory.
+    if (m == "lb") return emit_mem(s, Op::kLb, false);
+    if (m == "lh") return emit_mem(s, Op::kLh, false);
+    if (m == "lw") return emit_mem(s, Op::kLw, false);
+    if (m == "lbu") return emit_mem(s, Op::kLbu, false);
+    if (m == "lhu") return emit_mem(s, Op::kLhu, false);
+    if (m == "sb") return emit_mem(s, Op::kSb, false);
+    if (m == "sh") return emit_mem(s, Op::kSh, false);
+    if (m == "sw") return emit_mem(s, Op::kSw, false);
+    if (m == "lwc1" || m == "l.s") return emit_mem(s, Op::kLwc1, true);
+    if (m == "swc1" || m == "s.s") return emit_mem(s, Op::kSwc1, true);
+    // Branches and jumps.
+    if (m == "beq") return emit_branch2(s, Op::kBeq);
+    if (m == "bne") return emit_branch2(s, Op::kBne);
+    if (m == "blez") return emit_branch1(s, Op::kBlez);
+    if (m == "bgtz") return emit_branch1(s, Op::kBgtz);
+    if (m == "bltz") return emit_branch1(s, Op::kBltz);
+    if (m == "bgez") return emit_branch1(s, Op::kBgez);
+    if (m == "j" || m == "jal") {
+      expect_operands(s, 1);
+      Instruction i;
+      i.op = m == "j" ? Op::kJ : Op::kJal;
+      const std::uint32_t target = static_cast<std::uint32_t>(parse_value(s.line, s.operands[0]));
+      i.target = (target >> 2) & 0x03FFFFFFu;
+      return emit(i);
+    }
+    if (m == "jr") {
+      expect_operands(s, 1);
+      Instruction i;
+      i.op = Op::kJr;
+      i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      return emit(i);
+    }
+    if (m == "jalr") {
+      Instruction i;
+      i.op = Op::kJalr;
+      if (s.operands.size() == 1) {
+        i.rd = kRa;
+        i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      } else {
+        expect_operands(s, 2);
+        i.rd = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+        i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+      }
+      return emit(i);
+    }
+    // FP.
+    if (m == "add.s") return emit_f3(s, Op::kAddS);
+    if (m == "sub.s") return emit_f3(s, Op::kSubS);
+    if (m == "mul.s") return emit_f3(s, Op::kMulS);
+    if (m == "div.s") return emit_f3(s, Op::kDivS);
+    if (m == "sqrt.s") return emit_f2(s, Op::kSqrtS);
+    if (m == "abs.s") return emit_f2(s, Op::kAbsS);
+    if (m == "mov.s") return emit_f2(s, Op::kMovS);
+    if (m == "neg.s") return emit_f2(s, Op::kNegS);
+    if (m == "cvt.s.w") return emit_f2(s, Op::kCvtSW);
+    if (m == "trunc.w.s") return emit_f2(s, Op::kTruncWS);
+    if (m == "c.eq.s") return emit_fcmp(s, Op::kCEqS);
+    if (m == "c.lt.s") return emit_fcmp(s, Op::kCLtS);
+    if (m == "c.le.s") return emit_fcmp(s, Op::kCLeS);
+    if (m == "bc1f" || m == "bc1t") {
+      expect_operands(s, 1);
+      Instruction i;
+      i.op = m == "bc1t" ? Op::kBc1t : Op::kBc1f;
+      i.imm = branch_offset(s.line, s.operands[0]);
+      return emit(i);
+    }
+    if (m == "mfc1" || m == "mtc1") {
+      expect_operands(s, 2);
+      Instruction i;
+      i.op = m == "mfc1" ? Op::kMfc1 : Op::kMtc1;
+      i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      i.fs = static_cast<std::uint8_t>(freg_operand(s.line, s.operands[1]));
+      return emit(i);
+    }
+    // System.
+    if (m == "syscall") {
+      Instruction i;
+      i.op = Op::kSyscall;
+      return emit(i);
+    }
+    if (m == "break" || m == "halt") {
+      Instruction i;
+      i.op = Op::kBreak;
+      return emit(i);
+    }
+    // Pseudo-instructions.
+    if (m == "nop") {
+      expect_operands(s, 0);
+      return emit(nop_word());
+    }
+    if (m == "move") {
+      expect_operands(s, 2);
+      Instruction i;
+      i.op = Op::kAddu;
+      i.rd = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+      i.rt = 0;
+      return emit(i);
+    }
+    if (m == "li") {
+      expect_operands(s, 2);
+      return emit_li(s.line, reg_operand(s.line, s.operands[0]),
+                     parse_integer(s.line, s.operands[1]));
+    }
+    if (m == "la") {
+      expect_operands(s, 2);
+      const unsigned rd = reg_operand(s.line, s.operands[0]);
+      const auto addr = static_cast<std::uint32_t>(parse_value(s.line, s.operands[1]));
+      Instruction i;
+      i.op = Op::kLui;
+      i.rt = static_cast<std::uint8_t>(rd);
+      i.imm = static_cast<std::int32_t>(addr >> 16);
+      emit(i);
+      Instruction j;
+      j.op = Op::kOri;
+      j.rt = static_cast<std::uint8_t>(rd);
+      j.rs = static_cast<std::uint8_t>(rd);
+      j.imm = static_cast<std::int32_t>(addr & 0xFFFFu);
+      return emit(j);
+    }
+    if (m == "li.s") {
+      // Loads a float constant via $at: lui/ori + mtc1. Always two int
+      // instructions for stable pass-1 sizing (ori even when low bits are 0).
+      expect_operands(s, 2);
+      const unsigned fd = freg_operand(s.line, s.operands[0]);
+      const auto bitsv = std::bit_cast<std::uint32_t>(parse_float(s.line, s.operands[1]));
+      Instruction i;
+      i.op = Op::kLui;
+      i.rt = kAt;
+      i.imm = static_cast<std::int32_t>(bitsv >> 16);
+      emit(i);
+      // NOTE: pass-1 counts li.s as 2 words; keep emission at exactly 2.
+      if ((bitsv & 0xFFFFu) != 0) {
+        fail(s.line, "li.s constant needs nonzero low bits; use .float data");
+      }
+      Instruction k;
+      k.op = Op::kMtc1;
+      k.rt = kAt;
+      k.fs = static_cast<std::uint8_t>(fd);
+      return emit(k);
+    }
+    if (m == "b") {
+      expect_operands(s, 1);
+      Instruction i;
+      i.op = Op::kBeq;
+      i.rs = i.rt = 0;
+      i.imm = branch_offset(s.line, s.operands[0]);
+      return emit(i);
+    }
+    if (m == "beqz" || m == "bnez") {
+      expect_operands(s, 2);
+      Instruction i;
+      i.op = m == "beqz" ? Op::kBeq : Op::kBne;
+      i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      i.rt = 0;
+      i.imm = branch_offset(s.line, s.operands[1]);
+      return emit(i);
+    }
+    if (m == "blt") return emit_cmp_branch(s, false, true);   // slt a,b ; bne
+    if (m == "bge") return emit_cmp_branch(s, false, false);  // slt a,b ; beq
+    if (m == "bgt") return emit_cmp_branch(s, true, true);    // slt b,a ; bne
+    if (m == "ble") return emit_cmp_branch(s, true, false);   // slt b,a ; beq
+    if (m == "mul") {
+      expect_operands(s, 3);
+      Instruction i;
+      i.op = Op::kMult;
+      i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+      i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[2]));
+      emit(i);
+      Instruction j;
+      j.op = Op::kMflo;
+      j.rd = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      return emit(j);
+    }
+    if (m == "neg") {
+      expect_operands(s, 2);
+      Instruction i;
+      i.op = Op::kSubu;
+      i.rd = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      i.rs = 0;
+      i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+      return emit(i);
+    }
+    if (m == "not") {
+      expect_operands(s, 2);
+      Instruction i;
+      i.op = Op::kNor;
+      i.rd = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+      i.rt = 0;
+      return emit(i);
+    }
+    if (m == "subi") {
+      expect_operands(s, 3);
+      Instruction i;
+      i.op = Op::kAddiu;
+      i.rt = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[0]));
+      i.rs = static_cast<std::uint8_t>(reg_operand(s.line, s.operands[1]));
+      const std::int64_t v = parse_integer(s.line, s.operands[2]);
+      if (-v < -32768 || -v > 32767) fail(s.line, "subi immediate out of range");
+      i.imm = static_cast<std::int32_t>(-v);
+      return emit(i);
+    }
+    fail(s.line, "unknown mnemonic: " + m);
+  }
+
+  AssemblerOptions options_;
+  Program program_;
+  std::vector<Line> lines_;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source, AssemblerOptions options) {
+  return Assembler(options).run(source);
+}
+
+}  // namespace asimt::isa

@@ -1,0 +1,70 @@
+#include "isa/effects.h"
+
+namespace asimt::isa {
+
+namespace {
+
+std::uint32_t reg_bit(unsigned r) {
+  return r == 0 ? 0u : (1u << r);  // $zero never carries a dependence
+}
+
+}  // namespace
+
+Effects effects(const Instruction& i) {
+  Effects e;
+  auto read = [&](unsigned r) { e.int_reads |= reg_bit(r); };
+  auto write = [&](unsigned r) { e.int_writes |= reg_bit(r); };
+  auto fread = [&](unsigned r) { e.fp_reads |= 1u << r; };
+  auto fwrite = [&](unsigned r) { e.fp_writes |= 1u << r; };
+
+  switch (i.op) {
+    case Op::kSll: case Op::kSrl: case Op::kSra:
+      read(i.rt); write(i.rd); break;
+    case Op::kSllv: case Op::kSrlv: case Op::kSrav:
+      read(i.rt); read(i.rs); write(i.rd); break;
+    case Op::kAdd: case Op::kAddu: case Op::kSub: case Op::kSubu:
+    case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
+    case Op::kSlt: case Op::kSltu:
+      read(i.rs); read(i.rt); write(i.rd); break;
+    case Op::kMult: case Op::kMultu: case Op::kDiv: case Op::kDivu:
+      read(i.rs); read(i.rt); e.writes_hi = e.writes_lo = true; break;
+    case Op::kMfhi: e.reads_hi = true; write(i.rd); break;
+    case Op::kMflo: e.reads_lo = true; write(i.rd); break;
+    case Op::kMthi: read(i.rs); e.writes_hi = true; break;
+    case Op::kMtlo: read(i.rs); e.writes_lo = true; break;
+    case Op::kAddi: case Op::kAddiu: case Op::kSlti: case Op::kSltiu:
+    case Op::kAndi: case Op::kOri: case Op::kXori:
+      read(i.rs); write(i.rt); break;
+    case Op::kLui: write(i.rt); break;
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+      read(i.rs); write(i.rt); e.mem_read = true; break;
+    case Op::kSb: case Op::kSh: case Op::kSw:
+      read(i.rs); read(i.rt); e.mem_write = true; break;
+    case Op::kLwc1: read(i.rs); fwrite(i.ft); e.mem_read = true; break;
+    case Op::kSwc1: read(i.rs); fread(i.ft); e.mem_write = true; break;
+    case Op::kAddS: case Op::kSubS: case Op::kMulS: case Op::kDivS:
+      fread(i.fs); fread(i.ft); fwrite(i.fd); break;
+    case Op::kSqrtS: case Op::kAbsS: case Op::kMovS: case Op::kNegS:
+    case Op::kCvtSW: case Op::kTruncWS:
+      fread(i.fs); fwrite(i.fd); break;
+    case Op::kCEqS: case Op::kCLtS: case Op::kCLeS:
+      fread(i.fs); fread(i.ft); e.writes_fcc = true; break;
+    case Op::kMfc1: fread(i.fs); write(i.rt); break;
+    case Op::kMtc1: read(i.rt); fwrite(i.fs); break;
+    case Op::kBc1f: case Op::kBc1t:
+      e.reads_fcc = true; e.control = true; break;
+    case Op::kBeq: case Op::kBne:
+      read(i.rs); read(i.rt); e.control = true; break;
+    case Op::kBlez: case Op::kBgtz: case Op::kBltz: case Op::kBgez:
+      read(i.rs); e.control = true; break;
+    case Op::kJ: e.control = true; break;
+    case Op::kJal: write(kRa); e.control = true; break;
+    case Op::kJr: read(i.rs); e.control = true; break;
+    case Op::kJalr: read(i.rs); write(i.rd); e.control = true; break;
+    case Op::kSyscall: case Op::kBreak: e.control = true; break;
+    case Op::kInvalid: e.control = true; break;  // safest: a barrier
+  }
+  return e;
+}
+
+}  // namespace asimt::isa

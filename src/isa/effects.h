@@ -1,0 +1,59 @@
+// Architectural resource effects of one instruction: which registers and
+// machine resources it reads and writes. Used by the cold scheduler's
+// dependence analysis; useful to any client reordering or analyzing code.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace asimt::isa {
+
+struct Effects {
+  std::uint32_t int_reads = 0;   // bitmask over $0..$31 ($zero excluded)
+  std::uint32_t int_writes = 0;
+  std::uint32_t fp_reads = 0;    // bitmask over $f0..$f31
+  std::uint32_t fp_writes = 0;
+  bool reads_hi = false, writes_hi = false;
+  bool reads_lo = false, writes_lo = false;
+  bool reads_fcc = false, writes_fcc = false;
+  bool mem_read = false, mem_write = false;
+  bool control = false;  // branch/jump/halt/syscall: an ordering barrier
+
+  // True when `later` must stay after `this` (RAW/WAR/WAW on any resource,
+  // memory ordering with store involvement, or either being control flow).
+  bool conflicts_with(const Effects& later) const {
+    auto overlap = [](std::uint32_t a, std::uint32_t b) { return (a & b) != 0; };
+    if (control || later.control) return true;
+    if (overlap(int_writes, later.int_reads | later.int_writes)) return true;
+    if (overlap(int_reads, later.int_writes)) return true;
+    if (overlap(fp_writes, later.fp_reads | later.fp_writes)) return true;
+    if (overlap(fp_reads, later.fp_writes)) return true;
+    if ((writes_hi && (later.reads_hi || later.writes_hi)) ||
+        (reads_hi && later.writes_hi)) {
+      return true;
+    }
+    if ((writes_lo && (later.reads_lo || later.writes_lo)) ||
+        (reads_lo && later.writes_lo)) {
+      return true;
+    }
+    if ((writes_fcc && (later.reads_fcc || later.writes_fcc)) ||
+        (reads_fcc && later.writes_fcc)) {
+      return true;
+    }
+    // Loads commute with loads; anything involving a store is ordered
+    // (addresses are not analyzed).
+    if ((mem_write && (later.mem_read || later.mem_write)) ||
+        (mem_read && later.mem_write)) {
+      return true;
+    }
+    return false;
+  }
+};
+
+// Effects of a decoded instruction. Writes to $zero are dropped (hardware
+// ignores them) and reads of $zero are constant, so register 0 never
+// creates a dependence.
+Effects effects(const Instruction& inst);
+
+}  // namespace asimt::isa

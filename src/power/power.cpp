@@ -1,0 +1,44 @@
+#include "power/power.h"
+
+#include <cstdio>
+
+namespace asimt::power {
+
+double transition_energy_joules(long long transitions, const BusParams& params) {
+  return 0.5 * params.capacitance_farads * params.voltage * params.voltage *
+         static_cast<double>(transitions);
+}
+
+EnergyReport make_report(std::string label, long long transitions,
+                         std::uint64_t fetches, const BusParams& params) {
+  EnergyReport report;
+  report.label = std::move(label);
+  report.transitions = transitions;
+  report.fetches = fetches;
+  report.energy_joules = transition_energy_joules(transitions, params);
+  return report;
+}
+
+double reduction_percent(long long baseline, long long measured) {
+  if (baseline == 0) return 0.0;
+  return 100.0 * static_cast<double>(baseline - measured) /
+         static_cast<double>(baseline);
+}
+
+std::string format_comparison(const EnergyReport& baseline,
+                              const EnergyReport& encoded) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "%-16s %14lld transitions  %8.3f uJ  (%.3f trans/fetch)\n"
+      "%-16s %14lld transitions  %8.3f uJ  (%.3f trans/fetch)\n"
+      "reduction: %.1f%%",
+      baseline.label.c_str(), baseline.transitions,
+      baseline.energy_joules * 1e6, baseline.transitions_per_fetch(),
+      encoded.label.c_str(), encoded.transitions, encoded.energy_joules * 1e6,
+      encoded.transitions_per_fetch(),
+      reduction_percent(baseline.transitions, encoded.transitions));
+  return buf;
+}
+
+}  // namespace asimt::power

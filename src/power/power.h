@@ -1,0 +1,51 @@
+// Bus energy model.
+//
+// Dynamic power on a bus line is alpha * C * V^2 * f with alpha the switching
+// activity; per-transition energy is 1/2 * C * V^2. The paper argues the
+// case for off-chip instruction memories where line capacitance is an order
+// of magnitude higher (§1); both presets are provided.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace asimt::power {
+
+struct BusParams {
+  double capacitance_farads = 5e-12;  // per line
+  double voltage = 3.3;
+
+  // Typical on-chip global interconnect line.
+  static BusParams on_chip() { return {5e-12, 1.8}; }
+  // Off-chip trace + pad + pin (paper: "significantly higher capacitance of
+  // the buslines going through the system I/O pins").
+  static BusParams off_chip() { return {30e-12, 3.3}; }
+};
+
+// Energy in joules for `transitions` bit transitions on lines with `params`.
+double transition_energy_joules(long long transitions, const BusParams& params);
+
+// Summary of one measured configuration.
+struct EnergyReport {
+  std::string label;
+  long long transitions = 0;
+  std::uint64_t fetches = 0;
+  double energy_joules = 0.0;
+
+  double transitions_per_fetch() const {
+    return fetches == 0 ? 0.0 : static_cast<double>(transitions) / static_cast<double>(fetches);
+  }
+};
+
+EnergyReport make_report(std::string label, long long transitions,
+                         std::uint64_t fetches, const BusParams& params);
+
+// Percentage reduction of `measured` relative to `baseline` transitions.
+double reduction_percent(long long baseline, long long measured);
+
+// Human-readable multi-line comparison table.
+std::string format_comparison(const EnergyReport& baseline,
+                              const EnergyReport& encoded);
+
+}  // namespace asimt::power

@@ -1,0 +1,84 @@
+// Instruction-bus models: transition counting and alternative text images.
+//
+// The measured quantity of the whole study is the number of 0↔1 transitions
+// on the 32 lines of the instruction-memory data bus as words are fetched
+// (paper §8). BusMonitor counts them on any word stream; TextImage lets a
+// harness look up what an alternative (e.g. power-encoded) program image
+// would have driven onto the bus for the same fetch.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace asimt::sim {
+
+// Counts bus transitions over a stream of fetched words.
+class BusMonitor {
+ public:
+  // `per_line` enables the (slower) per-bit-line histogram.
+  explicit BusMonitor(bool per_line = false) : per_line_(per_line) {}
+
+  void observe(std::uint32_t word) {
+    if (!first_) {
+      const std::uint32_t flipped = prev_ ^ word;
+      total_ += std::popcount(flipped);
+      if (per_line_) {
+        for (unsigned b = 0; b < 32; ++b) {
+          line_[b] += (flipped >> b) & 1u;
+        }
+      }
+    }
+    prev_ = word;
+    first_ = false;
+    ++words_;
+  }
+
+  long long total_transitions() const { return total_; }
+  const std::array<long long, 32>& per_line() const { return line_; }
+  std::uint64_t words_observed() const { return words_; }
+
+  void reset() {
+    total_ = 0;
+    line_.fill(0);
+    words_ = 0;
+    first_ = true;
+    prev_ = 0;
+  }
+
+ private:
+  bool per_line_;
+  std::array<long long, 32> line_{};
+  long long total_ = 0;
+  std::uint64_t words_ = 0;
+  std::uint32_t prev_ = 0;
+  bool first_ = true;
+};
+
+// A flat image of a text segment: what the instruction memory contains under
+// a given encoding. word_at() is the bus value fetched for a PC.
+class TextImage {
+ public:
+  TextImage() = default;
+  TextImage(std::uint32_t base, std::vector<std::uint32_t> words)
+      : base_(base), words_(std::move(words)) {}
+
+  bool contains(std::uint32_t pc) const {
+    return pc >= base_ && pc < base_ + 4 * words_.size();
+  }
+
+  std::uint32_t word_at(std::uint32_t pc) const { return words_[(pc - base_) / 4]; }
+
+  std::uint32_t base() const { return base_; }
+  std::size_t size() const { return words_.size(); }
+  std::span<const std::uint32_t> words() const { return words_; }
+  std::span<std::uint32_t> words_mut() { return words_; }
+
+ private:
+  std::uint32_t base_ = 0;
+  std::vector<std::uint32_t> words_;
+};
+
+}  // namespace asimt::sim

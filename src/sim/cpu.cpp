@@ -1,0 +1,158 @@
+#include "sim/cpu.h"
+
+#include <bit>
+#include <cmath>
+
+namespace asimt::sim {
+
+namespace {
+
+std::int32_t s(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+std::uint32_t u(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+
+}  // namespace
+
+void Cpu::execute(std::uint32_t word) {
+  using isa::Op;
+  const isa::Instruction i = isa::decode(word);
+  CpuState& st = state_;
+  auto& r = st.r;
+  auto& f = st.f;
+  std::uint32_t next_pc = st.pc + 4;
+  const std::uint32_t btarget = isa::branch_target(st.pc, i);
+
+  switch (i.op) {
+    case Op::kSll: r[i.rd] = r[i.rt] << i.shamt; break;
+    case Op::kSrl: r[i.rd] = r[i.rt] >> i.shamt; break;
+    case Op::kSra: r[i.rd] = u(s(r[i.rt]) >> i.shamt); break;
+    case Op::kSllv: r[i.rd] = r[i.rt] << (r[i.rs] & 31); break;
+    case Op::kSrlv: r[i.rd] = r[i.rt] >> (r[i.rs] & 31); break;
+    case Op::kSrav: r[i.rd] = u(s(r[i.rt]) >> (r[i.rs] & 31)); break;
+    case Op::kJr: next_pc = r[i.rs]; break;
+    case Op::kJalr: {
+      const std::uint32_t target = r[i.rs];
+      r[i.rd] = st.pc + 4;
+      next_pc = target;
+      break;
+    }
+    case Op::kSyscall: break;  // reserved; executes as a no-op
+    case Op::kBreak: st.halted = true; break;
+    case Op::kMfhi: r[i.rd] = st.hi; break;
+    case Op::kMthi: st.hi = r[i.rs]; break;
+    case Op::kMflo: r[i.rd] = st.lo; break;
+    case Op::kMtlo: st.lo = r[i.rs]; break;
+    case Op::kMult: {
+      const std::int64_t p = static_cast<std::int64_t>(s(r[i.rs])) * s(r[i.rt]);
+      st.lo = static_cast<std::uint32_t>(p);
+      st.hi = static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32);
+      break;
+    }
+    case Op::kMultu: {
+      const std::uint64_t p = static_cast<std::uint64_t>(r[i.rs]) * r[i.rt];
+      st.lo = static_cast<std::uint32_t>(p);
+      st.hi = static_cast<std::uint32_t>(p >> 32);
+      break;
+    }
+    case Op::kDiv:
+      // Division by zero is architecturally undefined on MIPS; we define it
+      // (lo = 0, hi = numerator) so simulations stay deterministic.
+      if (r[i.rt] == 0) {
+        st.lo = 0;
+        st.hi = r[i.rs];
+      } else if (r[i.rs] == 0x80000000u && r[i.rt] == 0xFFFFFFFFu) {
+        st.lo = 0x80000000u;  // INT_MIN / -1 overflow, also defined
+        st.hi = 0;
+      } else {
+        st.lo = u(s(r[i.rs]) / s(r[i.rt]));
+        st.hi = u(s(r[i.rs]) % s(r[i.rt]));
+      }
+      break;
+    case Op::kDivu:
+      if (r[i.rt] == 0) {
+        st.lo = 0;
+        st.hi = r[i.rs];
+      } else {
+        st.lo = r[i.rs] / r[i.rt];
+        st.hi = r[i.rs] % r[i.rt];
+      }
+      break;
+    // add/addi/sub keep distinct encodings for bit-pattern realism but wrap
+    // like their unsigned twins (no overflow traps in this model).
+    case Op::kAdd:
+    case Op::kAddu: r[i.rd] = r[i.rs] + r[i.rt]; break;
+    case Op::kSub:
+    case Op::kSubu: r[i.rd] = r[i.rs] - r[i.rt]; break;
+    case Op::kAnd: r[i.rd] = r[i.rs] & r[i.rt]; break;
+    case Op::kOr: r[i.rd] = r[i.rs] | r[i.rt]; break;
+    case Op::kXor: r[i.rd] = r[i.rs] ^ r[i.rt]; break;
+    case Op::kNor: r[i.rd] = ~(r[i.rs] | r[i.rt]); break;
+    case Op::kSlt: r[i.rd] = s(r[i.rs]) < s(r[i.rt]) ? 1 : 0; break;
+    case Op::kSltu: r[i.rd] = r[i.rs] < r[i.rt] ? 1 : 0; break;
+    case Op::kBltz: if (s(r[i.rs]) < 0) next_pc = btarget; break;
+    case Op::kBgez: if (s(r[i.rs]) >= 0) next_pc = btarget; break;
+    case Op::kJ: next_pc = isa::jump_target(st.pc, i); break;
+    case Op::kJal:
+      r[isa::kRa] = st.pc + 4;
+      next_pc = isa::jump_target(st.pc, i);
+      break;
+    case Op::kBeq: if (r[i.rs] == r[i.rt]) next_pc = btarget; break;
+    case Op::kBne: if (r[i.rs] != r[i.rt]) next_pc = btarget; break;
+    case Op::kBlez: if (s(r[i.rs]) <= 0) next_pc = btarget; break;
+    case Op::kBgtz: if (s(r[i.rs]) > 0) next_pc = btarget; break;
+    case Op::kAddi:
+    case Op::kAddiu: r[i.rt] = r[i.rs] + u(i.imm); break;
+    case Op::kSlti: r[i.rt] = s(r[i.rs]) < i.imm ? 1 : 0; break;
+    case Op::kSltiu: r[i.rt] = r[i.rs] < u(i.imm) ? 1 : 0; break;
+    case Op::kAndi: r[i.rt] = r[i.rs] & (u(i.imm) & 0xFFFFu); break;
+    case Op::kOri: r[i.rt] = r[i.rs] | (u(i.imm) & 0xFFFFu); break;
+    case Op::kXori: r[i.rt] = r[i.rs] ^ (u(i.imm) & 0xFFFFu); break;
+    case Op::kLui: r[i.rt] = (u(i.imm) & 0xFFFFu) << 16; break;
+    case Op::kLb:
+      r[i.rt] = u(static_cast<std::int8_t>(memory_.load8(r[i.rs] + u(i.imm))));
+      break;
+    case Op::kLh:
+      r[i.rt] = u(static_cast<std::int16_t>(memory_.load16(r[i.rs] + u(i.imm))));
+      break;
+    case Op::kLw: r[i.rt] = memory_.load32(r[i.rs] + u(i.imm)); break;
+    case Op::kLbu: r[i.rt] = memory_.load8(r[i.rs] + u(i.imm)); break;
+    case Op::kLhu: r[i.rt] = memory_.load16(r[i.rs] + u(i.imm)); break;
+    case Op::kSb: memory_.store8(r[i.rs] + u(i.imm), static_cast<std::uint8_t>(r[i.rt])); break;
+    case Op::kSh: memory_.store16(r[i.rs] + u(i.imm), static_cast<std::uint16_t>(r[i.rt])); break;
+    case Op::kSw: memory_.store32(r[i.rs] + u(i.imm), r[i.rt]); break;
+    case Op::kLwc1:
+      f[i.ft] = std::bit_cast<float>(memory_.load32(r[i.rs] + u(i.imm)));
+      break;
+    case Op::kSwc1:
+      memory_.store32(r[i.rs] + u(i.imm), std::bit_cast<std::uint32_t>(f[i.ft]));
+      break;
+    case Op::kAddS: f[i.fd] = f[i.fs] + f[i.ft]; break;
+    case Op::kSubS: f[i.fd] = f[i.fs] - f[i.ft]; break;
+    case Op::kMulS: f[i.fd] = f[i.fs] * f[i.ft]; break;
+    case Op::kDivS: f[i.fd] = f[i.fs] / f[i.ft]; break;
+    case Op::kSqrtS: f[i.fd] = std::sqrt(f[i.fs]); break;
+    case Op::kAbsS: f[i.fd] = std::fabs(f[i.fs]); break;
+    case Op::kMovS: f[i.fd] = f[i.fs]; break;
+    case Op::kNegS: f[i.fd] = -f[i.fs]; break;
+    case Op::kCvtSW:
+      f[i.fd] = static_cast<float>(s(std::bit_cast<std::uint32_t>(f[i.fs])));
+      break;
+    case Op::kTruncWS:
+      f[i.fd] = std::bit_cast<float>(u(static_cast<std::int32_t>(f[i.fs])));
+      break;
+    case Op::kCEqS: st.fcc = f[i.fs] == f[i.ft]; break;
+    case Op::kCLtS: st.fcc = f[i.fs] < f[i.ft]; break;
+    case Op::kCLeS: st.fcc = f[i.fs] <= f[i.ft]; break;
+    case Op::kBc1f: if (!st.fcc) next_pc = btarget; break;
+    case Op::kBc1t: if (st.fcc) next_pc = btarget; break;
+    case Op::kMfc1: r[i.rt] = std::bit_cast<std::uint32_t>(f[i.fs]); break;
+    case Op::kMtc1: f[i.fs] = std::bit_cast<float>(r[i.rt]); break;
+    case Op::kInvalid:
+      throw CpuError("invalid instruction at pc=" + std::to_string(st.pc));
+  }
+
+  r[0] = 0;  // $zero stays zero regardless of what executed
+  st.pc = next_pc;
+  ++st.instructions;
+}
+
+}  // namespace asimt::sim

@@ -1,0 +1,71 @@
+// In-order, one-instruction-per-cycle functional CPU model.
+//
+// Mirrors the paper's baseline: "a typical embedded processor front-end,
+// which fetches and executes instructions in order and one at a time" (§8).
+// Every instruction fetch is exposed to observers via the run() hook — this
+// is the instruction-memory data bus the whole study measures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+#include "isa/isa.h"
+#include "sim/memory.h"
+
+namespace asimt::sim {
+
+class CpuError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct CpuState {
+  std::uint32_t pc = 0;
+  std::array<std::uint32_t, 32> r{};  // r[0] hard-wired to zero
+  std::array<float, 32> f{};
+  std::uint32_t hi = 0, lo = 0;
+  bool fcc = false;  // FP condition flag set by c.{eq,lt,le}.s
+  bool halted = false;
+  std::uint64_t instructions = 0;
+};
+
+class Cpu {
+ public:
+  explicit Cpu(Memory& memory) : memory_(memory) {}
+
+  CpuState& state() { return state_; }
+  const CpuState& state() const { return state_; }
+
+  // Executes the instruction in `word` at the current PC (which must already
+  // have been used to fetch `word`). Advances PC. Exposed separately from
+  // fetching so harnesses can interpose encoded-bus models.
+  void execute(std::uint32_t word);
+
+  // Fetch-execute until halt or `max_steps`; calls on_fetch(pc, word) for
+  // every instruction fetch, modeling the instruction-memory data bus.
+  // Returns the number of instructions executed.
+  template <typename F>
+  std::uint64_t run(std::uint64_t max_steps, F&& on_fetch) {
+    std::uint64_t steps = 0;
+    while (!state_.halted && steps < max_steps) {
+      const std::uint32_t pc = state_.pc;
+      const std::uint32_t word = memory_.load32(pc);
+      on_fetch(pc, word);
+      execute(word);
+      ++steps;
+    }
+    return steps;
+  }
+
+  // Convenience without an observer.
+  std::uint64_t run(std::uint64_t max_steps) {
+    return run(max_steps, [](std::uint32_t, std::uint32_t) {});
+  }
+
+ private:
+  Memory& memory_;
+  CpuState state_;
+};
+
+}  // namespace asimt::sim

@@ -1,0 +1,61 @@
+#include "sim/decoder_port.h"
+
+namespace asimt::sim {
+
+void DecoderPeripheral::reset() {
+  tt_ = core::TtConfig{5, {}};
+  bbit_.clear();
+  tt_index_ = 0;
+  staged_entry_.fill(0);
+  staged_pc_ = 0;
+  decoder_.reset();
+}
+
+void DecoderPeripheral::store(std::uint32_t offset, std::uint32_t value) {
+  switch (offset) {
+    case kCtrl:
+      if (value & 2u) reset();
+      if (value & 1u) {
+        decoder_.emplace(tt_, bbit_);
+      } else if (!(value & 2u)) {
+        decoder_.reset();
+      }
+      break;
+    case kBlockSize:
+      if (value < 2 || value > 16) {
+        throw MemoryError("decoder peripheral: bad block size");
+      }
+      tt_.block_size = static_cast<int>(value);
+      break;
+    case kTtIndex:
+      tt_index_ = value;
+      break;
+    case kTtData0:
+    case kTtData1:
+    case kTtData2:
+      staged_entry_[(offset - kTtData0) / 4] = value;
+      break;
+    case kTtData3: {
+      staged_entry_[3] = value;
+      if (tt_index_ >= tt_.entries.size()) tt_.entries.resize(tt_index_ + 1);
+      tt_.entries[tt_index_] = core::unpack_tt_entry(staged_entry_);
+      ++tt_index_;  // burst-friendly auto-increment
+      break;
+    }
+    case kBbitPc:
+      staged_pc_ = value;
+      break;
+    case kBbitIndex: {
+      if (value >= tt_.entries.size()) {
+        throw MemoryError("decoder peripheral: BBIT index past the TT");
+      }
+      bbit_.push_back(core::BbitEntry{
+          staged_pc_, static_cast<std::uint16_t>(value)});
+      break;
+    }
+    default:
+      throw MemoryError("decoder peripheral: store to unmapped register");
+  }
+}
+
+}  // namespace asimt::sim

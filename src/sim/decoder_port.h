@@ -1,0 +1,84 @@
+// The decoder peripheral — §7.1's second reprogramming alternative:
+//
+//   "The tables containing the power transformation information can be
+//    accessed as a memory of a special peripheral device. The amount of
+//    information ... can be easily written to this memory by a set of
+//    instructions inserted within the application code and executed just
+//    prior to entering the loop under consideration."
+//
+// Software programs the TT and BBIT through word stores to a memory-mapped
+// register window, then sets the enable bit; from that point the peripheral
+// acts as the fetch-side decoder. Register map (word offsets from the
+// mapped base):
+//
+//   0x00  CTRL        bit 0: enable decode; bit 1: reset all state
+//   0x04  BLOCK_SIZE  k (2..16)
+//   0x08  TT_INDEX    selects the TT entry the next data words target
+//   0x0C  TT_DATA0  .
+//   0x10  TT_DATA1  | packed entry words (core/tt_format.h); writing
+//   0x14  TT_DATA2  | DATA3 commits the entry and auto-increments
+//   0x18  TT_DATA3  '  TT_INDEX (burst-friendly, like a real SRAM port)
+//   0x1C  BBIT_PC     stages a basic-block start address
+//   0x20  BBIT_INDEX  commits {staged PC, value} as a BBIT entry
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "core/fetch_decoder.h"
+#include "core/tt_format.h"
+#include "sim/memory.h"
+
+namespace asimt::sim {
+
+class DecoderPeripheral {
+ public:
+  static constexpr std::uint32_t kDefaultBase = 0xF0000000u;
+  static constexpr std::uint32_t kWindowBytes = 0x24;
+
+  enum Register : std::uint32_t {
+    kCtrl = 0x00,
+    kBlockSize = 0x04,
+    kTtIndex = 0x08,
+    kTtData0 = 0x0C,
+    kTtData1 = 0x10,
+    kTtData2 = 0x14,
+    kTtData3 = 0x18,
+    kBbitPc = 0x1C,
+    kBbitIndex = 0x20,
+  };
+
+  // MMIO store entry point (offset is relative to the mapped base).
+  void store(std::uint32_t offset, std::uint32_t value);
+
+  // Binds this peripheral into a memory's MMIO region.
+  void attach(Memory& memory, std::uint32_t base = kDefaultBase) {
+    memory.map_mmio(base, kWindowBytes,
+                    [this](std::uint32_t offset, std::uint32_t v) { store(offset, v); });
+  }
+
+  // The fetch path: decodes when enabled, passes through otherwise.
+  std::uint32_t feed(std::uint32_t pc, std::uint32_t bus_word) {
+    return decoder_ ? decoder_->feed(pc, bus_word) : bus_word;
+  }
+
+  bool enabled() const { return decoder_.has_value(); }
+  const core::TtConfig& tt() const { return tt_; }
+  const std::vector<core::BbitEntry>& bbit() const { return bbit_; }
+  const core::FetchDecoder* decoder() const {
+    return decoder_ ? &*decoder_ : nullptr;
+  }
+
+ private:
+  void reset();
+
+  core::TtConfig tt_{5, {}};
+  std::vector<core::BbitEntry> bbit_;
+  std::uint32_t tt_index_ = 0;
+  std::array<std::uint32_t, core::kTtEntryWords> staged_entry_{};
+  std::uint32_t staged_pc_ = 0;
+  std::optional<core::FetchDecoder> decoder_;
+};
+
+}  // namespace asimt::sim

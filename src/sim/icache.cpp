@@ -1,0 +1,60 @@
+#include "sim/icache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace asimt::sim {
+
+InstructionCache::InstructionCache(Config config) : config_(config) {
+  if (config_.line_bytes < 4 || std::popcount(config_.line_bytes) != 1) {
+    throw std::invalid_argument("icache: line size must be a power of two >= 4");
+  }
+  if (config_.sets == 0 || std::popcount(config_.sets) != 1) {
+    throw std::invalid_argument("icache: set count must be a power of two");
+  }
+  if (config_.ways == 0) {
+    throw std::invalid_argument("icache: need at least one way");
+  }
+  ways_.resize(static_cast<std::size_t>(config_.sets) * config_.ways);
+}
+
+bool InstructionCache::access(std::uint32_t pc, const TextImage& image) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint32_t line_addr = pc / config_.line_bytes;
+  const std::uint32_t set = line_addr & (config_.sets - 1);
+  const std::uint32_t tag = line_addr / config_.sets;
+  Way* row = &ways_[static_cast<std::size_t>(set) * config_.ways];
+
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (row[w].valid && row[w].tag == tag) {
+      ++stats_.hits;
+      row[w].last_used = tick_;
+      return true;
+    }
+  }
+
+  // Miss: refill the whole line over the memory-side bus, then install it
+  // over the LRU victim.
+  ++stats_.misses;
+  const std::uint32_t line_base = line_addr * config_.line_bytes;
+  for (std::uint32_t offset = 0; offset < config_.line_bytes; offset += 4) {
+    const std::uint32_t addr = line_base + offset;
+    refill_bus_.observe(image.contains(addr) ? image.word_at(addr) : 0);
+    ++stats_.refill_words;
+  }
+  Way* victim = &row[0];
+  for (std::uint32_t w = 1; w < config_.ways; ++w) {
+    if (!row[w].valid) {
+      victim = &row[w];
+      break;
+    }
+    if (row[w].last_used < victim->last_used) victim = &row[w];
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_used = tick_;
+  return false;
+}
+
+}  // namespace asimt::sim

@@ -1,0 +1,141 @@
+// Sparse paged byte-addressable memory for the ASIMT simulator.
+//
+// Little-endian, 4 KiB pages allocated on first touch. A one-entry page
+// cache keeps the common case (streaming through the same page) cheap enough
+// for the tens of millions of instructions the Fig. 6 workloads execute.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/assembler.h"
+
+namespace asimt::sim {
+
+class MemoryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Memory {
+ public:
+  static constexpr std::uint32_t kPageBits = 12;
+  static constexpr std::uint32_t kPageSize = 1u << kPageBits;
+
+  std::uint8_t load8(std::uint32_t addr) const { return page(addr)[offset(addr)]; }
+
+  std::uint16_t load16(std::uint32_t addr) const {
+    check_aligned(addr, 2);
+    const std::uint8_t* p = page(addr) + offset(addr);
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  }
+
+  std::uint32_t load32(std::uint32_t addr) const {
+    check_aligned(addr, 4);
+    const std::uint8_t* p = page(addr) + offset(addr);
+    return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+
+  void store8(std::uint32_t addr, std::uint8_t v) { page_mut(addr)[offset(addr)] = v; }
+
+  void store16(std::uint32_t addr, std::uint16_t v) {
+    check_aligned(addr, 2);
+    std::uint8_t* p = page_mut(addr) + offset(addr);
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+  }
+
+  void store32(std::uint32_t addr, std::uint32_t v) {
+    check_aligned(addr, 4);
+    if (addr - mmio_base_ < mmio_size_) {
+      mmio_store_(addr - mmio_base_, v);
+      return;
+    }
+    std::uint8_t* p = page_mut(addr) + offset(addr);
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+  }
+
+  float load_float(std::uint32_t addr) const { return std::bit_cast<float>(load32(addr)); }
+  void store_float(std::uint32_t addr, float v) { store32(addr, std::bit_cast<std::uint32_t>(v)); }
+
+  // Word stores into [base, base+size) are routed to `handler` instead of
+  // RAM — how the decoder peripheral of §7.1's software-reprogramming
+  // alternative is reached ("accessed as a memory of a special peripheral
+  // device"). One region; size 0 unmaps. Loads from the region still read
+  // RAM (the peripheral is write-only, like the paper's tables).
+  using MmioStoreHandler = std::function<void(std::uint32_t offset, std::uint32_t value)>;
+  void map_mmio(std::uint32_t base, std::uint32_t size, MmioStoreHandler handler) {
+    if (size != 0 && !handler) {
+      throw MemoryError("map_mmio: handler required for a non-empty region");
+    }
+    mmio_base_ = base;
+    mmio_size_ = size;
+    mmio_store_ = std::move(handler);
+  }
+
+  // Copies an assembled program's text and data into memory.
+  void load_program(const isa::Program& program) {
+    for (std::size_t i = 0; i < program.text.size(); ++i) {
+      store32(program.text_base + 4 * static_cast<std::uint32_t>(i), program.text[i]);
+    }
+    for (std::size_t i = 0; i < program.data.size(); ++i) {
+      store8(program.data_base + static_cast<std::uint32_t>(i), program.data[i]);
+    }
+  }
+
+ private:
+  static std::uint32_t page_index(std::uint32_t addr) { return addr >> kPageBits; }
+  static std::uint32_t offset(std::uint32_t addr) { return addr & (kPageSize - 1); }
+
+  static void check_aligned(std::uint32_t addr, std::uint32_t n) {
+    if (addr % n != 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "misaligned %u-byte access at 0x%08x", n, addr);
+      throw MemoryError(buf);
+    }
+  }
+
+  const std::uint8_t* page(std::uint32_t addr) const {
+    const std::uint32_t idx = page_index(addr);
+    if (idx == cached_index_ && cached_page_ != nullptr) return cached_page_;
+    auto it = pages_.find(idx);
+    if (it == pages_.end()) {
+      // Reads of untouched memory return zeroes without allocating.
+      static const std::uint8_t kZeroPage[kPageSize] = {};
+      return kZeroPage;
+    }
+    cached_index_ = idx;
+    cached_page_ = it->second.get();
+    return cached_page_;
+  }
+
+  std::uint8_t* page_mut(std::uint32_t addr) {
+    const std::uint32_t idx = page_index(addr);
+    if (idx == cached_index_ && cached_page_ != nullptr) return cached_page_;
+    auto& slot = pages_[idx];
+    if (!slot) slot = std::make_unique<std::uint8_t[]>(kPageSize);
+    cached_index_ = idx;
+    cached_page_ = slot.get();
+    return cached_page_;
+  }
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<std::uint8_t[]>> pages_;
+  mutable std::uint32_t cached_index_ = ~0u;
+  mutable std::uint8_t* cached_page_ = nullptr;
+  std::uint32_t mmio_base_ = 0;
+  std::uint32_t mmio_size_ = 0;  // 0 = no MMIO region mapped
+  MmioStoreHandler mmio_store_;
+};
+
+}  // namespace asimt::sim

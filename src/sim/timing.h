@@ -1,0 +1,92 @@
+// Pipeline timing model.
+//
+// The paper claims the decode transformations add "no impact to the
+// critical fetch stage" (§5/§9): one two-input gate after the bus settles,
+// no added cycles. This model quantifies the baseline it would perturb — a
+// classic 5-stage in-order pipeline (IF ID EX MEM WB) with forwarding,
+// load-use interlocks, taken-branch flushes and optional I-cache miss
+// stalls — so the ext_timing bench can show CPI with and without the
+// decoder in the fetch path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/effects.h"
+#include "sim/icache.h"
+
+namespace asimt::sim {
+
+struct TimingConfig {
+  int branch_taken_penalty = 2;  // IF/ID flush on a taken branch or jump
+  int load_use_stall = 1;        // lw result consumed by the next instruction
+  int icache_miss_penalty = 8;   // cycles per line refill, when a cache is attached
+  // Extra fetch-stage latency of the ASIMT decode gates, in cycles. The
+  // paper's argument (and our gate-depth analysis in docs/HARDWARE.md) puts
+  // this at 0; the bench sweeps it to show what a slower implementation
+  // would cost.
+  int decode_latency = 0;
+};
+
+// Consumes the dynamic fetch stream (pc, word) and accumulates cycles.
+class TimingModel {
+ public:
+  explicit TimingModel(TimingConfig config) : config_(config) {}
+
+  void on_fetch(std::uint32_t pc, std::uint32_t word) {
+    cycles_ += 1 + config_.decode_latency;
+    ++instructions_;
+    const isa::Instruction inst = isa::decode(word);
+    const isa::Effects fx = isa::effects(inst);
+
+    if (expecting_sequential_ && pc != expected_next_pc_) {
+      // The previous control instruction was taken: the pipeline fetched
+      // down the fall-through path and flushes.
+      cycles_ += config_.branch_taken_penalty;
+      ++taken_control_;
+    }
+
+    if ((pending_load_writes_ & fx.int_reads) != 0 ||
+        (pending_load_fp_writes_ & fx.fp_reads) != 0) {
+      cycles_ += config_.load_use_stall;
+      ++load_use_stalls_;
+    }
+
+    pending_load_writes_ = fx.mem_read ? fx.int_writes : 0;
+    pending_load_fp_writes_ = fx.mem_read ? fx.fp_writes : 0;
+    expecting_sequential_ = fx.control;
+    expected_next_pc_ = pc + 4;
+  }
+
+  // Call when the fetch missed in an attached instruction cache.
+  void on_icache_miss() {
+    cycles_ += config_.icache_miss_penalty;
+    ++icache_misses_;
+  }
+
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t instructions() const { return instructions_; }
+  std::uint64_t load_use_stalls() const { return load_use_stalls_; }
+  std::uint64_t taken_control_flushes() const { return taken_control_; }
+  std::uint64_t icache_misses() const { return icache_misses_; }
+
+  double cpi() const {
+    return instructions_ == 0
+               ? 0.0
+               : static_cast<double>(cycles_) / static_cast<double>(instructions_);
+  }
+
+ private:
+  TimingConfig config_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t load_use_stalls_ = 0;
+  std::uint64_t taken_control_ = 0;
+  std::uint64_t icache_misses_ = 0;
+  std::uint32_t pending_load_writes_ = 0;
+  std::uint32_t pending_load_fp_writes_ = 0;
+  bool expecting_sequential_ = false;
+  std::uint32_t expected_next_pc_ = 0;
+};
+
+}  // namespace asimt::sim

@@ -1,0 +1,402 @@
+// The four extra (non-paper) kernels: FIR filter, bitwise CRC-32, 8-point
+// DCT-II, byte histogram. They extend the evaluation beyond the paper's
+// numerical six with integer-only, branch-heavy and data-dependent-address
+// code, and give the ISA/simulator broader coverage.
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <span>
+
+#include "isa/isa.h"
+#include "workloads/reference.h"
+#include "workloads/workload.h"
+
+namespace asimt::workloads {
+
+namespace {
+
+constexpr std::uint32_t kArrayBase = 0x20000000;
+
+void write_floats(sim::Memory& memory, std::uint32_t addr,
+                  std::span<const float> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    memory.store_float(addr + 4 * static_cast<std::uint32_t>(i), values[i]);
+  }
+}
+
+void write_words(sim::Memory& memory, std::uint32_t addr,
+                 std::span<const std::uint32_t> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    memory.store32(addr + 4 * static_cast<std::uint32_t>(i), values[i]);
+  }
+}
+
+std::vector<float> read_floats(const sim::Memory& memory, std::uint32_t addr,
+                               std::size_t count) {
+  std::vector<float> values(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values[i] = memory.load_float(addr + 4 * static_cast<std::uint32_t>(i));
+  }
+  return values;
+}
+
+bool compare_floats(std::span<const float> expected,
+                    std::span<const float> actual, const char* what,
+                    std::string* error, float tolerance = 1e-3f) {
+  if (expected.size() != actual.size()) {
+    if (error) *error = std::string(what) + ": size mismatch";
+    return false;
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const float scale = std::max(1.0f, std::fabs(expected[i]));
+    if (std::fabs(expected[i] - actual[i]) > tolerance * scale) {
+      if (error) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "%s[%zu]: expected %g, got %g", what, i,
+                      static_cast<double>(expected[i]),
+                      static_cast<double>(actual[i]));
+        *error = buf;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<float> random_floats(std::size_t count, std::uint32_t seed) {
+  Lcg lcg(seed);
+  std::vector<float> values(count);
+  for (float& v : values) v = lcg.next_float();
+  return values;
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t count, std::uint32_t seed) {
+  Lcg lcg(seed);
+  std::vector<std::uint8_t> values(count);
+  for (auto& v : values) v = static_cast<std::uint8_t>(lcg.next_u32() >> 13);
+  return values;
+}
+
+std::uint32_t ref_crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+  }
+  return ~crc;
+}
+
+// DCT-II basis matrix, row k / column n layout (8 floats per row).
+std::vector<float> dct8_matrix() {
+  std::vector<float> m(64);
+  for (int k = 0; k < 8; ++k) {
+    const double scale = k == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+    for (int n = 0; n < 8; ++n) {
+      m[static_cast<std::size_t>(k) * 8 + static_cast<std::size_t>(n)] =
+          static_cast<float>(scale * std::cos(M_PI * (2 * n + 1) * k / 16.0));
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// fir: direct-form FIR filter, valid mode (no boundary handling)
+// ---------------------------------------------------------------------------
+
+Workload make_fir(const SizeConfig& config) {
+  const int taps = config.fir_taps;
+  const int samples = config.fir_samples;
+  const int outputs = samples - taps + 1;
+  const std::uint32_t params_addr = kArrayBase;
+  const std::uint32_t x_addr = params_addr + 64;
+  const std::uint32_t h_addr = x_addr + 4 * static_cast<std::uint32_t>(samples);
+  const std::uint32_t y_addr = h_addr + 4 * static_cast<std::uint32_t>(taps);
+
+  Workload w;
+  w.name = "fir";
+  w.description = "FIR filter, " + std::to_string(taps) + " taps, " +
+                  std::to_string(samples) + " samples";
+  w.source = R"(# y[i] = sum_k h[k] * x[i+k]
+# $a0 = params: 0:x 4:h 8:y 12:outputs 16:taps
+        .text
+fir:
+        lw      $s0, 0($a0)
+        lw      $s1, 4($a0)
+        lw      $s2, 8($a0)
+        lw      $s3, 12($a0)
+        lw      $s4, 16($a0)
+        li      $t0, 0               # output index
+fir_i:
+        li.s    $f0, 0.0
+        sll     $t1, $t0, 2
+        add     $t1, $s0, $t1        # &x[i]
+        move    $t2, $s1             # &h[0]
+        li      $t3, 0               # tap
+fir_k:
+        lwc1    $f1, 0($t1)
+        lwc1    $f2, 0($t2)
+        mul.s   $f3, $f1, $f2
+        add.s   $f0, $f0, $f3
+        addiu   $t1, $t1, 4
+        addiu   $t2, $t2, 4
+        addiu   $t3, $t3, 1
+        bne     $t3, $s4, fir_k
+        sll     $t4, $t0, 2
+        add     $t4, $s2, $t4
+        swc1    $f0, 0($t4)
+        addiu   $t0, $t0, 1
+        bne     $t0, $s3, fir_i
+        halt
+)";
+  w.init = [=](sim::Memory& memory, sim::CpuState& state) {
+    write_floats(memory, x_addr, random_floats(static_cast<std::size_t>(samples), 0xF1));
+    write_floats(memory, h_addr, random_floats(static_cast<std::size_t>(taps), 0xF2));
+    const std::uint32_t params[5] = {x_addr, h_addr, y_addr,
+                                     static_cast<std::uint32_t>(outputs),
+                                     static_cast<std::uint32_t>(taps)};
+    write_words(memory, params_addr, params);
+    state.r[isa::kA0] = params_addr;
+  };
+  w.check = [=](const sim::Memory& memory, std::string* error) {
+    const std::vector<float> x = random_floats(static_cast<std::size_t>(samples), 0xF1);
+    const std::vector<float> h = random_floats(static_cast<std::size_t>(taps), 0xF2);
+    std::vector<float> expected(static_cast<std::size_t>(outputs));
+    for (int i = 0; i < outputs; ++i) {
+      float sum = 0.0f;
+      for (int k = 0; k < taps; ++k) {
+        const float prod = x[static_cast<std::size_t>(i + k)] *
+                           h[static_cast<std::size_t>(k)];
+        sum += prod;
+      }
+      expected[static_cast<std::size_t>(i)] = sum;
+    }
+    return compare_floats(expected,
+                          read_floats(memory, y_addr, static_cast<std::size_t>(outputs)),
+                          "y", error);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// crc32: bitwise reflected CRC-32 (poly 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+Workload make_crc32(const SizeConfig& config) {
+  const int bytes = config.crc_bytes;
+  const std::uint32_t buf_addr = kArrayBase;
+  const std::uint32_t out_addr = buf_addr + static_cast<std::uint32_t>(bytes) + 64;
+
+  Workload w;
+  w.name = "crc32";
+  w.description = "bitwise CRC-32 over " + std::to_string(bytes) + " bytes";
+  w.source = R"(# reflected CRC-32, one bit at a time (integer-only kernel)
+# $a0 = buffer, $a1 = length, $a2 = result address
+        .text
+crc32:
+        li      $t0, -1              # running crc
+        li      $t7, 0xEDB88320      # polynomial
+        li      $t1, 0               # byte index
+crc_byte:
+        add     $t2, $a0, $t1
+        lbu     $t3, 0($t2)
+        xor     $t0, $t0, $t3
+        li      $t4, 8
+crc_bit:
+        andi    $t5, $t0, 1
+        srl     $t0, $t0, 1
+        beq     $t5, $zero, crc_skip
+        xor     $t0, $t0, $t7
+crc_skip:
+        addiu   $t4, $t4, -1
+        bne     $t4, $zero, crc_bit
+        addiu   $t1, $t1, 1
+        bne     $t1, $a1, crc_byte
+        not     $t0, $t0
+        sw      $t0, 0($a2)
+        halt
+)";
+  w.init = [=](sim::Memory& memory, sim::CpuState& state) {
+    const auto data = random_bytes(static_cast<std::size_t>(bytes), 0xC3);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      memory.store8(buf_addr + static_cast<std::uint32_t>(i), data[i]);
+    }
+    state.r[isa::kA0] = buf_addr;
+    state.r[isa::kA1] = static_cast<std::uint32_t>(bytes);
+    state.r[isa::kA2] = out_addr;
+  };
+  w.check = [=](const sim::Memory& memory, std::string* error) {
+    const auto data = random_bytes(static_cast<std::size_t>(bytes), 0xC3);
+    const std::uint32_t expected = ref_crc32(data);
+    const std::uint32_t actual = memory.load32(out_addr);
+    if (expected != actual) {
+      if (error) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "crc: expected %08x, got %08x", expected, actual);
+        *error = buf;
+      }
+      return false;
+    }
+    return true;
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// dct: 8-point DCT-II over a stream of blocks (table-driven matvec)
+// ---------------------------------------------------------------------------
+
+Workload make_dct(const SizeConfig& config) {
+  const int blocks = config.dct_blocks;
+  const std::uint32_t params_addr = kArrayBase;
+  const std::uint32_t x_addr = params_addr + 64;
+  const std::uint32_t c_addr = x_addr + 32 * static_cast<std::uint32_t>(blocks);
+  const std::uint32_t y_addr = c_addr + 64 * 4;
+
+  Workload w;
+  w.name = "dct";
+  w.description = "8-point DCT-II, " + std::to_string(blocks) + " blocks";
+  w.source = R"(# per block: y = C * x with the 8x8 DCT basis matrix
+# $a0 = params: 0:x 4:C 8:y 12:blocks
+        .text
+dct:
+        lw      $s0, 0($a0)
+        lw      $s1, 4($a0)
+        lw      $s2, 8($a0)
+        lw      $s3, 12($a0)
+        li      $t9, 0               # block
+dct_b:
+        li      $t0, 0               # output coefficient k
+        move    $t6, $s1             # &C[k][0]
+dct_k:
+        li.s    $f0, 0.0
+        sll     $t2, $t9, 5          # 32 bytes per block
+        add     $t2, $s0, $t2        # &x[block][0]
+        move    $t3, $t6
+        li      $t1, 0               # n
+dct_n:
+        lwc1    $f1, 0($t2)
+        lwc1    $f2, 0($t3)
+        mul.s   $f3, $f1, $f2
+        add.s   $f0, $f0, $f3
+        addiu   $t2, $t2, 4
+        addiu   $t3, $t3, 4
+        addiu   $t1, $t1, 1
+        slti    $at, $t1, 8
+        bne     $at, $zero, dct_n
+        sll     $t4, $t9, 5
+        sll     $t5, $t0, 2
+        add     $t4, $t4, $t5
+        add     $t4, $s2, $t4
+        swc1    $f0, 0($t4)          # y[block][k]
+        addiu   $t6, $t6, 32         # next basis row
+        addiu   $t0, $t0, 1
+        slti    $at, $t0, 8
+        bne     $at, $zero, dct_k
+        addiu   $t9, $t9, 1
+        bne     $t9, $s3, dct_b
+        halt
+)";
+  w.init = [=](sim::Memory& memory, sim::CpuState& state) {
+    write_floats(memory, x_addr,
+                 random_floats(static_cast<std::size_t>(blocks) * 8, 0xDC));
+    write_floats(memory, c_addr, dct8_matrix());
+    const std::uint32_t params[4] = {x_addr, c_addr, y_addr,
+                                     static_cast<std::uint32_t>(blocks)};
+    write_words(memory, params_addr, params);
+    state.r[isa::kA0] = params_addr;
+  };
+  w.check = [=](const sim::Memory& memory, std::string* error) {
+    const std::vector<float> x =
+        random_floats(static_cast<std::size_t>(blocks) * 8, 0xDC);
+    const std::vector<float> c = dct8_matrix();
+    std::vector<float> expected(static_cast<std::size_t>(blocks) * 8);
+    for (int b = 0; b < blocks; ++b) {
+      for (int k = 0; k < 8; ++k) {
+        float sum = 0.0f;
+        for (int n = 0; n < 8; ++n) {
+          const float prod = x[static_cast<std::size_t>(b) * 8 + static_cast<std::size_t>(n)] *
+                             c[static_cast<std::size_t>(k) * 8 + static_cast<std::size_t>(n)];
+          sum += prod;
+        }
+        expected[static_cast<std::size_t>(b) * 8 + static_cast<std::size_t>(k)] = sum;
+      }
+    }
+    return compare_floats(expected,
+                          read_floats(memory, y_addr, expected.size()), "dct", error);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// histogram: byte histogram (data-dependent addressing)
+// ---------------------------------------------------------------------------
+
+Workload make_histogram(const SizeConfig& config) {
+  const int bytes = config.hist_bytes;
+  const std::uint32_t buf_addr = kArrayBase;
+  const std::uint32_t bins_addr =
+      buf_addr + static_cast<std::uint32_t>(bytes) + 64;
+
+  Workload w;
+  w.name = "hist";
+  w.description = "byte histogram over " + std::to_string(bytes) + " bytes";
+  w.source = R"(# 256-bin byte histogram
+# $a0 = buffer, $a1 = length, $a2 = bins (256 words, zeroed)
+        .text
+hist:
+        li      $t0, 0
+hist_l:
+        add     $t1, $a0, $t0
+        lbu     $t2, 0($t1)
+        sll     $t2, $t2, 2
+        add     $t2, $a2, $t2
+        lw      $t3, 0($t2)
+        addiu   $t3, $t3, 1
+        sw      $t3, 0($t2)
+        addiu   $t0, $t0, 1
+        bne     $t0, $a1, hist_l
+        halt
+)";
+  w.init = [=](sim::Memory& memory, sim::CpuState& state) {
+    const auto data = random_bytes(static_cast<std::size_t>(bytes), 0x41);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      memory.store8(buf_addr + static_cast<std::uint32_t>(i), data[i]);
+    }
+    for (int bin = 0; bin < 256; ++bin) {
+      memory.store32(bins_addr + 4 * static_cast<std::uint32_t>(bin), 0);
+    }
+    state.r[isa::kA0] = buf_addr;
+    state.r[isa::kA1] = static_cast<std::uint32_t>(bytes);
+    state.r[isa::kA2] = bins_addr;
+  };
+  w.check = [=](const sim::Memory& memory, std::string* error) {
+    const auto data = random_bytes(static_cast<std::size_t>(bytes), 0x41);
+    std::array<std::uint32_t, 256> expected{};
+    for (std::uint8_t byte : data) ++expected[byte];
+    for (int bin = 0; bin < 256; ++bin) {
+      const std::uint32_t actual =
+          memory.load32(bins_addr + 4 * static_cast<std::uint32_t>(bin));
+      if (actual != expected[static_cast<std::size_t>(bin)]) {
+        if (error) {
+          *error = "bin " + std::to_string(bin) + ": expected " +
+                   std::to_string(expected[static_cast<std::size_t>(bin)]) +
+                   ", got " + std::to_string(actual);
+        }
+        return false;
+      }
+    }
+    return true;
+  };
+  return w;
+}
+
+std::vector<Workload> make_extra(const SizeConfig& config) {
+  return {make_fir(config), make_crc32(config), make_dct(config),
+          make_histogram(config)};
+}
+
+}  // namespace asimt::workloads

@@ -1,0 +1,158 @@
+#include "workloads/reference.h"
+
+#include <cmath>
+
+namespace asimt::workloads {
+
+void ref_mmul(int n, const std::vector<float>& a, const std::vector<float>& b,
+              std::vector<float>& c) {
+  c.assign(static_cast<std::size_t>(n) * n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float sum = 0.0f;
+      for (int k = 0; k < n; ++k) {
+        const float prod = a[static_cast<std::size_t>(i) * n + k] *
+                           b[static_cast<std::size_t>(k) * n + j];
+        sum += prod;
+      }
+      c[static_cast<std::size_t>(i) * n + j] = sum;
+    }
+  }
+}
+
+void ref_sor(int n, int iters, std::vector<float>& u) {
+  for (int iter = 0; iter < iters; ++iter) {
+    for (int i = 1; i < n - 1; ++i) {
+      for (int j = 1; j < n - 1; ++j) {
+        const std::size_t p = static_cast<std::size_t>(i) * n + j;
+        const float c = u[p];
+        float sum = u[p - static_cast<std::size_t>(n)] + u[p + static_cast<std::size_t>(n)];
+        sum += u[p - 1];
+        sum += u[p + 1];
+        const float four_c = (c + c) + (c + c);
+        const float residual = sum - four_c;
+        u[p] = c + residual * 0.375f;
+      }
+    }
+  }
+}
+
+std::vector<float>& ref_ej(int n, int iters, std::vector<float>& u,
+                           std::vector<float>& v) {
+  std::vector<float>* src = &u;
+  std::vector<float>* dst = &v;
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::vector<float>& s = *src;
+    std::vector<float>& d = *dst;
+    for (int i = 1; i < n - 1; ++i) {
+      for (int j = 1; j < n - 1; ++j) {
+        const std::size_t p = static_cast<std::size_t>(i) * n + j;
+        float sum = s[p - static_cast<std::size_t>(n)] + s[p + static_cast<std::size_t>(n)];
+        sum += s[p - 1];
+        sum += s[p + 1];
+        const float weighted = sum * 0.3125f;   // omega / 4
+        const float decayed = s[p] * -0.25f;    // 1 - omega
+        d[p] = decayed + weighted;
+      }
+    }
+    std::swap(src, dst);
+  }
+  return *src;  // the buffer written by the final iteration
+}
+
+std::vector<std::uint32_t> fft_bit_reverse_table(int n) {
+  int log2n = 0;
+  while ((1 << log2n) < n) ++log2n;
+  std::vector<std::uint32_t> rev(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::uint32_t r = 0;
+    for (int b = 0; b < log2n; ++b) {
+      r |= static_cast<std::uint32_t>((i >> b) & 1) << (log2n - 1 - b);
+    }
+    rev[static_cast<std::size_t>(i)] = r;
+  }
+  return rev;
+}
+
+void fft_twiddles(int n, std::vector<float>& wre, std::vector<float>& wim) {
+  wre.resize(static_cast<std::size_t>(n) / 2);
+  wim.resize(static_cast<std::size_t>(n) / 2);
+  for (int j = 0; j < n / 2; ++j) {
+    const double angle = -2.0 * M_PI * j / n;
+    wre[static_cast<std::size_t>(j)] = static_cast<float>(std::cos(angle));
+    wim[static_cast<std::size_t>(j)] = static_cast<float>(std::sin(angle));
+  }
+}
+
+void ref_fft(int n, std::vector<float>& re, std::vector<float>& im) {
+  const auto rev = fft_bit_reverse_table(n);
+  std::vector<float> wre, wim;
+  fft_twiddles(n, wre, wim);
+  for (int i = 0; i < n; ++i) {
+    const int j = static_cast<int>(rev[static_cast<std::size_t>(i)]);
+    if (i < j) {
+      std::swap(re[static_cast<std::size_t>(i)], re[static_cast<std::size_t>(j)]);
+      std::swap(im[static_cast<std::size_t>(i)], im[static_cast<std::size_t>(j)]);
+    }
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const int half = len / 2;
+    const int wstep = n / len;
+    for (int i = 0; i < n; i += len) {
+      for (int j = 0; j < half; ++j) {
+        const std::size_t idx1 = static_cast<std::size_t>(i + j);
+        const std::size_t idx2 = idx1 + static_cast<std::size_t>(half);
+        const std::size_t w = static_cast<std::size_t>(j * wstep);
+        const float wr = wre[w];
+        const float wi = wim[w];
+        const float x2r = re[idx2];
+        const float x2i = im[idx2];
+        const float tr = x2r * wr - x2i * wi;
+        const float ti = x2r * wi + x2i * wr;
+        const float x1r = re[idx1];
+        const float x1i = im[idx1];
+        re[idx1] = x1r + tr;
+        im[idx1] = x1i + ti;
+        re[idx2] = x1r - tr;
+        im[idx2] = x1i - ti;
+      }
+    }
+  }
+}
+
+void ref_tri(int n, const std::vector<float>& a, const std::vector<float>& b,
+             const std::vector<float>& c, const std::vector<float>& d,
+             std::vector<float>& x) {
+  std::vector<float> sb = b;
+  std::vector<float> sd = d;
+  for (int i = 1; i < n; ++i) {
+    const std::size_t p = static_cast<std::size_t>(i);
+    const float m = a[p] / sb[p - 1];
+    sb[p] = sb[p] - m * c[p - 1];
+    sd[p] = sd[p] - m * sd[p - 1];
+  }
+  x.assign(static_cast<std::size_t>(n), 0.0f);
+  x[static_cast<std::size_t>(n) - 1] =
+      sd[static_cast<std::size_t>(n) - 1] / sb[static_cast<std::size_t>(n) - 1];
+  for (int i = n - 2; i >= 0; --i) {
+    const std::size_t p = static_cast<std::size_t>(i);
+    x[p] = (sd[p] - c[p] * x[p + 1]) / sb[p];
+  }
+}
+
+void ref_lu(int n, std::vector<float>& matrix) {
+  for (int k = 0; k < n; ++k) {
+    const float pivot = matrix[static_cast<std::size_t>(k) * n + k];
+    for (int i = k + 1; i < n; ++i) {
+      const std::size_t row = static_cast<std::size_t>(i) * n;
+      const float m = matrix[row + static_cast<std::size_t>(k)] / pivot;
+      matrix[row + static_cast<std::size_t>(k)] = m;
+      for (int j = k + 1; j < n; ++j) {
+        matrix[row + static_cast<std::size_t>(j)] -=
+            m * matrix[static_cast<std::size_t>(k) * n + static_cast<std::size_t>(j)];
+      }
+    }
+  }
+}
+
+}  // namespace asimt::workloads

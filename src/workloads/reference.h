@@ -1,0 +1,62 @@
+// Host-side reference implementations of the six workloads.
+//
+// Operation order deliberately mirrors the assembly kernels so float results
+// match the simulator closely (bit-exactly when the compiler does not
+// contract multiply-add). Also reused directly by tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace asimt::workloads {
+
+// Deterministic input generator shared by init() and the references.
+class Lcg {
+ public:
+  explicit Lcg(std::uint32_t seed) : state_(seed) {}
+
+  std::uint32_t next_u32() {
+    state_ = state_ * 1664525u + 1013904223u;
+    return state_;
+  }
+
+  // Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f);
+  }
+
+ private:
+  std::uint32_t state_;
+};
+
+// C = A x B, n x n row-major.
+void ref_mmul(int n, const std::vector<float>& a, const std::vector<float>& b,
+              std::vector<float>& c);
+
+// In-place Gauss-Seidel successive over-relaxation sweeps; the interior
+// update is u += (omega/4) * (neighbors - 4u) with omega/4 = 0.375.
+void ref_sor(int n, int iters, std::vector<float>& u);
+
+// Extrapolated Jacobi with omega = 1.25; ping-pongs between u and v.
+// Returns a reference to the buffer holding the final iterate.
+std::vector<float>& ref_ej(int n, int iters, std::vector<float>& u,
+                           std::vector<float>& v);
+
+// Radix-2 DIT FFT, n a power of two; twiddles w[j] = exp(-2*pi*i*j/n).
+void ref_fft(int n, std::vector<float>& re, std::vector<float>& im);
+
+// Bit-reversal permutation table for an n-point FFT.
+std::vector<std::uint32_t> fft_bit_reverse_table(int n);
+// Twiddle factor tables (cos / sin of -2*pi*j/n for j < n/2).
+void fft_twiddles(int n, std::vector<float>& wre, std::vector<float>& wim);
+
+// Thomas algorithm: solves the tridiagonal system (a, b, c) x = d without
+// modifying the inputs (works on scratch copies of b and d like the kernel).
+void ref_tri(int n, const std::vector<float>& a, const std::vector<float>& b,
+             const std::vector<float>& c, const std::vector<float>& d,
+             std::vector<float>& x);
+
+// In-place Doolittle LU decomposition without pivoting.
+void ref_lu(int n, std::vector<float>& matrix);
+
+}  // namespace asimt::workloads

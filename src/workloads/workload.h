@@ -1,0 +1,102 @@
+// The paper's six evaluation workloads (§8): matrix multiplication, SOR,
+// extrapolated Jacobi, FFT, tridiagonal solve, LU decomposition — "numerical
+// and DSP codes ... capable of exhibiting the strength of the suggested
+// technique due to their inclusion of frequently executed loops".
+//
+// Each workload is an assembly program for the ASIMT ISA plus host-side data
+// initialization and a correctness check against a C++ reference
+// implementation. The paper's binaries came from a compiler targeting
+// SimpleScalar PISA; ours are hand-written with the same loop structure
+// (DESIGN.md §4 substitution table).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/memory.h"
+
+namespace asimt::workloads {
+
+struct Workload {
+  std::string name;
+  std::string description;
+  std::string source;  // assembly text
+
+  // Writes input data into memory and argument registers into the CPU state.
+  std::function<void(sim::Memory&, sim::CpuState&)> init;
+  // Validates results against the reference; fills *error on failure.
+  std::function<bool(const sim::Memory&, std::string* error)> check;
+
+  std::uint64_t max_steps = 500'000'000;
+};
+
+// Problem sizes. Defaults are the paper's (§8); shrink for fast test runs.
+struct SizeConfig {
+  int mmul_n = 100;    // paper: 100x100 matrices
+  int sor_n = 256;     // paper: 256x256 grid
+  int sor_iters = 4;
+  int ej_n = 128;      // paper: 128x128 grid
+  int ej_iters = 80;
+  int fft_n = 256;     // paper: 256-sample blocks (power of two)
+  int tri_n = 128;     // paper: 128x128 system
+  int tri_reps = 256;
+  int lu_n = 128;      // paper: 128x128 matrix
+
+  // Extra (non-paper) kernels, for the generalization bench.
+  int fir_taps = 32;
+  int fir_samples = 4096;
+  int crc_bytes = 8192;
+  int dct_blocks = 512;    // 8-sample blocks
+  int hist_bytes = 16384;
+
+  // Proportionally smaller instance for quick runs.
+  static SizeConfig small() {
+    SizeConfig c;
+    c.mmul_n = 24;
+    c.sor_n = 40;
+    c.sor_iters = 2;
+    c.ej_n = 32;
+    c.ej_iters = 6;
+    c.fft_n = 64;
+    c.tri_n = 32;
+    c.tri_reps = 8;
+    c.lu_n = 32;
+    c.fir_taps = 8;
+    c.fir_samples = 256;
+    c.crc_bytes = 512;
+    c.dct_blocks = 32;
+    c.hist_bytes = 1024;
+    return c;
+  }
+};
+
+// Individual builders.
+Workload make_mmul(const SizeConfig& config);
+Workload make_sor(const SizeConfig& config);
+Workload make_ej(const SizeConfig& config);
+Workload make_fft(const SizeConfig& config);
+Workload make_tri(const SizeConfig& config);
+Workload make_lu(const SizeConfig& config);
+
+// Extra kernels beyond the paper's six — typical embedded code the
+// generalization bench exercises: an FIR filter, bitwise CRC-32, 8-point
+// DCT-II, and a byte histogram (integer- and branch-heavy mixes the
+// numerical six do not cover).
+Workload make_fir(const SizeConfig& config);
+Workload make_crc32(const SizeConfig& config);
+Workload make_dct(const SizeConfig& config);
+Workload make_histogram(const SizeConfig& config);
+
+// All six, in the paper's column order (mmul, sor, ej, fft, tri, lu).
+std::vector<Workload> make_all(const SizeConfig& config = {});
+// The four extra kernels (fir, crc32, dct, hist).
+std::vector<Workload> make_extra(const SizeConfig& config = {});
+
+// Lookup by name (paper and extra kernels); throws std::out_of_range for
+// unknown names.
+Workload make_by_name(const std::string& name, const SizeConfig& config = {});
+
+}  // namespace asimt::workloads

@@ -1,0 +1,677 @@
+#include "workloads/workload.h"
+
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+
+#include "isa/isa.h"
+#include "workloads/reference.h"
+
+namespace asimt::workloads {
+
+namespace {
+
+// Host-managed data region, separate from the assembler's .data section.
+constexpr std::uint32_t kArrayBase = 0x20000000;
+
+void write_floats(sim::Memory& memory, std::uint32_t addr,
+                  std::span<const float> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    memory.store_float(addr + 4 * static_cast<std::uint32_t>(i), values[i]);
+  }
+}
+
+void write_words(sim::Memory& memory, std::uint32_t addr,
+                 std::span<const std::uint32_t> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    memory.store32(addr + 4 * static_cast<std::uint32_t>(i), values[i]);
+  }
+}
+
+std::vector<float> read_floats(const sim::Memory& memory, std::uint32_t addr,
+                               std::size_t count) {
+  std::vector<float> values(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values[i] = memory.load_float(addr + 4 * static_cast<std::uint32_t>(i));
+  }
+  return values;
+}
+
+// Relative-error comparison; iterative float kernels accumulate rounding
+// differently than the host only when the compiler contracts, so the
+// tolerance is loose enough for either.
+bool compare_floats(std::span<const float> expected,
+                    std::span<const float> actual, const char* what,
+                    std::string* error, float tolerance = 1e-3f) {
+  if (expected.size() != actual.size()) {
+    if (error) *error = std::string(what) + ": size mismatch";
+    return false;
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const float e = expected[i];
+    const float a = actual[i];
+    const float scale = std::max(1.0f, std::fabs(e));
+    if (std::fabs(e - a) > tolerance * scale) {
+      if (error) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "%s[%zu]: expected %g, got %g", what, i,
+                      static_cast<double>(e), static_cast<double>(a));
+        *error = buf;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<float> random_floats(std::size_t count, std::uint32_t seed) {
+  Lcg lcg(seed);
+  std::vector<float> values(count);
+  for (float& v : values) v = lcg.next_float();
+  return values;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// mmul: C = A x B (paper: 100x100)
+// ---------------------------------------------------------------------------
+
+Workload make_mmul(const SizeConfig& config) {
+  const int n = config.mmul_n;
+  const auto count = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  const std::uint32_t a_addr = kArrayBase;
+  const std::uint32_t b_addr = a_addr + 4 * static_cast<std::uint32_t>(count);
+  const std::uint32_t c_addr = b_addr + 4 * static_cast<std::uint32_t>(count);
+
+  Workload w;
+  w.name = "mmul";
+  w.description = "matrix multiplication, " + std::to_string(n) + "x" + std::to_string(n);
+  w.source = R"(# C = A x B, row-major single precision
+# $a0 = A, $a1 = B, $a2 = C, $a3 = n
+        .text
+mmul:
+        sll     $t5, $a3, 2          # row stride in bytes
+        li      $t0, 0               # i
+        move    $s0, $a0             # &A[i][0]
+        move    $s1, $a2             # &C[i][0]
+iloop:
+        li      $t1, 0               # j
+jloop:
+        li.s    $f0, 0.0             # sum
+        move    $t3, $s0             # &A[i][k]
+        sll     $t4, $t1, 2
+        add     $t4, $a1, $t4        # &B[k][j]
+        li      $t2, 0               # k
+kloop:
+        lwc1    $f1, 0($t3)
+        lwc1    $f2, 0($t4)
+        mul.s   $f3, $f1, $f2
+        add.s   $f0, $f0, $f3
+        addiu   $t3, $t3, 4
+        add     $t4, $t4, $t5
+        addiu   $t2, $t2, 1
+        bne     $t2, $a3, kloop
+        sll     $t6, $t1, 2
+        add     $t6, $s1, $t6
+        swc1    $f0, 0($t6)
+        addiu   $t1, $t1, 1
+        bne     $t1, $a3, jloop
+        add     $s0, $s0, $t5
+        add     $s1, $s1, $t5
+        addiu   $t0, $t0, 1
+        bne     $t0, $a3, iloop
+        halt
+)";
+  w.init = [=](sim::Memory& memory, sim::CpuState& state) {
+    write_floats(memory, a_addr, random_floats(count, 0xA11CE));
+    write_floats(memory, b_addr, random_floats(count, 0xB0B));
+    state.r[isa::kA0] = a_addr;
+    state.r[isa::kA1] = b_addr;
+    state.r[isa::kA2] = c_addr;
+    state.r[isa::kA3] = static_cast<std::uint32_t>(n);
+  };
+  w.check = [=](const sim::Memory& memory, std::string* error) {
+    const std::vector<float> a = random_floats(count, 0xA11CE);
+    const std::vector<float> b = random_floats(count, 0xB0B);
+    std::vector<float> expected;
+    ref_mmul(n, a, b, expected);
+    return compare_floats(expected, read_floats(memory, c_addr, count), "C", error);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// sor: Gauss-Seidel successive over-relaxation (paper: 256x256)
+// ---------------------------------------------------------------------------
+
+Workload make_sor(const SizeConfig& config) {
+  const int n = config.sor_n;
+  const int iters = config.sor_iters;
+  const auto count = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  const std::uint32_t u_addr = kArrayBase;
+
+  Workload w;
+  w.name = "sor";
+  w.description = "successive over-relaxation, " + std::to_string(n) + "x" +
+                  std::to_string(n) + ", " + std::to_string(iters) + " sweeps";
+  w.source = R"(# In-place SOR sweeps over an n x n grid; omega/4 = 0.375
+# $a0 = u, $a1 = n, $a2 = sweeps
+        .text
+sor:
+        sll     $t7, $a1, 2          # row stride
+        addiu   $t6, $a1, -1         # n - 1
+        li.s    $f6, 0.375           # omega / 4
+        li      $t9, 0               # sweep
+sweep:
+        li      $t0, 1               # i
+rowloop:
+        mul     $t1, $t0, $a1
+        sll     $t1, $t1, 2
+        add     $t1, $a0, $t1        # &u[i][0]
+        li      $t2, 1               # j
+colloop:
+        sll     $t3, $t2, 2
+        add     $t3, $t1, $t3        # &u[i][j]
+        lwc1    $f0, 0($t3)          # center
+        sub     $t4, $t3, $t7
+        lwc1    $f1, 0($t4)          # north
+        add     $t4, $t3, $t7
+        lwc1    $f2, 0($t4)          # south
+        lwc1    $f3, -4($t3)         # west
+        lwc1    $f4, 4($t3)          # east
+        add.s   $f1, $f1, $f2
+        add.s   $f1, $f1, $f3
+        add.s   $f1, $f1, $f4
+        add.s   $f5, $f0, $f0
+        add.s   $f5, $f5, $f5        # 4 * center
+        sub.s   $f1, $f1, $f5        # residual
+        mul.s   $f1, $f1, $f6
+        add.s   $f0, $f0, $f1
+        swc1    $f0, 0($t3)
+        addiu   $t2, $t2, 1
+        bne     $t2, $t6, colloop
+        addiu   $t0, $t0, 1
+        bne     $t0, $t6, rowloop
+        addiu   $t9, $t9, 1
+        bne     $t9, $a2, sweep
+        halt
+)";
+  w.init = [=](sim::Memory& memory, sim::CpuState& state) {
+    write_floats(memory, u_addr, random_floats(count, 0x50F));
+    state.r[isa::kA0] = u_addr;
+    state.r[isa::kA1] = static_cast<std::uint32_t>(n);
+    state.r[isa::kA2] = static_cast<std::uint32_t>(iters);
+  };
+  w.check = [=](const sim::Memory& memory, std::string* error) {
+    std::vector<float> expected = random_floats(count, 0x50F);
+    ref_sor(n, iters, expected);
+    return compare_floats(expected, read_floats(memory, u_addr, count), "u", error);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// ej: extrapolated Jacobi (paper: 128x128 grid)
+// ---------------------------------------------------------------------------
+
+Workload make_ej(const SizeConfig& config) {
+  const int n = config.ej_n;
+  const int iters = config.ej_iters;
+  const auto count = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  const std::uint32_t u_addr = kArrayBase;
+  const std::uint32_t v_addr = u_addr + 4 * static_cast<std::uint32_t>(count);
+
+  Workload w;
+  w.name = "ej";
+  w.description = "extrapolated Jacobi, " + std::to_string(n) + "x" +
+                  std::to_string(n) + ", " + std::to_string(iters) + " iterations";
+  w.source = R"(# Extrapolated Jacobi with omega = 1.25, ping-pong buffers
+# $a0 = u, $a1 = v, $a2 = n, $a3 = iterations
+        .data
+ej_c1:  .float -0.25               # 1 - omega
+ej_c2:  .float 0.3125              # omega / 4
+        .text
+ej:
+        la      $t8, ej_c1
+        lwc1    $f6, 0($t8)
+        lwc1    $f7, 4($t8)
+        sll     $t7, $a2, 2          # row stride
+        addiu   $t8, $a2, -1         # n - 1
+        li      $t9, 0               # iteration
+ej_iter:
+        li      $t0, 1               # i
+ej_row:
+        mul     $t1, $t0, $a2
+        sll     $t1, $t1, 2
+        add     $t2, $a0, $t1        # source row
+        add     $t3, $a1, $t1        # destination row
+        li      $t4, 1               # j
+ej_col:
+        sll     $t5, $t4, 2
+        add     $t6, $t2, $t5        # &u[i][j]
+        lwc1    $f0, 0($t6)
+        sub     $t1, $t6, $t7
+        lwc1    $f1, 0($t1)          # north
+        add     $t1, $t6, $t7
+        lwc1    $f2, 0($t1)          # south
+        lwc1    $f3, -4($t6)         # west
+        lwc1    $f4, 4($t6)          # east
+        add.s   $f1, $f1, $f2
+        add.s   $f1, $f1, $f3
+        add.s   $f1, $f1, $f4
+        mul.s   $f1, $f1, $f7        # (omega/4) * neighbor sum
+        mul.s   $f0, $f0, $f6        # (1-omega) * center
+        add.s   $f0, $f0, $f1
+        add     $t1, $t3, $t5
+        swc1    $f0, 0($t1)          # v[i][j]
+        addiu   $t4, $t4, 1
+        bne     $t4, $t8, ej_col
+        addiu   $t0, $t0, 1
+        bne     $t0, $t8, ej_row
+        move    $t1, $a0             # swap buffers
+        move    $a0, $a1
+        move    $a1, $t1
+        addiu   $t9, $t9, 1
+        bne     $t9, $a3, ej_iter
+        halt
+)";
+  w.init = [=](sim::Memory& memory, sim::CpuState& state) {
+    const std::vector<float> grid = random_floats(count, 0xE1);
+    write_floats(memory, u_addr, grid);
+    write_floats(memory, v_addr, grid);  // boundaries must match in both
+    state.r[isa::kA0] = u_addr;
+    state.r[isa::kA1] = v_addr;
+    state.r[isa::kA2] = static_cast<std::uint32_t>(n);
+    state.r[isa::kA3] = static_cast<std::uint32_t>(iters);
+  };
+  w.check = [=](const sim::Memory& memory, std::string* error) {
+    std::vector<float> u = random_floats(count, 0xE1);
+    std::vector<float> v = u;
+    const std::vector<float>& expected = ref_ej(n, iters, u, v);
+    const std::uint32_t result_addr = (iters % 2 == 1) ? v_addr : u_addr;
+    return compare_floats(expected, read_floats(memory, result_addr, count),
+                          "grid", error);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// fft: radix-2 DIT FFT (paper: 256 samples)
+// ---------------------------------------------------------------------------
+
+Workload make_fft(const SizeConfig& config) {
+  const int n = config.fft_n;
+  const auto fn = static_cast<std::uint32_t>(n);
+  const std::uint32_t params_addr = kArrayBase;
+  const std::uint32_t re_addr = params_addr + 64;
+  const std::uint32_t im_addr = re_addr + 4 * fn;
+  const std::uint32_t rev_addr = im_addr + 4 * fn;
+  const std::uint32_t wre_addr = rev_addr + 4 * fn;
+  const std::uint32_t wim_addr = wre_addr + 2 * fn;
+
+  Workload w;
+  w.name = "fft";
+  w.description = "fast Fourier transform, " + std::to_string(n) + " samples";
+  w.source = R"(# Iterative radix-2 DIT FFT with host-provided bit-reversal and
+# twiddle tables (as a table-driven embedded DSP implementation would).
+# $a0 = parameter block: 0:re 4:im 8:rev 12:wre 16:wim 20:n
+        .text
+fft:
+        lw      $s0, 0($a0)
+        lw      $s1, 4($a0)
+        lw      $s2, 8($a0)
+        lw      $s3, 12($a0)
+        lw      $s4, 16($a0)
+        lw      $s5, 20($a0)
+        li      $t0, 0               # bit-reversal pass
+brv:
+        sll     $t1, $t0, 2
+        add     $t2, $s2, $t1
+        lw      $t3, 0($t2)          # partner = rev[i]
+        slt     $at, $t0, $t3
+        beq     $at, $zero, brv_next
+        sll     $t4, $t3, 2
+        add     $t5, $s0, $t1
+        add     $t6, $s0, $t4
+        lwc1    $f0, 0($t5)
+        lwc1    $f1, 0($t6)
+        swc1    $f1, 0($t5)
+        swc1    $f0, 0($t6)
+        add     $t5, $s1, $t1
+        add     $t6, $s1, $t4
+        lwc1    $f0, 0($t5)
+        lwc1    $f1, 0($t6)
+        swc1    $f1, 0($t5)
+        swc1    $f0, 0($t6)
+brv_next:
+        addiu   $t0, $t0, 1
+        bne     $t0, $s5, brv
+        li      $s6, 2               # len
+stage:
+        srl     $t7, $s6, 1          # half
+        divu    $s5, $s6
+        mflo    $t8                  # twiddle stride n/len
+        li      $t0, 0               # block start
+blk:
+        li      $t1, 0               # j within block
+bfy:
+        add     $t2, $t0, $t1        # idx1
+        add     $t3, $t2, $t7        # idx2
+        sll     $t5, $t3, 2
+        add     $t6, $s0, $t5
+        lwc1    $f0, 0($t6)          # re[idx2]
+        add     $t6, $s1, $t5
+        lwc1    $f1, 0($t6)          # im[idx2]
+        beq     $t1, $zero, bfy_triv # w = 1 + 0i: skip the twiddle math
+        mul     $t4, $t1, $t8
+        sll     $t4, $t4, 2
+        add     $t5, $s3, $t4
+        lwc1    $f4, 0($t5)          # wr
+        add     $t5, $s4, $t4
+        lwc1    $f5, 0($t5)          # wi
+        mul.s   $f2, $f0, $f4
+        mul.s   $f3, $f1, $f5
+        sub.s   $f2, $f2, $f3        # tr
+        mul.s   $f3, $f0, $f5
+        mul.s   $f6, $f1, $f4
+        add.s   $f3, $f3, $f6        # ti
+        b       bfy_merge
+bfy_triv:
+        mov.s   $f2, $f0             # tr = re[idx2]
+        mov.s   $f3, $f1             # ti = im[idx2]
+bfy_merge:
+        sll     $t5, $t2, 2
+        add     $t6, $s0, $t5
+        lwc1    $f0, 0($t6)          # re[idx1]
+        add     $t6, $s1, $t5
+        lwc1    $f1, 0($t6)          # im[idx1]
+        add.s   $f6, $f0, $f2
+        add.s   $f7, $f1, $f3
+        sub.s   $f8, $f0, $f2
+        sub.s   $f9, $f1, $f3
+        add     $t6, $s0, $t5
+        swc1    $f6, 0($t6)
+        add     $t6, $s1, $t5
+        swc1    $f7, 0($t6)
+        sll     $t5, $t3, 2
+        add     $t6, $s0, $t5
+        swc1    $f8, 0($t6)
+        add     $t6, $s1, $t5
+        swc1    $f9, 0($t6)
+        addiu   $t1, $t1, 1
+        bne     $t1, $t7, bfy
+        add     $t0, $t0, $s6
+        bne     $t0, $s5, blk
+        sll     $s6, $s6, 1
+        sll     $t5, $s5, 1
+        bne     $s6, $t5, stage
+        halt
+)";
+  w.init = [=](sim::Memory& memory, sim::CpuState& state) {
+    const auto fcount = static_cast<std::size_t>(n);
+    write_floats(memory, re_addr, random_floats(fcount, 0xFF7));
+    write_floats(memory, im_addr, random_floats(fcount, 0xFF8));
+    write_words(memory, rev_addr, fft_bit_reverse_table(n));
+    std::vector<float> wre, wim;
+    fft_twiddles(n, wre, wim);
+    write_floats(memory, wre_addr, wre);
+    write_floats(memory, wim_addr, wim);
+    const std::uint32_t params[6] = {re_addr, im_addr, rev_addr,
+                                     wre_addr, wim_addr, fn};
+    write_words(memory, params_addr, params);
+    state.r[isa::kA0] = params_addr;
+  };
+  w.check = [=](const sim::Memory& memory, std::string* error) {
+    const auto fcount = static_cast<std::size_t>(n);
+    std::vector<float> re = random_floats(fcount, 0xFF7);
+    std::vector<float> im = random_floats(fcount, 0xFF8);
+    ref_fft(n, re, im);
+    // FFT output magnitudes grow with n; scale the tolerance accordingly.
+    return compare_floats(re, read_floats(memory, re_addr, fcount), "re", error,
+                          1e-2f) &&
+           compare_floats(im, read_floats(memory, im_addr, fcount), "im", error,
+                          1e-2f);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// tri: tridiagonal solver, Thomas algorithm (paper: 128x128 system)
+// ---------------------------------------------------------------------------
+
+Workload make_tri(const SizeConfig& config) {
+  const int n = config.tri_n;
+  const int reps = config.tri_reps;
+  const auto fn = static_cast<std::uint32_t>(n);
+  const std::uint32_t params_addr = kArrayBase;
+  const std::uint32_t a_addr = params_addr + 64;
+  const std::uint32_t b_addr = a_addr + 4 * fn;
+  const std::uint32_t c_addr = b_addr + 4 * fn;
+  const std::uint32_t d_addr = c_addr + 4 * fn;
+  const std::uint32_t x_addr = d_addr + 4 * fn;
+  const std::uint32_t sb_addr = x_addr + 4 * fn;
+  const std::uint32_t sd_addr = sb_addr + 4 * fn;
+
+  Workload w;
+  w.name = "tri";
+  w.description = "tridiagonal system solver (Thomas algorithm), n = " +
+                  std::to_string(n) + ", " + std::to_string(reps) + " solves";
+  w.source = R"(# Thomas algorithm on scratch copies so every repetition solves
+# the same system (a steady-state DSP filtering pattern).
+# $a0 = params: 0:a 4:b 8:c 12:d 16:x 20:sb 24:sd 28:n 32:reps
+        .text
+tri:
+        lw      $s0, 0($a0)
+        lw      $s1, 4($a0)
+        lw      $s2, 8($a0)
+        lw      $s3, 12($a0)
+        lw      $s4, 16($a0)
+        lw      $s5, 20($a0)
+        lw      $s6, 24($a0)
+        lw      $s7, 28($a0)
+        lw      $t9, 32($a0)
+        li      $t8, 0               # repetition counter
+trep:
+        li      $t0, 0               # copy b->sb, d->sd
+tcopy:
+        sll     $t1, $t0, 2
+        add     $t2, $s1, $t1
+        lwc1    $f0, 0($t2)
+        add     $t2, $s5, $t1
+        swc1    $f0, 0($t2)
+        add     $t2, $s3, $t1
+        lwc1    $f0, 0($t2)
+        add     $t2, $s6, $t1
+        swc1    $f0, 0($t2)
+        addiu   $t0, $t0, 1
+        bne     $t0, $s7, tcopy
+        li      $t0, 1               # forward elimination
+tfwd:
+        sll     $t1, $t0, 2
+        add     $t2, $s0, $t1
+        lwc1    $f0, 0($t2)          # a[i]
+        add     $t2, $s5, $t1
+        lwc1    $f1, -4($t2)         # sb[i-1]
+        div.s   $f2, $f0, $f1        # m
+        add     $t3, $s2, $t1
+        lwc1    $f3, -4($t3)         # c[i-1]
+        mul.s   $f3, $f2, $f3
+        lwc1    $f4, 0($t2)
+        sub.s   $f4, $f4, $f3
+        swc1    $f4, 0($t2)          # sb[i]
+        add     $t3, $s6, $t1
+        lwc1    $f5, -4($t3)         # sd[i-1]
+        mul.s   $f5, $f2, $f5
+        lwc1    $f6, 0($t3)
+        sub.s   $f6, $f6, $f5
+        swc1    $f6, 0($t3)          # sd[i]
+        addiu   $t0, $t0, 1
+        bne     $t0, $s7, tfwd
+        addiu   $t0, $s7, -1         # back substitution
+        sll     $t1, $t0, 2
+        add     $t2, $s6, $t1
+        lwc1    $f0, 0($t2)
+        add     $t2, $s5, $t1
+        lwc1    $f1, 0($t2)
+        div.s   $f0, $f0, $f1
+        add     $t2, $s4, $t1
+        swc1    $f0, 0($t2)          # x[n-1]
+        addiu   $t0, $t0, -1
+tback:
+        bltz    $t0, tdone
+        sll     $t1, $t0, 2
+        add     $t2, $s6, $t1
+        lwc1    $f0, 0($t2)          # sd[i]
+        add     $t3, $s2, $t1
+        lwc1    $f1, 0($t3)          # c[i]
+        add     $t2, $s4, $t1
+        lwc1    $f2, 4($t2)          # x[i+1]
+        mul.s   $f1, $f1, $f2
+        sub.s   $f0, $f0, $f1
+        add     $t3, $s5, $t1
+        lwc1    $f3, 0($t3)          # sb[i]
+        div.s   $f0, $f0, $f3
+        swc1    $f0, 0($t2)          # x[i]
+        addiu   $t0, $t0, -1
+        b       tback
+tdone:
+        addiu   $t8, $t8, 1
+        bne     $t8, $t9, trep
+        halt
+)";
+  w.init = [=](sim::Memory& memory, sim::CpuState& state) {
+    const auto fcount = static_cast<std::size_t>(n);
+    const std::vector<float> sub = random_floats(fcount, 0x77);
+    const std::vector<float> sup = random_floats(fcount, 0x78);
+    const std::vector<float> rhs = random_floats(fcount, 0x79);
+    std::vector<float> diag(fcount);
+    for (std::size_t i = 0; i < fcount; ++i) diag[i] = 2.0f + sub[i] + sup[i];
+    write_floats(memory, a_addr, sub);
+    write_floats(memory, b_addr, diag);
+    write_floats(memory, c_addr, sup);
+    write_floats(memory, d_addr, rhs);
+    const std::uint32_t params[9] = {a_addr,  b_addr,  c_addr,
+                                     d_addr,  x_addr,  sb_addr,
+                                     sd_addr, fn,      static_cast<std::uint32_t>(reps)};
+    write_words(memory, params_addr, params);
+    state.r[isa::kA0] = params_addr;
+  };
+  w.check = [=](const sim::Memory& memory, std::string* error) {
+    const auto fcount = static_cast<std::size_t>(n);
+    const std::vector<float> sub = random_floats(fcount, 0x77);
+    const std::vector<float> sup = random_floats(fcount, 0x78);
+    const std::vector<float> rhs = random_floats(fcount, 0x79);
+    std::vector<float> diag(fcount);
+    for (std::size_t i = 0; i < fcount; ++i) diag[i] = 2.0f + sub[i] + sup[i];
+    std::vector<float> expected;
+    ref_tri(n, sub, diag, sup, rhs, expected);
+    return compare_floats(expected, read_floats(memory, x_addr, fcount), "x", error);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// lu: Doolittle LU decomposition, no pivoting (paper: 128x128)
+// ---------------------------------------------------------------------------
+
+Workload make_lu(const SizeConfig& config) {
+  const int n = config.lu_n;
+  const auto count = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  const std::uint32_t m_addr = kArrayBase;
+
+  Workload w;
+  w.name = "lu";
+  w.description = "LU decomposition, " + std::to_string(n) + "x" + std::to_string(n);
+  w.source = R"(# In-place Doolittle LU without pivoting (inputs are made
+# diagonally dominant by the host).
+# $a0 = A, $a1 = n
+        .text
+lu:
+        li      $t0, 0               # k
+lu_k:
+        mul     $t1, $t0, $a1
+        add     $t1, $t1, $t0
+        sll     $t1, $t1, 2
+        add     $t1, $a0, $t1
+        lwc1    $f0, 0($t1)          # pivot
+        addiu   $t2, $t0, 1          # i
+lu_i:
+        beq     $t2, $a1, lu_knext
+        mul     $t3, $t2, $a1
+        add     $t4, $t3, $t0
+        sll     $t4, $t4, 2
+        add     $t4, $a0, $t4
+        lwc1    $f1, 0($t4)
+        div.s   $f1, $f1, $f0        # multiplier
+        swc1    $f1, 0($t4)
+        addiu   $t5, $t0, 1          # j
+        add     $t6, $t3, $t5
+        sll     $t6, $t6, 2
+        add     $t6, $a0, $t6        # &A[i][j]
+        mul     $t7, $t0, $a1
+        add     $t8, $t7, $t5
+        sll     $t8, $t8, 2
+        add     $t8, $a0, $t8        # &A[k][j]
+lu_j:
+        beq     $t5, $a1, lu_inext
+        lwc1    $f2, 0($t8)
+        mul.s   $f3, $f1, $f2
+        lwc1    $f4, 0($t6)
+        sub.s   $f4, $f4, $f3
+        swc1    $f4, 0($t6)
+        addiu   $t5, $t5, 1
+        addiu   $t6, $t6, 4
+        addiu   $t8, $t8, 4
+        b       lu_j
+lu_inext:
+        addiu   $t2, $t2, 1
+        b       lu_i
+lu_knext:
+        addiu   $t0, $t0, 1
+        bne     $t0, $a1, lu_k
+        halt
+)";
+  w.init = [=](sim::Memory& memory, sim::CpuState& state) {
+    std::vector<float> matrix = random_floats(count, 0x1C);
+    for (int i = 0; i < n; ++i) {
+      matrix[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(i)] +=
+          static_cast<float>(n);
+    }
+    write_floats(memory, m_addr, matrix);
+    state.r[isa::kA0] = m_addr;
+    state.r[isa::kA1] = static_cast<std::uint32_t>(n);
+  };
+  w.check = [=](const sim::Memory& memory, std::string* error) {
+    std::vector<float> expected = random_floats(count, 0x1C);
+    for (int i = 0; i < n; ++i) {
+      expected[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(i)] +=
+          static_cast<float>(n);
+    }
+    ref_lu(n, expected);
+    return compare_floats(expected, read_floats(memory, m_addr, count), "A", error);
+  };
+  return w;
+}
+
+std::vector<Workload> make_all(const SizeConfig& config) {
+  return {make_mmul(config), make_sor(config), make_ej(config),
+          make_fft(config), make_tri(config),  make_lu(config)};
+}
+
+Workload make_by_name(const std::string& name, const SizeConfig& config) {
+  if (name == "mmul") return make_mmul(config);
+  if (name == "sor") return make_sor(config);
+  if (name == "ej") return make_ej(config);
+  if (name == "fft") return make_fft(config);
+  if (name == "tri") return make_tri(config);
+  if (name == "lu") return make_lu(config);
+  if (name == "fir") return make_fir(config);
+  if (name == "crc32") return make_crc32(config);
+  if (name == "dct") return make_dct(config);
+  if (name == "hist") return make_histogram(config);
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+}  // namespace asimt::workloads

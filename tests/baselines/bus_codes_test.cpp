@@ -1,0 +1,116 @@
+#include "baselines/bus_codes.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+namespace asimt::baselines {
+namespace {
+
+TEST(BusInvert, NeverWorseThanHalfTheLinesPerWord) {
+  // The defining property: each transfer flips at most ceil(33/2) lines.
+  std::mt19937 rng(1);
+  BusInvertMonitor monitor;
+  long long previous = 0;
+  for (int i = 0; i < 1000; ++i) {
+    monitor.observe(rng());
+    const long long step = monitor.transitions() - previous;
+    previous = monitor.transitions();
+    EXPECT_LE(step, 17);  // 16 data lines + the invert line
+  }
+}
+
+TEST(BusInvert, ConstantStreamCostsNothing) {
+  BusInvertMonitor monitor;
+  for (int i = 0; i < 10; ++i) monitor.observe(0xABCD1234u);
+  EXPECT_EQ(monitor.transitions(), 0);
+}
+
+TEST(BusInvert, FullInversionIsNearlyFree) {
+  // w, ~w, w, ~w: plain binary pays 32 transitions per step; bus-invert
+  // pays 1 (the invert line) after the first flip.
+  BusInvertMonitor monitor;
+  const std::uint32_t w = 0x0F0F0F0Fu;
+  monitor.observe(w);
+  monitor.observe(~w);
+  EXPECT_EQ(monitor.transitions(), 1);  // asserted invert line only
+  monitor.observe(w);
+  EXPECT_EQ(monitor.transitions(), 2);
+}
+
+TEST(BusInvert, BeatsOrMatchesPlainBinaryOnRandomStreams) {
+  std::mt19937 rng(2);
+  BusInvertMonitor bi;
+  BinaryAddressMonitor plain;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint32_t w = rng();
+    bi.observe(w);
+    plain.observe(w);
+  }
+  EXPECT_LE(bi.transitions(), plain.transitions() + 5000 / 2);
+  EXPECT_GT(bi.transitions(), 0);
+}
+
+TEST(BusInvert, HalfPlusOneTriggersInversion) {
+  BusInvertMonitor monitor;
+  monitor.observe(0);
+  monitor.observe(0x0003FFFFu);  // 18 ones: inverting flips 14+1 instead of 18
+  EXPECT_EQ(monitor.transitions(), 15);
+}
+
+TEST(BinaryAddress, SequentialWordAddresses) {
+  BinaryAddressMonitor monitor;
+  long long expected = 0;
+  std::uint32_t prev = 0;
+  for (std::uint32_t a = 0; a < 4096; a += 4) {
+    monitor.observe(a);
+    if (a != 0) expected += std::popcount(prev ^ a);
+    prev = a;
+  }
+  EXPECT_EQ(monitor.transitions(), expected);
+}
+
+TEST(GrayAddress, CheaperThanBinaryOnSequentialStreams) {
+  BinaryAddressMonitor binary;
+  GrayAddressMonitor gray;
+  for (std::uint32_t a = 0; a < 1 << 14; ++a) {
+    binary.observe(a);
+    gray.observe(a);
+  }
+  // Gray coding of a counter flips exactly one bit per increment.
+  EXPECT_EQ(gray.transitions(), (1 << 14) - 1);
+  EXPECT_GT(binary.transitions(), gray.transitions());
+}
+
+TEST(T0Address, SequentialFetchIsFree) {
+  T0AddressMonitor t0(4);
+  for (std::uint32_t a = 0x1000; a < 0x1100; a += 4) t0.observe(a);
+  // Only the INC line toggles once (0 -> 1 on the first sequential access).
+  EXPECT_EQ(t0.transitions(), 1);
+}
+
+TEST(T0Address, BranchPaysTheJumpCost) {
+  T0AddressMonitor t0(4);
+  t0.observe(0x1000);
+  t0.observe(0x1004);  // sequential: INC toggles on
+  t0.observe(0x2000);  // jump: INC off (+1) plus address lines
+  EXPECT_EQ(t0.transitions(),
+            1 + 1 + std::popcount(0x1000u ^ 0x2000u));
+}
+
+TEST(T0Address, BeatsBinaryOnLoopFetchPatterns) {
+  // A 16-instruction loop executed many times.
+  BinaryAddressMonitor binary;
+  T0AddressMonitor t0(4);
+  for (int iter = 0; iter < 200; ++iter) {
+    for (std::uint32_t a = 0x4000; a < 0x4040; a += 4) {
+      binary.observe(a);
+      t0.observe(a);
+    }
+  }
+  EXPECT_LT(t0.transitions(), binary.transitions() / 4);
+}
+
+}  // namespace
+}  // namespace asimt::baselines

@@ -1,0 +1,140 @@
+// Cold-scheduling tests: transition reduction, dependence preservation, and
+// — the strong form — bit-exact workload results when the entire scheduled
+// program executes.
+#include "baselines/cold_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/assembler.h"
+#include "sim/cpu.h"
+#include "workloads/workload.h"
+
+namespace asimt::baselines {
+namespace {
+
+std::vector<std::uint32_t> assemble_words(const std::string& text) {
+  return isa::assemble(text).text;
+}
+
+TEST(ColdScheduler, KeepsWordMultiset) {
+  const auto words = assemble_words(R"(
+        addu    $t0, $s0, $s1
+        lui     $t1, 0x1234
+        xor     $t2, $s2, $s3
+        sll     $t3, $s4, 5
+)");
+  const ColdScheduleResult result = cold_schedule_block(words);
+  EXPECT_EQ(std::multiset<std::uint32_t>(words.begin(), words.end()),
+            std::multiset<std::uint32_t>(result.words.begin(), result.words.end()));
+}
+
+TEST(ColdScheduler, NeverIncreasesTransitionsMuch) {
+  // Greedy scheduling has no optimality guarantee, but the first-slot rule
+  // and tie-breaks keep it from losing on typical code.
+  const auto words = assemble_words(R"(
+        addu    $t0, $s0, $s1
+        lui     $t1, 0x7FFF
+        addu    $t2, $s2, $s3
+        lui     $t3, 0x7FFF
+        addu    $t4, $s4, $s5
+)");
+  const ColdScheduleResult result = cold_schedule_block(words);
+  EXPECT_LE(result.scheduled_transitions, result.original_transitions);
+}
+
+TEST(ColdScheduler, GroupsSimilarInstructions) {
+  // Two interleaved families (addu vs lui) should end up clustered.
+  const auto words = assemble_words(R"(
+        addu    $t0, $s0, $s1
+        lui     $t1, 0x1111
+        addu    $t2, $s2, $s3
+        lui     $t3, 0x1111
+)");
+  const ColdScheduleResult result = cold_schedule_block(words);
+  EXPECT_LT(result.scheduled_transitions, result.original_transitions);
+}
+
+TEST(ColdScheduler, RespectsRawDependence) {
+  const auto words = assemble_words(R"(
+        lui     $t0, 0x1234
+        addiu   $t1, $t0, 1
+        lui     $t2, 0x1234
+)");
+  const ColdScheduleResult result = cold_schedule_block(words);
+  // addiu must stay after the first lui.
+  std::size_t lui_pos = 0, addiu_pos = 0;
+  for (std::size_t i = 0; i < result.words.size(); ++i) {
+    if (result.words[i] == words[0]) lui_pos = i;
+    if (result.words[i] == words[1]) addiu_pos = i;
+  }
+  EXPECT_LT(lui_pos, addiu_pos);
+}
+
+TEST(ColdScheduler, ControlStaysLast) {
+  const auto words = assemble_words(R"(
+loop:   addu    $t0, $s0, $s1
+        xor     $t1, $s2, $s3
+        bne     $t0, $zero, loop
+)");
+  const ColdScheduleResult result = cold_schedule_block(words);
+  EXPECT_EQ(result.words.back(), words.back());
+}
+
+TEST(ColdScheduler, TinyBlocksPassThrough) {
+  const auto words = assemble_words("addu $t0, $s0, $s1\nhalt\n");
+  const ColdScheduleResult result = cold_schedule_block(words);
+  EXPECT_EQ(result.words, words);
+}
+
+// The decisive test: every workload still computes the right answer after
+// its whole text is cold-scheduled.
+class ColdSchedulePreservationTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ColdSchedulePreservationTest, WorkloadResultsUnchanged) {
+  const workloads::Workload w =
+      workloads::make_by_name(GetParam(), workloads::SizeConfig::small());
+  isa::Program program = isa::assemble(w.source);
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+  program.text = cold_schedule_program(cfg);  // run the REORDERED program
+
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  w.init(memory, cpu.state());
+  cpu.run(w.max_steps);
+  ASSERT_TRUE(cpu.state().halted) << w.name;
+  std::string error;
+  EXPECT_TRUE(w.check(memory, &error)) << w.name << ": " << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ColdSchedulePreservationTest,
+                         ::testing::Values("mmul", "sor", "ej", "fft", "tri",
+                                           "lu", "fir", "crc32", "dct",
+                                           "hist"),
+                         [](const auto& info) { return info.param; });
+
+TEST(ColdScheduler, ProgramImageKeepsBlockBoundaries) {
+  const workloads::Workload w =
+      workloads::make_by_name("fft", workloads::SizeConfig::small());
+  const isa::Program program = isa::assemble(w.source);
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+  const auto image = cold_schedule_program(cfg);
+  ASSERT_EQ(image.size(), cfg.text.size());
+  // Per block, the words are a permutation of the originals.
+  for (const cfg::BasicBlock& block : cfg.blocks) {
+    const std::size_t first = (block.start - cfg.text_base) / 4;
+    std::multiset<std::uint32_t> before, after;
+    for (std::size_t i = 0; i < block.instruction_count(); ++i) {
+      before.insert(cfg.text[first + i]);
+      after.insert(image[first + i]);
+    }
+    EXPECT_EQ(before, after) << "block at " << block.start;
+  }
+}
+
+}  // namespace
+}  // namespace asimt::baselines

@@ -1,0 +1,84 @@
+#include "baselines/opcode_remap.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+#include <set>
+
+namespace asimt::baselines {
+namespace {
+
+std::uint32_t word_with_opcode(unsigned opcode) { return opcode << 26; }
+
+TEST(OpcodeRemap, IdentityMappingReproducesRawTransitions) {
+  OpcodeRemapper remapper;
+  const unsigned stream[] = {0x08, 0x23, 0x08, 0x2B, 0x05};
+  long long expected = 0;
+  for (std::size_t i = 0; i < std::size(stream); ++i) {
+    remapper.observe(word_with_opcode(stream[i]));
+    if (i > 0) expected += std::popcount(stream[i - 1] ^ stream[i]);
+  }
+  EXPECT_EQ(remapper.field_transitions(OpcodeRemapper::identity_mapping()),
+            expected);
+  EXPECT_EQ(remapper.pairs_observed(), std::size(stream) - 1);
+}
+
+TEST(OpcodeRemap, SolveReturnsAPermutation) {
+  OpcodeRemapper remapper;
+  std::mt19937 rng(5);
+  for (int i = 0; i < 10'000; ++i) remapper.observe(rng());
+  const auto mapping = remapper.solve();
+  std::set<std::uint8_t> codes(mapping.begin(), mapping.end());
+  EXPECT_EQ(codes.size(), OpcodeRemapper::kOpcodes);
+}
+
+TEST(OpcodeRemap, NeverWorseThanIdentity) {
+  // Greedy places heavy opcodes first, so on any stream the remap is at
+  // least as good as raw MIPS numbering.
+  std::mt19937 rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    OpcodeRemapper remapper;
+    // Realistic skew: a few hot opcodes dominate.
+    const unsigned hot[] = {0x23, 0x2B, 0x08, 0x04, 0x00};
+    for (int i = 0; i < 5000; ++i) {
+      const unsigned opcode = (rng() % 4 != 0)
+                                  ? hot[rng() % std::size(hot)]
+                                  : rng() % OpcodeRemapper::kOpcodes;
+      remapper.observe(word_with_opcode(opcode));
+    }
+    const auto mapping = remapper.solve();
+    EXPECT_LE(remapper.field_transitions(mapping),
+              remapper.field_transitions(OpcodeRemapper::identity_mapping()));
+  }
+}
+
+TEST(OpcodeRemap, TwoAlternatingOpcodesLandAtHammingDistanceOne) {
+  // lw (0x23) and beq (0x04) sit 4 bits apart in raw MIPS numbering; a
+  // stream alternating between them must pull the codes to distance 1.
+  OpcodeRemapper remapper;
+  for (int i = 0; i < 1000; ++i) {
+    remapper.observe(word_with_opcode(i % 2 ? 0x23 : 0x04));
+  }
+  const auto mapping = remapper.solve();
+  EXPECT_EQ(std::popcount(static_cast<unsigned>(mapping[0x23] ^ mapping[0x04])), 1);
+  EXPECT_EQ(remapper.field_transitions(mapping), 999);
+  EXPECT_EQ(remapper.field_transitions(OpcodeRemapper::identity_mapping()),
+            999 * 4);
+}
+
+TEST(OpcodeRemap, ConstantStreamCostsNothingUnderAnyMapping) {
+  OpcodeRemapper remapper;
+  for (int i = 0; i < 100; ++i) remapper.observe(word_with_opcode(0x11));
+  EXPECT_EQ(remapper.field_transitions(remapper.solve()), 0);
+  EXPECT_EQ(remapper.field_transitions(OpcodeRemapper::identity_mapping()), 0);
+}
+
+TEST(OpcodeRemap, EmptyStreamIsHarmless) {
+  OpcodeRemapper remapper;
+  EXPECT_EQ(remapper.pairs_observed(), 0u);
+  EXPECT_EQ(remapper.field_transitions(remapper.solve()), 0);
+}
+
+}  // namespace
+}  // namespace asimt::baselines

@@ -1,0 +1,146 @@
+#include "bitstream/bitseq.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace asimt::bits {
+namespace {
+
+TEST(BitSeq, DefaultIsEmpty) {
+  BitSeq seq;
+  EXPECT_TRUE(seq.empty());
+  EXPECT_EQ(seq.size(), 0u);
+  EXPECT_EQ(seq.transitions(), 0);
+}
+
+TEST(BitSeq, FillConstructor) {
+  BitSeq zeros(5);
+  EXPECT_EQ(zeros.size(), 5u);
+  EXPECT_EQ(zeros.transitions(), 0);
+  BitSeq ones(5, 1);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(ones[i], 1);
+}
+
+TEST(BitSeq, StreamStringRoundTrip) {
+  const BitSeq seq = BitSeq::from_stream_string("10110");
+  EXPECT_EQ(seq.size(), 5u);
+  EXPECT_EQ(seq[0], 1);
+  EXPECT_EQ(seq[1], 0);
+  EXPECT_EQ(seq.to_stream_string(), "10110");
+}
+
+TEST(BitSeq, FigureStringReversesOrder) {
+  // Figure notation: rightmost char is the earliest bit.
+  const BitSeq seq = BitSeq::from_figure_string("010");
+  EXPECT_EQ(seq[0], 0);  // rightmost
+  EXPECT_EQ(seq[1], 1);
+  EXPECT_EQ(seq[2], 0);
+  EXPECT_EQ(seq.to_figure_string(), "010");
+}
+
+TEST(BitSeq, RejectsNonBinaryCharacters) {
+  EXPECT_THROW(BitSeq::from_stream_string("01x"), std::invalid_argument);
+  EXPECT_THROW(BitSeq::from_figure_string("2"), std::invalid_argument);
+}
+
+TEST(BitSeq, FromWordUsesLsbFirst) {
+  const BitSeq seq = BitSeq::from_word(0b110, 3);
+  EXPECT_EQ(seq[0], 0);
+  EXPECT_EQ(seq[1], 1);
+  EXPECT_EQ(seq[2], 1);
+  EXPECT_EQ(seq.to_word(3), 0b110u);
+}
+
+TEST(BitSeq, TransitionsCountsAdjacentFlips) {
+  EXPECT_EQ(BitSeq::from_stream_string("0101").transitions(), 3);
+  EXPECT_EQ(BitSeq::from_stream_string("0000").transitions(), 0);
+  EXPECT_EQ(BitSeq::from_stream_string("0110").transitions(), 2);
+  EXPECT_EQ(BitSeq::from_stream_string("1").transitions(), 0);
+}
+
+TEST(BitSeq, TransitionsInWindow) {
+  const BitSeq seq = BitSeq::from_stream_string("010011");
+  EXPECT_EQ(seq.transitions_in(0, 5), 3);
+  EXPECT_EQ(seq.transitions_in(2, 4), 1);
+  EXPECT_EQ(seq.transitions_in(3, 3), 0);
+}
+
+TEST(BitSeq, Slice) {
+  const BitSeq seq = BitSeq::from_stream_string("010011");
+  EXPECT_EQ(seq.slice(1, 3).to_stream_string(), "100");
+}
+
+TEST(BitSeq, SetAndPushBack) {
+  BitSeq seq(3);
+  seq.set(1, 1);
+  seq.push_back(1);
+  EXPECT_EQ(seq.to_stream_string(), "0101");
+}
+
+TEST(WordTransitions, MatchesBitSeq) {
+  std::mt19937 rng(123);
+  for (int k = 1; k <= 16; ++k) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::uint32_t word = rng() & ((k >= 32 ? 0 : (1u << k)) - 1u);
+      EXPECT_EQ(word_transitions(word, k),
+                BitSeq::from_word(word, static_cast<std::size_t>(k)).transitions())
+          << "k=" << k << " word=" << word;
+    }
+  }
+}
+
+TEST(WordTransitions, DegenerateSizes) {
+  EXPECT_EQ(word_transitions(1, 1), 0);
+  EXPECT_EQ(word_transitions(0b10, 2), 1);
+}
+
+TEST(VerticalLine, ExtractsColumns) {
+  // Figure 1b: the per-line columns of a word sequence.
+  const std::uint32_t words[] = {0x1, 0x0, 0x1, 0x0};
+  const BitSeq line0 = vertical_line(words, 0);
+  EXPECT_EQ(line0.to_stream_string(), "1010");
+  const BitSeq line1 = vertical_line(words, 1);
+  EXPECT_EQ(line1.to_stream_string(), "0000");
+}
+
+TEST(VerticalLine, HighLines) {
+  const std::uint32_t words[] = {0x80000000u, 0x0u, 0x80000000u};
+  EXPECT_EQ(vertical_line(words, 31).to_stream_string(), "101");
+}
+
+TEST(FromVerticalLines, InvertsExtraction) {
+  std::mt19937 rng(7);
+  std::vector<std::uint32_t> words(17);
+  for (auto& w : words) w = rng();
+  std::vector<BitSeq> lines;
+  for (unsigned b = 0; b < 32; ++b) lines.push_back(vertical_line(words, b));
+  EXPECT_EQ(from_vertical_lines(lines, words.size()), words);
+}
+
+TEST(FromVerticalLines, ValidatesShape) {
+  std::vector<BitSeq> lines(31, BitSeq(4));
+  EXPECT_THROW(from_vertical_lines(lines, 4), std::invalid_argument);
+  lines.emplace_back(3);  // 32nd line has the wrong length
+  EXPECT_THROW(from_vertical_lines(lines, 4), std::invalid_argument);
+}
+
+TEST(TotalBusTransitions, SumsHammingDistances) {
+  const std::uint32_t words[] = {0b0000, 0b0011, 0b0001};
+  EXPECT_EQ(total_bus_transitions(words), 2 + 1);
+  EXPECT_EQ(total_bus_transitions(std::span<const std::uint32_t>{}), 0);
+}
+
+TEST(TotalBusTransitions, EqualsPerLineSum) {
+  std::mt19937 rng(99);
+  std::vector<std::uint32_t> words(64);
+  for (auto& w : words) w = rng();
+  long long per_line_sum = 0;
+  for (unsigned b = 0; b < 32; ++b) {
+    per_line_sum += vertical_line(words, b).transitions();
+  }
+  EXPECT_EQ(total_bus_transitions(words), per_line_sum);
+}
+
+}  // namespace
+}  // namespace asimt::bits

@@ -1,0 +1,206 @@
+// CFG extraction, loop detection, and dynamic profiling tests.
+#include "cfg/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/cpu.h"
+
+namespace asimt::cfg {
+namespace {
+
+constexpr const char* kStraightLine = R"(
+        addiu   $t0, $t0, 1
+        addiu   $t0, $t0, 2
+        addiu   $t0, $t0, 3
+        halt
+)";
+
+constexpr const char* kSimpleLoop = R"(
+start:  li      $t0, 0
+        li      $t1, 10
+loop:   addiu   $t0, $t0, 1
+        bne     $t0, $t1, loop
+exit:   halt
+)";
+
+constexpr const char* kDiamond = R"(
+entry:  bne     $a0, $zero, right
+left:   li      $t0, 1
+        j       join
+right:  li      $t0, 2
+join:   halt
+)";
+
+constexpr const char* kNestedLoops = R"(
+outer:  li      $t0, 0
+oloop:  li      $t1, 0
+iloop:  addiu   $t1, $t1, 1
+        slti    $at, $t1, 3
+        bne     $at, $zero, iloop
+        addiu   $t0, $t0, 1
+        slti    $at, $t0, 4
+        bne     $at, $zero, oloop
+        halt
+)";
+
+TEST(BuildCfg, StraightLineIsOneBlock) {
+  const Cfg cfg = build_cfg(isa::assemble(kStraightLine));
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_EQ(cfg.blocks[0].instruction_count(), 4u);
+  EXPECT_TRUE(cfg.blocks[0].successors.empty());  // ends in halt
+}
+
+TEST(BuildCfg, LoopStructure) {
+  const isa::Program p = isa::assemble(kSimpleLoop);
+  const Cfg cfg = build_cfg(p);
+  ASSERT_EQ(cfg.blocks.size(), 3u);
+  const int entry = cfg.block_starting_at(p.symbol("start"));
+  const int loop = cfg.block_starting_at(p.symbol("loop"));
+  const int exit = cfg.block_starting_at(p.symbol("exit"));
+  ASSERT_GE(entry, 0);
+  ASSERT_GE(loop, 0);
+  ASSERT_GE(exit, 0);
+  EXPECT_EQ(cfg.blocks[static_cast<std::size_t>(entry)].successors,
+            (std::vector<int>{loop}));
+  // Loop block branches to itself or falls through to exit.
+  EXPECT_EQ(cfg.blocks[static_cast<std::size_t>(loop)].successors,
+            (std::vector<int>{loop, exit}));
+}
+
+TEST(BuildCfg, DiamondSuccessors) {
+  const isa::Program p = isa::assemble(kDiamond);
+  const Cfg cfg = build_cfg(p);
+  const int entry = cfg.block_starting_at(p.symbol("entry"));
+  const int left = cfg.block_starting_at(p.symbol("left"));
+  const int right = cfg.block_starting_at(p.symbol("right"));
+  const int join = cfg.block_starting_at(p.symbol("join"));
+  EXPECT_EQ(cfg.blocks[static_cast<std::size_t>(entry)].successors,
+            (std::vector<int>{left, right}));
+  EXPECT_EQ(cfg.blocks[static_cast<std::size_t>(left)].successors,
+            (std::vector<int>{join}));
+  EXPECT_EQ(cfg.blocks[static_cast<std::size_t>(right)].successors,
+            (std::vector<int>{join}));
+}
+
+TEST(BuildCfg, BlockContainment) {
+  const isa::Program p = isa::assemble(kSimpleLoop);
+  const Cfg cfg = build_cfg(p);
+  const int loop = cfg.block_starting_at(p.symbol("loop"));
+  EXPECT_EQ(cfg.block_containing(p.symbol("loop")), loop);
+  EXPECT_EQ(cfg.block_containing(p.symbol("loop") + 4), loop);
+  EXPECT_EQ(cfg.block_containing(p.text_base - 4), -1);
+  EXPECT_EQ(cfg.block_containing(p.text_end()), -1);
+}
+
+TEST(BuildCfg, BlockWords) {
+  const isa::Program p = isa::assemble(kSimpleLoop);
+  const Cfg cfg = build_cfg(p);
+  const int loop = cfg.block_starting_at(p.symbol("loop"));
+  const auto words = cfg.block_words(cfg.blocks[static_cast<std::size_t>(loop)]);
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], p.text[(p.symbol("loop") - p.text_base) / 4]);
+}
+
+TEST(BuildCfg, IndirectJumpMarksBlock) {
+  const Cfg cfg = build_cfg(isa::assemble("jr $ra\n"));
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_TRUE(cfg.blocks[0].has_indirect_exit);
+}
+
+TEST(BuildCfg, JalCreatesCallAndReturnLeaders) {
+  const isa::Program p = isa::assemble(R"(
+main:   jal     callee
+after:  halt
+callee: jr      $ra
+)");
+  const Cfg cfg = build_cfg(p);
+  EXPECT_GE(cfg.block_starting_at(p.symbol("after")), 0);
+  EXPECT_GE(cfg.block_starting_at(p.symbol("callee")), 0);
+}
+
+TEST(NaturalLoops, SimpleLoopFound) {
+  const isa::Program p = isa::assemble(kSimpleLoop);
+  const Cfg cfg = build_cfg(p);
+  const auto loops = find_natural_loops(cfg);
+  ASSERT_EQ(loops.size(), 1u);
+  const int loop_block = cfg.block_starting_at(p.symbol("loop"));
+  EXPECT_EQ(loops[0].header, loop_block);
+  EXPECT_EQ(loops[0].body, (std::vector<int>{loop_block}));
+}
+
+TEST(NaturalLoops, NestedLoopsFound) {
+  const isa::Program p = isa::assemble(kNestedLoops);
+  const Cfg cfg = build_cfg(p);
+  const auto loops = find_natural_loops(cfg);
+  ASSERT_EQ(loops.size(), 2u);
+  const int oloop = cfg.block_starting_at(p.symbol("oloop"));
+  const int iloop = cfg.block_starting_at(p.symbol("iloop"));
+  // Inner loop body is a subset of the outer loop body.
+  const Loop* outer = nullptr;
+  const Loop* inner = nullptr;
+  for (const Loop& l : loops) {
+    if (l.header == oloop) outer = &l;
+    if (l.header == iloop) inner = &l;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_LT(inner->body.size(), outer->body.size());
+  for (int b : inner->body) {
+    EXPECT_NE(std::find(outer->body.begin(), outer->body.end(), b),
+              outer->body.end());
+  }
+}
+
+TEST(NaturalLoops, AcyclicGraphHasNone) {
+  EXPECT_TRUE(find_natural_loops(build_cfg(isa::assemble(kDiamond))).empty());
+  EXPECT_TRUE(find_natural_loops(build_cfg(isa::assemble(kStraightLine))).empty());
+}
+
+TEST(Profiler, CountsBlocksAndEdges) {
+  const isa::Program p = isa::assemble(kSimpleLoop);
+  const Cfg cfg = build_cfg(p);
+  sim::Memory memory;
+  memory.load_program(p);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = p.entry();
+  Profiler profiler(cfg);
+  cpu.run(10'000, [&](std::uint32_t pc, std::uint32_t) { profiler.on_fetch(pc); });
+  ASSERT_TRUE(cpu.state().halted);
+  const Profile profile = profiler.take();
+
+  const auto entry = static_cast<std::size_t>(cfg.block_starting_at(p.symbol("start")));
+  const auto loop = static_cast<std::size_t>(cfg.block_starting_at(p.symbol("loop")));
+  const auto exit = static_cast<std::size_t>(cfg.block_starting_at(p.symbol("exit")));
+  EXPECT_EQ(profile.block_counts[entry], 1u);
+  EXPECT_EQ(profile.block_counts[loop], 10u);
+  EXPECT_EQ(profile.block_counts[exit], 1u);
+  EXPECT_EQ(profile.edge_counts.at(Profile::edge_key(static_cast<int>(loop),
+                                                     static_cast<int>(loop))),
+            9u);
+  EXPECT_EQ(profile.edge_counts.at(Profile::edge_key(static_cast<int>(entry),
+                                                     static_cast<int>(loop))),
+            1u);
+  EXPECT_EQ(profile.total_instructions, cpu.state().instructions);
+}
+
+TEST(Profiler, InstructionTotalsMatchBlockSizes) {
+  const isa::Program p = isa::assemble(kNestedLoops);
+  const Cfg cfg = build_cfg(p);
+  sim::Memory memory;
+  memory.load_program(p);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = p.entry();
+  Profiler profiler(cfg);
+  cpu.run(100'000, [&](std::uint32_t pc, std::uint32_t) { profiler.on_fetch(pc); });
+  const Profile profile = profiler.take();
+  std::uint64_t weighted = 0;
+  for (const BasicBlock& b : cfg.blocks) {
+    weighted += profile.block_counts[static_cast<std::size_t>(b.index)] *
+                b.instruction_count();
+  }
+  EXPECT_EQ(weighted, profile.total_instructions);
+}
+
+}  // namespace
+}  // namespace asimt::cfg

@@ -1,0 +1,185 @@
+// Tests for the cycle-level fetch-side decoder hardware model (§7.2):
+// BBIT-triggered entry, TT entry sequencing, E/CT tail handling, history
+// register reload at block boundaries, and raw passthrough outside encoded
+// regions.
+#include "core/fetch_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/program_encoder.h"
+
+namespace asimt::core {
+namespace {
+
+ChainOptions options_for(int k) {
+  ChainOptions opt;
+  opt.block_size = k;
+  opt.allowed = std::span<const Transform>{kPaperSubset};
+  opt.strategy = ChainStrategy::kGreedy;
+  return opt;
+}
+
+std::vector<std::uint32_t> random_words(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint32_t> words(n);
+  for (auto& w : words) w = rng();
+  return words;
+}
+
+// Builds a decoder serving exactly one encoded block at `pc`.
+FetchDecoder decoder_for(const BlockEncoding& enc) {
+  TtConfig tt;
+  tt.block_size = enc.block_size;
+  tt.entries = enc.tt_entries;
+  return FetchDecoder(tt, {BbitEntry{enc.start_pc, 0}});
+}
+
+TEST(FetchDecoder, RestoresOneBlockExactly) {
+  for (int k : {4, 5, 6, 7}) {
+    for (std::size_t m : {1u, 2u, 5u, 8u, 13u, 21u}) {
+      const auto words = random_words(m, static_cast<std::uint32_t>(k + m));
+      const BlockEncoding enc = encode_basic_block(words, 0x1000, options_for(k));
+      FetchDecoder decoder = decoder_for(enc);
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint32_t pc = 0x1000 + 4 * static_cast<std::uint32_t>(i);
+        EXPECT_EQ(decoder.feed(pc, enc.encoded_words[i]), words[i])
+            << "k=" << k << " m=" << m << " i=" << i;
+      }
+      EXPECT_FALSE(decoder.in_encoded_mode())
+          << "decoder must exit after CT expires (k=" << k << " m=" << m << ")";
+    }
+  }
+}
+
+TEST(FetchDecoder, RawPassthroughOutsideEncodedRegions) {
+  const auto words = random_words(6, 1);
+  const BlockEncoding enc = encode_basic_block(words, 0x1000, options_for(5));
+  FetchDecoder decoder = decoder_for(enc);
+  EXPECT_EQ(decoder.feed(0x2000, 0xABCD1234u), 0xABCD1234u);
+  EXPECT_FALSE(decoder.in_encoded_mode());
+  EXPECT_EQ(decoder.stats().raw, 1u);
+}
+
+TEST(FetchDecoder, LoopedBlockDecodesEveryIteration) {
+  // A tight loop refetches the same encoded block; the BBIT hit at the
+  // header must reset chain state every time.
+  const auto words = random_words(9, 7);
+  const BlockEncoding enc = encode_basic_block(words, 0x4000, options_for(4));
+  FetchDecoder decoder = decoder_for(enc);
+  for (int iteration = 0; iteration < 5; ++iteration) {
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      const std::uint32_t pc = 0x4000 + 4 * static_cast<std::uint32_t>(i);
+      ASSERT_EQ(decoder.feed(pc, enc.encoded_words[i]), words[i])
+          << "iteration=" << iteration << " i=" << i;
+    }
+  }
+  EXPECT_EQ(decoder.stats().bbit_hits, 5u);
+}
+
+TEST(FetchDecoder, MultipleBlocksShareTheTable) {
+  // Two encoded blocks like a loop body with an if/else: BBIT points each
+  // start PC at its own TT range.
+  const auto words_a = random_words(7, 21);
+  const auto words_b = random_words(11, 22);
+  const BlockEncoding enc_a = encode_basic_block(words_a, 0x1000, options_for(5));
+  const BlockEncoding enc_b = encode_basic_block(words_b, 0x2000, options_for(5));
+  TtConfig tt;
+  tt.block_size = 5;
+  tt.entries = enc_a.tt_entries;
+  tt.entries.insert(tt.entries.end(), enc_b.tt_entries.begin(),
+                    enc_b.tt_entries.end());
+  FetchDecoder decoder(
+      tt, {BbitEntry{0x1000, 0},
+           BbitEntry{0x2000, static_cast<std::uint16_t>(enc_a.tt_entries.size())}});
+
+  // a, then b, then a again (alternating control flow).
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < words_a.size(); ++i) {
+      ASSERT_EQ(decoder.feed(0x1000 + 4 * static_cast<std::uint32_t>(i),
+                             enc_a.encoded_words[i]),
+                words_a[i]);
+    }
+    for (std::size_t i = 0; i < words_b.size(); ++i) {
+      ASSERT_EQ(decoder.feed(0x2000 + 4 * static_cast<std::uint32_t>(i),
+                             enc_b.encoded_words[i]),
+                words_b[i]);
+    }
+  }
+}
+
+TEST(FetchDecoder, EncodedBlockFollowedByRawCode) {
+  const auto words = random_words(6, 3);
+  const BlockEncoding enc = encode_basic_block(words, 0x1000, options_for(4));
+  FetchDecoder decoder = decoder_for(enc);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    decoder.feed(0x1000 + 4 * static_cast<std::uint32_t>(i), enc.encoded_words[i]);
+  }
+  // Fallthrough to unencoded code: raw words pass untouched.
+  EXPECT_EQ(decoder.feed(0x1000 + 24, 0x11111111u), 0x11111111u);
+  EXPECT_EQ(decoder.feed(0x1000 + 28, 0x22222222u), 0x22222222u);
+  EXPECT_EQ(decoder.stats().raw, 2u);
+}
+
+TEST(FetchDecoder, BbitHitPreemptsActiveBlock) {
+  // A branch can leave block A's region for block B's header while A's tail
+  // was still pending (only possible at A's final instruction in practice,
+  // but the hardware keys purely on the BBIT).
+  const auto words_a = random_words(9, 5);
+  const auto words_b = random_words(5, 6);
+  const BlockEncoding enc_a = encode_basic_block(words_a, 0x1000, options_for(4));
+  const BlockEncoding enc_b = encode_basic_block(words_b, 0x3000, options_for(4));
+  TtConfig tt;
+  tt.block_size = 4;
+  tt.entries = enc_a.tt_entries;
+  tt.entries.insert(tt.entries.end(), enc_b.tt_entries.begin(),
+                    enc_b.tt_entries.end());
+  FetchDecoder decoder(
+      tt, {BbitEntry{0x1000, 0},
+           BbitEntry{0x3000, static_cast<std::uint16_t>(enc_a.tt_entries.size())}});
+  // Fetch only half of A, then jump to B.
+  for (std::size_t i = 0; i < 4; ++i) {
+    decoder.feed(0x1000 + 4 * static_cast<std::uint32_t>(i), enc_a.encoded_words[i]);
+  }
+  for (std::size_t i = 0; i < words_b.size(); ++i) {
+    EXPECT_EQ(decoder.feed(0x3000 + 4 * static_cast<std::uint32_t>(i),
+                           enc_b.encoded_words[i]),
+              words_b[i]);
+  }
+}
+
+TEST(FetchDecoder, StatsAccounting) {
+  const auto words = random_words(6, 9);
+  const BlockEncoding enc = encode_basic_block(words, 0x1000, options_for(5));
+  FetchDecoder decoder = decoder_for(enc);
+  decoder.feed(0x0, 0x0);  // raw
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    decoder.feed(0x1000 + 4 * static_cast<std::uint32_t>(i), enc.encoded_words[i]);
+  }
+  decoder.feed(0x0, 0x0);  // raw
+  EXPECT_EQ(decoder.stats().fetches, words.size() + 2);
+  EXPECT_EQ(decoder.stats().decoded, words.size());
+  EXPECT_EQ(decoder.stats().raw, 2u);
+  EXPECT_EQ(decoder.stats().bbit_hits, 1u);
+}
+
+TEST(FetchDecoder, ValidatesConstruction) {
+  TtConfig tt;
+  tt.block_size = 1;
+  EXPECT_THROW(FetchDecoder(tt, {}), std::invalid_argument);
+  tt.block_size = 5;
+  tt.entries.resize(2);
+  EXPECT_THROW(FetchDecoder(tt, {BbitEntry{0, 7}}), std::invalid_argument);
+}
+
+TEST(FetchDecoder, BudgetIntrospection) {
+  const auto words = random_words(9, 11);
+  const BlockEncoding enc = encode_basic_block(words, 0x1000, options_for(4));
+  FetchDecoder decoder = decoder_for(enc);
+  EXPECT_EQ(decoder.tt_entries(), enc.tt_entries.size());
+  EXPECT_EQ(decoder.bbit_entries(), 1u);
+}
+
+}  // namespace
+}  // namespace asimt::core

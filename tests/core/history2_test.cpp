@@ -1,0 +1,105 @@
+// Tests for the two-bit-history extension.
+#include "core/history2.h"
+
+#include <gtest/gtest.h>
+
+#include "core/block_code.h"
+
+namespace asimt::core {
+namespace {
+
+TEST(Transform2, DefaultIsIdentity) {
+  const Transform2 t;
+  for (int x = 0; x < 2; ++x) {
+    for (int y1 = 0; y1 < 2; ++y1) {
+      for (int y2 = 0; y2 < 2; ++y2) {
+        EXPECT_EQ(t.apply(x, y1, y2), x);
+      }
+    }
+  }
+}
+
+TEST(Transform2, TruthTableIndexing) {
+  // bit (x + 2 y1 + 4 y2) of the table.
+  const Transform2 t{0b10000001};
+  EXPECT_EQ(t.apply(0, 0, 0), 1);
+  EXPECT_EQ(t.apply(1, 1, 1), 1);
+  EXPECT_EQ(t.apply(1, 0, 0), 0);
+  EXPECT_EQ(t.apply(0, 1, 1), 0);
+}
+
+TEST(DecodeBlockH2, FirstTwoBitsStoredPlain) {
+  for (unsigned tt = 0; tt < 256; tt += 17) {
+    for (std::uint32_t code = 0; code < 16; ++code) {
+      const std::uint32_t word = decode_block_h2(Transform2{tt}, code, 4);
+      EXPECT_EQ(word & 3u, code & 3u);
+    }
+  }
+}
+
+TEST(DecodeBlockH2, RecurrenceUsesBothHistoryBits) {
+  // τ(x, y1, y2) = y2: each decoded bit equals the bit two positions back.
+  Transform2 oldest{0};
+  {
+    unsigned table = 0;
+    for (int x = 0; x < 2; ++x) {
+      for (int y1 = 0; y1 < 2; ++y1) {
+        for (int y2 = 0; y2 < 2; ++y2) {
+          table |= static_cast<unsigned>(y2) << (x + 2 * y1 + 4 * y2);
+        }
+      }
+    }
+    oldest = Transform2{table};
+  }
+  // Seed bits 01 -> decoded stream must repeat with period 2: 1,0,1,0,...
+  const std::uint32_t word = decode_block_h2(oldest, 0b000001u, 6);
+  EXPECT_EQ(word, 0b010101u);
+}
+
+TEST(SolveH2Stats, MatchesH1WhereH2AddsNothing) {
+  // At k=4 the extra history cannot help (Fig. in EXPERIMENTS.md): both
+  // reach RTN=10.
+  const H2CodeStats h2 = solve_h2_stats(4);
+  const BlockCode h1 = solve_block_code(4);
+  EXPECT_EQ(h2.ttn, h1.ttn());
+  EXPECT_EQ(h2.rtn, h1.rtn());
+}
+
+TEST(SolveH2Stats, BeatsH1ForLargerBlocks) {
+  for (int k = 5; k <= 8; ++k) {
+    const H2CodeStats h2 = solve_h2_stats(k);
+    const BlockCode h1 = solve_block_code(k);
+    EXPECT_EQ(h2.ttn, h1.ttn());
+    EXPECT_LT(h2.rtn, h1.rtn()) << "k=" << k;
+  }
+}
+
+TEST(SolveH2Stats, LosesAtKThree) {
+  // Two plain-stored seed bits cost more than one on 3-bit blocks.
+  const H2CodeStats h2 = solve_h2_stats(3);
+  const BlockCode h1 = solve_block_code(3);
+  EXPECT_GT(h2.rtn, h1.rtn());
+}
+
+TEST(SolveH2Stats, NeverWorseThanOriginal) {
+  for (int k = 2; k <= 8; ++k) {
+    const H2CodeStats stats = solve_h2_stats(k);
+    EXPECT_LE(stats.rtn, stats.ttn) << k;
+    EXPECT_GE(stats.improvement_percent(), 0.0);
+  }
+}
+
+TEST(SolveH2Stats, RejectsBadSizes) {
+  EXPECT_THROW(solve_h2_stats(1), std::invalid_argument);
+  EXPECT_THROW(solve_h2_stats(13), std::invalid_argument);
+}
+
+TEST(GreedyH2Subset, SmallAndStable) {
+  const int size = greedy_h2_subset_size(7);
+  EXPECT_GT(size, 6);   // strictly richer than the h=1 core set
+  EXPECT_LE(size, 32);  // still a practical control field (<= 5 bits)
+  EXPECT_EQ(greedy_h2_subset_size(7), size);  // deterministic
+}
+
+}  // namespace
+}  // namespace asimt::core

@@ -1,0 +1,157 @@
+// Tests for phased (per-loop) Transformation Table management.
+#include "core/phased.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fetch_decoder.h"
+
+#include "isa/assembler.h"
+#include "sim/cpu.h"
+
+namespace asimt::core {
+namespace {
+
+// Two sequential hot loops — exactly the case where phase switching lets
+// each loop use the full TT budget.
+constexpr const char* kTwoLoops = R"(
+        li      $s0, 0
+        li      $s1, 40
+loop_a: addiu   $s0, $s0, 1
+        xor     $t0, $t0, $s0
+        sll     $t1, $t0, 3
+        addu    $t2, $t1, $s0
+        srl     $t3, $t2, 1
+        and     $t4, $t3, $t2
+        or      $t5, $t4, $t0
+        nor     $t6, $t5, $s0
+        bne     $s0, $s1, loop_a
+        li      $s0, 0
+loop_b: addiu   $s0, $s0, 1
+        lw      $t0, 0($a0)
+        addu    $t1, $t1, $t0
+        sw      $t1, 4($a0)
+        sub     $t2, $t1, $s0
+        slt     $t3, $t2, $s1
+        xor     $t4, $t4, $t3
+        addu    $t5, $t5, $t4
+        bne     $s0, $s1, loop_b
+        halt
+)";
+
+struct Fixture {
+  isa::Program program;
+  cfg::Cfg cfg;
+  cfg::Profile profile;
+};
+
+Fixture run_and_profile() {
+  Fixture f;
+  f.program = isa::assemble(kTwoLoops);
+  f.cfg = cfg::build_cfg(f.program);
+  sim::Memory memory;
+  memory.load_program(f.program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = f.program.entry();
+  cpu.state().r[isa::kA0] = 0x30000;
+  cfg::Profiler profiler(f.cfg);
+  cpu.run(100'000, [&](std::uint32_t pc, std::uint32_t) { profiler.on_fetch(pc); });
+  EXPECT_TRUE(cpu.state().halted);
+  f.profile = profiler.take();
+  return f;
+}
+
+SelectionOptions tight_options() {
+  SelectionOptions opt;
+  opt.chain.block_size = 5;
+  opt.tt_budget = 2;  // too small for both loops at once
+  return opt;
+}
+
+TEST(Phased, FindsOnePhasePerLoop) {
+  const Fixture f = run_and_profile();
+  const PhasedSelection phased = select_phased(f.cfg, f.profile, tight_options());
+  ASSERT_EQ(phased.phases.size(), 2u);
+  EXPECT_EQ(phased.phases[0].loop_header,
+            f.cfg.block_starting_at(f.program.symbol("loop_a")));
+  EXPECT_EQ(phased.phases[1].loop_header,
+            f.cfg.block_starting_at(f.program.symbol("loop_b")));
+}
+
+TEST(Phased, EachPhaseGetsTheFullBudget) {
+  const Fixture f = run_and_profile();
+  const SelectionOptions opt = tight_options();
+  const PhasedSelection phased = select_phased(f.cfg, f.profile, opt);
+  const SelectionResult single = select_and_encode(f.cfg, f.profile, opt);
+  std::size_t phase_blocks = 0;
+  for (const Phase& phase : phased.phases) {
+    EXPECT_LE(phase.selection.tt_entries_used, opt.tt_budget);
+    phase_blocks += phase.selection.encodings.size();
+  }
+  // Single config fits one loop under the tight budget; phases fit both.
+  EXPECT_GT(phase_blocks, single.encodings.size());
+}
+
+TEST(Phased, BeatsSingleConfigurationUnderTightBudget) {
+  const Fixture f = run_and_profile();
+  const SelectionOptions opt = tight_options();
+  const PhasedSelection phased = select_phased(f.cfg, f.profile, opt);
+  const SelectionResult single = select_and_encode(f.cfg, f.profile, opt);
+  const long long single_transitions = cfg::dynamic_transitions(
+      f.cfg, f.profile, single.apply_to_text(f.cfg.text, f.cfg.text_base));
+  EXPECT_LT(phased.encoded_transitions, single_transitions);
+}
+
+TEST(Phased, CountsPhaseActivations) {
+  const Fixture f = run_and_profile();
+  const PhasedSelection phased = select_phased(f.cfg, f.profile, tight_options());
+  // Each loop is entered exactly once from outside.
+  for (const Phase& phase : phased.phases) {
+    EXPECT_EQ(phase.entries_from_outside, 1u) << phase.loop_header;
+  }
+  EXPECT_GT(phased.reprogram_instructions, 0u);
+}
+
+TEST(Phased, ReprogramCostScalesWithTableSize) {
+  Phase small;
+  small.selection.tt.entries.resize(1);
+  small.selection.bbit.resize(1);
+  Phase large;
+  large.selection.tt.entries.resize(16);
+  large.selection.bbit.resize(4);
+  EXPECT_LT(small.reprogram_instructions_per_entry(),
+            large.reprogram_instructions_per_entry());
+}
+
+TEST(Phased, ImagePatchesAllPhases) {
+  const Fixture f = run_and_profile();
+  const PhasedSelection phased = select_phased(f.cfg, f.profile, tight_options());
+  const auto image = phased.apply_to_text(f.cfg.text, f.cfg.text_base);
+  ASSERT_EQ(image.size(), f.cfg.text.size());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < image.size(); ++i) changed += image[i] != f.cfg.text[i];
+  EXPECT_GT(changed, 0u);
+  // Each phase's decoder restores its own blocks from the combined image.
+  for (const Phase& phase : phased.phases) {
+    FetchDecoder decoder(phase.selection.tt, phase.selection.bbit);
+    for (const BlockEncoding& enc : phase.selection.encodings) {
+      for (std::size_t i = 0; i < enc.encoded_words.size(); ++i) {
+        const std::uint32_t pc = enc.start_pc + 4 * static_cast<std::uint32_t>(i);
+        EXPECT_EQ(decoder.feed(pc, image[(pc - f.cfg.text_base) / 4]),
+                  enc.original_words[i]);
+      }
+    }
+  }
+}
+
+TEST(Phased, NoLoopsMeansNoPhases) {
+  const isa::Program program = isa::assemble("addiu $t0, $t0, 1\nhalt\n");
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+  cfg::Profile profile;
+  profile.block_counts.assign(cfg.blocks.size(), 1);
+  const PhasedSelection phased = select_phased(cfg, profile, tight_options());
+  EXPECT_TRUE(phased.phases.empty());
+  EXPECT_EQ(phased.reprogram_instructions, 0u);
+}
+
+}  // namespace
+}  // namespace asimt::core

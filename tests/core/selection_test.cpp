@@ -1,0 +1,203 @@
+// Tests for hot-block selection under the TT budget.
+#include "core/selection.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+
+namespace asimt::core {
+namespace {
+
+// A program with one hot loop and one cold block after it.
+constexpr const char* kLoopProgram = R"(
+        .text
+start:
+        li      $t0, 0
+        li      $t1, 100
+loop:
+        lw      $t2, 0($a0)
+        add     $t3, $t3, $t2
+        addiu   $a0, $a0, 4
+        addiu   $t0, $t0, 1
+        bne     $t0, $t1, loop
+cold:
+        sw      $t3, 0($a1)
+        halt
+)";
+
+struct Fixture {
+  isa::Program program;
+  cfg::Cfg cfg;
+  cfg::Profile profile;
+};
+
+Fixture make_setup() {
+  Fixture s;
+  s.program = isa::assemble(kLoopProgram);
+  s.cfg = cfg::build_cfg(s.program);
+  s.profile.block_counts.assign(s.cfg.blocks.size(), 0);
+  // Synthesize a profile: entry once, loop 100 times, cold once.
+  const int entry = s.cfg.block_starting_at(s.program.symbol("start"));
+  const int loop = s.cfg.block_starting_at(s.program.symbol("loop"));
+  const int cold = s.cfg.block_starting_at(s.program.symbol("cold"));
+  s.profile.block_counts[static_cast<std::size_t>(entry)] = 1;
+  s.profile.block_counts[static_cast<std::size_t>(loop)] = 100;
+  s.profile.block_counts[static_cast<std::size_t>(cold)] = 1;
+  s.profile.edge_counts[cfg::Profile::edge_key(entry, loop)] = 1;
+  s.profile.edge_counts[cfg::Profile::edge_key(loop, loop)] = 99;
+  s.profile.edge_counts[cfg::Profile::edge_key(loop, cold)] = 1;
+  return s;
+}
+
+SelectionOptions default_options() {
+  SelectionOptions opt;
+  opt.chain.block_size = 5;
+  opt.chain.allowed = std::span<const Transform>{kPaperSubset};
+  return opt;
+}
+
+TEST(Selection, PicksTheHotLoop) {
+  const Fixture s = make_setup();
+  const SelectionResult result = select_and_encode(s.cfg, s.profile, default_options());
+  ASSERT_FALSE(result.encodings.empty());
+  EXPECT_EQ(result.encodings[0].start_pc, s.program.symbol("loop"));
+}
+
+TEST(Selection, SkipsColdBlocks) {
+  const Fixture s = make_setup();
+  SelectionOptions opt = default_options();
+  opt.min_executions = 2;
+  const SelectionResult result = select_and_encode(s.cfg, s.profile, opt);
+  for (const BlockEncoding& enc : result.encodings) {
+    const int idx = s.cfg.block_starting_at(enc.start_pc);
+    EXPECT_GE(s.profile.block_counts[static_cast<std::size_t>(idx)], 2u);
+  }
+}
+
+TEST(Selection, RespectsTtBudget) {
+  const Fixture s = make_setup();
+  SelectionOptions opt = default_options();
+  opt.tt_budget = 1;
+  const SelectionResult one = select_and_encode(s.cfg, s.profile, opt);
+  EXPECT_LE(one.tt_entries_used, 1);
+  // The 5-instruction loop needs exactly one entry at k=5.
+  EXPECT_EQ(static_cast<int>(one.tt.entries.size()), one.tt_entries_used);
+  opt.tt_budget = 0;
+  const SelectionResult none = select_and_encode(s.cfg, s.profile, opt);
+  EXPECT_TRUE(none.encodings.empty());
+}
+
+TEST(Selection, RespectsBbitBudget) {
+  const Fixture s = make_setup();
+  SelectionOptions opt = default_options();
+  opt.min_executions = 1;
+  opt.bbit_budget = 1;
+  const SelectionResult result = select_and_encode(s.cfg, s.profile, opt);
+  EXPECT_LE(result.bbit.size(), 1u);
+}
+
+TEST(Selection, BbitIndicesPointAtBlockStarts) {
+  const Fixture s = make_setup();
+  SelectionOptions opt = default_options();
+  opt.min_executions = 1;
+  const SelectionResult result = select_and_encode(s.cfg, s.profile, opt);
+  ASSERT_EQ(result.bbit.size(), result.encodings.size());
+  std::size_t expected_index = 0;
+  for (std::size_t i = 0; i < result.bbit.size(); ++i) {
+    EXPECT_EQ(result.bbit[i].pc, result.encodings[i].start_pc);
+    EXPECT_EQ(result.bbit[i].tt_index, expected_index);
+    expected_index += result.encodings[i].tt_entries.size();
+  }
+  EXPECT_EQ(expected_index, result.tt.entries.size());
+}
+
+TEST(Selection, ApplyToTextPatchesOnlySelectedBlocks) {
+  const Fixture s = make_setup();
+  const SelectionResult result = select_and_encode(s.cfg, s.profile, default_options());
+  const auto image = result.apply_to_text(s.cfg.text, s.cfg.text_base);
+  ASSERT_EQ(image.size(), s.cfg.text.size());
+  // Words outside selected blocks are untouched.
+  std::vector<bool> covered(image.size(), false);
+  for (const BlockEncoding& enc : result.encodings) {
+    const std::size_t first = (enc.start_pc - s.cfg.text_base) / 4;
+    for (std::size_t i = 0; i < enc.encoded_words.size(); ++i) {
+      covered[first + i] = true;
+      EXPECT_EQ(image[first + i], enc.encoded_words[i]);
+    }
+  }
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    if (!covered[i]) EXPECT_EQ(image[i], s.cfg.text[i]);
+  }
+}
+
+TEST(Selection, PredictedSavingsMatchEncodings) {
+  const Fixture s = make_setup();
+  SelectionOptions opt = default_options();
+  opt.min_executions = 1;
+  const SelectionResult result = select_and_encode(s.cfg, s.profile, opt);
+  long long expected = 0;
+  for (const BlockEncoding& enc : result.encodings) {
+    const int idx = s.cfg.block_starting_at(enc.start_pc);
+    expected += enc.saved_transitions() *
+                static_cast<long long>(
+                    s.profile.block_counts[static_cast<std::size_t>(idx)]);
+  }
+  EXPECT_EQ(result.predicted_dynamic_savings, expected);
+}
+
+TEST(Selection, LargerBudgetNeverSelectsFewerBlocks) {
+  const Fixture s = make_setup();
+  SelectionOptions opt = default_options();
+  opt.min_executions = 1;
+  opt.tt_budget = 1;
+  const auto small = select_and_encode(s.cfg, s.profile, opt);
+  opt.tt_budget = 16;
+  const auto large = select_and_encode(s.cfg, s.profile, opt);
+  EXPECT_GE(large.encodings.size(), small.encodings.size());
+}
+
+TEST(Selection, KnapsackRespectsBudgets) {
+  const Fixture s = make_setup();
+  SelectionOptions opt = default_options();
+  opt.min_executions = 1;
+  opt.policy = SelectionPolicy::kOptimalKnapsack;
+  for (int budget : {0, 1, 2, 16}) {
+    opt.tt_budget = budget;
+    const SelectionResult result = select_and_encode(s.cfg, s.profile, opt);
+    EXPECT_LE(result.tt_entries_used, budget);
+    EXPECT_LE(static_cast<int>(result.bbit.size()), opt.bbit_budget);
+  }
+}
+
+TEST(Selection, KnapsackNeverWorseThanGreedy) {
+  const Fixture s = make_setup();
+  for (int budget : {1, 2, 3, 16}) {
+    SelectionOptions opt = default_options();
+    opt.min_executions = 1;
+    opt.tt_budget = budget;
+    opt.policy = SelectionPolicy::kGreedyDensity;
+    const auto greedy = select_and_encode(s.cfg, s.profile, opt);
+    opt.policy = SelectionPolicy::kOptimalKnapsack;
+    const auto knapsack = select_and_encode(s.cfg, s.profile, opt);
+    EXPECT_GE(knapsack.predicted_dynamic_savings,
+              greedy.predicted_dynamic_savings)
+        << "budget=" << budget;
+  }
+}
+
+TEST(Selection, KnapsackDecodesLikeGreedySelections) {
+  const Fixture s = make_setup();
+  SelectionOptions opt = default_options();
+  opt.min_executions = 1;
+  opt.policy = SelectionPolicy::kOptimalKnapsack;
+  const SelectionResult result = select_and_encode(s.cfg, s.profile, opt);
+  // TT indices must still be consistent after knapsack reordering.
+  std::size_t expected_index = 0;
+  for (std::size_t i = 0; i < result.bbit.size(); ++i) {
+    EXPECT_EQ(result.bbit[i].tt_index, expected_index);
+    expected_index += result.encodings[i].tt_entries.size();
+  }
+}
+
+}  // namespace
+}  // namespace asimt::core

@@ -1,0 +1,118 @@
+#include "core/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace asimt::core {
+namespace {
+
+TEST(Transform, DefaultIsIdentity) {
+  const Transform t;
+  EXPECT_EQ(t, kIdentity);
+  EXPECT_EQ(t.apply(0, 1), 0);
+  EXPECT_EQ(t.apply(1, 0), 1);
+}
+
+TEST(Transform, TruthTablesMatchNames) {
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      EXPECT_EQ(kIdentity.apply(x, y), x);
+      EXPECT_EQ(kInvert.apply(x, y), 1 - x);
+      EXPECT_EQ(kHistory.apply(x, y), y);
+      EXPECT_EQ(kNotHistory.apply(x, y), 1 - y);
+      EXPECT_EQ(kXor.apply(x, y), x ^ y);
+      EXPECT_EQ(kXnor.apply(x, y), 1 - (x ^ y));
+      EXPECT_EQ(kNor.apply(x, y), (x | y) ? 0 : 1);
+      EXPECT_EQ(kNand.apply(x, y), (x & y) ? 0 : 1);
+      EXPECT_EQ(kConst0.apply(x, y), 0);
+      EXPECT_EQ(kConst1.apply(x, y), 1);
+      EXPECT_EQ(kAnd.apply(x, y), x & y);
+      EXPECT_EQ(kOr.apply(x, y), x | y);
+    }
+  }
+}
+
+TEST(Transform, AllSixteenDistinct) {
+  std::set<unsigned> tables;
+  for (Transform t : kAllTransforms) tables.insert(t.truth_table());
+  EXPECT_EQ(tables.size(), 16u);
+}
+
+TEST(Transform, PaperSubsetIsPrefixOfAll) {
+  for (std::size_t i = 0; i < kPaperSubset.size(); ++i) {
+    EXPECT_EQ(kPaperSubset[i], kAllTransforms[i]);
+  }
+}
+
+TEST(Transform, DualMatchesPaperSymmetry) {
+  // §5.2: inverting all bits of X and X~ swaps XOR<->XNOR and NOR<->NAND
+  // while keeping identity and inversion intact.
+  EXPECT_EQ(kXor.dual(), kXnor);
+  EXPECT_EQ(kXnor.dual(), kXor);
+  EXPECT_EQ(kNor.dual(), kNand);
+  EXPECT_EQ(kNand.dual(), kNor);
+  EXPECT_EQ(kIdentity.dual(), kIdentity);
+  EXPECT_EQ(kInvert.dual(), kInvert);
+  EXPECT_EQ(kHistory.dual(), kHistory);
+  EXPECT_EQ(kNotHistory.dual(), kNotHistory);
+}
+
+TEST(Transform, DualIsInvolution) {
+  for (unsigned tt = 0; tt < 16; ++tt) {
+    const Transform t{tt};
+    EXPECT_EQ(t.dual().dual(), t);
+  }
+}
+
+TEST(Transform, DualDefinition) {
+  // τ'(x, y) = ¬τ(¬x, ¬y) pointwise, for every function.
+  for (unsigned tt = 0; tt < 16; ++tt) {
+    const Transform t{tt};
+    const Transform d = t.dual();
+    for (int x = 0; x < 2; ++x) {
+      for (int y = 0; y < 2; ++y) {
+        EXPECT_EQ(d.apply(x, y), 1 - t.apply(1 - x, 1 - y));
+      }
+    }
+  }
+}
+
+TEST(Transform, ExactlyFourInvertibleInX) {
+  int count = 0;
+  for (Transform t : kAllTransforms) count += t.invertible_in_x();
+  EXPECT_EQ(count, 4);
+  EXPECT_TRUE(kIdentity.invertible_in_x());
+  EXPECT_TRUE(kInvert.invertible_in_x());
+  EXPECT_TRUE(kXor.invertible_in_x());
+  EXPECT_TRUE(kXnor.invertible_in_x());
+  EXPECT_FALSE(kNor.invertible_in_x());
+  EXPECT_FALSE(kHistory.invertible_in_x());
+}
+
+TEST(Transform, PaperSubsetIndex) {
+  EXPECT_EQ(paper_subset_index(kIdentity), 0);
+  EXPECT_EQ(paper_subset_index(kNand), 7);
+  EXPECT_EQ(paper_subset_index(kConst0), -1);
+  EXPECT_EQ(paper_subset_index(kAnd), -1);
+}
+
+TEST(Transform, NamesAreUnique) {
+  std::set<std::string> names;
+  for (Transform t : kAllTransforms) names.insert(t.name());
+  EXPECT_EQ(names.size(), 16u);
+  EXPECT_EQ(kNotHistory.name(), "~y");
+  EXPECT_EQ(kXor.name(), "xor");
+}
+
+TEST(Transform, TruthTableMasksToFourBits) {
+  EXPECT_EQ(Transform{0xFF}.truth_table(), 0xFu);
+}
+
+TEST(Transform, OrderingIsByTruthTable) {
+  EXPECT_LT(Transform{0}, Transform{1});
+  EXPECT_EQ(Transform{5}, Transform{5});
+}
+
+}  // namespace
+}  // namespace asimt::core

@@ -1,0 +1,118 @@
+// Unit tests for the measurement harness: the analytic transition model on
+// synthetic profiles, table formatting, and option plumbing.
+#include "experiments/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "isa/assembler.h"
+
+namespace asimt::experiments {
+namespace {
+
+// Two blocks: A (3 instructions) falling through to B (2 instructions).
+struct Synthetic {
+  cfg::Cfg cfg;
+  cfg::Profile profile;
+};
+
+Synthetic make_synthetic() {
+  Synthetic s;
+  s.cfg.text_base = 0x1000;
+  s.cfg.text = {0x000000FFu, 0x0000FF00u, 0x00FF0000u,   // block A
+                0xFF000000u, 0x00000000u};               // block B
+  cfg::BasicBlock a;
+  a.index = 0;
+  a.start = 0x1000;
+  a.end = 0x100C;
+  a.successors = {1};
+  cfg::BasicBlock b;
+  b.index = 1;
+  b.start = 0x100C;
+  b.end = 0x1014;
+  s.cfg.blocks = {a, b};
+  s.cfg.block_by_start = {{0x1000, 0}, {0x100C, 1}};
+  s.profile.block_counts = {3, 2};
+  s.profile.edge_counts[cfg::Profile::edge_key(0, 1)] = 2;
+  s.profile.edge_counts[cfg::Profile::edge_key(1, 0)] = 2;
+  return s;
+}
+
+TEST(DynamicTransitions, HandComputedSyntheticCase) {
+  const Synthetic s = make_synthetic();
+  // Intra A: |FF^FF00|=16, |FF00^FF0000|=16 -> 32 per execution, x3.
+  // Intra B: |FF000000^0|=8 per execution, x2.
+  // Edge A->B: |00FF0000 ^ FF000000| = 16, x2.
+  // Edge B->A: |0 ^ 000000FF| = 8, x2.
+  const long long expected = 3 * 32 + 2 * 8 + 2 * 16 + 2 * 8;
+  EXPECT_EQ(cfg::dynamic_transitions(s.cfg, s.profile, s.cfg.text), expected);
+}
+
+TEST(DynamicTransitions, ZeroCountsContributeNothing) {
+  Synthetic s = make_synthetic();
+  s.profile.block_counts = {0, 0};
+  s.profile.edge_counts.clear();
+  EXPECT_EQ(cfg::dynamic_transitions(s.cfg, s.profile, s.cfg.text), 0);
+}
+
+TEST(DynamicTransitions, AlternativeImageChangesTotals) {
+  const Synthetic s = make_synthetic();
+  std::vector<std::uint32_t> constant_image(s.cfg.text.size(), 0x12345678u);
+  EXPECT_EQ(cfg::dynamic_transitions(s.cfg, s.profile, constant_image), 0);
+}
+
+TEST(DynamicTransitions, SingleInstructionBlocksHaveNoIntraCost) {
+  Synthetic s = make_synthetic();
+  s.cfg.text = {0xFFFFFFFFu, 0x0u};
+  cfg::BasicBlock a;
+  a.index = 0;
+  a.start = 0x1000;
+  a.end = 0x1004;
+  cfg::BasicBlock b;
+  b.index = 1;
+  b.start = 0x1004;
+  b.end = 0x1008;
+  s.cfg.blocks = {a, b};
+  s.profile.block_counts = {5, 5};
+  s.profile.edge_counts.clear();
+  s.profile.edge_counts[cfg::Profile::edge_key(0, 1)] = 5;
+  EXPECT_EQ(cfg::dynamic_transitions(s.cfg, s.profile, s.cfg.text), 5 * 32);
+}
+
+TEST(FormatFig6Table, EmptyResults) {
+  const std::string table = format_fig6_table({});
+  EXPECT_NE(table.find("#TR"), std::string::npos);
+}
+
+TEST(FastMode, ReadsEnvironment) {
+  unsetenv("ASIMT_FAST");
+  EXPECT_FALSE(fast_mode());
+  setenv("ASIMT_FAST", "1", 1);
+  EXPECT_TRUE(fast_mode());
+  setenv("ASIMT_FAST", "0", 1);
+  EXPECT_FALSE(fast_mode());
+  unsetenv("ASIMT_FAST");
+}
+
+TEST(RunWorkload, ThrowsWhenStepBudgetTooSmall) {
+  const workloads::Workload w =
+      workloads::make_by_name("fft", workloads::SizeConfig::small());
+  ExperimentOptions opt;
+  opt.max_steps = 10;
+  EXPECT_THROW(run_workload(w, opt), std::runtime_error);
+}
+
+TEST(RunWorkload, CustomBlockSizeList) {
+  const workloads::Workload w =
+      workloads::make_by_name("fft", workloads::SizeConfig::small());
+  ExperimentOptions opt;
+  opt.block_sizes = {3, 8};
+  const WorkloadResult r = run_workload(w, opt);
+  ASSERT_EQ(r.per_block_size.size(), 2u);
+  EXPECT_EQ(r.per_block_size[0].block_size, 3);
+  EXPECT_EQ(r.per_block_size[1].block_size, 8);
+}
+
+}  // namespace
+}  // namespace asimt::experiments

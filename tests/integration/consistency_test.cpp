@@ -1,0 +1,118 @@
+// Cross-module consistency properties that tie independent implementations
+// of the same quantity together.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/chain_encoder.h"
+#include "core/program_encoder.h"
+#include "core/selection.h"
+#include "isa/assembler.h"
+#include "power/coupling.h"
+#include "sim/bus.h"
+#include "workloads/workload.h"
+
+namespace asimt {
+namespace {
+
+std::vector<std::uint32_t> random_words(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint32_t> words(n);
+  for (auto& w : words) w = rng();
+  return words;
+}
+
+TEST(Consistency, ProgramEncoderEqualsPerLineChainEncoder) {
+  // encode_basic_block must produce, per line, exactly the chain encoder's
+  // stored stream — total transitions included.
+  for (std::uint32_t seed = 0; seed < 6; ++seed) {
+    const auto words = random_words(21, seed);
+    core::ChainOptions options;
+    options.block_size = 5;
+    const core::BlockEncoding enc =
+        core::encode_basic_block(words, 0, options);
+    const core::ChainEncoder encoder(options);
+    long long per_line_total = 0;
+    for (unsigned line = 0; line < 32; ++line) {
+      const auto chain = encoder.encode(bits::vertical_line(words, line));
+      per_line_total += chain.stored.transitions();
+      EXPECT_EQ(chain.stored,
+                bits::vertical_line(enc.encoded_words, line))
+          << "line " << line;
+    }
+    EXPECT_EQ(enc.encoded_transitions, per_line_total);
+  }
+}
+
+TEST(Consistency, BusMonitorAgreesWithBitstreamHelperOnWorkloadText) {
+  for (const workloads::Workload& w :
+       workloads::make_all(workloads::SizeConfig::small())) {
+    const isa::Program program = isa::assemble(w.source);
+    sim::BusMonitor monitor;
+    for (std::uint32_t word : program.text) monitor.observe(word);
+    EXPECT_EQ(monitor.total_transitions(),
+              bits::total_bus_transitions(program.text))
+        << w.name;
+  }
+}
+
+TEST(Consistency, CouplingNeverExceedsTwiceAdjacentSelfActivity) {
+  // Each coupling event needs at least one of the pair to toggle; weight 2
+  // needs both. So coupling <= 2 * self for any stream (31 pairs vs 32
+  // lines makes it strictly less in practice).
+  std::mt19937 rng(3);
+  sim::BusMonitor self;
+  power::CouplingMonitor coupling;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint32_t word = rng();
+    self.observe(word);
+    coupling.observe(word);
+  }
+  EXPECT_LE(coupling.activity(), 2 * self.total_transitions());
+  EXPECT_GT(coupling.activity(), self.total_transitions() / 2);
+}
+
+TEST(Consistency, EncodedTransitionsInvariantUnderChainStrategyOnWorkloads) {
+  // Greedy ties the DP on real code too, not just random streams (the §6
+  // empirical claim at program scale).
+  const workloads::Workload w =
+      workloads::make_by_name("fft", workloads::SizeConfig::small());
+  const isa::Program program = isa::assemble(w.source);
+  core::ChainOptions greedy;
+  greedy.block_size = 5;
+  core::ChainOptions dp = greedy;
+  dp.strategy = core::ChainStrategy::kOptimalDp;
+  const auto a = core::encode_basic_block(program.text, program.text_base, greedy);
+  const auto b = core::encode_basic_block(program.text, program.text_base, dp);
+  EXPECT_LE(b.encoded_transitions, a.encoded_transitions);
+  EXPECT_GE(b.encoded_transitions, a.encoded_transitions - 4);
+}
+
+TEST(Consistency, SelectionNeverChangesUncoveredWords) {
+  // Belt-and-braces across all ten workloads at two block sizes.
+  for (const char* name : {"sor", "crc32"}) {
+    const workloads::Workload w =
+        workloads::make_by_name(name, workloads::SizeConfig::small());
+    const isa::Program program = isa::assemble(w.source);
+    const cfg::Cfg graph = cfg::build_cfg(program);
+    cfg::Profile profile;
+    profile.block_counts.assign(graph.blocks.size(), 10);
+    core::SelectionOptions opt;
+    opt.chain.block_size = 4;
+    const auto selection = core::select_and_encode(graph, profile, opt);
+    const auto image = selection.apply_to_text(graph.text, graph.text_base);
+    std::vector<bool> covered(image.size(), false);
+    for (const core::BlockEncoding& enc : selection.encodings) {
+      const std::size_t first = (enc.start_pc - graph.text_base) / 4;
+      for (std::size_t i = 0; i < enc.encoded_words.size(); ++i) {
+        covered[first + i] = true;
+      }
+    }
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      if (!covered[i]) EXPECT_EQ(image[i], graph.text[i]) << name << " @" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asimt

@@ -1,0 +1,82 @@
+// Robustness: the assembler must reject arbitrary garbage with a clean
+// AssemblyError (never crash, never emit silently wrong code).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "isa/assembler.h"
+
+namespace asimt::isa {
+namespace {
+
+TEST(AssemblerFuzz, RandomPrintableGarbage) {
+  std::mt19937 rng(0xFADE);
+  const std::string charset =
+      "abcdefghijklmnopqrstuvwxyz0123456789$,.()-: \t#%";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string source;
+    const int lines = 1 + static_cast<int>(rng() % 5);
+    for (int l = 0; l < lines; ++l) {
+      const int len = static_cast<int>(rng() % 40);
+      for (int i = 0; i < len; ++i) {
+        source.push_back(charset[rng() % charset.size()]);
+      }
+      source.push_back('\n');
+    }
+    try {
+      const Program p = assemble(source);
+      // Accepting is fine (comments, labels, blank lines) but anything
+      // emitted must be decodable or an explicit .word.
+      (void)p;
+    } catch (const AssemblyError&) {
+      // expected for most inputs
+    }
+  }
+}
+
+TEST(AssemblerFuzz, ValidMnemonicsWithMangledOperands) {
+  std::mt19937 rng(0xBEAD);
+  const char* mnemonics[] = {"addu", "lw",   "sw",    "beq",  "j",
+                             "sll",  "mult", "mul.s", "lwc1", "li",
+                             "la",   "jr",   "bne",   "lui",  "c.lt.s"};
+  const char* operands[] = {"$t0",    "$f1",  "42",     "-1",   "0x10",
+                            "4($t1)", "($t2)", "label",  "$zero", "",
+                            "$t9x",   "99999999", "%hi(x)", "$32"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string line = mnemonics[rng() % std::size(mnemonics)];
+    const int count = static_cast<int>(rng() % 4);
+    for (int i = 0; i < count; ++i) {
+      line += i == 0 ? " " : ", ";
+      line += operands[rng() % std::size(operands)];
+    }
+    line += "\n";
+    try {
+      assemble(line);
+    } catch (const AssemblyError& e) {
+      EXPECT_EQ(e.line(), 1);
+    }
+  }
+}
+
+TEST(AssemblerFuzz, DeepLabelChainsAndComments) {
+  std::string source;
+  for (int i = 0; i < 200; ++i) {
+    source += "l" + std::to_string(i) + ": # comment " + std::to_string(i) + "\n";
+  }
+  source += "        j l0\n";
+  const Program p = assemble(source);
+  EXPECT_EQ(p.text.size(), 1u);
+  EXPECT_EQ(p.symbol("l0"), p.symbol("l199"));
+}
+
+TEST(AssemblerFuzz, HugePrograms) {
+  std::string source;
+  for (int i = 0; i < 20'000; ++i) source += "        addiu $t0, $t0, 1\n";
+  source += "        halt\n";
+  const Program p = assemble(source);
+  EXPECT_EQ(p.text.size(), 20'001u);
+}
+
+}  // namespace
+}  // namespace asimt::isa

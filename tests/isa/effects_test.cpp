@@ -1,0 +1,110 @@
+#include "isa/effects.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+
+namespace asimt::isa {
+namespace {
+
+Effects fx(const std::string& line) {
+  const Program p = assemble(line + "\n");
+  return effects(decode(p.text.at(0)));
+}
+
+TEST(Effects, AluReadsAndWrites) {
+  const Effects e = fx("addu $t2, $t0, $t1");
+  EXPECT_EQ(e.int_reads, (1u << kT0) | (1u << kT1));
+  EXPECT_EQ(e.int_writes, 1u << kT2);
+  EXPECT_FALSE(e.control);
+  EXPECT_FALSE(e.mem_read);
+}
+
+TEST(Effects, ZeroRegisterCarriesNoDependence) {
+  const Effects e = fx("addu $zero, $zero, $t1");
+  EXPECT_EQ(e.int_writes, 0u);
+  EXPECT_EQ(e.int_reads, 1u << kT1);
+}
+
+TEST(Effects, LoadsAndStores) {
+  const Effects load = fx("lw $t0, 4($sp)");
+  EXPECT_TRUE(load.mem_read);
+  EXPECT_FALSE(load.mem_write);
+  EXPECT_EQ(load.int_writes, 1u << kT0);
+  EXPECT_EQ(load.int_reads, 1u << kSp);
+  const Effects store = fx("sw $t0, 4($sp)");
+  EXPECT_TRUE(store.mem_write);
+  EXPECT_EQ(store.int_reads, (1u << kT0) | (1u << kSp));
+  EXPECT_EQ(store.int_writes, 0u);
+}
+
+TEST(Effects, HiLoUnit) {
+  const Effects mult = fx("mult $t0, $t1");
+  EXPECT_TRUE(mult.writes_hi);
+  EXPECT_TRUE(mult.writes_lo);
+  const Effects mflo = fx("mflo $t2");
+  EXPECT_TRUE(mflo.reads_lo);
+  EXPECT_FALSE(mflo.reads_hi);
+  EXPECT_TRUE(mult.conflicts_with(mflo));
+}
+
+TEST(Effects, FpAndMoves) {
+  const Effects mul = fx("mul.s $f3, $f1, $f2");
+  EXPECT_EQ(mul.fp_reads, (1u << 1) | (1u << 2));
+  EXPECT_EQ(mul.fp_writes, 1u << 3);
+  const Effects mtc1 = fx("mtc1 $t0, $f1");
+  EXPECT_EQ(mtc1.int_reads, 1u << kT0);
+  EXPECT_EQ(mtc1.fp_writes, 1u << 1);
+  EXPECT_TRUE(mtc1.conflicts_with(mul));  // RAW on $f1
+}
+
+TEST(Effects, FccChain) {
+  const Effects cmp = fx("c.lt.s $f1, $f2");
+  EXPECT_TRUE(cmp.writes_fcc);
+  const Effects br = fx("bc1t next\nnext: nop");
+  EXPECT_TRUE(br.reads_fcc);
+  EXPECT_TRUE(br.control);
+  EXPECT_TRUE(cmp.conflicts_with(br));
+}
+
+TEST(Effects, ControlIsABarrier) {
+  const Effects j = fx("j target\ntarget: nop");
+  EXPECT_TRUE(j.control);
+  const Effects alu = fx("addu $t2, $t0, $t1");
+  EXPECT_TRUE(j.conflicts_with(alu));
+  EXPECT_TRUE(alu.conflicts_with(j));
+}
+
+TEST(Effects, IndependentInstructionsDoNotConflict) {
+  const Effects a = fx("addu $t2, $t0, $t1");
+  const Effects b = fx("addu $t5, $t3, $t4");
+  EXPECT_FALSE(a.conflicts_with(b));
+  EXPECT_FALSE(b.conflicts_with(a));
+}
+
+TEST(Effects, HazardKinds) {
+  const Effects writer = fx("addiu $t0, $t1, 1");
+  const Effects reader = fx("addiu $t2, $t0, 1");
+  EXPECT_TRUE(writer.conflicts_with(reader));   // RAW
+  EXPECT_TRUE(reader.conflicts_with(writer));   // WAR
+  const Effects writer2 = fx("addiu $t0, $t3, 1");
+  EXPECT_TRUE(writer.conflicts_with(writer2));  // WAW
+}
+
+TEST(Effects, LoadsCommute) {
+  const Effects a = fx("lw $t0, 0($sp)");
+  const Effects b = fx("lw $t1, 4($sp)");
+  EXPECT_FALSE(a.conflicts_with(b));
+  const Effects store = fx("sw $t2, 0($sp)");
+  EXPECT_TRUE(a.conflicts_with(store));
+  EXPECT_TRUE(store.conflicts_with(b));
+}
+
+TEST(Effects, JalWritesRa) {
+  const Effects e = fx("jal target\ntarget: nop");
+  EXPECT_EQ(e.int_writes, 1u << kRa);
+  EXPECT_TRUE(e.control);
+}
+
+}  // namespace
+}  // namespace asimt::isa

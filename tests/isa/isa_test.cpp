@@ -1,0 +1,270 @@
+// Encode/decode/disassemble tests for the ASIMT ISA.
+#include "isa/isa.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace asimt::isa {
+namespace {
+
+Instruction r_type(Op op, unsigned rd, unsigned rs, unsigned rt) {
+  Instruction i;
+  i.op = op;
+  i.rd = static_cast<std::uint8_t>(rd);
+  i.rs = static_cast<std::uint8_t>(rs);
+  i.rt = static_cast<std::uint8_t>(rt);
+  return i;
+}
+
+Instruction i_type(Op op, unsigned rt, unsigned rs, std::int32_t imm) {
+  Instruction i;
+  i.op = op;
+  i.rt = static_cast<std::uint8_t>(rt);
+  i.rs = static_cast<std::uint8_t>(rs);
+  i.imm = imm;
+  return i;
+}
+
+TEST(Encode, MatchesMipsReferencePatterns) {
+  // Golden encodings computed against the MIPS-I manual field layout.
+  EXPECT_EQ(encode(r_type(Op::kAddu, kT0, kT1, kT2)), 0x012A4021u);
+  EXPECT_EQ(encode(i_type(Op::kAddiu, kT0, kZero, -1)), 0x2408FFFFu);
+  EXPECT_EQ(encode(i_type(Op::kLw, kT1, kSp, 16)), 0x8FA90010u);
+  EXPECT_EQ(encode(i_type(Op::kSw, kRa, kSp, -4)), 0xAFBFFFFCu);
+  Instruction nop;
+  nop.op = Op::kSll;
+  EXPECT_EQ(encode(nop), 0u);
+  Instruction jr;
+  jr.op = Op::kJr;
+  jr.rs = kRa;
+  EXPECT_EQ(encode(jr), 0x03E00008u);
+}
+
+TEST(Encode, JumpTargetField) {
+  Instruction j;
+  j.op = Op::kJ;
+  j.target = 0x00100000u >> 2;
+  EXPECT_EQ(encode(j), 0x08000000u | (0x00100000u >> 2));
+}
+
+TEST(Encode, RejectsInvalid) {
+  Instruction invalid;
+  invalid.op = Op::kInvalid;
+  EXPECT_THROW(encode(invalid), std::invalid_argument);
+}
+
+TEST(Decode, UnknownWordsAreInvalid) {
+  EXPECT_EQ(decode(0xFFFFFFFFu).op, Op::kInvalid);
+  EXPECT_EQ(decode(0x0000003Fu).op, Op::kInvalid);  // SPECIAL funct 0x3f
+}
+
+TEST(Decode, SignExtendsImmediates) {
+  const Instruction i = decode(encode(i_type(Op::kAddiu, kT0, kT1, -300)));
+  EXPECT_EQ(i.imm, -300);
+  const Instruction j = decode(encode(i_type(Op::kAddiu, kT0, kT1, 300)));
+  EXPECT_EQ(j.imm, 300);
+}
+
+// Round-trip every opcode with randomized fields.
+class RoundTripTest : public ::testing::TestWithParam<Op> {};
+
+TEST_P(RoundTripTest, EncodeDecode) {
+  const Op op = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(op));
+  for (int trial = 0; trial < 30; ++trial) {
+    Instruction in;
+    in.op = op;
+    in.rs = static_cast<std::uint8_t>(rng() & 31);
+    in.rt = static_cast<std::uint8_t>(rng() & 31);
+    in.rd = static_cast<std::uint8_t>(rng() & 31);
+    in.shamt = static_cast<std::uint8_t>(rng() & 31);
+    in.fs = static_cast<std::uint8_t>(rng() & 31);
+    in.ft = static_cast<std::uint8_t>(rng() & 31);
+    in.fd = static_cast<std::uint8_t>(rng() & 31);
+    in.imm = static_cast<std::int16_t>(rng());
+    in.target = rng() & 0x03FFFFFFu;
+    const Instruction out = decode(encode(in));
+    ASSERT_EQ(out.op, op);
+    // Check the fields that are architecturally meaningful for this op.
+    switch (op) {
+      case Op::kAdd: case Op::kAddu: case Op::kSub: case Op::kSubu:
+      case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
+      case Op::kSlt: case Op::kSltu: case Op::kSllv: case Op::kSrlv:
+      case Op::kSrav:
+        EXPECT_EQ(out.rd, in.rd);
+        EXPECT_EQ(out.rs, in.rs);
+        EXPECT_EQ(out.rt, in.rt);
+        break;
+      case Op::kSll: case Op::kSrl: case Op::kSra:
+        EXPECT_EQ(out.rd, in.rd);
+        EXPECT_EQ(out.rt, in.rt);
+        EXPECT_EQ(out.shamt, in.shamt);
+        break;
+      case Op::kAddi: case Op::kAddiu: case Op::kSlti: case Op::kSltiu:
+      case Op::kAndi: case Op::kOri: case Op::kXori:
+      case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+      case Op::kSb: case Op::kSh: case Op::kSw:
+        EXPECT_EQ(out.rt, in.rt);
+        EXPECT_EQ(out.rs, in.rs);
+        EXPECT_EQ(out.imm, in.imm);
+        break;
+      case Op::kBeq: case Op::kBne:
+        EXPECT_EQ(out.rs, in.rs);
+        EXPECT_EQ(out.rt, in.rt);
+        EXPECT_EQ(out.imm, in.imm);
+        break;
+      case Op::kBlez: case Op::kBgtz: case Op::kBltz: case Op::kBgez:
+        EXPECT_EQ(out.rs, in.rs);
+        EXPECT_EQ(out.imm, in.imm);
+        break;
+      case Op::kJ: case Op::kJal:
+        EXPECT_EQ(out.target, in.target);
+        break;
+      case Op::kJr:
+        EXPECT_EQ(out.rs, in.rs);
+        break;
+      case Op::kJalr:
+        EXPECT_EQ(out.rs, in.rs);
+        EXPECT_EQ(out.rd, in.rd);
+        break;
+      case Op::kLui:
+        EXPECT_EQ(out.rt, in.rt);
+        break;
+      case Op::kLwc1: case Op::kSwc1:
+        EXPECT_EQ(out.ft, in.ft);
+        EXPECT_EQ(out.rs, in.rs);
+        EXPECT_EQ(out.imm, in.imm);
+        break;
+      case Op::kAddS: case Op::kSubS: case Op::kMulS: case Op::kDivS:
+        EXPECT_EQ(out.fd, in.fd);
+        EXPECT_EQ(out.fs, in.fs);
+        EXPECT_EQ(out.ft, in.ft);
+        break;
+      case Op::kSqrtS: case Op::kAbsS: case Op::kMovS: case Op::kNegS:
+      case Op::kCvtSW: case Op::kTruncWS:
+        EXPECT_EQ(out.fd, in.fd);
+        EXPECT_EQ(out.fs, in.fs);
+        break;
+      case Op::kCEqS: case Op::kCLtS: case Op::kCLeS:
+        EXPECT_EQ(out.fs, in.fs);
+        EXPECT_EQ(out.ft, in.ft);
+        break;
+      case Op::kBc1f: case Op::kBc1t:
+        EXPECT_EQ(out.imm, in.imm);
+        break;
+      case Op::kMfc1: case Op::kMtc1:
+        EXPECT_EQ(out.rt, in.rt);
+        EXPECT_EQ(out.fs, in.fs);
+        break;
+      case Op::kMfhi: case Op::kMflo:
+        EXPECT_EQ(out.rd, in.rd);
+        break;
+      case Op::kMthi: case Op::kMtlo:
+        EXPECT_EQ(out.rs, in.rs);
+        break;
+      case Op::kMult: case Op::kMultu: case Op::kDiv: case Op::kDivu:
+        EXPECT_EQ(out.rs, in.rs);
+        EXPECT_EQ(out.rt, in.rt);
+        break;
+      case Op::kSyscall: case Op::kBreak:
+        break;
+      case Op::kInvalid:
+        FAIL();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, RoundTripTest,
+    ::testing::Values(
+        Op::kSll, Op::kSrl, Op::kSra, Op::kSllv, Op::kSrlv, Op::kSrav,
+        Op::kJr, Op::kJalr, Op::kSyscall, Op::kBreak, Op::kMfhi, Op::kMthi,
+        Op::kMflo, Op::kMtlo, Op::kMult, Op::kMultu, Op::kDiv, Op::kDivu,
+        Op::kAdd, Op::kAddu, Op::kSub, Op::kSubu, Op::kAnd, Op::kOr, Op::kXor,
+        Op::kNor, Op::kSlt, Op::kSltu, Op::kBltz, Op::kBgez, Op::kJ, Op::kJal,
+        Op::kBeq, Op::kBne, Op::kBlez, Op::kBgtz, Op::kAddi, Op::kAddiu,
+        Op::kSlti, Op::kSltiu, Op::kAndi, Op::kOri, Op::kXori, Op::kLui,
+        Op::kLb, Op::kLh, Op::kLw, Op::kLbu, Op::kLhu, Op::kSb, Op::kSh,
+        Op::kSw, Op::kLwc1, Op::kSwc1, Op::kAddS, Op::kSubS, Op::kMulS,
+        Op::kDivS, Op::kSqrtS, Op::kAbsS, Op::kMovS, Op::kNegS, Op::kCvtSW,
+        Op::kTruncWS, Op::kCEqS, Op::kCLtS, Op::kCLeS, Op::kBc1f, Op::kBc1t,
+        Op::kMfc1, Op::kMtc1));
+
+TEST(ControlFlow, Classification) {
+  EXPECT_TRUE(is_branch(Op::kBeq));
+  EXPECT_TRUE(is_branch(Op::kBc1t));
+  EXPECT_FALSE(is_branch(Op::kJ));
+  EXPECT_TRUE(is_jump(Op::kJal));
+  EXPECT_TRUE(is_indirect_jump(Op::kJr));
+  EXPECT_TRUE(is_halt(Op::kBreak));
+  EXPECT_TRUE(ends_basic_block(Op::kBne));
+  EXPECT_TRUE(ends_basic_block(Op::kJalr));
+  EXPECT_FALSE(ends_basic_block(Op::kAddu));
+  EXPECT_FALSE(ends_basic_block(Op::kLw));
+}
+
+TEST(ControlFlow, BranchTarget) {
+  Instruction b;
+  b.op = Op::kBeq;
+  b.imm = 3;
+  EXPECT_EQ(branch_target(0x1000, b), 0x1000u + 4 + 12);
+  b.imm = -2;
+  EXPECT_EQ(branch_target(0x1000, b), 0x1000u + 4 - 8);
+}
+
+TEST(ControlFlow, JumpTarget) {
+  Instruction j;
+  j.op = Op::kJ;
+  j.target = 0x2000 >> 2;
+  EXPECT_EQ(jump_target(0x1000, j), 0x2000u);
+}
+
+TEST(RegisterNames, RoundTrip) {
+  for (unsigned r = 0; r < 32; ++r) {
+    EXPECT_EQ(parse_reg(reg_name(r)), r);
+    EXPECT_EQ(parse_freg(freg_name(r)), r);
+  }
+  EXPECT_EQ(parse_reg("$5"), 5u);
+  EXPECT_EQ(parse_reg("$f5"), std::nullopt);
+  EXPECT_EQ(parse_reg("$32"), std::nullopt);
+  EXPECT_EQ(parse_freg("$f31"), 31u);
+  EXPECT_EQ(parse_freg("$f32"), std::nullopt);
+  EXPECT_EQ(parse_freg("$fp"), std::nullopt);
+}
+
+TEST(Disassemble, RepresentativeInstructions) {
+  EXPECT_EQ(disassemble(0x012A4021u, 0), "addu $t0, $t1, $t2");
+  EXPECT_EQ(disassemble(0x2408FFFFu, 0), "addiu $t0, $zero, -1");
+  EXPECT_EQ(disassemble(0u, 0), "nop");
+  EXPECT_EQ(disassemble(0x03E00008u, 0), "jr $ra");
+  EXPECT_EQ(disassemble(0x8FA90010u, 0), "lw $t1, 16($sp)");
+  Instruction i;
+  i.op = Op::kBne;
+  i.rs = kT0;
+  i.rt = kZero;
+  i.imm = -5;
+  EXPECT_EQ(disassemble(encode(i), 0x1000), "bne $t0, $zero, 0xff0");
+}
+
+TEST(Disassemble, FpInstructions) {
+  Instruction i;
+  i.op = Op::kMulS;
+  i.fd = 3;
+  i.fs = 1;
+  i.ft = 2;
+  EXPECT_EQ(disassemble(encode(i), 0), "mul.s $f3, $f1, $f2");
+  i = Instruction{};
+  i.op = Op::kLwc1;
+  i.ft = 4;
+  i.rs = kA0;
+  i.imm = 8;
+  EXPECT_EQ(disassemble(encode(i), 0), "lwc1 $f4, 8($a0)");
+}
+
+TEST(Disassemble, InvalidFallsBackToWordDirective) {
+  EXPECT_EQ(disassemble(0xFFFFFFFFu, 0), ".word 0xffffffff");
+}
+
+}  // namespace
+}  // namespace asimt::isa

@@ -1,0 +1,97 @@
+// Cross-component consistency: the disassembler's output is valid assembler
+// input that reproduces the original word, for every opcode with randomized
+// fields. Ties the text and binary paths of the toolchain together.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "isa/assembler.h"
+#include "isa/isa.h"
+
+namespace asimt::isa {
+namespace {
+
+// A readable suite name per op.
+std::string op_name(Op op) {
+  Instruction i;
+  i.op = op;
+  i.imm = 4;
+  i.target = 0x100000;
+  const std::string text = disassemble(encode(i), 0x400000);
+  return text.substr(0, text.find(' '));
+}
+
+class DisasmRoundTrip : public ::testing::TestWithParam<Op> {};
+
+TEST_P(DisasmRoundTrip, ReassemblesToTheSameWord) {
+  const Op op = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(op) * 7919u);
+  const AssemblerOptions options;
+  for (int trial = 0; trial < 25; ++trial) {
+    Instruction in;
+    in.op = op;
+    in.rs = static_cast<std::uint8_t>(rng() & 31);
+    in.rt = static_cast<std::uint8_t>(rng() & 31);
+    in.rd = static_cast<std::uint8_t>(rng() & 31);
+    in.shamt = static_cast<std::uint8_t>(rng() & 31);
+    in.fs = static_cast<std::uint8_t>(rng() & 31);
+    in.ft = static_cast<std::uint8_t>(rng() & 31);
+    in.fd = static_cast<std::uint8_t>(rng() & 31);
+    // Branch targets must stay inside the jump/branch encodable range
+    // around the reassembly position; keep offsets small and positive.
+    in.imm = static_cast<std::int32_t>(rng() % 64) + 1;
+    in.target = ((options.text_base >> 2) & 0x03FFFFFFu) +
+                (rng() % 1024);
+    const std::uint32_t word = encode(in);
+    const std::string text = disassemble(word, options.text_base);
+    const Program program = assemble(text + "\n", options);
+    ASSERT_EQ(program.text.size(), 1u)
+        << op_name(op) << ": '" << text << "'";
+    EXPECT_EQ(program.text[0], word)
+        << op_name(op) << ": '" << text << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTextualOps, DisasmRoundTrip,
+    ::testing::Values(
+        // Every op whose disassembly is canonical assembler syntax.
+        Op::kSll, Op::kSrl, Op::kSra, Op::kSllv, Op::kSrlv, Op::kSrav,
+        Op::kJr, Op::kJalr, Op::kSyscall, Op::kBreak, Op::kMfhi, Op::kMthi,
+        Op::kMflo, Op::kMtlo, Op::kMult, Op::kMultu, Op::kDiv, Op::kDivu,
+        Op::kAdd, Op::kAddu, Op::kSub, Op::kSubu, Op::kAnd, Op::kOr, Op::kXor,
+        Op::kNor, Op::kSlt, Op::kSltu, Op::kBltz, Op::kBgez, Op::kJ, Op::kJal,
+        Op::kBeq, Op::kBne, Op::kBlez, Op::kBgtz, Op::kAddi, Op::kAddiu,
+        Op::kSlti, Op::kSltiu, Op::kAndi, Op::kOri, Op::kXori, Op::kLui,
+        Op::kLb, Op::kLh, Op::kLw, Op::kLbu, Op::kLhu, Op::kSb, Op::kSh,
+        Op::kSw, Op::kLwc1, Op::kSwc1, Op::kAddS, Op::kSubS, Op::kMulS,
+        Op::kDivS, Op::kSqrtS, Op::kAbsS, Op::kMovS, Op::kNegS, Op::kCvtSW,
+        Op::kTruncWS, Op::kCEqS, Op::kCLtS, Op::kCLeS, Op::kBc1f, Op::kBc1t,
+        Op::kMfc1, Op::kMtc1));
+
+TEST(DisasmRoundTrip, WholeProgramListingReassembles) {
+  // Disassemble an entire workload text and reassemble the listing.
+  const Program original = assemble(R"(
+start:  li      $t0, 100
+loop:   lw      $t1, 0($a0)
+        add.s   $f2, $f2, $f1
+        addiu   $a0, $a0, 4
+        addiu   $t0, $t0, -1
+        bne     $t0, $zero, loop
+        jal     helper
+        halt
+helper: sll     $t2, $t1, 3
+        jr      $ra
+)");
+  std::string listing;
+  for (std::size_t i = 0; i < original.text.size(); ++i) {
+    listing += disassemble(original.text[i],
+                           original.text_base + 4 * static_cast<std::uint32_t>(i));
+    listing += '\n';
+  }
+  const Program reassembled = assemble(listing);
+  EXPECT_EQ(reassembled.text, original.text);
+}
+
+}  // namespace
+}  // namespace asimt::isa

@@ -1,0 +1,97 @@
+#include "power/coupling.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace asimt::power {
+namespace {
+
+// Brute-force reference classification over all 31 adjacent pairs.
+long long reference_activity(std::uint32_t prev, std::uint32_t next) {
+  long long total = 0;
+  for (unsigned i = 0; i < 31; ++i) {
+    const int p0 = (prev >> i) & 1, p1 = (prev >> (i + 1)) & 1;
+    const int n0 = (next >> i) & 1, n1 = (next >> (i + 1)) & 1;
+    const bool s0 = p0 != n0, s1 = p1 != n1;
+    if (s0 && s1) {
+      total += (n0 != n1) ? 2 : 0;  // opposite : same direction
+    } else if (s0 || s1) {
+      total += 1;
+    }
+  }
+  return total;
+}
+
+TEST(CouplingMonitor, FirstWordIsFree) {
+  CouplingMonitor monitor;
+  monitor.observe(0xFFFFFFFFu);
+  EXPECT_EQ(monitor.activity(), 0);
+}
+
+TEST(CouplingMonitor, SingleLineSwitchCouplesToBothNeighbours) {
+  CouplingMonitor monitor;
+  monitor.observe(0);
+  monitor.observe(1u << 10);  // line 10 toggles: pairs (9,10) and (10,11)
+  EXPECT_EQ(monitor.activity(), 2);
+}
+
+TEST(CouplingMonitor, EdgeLineHasOneNeighbour) {
+  CouplingMonitor monitor;
+  monitor.observe(0);
+  monitor.observe(1u);  // line 0: only pair (0,1)
+  EXPECT_EQ(monitor.activity(), 1);
+  monitor.reset();
+  monitor.observe(0);
+  monitor.observe(0x80000000u);  // line 31: only pair (30,31)
+  EXPECT_EQ(monitor.activity(), 1);
+}
+
+TEST(CouplingMonitor, SameDirectionPairIsFree) {
+  CouplingMonitor monitor;
+  monitor.observe(0);
+  monitor.observe(0b11u);  // lines 0 and 1 both rise: pair (0,1) same dir
+  // pair (0,1): 0; pair (1,2): one switched -> 1.
+  EXPECT_EQ(monitor.activity(), 1);
+}
+
+TEST(CouplingMonitor, OppositeTogglePaysDouble) {
+  CouplingMonitor monitor;
+  monitor.observe(0b01u);
+  monitor.observe(0b10u);  // lines 0,1 swap: opposite directions
+  // pair (0,1): 2; pair (1,2): line1 rose, line2 held -> 1.
+  EXPECT_EQ(monitor.activity(), 3);
+}
+
+TEST(CouplingMonitor, MatchesBruteForceOnRandomStreams) {
+  std::mt19937 rng(77);
+  CouplingMonitor monitor;
+  std::uint32_t prev = 0;
+  long long expected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t word = rng();
+    monitor.observe(word);
+    if (i > 0) expected += reference_activity(prev, word);
+    prev = word;
+  }
+  EXPECT_EQ(monitor.activity(), expected);
+}
+
+TEST(CouplingMonitor, ResetClears) {
+  CouplingMonitor monitor;
+  monitor.observe(0);
+  monitor.observe(~0u);
+  monitor.reset();
+  EXPECT_EQ(monitor.activity(), 0);
+  EXPECT_EQ(monitor.words_observed(), 0u);
+}
+
+TEST(CoupledEnergy, WeightsBothComponents) {
+  const CouplingBusParams params{2e-12, 4e-12, 2.0};
+  // self: 0.5 * 2p * 4 * 10 = 40p; coupling: 0.5 * 4p * 4 * 5 = 40p.
+  EXPECT_DOUBLE_EQ(coupled_energy_joules(10, 5, params), 80e-12);
+  EXPECT_DOUBLE_EQ(coupled_energy_joules(0, 0, params), 0.0);
+}
+
+}  // namespace
+}  // namespace asimt::power

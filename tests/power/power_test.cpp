@@ -1,0 +1,49 @@
+#include "power/power.h"
+
+#include <gtest/gtest.h>
+
+namespace asimt::power {
+namespace {
+
+TEST(Power, TransitionEnergyScalesLinearly) {
+  const BusParams params{10e-12, 2.0};
+  EXPECT_DOUBLE_EQ(transition_energy_joules(1, params), 0.5 * 10e-12 * 4.0);
+  EXPECT_DOUBLE_EQ(transition_energy_joules(1000, params),
+                   1000 * transition_energy_joules(1, params));
+  EXPECT_DOUBLE_EQ(transition_energy_joules(0, params), 0.0);
+}
+
+TEST(Power, OffChipCostsMoreThanOnChip) {
+  EXPECT_GT(transition_energy_joules(1000, BusParams::off_chip()),
+            transition_energy_joules(1000, BusParams::on_chip()));
+}
+
+TEST(Power, ReductionPercent) {
+  EXPECT_DOUBLE_EQ(reduction_percent(100, 50), 50.0);
+  EXPECT_DOUBLE_EQ(reduction_percent(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(reduction_percent(100, 120), -20.0);
+  EXPECT_DOUBLE_EQ(reduction_percent(0, 0), 0.0);
+}
+
+TEST(Power, ReportFields) {
+  const EnergyReport report = make_report("base", 500, 100, BusParams::on_chip());
+  EXPECT_EQ(report.label, "base");
+  EXPECT_EQ(report.transitions, 500);
+  EXPECT_EQ(report.fetches, 100u);
+  EXPECT_DOUBLE_EQ(report.transitions_per_fetch(), 5.0);
+  EXPECT_GT(report.energy_joules, 0.0);
+  const EnergyReport empty = make_report("x", 0, 0, BusParams::on_chip());
+  EXPECT_DOUBLE_EQ(empty.transitions_per_fetch(), 0.0);
+}
+
+TEST(Power, ComparisonFormatting) {
+  const EnergyReport baseline = make_report("baseline", 1000, 100, BusParams::on_chip());
+  const EnergyReport encoded = make_report("encoded", 600, 100, BusParams::on_chip());
+  const std::string text = format_comparison(baseline, encoded);
+  EXPECT_NE(text.find("baseline"), std::string::npos);
+  EXPECT_NE(text.find("encoded"), std::string::npos);
+  EXPECT_NE(text.find("40.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asimt::power

@@ -1,0 +1,161 @@
+// Whole-stack property test: randomly generated structured programs run
+// through the complete pipeline (assemble -> profile -> select -> encode ->
+// replay through the hardware decoder), checking the system's core
+// invariants on inputs nobody hand-picked:
+//   1. the decoder restores every dynamically fetched word,
+//   2. encoding never increases dynamic bus transitions,
+//   3. the analytic transition model matches direct bus monitoring.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "core/fetch_decoder.h"
+#include "core/image.h"
+#include "core/selection.h"
+#include "experiments/experiment.h"
+#include "isa/assembler.h"
+#include "sim/bus.h"
+#include "sim/cpu.h"
+
+namespace asimt {
+namespace {
+
+// Emits a random program: a chain of counted loops, each with a random
+// ALU/memory body and optionally an if/else diamond inside.
+std::string random_program(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  auto pick_reg = [&]() {
+    // $t0..$t7 minus the loop counter registers $s0/$s1.
+    static const char* regs[] = {"$t0", "$t1", "$t2", "$t3",
+                                 "$t4", "$t5", "$t6", "$t7"};
+    return std::string(regs[rng() % 8]);
+  };
+  std::string out = "        li      $a0, 0x20000\n";
+  const int loops = 1 + static_cast<int>(rng() % 3);
+  for (int l = 0; l < loops; ++l) {
+    const std::string label = "loop" + std::to_string(l);
+    const int trip = 3 + static_cast<int>(rng() % 40);
+    out += "        li      $s0, 0\n";
+    out += "        li      $s1, " + std::to_string(trip) + "\n";
+    out += label + ":\n";
+    const int body = 2 + static_cast<int>(rng() % 14);
+    for (int i = 0; i < body; ++i) {
+      switch (rng() % 6) {
+        case 0:
+          out += "        addu    " + pick_reg() + ", " + pick_reg() + ", " +
+                 pick_reg() + "\n";
+          break;
+        case 1:
+          out += "        xor     " + pick_reg() + ", " + pick_reg() + ", " +
+                 pick_reg() + "\n";
+          break;
+        case 2:
+          out += "        addiu   " + pick_reg() + ", " + pick_reg() + ", " +
+                 std::to_string(static_cast<int>(rng() % 64) - 32) + "\n";
+          break;
+        case 3:
+          out += "        sll     " + pick_reg() + ", " + pick_reg() + ", " +
+                 std::to_string(rng() % 8) + "\n";
+          break;
+        case 4:
+          out += "        lw      " + pick_reg() + ", " +
+                 std::to_string((rng() % 16) * 4) + "($a0)\n";
+          break;
+        case 5:
+          out += "        sw      " + pick_reg() + ", " +
+                 std::to_string((rng() % 16) * 4) + "($a0)\n";
+          break;
+      }
+    }
+    if (rng() % 2 == 0) {
+      // An if/else diamond keyed off the loop counter's low bit.
+      const std::string skip = label + "_odd";
+      const std::string join = label + "_join";
+      out += "        andi    $t8, $s0, 1\n";
+      out += "        bne     $t8, $zero, " + skip + "\n";
+      out += "        addiu   $t0, $t0, 1\n";
+      out += "        j       " + join + "\n";
+      out += skip + ":\n";
+      out += "        addiu   $t1, $t1, 2\n";
+      out += join + ":\n";
+    }
+    out += "        addiu   $s0, $s0, 1\n";
+    out += "        bne     $s0, $s1, " + label + "\n";
+  }
+  out += "        halt\n";
+  return out;
+}
+
+class PipelinePropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(PipelinePropertyTest, InvariantsHoldOnRandomPrograms) {
+  const auto [seed, k] = GetParam();
+  const isa::Program program = isa::assemble(random_program(seed));
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+
+  // Profile run.
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  cfg::Profiler profiler(cfg);
+  ASSERT_GT(cpu.run(1'000'000, [&](std::uint32_t pc, std::uint32_t) {
+    profiler.on_fetch(pc);
+  }), 0u);
+  ASSERT_TRUE(cpu.state().halted) << "seed=" << seed;
+  const cfg::Profile profile = profiler.take();
+
+  core::SelectionOptions sel;
+  sel.chain.block_size = k;
+  sel.tt_budget = 16;
+  const core::SelectionResult selection =
+      core::select_and_encode(cfg, profile, sel);
+  const auto image_words = selection.apply_to_text(cfg.text, cfg.text_base);
+  const sim::TextImage image(cfg.text_base, image_words);
+
+  // Invariant 2: encoding never increases the analytic dynamic total.
+  const long long base = experiments::dynamic_transitions(cfg, profile, cfg.text);
+  const long long encoded =
+      experiments::dynamic_transitions(cfg, profile, image_words);
+  EXPECT_LE(encoded, base) << "seed=" << seed << " k=" << k;
+
+  // Invariants 1 and 3: replay.
+  core::FetchDecoder decoder(selection.tt, selection.bbit);
+  sim::Memory memory2;
+  memory2.load_program(program);
+  sim::Cpu cpu2(memory2);
+  cpu2.state().pc = program.entry();
+  sim::BusMonitor monitor;
+  std::uint64_t mismatches = 0;
+  cpu2.run(1'000'000, [&](std::uint32_t pc, std::uint32_t word) {
+    const std::uint32_t bus = image.contains(pc) ? image.word_at(pc) : word;
+    monitor.observe(bus);
+    if (decoder.feed(pc, bus) != word) ++mismatches;
+  });
+  ASSERT_TRUE(cpu2.state().halted);
+  EXPECT_EQ(mismatches, 0u) << "seed=" << seed << " k=" << k;
+  EXPECT_EQ(monitor.total_transitions(), encoded) << "seed=" << seed;
+
+  // Invariant 4: the firmware-image round trip preserves everything a boot
+  // loader needs to decode this program.
+  core::FirmwareImage fw;
+  fw.text_base = cfg.text_base;
+  fw.text = image_words;
+  fw.tt = selection.tt;
+  fw.bbit = selection.bbit;
+  const core::FirmwareImage loaded = core::deserialize(core::serialize(fw));
+  EXPECT_EQ(loaded, fw) << "seed=" << seed << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPrograms, PipelinePropertyTest,
+    ::testing::Combine(::testing::Range(0u, 12u), ::testing::Values(4, 5, 7)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace asimt

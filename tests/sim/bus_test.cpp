@@ -1,0 +1,84 @@
+#include "sim/bus.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bitstream/bitseq.h"
+
+namespace asimt::sim {
+namespace {
+
+TEST(BusMonitor, CountsHammingDistances) {
+  BusMonitor monitor;
+  monitor.observe(0b0000);
+  monitor.observe(0b0111);
+  monitor.observe(0b0110);
+  EXPECT_EQ(monitor.total_transitions(), 3 + 1);
+  EXPECT_EQ(monitor.words_observed(), 3u);
+}
+
+TEST(BusMonitor, FirstWordCostsNothing) {
+  BusMonitor monitor;
+  monitor.observe(0xFFFFFFFFu);
+  EXPECT_EQ(monitor.total_transitions(), 0);
+}
+
+TEST(BusMonitor, PerLineHistogram) {
+  BusMonitor monitor(/*per_line=*/true);
+  monitor.observe(0b01);
+  monitor.observe(0b10);
+  monitor.observe(0b00);
+  EXPECT_EQ(monitor.per_line()[0], 1);  // 1 -> 0 -> 0
+  EXPECT_EQ(monitor.per_line()[1], 2);  // 0 -> 1 -> 0
+  EXPECT_EQ(monitor.total_transitions(), 3);
+}
+
+TEST(BusMonitor, PerLineSumsMatchTotal) {
+  std::mt19937 rng(5);
+  BusMonitor monitor(/*per_line=*/true);
+  for (int i = 0; i < 500; ++i) monitor.observe(rng());
+  long long sum = 0;
+  for (long long v : monitor.per_line()) sum += v;
+  EXPECT_EQ(sum, monitor.total_transitions());
+}
+
+TEST(BusMonitor, MatchesBitstreamHelper) {
+  std::mt19937 rng(11);
+  std::vector<std::uint32_t> words(200);
+  for (auto& w : words) w = rng();
+  BusMonitor monitor;
+  for (std::uint32_t w : words) monitor.observe(w);
+  EXPECT_EQ(monitor.total_transitions(), bits::total_bus_transitions(words));
+}
+
+TEST(BusMonitor, Reset) {
+  BusMonitor monitor(true);
+  monitor.observe(0);
+  monitor.observe(~0u);
+  monitor.reset();
+  EXPECT_EQ(monitor.total_transitions(), 0);
+  EXPECT_EQ(monitor.words_observed(), 0u);
+  monitor.observe(~0u);  // first word after reset costs nothing
+  EXPECT_EQ(monitor.total_transitions(), 0);
+}
+
+TEST(TextImage, LookupAndBounds) {
+  TextImage image(0x1000, {10, 20, 30});
+  EXPECT_TRUE(image.contains(0x1000));
+  EXPECT_TRUE(image.contains(0x1008));
+  EXPECT_FALSE(image.contains(0x100C));
+  EXPECT_FALSE(image.contains(0xFFC));
+  EXPECT_EQ(image.word_at(0x1004), 20u);
+  EXPECT_EQ(image.base(), 0x1000u);
+  EXPECT_EQ(image.size(), 3u);
+}
+
+TEST(TextImage, MutableWords) {
+  TextImage image(0, {1, 2});
+  image.words_mut()[1] = 99;
+  EXPECT_EQ(image.word_at(4), 99u);
+}
+
+}  // namespace
+}  // namespace asimt::sim

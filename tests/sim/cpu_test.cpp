@@ -1,0 +1,393 @@
+// CPU execution semantics, tested by assembling small programs and checking
+// architectural state after halt.
+#include "sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "isa/assembler.h"
+
+namespace asimt::sim {
+namespace {
+
+struct Machine {
+  Memory memory;
+  Cpu cpu{memory};
+};
+
+// Assembles `body`, runs until halt (or 100k steps), returns the machine.
+std::unique_ptr<Machine> run(const std::string& body,
+                             std::uint64_t max_steps = 100'000) {
+  const isa::Program program = isa::assemble(body);
+  auto m = std::make_unique<Machine>();
+  m->memory.load_program(program);
+  m->cpu.state().pc = program.entry();
+  m->cpu.run(max_steps);
+  EXPECT_TRUE(m->cpu.state().halted) << "program did not halt";
+  return m;
+}
+
+std::uint32_t reg(const Machine& m, unsigned r) { return m.cpu.state().r[r]; }
+float freg(const Machine& m, unsigned f) { return m.cpu.state().f[f]; }
+
+TEST(Cpu, ArithmeticImmediates) {
+  auto m = run(R"(
+        li      $t0, 10
+        addiu   $t1, $t0, -3
+        slti    $t2, $t1, 8
+        sltiu   $t3, $t1, 5
+        andi    $t4, $t0, 3
+        ori     $t5, $t0, 5
+        xori    $t6, $t0, 0xFF
+        lui     $t7, 0x1234
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kT1), 7u);
+  EXPECT_EQ(reg(*m, isa::kT2), 1u);
+  EXPECT_EQ(reg(*m, isa::kT3), 0u);
+  EXPECT_EQ(reg(*m, isa::kT4), 2u);
+  EXPECT_EQ(reg(*m, isa::kT5), 15u);
+  EXPECT_EQ(reg(*m, isa::kT6), 0xF5u);
+  EXPECT_EQ(reg(*m, isa::kT7), 0x12340000u);
+}
+
+TEST(Cpu, RTypeAluOps) {
+  auto m = run(R"(
+        li      $t0, 12
+        li      $t1, -5
+        addu    $t2, $t0, $t1
+        subu    $t3, $t0, $t1
+        and     $t4, $t0, $t1
+        or      $t5, $t0, $t1
+        xor     $t6, $t0, $t1
+        nor     $t7, $t0, $t1
+        slt     $s0, $t1, $t0
+        sltu    $s1, $t1, $t0
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kT2), 7u);
+  EXPECT_EQ(reg(*m, isa::kT3), 17u);
+  EXPECT_EQ(reg(*m, isa::kT4), 12u & 0xFFFFFFFBu);
+  EXPECT_EQ(reg(*m, isa::kT5), 12u | 0xFFFFFFFBu);
+  EXPECT_EQ(reg(*m, isa::kT6), 12u ^ 0xFFFFFFFBu);
+  EXPECT_EQ(reg(*m, isa::kT7), ~(12u | 0xFFFFFFFBu));
+  EXPECT_EQ(reg(*m, isa::kS0), 1u);  // -5 < 12 signed
+  EXPECT_EQ(reg(*m, isa::kS1), 0u);  // 0xFFFFFFFB > 12 unsigned
+}
+
+TEST(Cpu, Shifts) {
+  auto m = run(R"(
+        li      $t0, -16
+        sll     $t1, $t0, 2
+        srl     $t2, $t0, 2
+        sra     $t3, $t0, 2
+        li      $t4, 3
+        sllv    $t5, $t0, $t4
+        srlv    $t6, $t0, $t4
+        srav    $t7, $t0, $t4
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kT1), static_cast<std::uint32_t>(-64));
+  EXPECT_EQ(reg(*m, isa::kT2), 0xFFFFFFF0u >> 2);
+  EXPECT_EQ(reg(*m, isa::kT3), static_cast<std::uint32_t>(-4));
+  EXPECT_EQ(reg(*m, isa::kT5), static_cast<std::uint32_t>(-128));
+  EXPECT_EQ(reg(*m, isa::kT6), 0xFFFFFFF0u >> 3);
+  EXPECT_EQ(reg(*m, isa::kT7), static_cast<std::uint32_t>(-2));
+}
+
+TEST(Cpu, MultiplyDivide) {
+  auto m = run(R"(
+        li      $t0, -7
+        li      $t1, 6
+        mult    $t0, $t1
+        mflo    $t2
+        mfhi    $t3
+        li      $t4, 100
+        li      $t5, 9
+        div     $t4, $t5
+        mflo    $t6
+        mfhi    $t7
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kT2), static_cast<std::uint32_t>(-42));
+  EXPECT_EQ(reg(*m, isa::kT3), 0xFFFFFFFFu);  // sign extension of -42
+  EXPECT_EQ(reg(*m, isa::kT6), 11u);
+  EXPECT_EQ(reg(*m, isa::kT7), 1u);
+}
+
+TEST(Cpu, MultuAndDivu) {
+  auto m = run(R"(
+        li      $t0, 0x10000
+        li      $t1, 0x10000
+        multu   $t0, $t1
+        mfhi    $t2
+        mflo    $t3
+        li      $t4, 7
+        li      $t5, 2
+        divu    $t4, $t5
+        mflo    $t6
+        mfhi    $t7
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kT2), 1u);
+  EXPECT_EQ(reg(*m, isa::kT3), 0u);
+  EXPECT_EQ(reg(*m, isa::kT6), 3u);
+  EXPECT_EQ(reg(*m, isa::kT7), 1u);
+}
+
+TEST(Cpu, DivisionByZeroIsDefined) {
+  auto m = run(R"(
+        li      $t0, 5
+        li      $t1, 0
+        div     $t0, $t1
+        mflo    $t2
+        mfhi    $t3
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kT2), 0u);
+  EXPECT_EQ(reg(*m, isa::kT3), 5u);
+}
+
+TEST(Cpu, HiLoMoves) {
+  auto m = run(R"(
+        li      $t0, 77
+        mthi    $t0
+        li      $t1, 88
+        mtlo    $t1
+        mfhi    $t2
+        mflo    $t3
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kT2), 77u);
+  EXPECT_EQ(reg(*m, isa::kT3), 88u);
+}
+
+TEST(Cpu, ZeroRegisterIsImmutable) {
+  auto m = run(R"(
+        li      $t0, 5
+        addu    $zero, $t0, $t0
+        move    $t1, $zero
+        halt
+)");
+  EXPECT_EQ(reg(*m, 0), 0u);
+  EXPECT_EQ(reg(*m, isa::kT1), 0u);
+}
+
+TEST(Cpu, LoadsAndStores) {
+  auto m = run(R"(
+        li      $t0, 0x1000
+        li      $t1, -2
+        sw      $t1, 0($t0)
+        lw      $t2, 0($t0)
+        lb      $t3, 0($t0)
+        lbu     $t4, 0($t0)
+        lh      $t5, 0($t0)
+        lhu     $t6, 0($t0)
+        li      $t7, 0xAB
+        sb      $t7, 8($t0)
+        lbu     $s0, 8($t0)
+        li      $t7, 0xCDEF
+        sh      $t7, 12($t0)
+        lhu     $s1, 12($t0)
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kT2), 0xFFFFFFFEu);
+  EXPECT_EQ(reg(*m, isa::kT3), 0xFFFFFFFEu);  // sign-extended byte
+  EXPECT_EQ(reg(*m, isa::kT4), 0xFEu);
+  EXPECT_EQ(reg(*m, isa::kT5), 0xFFFFFFFEu);
+  EXPECT_EQ(reg(*m, isa::kT6), 0xFFFEu);
+  EXPECT_EQ(reg(*m, isa::kS0), 0xABu);
+  EXPECT_EQ(reg(*m, isa::kS1), 0xCDEFu);
+}
+
+TEST(Cpu, BranchesTakenAndNotTaken) {
+  auto m = run(R"(
+        li      $t0, 1
+        li      $t1, 2
+        beq     $t0, $t1, bad
+        bne     $t0, $t1, good1
+        j       bad
+good1:  blez    $t0, bad
+        bgtz    $t0, good2
+        j       bad
+good2:  li      $t2, -1
+        bltz    $t2, good3
+        j       bad
+good3:  bgez    $t0, good4
+        j       bad
+bad:    li      $s7, 99
+        halt
+good4:  li      $s7, 42
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kS7), 42u);
+}
+
+TEST(Cpu, LoopExecutesExactCount) {
+  auto m = run(R"(
+        li      $t0, 0
+        li      $t1, 37
+loop:   addiu   $t0, $t0, 1
+        bne     $t0, $t1, loop
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kT0), 37u);
+  // 2 setup + 37*2 loop + halt
+  EXPECT_EQ(m->cpu.state().instructions, 2u + 74u + 1u);
+}
+
+TEST(Cpu, JalAndJrImplementCalls) {
+  auto m = run(R"(
+        jal     func
+        li      $t1, 5
+        halt
+func:   li      $t0, 7
+        jr      $ra
+)");
+  EXPECT_EQ(reg(*m, isa::kT0), 7u);
+  EXPECT_EQ(reg(*m, isa::kT1), 5u);
+}
+
+TEST(Cpu, JalrSavesReturnAddress) {
+  auto m = run(R"(
+        la      $t0, func
+        jalr    $s0, $t0
+        halt
+func:   move    $t1, $s0
+        jr      $s0
+)");
+  // $s0 holds the address of the halt (instruction after jalr).
+  EXPECT_NE(reg(*m, isa::kS0), 0u);
+  EXPECT_EQ(reg(*m, isa::kT1), reg(*m, isa::kS0));
+}
+
+TEST(Cpu, FloatArithmetic) {
+  auto m = run(R"(
+        li.s    $f1, 3.5
+        li.s    $f2, 2.0
+        add.s   $f3, $f1, $f2
+        sub.s   $f4, $f1, $f2
+        mul.s   $f5, $f1, $f2
+        div.s   $f6, $f1, $f2
+        neg.s   $f7, $f1
+        abs.s   $f8, $f7
+        mov.s   $f9, $f8
+        sqrt.s  $f10, $f2
+        halt
+)");
+  EXPECT_EQ(freg(*m, 3), 5.5f);
+  EXPECT_EQ(freg(*m, 4), 1.5f);
+  EXPECT_EQ(freg(*m, 5), 7.0f);
+  EXPECT_EQ(freg(*m, 6), 1.75f);
+  EXPECT_EQ(freg(*m, 7), -3.5f);
+  EXPECT_EQ(freg(*m, 8), 3.5f);
+  EXPECT_EQ(freg(*m, 9), 3.5f);
+  EXPECT_FLOAT_EQ(freg(*m, 10), std::sqrt(2.0f));
+}
+
+TEST(Cpu, FloatCompareAndBranch) {
+  auto m = run(R"(
+        li.s    $f1, 1.0
+        li.s    $f2, 2.0
+        c.lt.s  $f1, $f2
+        bc1t    less
+        li      $t0, 0
+        halt
+less:   c.eq.s  $f1, $f1
+        bc1f    bad
+        c.le.s  $f2, $f1
+        bc1f    good
+bad:    li      $t0, 99
+        halt
+good:   li      $t0, 1
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kT0), 1u);
+}
+
+TEST(Cpu, FloatConversions) {
+  auto m = run(R"(
+        li      $t0, -9
+        mtc1    $t0, $f1
+        cvt.s.w $f2, $f1
+        li.s    $f3, 7.75
+        trunc.w.s $f4, $f3
+        mfc1    $t1, $f4
+        mfc1    $t2, $f2
+        halt
+)");
+  EXPECT_EQ(freg(*m, 2), -9.0f);
+  EXPECT_EQ(reg(*m, isa::kT1), 7u);
+  EXPECT_EQ(reg(*m, isa::kT2), std::bit_cast<std::uint32_t>(-9.0f));
+}
+
+TEST(Cpu, FloatMemory) {
+  auto m = run(R"(
+        li      $t0, 0x2000
+        li.s    $f1, 1.25
+        swc1    $f1, 4($t0)
+        lwc1    $f2, 4($t0)
+        halt
+)");
+  EXPECT_EQ(freg(*m, 2), 1.25f);
+  EXPECT_EQ(m->memory.load_float(0x2004), 1.25f);
+}
+
+TEST(Cpu, SyscallIsNoOp) {
+  auto m = run(R"(
+        li      $t0, 3
+        syscall
+        addiu   $t0, $t0, 1
+        halt
+)");
+  EXPECT_EQ(reg(*m, isa::kT0), 4u);
+}
+
+TEST(Cpu, InvalidInstructionThrows) {
+  Memory memory;
+  memory.store32(0, 0xFFFFFFFFu);
+  Cpu cpu(memory);
+  EXPECT_THROW(cpu.run(1), CpuError);
+}
+
+TEST(Cpu, RunStopsAtMaxSteps) {
+  Memory memory;
+  // An infinite loop: j 0.
+  isa::Instruction j;
+  j.op = isa::Op::kJ;
+  j.target = 0;
+  memory.store32(0, isa::encode(j));
+  Cpu cpu(memory);
+  EXPECT_EQ(cpu.run(1000), 1000u);
+  EXPECT_FALSE(cpu.state().halted);
+}
+
+TEST(Cpu, FetchObserverSeesEveryInstruction) {
+  const isa::Program program = isa::assemble(R"(
+        li      $t0, 0
+        li      $t1, 3
+loop:   addiu   $t0, $t0, 1
+        bne     $t0, $t1, loop
+        halt
+)");
+  Memory memory;
+  memory.load_program(program);
+  Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  std::vector<std::uint32_t> pcs;
+  cpu.run(1000, [&](std::uint32_t pc, std::uint32_t word) {
+    pcs.push_back(pc);
+    EXPECT_EQ(word, memory.load32(pc));
+  });
+  EXPECT_EQ(pcs.size(), cpu.state().instructions);
+  EXPECT_EQ(pcs.front(), program.entry());
+  // The loop body PC appears exactly 3 times.
+  const std::uint32_t loop_pc = program.symbol("loop");
+  EXPECT_EQ(std::count(pcs.begin(), pcs.end(), loop_pc), 3);
+}
+
+}  // namespace
+}  // namespace asimt::sim

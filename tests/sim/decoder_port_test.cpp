@@ -1,0 +1,162 @@
+// Tests for the memory-mapped decoder peripheral (§7.1 software
+// reprogramming path) and the generated configuration prologue.
+#include "sim/decoder_port.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/program_encoder.h"
+#include "experiments/reprogram.h"
+#include "isa/assembler.h"
+#include "sim/cpu.h"
+
+namespace asimt::sim {
+namespace {
+
+core::BlockEncoding sample_encoding(std::uint32_t pc, std::size_t words_n,
+                                    int k, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint32_t> words(words_n);
+  for (auto& w : words) w = rng();
+  core::ChainOptions options;
+  options.block_size = k;
+  return core::encode_basic_block(words, pc, options);
+}
+
+// Programs the peripheral through raw register stores.
+void program_via_stores(DecoderPeripheral& port, const core::TtConfig& tt,
+                        std::span<const core::BbitEntry> bbit) {
+  port.store(DecoderPeripheral::kCtrl, 2);  // reset
+  port.store(DecoderPeripheral::kBlockSize,
+             static_cast<std::uint32_t>(tt.block_size));
+  port.store(DecoderPeripheral::kTtIndex, 0);
+  for (const core::TtEntry& entry : tt.entries) {
+    const auto words = core::pack_tt_entry(entry);
+    port.store(DecoderPeripheral::kTtData0, words[0]);
+    port.store(DecoderPeripheral::kTtData1, words[1]);
+    port.store(DecoderPeripheral::kTtData2, words[2]);
+    port.store(DecoderPeripheral::kTtData3, words[3]);
+  }
+  for (const core::BbitEntry& entry : bbit) {
+    port.store(DecoderPeripheral::kBbitPc, entry.pc);
+    port.store(DecoderPeripheral::kBbitIndex, entry.tt_index);
+  }
+  port.store(DecoderPeripheral::kCtrl, 1);  // enable
+}
+
+TEST(DecoderPeripheral, DisabledPassesThrough) {
+  DecoderPeripheral port;
+  EXPECT_FALSE(port.enabled());
+  EXPECT_EQ(port.feed(0x1000, 0xABCD1234u), 0xABCD1234u);
+}
+
+TEST(DecoderPeripheral, ProgrammedViaStoresDecodesLikeDirectConstruction) {
+  const core::BlockEncoding enc = sample_encoding(0x2000, 13, 5, 7);
+  core::TtConfig tt{5, enc.tt_entries};
+  const std::vector<core::BbitEntry> bbit = {core::BbitEntry{0x2000, 0}};
+
+  DecoderPeripheral port;
+  program_via_stores(port, tt, bbit);
+  ASSERT_TRUE(port.enabled());
+
+  core::FetchDecoder direct(tt, bbit);
+  for (std::size_t i = 0; i < enc.encoded_words.size(); ++i) {
+    const std::uint32_t pc = 0x2000 + 4 * static_cast<std::uint32_t>(i);
+    const std::uint32_t via_port = port.feed(pc, enc.encoded_words[i]);
+    EXPECT_EQ(via_port, direct.feed(pc, enc.encoded_words[i])) << i;
+    EXPECT_EQ(via_port, enc.original_words[i]) << i;
+  }
+}
+
+TEST(DecoderPeripheral, ResetClearsState) {
+  const core::BlockEncoding enc = sample_encoding(0x3000, 8, 4, 1);
+  DecoderPeripheral port;
+  program_via_stores(port, core::TtConfig{4, enc.tt_entries},
+                     {{core::BbitEntry{0x3000, 0}}});
+  EXPECT_TRUE(port.enabled());
+  port.store(DecoderPeripheral::kCtrl, 2);
+  EXPECT_FALSE(port.enabled());
+  EXPECT_TRUE(port.tt().entries.empty());
+  EXPECT_TRUE(port.bbit().empty());
+}
+
+TEST(DecoderPeripheral, RejectsBadProgramming) {
+  DecoderPeripheral port;
+  EXPECT_THROW(port.store(DecoderPeripheral::kBlockSize, 1), MemoryError);
+  EXPECT_THROW(port.store(DecoderPeripheral::kBbitIndex, 5), MemoryError);
+  EXPECT_THROW(port.store(0x50, 0), MemoryError);
+}
+
+TEST(DecoderPeripheral, AttachRoutesStoresThroughMemory) {
+  Memory memory;
+  DecoderPeripheral port;
+  port.attach(memory, 0xF0000000u);
+  memory.store32(0xF0000000u + DecoderPeripheral::kBlockSize, 7);
+  EXPECT_EQ(port.tt().block_size, 7);
+  // Stores outside the window still hit RAM.
+  memory.store32(0xE0000000u, 123);
+  EXPECT_EQ(memory.load32(0xE0000000u), 123u);
+}
+
+TEST(MemoryMmio, RegionBoundariesAreExact) {
+  Memory memory;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> writes;
+  memory.map_mmio(0x1000, 16, [&](std::uint32_t off, std::uint32_t v) {
+    writes.emplace_back(off, v);
+  });
+  memory.store32(0xFFC, 1);   // below
+  memory.store32(0x1000, 2);  // first word
+  memory.store32(0x100C, 3);  // last word
+  memory.store32(0x1010, 4);  // past the end
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_EQ(writes[0], std::make_pair(0u, 2u));
+  EXPECT_EQ(writes[1], std::make_pair(12u, 3u));
+  EXPECT_EQ(memory.load32(0xFFC), 1u);
+  EXPECT_EQ(memory.load32(0x1010), 4u);
+  // MMIO stores do not write RAM.
+  EXPECT_EQ(memory.load32(0x1000), 0u);
+}
+
+TEST(MemoryMmio, UnmapRestoresRamSemantics) {
+  Memory memory;
+  memory.map_mmio(0x1000, 16, [](std::uint32_t, std::uint32_t) {});
+  memory.map_mmio(0, 0, nullptr);
+  memory.store32(0x1000, 55);
+  EXPECT_EQ(memory.load32(0x1000), 55u);
+}
+
+// Full §7.1 flow: the generated assembly prologue, executed by the CPU,
+// programs the peripheral; the decode path then restores the encoded loop.
+TEST(Reprogram, GeneratedPrologueConfiguresPeripheral) {
+  const core::BlockEncoding enc = sample_encoding(0x9000, 11, 5, 3);
+  core::TtConfig tt{5, enc.tt_entries};
+  const std::vector<core::BbitEntry> bbit = {core::BbitEntry{0x9000, 0}};
+
+  const std::string prologue =
+      experiments::decoder_config_assembly(tt, bbit, 0xF0000000u);
+  const isa::Program program = isa::assemble(prologue + "        halt\n");
+
+  Memory memory;
+  memory.load_program(program);
+  DecoderPeripheral port;
+  port.attach(memory);
+  Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  cpu.run(10'000);
+  ASSERT_TRUE(cpu.state().halted);
+
+  ASSERT_TRUE(port.enabled());
+  ASSERT_EQ(port.tt().entries.size(), tt.entries.size());
+  EXPECT_EQ(port.tt().block_size, 5);
+  ASSERT_EQ(port.bbit().size(), 1u);
+  EXPECT_EQ(port.bbit()[0].pc, 0x9000u);
+
+  for (std::size_t i = 0; i < enc.encoded_words.size(); ++i) {
+    const std::uint32_t pc = 0x9000 + 4 * static_cast<std::uint32_t>(i);
+    EXPECT_EQ(port.feed(pc, enc.encoded_words[i]), enc.original_words[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace asimt::sim

@@ -1,0 +1,94 @@
+#include "sim/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace asimt::sim {
+namespace {
+
+TEST(Memory, ZeroInitialized) {
+  Memory m;
+  EXPECT_EQ(m.load8(0x1234), 0u);
+  EXPECT_EQ(m.load32(0xFFFF0000u), 0u);
+}
+
+TEST(Memory, ByteRoundTrip) {
+  Memory m;
+  m.store8(10, 0xAB);
+  EXPECT_EQ(m.load8(10), 0xABu);
+  EXPECT_EQ(m.load8(11), 0u);
+}
+
+TEST(Memory, LittleEndianWords) {
+  Memory m;
+  m.store32(0x100, 0x11223344u);
+  EXPECT_EQ(m.load8(0x100), 0x44u);
+  EXPECT_EQ(m.load8(0x101), 0x33u);
+  EXPECT_EQ(m.load8(0x102), 0x22u);
+  EXPECT_EQ(m.load8(0x103), 0x11u);
+  EXPECT_EQ(m.load16(0x100), 0x3344u);
+  EXPECT_EQ(m.load16(0x102), 0x1122u);
+}
+
+TEST(Memory, HalfWordRoundTrip) {
+  Memory m;
+  m.store16(0x200, 0xBEEF);
+  EXPECT_EQ(m.load16(0x200), 0xBEEFu);
+  EXPECT_EQ(m.load32(0x200), 0xBEEFu);
+}
+
+TEST(Memory, CrossPageAccesses) {
+  Memory m;
+  const std::uint32_t boundary = Memory::kPageSize;
+  m.store8(boundary - 1, 0x11);
+  m.store8(boundary, 0x22);
+  EXPECT_EQ(m.load8(boundary - 1), 0x11u);
+  EXPECT_EQ(m.load8(boundary), 0x22u);
+}
+
+TEST(Memory, AlignmentEnforced) {
+  Memory m;
+  EXPECT_THROW(m.load32(2), MemoryError);
+  EXPECT_THROW(m.store32(6, 0), MemoryError);
+  EXPECT_THROW(m.load16(1), MemoryError);
+  EXPECT_THROW(m.store16(3, 0), MemoryError);
+  EXPECT_NO_THROW(m.load32(4));
+}
+
+TEST(Memory, FloatRoundTrip) {
+  Memory m;
+  m.store_float(0x300, 3.25f);
+  EXPECT_EQ(m.load_float(0x300), 3.25f);
+  EXPECT_EQ(m.load32(0x300), 0x40500000u);
+}
+
+TEST(Memory, LoadProgramPlacesTextAndData) {
+  isa::Program program;
+  program.text_base = 0x400000;
+  program.text = {0xAAAA5555u, 0x12345678u};
+  program.data_base = 0x10000000;
+  program.data = {1, 2, 3};
+  Memory m;
+  m.load_program(program);
+  EXPECT_EQ(m.load32(0x400000), 0xAAAA5555u);
+  EXPECT_EQ(m.load32(0x400004), 0x12345678u);
+  EXPECT_EQ(m.load8(0x10000000), 1u);
+  EXPECT_EQ(m.load8(0x10000002), 3u);
+}
+
+TEST(Memory, InterleavedReadsAndWritesAcrossPages) {
+  // Exercises the one-entry page cache with alternating pages.
+  Memory m;
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint32_t page = 0; page < 8; ++page) {
+      const std::uint32_t addr = page * Memory::kPageSize + 16;
+      m.store32(addr, page * 100 + static_cast<std::uint32_t>(round));
+    }
+    for (std::uint32_t page = 0; page < 8; ++page) {
+      const std::uint32_t addr = page * Memory::kPageSize + 16;
+      EXPECT_EQ(m.load32(addr), page * 100 + static_cast<std::uint32_t>(round));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asimt::sim

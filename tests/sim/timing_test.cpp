@@ -1,0 +1,116 @@
+// Pipeline timing model tests with hand-computed cycle counts.
+#include "sim/timing.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/cpu.h"
+
+namespace asimt::sim {
+namespace {
+
+// Runs `source` feeding the timing model; returns the model.
+TimingModel run_timed(const std::string& source, TimingConfig config = {}) {
+  const isa::Program program = isa::assemble(source);
+  Memory memory;
+  memory.load_program(program);
+  Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  TimingModel timing(config);
+  cpu.run(100'000, [&](std::uint32_t pc, std::uint32_t word) {
+    timing.on_fetch(pc, word);
+  });
+  EXPECT_TRUE(cpu.state().halted);
+  return timing;
+}
+
+TEST(Timing, StraightLineIsOneCyclePerInstruction) {
+  const TimingModel t = run_timed(R"(
+        addiu   $t0, $t0, 1
+        addiu   $t1, $t1, 2
+        addiu   $t2, $t2, 3
+        halt
+)");
+  EXPECT_EQ(t.instructions(), 4u);
+  EXPECT_EQ(t.cycles(), 4u);
+  EXPECT_DOUBLE_EQ(t.cpi(), 1.0);
+}
+
+TEST(Timing, LoadUseStalls) {
+  const TimingModel t = run_timed(R"(
+        lw      $t0, 0($sp)
+        addiu   $t1, $t0, 1      # consumes the load result immediately
+        lw      $t2, 4($sp)
+        addiu   $t3, $t4, 1      # independent: no stall
+        addiu   $t5, $t2, 1      # too late to stall (one-cycle window)
+        halt
+)");
+  EXPECT_EQ(t.load_use_stalls(), 1u);
+  EXPECT_EQ(t.cycles(), t.instructions() + 1);
+}
+
+TEST(Timing, FpLoadUseStalls) {
+  const TimingModel t = run_timed(R"(
+        lwc1    $f1, 0($sp)
+        add.s   $f2, $f1, $f1
+        halt
+)");
+  EXPECT_EQ(t.load_use_stalls(), 1u);
+}
+
+TEST(Timing, TakenBranchPaysTheFlush) {
+  const TimingModel t = run_timed(R"(
+        li      $t0, 3
+loop:   addiu   $t0, $t0, -1
+        bne     $t0, $zero, loop
+        halt
+)");
+  // bne taken twice (t0: 2,1), not taken once (t0: 0).
+  EXPECT_EQ(t.taken_control_flushes(), 2u);
+  EXPECT_EQ(t.cycles(), t.instructions() + 2u * 2u);
+}
+
+TEST(Timing, JumpsAlwaysFlush) {
+  const TimingModel t = run_timed(R"(
+        j       skip
+        nop                      # skipped
+skip:   jal     func
+        halt
+func:   jr      $ra
+)");
+  // j, jal, jr all redirect fetch away from the fall-through path.
+  EXPECT_EQ(t.taken_control_flushes(), 3u);
+}
+
+TEST(Timing, DecodeLatencyScalesPerFetch) {
+  TimingConfig slow;
+  slow.decode_latency = 1;
+  const TimingModel fast = run_timed("addiu $t0, $t0, 1\nhalt\n");
+  const TimingModel slowed = run_timed("addiu $t0, $t0, 1\nhalt\n", slow);
+  EXPECT_EQ(slowed.cycles(), fast.cycles() + slowed.instructions());
+}
+
+TEST(Timing, IcacheMissPenalty) {
+  TimingModel t(TimingConfig{});
+  t.on_fetch(0x1000, 0x24080001u);  // addiu
+  t.on_icache_miss();
+  EXPECT_EQ(t.cycles(), 1u + 8u);
+  EXPECT_EQ(t.icache_misses(), 1u);
+}
+
+TEST(Timing, CpiOfRealWorkloadIsReasonable) {
+  const TimingModel t = run_timed(R"(
+        li      $t9, 200
+        li      $t0, 0
+loop:   lw      $t1, 0($a0)
+        addu    $t2, $t2, $t1
+        addiu   $t0, $t0, 1
+        bne     $t0, $t9, loop
+        halt
+)");
+  EXPECT_GT(t.cpi(), 1.0);   // some flushes
+  EXPECT_LT(t.cpi(), 2.0);   // but mostly single-cycle
+}
+
+}  // namespace
+}  // namespace asimt::sim

@@ -1,0 +1,123 @@
+// Validation of the extra (non-paper) kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isa/assembler.h"
+#include "sim/cpu.h"
+#include "workloads/workload.h"
+
+namespace asimt::workloads {
+namespace {
+
+class ExtraWorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExtraWorkloadTest, AssemblesSimulatesAndValidates) {
+  const Workload w = make_by_name(GetParam(), SizeConfig::small());
+  const isa::Program program = isa::assemble(w.source);
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  w.init(memory, cpu.state());
+  cpu.run(w.max_steps);
+  ASSERT_TRUE(cpu.state().halted) << w.name;
+  std::string error;
+  EXPECT_TRUE(w.check(memory, &error)) << w.name << ": " << error;
+}
+
+TEST_P(ExtraWorkloadTest, CheckFailsOnUntouchedMemory) {
+  const Workload w = make_by_name(GetParam(), SizeConfig::small());
+  sim::Memory memory;
+  sim::CpuState state;
+  w.init(memory, state);
+  std::string error;
+  EXPECT_FALSE(w.check(memory, &error)) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFour, ExtraWorkloadTest,
+                         ::testing::Values("fir", "crc32", "dct", "hist"),
+                         [](const auto& info) { return info.param; });
+
+TEST(ExtraWorkloads, MakeExtraReturnsAllFour) {
+  const auto extra = make_extra(SizeConfig::small());
+  ASSERT_EQ(extra.size(), 4u);
+  EXPECT_EQ(extra[0].name, "fir");
+  EXPECT_EQ(extra[1].name, "crc32");
+  EXPECT_EQ(extra[2].name, "dct");
+  EXPECT_EQ(extra[3].name, "hist");
+}
+
+TEST(ExtraWorkloads, Crc32MatchesKnownVector) {
+  // "123456789" -> 0xCBF43926, the canonical CRC-32 check value — verified
+  // through the simulator, not just the host reference.
+  const char* input = "123456789";
+  Workload w = make_crc32(SizeConfig::small());
+  const isa::Program program = isa::assemble(w.source);
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  const std::uint32_t buf = 0x30000, out = 0x30100;
+  for (std::size_t i = 0; input[i]; ++i) {
+    memory.store8(buf + static_cast<std::uint32_t>(i),
+                  static_cast<std::uint8_t>(input[i]));
+  }
+  cpu.state().r[isa::kA0] = buf;
+  cpu.state().r[isa::kA1] = 9;
+  cpu.state().r[isa::kA2] = out;
+  cpu.run(100'000);
+  ASSERT_TRUE(cpu.state().halted);
+  EXPECT_EQ(memory.load32(out), 0xCBF43926u);
+}
+
+TEST(ExtraWorkloads, DctOfConstantBlockIsDcOnly) {
+  // A constant block has all energy in coefficient 0 — checked through the
+  // simulator on a single block.
+  SizeConfig sizes = SizeConfig::small();
+  sizes.dct_blocks = 1;
+  Workload w = make_dct(sizes);
+  const isa::Program program = isa::assemble(w.source);
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  w.init(memory, cpu.state());
+  // Overwrite the input block with a constant.
+  const std::uint32_t params = cpu.state().r[isa::kA0];
+  const std::uint32_t x_addr = memory.load32(params);
+  const std::uint32_t y_addr = memory.load32(params + 8);
+  for (int i = 0; i < 8; ++i) {
+    memory.store_float(x_addr + 4 * static_cast<std::uint32_t>(i), 2.0f);
+  }
+  cpu.run(100'000);
+  ASSERT_TRUE(cpu.state().halted);
+  EXPECT_NEAR(memory.load_float(y_addr), 2.0f * 8.0f / std::sqrt(8.0f), 1e-4);
+  for (int k = 1; k < 8; ++k) {
+    EXPECT_NEAR(memory.load_float(y_addr + 4 * static_cast<std::uint32_t>(k)),
+                0.0f, 1e-4)
+        << k;
+  }
+}
+
+TEST(ExtraWorkloads, HistogramBinsSumToLength) {
+  const SizeConfig sizes = SizeConfig::small();
+  Workload w = make_histogram(sizes);
+  const isa::Program program = isa::assemble(w.source);
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  w.init(memory, cpu.state());
+  const std::uint32_t bins = cpu.state().r[isa::kA2];
+  cpu.run(10'000'000);
+  ASSERT_TRUE(cpu.state().halted);
+  std::uint64_t total = 0;
+  for (int b = 0; b < 256; ++b) {
+    total += memory.load32(bins + 4 * static_cast<std::uint32_t>(b));
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(sizes.hist_bytes));
+}
+
+}  // namespace
+}  // namespace asimt::workloads

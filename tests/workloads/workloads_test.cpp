@@ -1,0 +1,199 @@
+// Each kernel is assembled, simulated, and validated against its C++
+// reference implementation on reduced problem sizes.
+#include "workloads/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "isa/assembler.h"
+#include "workloads/reference.h"
+
+namespace asimt::workloads {
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadTest, AssemblesSimulatesAndValidates) {
+  const Workload w = make_by_name(GetParam(), SizeConfig::small());
+  const isa::Program program = isa::assemble(w.source);
+  EXPECT_FALSE(program.text.empty());
+
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  w.init(memory, cpu.state());
+  cpu.run(w.max_steps);
+  ASSERT_TRUE(cpu.state().halted) << w.name << " did not halt";
+
+  std::string error;
+  EXPECT_TRUE(w.check(memory, &error)) << w.name << ": " << error;
+}
+
+TEST_P(WorkloadTest, CheckFailsOnUntouchedMemory) {
+  // A fresh memory (inputs written, kernel never run) must not validate —
+  // guards against vacuous checks.
+  const Workload w = make_by_name(GetParam(), SizeConfig::small());
+  sim::Memory memory;
+  sim::CpuState state;
+  w.init(memory, state);
+  std::string error;
+  EXPECT_FALSE(w.check(memory, &error)) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, WorkloadTest,
+                         ::testing::Values("mmul", "sor", "ej", "fft", "tri",
+                                           "lu"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Workloads, MakeAllReturnsPaperOrder) {
+  const auto all = make_all(SizeConfig::small());
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "mmul");
+  EXPECT_EQ(all[1].name, "sor");
+  EXPECT_EQ(all[2].name, "ej");
+  EXPECT_EQ(all[3].name, "fft");
+  EXPECT_EQ(all[4].name, "tri");
+  EXPECT_EQ(all[5].name, "lu");
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(make_by_name("quicksort"), std::out_of_range);
+}
+
+TEST(Lcg, Deterministic) {
+  Lcg a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+  Lcg c(42), d(43);
+  EXPECT_NE(c.next_u32(), d.next_u32());
+}
+
+TEST(Lcg, FloatsInUnitInterval) {
+  Lcg lcg(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = lcg.next_float();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(References, FftBitReverseTableIsInvolution) {
+  for (int n : {8, 64, 256}) {
+    const auto rev = fft_bit_reverse_table(n);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(rev[rev[static_cast<std::size_t>(i)]],
+                static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+TEST(References, FftOfImpulseIsFlat) {
+  const int n = 64;
+  std::vector<float> re(n, 0.0f), im(n, 0.0f);
+  re[0] = 1.0f;
+  ref_fft(n, re, im);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(re[static_cast<std::size_t>(i)], 1.0f, 1e-5f);
+    EXPECT_NEAR(im[static_cast<std::size_t>(i)], 0.0f, 1e-5f);
+  }
+}
+
+TEST(References, FftParsevalHolds) {
+  const int n = 128;
+  Lcg lcg(5);
+  std::vector<float> re(n), im(n);
+  for (int i = 0; i < n; ++i) {
+    re[static_cast<std::size_t>(i)] = lcg.next_float() - 0.5f;
+    im[static_cast<std::size_t>(i)] = lcg.next_float() - 0.5f;
+  }
+  double time_energy = 0;
+  for (int i = 0; i < n; ++i) {
+    time_energy += re[static_cast<std::size_t>(i)] * re[static_cast<std::size_t>(i)] +
+                   im[static_cast<std::size_t>(i)] * im[static_cast<std::size_t>(i)];
+  }
+  ref_fft(n, re, im);
+  double freq_energy = 0;
+  for (int i = 0; i < n; ++i) {
+    freq_energy += re[static_cast<std::size_t>(i)] * re[static_cast<std::size_t>(i)] +
+                   im[static_cast<std::size_t>(i)] * im[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(freq_energy, time_energy * n, time_energy * n * 1e-4);
+}
+
+TEST(References, TriSolvesTheSystem) {
+  const int n = 24;
+  Lcg lcg(9);
+  std::vector<float> a(n), b(n), c(n), d(n), x;
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)] = lcg.next_float();
+    c[static_cast<std::size_t>(i)] = lcg.next_float();
+    d[static_cast<std::size_t>(i)] = lcg.next_float();
+    b[static_cast<std::size_t>(i)] =
+        2.0f + a[static_cast<std::size_t>(i)] + c[static_cast<std::size_t>(i)];
+  }
+  ref_tri(n, a, b, c, d, x);
+  // Residual check: A x = d.
+  for (int i = 0; i < n; ++i) {
+    const std::size_t p = static_cast<std::size_t>(i);
+    float lhs = b[p] * x[p];
+    if (i > 0) lhs += a[p] * x[p - 1];
+    if (i < n - 1) lhs += c[p] * x[p + 1];
+    EXPECT_NEAR(lhs, d[p], 1e-4f) << i;
+  }
+}
+
+TEST(References, LuReconstructsTheMatrix) {
+  const int n = 16;
+  Lcg lcg(3);
+  std::vector<float> original(static_cast<std::size_t>(n) * n);
+  for (float& v : original) v = lcg.next_float();
+  for (int i = 0; i < n; ++i) {
+    original[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(i)] +=
+        static_cast<float>(n);
+  }
+  std::vector<float> lu = original;
+  ref_lu(n, lu);
+  // (L U)[i][j] must reproduce the original matrix.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0;
+      for (int k = 0; k <= std::min(i, j); ++k) {
+        const double l = (k == i) ? 1.0 : lu[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(k)];
+        const double u = lu[static_cast<std::size_t>(k) * n + static_cast<std::size_t>(j)];
+        if (k <= j && k <= i) sum += (k < i ? l : 1.0) * u;
+      }
+      EXPECT_NEAR(sum, original[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)],
+                  2e-3 * n) << i << "," << j;
+    }
+  }
+}
+
+TEST(References, SorConvergesTowardHarmonicInterior) {
+  // With fixed boundary and enough sweeps the interior approaches the
+  // 5-point harmonic balance; a few sweeps must at least shrink the maximal
+  // residual.
+  const int n = 16;
+  Lcg lcg(12);
+  std::vector<float> u(static_cast<std::size_t>(n) * n);
+  for (float& v : u) v = lcg.next_float();
+  auto max_residual = [&](const std::vector<float>& grid) {
+    float worst = 0;
+    for (int i = 1; i < n - 1; ++i) {
+      for (int j = 1; j < n - 1; ++j) {
+        const std::size_t p = static_cast<std::size_t>(i) * n + j;
+        const float r = grid[p - static_cast<std::size_t>(n)] + grid[p + static_cast<std::size_t>(n)] +
+                        grid[p - 1] + grid[p + 1] - 4 * grid[p];
+        worst = std::max(worst, std::fabs(r));
+      }
+    }
+    return worst;
+  };
+  const float before = max_residual(u);
+  ref_sor(n, 30, u);
+  EXPECT_LT(max_residual(u), before * 0.05f);
+}
+
+}  // namespace
+}  // namespace asimt::workloads

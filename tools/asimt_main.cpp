@@ -1,0 +1,264 @@
+// asimt — command-line front end for the ASIMT toolchain.
+//
+//   asimt disasm  prog.s                   disassembly listing with CFG marks
+//   asimt run     prog.s [--max-steps N]   execute, print machine summary
+//   asimt report  prog.s [-k 4,5,6,7]      static per-block-size encoding report
+//   asimt encode  prog.s -o fw.img [-k K] [--tt N] [--profile STEPS]
+//                                          build a power-encoded firmware image
+//   asimt info    fw.img                   inspect a firmware image
+//
+// `encode` profiles by executing from the entry point with zeroed registers
+// (bounded by --profile steps, default 1M; programs that do not halt are
+// still profiled). With --static, every eligible block is weighted equally
+// instead.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "core/fetch_decoder.h"
+#include "core/image.h"
+#include "core/selection.h"
+#include "experiments/experiment.h"
+#include "isa/assembler.h"
+#include "sim/bus.h"
+#include "sim/cpu.h"
+
+namespace {
+
+using namespace asimt;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: asimt <disasm|run|report|encode|info> <file> [options]\n"
+               "  disasm prog.s\n"
+               "  run    prog.s [--max-steps N]\n"
+               "  report prog.s [-k list]\n"
+               "  encode prog.s -o out.img [-k K] [--tt N] [--profile STEPS | --static]\n"
+               "  info   fw.img\n");
+  std::exit(2);
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "asimt: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::uint8_t> read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "asimt: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+isa::Program assemble_or_die(const std::string& path) {
+  try {
+    return isa::assemble(read_text_file(path));
+  } catch (const isa::AssemblyError& e) {
+    std::fprintf(stderr, "asimt: %s: %s\n", path.c_str(), e.what());
+    std::exit(1);
+  }
+}
+
+int cmd_disasm(const std::string& path) {
+  const isa::Program program = assemble_or_die(path);
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+  for (std::size_t i = 0; i < program.text.size(); ++i) {
+    const std::uint32_t pc = program.text_base + 4 * static_cast<std::uint32_t>(i);
+    const bool leader = cfg.block_starting_at(pc) >= 0;
+    std::printf("%c %08x  %08x  %s\n", leader ? '>' : ' ', pc, program.text[i],
+                isa::disassemble(program.text[i], pc).c_str());
+  }
+  const auto loops = cfg::find_natural_loops(cfg);
+  std::printf("\n%zu basic blocks, %zu natural loops\n", cfg.blocks.size(),
+              loops.size());
+  return 0;
+}
+
+int cmd_run(const std::string& path, std::uint64_t max_steps) {
+  const isa::Program program = assemble_or_die(path);
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  sim::BusMonitor bus;
+  cpu.run(max_steps, [&](std::uint32_t, std::uint32_t word) { bus.observe(word); });
+  std::printf("%s after %llu instructions\n",
+              cpu.state().halted ? "halted" : "stopped",
+              static_cast<unsigned long long>(cpu.state().instructions));
+  std::printf("instruction bus transitions: %lld (%.2f per fetch)\n",
+              bus.total_transitions(),
+              static_cast<double>(bus.total_transitions()) /
+                  static_cast<double>(std::max<std::uint64_t>(1, bus.words_observed())));
+  for (unsigned r = 0; r < 32; r += 4) {
+    std::printf("  %-5s %08x  %-5s %08x  %-5s %08x  %-5s %08x\n",
+                isa::reg_name(r).c_str(), cpu.state().r[r],
+                isa::reg_name(r + 1).c_str(), cpu.state().r[r + 1],
+                isa::reg_name(r + 2).c_str(), cpu.state().r[r + 2],
+                isa::reg_name(r + 3).c_str(), cpu.state().r[r + 3]);
+  }
+  return cpu.state().halted ? 0 : 1;
+}
+
+int cmd_report(const std::string& path, const std::vector<int>& block_sizes) {
+  const isa::Program program = assemble_or_die(path);
+  long long base = 0;
+  for (unsigned line = 0; line < 32; ++line) {
+    base += bits::vertical_line(program.text, line).transitions();
+  }
+  std::printf("%s: %zu instructions, %lld static bus transitions\n",
+              path.c_str(), program.text.size(), base);
+  std::printf("%-4s %-14s %-10s\n", "k", "transitions", "reduction");
+  for (int k : block_sizes) {
+    core::ChainOptions options;
+    options.block_size = k;
+    options.strategy = core::ChainStrategy::kOptimalDp;
+    const core::ChainEncoder encoder(options);
+    long long encoded = 0;
+    for (unsigned line = 0; line < 32; ++line) {
+      encoded +=
+          encoder.encode(bits::vertical_line(program.text, line)).stored.transitions();
+    }
+    std::printf("%-4d %-14lld %9.1f%%\n", k, encoded,
+                base == 0 ? 0.0
+                          : 100.0 * static_cast<double>(base - encoded) /
+                                static_cast<double>(base));
+  }
+  return 0;
+}
+
+int cmd_encode(const std::string& path, const std::string& out_path, int k,
+               int tt_budget, std::uint64_t profile_steps, bool static_mode) {
+  const isa::Program program = assemble_or_die(path);
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+
+  cfg::Profile profile;
+  profile.block_counts.assign(cfg.blocks.size(), 0);
+  if (static_mode) {
+    for (auto& count : profile.block_counts) count = 1;
+  } else {
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    cfg::Profiler profiler(cfg);
+    cpu.run(profile_steps,
+            [&](std::uint32_t pc, std::uint32_t) { profiler.on_fetch(pc); });
+    profile = profiler.take();
+    std::printf("profiled %llu instructions (%s)\n",
+                static_cast<unsigned long long>(profile.total_instructions),
+                cpu.state().halted ? "halted" : "step budget reached");
+  }
+
+  core::SelectionOptions sel;
+  sel.chain.block_size = k;
+  sel.tt_budget = tt_budget;
+  sel.bbit_budget = tt_budget;
+  sel.min_executions = static_mode ? 1 : 2;
+  const core::SelectionResult selection = core::select_and_encode(cfg, profile, sel);
+
+  core::FirmwareImage image;
+  image.text_base = cfg.text_base;
+  image.text = selection.apply_to_text(cfg.text, cfg.text_base);
+  image.tt = selection.tt;
+  image.bbit = selection.bbit;
+  const std::vector<std::uint8_t> blob = core::serialize(image);
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "asimt: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  std::printf(
+      "wrote %s: %zu bytes, %zu blocks encoded, %d/%d TT entries, k=%d\n",
+      out_path.c_str(), blob.size(), selection.encodings.size(),
+      selection.tt_entries_used, tt_budget, k);
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  core::FirmwareImage image;
+  try {
+    image = core::deserialize(read_binary_file(path));
+  } catch (const core::ImageError& e) {
+    std::fprintf(stderr, "asimt: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("%s: valid ASIMT firmware image\n", path.c_str());
+  std::printf("  text: %zu words at 0x%08x\n", image.text.size(), image.text_base);
+  std::printf("  block size: %d\n", image.tt.block_size);
+  std::printf("  TT: %zu entries (%u bits each)\n", image.tt.entries.size(),
+              core::TtConfig::entry_bits());
+  std::printf("  BBIT: %zu entries\n", image.bbit.size());
+  for (const core::BbitEntry& entry : image.bbit) {
+    std::printf("    pc=0x%08x -> TT[%u]\n", entry.pc, entry.tt_index);
+  }
+  return 0;
+}
+
+std::vector<int> parse_k_list(const std::string& text) {
+  std::vector<int> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::atoi(item.c_str()));
+  if (out.empty()) usage();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string command = argv[1];
+  const std::string file = argv[2];
+
+  std::string out_path;
+  int k = 5;
+  int tt_budget = 16;
+  std::uint64_t max_steps = 100'000'000;
+  std::uint64_t profile_steps = 1'000'000;
+  bool static_mode = false;
+  std::vector<int> k_list = {4, 5, 6, 7};
+
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "-o") out_path = next();
+    else if (arg == "-k") {
+      const std::string value = next();
+      k_list = parse_k_list(value);
+      k = k_list[0];
+    } else if (arg == "--tt") tt_budget = std::atoi(next().c_str());
+    else if (arg == "--max-steps") max_steps = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--profile") profile_steps = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--static") static_mode = true;
+    else usage();
+  }
+
+  if (command == "disasm") return cmd_disasm(file);
+  if (command == "run") return cmd_run(file, max_steps);
+  if (command == "report") return cmd_report(file, k_list);
+  if (command == "encode") {
+    if (out_path.empty()) usage();
+    return cmd_encode(file, out_path, k, tt_budget, profile_steps, static_mode);
+  }
+  if (command == "info") return cmd_info(file);
+  usage();
+}

@@ -1,0 +1,8 @@
+        li      $t0, 0
+        li      $t1, 50
+loop:   addiu   $t0, $t0, 1
+        xor     $t3, $t3, $t0
+        sll     $t4, $t3, 2
+        addu    $t5, $t4, $t0
+        bne     $t0, $t1, loop
+        halt
