@@ -1,8 +1,15 @@
 // A6 — google-benchmark microbenchmarks: tooling throughput (encoder,
-// decoder model, simulator, solver). These are engineering numbers for the
-// library itself, not paper results.
+// decoder model, simulator, solver) plus the telemetry overhead guard
+// (BM_*Telemetry* verify the disabled path costs ~nothing). These are
+// engineering numbers for the library itself, not paper results.
+//
+// Besides the console table, every run writes BENCH_micro_throughput.json
+// (via the telemetry JSON exporter) so the perf trajectory is machine
+// readable: one row per benchmark with iteration counts, times, and user
+// counters.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <random>
 
 #include "core/block_code.h"
@@ -11,6 +18,10 @@
 #include "core/program_encoder.h"
 #include "isa/assembler.h"
 #include "sim/cpu.h"
+#include "telemetry/export.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -114,6 +125,101 @@ loop:   addiu   $t0, $t0, 1
 }
 BENCHMARK(BM_SimulatorLoop);
 
+// --- telemetry overhead guard ---------------------------------------------
+// The observability layer must be free when off: these measure the exact
+// instrumented operations with telemetry disabled vs. enabled. The encoder
+// benchmarks above are the end-to-end check (they run with telemetry off and
+// their numbers gate regressions in the hot path).
+
+void BM_TelemetryDisabledCount(benchmark::State& state) {
+  telemetry::set_enabled(false);
+  for (auto _ : state) {
+    telemetry::count("bench.disabled.counter");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetryDisabledCount);
+
+void BM_TelemetryEnabledCount(benchmark::State& state) {
+  telemetry::set_enabled(true);
+  for (auto _ : state) {
+    telemetry::count("bench.enabled.counter");
+    benchmark::ClobberMemory();
+  }
+  telemetry::set_enabled(false);
+}
+BENCHMARK(BM_TelemetryEnabledCount);
+
+void BM_TelemetryDisabledScopedTimer(benchmark::State& state) {
+  telemetry::set_enabled(false);
+  for (auto _ : state) {
+    telemetry::ScopedTimer timer("bench.disabled.us");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetryDisabledScopedTimer);
+
+void BM_ChainEncodeGreedyTelemetryOn(benchmark::State& state) {
+  telemetry::set_enabled(true);
+  const bits::BitSeq seq = random_seq(1000, 1);
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  const core::ChainEncoder encoder(opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(seq));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  telemetry::set_enabled(false);
+}
+BENCHMARK(BM_ChainEncodeGreedyTelemetryOn);
+
+// Captures every finished run into a JSON array while still printing the
+// normal console table.
+class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  // No OO_Color: the default ConsoleReporter only drops ANSI codes when the
+  // library constructs it, not when handed in externally.
+  JsonTrajectoryReporter() : benchmark::ConsoleReporter(OO_Tabular) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      json::Value row = json::Value::object();
+      row.set("name", run.benchmark_name());
+      row.set("iterations", static_cast<long long>(run.iterations));
+      row.set("real_time_ns", run.GetAdjustedRealTime());
+      row.set("cpu_time_ns", run.GetAdjustedCPUTime());
+      for (const auto& [counter_name, counter] : run.counters) {
+        row.set(counter_name, static_cast<double>(counter.value));
+      }
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const json::Value& rows() const { return rows_; }
+
+ private:
+  json::Value rows_ = json::Value::array();
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  json::Value doc = json::Value::object();
+  doc.set("bench", "micro_throughput");
+  doc.set("benchmarks", reporter.rows());
+  const char* out_path = "BENCH_micro_throughput.json";
+  if (!telemetry::write_text_file(out_path, doc.dump(2) + "\n")) {
+    std::fprintf(stderr, "micro_throughput: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -3,6 +3,8 @@
 // require exact restoration, for every block size. The unit/property tests
 // cover reduced sizes; this is the final end-to-end guarantee behind the
 // Fig. 6 numbers. Honours ASIMT_FAST=1 like the other workload benches.
+// Besides the console table, writes BENCH_verify_full.json with one row per
+// (workload, k) so the sweep is machine readable.
 #include <cstdio>
 
 #include "cfg/cfg.h"
@@ -12,12 +14,15 @@
 #include "isa/assembler.h"
 #include "sim/bus.h"
 #include "sim/cpu.h"
+#include "telemetry/export.h"
+#include "telemetry/json.h"
 #include "workloads/workload.h"
 
 int main() {
   using namespace asimt;
   const workloads::SizeConfig sizes = experiments::bench_sizes();
   bool all_ok = true;
+  json::Value rows = json::Value::array();
 
   std::printf("%-6s %6s %16s %14s %10s\n", "bench", "k", "fetches", "decoded",
               "restored");
@@ -71,9 +76,29 @@ int main() {
                   static_cast<unsigned long long>(decoder.stats().fetches),
                   static_cast<unsigned long long>(decoder.stats().decoded),
                   ok ? "yes" : "NO");
+      json::Value row = json::Value::object();
+      row.set("workload", w.name);
+      row.set("block_size", k);
+      row.set("fetches", decoder.stats().fetches);
+      row.set("decoded", decoder.stats().decoded);
+      row.set("mismatches", mismatches);
+      row.set("restored", ok);
+      rows.push_back(std::move(row));
     }
   }
   std::printf("\n%s\n", all_ok ? "all dynamic fetches restored exactly"
                                : "RESTORATION FAILURES DETECTED");
+
+  json::Value doc = json::Value::object();
+  doc.set("bench", "verify_full");
+  doc.set("fast_mode", experiments::fast_mode());
+  doc.set("all_restored", all_ok);
+  doc.set("rows", std::move(rows));
+  const char* out_path = "BENCH_verify_full.json";
+  if (!telemetry::write_text_file(out_path, doc.dump(2) + "\n")) {
+    std::fprintf(stderr, "verify_full: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
   return all_ok ? 0 : 1;
 }

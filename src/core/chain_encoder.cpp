@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/block_code.h"
+#include "telemetry/metrics.h"
 
 namespace asimt::core {
 
@@ -106,11 +107,20 @@ std::vector<ChainBlock> ChainEncoder::partition(std::size_t m, int block_size) {
 }
 
 EncodedChain ChainEncoder::encode(const bits::BitSeq& original) const {
+  EncodedChain chain;
   switch (options_.strategy) {
-    case ChainStrategy::kGreedy: return encode_greedy(original);
-    case ChainStrategy::kOptimalDp: return encode_dp(original);
+    case ChainStrategy::kGreedy: chain = encode_greedy(original); break;
+    case ChainStrategy::kOptimalDp: chain = encode_dp(original); break;
+    default: throw std::logic_error("unknown chain strategy");
   }
-  throw std::logic_error("unknown chain strategy");
+  if (telemetry::enabled()) {
+    telemetry::count("encoder.chains_encoded");
+    telemetry::count("encoder.chains_split",
+                     static_cast<long long>(chain.blocks.size()));
+    telemetry::count("encoder.bits_encoded",
+                     static_cast<long long>(original.size()));
+  }
+  return chain;
 }
 
 EncodedChain ChainEncoder::encode_greedy(const bits::BitSeq& original) const {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "bitstream/bitseq.h"
+#include "telemetry/metrics.h"
 
 namespace asimt::core {
 
@@ -48,6 +49,17 @@ BlockEncoding encode_basic_block(std::span<const std::uint32_t> words,
   TtEntry& tail = enc.tt_entries.back();
   tail.end = true;
   tail.ct = static_cast<std::uint8_t>(layout.back().length);
+
+  if (telemetry::enabled()) {
+    telemetry::count("encoder.blocks_encoded");
+    telemetry::count("encoder.words_encoded", static_cast<long long>(m));
+    telemetry::count("encoder.transitions_saved", enc.saved_transitions());
+    for (const TtEntry& entry : enc.tt_entries) {
+      for (unsigned line = 0; line < kBusLines; ++line) {
+        telemetry::count("encoder.tau." + entry.transform(line).name());
+      }
+    }
+  }
   return enc;
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace asimt::core {
 
 std::vector<std::uint32_t> SelectionResult::apply_to_text(
@@ -27,19 +30,25 @@ SelectionResult select_and_encode(const cfg::Cfg& cfg,
   };
 
   std::vector<Candidate> candidates;
-  for (const cfg::BasicBlock& block : cfg.blocks) {
-    const std::uint64_t count =
-        profile.block_counts[static_cast<std::size_t>(block.index)];
-    if (count < options.min_executions) continue;
-    if (block.instruction_count() < 2) continue;  // nothing vertical to encode
-    Candidate c;
-    c.encoding = encode_basic_block(cfg.block_words(block), block.start,
-                                    options.chain);
-    c.cost = tt_entries_for(block.instruction_count(), options.chain.block_size);
-    c.benefit = c.encoding.saved_transitions() * static_cast<long long>(count);
-    if (c.benefit <= 0) continue;
-    candidates.push_back(std::move(c));
+  {
+    telemetry::TracePhase phase("encode");
+    for (const cfg::BasicBlock& block : cfg.blocks) {
+      const std::uint64_t count =
+          profile.block_counts[static_cast<std::size_t>(block.index)];
+      if (count < options.min_executions) continue;
+      if (block.instruction_count() < 2) continue;  // nothing vertical to encode
+      Candidate c;
+      c.encoding = encode_basic_block(cfg.block_words(block), block.start,
+                                      options.chain);
+      c.cost = tt_entries_for(block.instruction_count(), options.chain.block_size);
+      c.benefit = c.encoding.saved_transitions() * static_cast<long long>(count);
+      if (c.benefit <= 0) continue;
+      candidates.push_back(std::move(c));
+    }
   }
+  telemetry::TracePhase select_phase("select");
+  telemetry::count("selection.candidates",
+                   static_cast<long long>(candidates.size()));
 
   if (options.policy == SelectionPolicy::kGreedyDensity) {
     // Highest benefit per TT entry first; ties broken by address for
@@ -112,6 +121,13 @@ SelectionResult select_and_encode(const cfg::Cfg& cfg,
     result.tt_entries_used += c.cost;
     result.predicted_dynamic_savings += c.benefit;
     result.encodings.push_back(std::move(c.encoding));
+  }
+  if (telemetry::enabled()) {
+    telemetry::count("selection.blocks_selected",
+                     static_cast<long long>(result.encodings.size()));
+    telemetry::count("selection.tt_entries_used", result.tt_entries_used);
+    telemetry::count("selection.predicted_dynamic_savings",
+                     result.predicted_dynamic_savings);
   }
   return result;
 }

@@ -11,6 +11,8 @@
 #include "power/power.h"
 #include "sim/bus.h"
 #include "sim/cpu.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace asimt::experiments {
 
@@ -45,37 +47,56 @@ void verify_selection_decodes(const core::SelectionResult& selection) {
 
 WorkloadResult run_workload(const workloads::Workload& workload,
                             const ExperimentOptions& options) {
+  telemetry::TracePhase workload_phase("workload." + workload.name);
+  telemetry::count("experiment.workloads_run");
+
   WorkloadResult result;
   result.name = workload.name;
 
-  const isa::Program program = isa::assemble(workload.source);
-  const cfg::Cfg cfg = cfg::build_cfg(program);
+  std::optional<isa::Program> program;
+  {
+    telemetry::TracePhase phase("assemble");
+    program.emplace(isa::assemble(workload.source));
+  }
+  std::optional<cfg::Cfg> cfg_holder;
+  {
+    telemetry::TracePhase phase("cfg");
+    cfg_holder.emplace(cfg::build_cfg(*program));
+  }
+  const cfg::Cfg& cfg = *cfg_holder;
 
   // --- single simulation: profile, correctness, Bus-Invert baseline -------
   sim::Memory memory;
-  memory.load_program(program);
+  memory.load_program(*program);
   sim::Cpu cpu(memory);
-  cpu.state().pc = program.entry();
+  cpu.state().pc = program->entry();
   workload.init(memory, cpu.state());
 
   cfg::Profiler profiler(cfg);
   baselines::BusInvertMonitor bus_invert;
-  const std::uint64_t steps =
-      cpu.run(options.max_steps, [&](std::uint32_t pc, std::uint32_t word) {
-        profiler.on_fetch(pc);
-        bus_invert.observe(word);
-      });
-  if (!cpu.state().halted) {
-    throw std::runtime_error(workload.name + ": did not halt within step budget");
+  cfg::Profile profile;
+  {
+    telemetry::TracePhase phase("profile");
+    const std::uint64_t steps =
+        cpu.run(options.max_steps, [&](std::uint32_t pc, std::uint32_t word) {
+          profiler.on_fetch(pc);
+          bus_invert.observe(word);
+        });
+    if (!cpu.state().halted) {
+      throw std::runtime_error(workload.name +
+                               ": did not halt within step budget");
+    }
+    result.instructions = steps;
+    profile = profiler.take();
   }
-  result.instructions = steps;
   result.bus_invert_transitions = bus_invert.transitions();
+  telemetry::count("experiment.instructions",
+                   static_cast<long long>(result.instructions));
 
   std::string error;
   result.check_passed = workload.check(memory, &error);
   result.check_error = error;
 
-  const cfg::Profile profile = profiler.take();
   result.baseline_transitions = cfg::dynamic_transitions(cfg, profile, cfg.text);
 
   // --- per block size: select, encode, verify, measure --------------------
@@ -85,10 +106,15 @@ WorkloadResult run_workload(const workloads::Workload& workload,
     sel.chain.strategy = options.strategy;
     sel.tt_budget = options.tt_budget;
     sel.bbit_budget = options.bbit_budget;
+    // select_and_encode opens its own "encode" and "select" spans.
     const core::SelectionResult selection =
         core::select_and_encode(cfg, profile, sel);
-    if (options.verify_decode) verify_selection_decodes(selection);
+    if (options.verify_decode) {
+      telemetry::TracePhase phase("verify");
+      verify_selection_decodes(selection);
+    }
 
+    telemetry::TracePhase measure_phase("measure");
     const std::vector<std::uint32_t> image =
         selection.apply_to_text(cfg.text, cfg.text_base);
 
@@ -105,9 +131,43 @@ WorkloadResult run_workload(const workloads::Workload& workload,
           profile.block_counts[static_cast<std::size_t>(idx)] *
           enc.original_words.size();
     }
+    telemetry::count("experiment.measured_configs");
     result.per_block_size.push_back(per);
   }
   return result;
+}
+
+json::Value to_json(const PerBlockSizeResult& result) {
+  json::Value out = json::Value::object();
+  out.set("block_size", result.block_size);
+  out.set("transitions", result.transitions);
+  out.set("reduction_percent", result.reduction_percent);
+  out.set("tt_entries_used", result.tt_entries_used);
+  out.set("blocks_encoded", result.blocks_encoded);
+  out.set("decoded_fetches", result.decoded_fetches);
+  return out;
+}
+
+json::Value to_json(const WorkloadResult& result) {
+  json::Value out = json::Value::object();
+  out.set("name", result.name);
+  out.set("instructions", result.instructions);
+  out.set("baseline_transitions", result.baseline_transitions);
+  out.set("bus_invert_transitions", result.bus_invert_transitions);
+  out.set("check_passed", result.check_passed);
+  if (!result.check_error.empty()) out.set("check_error", result.check_error);
+  json::Value per = json::Value::array();
+  for (const PerBlockSizeResult& p : result.per_block_size) {
+    per.push_back(to_json(p));
+  }
+  out.set("per_block_size", std::move(per));
+  return out;
+}
+
+json::Value to_json(const std::vector<WorkloadResult>& results) {
+  json::Value out = json::Value::array();
+  for (const WorkloadResult& r : results) out.push_back(to_json(r));
+  return out;
 }
 
 std::string format_fig6_table(const std::vector<WorkloadResult>& results) {

@@ -22,6 +22,7 @@
 
 #include "cfg/cfg.h"
 #include "core/selection.h"
+#include "telemetry/json.h"
 #include "workloads/workload.h"
 
 namespace asimt::experiments {
@@ -67,6 +68,13 @@ long long dynamic_transitions(const cfg::Cfg& cfg, const cfg::Profile& profile,
 
 // Formats a WorkloadResult table row set in the style of the paper's Fig. 6.
 std::string format_fig6_table(const std::vector<WorkloadResult>& results);
+
+// JSON serializations of the result structs, so every number the harness
+// measures is exportable alongside telemetry snapshots. Tests assert these
+// agree with the text report.
+json::Value to_json(const PerBlockSizeResult& result);
+json::Value to_json(const WorkloadResult& result);
+json::Value to_json(const std::vector<WorkloadResult>& results);
 
 // True when the ASIMT_FAST environment variable asks for reduced problem
 // sizes (used by benches so CI-style runs stay quick).

@@ -41,4 +41,24 @@ std::string format_comparison(const EnergyReport& baseline,
   return buf;
 }
 
+json::Value to_json(const EnergyReport& report) {
+  json::Value out = json::Value::object();
+  out.set("label", report.label);
+  out.set("transitions", report.transitions);
+  out.set("fetches", report.fetches);
+  out.set("energy_joules", report.energy_joules);
+  out.set("transitions_per_fetch", report.transitions_per_fetch());
+  return out;
+}
+
+json::Value comparison_to_json(const EnergyReport& baseline,
+                               const EnergyReport& encoded) {
+  json::Value out = json::Value::object();
+  out.set("baseline", to_json(baseline));
+  out.set("encoded", to_json(encoded));
+  out.set("reduction_percent",
+          reduction_percent(baseline.transitions, encoded.transitions));
+  return out;
+}
+
 }  // namespace asimt::power

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "telemetry/json.h"
+
 namespace asimt::power {
 
 struct BusParams {
@@ -47,5 +49,11 @@ double reduction_percent(long long baseline, long long measured);
 // Human-readable multi-line comparison table.
 std::string format_comparison(const EnergyReport& baseline,
                               const EnergyReport& encoded);
+
+// JSON forms of the same data, so energy reports share the export path of
+// telemetry snapshots and experiment results.
+json::Value to_json(const EnergyReport& report);
+json::Value comparison_to_json(const EnergyReport& baseline,
+                               const EnergyReport& encoded);
 
 }  // namespace asimt::power

@@ -11,7 +11,11 @@
 #include <bit>
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
+
+#include "telemetry/metrics.h"
 
 namespace asimt::sim {
 
@@ -46,6 +50,30 @@ class BusMonitor {
     words_ = 0;
     first_ = true;
     prev_ = 0;
+  }
+
+  // Publishes the monitor's totals as registry-backed metrics under
+  // `<prefix>.transitions`, `<prefix>.words`, and (when per-line counting is
+  // on) `<prefix>.line.00` .. `<prefix>.line.31` plus a `<prefix>.line`
+  // histogram over the per-line totals. No-op when telemetry is disabled.
+  void publish(std::string_view prefix,
+               telemetry::MetricsRegistry& registry =
+                   telemetry::MetricsRegistry::global()) const {
+    if (!telemetry::enabled()) return;
+    const std::string base(prefix);
+    registry.counter(base + ".transitions").add(total_);
+    registry.counter(base + ".words").add(static_cast<long long>(words_));
+    if (per_line_) {
+      telemetry::Histogram& hist = registry.histogram(base + ".line");
+      for (unsigned b = 0; b < 32; ++b) {
+        char name[8];
+        name[0] = static_cast<char>('0' + b / 10);
+        name[1] = static_cast<char>('0' + b % 10);
+        name[2] = '\0';
+        registry.counter(base + ".line." + name).add(line_[b]);
+        hist.observe(static_cast<double>(line_[b]));
+      }
+    }
   }
 
  private:

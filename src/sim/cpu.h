@@ -12,6 +12,7 @@
 
 #include "isa/isa.h"
 #include "sim/memory.h"
+#include "telemetry/metrics.h"
 
 namespace asimt::sim {
 
@@ -54,6 +55,13 @@ class Cpu {
       on_fetch(pc, word);
       execute(word);
       ++steps;
+    }
+    // Aggregate telemetry once per run() call, never per fetch, so the
+    // disabled cost of the hot loop is a single branch here.
+    if (telemetry::enabled()) {
+      telemetry::count("sim.fetches", static_cast<long long>(steps));
+      telemetry::count("sim.runs");
+      if (state_.halted) telemetry::count("sim.halts");
     }
     return steps;
   }

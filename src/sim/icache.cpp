@@ -57,4 +57,15 @@ bool InstructionCache::access(std::uint32_t pc, const TextImage& image) {
   return false;
 }
 
+void InstructionCache::publish_metrics(telemetry::MetricsRegistry& registry) const {
+  if (!telemetry::enabled()) return;
+  registry.counter("sim.icache.accesses").add(static_cast<long long>(stats_.accesses));
+  registry.counter("sim.icache.hits").add(static_cast<long long>(stats_.hits));
+  registry.counter("sim.icache.misses").add(static_cast<long long>(stats_.misses));
+  registry.counter("sim.icache.refill_words")
+      .add(static_cast<long long>(stats_.refill_words));
+  registry.gauge("sim.icache.hit_rate").set(stats_.hit_rate());
+  refill_bus_.publish("bus.icache_refill", registry);
+}
+
 }  // namespace asimt::sim

@@ -47,6 +47,12 @@ class InstructionCache {
   // Transitions on the memory->cache refill bus so far.
   long long refill_bus_transitions() const { return refill_bus_.total_transitions(); }
 
+  // Publishes accesses/hits/misses/refill traffic as registry-backed
+  // counters under `sim.icache.*` plus the refill bus under
+  // `bus.icache_refill.*`. No-op when telemetry is disabled.
+  void publish_metrics(telemetry::MetricsRegistry& registry =
+                           telemetry::MetricsRegistry::global()) const;
+
   const Config& config() const { return config_; }
 
  private:

@@ -1,0 +1,114 @@
+#include "telemetry/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace asimt::telemetry {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*
+std::string prometheus_name(const std::string& name) {
+  std::string out = "asimt_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+json::Value metrics_to_json(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  json::Value root = json::Value::object();
+
+  json::Value counters = json::Value::object();
+  for (const auto& [name, value] : snap.counters) counters.set(name, value);
+  root.set("counters", std::move(counters));
+
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, value] : snap.gauges) gauges.set(name, value);
+  root.set("gauges", std::move(gauges));
+
+  json::Value histograms = json::Value::object();
+  for (const auto& row : snap.histograms) {
+    json::Value h = json::Value::object();
+    h.set("count", static_cast<long long>(row.count));
+    h.set("sum", row.sum);
+    h.set("min", row.min);
+    h.set("max", row.max);
+    h.set("mean", row.mean);
+    json::Value buckets = json::Value::object();
+    for (const auto& [index, n] : row.buckets) {
+      buckets.set(std::to_string(index), static_cast<long long>(n));
+    }
+    h.set("buckets", std::move(buckets));
+    histograms.set(row.name, std::move(h));
+  }
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+std::string metrics_json(const MetricsRegistry& registry) {
+  return metrics_to_json(registry).dump(2) + "\n";
+}
+
+std::string metrics_csv(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  std::string out = "kind,name,field,value\n";
+  for (const auto& [name, value] : snap.counters) {
+    out += "counter," + name + ",value," + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += "gauge," + name + ",value," + format_double(value) + "\n";
+  }
+  for (const auto& row : snap.histograms) {
+    out += "histogram," + row.name + ",count," + std::to_string(row.count) + "\n";
+    out += "histogram," + row.name + ",sum," + format_double(row.sum) + "\n";
+    out += "histogram," + row.name + ",min," + format_double(row.min) + "\n";
+    out += "histogram," + row.name + ",max," + format_double(row.max) + "\n";
+    out += "histogram," + row.name + ",mean," + format_double(row.mean) + "\n";
+  }
+  return out;
+}
+
+std::string metrics_prometheus(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + format_double(value) + "\n";
+  }
+  for (const auto& row : snap.histograms) {
+    const std::string pname = prometheus_name(row.name);
+    out += "# TYPE " + pname + " summary\n";
+    out += pname + "_count " + std::to_string(row.count) + "\n";
+    out += pname + "_sum " + format_double(row.sum) + "\n";
+    out += pname + "_min " + format_double(row.min) + "\n";
+    out += pname + "_max " + format_double(row.max) + "\n";
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace asimt::telemetry

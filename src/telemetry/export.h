@@ -1,0 +1,39 @@
+// Exporters: turn a MetricsRegistry snapshot into JSON, CSV, or
+// Prometheus-style text exposition.
+//
+// All three render the same Snapshot, so numbers agree across formats by
+// construction. The JSON form is the canonical machine-readable one (used by
+// `asimt --metrics`, the BENCH_*.json trajectory, and the round-trip tests);
+// CSV is for spreadsheets; the Prometheus form is for scrape endpoints and
+// uses `asimt_` as the namespace prefix with dots mapped to underscores.
+#pragma once
+
+#include <string>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace asimt::telemetry {
+
+// Structured snapshot:
+//   {"counters":{name:int,...},
+//    "gauges":{name:double,...},
+//    "histograms":{name:{"count":n,"sum":s,"min":m,"max":M,"mean":a,
+//                        "buckets":{"<pow2-index>":n,...}},...}}
+json::Value metrics_to_json(const MetricsRegistry& registry);
+
+// metrics_to_json dumped as pretty-printed text.
+std::string metrics_json(const MetricsRegistry& registry);
+
+// One row per scalar: kind,name,value for counters/gauges; histograms expand
+// to count/sum/min/max/mean rows.
+std::string metrics_csv(const MetricsRegistry& registry);
+
+// Prometheus text exposition format (untyped buckets; histograms export
+// _count/_sum/_min/_max series).
+std::string metrics_prometheus(const MetricsRegistry& registry);
+
+// Writes `content` to `path`, returning false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace asimt::telemetry

@@ -1,0 +1,141 @@
+#include "telemetry/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace asimt::telemetry {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("ASIMT_TELEMETRY");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+
+void Histogram::observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> needs a CAS loop pre-C++20-TS; do it by hand.
+  double old_sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old_sum, old_sum + v,
+                                     std::memory_order_relaxed)) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(minmax_mu_);
+    if (!has_samples_.load(std::memory_order_relaxed)) {
+      min_.store(v, std::memory_order_relaxed);
+      max_.store(v, std::memory_order_relaxed);
+      has_samples_.store(true, std::memory_order_relaxed);
+    } else {
+      if (v < min_.load(std::memory_order_relaxed))
+        min_.store(v, std::memory_order_relaxed);
+      if (v > max_.load(std::memory_order_relaxed))
+        max_.store(v, std::memory_order_relaxed);
+    }
+  }
+  int idx = 0;
+  if (v >= 1.0) {
+    idx = std::min(kBuckets - 1, 1 + static_cast<int>(std::floor(std::log2(v))));
+  }
+  buckets_[static_cast<std::size_t>(idx)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(minmax_mu_);
+  return has_samples_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(minmax_mu_);
+  return has_samples_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(minmax_mu_);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_samples_.store(false, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramRow row;
+    row.name = name;
+    row.count = h->count();
+    row.sum = h->sum();
+    row.min = h->min();
+    row.max = h->max();
+    row.mean = h->mean();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (const std::uint64_t n = h->bucket(i); n != 0) {
+        row.buckets.emplace_back(i, n);
+      }
+    }
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace asimt::telemetry

@@ -1,0 +1,143 @@
+// Process-wide metrics registry: named counters, gauges, and histograms.
+//
+// Telemetry is compiled in but OFF by default. Instrumented code guards every
+// record with `enabled()` — a single relaxed atomic load — so the disabled
+// cost is one predictable branch per instrumentation site, and hot loops
+// (per-fetch, per-bit) are instrumented at aggregation points rather than per
+// event. Metric handles returned by the registry are stable for the life of
+// the registry, so call sites may cache them.
+//
+// Naming convention: dotted lowercase paths, `<layer>.<thing>[.<detail>]` —
+// e.g. `encoder.blocks_encoded`, `sim.icache.hits`, `bus.line.07`. The full
+// inventory lives in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asimt::telemetry {
+
+// Global on/off switch (also settable via the ASIMT_TELEMETRY environment
+// variable at first query). Off by default.
+bool enabled();
+void set_enabled(bool on);
+
+// Monotonically increasing 64-bit counter.
+class Counter {
+ public:
+  void add(long long n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+// Last-written double value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Summary histogram over non-negative samples: count/sum/min/max plus
+// power-of-two magnitude buckets (bucket i counts samples in [2^(i-1), 2^i),
+// bucket 0 counts samples < 1). Good enough for duration and size
+// distributions without configuring bucket bounds per metric.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> has_samples_{false};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  mutable std::mutex minmax_mu_;
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& global();
+
+  // Find-or-create. Returned references stay valid until reset()/destruction.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Immutable, ordered view for the exporters.
+  struct Snapshot {
+    std::vector<std::pair<std::string, long long>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    struct HistogramRow {
+      std::string name;
+      std::uint64_t count = 0;
+      double sum = 0.0, min = 0.0, max = 0.0, mean = 0.0;
+      std::vector<std::pair<int, std::uint64_t>> buckets;  // non-empty only
+    };
+    std::vector<HistogramRow> histograms;
+
+    bool empty() const {
+      return counters.empty() && gauges.empty() && histograms.empty();
+    }
+  };
+  Snapshot snapshot() const;
+
+  // Drops every metric (tests / between experiment repetitions).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Convenience recorders against the global registry; no-ops when telemetry
+// is disabled. These are the forms instrumented code should use unless it
+// caches handles.
+inline void count(std::string_view name, long long n = 1) {
+  if (!enabled()) return;
+  MetricsRegistry::global().counter(name).add(n);
+}
+
+inline void set_gauge(std::string_view name, double v) {
+  if (!enabled()) return;
+  MetricsRegistry::global().gauge(name).set(v);
+}
+
+inline void observe(std::string_view name, double v) {
+  if (!enabled()) return;
+  MetricsRegistry::global().histogram(name).observe(v);
+}
+
+}  // namespace asimt::telemetry

@@ -1,0 +1,160 @@
+#include "telemetry/trace.h"
+
+#include <atomic>
+#include <fstream>
+#include <ostream>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace asimt::telemetry {
+
+namespace {
+
+std::atomic<TraceWriter*> g_writer{nullptr};
+std::mutex g_writer_mu;                       // guards install/teardown
+std::unique_ptr<TraceWriter> g_owned_writer;  // writer built by open_trace/set_trace_stream
+std::unique_ptr<std::ofstream> g_owned_file;  // file stream owned by open_trace
+
+thread_local int t_depth = 0;
+
+}  // namespace
+
+std::int64_t now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                               start)
+      .count();
+}
+
+void TraceWriter::begin(std::string_view name, int depth, std::int64_t t_us) {
+  std::string line = "{\"ev\":\"begin\",\"name\":\"";
+  line += json::escape(name);
+  line += "\",\"depth\":";
+  line += std::to_string(depth);
+  line += ",\"t_us\":";
+  line += std::to_string(t_us);
+  line += "}";
+  write_line(line);
+}
+
+void TraceWriter::end(std::string_view name, int depth, std::int64_t t_us,
+                      std::int64_t dur_us) {
+  std::string line = "{\"ev\":\"end\",\"name\":\"";
+  line += json::escape(name);
+  line += "\",\"depth\":";
+  line += std::to_string(depth);
+  line += ",\"t_us\":";
+  line += std::to_string(t_us);
+  line += ",\"dur_us\":";
+  line += std::to_string(dur_us);
+  line += "}";
+  write_line(line);
+}
+
+void TraceWriter::instant(
+    std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string line = "{\"ev\":\"instant\",\"name\":\"";
+  line += json::escape(name);
+  line += "\",\"t_us\":";
+  line += std::to_string(now_us());
+  for (const auto& [key, value] : fields) {
+    line += ",\"";
+    line += json::escape(key);
+    line += "\":\"";
+    line += json::escape(value);
+    line += "\"";
+  }
+  line += "}";
+  write_line(line);
+}
+
+void TraceWriter::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line << '\n';
+}
+
+void TraceWriter::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_->flush();
+}
+
+bool open_trace(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*file) return false;
+  std::lock_guard<std::mutex> lock(g_writer_mu);
+  g_writer.store(nullptr, std::memory_order_release);
+  g_owned_writer = std::make_unique<TraceWriter>(*file);
+  g_owned_file = std::move(file);
+  g_writer.store(g_owned_writer.get(), std::memory_order_release);
+  return true;
+}
+
+void set_trace_stream(std::ostream* out) {
+  std::lock_guard<std::mutex> lock(g_writer_mu);
+  g_writer.store(nullptr, std::memory_order_release);
+  g_owned_file.reset();
+  if (out == nullptr) {
+    g_owned_writer.reset();
+    return;
+  }
+  g_owned_writer = std::make_unique<TraceWriter>(*out);
+  g_writer.store(g_owned_writer.get(), std::memory_order_release);
+}
+
+void close_trace() {
+  std::lock_guard<std::mutex> lock(g_writer_mu);
+  if (TraceWriter* w = g_writer.load(std::memory_order_acquire)) w->flush();
+  g_writer.store(nullptr, std::memory_order_release);
+  g_owned_writer.reset();
+  g_owned_file.reset();
+}
+
+TraceWriter* trace_writer() { return g_writer.load(std::memory_order_acquire); }
+
+void trace_instant(
+    std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  if (TraceWriter* w = trace_writer()) w->instant(name, fields);
+}
+
+TracePhase::TracePhase(std::string_view name) {
+  tracing_ = trace_writer() != nullptr;
+  timing_ = enabled();
+  if (!tracing_ && !timing_) return;
+  name_ = name;
+  depth_ = t_depth++;
+  start_us_ = now_us();
+  if (tracing_) {
+    if (TraceWriter* w = trace_writer()) w->begin(name_, depth_, start_us_);
+  }
+}
+
+TracePhase::~TracePhase() {
+  if (!tracing_ && !timing_) return;
+  const std::int64_t end_us = now_us();
+  const std::int64_t dur = end_us - start_us_;
+  --t_depth;
+  if (tracing_) {
+    if (TraceWriter* w = trace_writer()) w->end(name_, depth_, end_us, dur);
+  }
+  if (timing_) {
+    observe("phase." + name_ + ".us", static_cast<double>(dur));
+  }
+}
+
+ScopedTimer::ScopedTimer(std::string_view histogram_name) {
+  if (!enabled()) return;
+  active_ = true;
+  name_ = histogram_name;
+  start_us_ = now_us();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!active_) return;
+  observe(name_, static_cast<double>(now_us() - start_us_));
+}
+
+}  // namespace asimt::telemetry

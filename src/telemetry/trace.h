@@ -1,0 +1,120 @@
+// Phase tracing: RAII spans emitting a JSONL event trace.
+//
+// A TraceWriter turns spans into one JSON object per line:
+//
+//   {"ev":"begin","name":"encode","depth":1,"t_us":1234}
+//   {"ev":"end","name":"encode","depth":1,"t_us":5678,"dur_us":4444}
+//
+// `t_us` is microseconds on the steady clock since process start; `depth` is
+// the per-thread nesting level, so a consumer can rebuild the span tree from
+// stream order alone. The pipeline phases (assemble -> cfg -> profile ->
+// select -> encode -> verify -> measure) are pre-instrumented; see
+// docs/OBSERVABILITY.md for the schema.
+//
+// TracePhase writes to the *global* writer (installed by open_trace or
+// set_trace_stream) and additionally folds the duration into the global
+// metrics histogram `phase.<name>.us` when telemetry is enabled. When no
+// writer is installed and telemetry is off, constructing a TracePhase costs
+// two relaxed atomic loads and no clock read. ScopedTimer is the
+// metrics-only variant for callers that want a duration histogram without
+// trace events.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace asimt::telemetry {
+
+// Microseconds since the first call in this process (steady clock).
+std::int64_t now_us();
+
+class TraceWriter {
+ public:
+  // Writes to `out`, which must outlive the writer. The writer does not own
+  // the stream (tests pass an ostringstream; open_trace owns a file stream).
+  explicit TraceWriter(std::ostream& out) : out_(&out) {}
+
+  void begin(std::string_view name, int depth, std::int64_t t_us);
+  void end(std::string_view name, int depth, std::int64_t t_us,
+           std::int64_t dur_us);
+  // One-off event with optional extra string fields.
+  void instant(
+      std::string_view name,
+      const std::vector<std::pair<std::string, std::string>>& fields = {});
+  void flush();
+
+ private:
+  void write_line(const std::string& line);
+
+  std::ostream* out_;
+  std::mutex mu_;
+};
+
+// --- global trace destination ---------------------------------------------
+
+// Opens `path` for writing and installs it as the global trace destination.
+// Returns false (and leaves tracing unchanged) when the file cannot be
+// opened. Implies nothing about metrics: tracing and the metrics switch are
+// independent.
+bool open_trace(const std::string& path);
+
+// Installs a caller-owned stream as the global destination (tests). Pass
+// nullptr to disable tracing.
+void set_trace_stream(std::ostream* out);
+
+// Flushes and tears down the global writer.
+void close_trace();
+
+// Currently-installed global writer, or nullptr when tracing is off.
+TraceWriter* trace_writer();
+
+// Emits an instant event on the global writer, if any.
+void trace_instant(
+    std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& fields = {});
+
+// --- RAII spans -----------------------------------------------------------
+
+// Named span: begin/end events on the global trace plus a duration sample in
+// the `phase.<name>.us` histogram. Non-copyable, non-movable.
+class TracePhase {
+ public:
+  explicit TracePhase(std::string_view name);
+  ~TracePhase();
+
+  TracePhase(const TracePhase&) = delete;
+  TracePhase& operator=(const TracePhase&) = delete;
+
+ private:
+  std::string name_;
+  std::int64_t start_us_ = 0;
+  int depth_ = 0;
+  bool tracing_ = false;
+  bool timing_ = false;
+};
+
+// Metrics-only duration sample: records elapsed microseconds into the global
+// histogram `name` on destruction. No trace events, no allocation when
+// telemetry is disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view histogram_name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  std::int64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace asimt::telemetry

@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "isa/assembler.h"
+#include "telemetry/json.h"
 
 namespace asimt::experiments {
 namespace {
@@ -112,6 +114,60 @@ TEST(RunWorkload, CustomBlockSizeList) {
   ASSERT_EQ(r.per_block_size.size(), 2u);
   EXPECT_EQ(r.per_block_size[0].block_size, 3);
   EXPECT_EQ(r.per_block_size[1].block_size, 8);
+}
+
+// The JSON export must carry exactly the numbers the text report prints:
+// serialize a real WorkloadResult, parse it back, and compare field by field
+// against the struct (and spot-check against the Fig. 6 table formatting).
+TEST(WorkloadResultJson, RoundTripMatchesTextReport) {
+  const workloads::Workload w =
+      workloads::make_by_name("fft", workloads::SizeConfig::small());
+  ExperimentOptions opt;
+  const WorkloadResult r = run_workload(w, opt);
+
+  const json::Value parsed = json::parse(to_json(r).dump(2));
+  EXPECT_EQ(parsed.at("name").as_string(), r.name);
+  EXPECT_EQ(parsed.at("instructions").as_int(),
+            static_cast<long long>(r.instructions));
+  EXPECT_EQ(parsed.at("baseline_transitions").as_int(), r.baseline_transitions);
+  EXPECT_EQ(parsed.at("bus_invert_transitions").as_int(),
+            r.bus_invert_transitions);
+  EXPECT_TRUE(parsed.at("check_passed").as_bool());
+  const json::Array& per = parsed.at("per_block_size").as_array();
+  ASSERT_EQ(per.size(), r.per_block_size.size());
+  for (std::size_t i = 0; i < per.size(); ++i) {
+    const PerBlockSizeResult& p = r.per_block_size[i];
+    EXPECT_EQ(per[i].at("block_size").as_int(), p.block_size);
+    EXPECT_EQ(per[i].at("transitions").as_int(), p.transitions);
+    EXPECT_DOUBLE_EQ(per[i].at("reduction_percent").as_double(),
+                     p.reduction_percent);
+    EXPECT_EQ(per[i].at("tt_entries_used").as_int(), p.tt_entries_used);
+    EXPECT_EQ(per[i].at("blocks_encoded").as_int(), p.blocks_encoded);
+    EXPECT_EQ(per[i].at("decoded_fetches").as_int(),
+              static_cast<long long>(p.decoded_fetches));
+  }
+
+  // The text table renders transitions/1e6 to two decimals; the JSON value
+  // must agree with what the table printed.
+  const std::string table = format_fig6_table({r});
+  char expected[32];
+  std::snprintf(expected, sizeof expected, "%10.2f",
+                static_cast<double>(parsed.at("baseline_transitions").as_int()) /
+                    1e6);
+  EXPECT_NE(table.find(expected), std::string::npos);
+}
+
+TEST(WorkloadResultJson, ArrayFormAndCheckErrorField) {
+  WorkloadResult r;
+  r.name = "synthetic";
+  r.check_passed = false;
+  r.check_error = "mismatch at word 3";
+  const json::Value arr = to_json(std::vector<WorkloadResult>{r});
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.as_array().size(), 1u);
+  EXPECT_EQ(arr.as_array()[0].at("check_error").as_string(),
+            "mismatch at word 3");
+  EXPECT_FALSE(arr.as_array()[0].at("check_passed").as_bool());
 }
 
 }  // namespace

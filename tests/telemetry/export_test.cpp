@@ -1,0 +1,128 @@
+// Tests for the exporters: the JSON snapshot round-trips through the parser,
+// CSV and Prometheus expositions carry the same numbers, and the layered
+// publish helpers (BusMonitor, power reports) land in the registry.
+#include "telemetry/export.h"
+
+#include <gtest/gtest.h>
+
+#include "power/power.h"
+#include "sim/bus.h"
+#include "telemetry/json.h"
+
+namespace asimt::telemetry {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+  }
+
+  MetricsRegistry reg_;
+};
+
+TEST_F(ExportTest, JsonSnapshotRoundTrips) {
+  reg_.counter("encoder.blocks_encoded").add(12);
+  reg_.counter("sim.fetches").add(1'000'000'007LL);
+  reg_.gauge("sim.icache.hit_rate").set(0.96875);
+  reg_.histogram("phase.encode.us").observe(3.0);
+  reg_.histogram("phase.encode.us").observe(5.0);
+
+  const json::Value parsed = json::parse(metrics_json(reg_));
+  EXPECT_EQ(parsed.at("counters").at("encoder.blocks_encoded").as_int(), 12);
+  EXPECT_EQ(parsed.at("counters").at("sim.fetches").as_int(), 1'000'000'007LL);
+  EXPECT_DOUBLE_EQ(parsed.at("gauges").at("sim.icache.hit_rate").as_double(),
+                   0.96875);
+  const json::Value& hist = parsed.at("histograms").at("phase.encode.us");
+  EXPECT_EQ(hist.at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 8.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(hist.at("mean").as_double(), 4.0);
+  // 3.0 -> bucket 2, 5.0 -> bucket 3
+  EXPECT_EQ(hist.at("buckets").at("2").as_int(), 1);
+  EXPECT_EQ(hist.at("buckets").at("3").as_int(), 1);
+  // Structured export agrees with the text export.
+  EXPECT_EQ(metrics_to_json(reg_), parsed);
+}
+
+TEST_F(ExportTest, EmptyRegistryIsStillValidJson) {
+  const json::Value parsed = json::parse(metrics_json(reg_));
+  EXPECT_TRUE(parsed.at("counters").as_object().empty());
+  EXPECT_TRUE(parsed.at("gauges").as_object().empty());
+  EXPECT_TRUE(parsed.at("histograms").as_object().empty());
+}
+
+TEST_F(ExportTest, CsvCarriesEveryScalar) {
+  reg_.counter("a.count").add(3);
+  reg_.gauge("b.gauge").set(1.5);
+  reg_.histogram("c.hist").observe(2.0);
+  const std::string csv = metrics_csv(reg_);
+  EXPECT_NE(csv.find("kind,name,field,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("counter,a.count,value,3\n"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,b.gauge,value,1.5\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,c.hist,count,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,c.hist,mean,2\n"), std::string::npos);
+}
+
+TEST_F(ExportTest, PrometheusSanitizesNamesAndTypes) {
+  reg_.counter("encoder.tau.~x").add(4);
+  reg_.gauge("sim.icache.hit_rate").set(0.5);
+  reg_.histogram("phase.encode.us").observe(7.0);
+  const std::string prom = metrics_prometheus(reg_);
+  EXPECT_NE(prom.find("# TYPE asimt_encoder_tau__x counter\n"), std::string::npos);
+  EXPECT_NE(prom.find("asimt_encoder_tau__x 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE asimt_sim_icache_hit_rate gauge\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("asimt_phase_encode_us_count 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("asimt_phase_encode_us_sum 7\n"), std::string::npos);
+}
+
+TEST_F(ExportTest, BusMonitorPublishesPerLineMetrics) {
+  set_enabled(true);
+  sim::BusMonitor bus(/*per_line=*/true);
+  bus.observe(0x0);
+  bus.observe(0x3);  // 2 transitions, lines 0 and 1
+  bus.observe(0x1);  // 1 transition, line 1
+  bus.publish("bus.test", reg_);
+  EXPECT_EQ(reg_.counter("bus.test.transitions").value(), 3);
+  EXPECT_EQ(reg_.counter("bus.test.words").value(), 3);
+  EXPECT_EQ(reg_.counter("bus.test.line.00").value(), 1);
+  EXPECT_EQ(reg_.counter("bus.test.line.01").value(), 2);
+  EXPECT_EQ(reg_.counter("bus.test.line.31").value(), 0);
+  EXPECT_EQ(reg_.histogram("bus.test.line").count(), 32u);
+}
+
+TEST_F(ExportTest, BusMonitorPublishIsNoOpWhenDisabled) {
+  sim::BusMonitor bus(true);
+  bus.observe(0xF);
+  bus.observe(0x0);
+  bus.publish("bus.test", reg_);
+  EXPECT_TRUE(reg_.snapshot().empty());
+}
+
+TEST_F(ExportTest, EnergyReportJsonMatchesTextPath) {
+  const power::BusParams params = power::BusParams::off_chip();
+  const power::EnergyReport baseline =
+      power::make_report("baseline", 1000, 400, params);
+  const power::EnergyReport encoded =
+      power::make_report("encoded", 600, 400, params);
+  const json::Value v = power::comparison_to_json(baseline, encoded);
+  EXPECT_EQ(v.at("baseline").at("transitions").as_int(), 1000);
+  EXPECT_EQ(v.at("encoded").at("label").as_string(), "encoded");
+  EXPECT_DOUBLE_EQ(v.at("reduction_percent").as_double(), 40.0);
+  EXPECT_DOUBLE_EQ(v.at("baseline").at("energy_joules").as_double(),
+                   power::transition_energy_joules(1000, params));
+  EXPECT_DOUBLE_EQ(
+      v.at("encoded").at("transitions_per_fetch").as_double(), 1.5);
+  // And it is serializable/parsable like every other export.
+  EXPECT_EQ(json::parse(v.dump()), v);
+}
+
+}  // namespace
+}  // namespace asimt::telemetry

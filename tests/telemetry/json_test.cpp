@@ -1,0 +1,113 @@
+// Unit tests for the minimal JSON model: construction, serialization,
+// parsing, and full round-trips (the property the exporters rely on).
+#include "telemetry/json.h"
+
+#include <gtest/gtest.h>
+
+namespace asimt::json {
+namespace {
+
+TEST(JsonValue, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(nullptr).is_null());
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_EQ(Value(std::uint64_t{1} << 60).as_int(), 1LL << 60);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_THROW(Value(42).as_string(), std::runtime_error);
+  // ints convert to double and vice versa on demand
+  EXPECT_DOUBLE_EQ(Value(3).as_double(), 3.0);
+  EXPECT_EQ(Value(3.0).as_int(), 3);
+}
+
+TEST(JsonValue, ObjectSetReplacesAndPreservesOrder) {
+  Value obj = Value::object();
+  obj.set("b", 1);
+  obj.set("a", 2);
+  obj.set("b", 3);  // replaces, stays in first position
+  ASSERT_EQ(obj.as_object().size(), 2u);
+  EXPECT_EQ(obj.as_object()[0].first, "b");
+  EXPECT_EQ(obj.at("b").as_int(), 3);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW(obj.at("missing"), std::runtime_error);
+}
+
+TEST(JsonDump, CompactForms) {
+  Value obj = Value::object();
+  obj.set("n", nullptr);
+  obj.set("t", true);
+  obj.set("i", -7);
+  obj.set("d", 0.5);
+  obj.set("s", "a\"b\\c\n");
+  Value arr = Value::array();
+  arr.push_back(1);
+  arr.push_back(2);
+  obj.set("a", std::move(arr));
+  EXPECT_EQ(obj.dump(),
+            "{\"n\":null,\"t\":true,\"i\":-7,\"d\":0.5,"
+            "\"s\":\"a\\\"b\\\\c\\n\",\"a\":[1,2]}");
+}
+
+TEST(JsonDump, PrettyPrintParsesBack) {
+  Value obj = Value::object();
+  obj.set("x", 1);
+  Value inner = Value::object();
+  inner.set("y", Value::array());
+  obj.set("nested", std::move(inner));
+  const std::string pretty = obj.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty), obj);
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse(" true ").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_EQ(parse("-123").as_int(), -123);
+  EXPECT_TRUE(parse("123").is_int());
+  EXPECT_TRUE(parse("1.5").is_double());
+  EXPECT_DOUBLE_EQ(parse("1.5e3").as_double(), 1500.0);
+  EXPECT_EQ(parse("\"\\u0041\\t\"").as_string(), "A\t");
+}
+
+TEST(JsonParse, LargeIntegersSurviveExactly) {
+  const long long big = (1LL << 62) + 12345;
+  EXPECT_EQ(parse(Value(big).dump()).as_int(), big);
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("{} trailing"), ParseError);
+  EXPECT_THROW(parse("{\"a\":}"), ParseError);
+  EXPECT_THROW(parse("0x10"), ParseError);
+}
+
+TEST(JsonParse, RoundTripComplexDocument) {
+  const std::string doc =
+      R"({"name":"fft","ok":true,"counts":[1,2,3],"nested":{"pi":3.14,"none":null}})";
+  const Value v = parse(doc);
+  EXPECT_EQ(parse(v.dump()), v);
+  EXPECT_EQ(v.at("nested").at("pi").as_double(), 3.14);
+  EXPECT_EQ(v.at("counts").as_array()[2].as_int(), 3);
+}
+
+TEST(JsonParseLines, SplitsAndSkipsBlanks) {
+  const auto values = parse_lines("{\"a\":1}\n\n  \n{\"b\":2}\n");
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].at("a").as_int(), 1);
+  EXPECT_EQ(values[1].at("b").as_int(), 2);
+  EXPECT_THROW(parse_lines("{\"a\":1}\nnot json\n"), ParseError);
+}
+
+TEST(JsonEscape, ControlCharacters) {
+  EXPECT_EQ(escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace asimt::json

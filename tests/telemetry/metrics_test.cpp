@@ -1,0 +1,137 @@
+// Unit tests for counter/gauge/histogram semantics, the registry, and the
+// disabled-mode no-op guarantee.
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace asimt::telemetry {
+namespace {
+
+// The global enable flag and registry are process-wide; every test restores
+// the disabled default so ordering cannot leak between tests.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterIsMonotonic) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST_F(MetricsTest, GaugeHoldsLastValue) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+}
+
+TEST_F(MetricsTest, HistogramSummaryStatistics) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.observe(4.0);
+  h.observe(1.0);
+  h.observe(16.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 21.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 16.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST_F(MetricsTest, HistogramPowerOfTwoBuckets) {
+  Histogram h;
+  h.observe(0.25);  // bucket 0: < 1
+  h.observe(1.0);   // [1,2) -> bucket 1
+  h.observe(1.5);   // bucket 1
+  h.observe(2.0);   // [2,4) -> bucket 2
+  h.observe(1024.0);  // [1024,2048) -> bucket 11
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(11), 1u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(reg.counter("x").value(), 7);
+  // Same name in different metric families is distinct.
+  reg.gauge("x").set(3.0);
+  EXPECT_EQ(reg.counter("x").value(), 7);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("b.count").add(2);
+  reg.counter("a.count").add(1);
+  reg.gauge("g").set(0.5);
+  reg.histogram("h").observe(3.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.count");  // map order = sorted
+  EXPECT_EQ(snap.counters[1].second, 2);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  ASSERT_EQ(snap.histograms[0].buckets.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].buckets[0].first, 2);  // 3.0 -> [2,4)
+}
+
+TEST_F(MetricsTest, DisabledModeRecordsNothing) {
+  ASSERT_FALSE(enabled());
+  count("noop.counter", 5);
+  set_gauge("noop.gauge", 1.0);
+  observe("noop.hist", 2.0);
+  EXPECT_TRUE(MetricsRegistry::global().snapshot().empty());
+}
+
+TEST_F(MetricsTest, EnabledModeRecordsThroughHelpers) {
+  set_enabled(true);
+  count("on.counter", 5);
+  count("on.counter");
+  set_gauge("on.gauge", 2.5);
+  observe("on.hist", 8.0);
+  const auto snap = MetricsRegistry::global().snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].second, 6);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 2.5);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+TEST_F(MetricsTest, CountersAreThreadSafe) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4, kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) reg.counter("shared").add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared").value(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace asimt::telemetry

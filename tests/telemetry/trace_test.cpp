@@ -1,0 +1,124 @@
+// Tests for the JSONL phase trace: event schema, nested span ordering and
+// depths, durations, and the no-writer/disabled fast path.
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace asimt::telemetry {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+    set_trace_stream(&out_);
+  }
+  void TearDown() override {
+    set_trace_stream(nullptr);
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+  }
+
+  std::vector<json::Value> events() { return json::parse_lines(out_.str()); }
+
+  std::ostringstream out_;
+};
+
+TEST_F(TraceTest, NestedSpansEmitOrderedBeginEndPairs) {
+  {
+    TracePhase outer("outer");
+    {
+      TracePhase inner("inner");
+    }
+    TracePhase sibling("sibling");
+  }
+  const auto ev = events();
+  ASSERT_EQ(ev.size(), 6u);
+  // Stream order rebuilds the tree: begin outer, begin inner, end inner,
+  // begin sibling, end sibling, end outer.
+  EXPECT_EQ(ev[0].at("ev").as_string(), "begin");
+  EXPECT_EQ(ev[0].at("name").as_string(), "outer");
+  EXPECT_EQ(ev[0].at("depth").as_int(), 0);
+  EXPECT_EQ(ev[1].at("name").as_string(), "inner");
+  EXPECT_EQ(ev[1].at("depth").as_int(), 1);
+  EXPECT_EQ(ev[2].at("ev").as_string(), "end");
+  EXPECT_EQ(ev[2].at("name").as_string(), "inner");
+  EXPECT_EQ(ev[3].at("name").as_string(), "sibling");
+  EXPECT_EQ(ev[3].at("depth").as_int(), 1);
+  EXPECT_EQ(ev[4].at("ev").as_string(), "end");
+  EXPECT_EQ(ev[5].at("ev").as_string(), "end");
+  EXPECT_EQ(ev[5].at("name").as_string(), "outer");
+  EXPECT_EQ(ev[5].at("depth").as_int(), 0);
+}
+
+TEST_F(TraceTest, TimestampsAndDurationsAreConsistent) {
+  {
+    TracePhase outer("outer");
+    TracePhase inner("inner");
+  }
+  const auto ev = events();
+  ASSERT_EQ(ev.size(), 4u);
+  for (const auto& e : ev) {
+    EXPECT_GE(e.at("t_us").as_int(), 0);
+    if (e.at("ev").as_string() == "end") {
+      EXPECT_GE(e.at("dur_us").as_int(), 0);
+    }
+  }
+  // The outer span covers the inner one.
+  EXPECT_LE(ev[0].at("t_us").as_int(), ev[1].at("t_us").as_int());
+  EXPECT_GE(ev[3].at("dur_us").as_int(), ev[2].at("dur_us").as_int());
+}
+
+TEST_F(TraceTest, InstantEventsCarryFields) {
+  trace_instant("note", {{"key", "value with \"quotes\""}});
+  const auto ev = events();
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].at("ev").as_string(), "instant");
+  EXPECT_EQ(ev[0].at("name").as_string(), "note");
+  EXPECT_EQ(ev[0].at("key").as_string(), "value with \"quotes\"");
+}
+
+TEST_F(TraceTest, SpansFeedPhaseHistogramsWhenEnabled) {
+  set_enabled(true);
+  {
+    TracePhase phase("encode");
+  }
+  const auto snap = MetricsRegistry::global().snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "phase.encode.us");
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+TEST_F(TraceTest, NoWriterAndDisabledIsANoOp) {
+  set_trace_stream(nullptr);
+  {
+    TracePhase phase("ghost");
+    ScopedTimer timer("ghost.us");
+  }
+  EXPECT_TRUE(out_.str().empty());
+  EXPECT_TRUE(MetricsRegistry::global().snapshot().empty());
+}
+
+TEST_F(TraceTest, ScopedTimerRecordsDurations) {
+  set_enabled(true);
+  {
+    ScopedTimer timer("op.us");
+  }
+  {
+    ScopedTimer timer("op.us");
+  }
+  const auto snap = MetricsRegistry::global().snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "op.us");
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+  EXPECT_GE(snap.histograms[0].min, 0.0);
+}
+
+}  // namespace
+}  // namespace asimt::telemetry

@@ -7,10 +7,17 @@
 //                                          build a power-encoded firmware image
 //   asimt info    fw.img                   inspect a firmware image
 //
+// Observability (any command): `--metrics out.json` writes a metrics-registry
+// snapshot on exit, `--trace out.jsonl` streams phase spans as JSON lines,
+// and `--telemetry` enables counting without writing files (inspect with the
+// exporters in-process). `report --json` and `run --json` switch the report
+// itself to machine-readable JSON on stdout. See docs/OBSERVABILITY.md.
+//
 // `encode` profiles by executing from the entry point with zeroed registers
 // (bounded by --profile steps, default 1M; programs that do not halt are
 // still profiled). With --static, every eligible block is weighted equally
 // instead.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,19 +34,33 @@
 #include "isa/assembler.h"
 #include "sim/bus.h"
 #include "sim/cpu.h"
+#include "telemetry/export.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace {
 
 using namespace asimt;
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: asimt <disasm|run|report|encode|info> <file> [options]\n"
-               "  disasm prog.s\n"
-               "  run    prog.s [--max-steps N]\n"
-               "  report prog.s [-k list]\n"
-               "  encode prog.s -o out.img [-k K] [--tt N] [--profile STEPS | --static]\n"
-               "  info   fw.img\n");
+const char kUsage[] =
+    "usage: asimt <disasm|run|report|encode|info> <file> [options]\n"
+    "  disasm prog.s\n"
+    "  run    prog.s [--max-steps N] [--json]\n"
+    "  report prog.s [-k list] [--json]\n"
+    "  encode prog.s -o out.img [-k K] [--tt N] [--profile STEPS | --static]\n"
+    "  info   fw.img\n"
+    "observability options (any command):\n"
+    "  --metrics out.json   write a metrics snapshot on exit\n"
+    "  --trace out.jsonl    stream phase spans as JSON lines\n"
+    "  --telemetry          enable metric counting without output files\n"
+    "  --help, -h           show this help\n";
+
+[[noreturn]] void usage_error(const std::string& diagnostic) {
+  if (!diagnostic.empty()) {
+    std::fprintf(stderr, "asimt: %s\n", diagnostic.c_str());
+  }
+  std::fputs(kUsage, stderr);
   std::exit(2);
 }
 
@@ -64,6 +85,7 @@ std::vector<std::uint8_t> read_binary_file(const std::string& path) {
 }
 
 isa::Program assemble_or_die(const std::string& path) {
+  telemetry::TracePhase phase("assemble");
   try {
     return isa::assemble(read_text_file(path));
   } catch (const isa::AssemblyError& e) {
@@ -87,21 +109,41 @@ int cmd_disasm(const std::string& path) {
   return 0;
 }
 
-int cmd_run(const std::string& path, std::uint64_t max_steps) {
+int cmd_run(const std::string& path, std::uint64_t max_steps, bool json_mode) {
   const isa::Program program = assemble_or_die(path);
   sim::Memory memory;
   memory.load_program(program);
   sim::Cpu cpu(memory);
   cpu.state().pc = program.entry();
-  sim::BusMonitor bus;
-  cpu.run(max_steps, [&](std::uint32_t, std::uint32_t word) { bus.observe(word); });
+  sim::BusMonitor bus(/*per_line=*/true);
+  {
+    telemetry::TracePhase phase("profile");
+    cpu.run(max_steps, [&](std::uint32_t, std::uint32_t word) { bus.observe(word); });
+  }
+  bus.publish("bus.fetch");
+  const double per_fetch =
+      static_cast<double>(bus.total_transitions()) /
+      static_cast<double>(std::max<std::uint64_t>(1, bus.words_observed()));
+  if (json_mode) {
+    json::Value out = json::Value::object();
+    out.set("file", path);
+    out.set("halted", cpu.state().halted);
+    out.set("instructions", cpu.state().instructions);
+    out.set("bus_transitions", bus.total_transitions());
+    out.set("transitions_per_fetch", per_fetch);
+    json::Value regs = json::Value::object();
+    for (unsigned r = 0; r < 32; ++r) {
+      regs.set(isa::reg_name(r), static_cast<long long>(cpu.state().r[r]));
+    }
+    out.set("registers", std::move(regs));
+    std::printf("%s\n", out.dump(2).c_str());
+    return cpu.state().halted ? 0 : 1;
+  }
   std::printf("%s after %llu instructions\n",
               cpu.state().halted ? "halted" : "stopped",
               static_cast<unsigned long long>(cpu.state().instructions));
   std::printf("instruction bus transitions: %lld (%.2f per fetch)\n",
-              bus.total_transitions(),
-              static_cast<double>(bus.total_transitions()) /
-                  static_cast<double>(std::max<std::uint64_t>(1, bus.words_observed())));
+              bus.total_transitions(), per_fetch);
   for (unsigned r = 0; r < 32; r += 4) {
     std::printf("  %-5s %08x  %-5s %08x  %-5s %08x  %-5s %08x\n",
                 isa::reg_name(r).c_str(), cpu.state().r[r],
@@ -112,16 +154,22 @@ int cmd_run(const std::string& path, std::uint64_t max_steps) {
   return cpu.state().halted ? 0 : 1;
 }
 
-int cmd_report(const std::string& path, const std::vector<int>& block_sizes) {
+int cmd_report(const std::string& path, const std::vector<int>& block_sizes,
+               bool json_mode) {
   const isa::Program program = assemble_or_die(path);
   long long base = 0;
   for (unsigned line = 0; line < 32; ++line) {
     base += bits::vertical_line(program.text, line).transitions();
   }
-  std::printf("%s: %zu instructions, %lld static bus transitions\n",
-              path.c_str(), program.text.size(), base);
-  std::printf("%-4s %-14s %-10s\n", "k", "transitions", "reduction");
+  json::Value out = json::Value::object();
+  json::Value sweep = json::Value::array();
+  if (!json_mode) {
+    std::printf("%s: %zu instructions, %lld static bus transitions\n",
+                path.c_str(), program.text.size(), base);
+    std::printf("%-4s %-14s %-10s\n", "k", "transitions", "reduction");
+  }
   for (int k : block_sizes) {
+    telemetry::TracePhase phase("encode");
     core::ChainOptions options;
     options.block_size = k;
     options.strategy = core::ChainStrategy::kOptimalDp;
@@ -131,10 +179,26 @@ int cmd_report(const std::string& path, const std::vector<int>& block_sizes) {
       encoded +=
           encoder.encode(bits::vertical_line(program.text, line)).stored.transitions();
     }
-    std::printf("%-4d %-14lld %9.1f%%\n", k, encoded,
-                base == 0 ? 0.0
-                          : 100.0 * static_cast<double>(base - encoded) /
-                                static_cast<double>(base));
+    const double reduction =
+        base == 0 ? 0.0
+                  : 100.0 * static_cast<double>(base - encoded) /
+                        static_cast<double>(base);
+    if (json_mode) {
+      json::Value row = json::Value::object();
+      row.set("block_size", k);
+      row.set("transitions", encoded);
+      row.set("reduction_percent", reduction);
+      sweep.push_back(std::move(row));
+    } else {
+      std::printf("%-4d %-14lld %9.1f%%\n", k, encoded, reduction);
+    }
+  }
+  if (json_mode) {
+    out.set("file", path);
+    out.set("instructions", static_cast<long long>(program.text.size()));
+    out.set("static_transitions", base);
+    out.set("per_block_size", std::move(sweep));
+    std::printf("%s\n", out.dump(2).c_str());
   }
   return 0;
 }
@@ -149,6 +213,7 @@ int cmd_encode(const std::string& path, const std::string& out_path, int k,
   if (static_mode) {
     for (auto& count : profile.block_counts) count = 1;
   } else {
+    telemetry::TracePhase phase("profile");
     sim::Memory memory;
     memory.load_program(program);
     sim::Cpu cpu(memory);
@@ -214,19 +279,46 @@ std::vector<int> parse_k_list(const std::string& text) {
   std::vector<int> out;
   std::stringstream ss(text);
   std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(std::atoi(item.c_str()));
-  if (out.empty()) usage();
+  while (std::getline(ss, item, ',')) {
+    std::size_t pos = 0;
+    int value = 0;
+    try {
+      value = std::stoi(item, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != item.size() || value < 2) {
+      usage_error("invalid block size '" + item + "' in -k (need integers >= 2)");
+    }
+    out.push_back(value);
+  }
+  if (out.empty()) usage_error("-k needs a comma-separated list of block sizes");
   return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) usage();
+  // --help anywhere wins, before any other validation.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+  }
+  if (argc < 2) usage_error("missing command");
   const std::string command = argv[1];
+  if (command != "disasm" && command != "run" && command != "report" &&
+      command != "encode" && command != "info") {
+    usage_error("unknown command '" + command + "'");
+  }
+  if (argc < 3) usage_error("missing input file");
   const std::string file = argv[2];
 
   std::string out_path;
+  std::string metrics_path;
+  std::string trace_path;
+  bool json_mode = false;
   int k = 5;
   int tt_budget = 16;
   std::uint64_t max_steps = 100'000'000;
@@ -237,7 +329,7 @@ int main(int argc, char** argv) {
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage();
+      if (i + 1 >= argc) usage_error("option '" + arg + "' needs a value");
       return argv[++i];
     };
     if (arg == "-o") out_path = next();
@@ -249,16 +341,46 @@ int main(int argc, char** argv) {
     else if (arg == "--max-steps") max_steps = std::strtoull(next().c_str(), nullptr, 0);
     else if (arg == "--profile") profile_steps = std::strtoull(next().c_str(), nullptr, 0);
     else if (arg == "--static") static_mode = true;
-    else usage();
+    else if (arg == "--json") json_mode = true;
+    else if (arg == "--metrics") metrics_path = next();
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--telemetry") telemetry::set_enabled(true);
+    else usage_error("unknown option '" + arg + "'");
   }
 
-  if (command == "disasm") return cmd_disasm(file);
-  if (command == "run") return cmd_run(file, max_steps);
-  if (command == "report") return cmd_report(file, k_list);
-  if (command == "encode") {
-    if (out_path.empty()) usage();
-    return cmd_encode(file, out_path, k, tt_budget, profile_steps, static_mode);
+  if (!metrics_path.empty()) telemetry::set_enabled(true);
+  if (!trace_path.empty()) {
+    telemetry::set_enabled(true);
+    if (!telemetry::open_trace(trace_path)) {
+      std::fprintf(stderr, "asimt: cannot write trace file %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
   }
-  if (command == "info") return cmd_info(file);
-  usage();
+
+  int rc = 0;
+  try {
+    if (command == "disasm") rc = cmd_disasm(file);
+    else if (command == "run") rc = cmd_run(file, max_steps, json_mode);
+    else if (command == "report") rc = cmd_report(file, k_list, json_mode);
+    else if (command == "encode") {
+      if (out_path.empty()) usage_error("encode needs -o <output image>");
+      rc = cmd_encode(file, out_path, k, tt_budget, profile_steps, static_mode);
+    } else {
+      rc = cmd_info(file);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "asimt: %s\n", e.what());
+    rc = 1;
+  }
+
+  if (!metrics_path.empty() &&
+      !telemetry::write_text_file(
+          metrics_path, telemetry::metrics_json(telemetry::MetricsRegistry::global()))) {
+    std::fprintf(stderr, "asimt: cannot write metrics file %s\n",
+                 metrics_path.c_str());
+    rc = rc == 0 ? 1 : rc;
+  }
+  telemetry::close_trace();
+  return rc;
 }

@@ -1,0 +1,51 @@
+// json_check — validates that a file is well-formed JSON (default) or
+// JSON-Lines (--jsonl): exit 0 when it parses, 1 with a diagnostic when it
+// does not. Used by the CLI smoke tests and CI to hold `asimt --json /
+// --trace / --metrics` output to an actual grammar, not a grep.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json.h"
+
+int main(int argc, char** argv) {
+  bool jsonl = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jsonl") == 0) {
+      jsonl = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: json_check [--jsonl] <file>\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: json_check [--jsonl] <file>\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "json_check: cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  try {
+    if (jsonl) {
+      const auto values = asimt::json::parse_lines(text);
+      std::printf("%s: %zu JSON lines ok\n", path, values.size());
+    } else {
+      asimt::json::parse(text);
+      std::printf("%s: JSON ok\n", path);
+    }
+  } catch (const asimt::json::ParseError& e) {
+    std::fprintf(stderr, "json_check: %s: %s\n", path, e.what());
+    return 1;
+  }
+  return 0;
+}
