@@ -6,17 +6,19 @@
 #include <string>
 
 #include "experiments/experiment.h"
+#include "parallel/pool.h"
 
 int main() {
   using namespace asimt;
   const workloads::SizeConfig sizes = experiments::bench_sizes();
   experiments::ExperimentOptions opt;
 
-  std::vector<experiments::WorkloadResult> results;
-  for (const workloads::Workload& w : workloads::make_all(sizes)) {
-    std::fprintf(stderr, "[fig7] running %s...\n", w.name.c_str());
-    results.push_back(experiments::run_workload(w, opt));
-  }
+  // Parallel suite run; order and numbers are identical to the serial loop.
+  const std::vector<workloads::Workload> suite = workloads::make_all(sizes);
+  std::fprintf(stderr, "[fig7] running %zu workloads on %u jobs...\n",
+               suite.size(), parallel::default_jobs());
+  const std::vector<experiments::WorkloadResult> results =
+      experiments::run_workloads(suite, opt);
 
   std::printf("Figure 7: percentage reduction comparison\n\n");
   constexpr int kScale = 60;  // chart width for 60%

@@ -15,15 +15,19 @@ int main() {
   const workloads::SizeConfig sizes = experiments::bench_sizes();
   experiments::ExperimentOptions opt;
 
-  std::vector<experiments::WorkloadResult> results;
-  for (const workloads::Workload& w : workloads::make_all(sizes)) {
-    std::fprintf(stderr, "[fig6] running %s (%s)...\n", w.name.c_str(),
+  // One parallel task per workload (see docs/PARALLELISM.md); results keep
+  // the paper's column order and every number matches a serial run exactly.
+  const std::vector<workloads::Workload> suite = workloads::make_all(sizes);
+  for (const workloads::Workload& w : suite) {
+    std::fprintf(stderr, "[fig6] queueing %s (%s)...\n", w.name.c_str(),
                  w.description.c_str());
-    results.push_back(experiments::run_workload(w, opt));
-    if (!results.back().check_passed) {
-      std::fprintf(stderr, "FATAL: %s failed validation: %s\n",
-                   results.back().name.c_str(),
-                   results.back().check_error.c_str());
+  }
+  const std::vector<experiments::WorkloadResult> results =
+      experiments::run_workloads(suite, opt);
+  for (const experiments::WorkloadResult& r : results) {
+    if (!r.check_passed) {
+      std::fprintf(stderr, "FATAL: %s failed validation: %s\n", r.name.c_str(),
+                   r.check_error.c_str());
       return 1;
     }
   }

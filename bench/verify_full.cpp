@@ -3,95 +3,196 @@
 // require exact restoration, for every block size. The unit/property tests
 // cover reduced sizes; this is the final end-to-end guarantee behind the
 // Fig. 6 numbers. Honours ASIMT_FAST=1 like the other workload benches.
-// Besides the console table, writes BENCH_verify_full.json with one row per
-// (workload, k) so the sweep is machine readable.
+//
+// The sweep runs on the parallel engine in two fan-outs — per-workload
+// profiling, then per (workload, k) replay — and accepts `--jobs N`
+// (default: hardware concurrency; `--jobs 1` is the fully serial path).
+// Results are bit-exact at any job count: every row, including the analytic
+// reduction percentages, is computed from per-task state and written into
+// its own slot. Besides the console table, writes BENCH_verify_full.json
+// with one row per (workload, k) plus the job count and wall-clock time so
+// the speedup trajectory is machine readable.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "cfg/cfg.h"
 #include "core/fetch_decoder.h"
 #include "core/selection.h"
 #include "experiments/experiment.h"
 #include "isa/assembler.h"
+#include "parallel/pool.h"
+#include "power/power.h"
 #include "sim/bus.h"
 #include "sim/cpu.h"
 #include "telemetry/export.h"
 #include "telemetry/json.h"
 #include "workloads/workload.h"
 
-int main() {
-  using namespace asimt;
-  const workloads::SizeConfig sizes = experiments::bench_sizes();
-  bool all_ok = true;
-  json::Value rows = json::Value::array();
+namespace {
 
-  std::printf("%-6s %6s %16s %14s %10s\n", "bench", "k", "fetches", "decoded",
-              "restored");
+using namespace asimt;
+
+constexpr int kBlockSizes[] = {4, 5, 6, 7};
+
+// Stage-1 output: one profiled workload, shared read-only by its k rows.
+struct ProfiledWorkload {
+  isa::Program program;
+  cfg::Cfg cfg;
+  cfg::Profile profile;
+  long long baseline_transitions = 0;
+  bool check_ok = false;
+  std::string check_error;
+};
+
+// Stage-2 output: one (workload, k) replay.
+struct ReplayRow {
+  std::uint64_t fetches = 0;
+  std::uint64_t decoded = 0;
+  std::uint64_t mismatches = 0;
+  bool restored = false;
+  long long transitions = 0;        // analytic dynamic count after encoding
+  double reduction_percent = 0.0;   // vs. the workload's unencoded baseline
+};
+
+ProfiledWorkload profile_workload(const workloads::Workload& w) {
+  ProfiledWorkload p;
+  p.program = isa::assemble(w.source);
+  p.cfg = cfg::build_cfg(p.program);
+  sim::Memory memory;
+  memory.load_program(p.program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = p.program.entry();
+  w.init(memory, cpu.state());
+  cfg::Profiler profiler(p.cfg);
+  cpu.run(500'000'000,
+          [&](std::uint32_t pc, std::uint32_t) { profiler.on_fetch(pc); });
+  p.check_ok = w.check(memory, &p.check_error);
+  p.profile = profiler.take();
+  p.baseline_transitions =
+      cfg::dynamic_transitions(p.cfg, p.profile, p.cfg.text);
+  return p;
+}
+
+ReplayRow replay_workload(const workloads::Workload& w,
+                          const ProfiledWorkload& p, int k) {
+  core::SelectionOptions sel;
+  sel.chain.block_size = k;
+  const core::SelectionResult selection =
+      core::select_and_encode(p.cfg, p.profile, sel);
+  const std::vector<std::uint32_t> image_words =
+      selection.apply_to_text(p.cfg.text, p.cfg.text_base);
+  const sim::TextImage image(p.cfg.text_base, image_words);
+
+  ReplayRow row;
+  row.transitions = cfg::dynamic_transitions(p.cfg, p.profile, image_words);
+  row.reduction_percent =
+      power::reduction_percent(p.baseline_transitions, row.transitions);
+
+  core::FetchDecoder decoder(selection.tt, selection.bbit);
+  sim::Memory memory;
+  memory.load_program(p.program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = p.program.entry();
+  w.init(memory, cpu.state());
+  cpu.run(500'000'000, [&](std::uint32_t pc, std::uint32_t word) {
+    const std::uint32_t bus = image.contains(pc) ? image.word_at(pc) : word;
+    if (decoder.feed(pc, bus) != word) ++row.mismatches;
+  });
+  row.fetches = decoder.stats().fetches;
+  row.decoded = decoder.stats().decoded;
+  row.restored = cpu.state().halted && row.mismatches == 0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      const int jobs = std::atoi(argv[++i]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "verify_full: --jobs needs an integer >= 1\n");
+        return 2;
+      }
+      parallel::set_default_jobs(static_cast<unsigned>(jobs));
+    } else {
+      std::fprintf(stderr, "usage: verify_full [--jobs N]\n");
+      return 2;
+    }
+  }
+  const unsigned jobs = parallel::default_jobs();
+  const workloads::SizeConfig sizes = experiments::bench_sizes();
+  const auto t_start = std::chrono::steady_clock::now();
+
   std::vector<workloads::Workload> suite = workloads::make_all(sizes);
   for (workloads::Workload& w : workloads::make_extra(sizes)) {
     suite.push_back(std::move(w));
   }
-  for (const workloads::Workload& w : suite) {
-    const isa::Program program = isa::assemble(w.source);
-    const cfg::Cfg cfg = cfg::build_cfg(program);
 
-    // Profile once.
-    sim::Memory memory;
-    memory.load_program(program);
-    sim::Cpu cpu(memory);
-    cpu.state().pc = program.entry();
-    w.init(memory, cpu.state());
-    cfg::Profiler profiler(cfg);
-    cpu.run(500'000'000,
-            [&](std::uint32_t pc, std::uint32_t) { profiler.on_fetch(pc); });
-    std::string error;
-    if (!w.check(memory, &error)) {
-      std::printf("%-6s FAILED functional check: %s\n", w.name.c_str(), error.c_str());
+  // Stage 1: profile every workload (one task each).
+  const std::vector<ProfiledWorkload> profiled = parallel::parallel_map(
+      suite.size(), [&](std::size_t i) { return profile_workload(suite[i]); });
+
+  // Stage 2: one task per (workload, k) replay; rows land in sweep order.
+  constexpr std::size_t kNumK = std::size(kBlockSizes);
+  const std::vector<ReplayRow> replays =
+      parallel::parallel_map(suite.size() * kNumK, [&](std::size_t idx) {
+        const std::size_t wi = idx / kNumK;
+        if (!profiled[wi].check_ok) return ReplayRow{};
+        return replay_workload(suite[wi], profiled[wi],
+                               kBlockSizes[idx % kNumK]);
+      });
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t_start)
+          .count();
+
+  bool all_ok = true;
+  json::Value rows = json::Value::array();
+  std::printf("%-6s %6s %16s %14s %12s %10s\n", "bench", "k", "fetches",
+              "decoded", "reduction", "restored");
+  for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+    const workloads::Workload& w = suite[wi];
+    if (!profiled[wi].check_ok) {
+      std::printf("%-6s FAILED functional check: %s\n", w.name.c_str(),
+                  profiled[wi].check_error.c_str());
       all_ok = false;
       continue;
     }
-    const cfg::Profile profile = profiler.take();
-
-    for (int k : {4, 5, 6, 7}) {
-      core::SelectionOptions sel;
-      sel.chain.block_size = k;
-      const core::SelectionResult selection =
-          core::select_and_encode(cfg, profile, sel);
-      const sim::TextImage image(
-          cfg.text_base, selection.apply_to_text(cfg.text, cfg.text_base));
-
-      core::FetchDecoder decoder(selection.tt, selection.bbit);
-      sim::Memory memory2;
-      memory2.load_program(program);
-      sim::Cpu cpu2(memory2);
-      cpu2.state().pc = program.entry();
-      w.init(memory2, cpu2.state());
-      std::uint64_t mismatches = 0;
-      cpu2.run(500'000'000, [&](std::uint32_t pc, std::uint32_t word) {
-        const std::uint32_t bus = image.contains(pc) ? image.word_at(pc) : word;
-        if (decoder.feed(pc, bus) != word) ++mismatches;
-      });
-      const bool ok = cpu2.state().halted && mismatches == 0;
-      all_ok = all_ok && ok;
-      std::printf("%-6s %6d %16llu %14llu %10s\n", w.name.c_str(), k,
-                  static_cast<unsigned long long>(decoder.stats().fetches),
-                  static_cast<unsigned long long>(decoder.stats().decoded),
-                  ok ? "yes" : "NO");
-      json::Value row = json::Value::object();
-      row.set("workload", w.name);
-      row.set("block_size", k);
-      row.set("fetches", decoder.stats().fetches);
-      row.set("decoded", decoder.stats().decoded);
-      row.set("mismatches", mismatches);
-      row.set("restored", ok);
-      rows.push_back(std::move(row));
+    for (std::size_t ki = 0; ki < kNumK; ++ki) {
+      const ReplayRow& row = replays[wi * kNumK + ki];
+      all_ok = all_ok && row.restored;
+      std::printf("%-6s %6d %16llu %14llu %11.2f%% %10s\n", w.name.c_str(),
+                  kBlockSizes[ki],
+                  static_cast<unsigned long long>(row.fetches),
+                  static_cast<unsigned long long>(row.decoded),
+                  row.reduction_percent, row.restored ? "yes" : "NO");
+      json::Value out_row = json::Value::object();
+      out_row.set("workload", w.name);
+      out_row.set("block_size", kBlockSizes[ki]);
+      out_row.set("fetches", row.fetches);
+      out_row.set("decoded", row.decoded);
+      out_row.set("mismatches", row.mismatches);
+      out_row.set("baseline_transitions", profiled[wi].baseline_transitions);
+      out_row.set("transitions", row.transitions);
+      out_row.set("reduction_percent", row.reduction_percent);
+      out_row.set("restored", row.restored);
+      rows.push_back(std::move(out_row));
     }
   }
-  std::printf("\n%s\n", all_ok ? "all dynamic fetches restored exactly"
-                               : "RESTORATION FAILURES DETECTED");
+  std::printf("\n%s  (%u jobs, %.0f ms)\n",
+              all_ok ? "all dynamic fetches restored exactly"
+                     : "RESTORATION FAILURES DETECTED",
+              jobs, wall_ms);
 
   json::Value doc = json::Value::object();
   doc.set("bench", "verify_full");
   doc.set("fast_mode", experiments::fast_mode());
+  doc.set("jobs", static_cast<long long>(jobs));
+  doc.set("wall_ms", wall_ms);
   doc.set("all_restored", all_ok);
   doc.set("rows", std::move(rows));
   const char* out_path = "BENCH_verify_full.json";

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/block_code.h"
+#include "parallel/pool.h"
 #include "telemetry/metrics.h"
 
 namespace asimt::core {
@@ -121,6 +122,26 @@ EncodedChain ChainEncoder::encode(const bits::BitSeq& original) const {
                      static_cast<long long>(original.size()));
   }
   return chain;
+}
+
+std::vector<EncodedChain> ChainEncoder::encode_many(
+    std::span<const bits::BitSeq> originals) const {
+  std::vector<EncodedChain> out(originals.size());
+  // Below ~1k total bits the per-line searches finish faster than pool
+  // dispatch; parallel_for additionally degrades to the same serial loop
+  // when jobs == 1 or we are already inside a pool task.
+  constexpr std::size_t kMinParallelBits = 1024;
+  std::size_t total_bits = 0;
+  for (const bits::BitSeq& line : originals) total_bits += line.size();
+  if (total_bits < kMinParallelBits) {
+    for (std::size_t i = 0; i < originals.size(); ++i) {
+      out[i] = encode(originals[i]);
+    }
+    return out;
+  }
+  parallel::parallel_for(originals.size(),
+                         [&](std::size_t i) { out[i] = encode(originals[i]); });
+  return out;
 }
 
 EncodedChain ChainEncoder::encode_greedy(const bits::BitSeq& original) const {

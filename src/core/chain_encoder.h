@@ -53,6 +53,15 @@ class ChainEncoder {
   // Encodes `original`; the returned stored sequence has the same length.
   EncodedChain encode(const bits::BitSeq& original) const;
 
+  // Encodes several independent streams (typically the per-bus-line vertical
+  // sequences of one block), fanning the per-line τ searches out across the
+  // parallel engine when the total work is large enough to amortize task
+  // overhead. Result slot i always holds encode(originals[i]) bit-exactly —
+  // thread count and chunking never change the output (the determinism
+  // contract in docs/PARALLELISM.md).
+  std::vector<EncodedChain> encode_many(
+      std::span<const bits::BitSeq> originals) const;
+
   // Block partition for a stream of `m` bits: blocks start at multiples of
   // (block_size - 1); a final fragment shorter than 2 bits is absorbed by
   // the previous block's overlap and produces no extra block.

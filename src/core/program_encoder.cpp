@@ -27,11 +27,19 @@ BlockEncoding encode_basic_block(std::span<const std::uint32_t> words,
   const auto layout = ChainEncoder::partition(m, options.block_size);
   enc.tt_entries.resize(layout.size());
 
-  std::vector<bits::BitSeq> stored_lines(kBusLines);
-  const ChainEncoder encoder(options);
+  // The per-line τ searches are independent; encode_many fans them out
+  // across the parallel engine for large blocks (and stays serial for the
+  // common small ones). Results are written per line index, so the TT bytes
+  // and stored lines are identical at any thread count.
+  std::vector<bits::BitSeq> original_lines(kBusLines);
   for (unsigned line = 0; line < kBusLines; ++line) {
-    const bits::BitSeq original = bits::vertical_line(words, line);
-    EncodedChain chain = encoder.encode(original);
+    original_lines[line] = bits::vertical_line(words, line);
+  }
+  const ChainEncoder encoder(options);
+  std::vector<EncodedChain> chains = encoder.encode_many(original_lines);
+  std::vector<bits::BitSeq> stored_lines(kBusLines);
+  for (unsigned line = 0; line < kBusLines; ++line) {
+    EncodedChain& chain = chains[line];
     if (chain.blocks.size() != layout.size()) {
       throw std::logic_error("encode_basic_block: partition mismatch");
     }

@@ -8,6 +8,7 @@
 #include "baselines/bus_codes.h"
 #include "core/fetch_decoder.h"
 #include "isa/assembler.h"
+#include "parallel/pool.h"
 #include "power/power.h"
 #include "sim/bus.h"
 #include "sim/cpu.h"
@@ -97,10 +98,22 @@ WorkloadResult run_workload(const workloads::Workload& workload,
   result.check_passed = workload.check(memory, &error);
   result.check_error = error;
 
+  // The unencoded baseline is k-independent: compute it exactly once, before
+  // the sweep, and share the value with every per-k task (each reduction
+  // percentage divides by this same long long, so percentages are bit-exact
+  // at any job count). A regression test pins this invariance.
   result.baseline_transitions = cfg::dynamic_transitions(cfg, profile, cfg.text);
 
   // --- per block size: select, encode, verify, measure --------------------
-  for (const int k : options.block_sizes) {
+  // The k values are independent given the shared profile, so the sweep fans
+  // out across the parallel engine. Each task reads only const state (cfg,
+  // profile, options, the hoisted baseline) and writes only its own
+  // pre-sized slot; nested fan-outs inside encode_basic_block degrade to
+  // serial on the workers.
+  result.per_block_size.resize(options.block_sizes.size());
+  parallel::parallel_for(options.block_sizes.size(), [&](std::size_t idx) {
+    const int k = options.block_sizes[idx];
+    telemetry::TracePhase sweep_phase("sweep.k" + std::to_string(k));
     core::SelectionOptions sel;
     sel.chain.block_size = k;
     sel.chain.strategy = options.strategy;
@@ -126,15 +139,26 @@ WorkloadResult run_workload(const workloads::Workload& workload,
     per.tt_entries_used = selection.tt_entries_used;
     per.blocks_encoded = static_cast<int>(selection.encodings.size());
     for (const core::BlockEncoding& enc : selection.encodings) {
-      const int idx = cfg.block_starting_at(enc.start_pc);
+      const int idx2 = cfg.block_starting_at(enc.start_pc);
       per.decoded_fetches +=
-          profile.block_counts[static_cast<std::size_t>(idx)] *
+          profile.block_counts[static_cast<std::size_t>(idx2)] *
           enc.original_words.size();
     }
     telemetry::count("experiment.measured_configs");
-    result.per_block_size.push_back(per);
-  }
+    result.per_block_size[idx] = per;
+  });
   return result;
+}
+
+std::vector<WorkloadResult> run_workloads(
+    std::span<const workloads::Workload> suite,
+    const ExperimentOptions& options) {
+  // One task per workload; inside a worker the per-k sweep runs serially
+  // (nested fan-outs degrade), so whichever level saturates the pool first
+  // wins. Slot order matches `suite` order regardless of completion order.
+  return parallel::parallel_map(suite.size(), [&](std::size_t i) {
+    return run_workload(suite[i], options);
+  });
 }
 
 json::Value to_json(const PerBlockSizeResult& result) {

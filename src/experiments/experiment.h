@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,9 +58,18 @@ struct ExperimentOptions {
   std::uint64_t max_steps = 500'000'000;
 };
 
-// Runs one workload through the full pipeline.
+// Runs one workload through the full pipeline. The per-block-size sweep
+// fans out across the parallel engine (parallel::default_jobs(), CLI
+// --jobs); results are bit-exact and ordered identically at any job count.
 WorkloadResult run_workload(const workloads::Workload& workload,
                             const ExperimentOptions& options);
+
+// Runs a whole suite, one parallel task per workload, returning results in
+// suite order. Equivalent to calling run_workload serially for each entry —
+// including every number in every result — just faster on multicore hosts.
+std::vector<WorkloadResult> run_workloads(
+    std::span<const workloads::Workload> suite,
+    const ExperimentOptions& options);
 
 // Analytic dynamic transition count for `image` under `profile` (see file
 // comment). `image` must cover the same text range as `cfg`.

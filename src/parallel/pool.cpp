@@ -1,0 +1,174 @@
+#include "parallel/pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace asimt::parallel {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+unsigned env_or_hardware_jobs() {
+  if (const char* env = std::getenv("ASIMT_JOBS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) {
+      return static_cast<unsigned>(value);
+    }
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::atomic<unsigned> g_jobs_override{0};
+
+struct DefaultPoolHolder {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+  unsigned built_for = 0;
+};
+
+DefaultPoolHolder& default_pool_holder() {
+  static DefaultPoolHolder* holder = new DefaultPoolHolder();  // never destroyed
+  return *holder;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = std::max(1u, threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  if (t_on_worker) {
+    throw std::logic_error(
+        "ThreadPool::submit called from a pool worker; nested submission can "
+        "deadlock a fixed pool (use parallel_for, which runs inline here)");
+  }
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::logic_error("ThreadPool::submit on a stopping pool");
+    }
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception into its future
+  }
+}
+
+unsigned default_jobs() {
+  const unsigned override = g_jobs_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  static const unsigned automatic = env_or_hardware_jobs();
+  return automatic;
+}
+
+void set_default_jobs(unsigned n) {
+  g_jobs_override.store(n, std::memory_order_relaxed);
+}
+
+ThreadPool& default_pool() {
+  DefaultPoolHolder& holder = default_pool_holder();
+  const unsigned jobs = default_jobs();
+  std::lock_guard<std::mutex> lock(holder.mu);
+  if (!holder.pool || holder.built_for != jobs) {
+    holder.pool.reset();  // join the old workers before spawning new ones
+    holder.pool = std::make_unique<ThreadPool>(jobs);
+    holder.built_for = jobs;
+  }
+  return *holder.pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ForOptions options) {
+  if (n == 0) return;
+  const unsigned jobs =
+      options.pool != nullptr ? options.pool->size() : default_jobs();
+  // Serial path: nothing to fan out, caller asked for one job, or we are
+  // already on a pool worker (nested fan-out degrades to inline execution).
+  if (n == 1 || jobs <= 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : default_pool();
+
+  // Contiguous chunks: at least `grain` indices each, and no more than
+  // 8 chunks per worker so queue overhead stays bounded. Chunk boundaries
+  // are irrelevant to results — every index writes only its own slots.
+  const std::size_t grain = std::max<std::size_t>(1, options.grain);
+  const std::size_t min_chunk = (n + static_cast<std::size_t>(jobs) * 8 - 1) /
+                                (static_cast<std::size_t>(jobs) * 8);
+  const std::size_t chunk = std::max(grain, min_chunk);
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  if (chunks <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  if (telemetry::enabled()) {
+    telemetry::count("parallel.batches");
+    telemetry::count("parallel.tasks", static_cast<long long>(chunks));
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    futures.push_back(pool.submit([&body, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  // Wait for every chunk before rethrowing so no task can outlive `body`;
+  // the lowest-index chunk's exception wins deterministically.
+  std::exception_ptr first;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace asimt::parallel

@@ -1,0 +1,119 @@
+// Fixed-size thread pool and deterministic data-parallel front ends.
+//
+// The experiment pipeline fans out at three levels — per-bit-line chain
+// encoding, the per-block-size sweep, and the per-workload loop — and every
+// level must stay bit-exact regardless of thread count (docs/PARALLELISM.md,
+// "the determinism contract"). The engine therefore never reduces across
+// tasks: `parallel_for(n, fn)` runs fn(i) exactly once per index and callers
+// write into pre-sized slots, so the only thing concurrency changes is
+// wall-clock time.
+//
+// Scheduling rules:
+//   - jobs == 1 (or n <= 1) runs inline on the caller with no pool, no
+//     threads, and no locking — the serial path is literally a for loop.
+//   - a parallel_for issued from inside a pool task runs inline on that
+//     worker (nested fan-out would deadlock a fixed pool), which is what
+//     makes the three levels composable: whichever level reaches the pool
+//     first wins, inner levels degrade to serial.
+//   - ThreadPool::submit from a worker thread is rejected with
+//     std::logic_error for the same reason; only parallel_for/parallel_map
+//     have the inline fallback.
+//
+// Exceptions thrown by tasks are captured and rethrown on the calling
+// thread; when several chunks throw, the lowest-index chunk's exception wins
+// so failures are as deterministic as results.
+//
+// Telemetry: each batch counts `parallel.batches` and per-chunk
+// `parallel.tasks` on the global registry (atomic adds, so totals are exact
+// under concurrency); spans opened inside tasks nest per worker thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asimt::parallel {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+  // Drains nothing: pending tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues `task` and returns a future that yields its result or rethrows
+  // its exception. Throws std::logic_error when called from any pool's
+  // worker thread: a fixed pool that waits on its own queue can deadlock, so
+  // nested submission is rejected outright (parallel_for falls back to
+  // inline execution instead).
+  std::future<void> submit(std::function<void()> task);
+
+  // True when the calling thread is a worker of any ThreadPool.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+// --- process-wide default engine ------------------------------------------
+
+// The effective job count: the last set_default_jobs(n > 0) value, else the
+// ASIMT_JOBS environment variable, else std::thread::hardware_concurrency()
+// (never less than 1).
+unsigned default_jobs();
+
+// Overrides the job count (CLI --jobs, tests). 0 restores the automatic
+// default. Takes effect on the next parallel_for; must not race an active
+// batch.
+void set_default_jobs(unsigned n);
+
+// Lazily built pool with default_jobs() workers; rebuilt when the job count
+// changes between batches.
+ThreadPool& default_pool();
+
+// --- data-parallel front ends ---------------------------------------------
+
+struct ForOptions {
+  // Pool to run on; nullptr uses default_pool() (or the serial path when
+  // default_jobs() == 1).
+  ThreadPool* pool = nullptr;
+  // Minimum indices per chunk. Raise for fine-grained bodies so task
+  // overhead stays amortized; chunk boundaries never affect results.
+  std::size_t grain = 1;
+};
+
+// Runs body(i) exactly once for every i in [0, n), in parallel chunks of
+// contiguous indices. Returns after every index completed. Rethrows the
+// lowest-chunk exception, if any.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ForOptions options = {});
+
+// Maps [0, n) through `fn` into an index-ordered vector. The result type
+// must be default-constructible; slot i is written only by the task that
+// owns index i.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, ForOptions options = {})
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  std::vector<std::invoke_result_t<Fn&, std::size_t>> out(n);
+  parallel_for(
+      n, [&out, &fn](std::size_t i) { out[i] = fn(i); }, options);
+  return out;
+}
+
+}  // namespace asimt::parallel

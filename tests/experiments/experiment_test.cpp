@@ -8,6 +8,9 @@
 #include <cstdlib>
 
 #include "isa/assembler.h"
+#include "parallel/pool.h"
+#include "power/power.h"
+#include "sim/cpu.h"
 #include "telemetry/json.h"
 
 namespace asimt::experiments {
@@ -114,6 +117,61 @@ TEST(RunWorkload, CustomBlockSizeList) {
   ASSERT_EQ(r.per_block_size.size(), 2u);
   EXPECT_EQ(r.per_block_size[0].block_size, 3);
   EXPECT_EQ(r.per_block_size[1].block_size, 8);
+}
+
+// Regression pin for the baseline hoist: the unencoded baseline is a
+// property of (program, profile) alone, computed once before the per-k
+// sweep. It must not drift with the block-size list, the job count, or the
+// sweep's execution order — and it must equal a from-scratch recompute
+// (assemble -> profile -> analytic model) of the same workload.
+TEST(RunWorkload, BaselineTransitionsAreBlockSizeAndJobsInvariant) {
+  const workloads::Workload w =
+      workloads::make_by_name("fft", workloads::SizeConfig::small());
+
+  ExperimentOptions single_k;
+  single_k.block_sizes = {4};
+  parallel::set_default_jobs(1);
+  const WorkloadResult reference = run_workload(w, single_k);
+  ASSERT_GT(reference.baseline_transitions, 0);
+
+  ExperimentOptions full_sweep;  // default {4, 5, 6, 7}
+  ExperimentOptions reversed;
+  reversed.block_sizes = {7, 6, 5, 4};
+  for (const unsigned jobs : {1u, 8u}) {
+    parallel::set_default_jobs(jobs);
+    for (const ExperimentOptions& opt : {single_k, full_sweep, reversed}) {
+      const WorkloadResult r = run_workload(w, opt);
+      EXPECT_EQ(r.baseline_transitions, reference.baseline_transitions)
+          << "jobs=" << jobs << " sweep size " << opt.block_sizes.size();
+      EXPECT_EQ(r.bus_invert_transitions, reference.bus_invert_transitions);
+      // Every per-k row's reduction must be computed against that one
+      // shared baseline.
+      for (const PerBlockSizeResult& p : r.per_block_size) {
+        EXPECT_DOUBLE_EQ(p.reduction_percent,
+                         power::reduction_percent(r.baseline_transitions,
+                                                  p.transitions))
+            << "k=" << p.block_size;
+      }
+    }
+  }
+  parallel::set_default_jobs(0);
+
+  // From-scratch recompute of the baseline, independent of run_workload.
+  const isa::Program program = isa::assemble(w.source);
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  if (w.init) w.init(memory, cpu.state());
+  cfg::Profiler profiler(cfg);
+  ASSERT_GT(cpu.run(w.max_steps, [&](std::uint32_t pc, std::uint32_t) {
+    profiler.on_fetch(pc);
+  }), 0u);
+  ASSERT_TRUE(cpu.state().halted);
+  const cfg::Profile profile = profiler.take();
+  EXPECT_EQ(cfg::dynamic_transitions(cfg, profile, cfg.text),
+            reference.baseline_transitions);
 }
 
 // The JSON export must carry exactly the numbers the text report prints:

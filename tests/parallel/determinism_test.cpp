@@ -1,0 +1,145 @@
+// The determinism contract (docs/PARALLELISM.md): every parallel fan-out in
+// the pipeline must produce byte-identical results at any job count. Two
+// layers are pinned here:
+//   1. ChainEncoder::encode_many on large random streams — the level-1
+//      per-bit-line fan-out — compared chain by chain,
+//   2. experiments::run_workload on every reference workload across the full
+//      k = 4..7 sweep — levels 2 and 3 — compared as the serialized
+//      WorkloadResult JSON, byte for byte.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/chain_encoder.h"
+#include "experiments/experiment.h"
+#include "parallel/pool.h"
+#include "telemetry/json.h"
+#include "workloads/workload.h"
+
+namespace asimt {
+namespace {
+
+// Every test restores the automatic job count so ordering cannot leak.
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { parallel::set_default_jobs(0); }
+};
+
+std::vector<bits::BitSeq> random_lines(std::size_t lines, std::size_t bits,
+                                       std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<bits::BitSeq> out(lines);
+  for (bits::BitSeq& line : out) {
+    line = bits::BitSeq(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      line.set(i, static_cast<int>(rng() & 1u));
+    }
+  }
+  return out;
+}
+
+void expect_identical_chains(const std::vector<core::EncodedChain>& a,
+                             const std::vector<core::EncodedChain>& b,
+                             const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stored, b[i].stored) << label << " line " << i;
+    ASSERT_EQ(a[i].blocks.size(), b[i].blocks.size()) << label << " line " << i;
+    for (std::size_t bi = 0; bi < a[i].blocks.size(); ++bi) {
+      EXPECT_EQ(a[i].blocks[bi].start, b[i].blocks[bi].start);
+      EXPECT_EQ(a[i].blocks[bi].length, b[i].blocks[bi].length);
+      EXPECT_EQ(a[i].blocks[bi].tau, b[i].blocks[bi].tau)
+          << label << " line " << i << " block " << bi;
+    }
+  }
+}
+
+TEST_F(DeterminismTest, EncodeManyIsBitExactAcrossJobCounts) {
+  // 32 lines x 4096 bits is far past the parallel threshold, so jobs > 1
+  // really exercises the pool.
+  const std::vector<bits::BitSeq> lines = random_lines(32, 4096, 0xA51C);
+  for (const core::ChainStrategy strategy :
+       {core::ChainStrategy::kGreedy, core::ChainStrategy::kOptimalDp}) {
+    for (const int k : {4, 7}) {
+      core::ChainOptions options;
+      options.block_size = k;
+      options.strategy = strategy;
+      const core::ChainEncoder encoder(options);
+
+      parallel::set_default_jobs(1);
+      const std::vector<core::EncodedChain> serial = encoder.encode_many(lines);
+      for (const unsigned jobs : {2u, 8u}) {
+        parallel::set_default_jobs(jobs);
+        const std::vector<core::EncodedChain> parallel_result =
+            encoder.encode_many(lines);
+        expect_identical_chains(serial, parallel_result,
+                                "k=" + std::to_string(k) + " jobs=" +
+                                    std::to_string(jobs));
+      }
+    }
+  }
+}
+
+TEST_F(DeterminismTest, EncodeManyMatchesPerLineEncode) {
+  const std::vector<bits::BitSeq> lines = random_lines(32, 2048, 0xBEEF);
+  core::ChainOptions options;
+  options.block_size = 5;
+  const core::ChainEncoder encoder(options);
+  parallel::set_default_jobs(8);
+  const std::vector<core::EncodedChain> batched = encoder.encode_many(lines);
+  std::vector<core::EncodedChain> individual;
+  parallel::set_default_jobs(1);
+  for (const bits::BitSeq& line : lines) {
+    individual.push_back(encoder.encode(line));
+  }
+  expect_identical_chains(individual, batched, "batched-vs-individual");
+}
+
+// Levels 2 and 3: the full harness. Every reference workload, full k sweep,
+// serialized WorkloadResult compared byte for byte across job counts. Small
+// problem sizes keep the six pipelines affordable in unit-test time.
+TEST_F(DeterminismTest, RunWorkloadJsonIsByteIdenticalAcrossJobCounts) {
+  const workloads::SizeConfig sizes = workloads::SizeConfig::small();
+  const experiments::ExperimentOptions options;  // k = 4, 5, 6, 7
+  for (const workloads::Workload& w : workloads::make_all(sizes)) {
+    parallel::set_default_jobs(1);
+    const std::string serial_json =
+        experiments::to_json(experiments::run_workload(w, options)).dump(2);
+    for (const unsigned jobs : {2u, 8u}) {
+      parallel::set_default_jobs(jobs);
+      const std::string parallel_json =
+          experiments::to_json(experiments::run_workload(w, options)).dump(2);
+      EXPECT_EQ(serial_json, parallel_json)
+          << w.name << " diverged at jobs=" << jobs;
+    }
+  }
+}
+
+// The suite-level fan-out must preserve order and content exactly.
+TEST_F(DeterminismTest, RunWorkloadsMatchesSerialLoop) {
+  const workloads::SizeConfig sizes = workloads::SizeConfig::small();
+  experiments::ExperimentOptions options;
+  options.block_sizes = {5};  // one k keeps this a pure level-3 test
+  const std::vector<workloads::Workload> suite = workloads::make_all(sizes);
+
+  parallel::set_default_jobs(1);
+  std::vector<experiments::WorkloadResult> serial;
+  for (const workloads::Workload& w : suite) {
+    serial.push_back(experiments::run_workload(w, options));
+  }
+  parallel::set_default_jobs(8);
+  const std::vector<experiments::WorkloadResult> parallel_results =
+      experiments::run_workloads(suite, options);
+
+  ASSERT_EQ(parallel_results.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(experiments::to_json(serial[i]).dump(2),
+              experiments::to_json(parallel_results[i]).dump(2))
+        << suite[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace asimt

@@ -1,0 +1,180 @@
+// Unit tests for the thread pool and the parallel_for/parallel_map front
+// ends: startup/shutdown, exception propagation out of tasks, degenerate
+// ranges, ranges smaller than the pool, and nested-submit rejection.
+#include "parallel/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace asimt::parallel {
+namespace {
+
+TEST(ThreadPool, StartupAndShutdown) {
+  // Construction spawns the workers, destruction joins them; both must be
+  // clean even when no task was ever submitted.
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, ZeroThreadsIsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 24; ++i) {
+    futures.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 24);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor completes the queue before joining
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, SubmitPropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, NestedSubmitIsRejected) {
+  ThreadPool pool(2);
+  // A task that tries to submit to the pool it runs on must get a
+  // logic_error instead of a deadlock; the rejection travels out through
+  // the outer future.
+  std::future<void> outer = pool.submit([&pool] {
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    EXPECT_THROW(pool.submit([] {}), std::logic_error);
+  });
+  outer.get();
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ParallelFor, EmptyRangeCallsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  parallel_for(0, [&](std::size_t) { calls.fetch_add(1); }, {.pool = &pool});
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, RangeSmallerThanPoolVisitsEveryIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(3, [&](std::size_t i) { visits[i].fetch_add(1); },
+               {.pool = &pool});
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnceOnLargeRanges) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<int> visits(kN, 0);  // slot-per-index, no sharing
+  parallel_for(kN, [&](std::size_t i) { ++visits[i]; }, {.pool = &pool});
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0),
+            static_cast<int>(kN));
+  EXPECT_EQ(*std::min_element(visits.begin(), visits.end()), 1);
+  EXPECT_EQ(*std::max_element(visits.begin(), visits.end()), 1);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(
+                   100,
+                   [&](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("index 57");
+                   },
+                   {.pool = &pool}),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, LowestChunkExceptionWinsDeterministically) {
+  ThreadPool pool(4);
+  // Two throwing indices far apart land in different chunks; the rethrown
+  // exception must always be the lower chunk's, independent of timing.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    try {
+      parallel_for(
+          1000,
+          [&](std::size_t i) {
+            if (i == 10) throw std::runtime_error("low");
+            if (i == 990) throw std::runtime_error("high");
+          },
+          {.pool = &pool});
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "low");
+    }
+  }
+}
+
+TEST(ParallelFor, NestedCallRunsInlineOnWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_calls{0};
+  parallel_for(4,
+               [&](std::size_t) {
+                 // Nested fan-out degrades to serial on the worker instead
+                 // of deadlocking the 2-thread pool.
+                 parallel_for(8, [&](std::size_t) { inner_calls.fetch_add(1); },
+                              {.pool = &pool});
+               },
+               {.pool = &pool});
+  EXPECT_EQ(inner_calls.load(), 32);
+}
+
+TEST(ParallelFor, GrainCoarsensChunksWithoutChangingResults) {
+  ThreadPool pool(4);
+  std::vector<int> out(100, 0);
+  parallel_for(100, [&](std::size_t i) { out[i] = static_cast<int>(i) * 3; },
+               {.pool = &pool, .grain = 64});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * 3);
+}
+
+TEST(ParallelMap, ProducesIndexOrderedResults) {
+  ThreadPool pool(4);
+  const std::vector<std::size_t> out = parallel_map(
+      257, [](std::size_t i) { return i * i; }, {.pool = &pool});
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(DefaultJobs, OverrideAndReset) {
+  const unsigned automatic = default_jobs();
+  EXPECT_GE(automatic, 1u);
+  set_default_jobs(3);
+  EXPECT_EQ(default_jobs(), 3u);
+  EXPECT_EQ(default_pool().size(), 3u);
+  set_default_jobs(0);  // back to automatic
+  EXPECT_EQ(default_jobs(), automatic);
+}
+
+TEST(DefaultJobs, JobsOneSkipsThePoolEntirely) {
+  set_default_jobs(1);
+  std::size_t calls = 0;  // unsynchronized on purpose: must run inline
+  parallel_for(64, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 64u);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  set_default_jobs(0);
+}
+
+}  // namespace
+}  // namespace asimt::parallel

@@ -15,6 +15,7 @@
 #include "core/selection.h"
 #include "experiments/experiment.h"
 #include "isa/assembler.h"
+#include "parallel/pool.h"
 #include "sim/bus.h"
 #include "sim/cpu.h"
 
@@ -147,6 +148,47 @@ TEST_P(PipelinePropertyTest, InvariantsHoldOnRandomPrograms) {
   fw.bbit = selection.bbit;
   const core::FirmwareImage loaded = core::deserialize(core::serialize(fw));
   EXPECT_EQ(loaded, fw) << "seed=" << seed << " k=" << k;
+}
+
+// Invariant 5: the thread count is not an input to the pipeline. The whole
+// selection + encoding stack (which fans out per bit line through the
+// parallel engine) must emit an identical firmware image at any job count on
+// programs nobody hand-picked.
+TEST(PipelineJobsProperty, FirmwareImageIsInvariantAcrossJobCounts) {
+  for (std::uint32_t seed = 0; seed < 6; ++seed) {
+    const isa::Program program = isa::assemble(random_program(seed ^ 0x50AD));
+    const cfg::Cfg cfg = cfg::build_cfg(program);
+
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    cfg::Profiler profiler(cfg);
+    ASSERT_GT(cpu.run(1'000'000, [&](std::uint32_t pc, std::uint32_t) {
+      profiler.on_fetch(pc);
+    }), 0u);
+    const cfg::Profile profile = profiler.take();
+
+    core::SelectionOptions sel;
+    sel.chain.block_size = 5;
+    sel.tt_budget = 16;
+
+    auto firmware_at_jobs = [&](unsigned jobs) {
+      parallel::set_default_jobs(jobs);
+      const core::SelectionResult selection =
+          core::select_and_encode(cfg, profile, sel);
+      core::FirmwareImage fw;
+      fw.text_base = cfg.text_base;
+      fw.text = selection.apply_to_text(cfg.text, cfg.text_base);
+      fw.tt = selection.tt;
+      fw.bbit = selection.bbit;
+      return fw;
+    };
+    const core::FirmwareImage serial = firmware_at_jobs(1);
+    const core::FirmwareImage threaded = firmware_at_jobs(4);
+    parallel::set_default_jobs(0);
+    EXPECT_EQ(serial, threaded) << "seed=" << seed;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

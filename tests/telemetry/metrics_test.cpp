@@ -4,8 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <thread>
 #include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/json.h"
+#include "telemetry/trace.h"
 
 namespace asimt::telemetry {
 namespace {
@@ -118,6 +123,80 @@ TEST_F(MetricsTest, EnabledModeRecordsThroughHelpers) {
   EXPECT_EQ(snap.counters[0].second, 6);
   EXPECT_DOUBLE_EQ(snap.gauges[0].second, 2.5);
   EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+// Concurrency stress for the full telemetry surface the parallel engine
+// leans on: counters, histograms, and TracePhase spans hammered from eight
+// threads at once (the same shape as parallel_for workers timing their
+// chunks). Totals must be exact, and both export formats must still be
+// well-formed JSON — validated by parsing them back, exactly what the
+// json_check tool does to --metrics/--trace output.
+TEST_F(MetricsTest, GlobalHelpersAndSpansAreCoherentUnderConcurrency) {
+  constexpr int kThreads = 8, kPerThread = 500;
+  std::ostringstream trace;
+  set_enabled(true);
+  set_trace_stream(&trace);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TracePhase outer("stress.outer");
+        count("stress.tasks");
+        observe("stress.value", static_cast<double>(t + 1));
+        TracePhase inner("stress.inner");  // nested: depth is per-thread
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  set_trace_stream(nullptr);
+
+  constexpr long long kTotal = kThreads * kPerThread;
+  MetricsRegistry& reg = MetricsRegistry::global();
+  EXPECT_EQ(reg.counter("stress.tasks").value(), kTotal);
+  EXPECT_EQ(reg.histogram("stress.value").count(),
+            static_cast<std::uint64_t>(kTotal));
+  // sum of (t+1) over threads = kThreads*(kThreads+1)/2 per iteration
+  EXPECT_DOUBLE_EQ(reg.histogram("stress.value").sum(),
+                   kPerThread * kThreads * (kThreads + 1) / 2.0);
+  // Every span landed a duration sample in its phase histogram.
+  EXPECT_EQ(reg.histogram("phase.stress.outer.us").count(),
+            static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(reg.histogram("phase.stress.inner.us").count(),
+            static_cast<std::uint64_t>(kTotal));
+
+  // The JSON export must parse back cleanly even after concurrent writes.
+  const json::Value doc = json::parse(metrics_json(reg));
+  EXPECT_EQ(doc.at("counters").at("stress.tasks").as_int(), kTotal);
+  EXPECT_EQ(doc.at("histograms").at("stress.value").at("count").as_int(),
+            kTotal);
+
+  // Trace stream: every line is one valid JSON object (TraceWriter holds a
+  // line lock, so interleaving threads must not tear lines), begin/end
+  // events balance per span name, and inner spans nest strictly deeper than
+  // their per-thread outer span.
+  const std::vector<json::Value> events = json::parse_lines(trace.str());
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(4 * kTotal));
+  long long outer_begin = 0, inner_end = 0;
+  for (const json::Value& ev : events) {
+    ASSERT_TRUE(ev.is_object());
+    const std::string& name = ev.at("name").as_string();
+    const std::string& kind = ev.at("ev").as_string();
+    const long long depth = ev.at("depth").as_int();
+    if (name == "stress.outer") {
+      EXPECT_EQ(depth, 0);
+      if (kind == "begin") ++outer_begin;
+    } else {
+      ASSERT_EQ(name, "stress.inner");
+      EXPECT_EQ(depth, 1);
+      if (kind == "end") {
+        EXPECT_GE(ev.at("dur_us").as_int(), 0);
+        ++inner_end;
+      }
+    }
+  }
+  EXPECT_EQ(outer_begin, kTotal);
+  EXPECT_EQ(inner_end, kTotal);
 }
 
 TEST_F(MetricsTest, CountersAreThreadSafe) {

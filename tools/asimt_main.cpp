@@ -32,6 +32,7 @@
 #include "core/selection.h"
 #include "experiments/experiment.h"
 #include "isa/assembler.h"
+#include "parallel/pool.h"
 #include "sim/bus.h"
 #include "sim/cpu.h"
 #include "telemetry/export.h"
@@ -54,6 +55,8 @@ const char kUsage[] =
     "  --metrics out.json   write a metrics snapshot on exit\n"
     "  --trace out.jsonl    stream phase spans as JSON lines\n"
     "  --telemetry          enable metric counting without output files\n"
+    "  --jobs N             worker threads for parallel stages (default:\n"
+    "                       hardware concurrency; 1 = fully serial)\n"
     "  --help, -h           show this help\n";
 
 [[noreturn]] void usage_error(const std::string& diagnostic) {
@@ -157,9 +160,14 @@ int cmd_run(const std::string& path, std::uint64_t max_steps, bool json_mode) {
 int cmd_report(const std::string& path, const std::vector<int>& block_sizes,
                bool json_mode) {
   const isa::Program program = assemble_or_die(path);
+  // The vertical bit lines and their baseline transition count depend only
+  // on the program, not on k — extract them once ahead of the sweep instead
+  // of re-deriving 32 lines for every block size.
+  std::vector<bits::BitSeq> lines(32);
   long long base = 0;
   for (unsigned line = 0; line < 32; ++line) {
-    base += bits::vertical_line(program.text, line).transitions();
+    lines[line] = bits::vertical_line(program.text, line);
+    base += lines[line].transitions();
   }
   json::Value out = json::Value::object();
   json::Value sweep = json::Value::array();
@@ -168,17 +176,24 @@ int cmd_report(const std::string& path, const std::vector<int>& block_sizes,
                 path.c_str(), program.text.size(), base);
     std::printf("%-4s %-14s %-10s\n", "k", "transitions", "reduction");
   }
-  for (int k : block_sizes) {
-    telemetry::TracePhase phase("encode");
-    core::ChainOptions options;
-    options.block_size = k;
-    options.strategy = core::ChainStrategy::kOptimalDp;
-    const core::ChainEncoder encoder(options);
-    long long encoded = 0;
-    for (unsigned line = 0; line < 32; ++line) {
-      encoded +=
-          encoder.encode(bits::vertical_line(program.text, line)).stored.transitions();
-    }
+  // One parallel task per block size; each sums its 32 per-line encodes into
+  // a private slot, so totals never depend on reduction order.
+  const std::vector<long long> encoded_per_k =
+      parallel::parallel_map(block_sizes.size(), [&](std::size_t idx) {
+        telemetry::TracePhase phase("encode");
+        core::ChainOptions options;
+        options.block_size = block_sizes[idx];
+        options.strategy = core::ChainStrategy::kOptimalDp;
+        const core::ChainEncoder encoder(options);
+        long long encoded = 0;
+        for (const core::EncodedChain& chain : encoder.encode_many(lines)) {
+          encoded += chain.stored.transitions();
+        }
+        return encoded;
+      });
+  for (std::size_t idx = 0; idx < block_sizes.size(); ++idx) {
+    const int k = block_sizes[idx];
+    const long long encoded = encoded_per_k[idx];
     const double reduction =
         base == 0 ? 0.0
                   : 100.0 * static_cast<double>(base - encoded) /
@@ -345,6 +360,20 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics") metrics_path = next();
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--telemetry") telemetry::set_enabled(true);
+    else if (arg == "--jobs") {
+      const std::string value = next();
+      std::size_t pos = 0;
+      int jobs = 0;
+      try {
+        jobs = std::stoi(value, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != value.size() || jobs < 1) {
+        usage_error("--jobs needs an integer >= 1, got '" + value + "'");
+      }
+      parallel::set_default_jobs(static_cast<unsigned>(jobs));
+    }
     else usage_error("unknown option '" + arg + "'");
   }
 
