@@ -14,8 +14,9 @@
 // the speedup trajectory is machine readable.
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <optional>
 
 #include "cfg/cfg.h"
 #include "core/fetch_decoder.h"
@@ -28,6 +29,7 @@
 #include "sim/cpu.h"
 #include "telemetry/export.h"
 #include "telemetry/json.h"
+#include "util/args.h"
 #include "workloads/workload.h"
 
 namespace {
@@ -111,12 +113,16 @@ ReplayRow replay_workload(const workloads::Workload& w,
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      const int jobs = std::atoi(argv[++i]);
-      if (jobs < 1) {
-        std::fprintf(stderr, "verify_full: --jobs needs an integer >= 1\n");
+      // Strict whole-string parse: "2x" or "abc" is an error, not atoi's 0.
+      const std::optional<int> jobs =
+          util::parse_int_in(argv[++i], 1, std::numeric_limits<int>::max());
+      if (!jobs) {
+        std::fprintf(stderr,
+                     "verify_full: --jobs needs an integer >= 1, got '%s'\n",
+                     argv[i]);
         return 2;
       }
-      parallel::set_default_jobs(static_cast<unsigned>(jobs));
+      parallel::set_default_jobs(static_cast<unsigned>(*jobs));
     } else {
       std::fprintf(stderr, "usage: verify_full [--jobs N]\n");
       return 2;

@@ -1,0 +1,183 @@
+#include "check/fuzz_case.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace asimt::check {
+
+namespace {
+
+constexpr std::string_view kMagic = "asimt-fuzz-case v1";
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("fuzz case line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+std::string_view strategy_name(core::ChainStrategy s) {
+  return s == core::ChainStrategy::kGreedy ? "greedy" : "dp";
+}
+
+}  // namespace
+
+std::span<const core::Transform> FuzzCase::transform_span() const {
+  switch (transforms) {
+    case TransformSet::kPaper: return core::kPaperSubset;
+    case TransformSet::kInvertible: return core::kInvertibleSubset;
+    case TransformSet::kAll: return core::kAllTransforms;
+  }
+  return core::kPaperSubset;
+}
+
+std::string_view oracle_name(Oracle oracle) {
+  switch (oracle) {
+    case Oracle::kRoundTrip: return "roundtrip";
+    case Oracle::kCost: return "cost";
+    case Oracle::kReplay: return "replay";
+    case Oracle::kJson: return "json";
+  }
+  return "?";
+}
+
+std::string_view transform_set_name(TransformSet set) {
+  switch (set) {
+    case TransformSet::kPaper: return "paper";
+    case TransformSet::kInvertible: return "invertible";
+    case TransformSet::kAll: return "all";
+  }
+  return "?";
+}
+
+std::string serialize_case(const FuzzCase& c) {
+  std::string out(kMagic);
+  out += "\noracle ";
+  out += oracle_name(c.oracle);
+  out += '\n';
+  if (c.oracle == Oracle::kJson) {
+    out += "json ";
+    out += c.json_text;
+    out += '\n';
+    return out;
+  }
+  if (c.oracle == Oracle::kRoundTrip) {
+    out += "strategy ";
+    out += strategy_name(c.strategy);
+    out += '\n';
+  }
+  out += "k " + std::to_string(c.block_size) + '\n';
+  out += "transforms ";
+  out += transform_set_name(c.transforms);
+  out += '\n';
+  if (c.oracle == Oracle::kReplay) {
+    out += "words";
+    char buf[16];
+    for (const std::uint32_t w : c.words) {
+      auto res = std::to_chars(buf, buf + sizeof buf, w, 16);
+      out += ' ';
+      out.append(buf, res.ptr);
+    }
+    out += '\n';
+  } else {
+    out += "line " + c.line.to_stream_string() + '\n';
+  }
+  return out;
+}
+
+FuzzCase parse_case(std::string_view text) {
+  FuzzCase c;
+  bool saw_magic = false, saw_oracle = false;
+  bool saw_line = false, saw_words = false, saw_json = false;
+  std::size_t pos = 0, line_no = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view row = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (!row.empty() && row.back() == '\r') row.remove_suffix(1);
+    if (row.empty() || row.front() == '#') {
+      if (pos > text.size()) break;
+      continue;
+    }
+    if (!saw_magic) {
+      if (row != kMagic) fail(line_no, "missing magic header");
+      saw_magic = true;
+      continue;
+    }
+    const std::size_t sp = row.find(' ');
+    const std::string_view key = row.substr(0, sp);
+    const std::string_view value =
+        sp == std::string_view::npos ? std::string_view() : row.substr(sp + 1);
+    if (key == "oracle") {
+      saw_oracle = true;
+      if (value == "roundtrip") c.oracle = Oracle::kRoundTrip;
+      else if (value == "cost") c.oracle = Oracle::kCost;
+      else if (value == "replay") c.oracle = Oracle::kReplay;
+      else if (value == "json") c.oracle = Oracle::kJson;
+      else fail(line_no, "unknown oracle '" + std::string(value) + "'");
+    } else if (key == "strategy") {
+      if (value == "greedy") c.strategy = core::ChainStrategy::kGreedy;
+      else if (value == "dp") c.strategy = core::ChainStrategy::kOptimalDp;
+      else fail(line_no, "unknown strategy '" + std::string(value) + "'");
+    } else if (key == "k") {
+      int k = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), k);
+      if (ec != std::errc() || ptr != value.data() + value.size() || k < 2 ||
+          k > 16) {
+        fail(line_no, "k needs an integer in [2, 16]");
+      }
+      c.block_size = k;
+    } else if (key == "transforms") {
+      if (value == "paper") c.transforms = TransformSet::kPaper;
+      else if (value == "invertible") c.transforms = TransformSet::kInvertible;
+      else if (value == "all") c.transforms = TransformSet::kAll;
+      else fail(line_no, "unknown transform set '" + std::string(value) + "'");
+    } else if (key == "line") {
+      try {
+        c.line = bits::BitSeq::from_stream_string(value);
+      } catch (const std::exception& e) {
+        fail(line_no, e.what());
+      }
+      saw_line = true;
+    } else if (key == "words") {
+      c.words.clear();
+      std::size_t i = 0;
+      while (i < value.size()) {
+        while (i < value.size() && value[i] == ' ') ++i;
+        if (i >= value.size()) break;
+        std::size_t j = value.find(' ', i);
+        if (j == std::string_view::npos) j = value.size();
+        std::uint32_t w = 0;
+        const auto [ptr, ec] =
+            std::from_chars(value.data() + i, value.data() + j, w, 16);
+        if (ec != std::errc() || ptr != value.data() + j) {
+          fail(line_no, "bad hex word '" + std::string(value.substr(i, j - i)) +
+                            "'");
+        }
+        c.words.push_back(w);
+        i = j;
+      }
+      saw_words = true;
+    } else if (key == "json") {
+      c.json_text = std::string(value);
+      saw_json = true;
+    } else {
+      fail(line_no, "unknown key '" + std::string(key) + "'");
+    }
+    if (pos > text.size()) break;
+  }
+  if (!saw_magic) fail(1, "missing magic header");
+  if (!saw_oracle) fail(line_no, "missing 'oracle' key");
+  if (c.oracle == Oracle::kJson && !saw_json) fail(line_no, "json oracle needs a 'json' line");
+  if (c.oracle == Oracle::kReplay && !saw_words) fail(line_no, "replay oracle needs a 'words' line");
+  if ((c.oracle == Oracle::kRoundTrip || c.oracle == Oracle::kCost) && !saw_line) {
+    fail(line_no, "oracle needs a 'line' line");
+  }
+  if (c.oracle == Oracle::kReplay && c.transforms == TransformSet::kAll) {
+    fail(line_no, "replay oracle transforms must fit 3-bit TT indices");
+  }
+  return c;
+}
+
+}  // namespace asimt::check

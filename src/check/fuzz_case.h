@@ -1,0 +1,62 @@
+// One differential-fuzzing test case: which oracle to run and its input.
+//
+// Cases are pure data with a line-oriented text form (`serialize_case` /
+// `parse_case`) so that a failing input, once minimized by the shrinker, can
+// be checked into tests/check/corpus/ and replayed forever by ctest. The
+// format is deliberately human-editable — a reproducer is also documentation
+// of the bug it pinned down.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bitstream/bitseq.h"
+#include "core/chain_encoder.h"
+#include "core/transform.h"
+
+namespace asimt::check {
+
+// The differential oracles (docs/FUZZING.md has the full contract of each).
+enum class Oracle {
+  kRoundTrip,  // encode -> decode_chain restores the original bit line
+  kCost,       // greedy cost >= DP cost; DP == exhaustive optimum (short lines)
+  kReplay,     // ProgramEncoder image replayed through FetchDecoder/BusMonitor
+  kJson,       // JSON export -> parse -> re-export is byte-stable
+};
+inline constexpr int kOracleCount = 4;
+
+// Which transform universe the encoder may draw from.
+enum class TransformSet {
+  kPaper,       // core::kPaperSubset (the 8 hardware-indexable transforms)
+  kInvertible,  // core::kInvertibleSubset (x, ~x, xor, xnor)
+  kAll,         // core::kAllTransforms (encoder-only; no TT representation)
+};
+
+struct FuzzCase {
+  Oracle oracle = Oracle::kRoundTrip;
+  core::ChainStrategy strategy = core::ChainStrategy::kGreedy;
+  int block_size = 5;
+  TransformSet transforms = TransformSet::kPaper;
+  bits::BitSeq line;                 // kRoundTrip / kCost input
+  std::vector<std::uint32_t> words;  // kReplay input
+  std::string json_text;             // kJson input (one JSON document)
+
+  std::span<const core::Transform> transform_span() const;
+
+  bool operator==(const FuzzCase&) const = default;
+};
+
+std::string_view oracle_name(Oracle oracle);
+std::string_view transform_set_name(TransformSet set);
+
+// Text form starting with the "asimt-fuzz-case v1" magic line.
+std::string serialize_case(const FuzzCase& c);
+
+// Inverse of serialize_case; throws std::runtime_error with a line-numbered
+// diagnostic on malformed input.
+FuzzCase parse_case(std::string_view text);
+
+}  // namespace asimt::check

@@ -1,0 +1,116 @@
+#include "check/fuzzer.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "check/gen.h"
+#include "parallel/pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace asimt::check {
+
+namespace {
+
+struct IterationVerdict {
+  std::uint8_t oracle = 0;
+  bool failed = false;
+  std::string message;  // empty unless failed
+};
+
+std::string write_reproducer(const std::string& dir, const FuzzFailure& failure) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return {};
+  const std::string path = dir + "/repro-" +
+                           std::string(oracle_name(failure.oracle)) + "-iter" +
+                           std::to_string(failure.iteration) + ".case";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return {};
+  out << "# shrunk from fuzz iteration " << failure.iteration << "\n# "
+      << failure.shrunk.failure << '\n'
+      << serialize_case(failure.shrunk.reduced);
+  return out ? path : std::string();
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& options, const OracleHooks& hooks) {
+  telemetry::TracePhase phase("fuzz");
+  const Rng root(options.seed);
+  std::vector<IterationVerdict> verdicts(options.iters);
+
+  // Coarse grain: one oracle run is microseconds except the exhaustive cost
+  // cross-check; 64 iterations per task amortizes pool dispatch either way.
+  parallel::ForOptions fan;
+  fan.grain = 64;
+  parallel::parallel_for(
+      options.iters,
+      [&](std::size_t i) {
+        const FuzzCase c = generate_case(root.fork(i));
+        IterationVerdict& v = verdicts[i];
+        v.oracle = static_cast<std::uint8_t>(c.oracle);
+        if (std::optional<std::string> err = run_case(c, hooks)) {
+          v.failed = true;
+          v.message = std::move(*err);
+        }
+      },
+      fan);
+
+  FuzzReport report;
+  report.iterations = options.iters;
+  for (std::uint64_t i = 0; i < options.iters; ++i) {
+    const IterationVerdict& v = verdicts[i];
+    ++report.runs_per_oracle[v.oracle];
+    if (!v.failed) continue;
+    ++report.failure_count;
+    if (report.failures.size() >= options.max_failures) continue;
+    FuzzFailure failure;
+    failure.iteration = i;
+    failure.oracle = static_cast<Oracle>(v.oracle);
+    failure.message = v.message;
+    failure.shrunk = shrink_case(generate_case(root.fork(i)), hooks);
+    if (!options.reproducer_dir.empty()) {
+      failure.file = write_reproducer(options.reproducer_dir, failure);
+    }
+    report.failures.push_back(std::move(failure));
+  }
+
+  if (telemetry::enabled()) {
+    telemetry::count("check.iterations", static_cast<long long>(report.iterations));
+    telemetry::count("check.failures", static_cast<long long>(report.failure_count));
+    for (int o = 0; o < kOracleCount; ++o) {
+      telemetry::count(
+          "check.runs." + std::string(oracle_name(static_cast<Oracle>(o))),
+          static_cast<long long>(report.runs_per_oracle[o]));
+    }
+  }
+  return report;
+}
+
+std::string format_report(const FuzzReport& report, const FuzzOptions& options) {
+  std::string out = "fuzz: seed " + std::to_string(options.seed) + ", " +
+                    std::to_string(report.iterations) + " iterations (";
+  for (int o = 0; o < kOracleCount; ++o) {
+    if (o) out += ", ";
+    out += std::string(oracle_name(static_cast<Oracle>(o))) + " " +
+           std::to_string(report.runs_per_oracle[o]);
+  }
+  out += ")\n";
+  for (const FuzzFailure& f : report.failures) {
+    out += "FAIL iter " + std::to_string(f.iteration) + ": " + f.message + '\n';
+    out += "  shrunk (" + std::to_string(f.shrunk.accepted_edits) +
+           " edits): " + f.shrunk.failure + '\n';
+    if (!f.file.empty()) out += "  reproducer: " + f.file + '\n';
+  }
+  if (report.failure_count > report.failures.size()) {
+    out += "  (+" +
+           std::to_string(report.failure_count - report.failures.size()) +
+           " more failures not shrunk)\n";
+  }
+  out += report.ok() ? "all oracles green\n"
+                     : std::to_string(report.failure_count) + " FAILURES\n";
+  return out;
+}
+
+}  // namespace asimt::check

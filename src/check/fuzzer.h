@@ -1,0 +1,56 @@
+// The differential fuzz driver: generate → oracle → shrink → reproduce.
+//
+// Iterations fan out across the parallel engine (PR 2) under its determinism
+// contract: iteration i's case is a pure function of (seed, i) and its
+// verdict lands in slot i, so the report — failures, counts, reproducers,
+// exit code — is byte-identical at any --jobs value. Shrinking runs serially
+// afterwards, in iteration order, on at most `max_failures` cases.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/fuzz_case.h"
+#include "check/oracles.h"
+#include "check/shrink.h"
+
+namespace asimt::check {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 1000;
+  // Directory for shrunk reproducer files; empty disables writing. Created
+  // if missing.
+  std::string reproducer_dir;
+  // Failures shrunk/recorded in detail; the total failure count is exact
+  // regardless.
+  std::size_t max_failures = 10;
+};
+
+struct FuzzFailure {
+  std::uint64_t iteration = 0;
+  Oracle oracle = Oracle::kRoundTrip;
+  std::string message;       // failure of the generated case
+  ShrinkResult shrunk;       // minimized reproducer + its failure
+  std::string file;          // reproducer path, empty if not written
+};
+
+struct FuzzReport {
+  std::uint64_t iterations = 0;
+  std::uint64_t failure_count = 0;  // across ALL iterations
+  std::array<std::uint64_t, kOracleCount> runs_per_oracle{};
+  std::vector<FuzzFailure> failures;  // first max_failures, iteration order
+  bool ok() const { return failure_count == 0; }
+};
+
+// Runs the fuzz campaign. `hooks` is for mutation testing (see oracles.h);
+// production runs pass the default. Telemetry (when enabled) counts
+// check.iterations / check.failures and per-oracle check.runs.<name>.
+FuzzReport run_fuzz(const FuzzOptions& options, const OracleHooks& hooks = {});
+
+// Renders the report as the CLI's human-readable summary.
+std::string format_report(const FuzzReport& report, const FuzzOptions& options);
+
+}  // namespace asimt::check

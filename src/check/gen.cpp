@@ -1,0 +1,179 @@
+#include "check/gen.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace asimt::check {
+
+namespace {
+
+// Length skewed toward the small/boundary sizes where the chain contract
+// (overlap bits, tail absorption) actually lives.
+std::size_t skewed_length(Rng& rng, std::size_t small_max, std::size_t big_max) {
+  switch (rng.below(4)) {
+    case 0: return static_cast<std::size_t>(rng.below(3));  // 0..2 degenerate
+    case 1: return static_cast<std::size_t>(rng.below(small_max + 1));
+    default: return static_cast<std::size_t>(rng.below(big_max + 1));
+  }
+}
+
+double gen_finite_double(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0:  // small decimals, the common telemetry shape
+      return static_cast<double>(static_cast<std::int64_t>(rng.next() % 2'000'001) -
+                                 1'000'000) /
+             1000.0;
+    case 1:  // exact integers stored as doubles
+      return static_cast<double>(static_cast<std::int32_t>(rng.next()));
+    case 2: {  // wide-exponent values
+      const int exp = rng.range(-300, 300);
+      return std::ldexp(static_cast<double>(rng.next() % 9007199254740993ull), exp - 52);
+    }
+    default: {  // arbitrary bit patterns, rejecting inf/nan
+      for (;;) {
+        const double d = std::bit_cast<double>(rng.next());
+        if (std::isfinite(d)) return d;
+      }
+    }
+  }
+}
+
+std::string gen_string(Rng& rng) {
+  static constexpr char kPalette[] =
+      "abcxyz012 _.-\"\\\n\t\r\b\f/\x01\x1f\x7f\xc3\xa9";  // incl. controls, UTF-8
+  std::string s;
+  const std::size_t len = rng.below(12);
+  for (std::size_t i = 0; i < len; ++i) {
+    s += kPalette[rng.below(sizeof kPalette - 1)];
+  }
+  return s;
+}
+
+}  // namespace
+
+bits::BitSeq gen_line(Rng& rng) {
+  const std::size_t len = skewed_length(rng, 12, 96);
+  bits::BitSeq line(len);
+  switch (rng.below(3)) {
+    case 0:  // uniform bits
+      for (std::size_t i = 0; i < len; ++i) line.set(i, static_cast<int>(rng.below(2)));
+      break;
+    case 1: {  // run-structured
+      int bit = static_cast<int>(rng.below(2));
+      std::size_t i = 0;
+      while (i < len) {
+        const std::size_t run = 1 + rng.below(9);
+        for (std::size_t j = 0; j < run && i < len; ++j, ++i) line.set(i, bit);
+        bit ^= 1;
+      }
+      break;
+    }
+    default: {  // mostly-constant with sparse flips
+      const int fill = static_cast<int>(rng.below(2));
+      for (std::size_t i = 0; i < len; ++i) {
+        line.set(i, rng.chance(1, 8) ? fill ^ 1 : fill);
+      }
+    }
+  }
+  return line;
+}
+
+std::vector<std::uint32_t> gen_words(Rng& rng) {
+  const std::size_t m = skewed_length(rng, 10, 40);
+  std::vector<std::uint32_t> words(m);
+  switch (rng.below(3)) {
+    case 0:  // uniform words
+      for (auto& w : words) w = static_cast<std::uint32_t>(rng.next());
+      break;
+    case 1: {  // low-entropy: base word, a few bit flips per step
+      std::uint32_t w = static_cast<std::uint32_t>(rng.next());
+      for (auto& out : words) {
+        out = w;
+        const std::size_t flips = rng.below(4);
+        for (std::size_t f = 0; f < flips; ++f) w ^= 1u << rng.below(32);
+      }
+      break;
+    }
+    default: {  // short constant runs (loop bodies re-fetching the same ops)
+      std::size_t i = 0;
+      while (i < m) {
+        const std::uint32_t w = static_cast<std::uint32_t>(rng.next());
+        const std::size_t run = 1 + rng.below(5);
+        for (std::size_t j = 0; j < run && i < m; ++j, ++i) words[i] = w;
+      }
+    }
+  }
+  return words;
+}
+
+json::Value gen_json_value(Rng& rng, int depth) {
+  // Leaves only at the bottom; containers get rarer with depth.
+  const std::uint64_t kind = depth >= 4 ? rng.below(5) : rng.below(7);
+  switch (kind) {
+    case 0: return json::Value(nullptr);
+    case 1: return json::Value(rng.chance(1, 2));
+    case 2:
+      return json::Value(static_cast<long long>(rng.next()) >>
+                         static_cast<int>(rng.below(48)));
+    case 3: return json::Value(gen_finite_double(rng));
+    case 4: return json::Value(gen_string(rng));
+    case 5: {
+      json::Value arr = json::Value::array();
+      const std::size_t n = rng.below(5);
+      for (std::size_t i = 0; i < n; ++i) arr.push_back(gen_json_value(rng, depth + 1));
+      return arr;
+    }
+    default: {
+      json::Value obj = json::Value::object();
+      const std::size_t n = rng.below(5);
+      for (std::size_t i = 0; i < n; ++i) {
+        // as_object().emplace_back, not set(): duplicate keys are legal JSON
+        // and must round-trip too.
+        obj.as_object().emplace_back(gen_string(rng), gen_json_value(rng, depth + 1));
+      }
+      return obj;
+    }
+  }
+}
+
+FuzzCase generate_case(Rng rng) {
+  // Only the fields the chosen oracle consumes (== the fields its serialized
+  // form records) are rolled; everything else stays at the struct defaults so
+  // that serialize -> parse reproduces the case exactly.
+  FuzzCase c;
+  c.oracle = static_cast<Oracle>(rng.below(kOracleCount));
+  if (c.oracle != Oracle::kJson) c.block_size = rng.range(2, 8);
+  switch (c.oracle) {
+    case Oracle::kRoundTrip:
+      c.strategy = rng.chance(1, 2) ? core::ChainStrategy::kGreedy
+                                    : core::ChainStrategy::kOptimalDp;
+      c.transforms = static_cast<TransformSet>(rng.below(3));
+      c.line = gen_line(rng);
+      break;
+    case Oracle::kCost: {
+      // The cost oracle always runs both strategies; no roll for c.strategy.
+      c.transforms = static_cast<TransformSet>(rng.below(3));
+      // Keep a healthy share of lines short enough for the exhaustive
+      // optimality cross-check (see oracles.cpp: kExhaustiveMaxBits).
+      bits::BitSeq line = gen_line(rng);
+      if (rng.chance(1, 2) && line.size() > 12) line = line.slice(0, 12);
+      c.line = std::move(line);
+      break;
+    }
+    case Oracle::kReplay:
+      // The hardware TT indexes kPaperSubset only.
+      c.transforms = rng.chance(1, 4) ? TransformSet::kInvertible : TransformSet::kPaper;
+      c.words = gen_words(rng);
+      break;
+    case Oracle::kJson:
+      // Compact dump: the case file format is line-oriented, so the input
+      // document must be a single line (the oracle exercises pretty-printed
+      // output internally).
+      c.json_text = gen_json_value(rng).dump();
+      break;
+  }
+  return c;
+}
+
+}  // namespace asimt::check

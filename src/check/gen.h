@@ -1,0 +1,38 @@
+// Seed-deterministic input generators for the fuzzing harness.
+//
+// Everything here is a pure function of the Rng stream: the same seed always
+// produces the same case, on every platform and at every --jobs count, which
+// is what makes a bare iteration number a replayable bug report. Generators
+// skew toward the shapes that stress the encoder contract — short lines,
+// lengths straddling multiples of (k-1), low-entropy instruction-like word
+// streams — rather than uniform noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/bitseq.h"
+#include "check/fuzz_case.h"
+#include "check/rng.h"
+#include "telemetry/json.h"
+
+namespace asimt::check {
+
+// A random vertical bit line: mixes uniform bits, run-structured bits, and
+// sparse-flip (mostly-constant) lines, length in [0, 96].
+bits::BitSeq gen_line(Rng& rng);
+
+// A random instruction-word stream for one basic block: uniform words,
+// low-entropy streams (base word with a few flipped bits per step, the shape
+// real fetch streams have), and constant runs. Length in [0, 40].
+std::vector<std::uint32_t> gen_words(Rng& rng);
+
+// A random JSON document value: nested arrays/objects (depth <= 4) over
+// ints, finite doubles, escaped strings, bools, and nulls.
+json::Value gen_json_value(Rng& rng, int depth = 0);
+
+// One full case: picks an oracle, then an input of the matching shape. The
+// fuzz driver calls this with `Rng(seed).fork(iteration)`.
+FuzzCase generate_case(Rng rng);
+
+}  // namespace asimt::check

@@ -1,0 +1,333 @@
+#include "check/oracles.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bitstream/bitseq.h"
+#include "core/fetch_decoder.h"
+#include "core/program_encoder.h"
+#include "sim/bus.h"
+#include "telemetry/json.h"
+
+namespace asimt::check {
+
+namespace {
+
+std::string describe(const FuzzCase& c) {
+  std::string out = "[oracle=";
+  out += oracle_name(c.oracle);
+  out += " k=" + std::to_string(c.block_size);
+  out += " transforms=";
+  out += transform_set_name(c.transforms);
+  if (c.oracle == Oracle::kRoundTrip) {
+    out += c.strategy == core::ChainStrategy::kGreedy ? " strategy=greedy"
+                                                      : " strategy=dp";
+  }
+  if (c.oracle == Oracle::kJson) {
+    out += " json=" + std::to_string(c.json_text.size()) + "B";
+  } else if (c.oracle == Oracle::kReplay) {
+    out += " words=" + std::to_string(c.words.size());
+  } else {
+    out += " bits=" + std::to_string(c.line.size());
+  }
+  out += "] ";
+  return out;
+}
+
+// Checks that `chain` covers `m` bits with the canonical partition.
+std::optional<std::string> check_partition(const core::EncodedChain& chain,
+                                           std::size_t m, int block_size) {
+  const auto layout = core::ChainEncoder::partition(m, block_size);
+  if (chain.blocks.size() != layout.size()) {
+    return "block count " + std::to_string(chain.blocks.size()) +
+           " != canonical partition " + std::to_string(layout.size());
+  }
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    if (chain.blocks[i].start != layout[i].start ||
+        chain.blocks[i].length != layout[i].length) {
+      return "block " + std::to_string(i) + " spans [" +
+             std::to_string(chain.blocks[i].start) + "," +
+             std::to_string(chain.blocks[i].length) + "] != canonical [" +
+             std::to_string(layout[i].start) + "," +
+             std::to_string(layout[i].length) + "]";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_roundtrip(const core::EncodedChain& chain,
+                                           const bits::BitSeq& line,
+                                           const OracleHooks& hooks,
+                                           const char* tag) {
+  if (chain.stored.size() != line.size()) {
+    return std::string(tag) + ": stored length " +
+           std::to_string(chain.stored.size()) + " != input length " +
+           std::to_string(line.size());
+  }
+  if (!line.empty() && chain.stored[0] != line[0]) {
+    return std::string(tag) + ": chain-initial bit stored encoded (" +
+           std::to_string(chain.stored[0]) + "), must be plain (" +
+           std::to_string(line[0]) + ")";
+  }
+  const bits::BitSeq via_core = core::decode_chain(chain);
+  if (via_core != line) {
+    return std::string(tag) + ": decode_chain mismatch: stored=" +
+           chain.stored.to_stream_string() + " decoded=" +
+           via_core.to_stream_string() + " original=" + line.to_stream_string();
+  }
+  const bits::BitSeq via_reference = decode_chain_reference(chain, hooks);
+  if (via_reference != line) {
+    return std::string(tag) + ": reference decoder mismatch: stored=" +
+           chain.stored.to_stream_string() + " decoded=" +
+           via_reference.to_stream_string() + " original=" +
+           line.to_stream_string();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> oracle_roundtrip(const FuzzCase& c,
+                                            const OracleHooks& hooks) {
+  core::ChainOptions options;
+  options.block_size = c.block_size;
+  options.allowed = c.transform_span();
+  options.strategy = c.strategy;
+  const core::ChainEncoder encoder(options);
+  const core::EncodedChain chain = encoder.encode(c.line);
+  if (auto err = check_partition(chain, c.line.size(), c.block_size)) return err;
+  return check_roundtrip(chain, c.line, hooks, "roundtrip");
+}
+
+std::optional<std::string> oracle_cost(const FuzzCase& c,
+                                       const OracleHooks& hooks) {
+  core::ChainOptions options;
+  options.block_size = c.block_size;
+  options.allowed = c.transform_span();
+  options.strategy = core::ChainStrategy::kGreedy;
+  const core::EncodedChain greedy = core::ChainEncoder(options).encode(c.line);
+  options.strategy = core::ChainStrategy::kOptimalDp;
+  const core::EncodedChain dp = core::ChainEncoder(options).encode(c.line);
+  if (auto err = check_roundtrip(greedy, c.line, hooks, "greedy")) return err;
+  if (auto err = check_roundtrip(dp, c.line, hooks, "dp")) return err;
+  const int greedy_cost = greedy.stored.transitions();
+  const int dp_cost = dp.stored.transitions();
+  if (dp_cost > greedy_cost) {
+    return "DP cost " + std::to_string(dp_cost) + " exceeds greedy cost " +
+           std::to_string(greedy_cost) + " on " + c.line.to_stream_string();
+  }
+  if (c.line.size() <= kExhaustiveMaxBits) {
+    const std::optional<int> best =
+        exhaustive_min_transitions(c.line, c.block_size, c.transform_span());
+    if (!best) {
+      return "exhaustive search found no feasible encoding, DP found cost " +
+             std::to_string(dp_cost);
+    }
+    if (*best != dp_cost) {
+      return "DP cost " + std::to_string(dp_cost) +
+             " != exhaustive optimum " + std::to_string(*best) + " on " +
+             c.line.to_stream_string();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> oracle_replay(const FuzzCase& c) {
+  constexpr std::uint32_t kStartPc = 0x1000;
+  core::ChainOptions options;
+  options.block_size = c.block_size;
+  options.allowed = c.transform_span();
+  options.strategy = c.strategy;
+  const core::BlockEncoding enc =
+      core::encode_basic_block(c.words, kStartPc, options);
+
+  if (enc.encoded_words.size() != c.words.size()) {
+    return "encoded word count " + std::to_string(enc.encoded_words.size()) +
+           " != input count " + std::to_string(c.words.size());
+  }
+  const long long original = bits::total_bus_transitions(c.words);
+  if (enc.original_transitions != original) {
+    return "reported original_transitions " +
+           std::to_string(enc.original_transitions) + " != recount " +
+           std::to_string(original);
+  }
+  const long long encoded = bits::total_bus_transitions(enc.encoded_words);
+  if (enc.encoded_transitions != encoded) {
+    return "reported encoded_transitions " +
+           std::to_string(enc.encoded_transitions) + " != recount " +
+           std::to_string(encoded);
+  }
+
+  // Software block-structured decode.
+  const std::vector<std::uint32_t> block_decoded = core::decode_basic_block(
+      enc.encoded_words, enc.tt_entries, c.block_size);
+  if (block_decoded != enc.original_words) {
+    return "decode_basic_block does not restore the original words";
+  }
+
+  if (c.words.empty()) return std::nullopt;
+
+  // Cycle-level hardware model: feed the encoded image's fetch stream and
+  // count what the bus monitor sees while the decoder restores words.
+  core::TtConfig tt;
+  tt.block_size = c.block_size;
+  tt.entries = enc.tt_entries;
+  core::FetchDecoder decoder(tt, {{kStartPc, 0}});
+  sim::BusMonitor monitor;
+  for (std::size_t i = 0; i < c.words.size(); ++i) {
+    const std::uint32_t bus = enc.encoded_words[i];
+    monitor.observe(bus);
+    const std::uint32_t restored =
+        decoder.feed(kStartPc + 4 * static_cast<std::uint32_t>(i), bus);
+    if (restored != c.words[i]) {
+      return "FetchDecoder mismatch at word " + std::to_string(i) +
+             ": restored " + std::to_string(restored) + " != original " +
+             std::to_string(c.words[i]);
+    }
+  }
+  if (decoder.stats().fetches != c.words.size() ||
+      decoder.stats().decoded != c.words.size()) {
+    return "FetchDecoder stats: fetches=" +
+           std::to_string(decoder.stats().fetches) + " decoded=" +
+           std::to_string(decoder.stats().decoded) + ", expected both " +
+           std::to_string(c.words.size());
+  }
+  if (monitor.total_transitions() != enc.encoded_transitions) {
+    return "BusMonitor saw " + std::to_string(monitor.total_transitions()) +
+           " transitions on the encoded stream, encoder reported " +
+           std::to_string(enc.encoded_transitions);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> oracle_json(const FuzzCase& c) {
+  json::Value parsed;
+  try {
+    parsed = json::parse(c.json_text);
+  } catch (const json::ParseError& e) {
+    return std::string("seed document does not parse: ") + e.what();
+  }
+  const std::string first = parsed.dump();
+  json::Value reparsed;
+  try {
+    reparsed = json::parse(first);
+  } catch (const json::ParseError& e) {
+    return "emitted document does not parse back: " + first + " (" + e.what() +
+           ")";
+  }
+  const std::string second = reparsed.dump();
+  if (first != second) {
+    return "export not byte-stable: '" + first + "' re-exports as '" + second +
+           "'";
+  }
+  if (!(reparsed == parsed)) {
+    return "parse(dump(v)) != v for '" + first + "'";
+  }
+  // Pretty-printing must not change the value either.
+  json::Value pretty_reparsed;
+  try {
+    pretty_reparsed = json::parse(parsed.dump(2));
+  } catch (const json::ParseError& e) {
+    return std::string("pretty-printed document does not parse back: ") +
+           e.what();
+  }
+  if (!(pretty_reparsed == parsed)) {
+    return "pretty round-trip changed the value of '" + first + "'";
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bits::BitSeq decode_chain_reference(const core::EncodedChain& chain,
+                                    const OracleHooks& hooks) {
+  const bits::BitSeq& stored = chain.stored;
+  bits::BitSeq original(stored.size());
+  if (stored.empty()) return original;
+  int history;
+  if (hooks.break_initial_plain && !chain.blocks.empty()) {
+    // Mutation: run the first bit through its block's τ with zero history.
+    const int broken = chain.blocks.front().tau.apply(stored[0], 0);
+    original.set(0, broken);
+    history = broken;
+  } else {
+    original.set(0, stored[0]);
+    history = stored[0];
+  }
+  for (const core::ChainBlock& block : chain.blocks) {
+    if (!hooks.break_overlap_reload) {
+      history = stored[block.start];  // paper §6: reload from the raw bit
+    }
+    for (int j = 1; j < block.length; ++j) {
+      const std::size_t pos = block.start + static_cast<std::size_t>(j);
+      const int decoded = block.tau.apply(stored[pos], history);
+      original.set(pos, decoded);
+      history = decoded;
+    }
+  }
+  return original;
+}
+
+std::optional<int> exhaustive_min_transitions(
+    const bits::BitSeq& line, int block_size,
+    std::span<const core::Transform> allowed) {
+  const std::size_t m = line.size();
+  if (m > kExhaustiveMaxBits) {
+    throw std::invalid_argument("exhaustive_min_transitions: line too long");
+  }
+  if (m <= 1) return 0;
+  const auto layout = core::ChainEncoder::partition(m, block_size);
+  std::optional<int> best;
+  // Chain-initial bit is stored plain, so enumerate the other m-1 bits.
+  const std::uint32_t rest_count = std::uint32_t{1} << (m - 1);
+  bits::BitSeq stored(m);
+  stored.set(0, line[0]);
+  for (std::uint32_t rest = 0; rest < rest_count; ++rest) {
+    for (std::size_t i = 1; i < m; ++i) {
+      stored.set(i, static_cast<int>((rest >> (i - 1)) & 1u));
+    }
+    const int cost = stored.transitions();
+    if (best && cost >= *best) continue;
+    bool feasible = true;
+    for (const core::ChainBlock& block : layout) {
+      bool block_ok = false;
+      for (const core::Transform tau : allowed) {
+        int history = stored[block.start];
+        bool match = true;
+        for (int j = 1; j < block.length && match; ++j) {
+          const std::size_t pos = block.start + static_cast<std::size_t>(j);
+          const int decoded = tau.apply(stored[pos], history);
+          match = decoded == line[pos];
+          history = decoded;
+        }
+        if (match) {
+          block_ok = true;
+          break;
+        }
+      }
+      if (!block_ok) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) best = cost;
+  }
+  return best;
+}
+
+std::optional<std::string> run_case(const FuzzCase& c,
+                                    const OracleHooks& hooks) {
+  std::optional<std::string> result;
+  try {
+    switch (c.oracle) {
+      case Oracle::kRoundTrip: result = oracle_roundtrip(c, hooks); break;
+      case Oracle::kCost: result = oracle_cost(c, hooks); break;
+      case Oracle::kReplay: result = oracle_replay(c); break;
+      case Oracle::kJson: result = oracle_json(c); break;
+    }
+  } catch (const std::exception& e) {
+    result = std::string("unexpected exception: ") + e.what();
+  }
+  if (result) result = describe(c) + *result;
+  return result;
+}
+
+}  // namespace asimt::check

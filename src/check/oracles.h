@@ -1,0 +1,55 @@
+// Differential oracles: independent implementations of the encoder/decoder
+// contract cross-checked against each other (paper §6/§7; verification style
+// after Valentini & Chiani's exhaustive-oracle validation of bus encoders).
+//
+// Each oracle takes a FuzzCase and returns nullopt on success or a
+// human-readable failure description. Oracles never bail on "weird" inputs —
+// an input the subsystem cannot handle IS a failure; that is the point.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "check/fuzz_case.h"
+
+namespace asimt::check {
+
+// Mutation-testing hooks: each flag deliberately breaks one rule of the
+// decode contract inside the oracle's reference decoder. A healthy oracle
+// suite must flag every mutation within a small iteration budget (the
+// MutationCheck tests); a mutation that survives means the oracle has a
+// blind spot, not that the code is fine.
+struct OracleHooks {
+  // Break paper §6's overlap rule: keep the running decoded history across
+  // block boundaries instead of reloading it from the raw stored overlap bit
+  // ("τ uses the encoded bit value in the initial instance").
+  bool break_overlap_reload = false;
+  // Break chain-initial plain storage: decode the first chain bit through
+  // its block's τ instead of passing it through.
+  bool break_initial_plain = false;
+
+  bool any() const { return break_overlap_reload || break_initial_plain; }
+};
+
+// Reference chain decoder with the mutation hooks applied. With default
+// hooks this mirrors core::decode_chain bit for bit (and the round-trip
+// oracle cross-checks the two).
+bits::BitSeq decode_chain_reference(const core::EncodedChain& chain,
+                                    const OracleHooks& hooks = {});
+
+// Exhaustive minimum stored-transition count over every stored sequence and
+// per-block transform assignment that decodes back to `line` — the ground
+// truth the DP is checked against. Cost is O(2^m); callers gate on
+// line.size() <= kExhaustiveMaxBits. Returns nullopt when no feasible
+// encoding exists (impossible for transform sets containing the identity).
+inline constexpr std::size_t kExhaustiveMaxBits = 12;
+std::optional<int> exhaustive_min_transitions(
+    const bits::BitSeq& line, int block_size,
+    std::span<const core::Transform> allowed);
+
+// Runs the case's oracle. Returns nullopt on success, else a failure
+// description that embeds the offending input shapes.
+std::optional<std::string> run_case(const FuzzCase& c,
+                                    const OracleHooks& hooks = {});
+
+}  // namespace asimt::check

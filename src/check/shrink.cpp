@@ -1,0 +1,186 @@
+#include "check/shrink.h"
+
+#include <bit>
+#include <utility>
+
+#include "telemetry/json.h"
+
+namespace asimt::check {
+
+namespace {
+
+// Primary size metric: shrinking always reduces this (or, at equal size, the
+// content complexity below). A word weighs more than a bit so dropping words
+// dominates dropping line bits in mixed comparisons.
+std::size_t case_weight(const FuzzCase& c) {
+  return c.line.size() + 33 * c.words.size() + c.json_text.size() +
+         static_cast<std::size_t>(c.block_size);
+}
+
+// Secondary metric: fewer set bits / smaller transform universe reads better
+// in a reproducer even when the size ties.
+std::size_t case_complexity(const FuzzCase& c) {
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < c.line.size(); ++i) ones += static_cast<std::size_t>(c.line[i]);
+  for (const std::uint32_t w : c.words) ones += static_cast<std::size_t>(std::popcount(w));
+  switch (c.transforms) {
+    case TransformSet::kPaper: break;
+    case TransformSet::kInvertible: ones += 1; break;
+    case TransformSet::kAll: ones += 2; break;
+  }
+  return ones;
+}
+
+bits::BitSeq drop_bits(const bits::BitSeq& line, std::size_t off, std::size_t len) {
+  bits::BitSeq out;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (i < off || i >= off + len) out.push_back(line[i]);
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> drop_items(const std::vector<T>& v, std::size_t off, std::size_t len) {
+  std::vector<T> out;
+  out.reserve(v.size() - len);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i < off || i >= off + len) out.push_back(v[i]);
+  }
+  return out;
+}
+
+// Structural JSON shrinks: promote a child, drop an element, simplify a leaf.
+void json_candidates(const std::string& text, std::vector<std::string>& out) {
+  json::Value v;
+  try {
+    v = json::parse(text);
+  } catch (const json::ParseError&) {
+    return;  // not parseable (can only happen for hand-written corpus input)
+  }
+  if (v.is_array()) {
+    const json::Array& a = v.as_array();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      out.push_back(a[i].dump());  // promote the child
+      json::Value smaller = json::Value::array();
+      for (std::size_t j = 0; j < a.size(); ++j) {
+        if (j != i) smaller.push_back(a[j]);
+      }
+      out.push_back(smaller.dump());
+    }
+  } else if (v.is_object()) {
+    const json::Object& o = v.as_object();
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      out.push_back(o[i].second.dump());
+      json::Value smaller = json::Value::object();
+      for (std::size_t j = 0; j < o.size(); ++j) {
+        if (j != i) smaller.as_object().push_back(o[j]);
+      }
+      out.push_back(smaller.dump());
+    }
+  } else if (v.is_string()) {
+    const std::string& s = v.as_string();
+    if (!s.empty()) {
+      out.push_back(json::Value(s.substr(0, s.size() / 2)).dump());
+      out.push_back(json::Value(s.substr(s.size() / 2)).dump());
+      out.push_back("\"\"");
+    }
+  } else if (v.is_double()) {
+    if (v.as_double() != 0.0) out.push_back("0.5");
+    out.push_back("0");
+  } else if (v.is_int()) {
+    if (v.as_int() != 0) out.push_back("0");
+  } else if (v.is_bool() || v.is_null()) {
+    if (!v.is_null()) out.push_back("null");
+  }
+}
+
+std::vector<FuzzCase> candidates(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  auto with = [&](auto&& edit) {
+    FuzzCase v = c;
+    edit(v);
+    out.push_back(std::move(v));
+  };
+
+  // Smaller block size first: a k=2 reproducer is the easiest to read.
+  for (int k = 2; k < c.block_size; ++k) {
+    with([&](FuzzCase& v) { v.block_size = k; });
+  }
+  // Canonicalize toward the hardware transform set.
+  if (c.transforms == TransformSet::kAll) {
+    with([&](FuzzCase& v) { v.transforms = TransformSet::kPaper; });
+    with([&](FuzzCase& v) { v.transforms = TransformSet::kInvertible; });
+  } else if (c.transforms == TransformSet::kInvertible &&
+             c.oracle != Oracle::kReplay) {
+    with([&](FuzzCase& v) { v.transforms = TransformSet::kPaper; });
+  }
+  // Chunk removal, largest chunks first (ddmin).
+  for (std::size_t len = c.line.size(); len >= 1; len /= 2) {
+    for (std::size_t off = 0; off + len <= c.line.size(); off += len) {
+      with([&](FuzzCase& v) { v.line = drop_bits(c.line, off, len); });
+    }
+  }
+  for (std::size_t len = c.words.size(); len >= 1; len /= 2) {
+    for (std::size_t off = 0; off + len <= c.words.size(); off += len) {
+      with([&](FuzzCase& v) { v.words = drop_items(c.words, off, len); });
+    }
+  }
+  // Content simplification at constant size.
+  for (std::size_t i = 0; i < c.line.size(); ++i) {
+    if (c.line[i]) with([&](FuzzCase& v) { v.line.set(i, 0); });
+  }
+  for (std::size_t i = 0; i < c.words.size(); ++i) {
+    if (c.words[i] != 0) with([&](FuzzCase& v) { v.words[i] = 0; });
+    if (i > 0 && c.words[i] != c.words[i - 1]) {
+      with([&](FuzzCase& v) { v.words[i] = v.words[i - 1]; });
+    }
+  }
+  if (!c.json_text.empty()) {
+    std::vector<std::string> texts;
+    json_candidates(c.json_text, texts);
+    for (std::string& t : texts) {
+      with([&](FuzzCase& v) { v.json_text = std::move(t); });
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_case(const FuzzCase& failing, const OracleHooks& hooks) {
+  ShrinkResult result;
+  result.reduced = failing;
+  std::optional<std::string> failure = run_case(failing, hooks);
+  if (!failure) return result;  // not failing: nothing to minimize
+  result.failure = *failure;
+
+  // Greedy descent with a hard budget so a pathological oracle can never
+  // stall the fuzz run; every accepted edit strictly reduces
+  // (weight, complexity), so termination does not depend on the budget.
+  int oracle_budget = 100'000;
+  bool improved = true;
+  while (improved && oracle_budget > 0) {
+    improved = false;
+    const std::size_t weight = case_weight(result.reduced);
+    const std::size_t complexity = case_complexity(result.reduced);
+    for (FuzzCase& candidate : candidates(result.reduced)) {
+      const std::size_t cand_weight = case_weight(candidate);
+      const std::size_t cand_complexity = case_complexity(candidate);
+      if (cand_weight > weight ||
+          (cand_weight == weight && cand_complexity >= complexity)) {
+        continue;
+      }
+      if (--oracle_budget <= 0) break;
+      if (std::optional<std::string> err = run_case(candidate, hooks)) {
+        result.reduced = std::move(candidate);
+        result.failure = std::move(*err);
+        ++result.accepted_edits;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace asimt::check

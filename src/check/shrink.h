@@ -1,0 +1,29 @@
+// Failing-input minimization (delta debugging, ddmin-style).
+//
+// Given a case its oracle rejects, the shrinker greedily applies
+// size-reducing edits (drop chunks of the input, lower k, simplify values,
+// canonicalize the transform set) and keeps any edit under which the oracle
+// STILL fails, until no edit helps. The result is the small reproducer that
+// gets dumped as a ctest-replayable case file — a one-screen bug report
+// instead of a 96-bit haystack.
+#pragma once
+
+#include <string>
+
+#include "check/fuzz_case.h"
+#include "check/oracles.h"
+
+namespace asimt::check {
+
+struct ShrinkResult {
+  FuzzCase reduced;        // smallest failing case found
+  std::string failure;     // the reduced case's failure message
+  int accepted_edits = 0;  // size-reducing edits that kept the case failing
+};
+
+// Minimizes `failing` (which must fail under `hooks`; if it does not, the
+// input is returned unchanged with an empty failure). Deterministic: edit
+// order is fixed, so the same input always shrinks to the same reproducer.
+ShrinkResult shrink_case(const FuzzCase& failing, const OracleHooks& hooks = {});
+
+}  // namespace asimt::check

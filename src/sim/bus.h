@@ -11,6 +11,7 @@
 #include <bit>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -97,7 +98,18 @@ class TextImage {
     return pc >= base_ && pc < base_ + 4 * words_.size();
   }
 
-  std::uint32_t word_at(std::uint32_t pc) const { return words_[(pc - base_) / 4]; }
+  // Bus value fetched for `pc`. The pc must lie inside the image (check with
+  // contains(); throws std::out_of_range otherwise — a pc below base_ would
+  // silently wrap the unsigned offset into a huge index). An unaligned pc
+  // reads the word containing it: the byte offset floors to a word boundary.
+  std::uint32_t word_at(std::uint32_t pc) const {
+    if (!contains(pc)) {
+      throw std::out_of_range("TextImage: pc " + std::to_string(pc) +
+                              " outside [" + std::to_string(base_) + ", " +
+                              std::to_string(base_ + 4 * words_.size()) + ")");
+    }
+    return words_[(pc - base_) / 4];
+  }
 
   std::uint32_t base() const { return base_; }
   std::size_t size() const { return words_.size(); }

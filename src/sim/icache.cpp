@@ -43,18 +43,35 @@ bool InstructionCache::access(std::uint32_t pc, const TextImage& image) {
     refill_bus_.observe(image.contains(addr) ? image.word_at(addr) : 0);
     ++stats_.refill_words;
   }
-  Way* victim = &row[0];
-  for (std::uint32_t w = 1; w < config_.ways; ++w) {
+  // Victim selection: the lowest-index invalid way wins outright; only a
+  // fully valid set falls back to true LRU. (The old loop never considered
+  // way 0's validity explicitly and leaned on its last_used == 0 sentinel,
+  // which also made two invalid ways fill in 1-before-0 order.)
+  Way* victim = nullptr;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
     if (!row[w].valid) {
       victim = &row[w];
       break;
     }
-    if (row[w].last_used < victim->last_used) victim = &row[w];
+  }
+  if (!victim) {
+    victim = &row[0];
+    for (std::uint32_t w = 1; w < config_.ways; ++w) {
+      if (row[w].last_used < victim->last_used) victim = &row[w];
+    }
   }
   victim->valid = true;
   victim->tag = tag;
   victim->last_used = tick_;
   return false;
+}
+
+const InstructionCache::Way& InstructionCache::way_at(std::uint32_t set,
+                                                      std::uint32_t way) const {
+  if (set >= config_.sets || way >= config_.ways) {
+    throw std::out_of_range("icache: way introspection out of range");
+  }
+  return ways_[static_cast<std::size_t>(set) * config_.ways + way];
 }
 
 void InstructionCache::publish_metrics(telemetry::MetricsRegistry& registry) const {

@@ -55,12 +55,23 @@ class InstructionCache {
 
   const Config& config() const { return config_; }
 
+  // Introspection for tests and diagnostics: state of one way of one set.
+  // Throws std::out_of_range on a bad coordinate.
+  bool way_valid(std::uint32_t set, std::uint32_t way) const {
+    return way_at(set, way).valid;
+  }
+  std::uint32_t way_tag(std::uint32_t set, std::uint32_t way) const {
+    return way_at(set, way).tag;
+  }
+
  private:
   struct Way {
     bool valid = false;
     std::uint32_t tag = 0;
     std::uint64_t last_used = 0;
   };
+
+  const Way& way_at(std::uint32_t set, std::uint32_t way) const;
 
   Config config_;
   std::vector<Way> ways_;  // sets x ways, row-major

@@ -98,20 +98,13 @@ void dump_to(const Value& v, std::string& out, int indent, int depth) {
         out += "null";  // JSON has no inf/nan
         break;
       }
+      // std::to_chars emits the shortest form that round-trips and, unlike
+      // the printf family, never consults the global locale — a process
+      // running under de_DE would otherwise write "3,14" and corrupt the
+      // document.
       char buf[32];
-      std::snprintf(buf, sizeof buf, "%.17g", d);
-      // Trim to the shortest representation that round-trips.
-      for (int prec = 1; prec < 17; ++prec) {
-        char trial[32];
-        std::snprintf(trial, sizeof trial, "%.*g", prec, d);
-        double back = 0.0;
-        std::sscanf(trial, "%lf", &back);
-        if (back == d) {
-          std::snprintf(buf, sizeof buf, "%.*g", prec, d);
-          break;
-        }
-      }
-      out += buf;
+      const auto res = std::to_chars(buf, buf + sizeof buf, d);
+      out.append(buf, res.ptr);
       break;
     }
     case Type::kString:
@@ -342,7 +335,12 @@ class Parser {
     if (integral) {
       long long i = 0;
       const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
-      if (ec == std::errc() && ptr == tok.data() + tok.size()) return Value(i);
+      if (ec == std::errc() && ptr == tok.data() + tok.size()) {
+        // "-0" must stay the double -0.0: folding it to int 0 would make the
+        // dumper emit "0" on the next trip and break byte-stability.
+        if (i == 0 && tok.front() == '-') return Value(-0.0);
+        return Value(i);
+      }
     }
     double d = 0.0;
     const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);

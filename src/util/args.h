@@ -1,0 +1,35 @@
+// Strict numeric CLI-argument parsing, shared by the asimt front end and the
+// standalone bench binaries.
+//
+// std::atoi / strtoull silently turn junk into 0 (and accept trailing
+// garbage), which is how "--tt 1x6" used to mean "no TT budget at all".
+// These helpers parse the WHOLE string or return nullopt, so every caller
+// can emit a real diagnostic instead. Header-only; include as "util/args.h".
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string_view>
+
+namespace asimt::util {
+
+// Parses all of `text` as a base-10 number of type T (no sign prefix for
+// unsigned types, optional '-' for signed). Empty input, trailing
+// characters, or overflow yield nullopt.
+template <typename T>
+std::optional<T> parse_number(std::string_view text) {
+  T value{};
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (text.empty() || ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+// parse_number<int> constrained to [min, max].
+inline std::optional<int> parse_int_in(std::string_view text, int min, int max) {
+  const std::optional<int> v = parse_number<int>(text);
+  if (!v || *v < min || *v > max) return std::nullopt;
+  return v;
+}
+
+}  // namespace asimt::util

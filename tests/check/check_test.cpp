@@ -1,0 +1,317 @@
+// Tests for the differential fuzzing subsystem itself: the deterministic
+// RNG, the case generators, the serialize/parse text form, the oracles, the
+// shrinker, and the fuzz driver's cross-jobs determinism and mutation
+// sensitivity. The corpus replay lives in corpus_test.cpp.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "check/fuzz_case.h"
+#include "check/fuzzer.h"
+#include "check/gen.h"
+#include "check/oracles.h"
+#include "check/rng.h"
+#include "check/shrink.h"
+#include "core/transform.h"
+#include "parallel/pool.h"
+
+namespace asimt::check {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, KnownSplitMix64Vector) {
+  // Reference values for seed 1234567 from the published SplitMix64
+  // algorithm; pins the stream against accidental reformulation.
+  Rng rng(1234567);
+  EXPECT_EQ(rng.next(), 6457827717110365317ull);
+  EXPECT_EQ(rng.next(), 3203168211198807973ull);
+}
+
+TEST(Rng, ForkStreamsAreIndependentAndStable) {
+  const Rng root(7);
+  Rng a1 = root.fork(1), a2 = root.fork(1), b = root.fork(2);
+  const std::uint64_t v1 = a1.next();
+  EXPECT_EQ(v1, a2.next());  // same label, same stream
+  EXPECT_NE(v1, b.next());   // different label, different stream
+  Rng untouched(7);
+  root.fork(3);  // forking never advances the parent
+  EXPECT_EQ(Rng(7).next(), untouched.next());
+}
+
+TEST(Rng, RangeAndChanceStayInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.range(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    EXPECT_LT(rng.below(10), 10u);
+  }
+  Rng always(1), never(1);
+  EXPECT_TRUE(always.chance(10, 10));
+  EXPECT_FALSE(never.chance(0, 10));
+}
+
+TEST(Generator, CaseIsPureFunctionOfSeedAndIteration) {
+  const Rng root(1);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(generate_case(root.fork(i)), generate_case(root.fork(i)));
+  }
+}
+
+TEST(Generator, CoversEveryOracleAndBothStrategies) {
+  const Rng root(1);
+  std::set<Oracle> oracles;
+  std::set<core::ChainStrategy> strategies;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const FuzzCase c = generate_case(root.fork(i));
+    oracles.insert(c.oracle);
+    if (c.oracle == Oracle::kRoundTrip) strategies.insert(c.strategy);
+    EXPECT_GE(c.block_size, 2);
+    EXPECT_LE(c.block_size, 8);
+  }
+  EXPECT_EQ(oracles.size(), static_cast<std::size_t>(kOracleCount));
+  EXPECT_EQ(strategies.size(), 2u);
+}
+
+TEST(Generator, CostCasesKeepFeedingTheExhaustiveOracle) {
+  // Long cost lines are fine (the oracle skips the 2^m cross-check above
+  // kExhaustiveMaxBits), but a healthy share must stay inside the window or
+  // the DP is never checked against ground truth.
+  const Rng root(3);
+  int cost_cases = 0, exhaustive_eligible = 0;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const FuzzCase c = generate_case(root.fork(i));
+    if (c.oracle == Oracle::kCost) {
+      ++cost_cases;
+      if (c.line.size() <= kExhaustiveMaxBits) ++exhaustive_eligible;
+    }
+    if (c.oracle == Oracle::kReplay) {
+      EXPECT_NE(c.transforms, TransformSet::kAll);  // must fit 3-bit TT index
+    }
+  }
+  EXPECT_GT(cost_cases, 30);
+  EXPECT_GT(exhaustive_eligible * 2, cost_cases);  // at least half
+}
+
+TEST(CaseFormat, SerializeParseRoundTripsGeneratedCases) {
+  const Rng root(11);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const FuzzCase c = generate_case(root.fork(i));
+    EXPECT_EQ(parse_case(serialize_case(c)), c) << serialize_case(c);
+  }
+}
+
+TEST(CaseFormat, AcceptsCommentsAndBlankLines) {
+  const FuzzCase c = parse_case(
+      "# a shrunk reproducer\n\nasimt-fuzz-case v1\noracle roundtrip\n"
+      "strategy dp\nk 3\ntransforms invertible\nline 0101\n");
+  EXPECT_EQ(c.oracle, Oracle::kRoundTrip);
+  EXPECT_EQ(c.strategy, core::ChainStrategy::kOptimalDp);
+  EXPECT_EQ(c.block_size, 3);
+  EXPECT_EQ(c.transforms, TransformSet::kInvertible);
+  EXPECT_EQ(c.line.size(), 4u);
+}
+
+TEST(CaseFormat, RejectsMalformedInput) {
+  EXPECT_THROW(parse_case(""), std::runtime_error);
+  EXPECT_THROW(parse_case("oracle roundtrip\n"), std::runtime_error);  // no magic
+  EXPECT_THROW(parse_case("asimt-fuzz-case v1\n"), std::runtime_error);  // no oracle
+  EXPECT_THROW(parse_case("asimt-fuzz-case v1\noracle bogus\nline 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_case("asimt-fuzz-case v1\noracle roundtrip\nk 1\nline 1\n"),
+               std::runtime_error);  // k below 2
+  EXPECT_THROW(
+      parse_case("asimt-fuzz-case v1\noracle replay\nk 4\ntransforms all\n"
+                 "words 1 2\n"),
+      std::runtime_error);  // kAll has no TT representation
+  EXPECT_THROW(
+      parse_case("asimt-fuzz-case v1\noracle replay\nk 4\ntransforms paper\n"
+                 "words xyz\n"),
+      std::runtime_error);  // bad hex word
+}
+
+TEST(Oracles, GeneratedCasesAreGreen) {
+  const Rng root(21);
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const FuzzCase c = generate_case(root.fork(i));
+    const auto failure = run_case(c);
+    EXPECT_FALSE(failure.has_value()) << *failure;
+  }
+}
+
+TEST(Oracles, ExhaustiveMinimumSanity) {
+  // A constant line can always be stored as-is: zero stored transitions.
+  bits::BitSeq constant;
+  for (int i = 0; i < 8; ++i) constant.push_back(false);
+  EXPECT_EQ(exhaustive_min_transitions(constant, 4, core::kPaperSubset), 0);
+
+  // An alternating line decodes from a constant stored line via xnor WITHIN
+  // a block, but at a block boundary the history reloads from the raw stored
+  // overlap bit (paper §6), which breaks the phase — and storing constant
+  // ones instead would violate the plain chain-initial bit. So the true
+  // optimum is exactly 1 stored transition, not 0: a value the DP must hit
+  // and a naive "invert everything" argument would miss.
+  bits::BitSeq alternating;
+  for (int i = 0; i < 8; ++i) alternating.push_back(i % 2 == 1);
+  const auto best =
+      exhaustive_min_transitions(alternating, 4, core::kInvertibleSubset);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 1);
+}
+
+TEST(Oracles, ReferenceDecoderMatchesCoreOnGeneratedChains) {
+  const Rng root(33);
+  int checked = 0;
+  for (std::uint64_t i = 0; i < 200 && checked < 60; ++i) {
+    FuzzCase c = generate_case(root.fork(i));
+    if (c.oracle != Oracle::kRoundTrip || c.line.empty()) continue;
+    core::ChainOptions opts;
+    opts.block_size = c.block_size;
+    opts.allowed = c.transform_span();
+    opts.strategy = c.strategy;
+    const core::EncodedChain chain = core::ChainEncoder(opts).encode(c.line);
+    EXPECT_EQ(decode_chain_reference(chain), core::decode_chain(chain));
+    ++checked;
+  }
+  EXPECT_GE(checked, 30);
+}
+
+FuzzCase failing_roundtrip_case() {
+  // A long noisy line whose reference decode breaks under the overlap-reload
+  // mutation; shrinking should cut it down hard.
+  FuzzCase c;
+  c.oracle = Oracle::kRoundTrip;
+  c.strategy = core::ChainStrategy::kOptimalDp;
+  c.block_size = 6;
+  c.transforms = TransformSet::kAll;
+  Rng rng(5);
+  for (int i = 0; i < 64; ++i) c.line.push_back(rng.chance(1, 2));
+  return c;
+}
+
+TEST(Shrinker, PassingCaseComesBackUnchanged) {
+  const Rng root(1);
+  const FuzzCase c = generate_case(root.fork(0));
+  const ShrinkResult r = shrink_case(c);
+  EXPECT_EQ(r.reduced, c);
+  EXPECT_TRUE(r.failure.empty());
+  EXPECT_EQ(r.accepted_edits, 0);
+}
+
+TEST(Shrinker, MinimizesAFailingCaseAndKeepsItFailing) {
+  OracleHooks hooks;
+  hooks.break_overlap_reload = true;
+  const FuzzCase big = failing_roundtrip_case();
+  ASSERT_TRUE(run_case(big, hooks).has_value());
+
+  const ShrinkResult r = shrink_case(big, hooks);
+  EXPECT_GT(r.accepted_edits, 0);
+  EXPECT_LT(r.reduced.line.size(), big.line.size());
+  EXPECT_FALSE(r.failure.empty());
+  const auto still_fails = run_case(r.reduced, hooks);
+  ASSERT_TRUE(still_fails.has_value());
+  EXPECT_EQ(*still_fails, r.failure);
+  // The reduced case must survive a serialize/parse trip unchanged — that is
+  // what makes it a corpus file.
+  EXPECT_EQ(parse_case(serialize_case(r.reduced)), r.reduced);
+}
+
+TEST(Shrinker, IsDeterministic) {
+  OracleHooks hooks;
+  hooks.break_overlap_reload = true;
+  const FuzzCase big = failing_roundtrip_case();
+  const ShrinkResult a = shrink_case(big, hooks);
+  const ShrinkResult b = shrink_case(big, hooks);
+  EXPECT_EQ(a.reduced, b.reduced);
+  EXPECT_EQ(a.failure, b.failure);
+}
+
+TEST(Fuzzer, SmallCampaignIsGreen) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.iters = 300;
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_TRUE(report.ok()) << format_report(report, options);
+  EXPECT_EQ(report.iterations, 300u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t runs : report.runs_per_oracle) total += runs;
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(Fuzzer, ReportIsIdenticalAcrossJobCounts) {
+  FuzzOptions options;
+  options.seed = 99;
+  options.iters = 400;
+  const unsigned saved = parallel::default_jobs();
+  parallel::set_default_jobs(1);
+  const FuzzReport serial = run_fuzz(options);
+  parallel::set_default_jobs(4);
+  const FuzzReport wide = run_fuzz(options);
+  parallel::set_default_jobs(saved);
+  EXPECT_EQ(format_report(serial, options), format_report(wide, options));
+  EXPECT_EQ(serial.failure_count, wide.failure_count);
+  EXPECT_EQ(serial.runs_per_oracle, wide.runs_per_oracle);
+}
+
+// The acceptance gate for the oracle suite: each deliberate contract break
+// must be caught within 1000 iterations, and the resulting reproducer must
+// shrink to something small enough to read.
+void expect_mutation_caught(const OracleHooks& hooks) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.iters = 1000;
+  options.max_failures = 1;
+  const FuzzReport report = run_fuzz(options, hooks);
+  ASSERT_GT(report.failure_count, 0u) << "mutation survived 1000 iterations";
+  ASSERT_FALSE(report.failures.empty());
+  const FuzzFailure& f = report.failures.front();
+  EXPECT_FALSE(f.message.empty());
+  EXPECT_LE(f.shrunk.reduced.line.size(), 16u)
+      << "shrinker left a big reproducer: "
+      << serialize_case(f.shrunk.reduced);
+}
+
+TEST(MutationCheck, BrokenOverlapReloadIsCaught) {
+  OracleHooks hooks;
+  hooks.break_overlap_reload = true;
+  expect_mutation_caught(hooks);
+}
+
+TEST(MutationCheck, BrokenInitialPlainRuleIsCaught) {
+  OracleHooks hooks;
+  hooks.break_initial_plain = true;
+  expect_mutation_caught(hooks);
+}
+
+TEST(Fuzzer, WritesReplayableReproducers) {
+  OracleHooks hooks;
+  hooks.break_overlap_reload = true;
+  FuzzOptions options;
+  options.seed = 1;
+  options.iters = 200;
+  options.max_failures = 2;
+  options.reproducer_dir = testing::TempDir() + "asimt-fuzz-repro";
+  const FuzzReport report = run_fuzz(options, hooks);
+  ASSERT_GT(report.failure_count, 0u);
+  for (const FuzzFailure& f : report.failures) {
+    ASSERT_FALSE(f.file.empty());
+    std::ifstream in(f.file);
+    ASSERT_TRUE(in.good()) << f.file;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const FuzzCase replayed = parse_case(buffer.str());
+    EXPECT_EQ(replayed, f.shrunk.reduced);
+    // Replaying the file under the same mutation reproduces the failure.
+    EXPECT_EQ(run_case(replayed, hooks), std::optional(f.shrunk.failure));
+  }
+}
+
+}  // namespace
+}  // namespace asimt::check

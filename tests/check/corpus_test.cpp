@@ -1,0 +1,76 @@
+// Regression-corpus replay: every .case file under tests/check/corpus/ is a
+// once-failing (or boundary-shaped) input, shrunk and checked in. Each must
+// parse and pass its oracle forever; a red run here means a fixed bug came
+// back. New reproducers land automatically via
+//   asimt fuzz --seed S --iters N --out tests/check/corpus
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz_case.h"
+#include "check/oracles.h"
+
+#ifndef ASIMT_CHECK_CORPUS_DIR
+#error "build must define ASIMT_CHECK_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace asimt::check {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(ASIMT_CHECK_CORPUS_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".case") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Corpus, IsNotEmpty) {
+  // The corpus must ship with the boundary-shape seeds; an empty directory
+  // means the replay lane is silently testing nothing.
+  EXPECT_GE(corpus_files().size(), 8u) << "corpus dir: " << ASIMT_CHECK_CORPUS_DIR;
+}
+
+TEST(Corpus, EveryCaseParsesSerializesAndPasses) {
+  for (const std::filesystem::path& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    FuzzCase c;
+    ASSERT_NO_THROW(c = parse_case(slurp(path)));
+    // The stored text must stay canonical modulo comments: re-serializing
+    // the parsed case and parsing again is a fixed point.
+    EXPECT_EQ(parse_case(serialize_case(c)), c);
+    const auto failure = run_case(c);
+    EXPECT_FALSE(failure.has_value()) << *failure;
+  }
+}
+
+TEST(Corpus, CoversEveryOracle) {
+  std::array<bool, kOracleCount> seen{};
+  for (const std::filesystem::path& path : corpus_files()) {
+    seen[static_cast<int>(parse_case(slurp(path)).oracle)] = true;
+  }
+  for (int i = 0; i < kOracleCount; ++i) {
+    EXPECT_TRUE(seen[i]) << "no corpus case exercises oracle "
+                         << oracle_name(static_cast<Oracle>(i));
+  }
+}
+
+}  // namespace
+}  // namespace asimt::check

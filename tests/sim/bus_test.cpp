@@ -74,6 +74,30 @@ TEST(TextImage, LookupAndBounds) {
   EXPECT_EQ(image.size(), 3u);
 }
 
+TEST(TextImage, WordAtRejectsOutOfRangePc) {
+  // Regression: a pc below base_ used to wrap (pc - base_) around to a huge
+  // unsigned index and read past the vector. Both sides must throw.
+  TextImage image(0x1000, {10, 20, 30});
+  EXPECT_THROW(image.word_at(0xFFC), std::out_of_range);   // just below base
+  EXPECT_THROW(image.word_at(0x0), std::out_of_range);     // far below (wraps)
+  EXPECT_THROW(image.word_at(0x100C), std::out_of_range);  // one past the end
+  EXPECT_EQ(image.word_at(0x1008), 30u);  // last valid word still fine
+}
+
+TEST(TextImage, WordAtFloorsUnalignedPcToContainingWord) {
+  TextImage image(0x1000, {10, 20, 30});
+  EXPECT_EQ(image.word_at(0x1001), 10u);
+  EXPECT_EQ(image.word_at(0x1003), 10u);
+  EXPECT_EQ(image.word_at(0x1007), 20u);
+  EXPECT_EQ(image.word_at(0x100B), 30u);  // last byte of the image
+}
+
+TEST(TextImage, EmptyImageContainsNothing) {
+  TextImage image;
+  EXPECT_FALSE(image.contains(0));
+  EXPECT_THROW(image.word_at(0), std::out_of_range);
+}
+
 TEST(TextImage, MutableWords) {
   TextImage image(0, {1, 2});
   image.words_mut()[1] = 99;

@@ -53,6 +53,47 @@ TEST(ICache, LruEvictionInSet) {
   EXPECT_FALSE(cache.access(0x10, image));  // B was evicted
 }
 
+TEST(ICache, ColdSetFillsWaysInIndexOrder) {
+  // Regression: victim selection used to skip way 0's valid bit and lean on
+  // its last_used == 0 sentinel, so a cold 2-way set filled way 1 before
+  // way 0. The first miss must install into the lowest-index invalid way.
+  InstructionCache cache({16, 1, 2});
+  const TextImage image = make_image(64, 0x0);
+  cache.access(0x00, image);  // A: must land in way 0
+  EXPECT_TRUE(cache.way_valid(0, 0));
+  EXPECT_FALSE(cache.way_valid(0, 1));
+  const std::uint32_t tag_a = cache.way_tag(0, 0);
+  cache.access(0x10, image);  // B: way 1 is the remaining invalid way
+  EXPECT_TRUE(cache.way_valid(0, 1));
+  EXPECT_EQ(cache.way_tag(0, 0), tag_a);  // A was not displaced
+  EXPECT_NE(cache.way_tag(0, 1), tag_a);
+}
+
+TEST(ICache, FillOrderHoldsForWiderAssociativity) {
+  InstructionCache cache({16, 1, 4});
+  const TextImage image = make_image(256, 0x0);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    // Before the i-th miss, exactly ways [0, i) are valid.
+    for (std::uint32_t w = 0; w < 4; ++w) {
+      EXPECT_EQ(cache.way_valid(0, w), w < i) << "miss " << i << " way " << w;
+    }
+    cache.access(i * 0x10, image);
+  }
+  // All four lines resident: no premature eviction while invalid ways remain.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(cache.access(i * 0x10, image));
+  }
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(ICache, WayIntrospectionBoundsChecked) {
+  InstructionCache cache({16, 4, 2});
+  EXPECT_THROW(cache.way_valid(4, 0), std::out_of_range);
+  EXPECT_THROW(cache.way_valid(0, 2), std::out_of_range);
+  EXPECT_THROW(cache.way_tag(4, 0), std::out_of_range);
+  EXPECT_NO_THROW(cache.way_valid(3, 1));
+}
+
 TEST(ICache, RefillBusCountsLineBursts) {
   InstructionCache cache({16, 4, 1});
   // A line whose words alternate all-zeros / all-ones: 32 transitions per

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cmath>
+#include <limits>
+
 namespace asimt::json {
 namespace {
 
@@ -107,6 +111,68 @@ TEST(JsonParseLines, SplitsAndSkipsBlanks) {
 TEST(JsonEscape, ControlCharacters) {
   EXPECT_EQ(escape(std::string_view("\x01", 1)), "\\u0001");
   EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(JsonDump, DoublesShortestRoundTrip) {
+  EXPECT_EQ(Value(0.1).dump(), "0.1");
+  EXPECT_EQ(Value(3.14).dump(), "3.14");
+  EXPECT_EQ(Value(-0.5).dump(), "-0.5");
+  EXPECT_EQ(Value(1e300).dump(), "1e+300");
+  // Non-finite doubles have no JSON spelling; they degrade to null.
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  // Whatever the spelling, parsing it back must restore the exact bits.
+  for (const double d : {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324, -123.456}) {
+    EXPECT_EQ(parse(Value(d).dump()).as_double(), d);
+  }
+}
+
+TEST(JsonParse, NegativeZeroStaysADouble) {
+  // Regression (found seeding the fuzz corpus): "-0" used to fold to int 0,
+  // so dump(parse(dump(-0.0))) flipped "-0" -> "0" and broke byte-stability.
+  EXPECT_TRUE(parse("-0").is_double());
+  EXPECT_TRUE(std::signbit(parse("-0").as_double()));
+  EXPECT_EQ(Value(-0.0).dump(), "-0");
+  EXPECT_EQ(parse(Value(-0.0).dump()).dump(), "-0");
+  EXPECT_TRUE(parse("0").is_int());  // plain zero is untouched
+}
+
+TEST(JsonDump, DoubleEmissionIgnoresGlobalLocale) {
+  // Regression: the dumper used snprintf("%g"), which writes the decimal
+  // separator of the active C locale — "3,14" under de_DE — producing JSON
+  // no parser (including ours) accepts. std::to_chars never reads the
+  // locale, so output must be byte-identical under a comma-decimal locale.
+  Value doc = Value::object();
+  doc.set("pi", 3.14159);
+  doc.set("tiny", 2.5e-7);
+  doc.set("list", Value::array());
+  doc.at("list");  // keep insertion order deterministic
+  const std::string reference = doc.dump();
+  ASSERT_NE(reference.find("3.14159"), std::string::npos);
+
+  const char* old = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = old ? old : "C";
+  const char* comma_locales[] = {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8",
+                                 "fr_FR", "C.UTF-8@comma"};
+  const char* active = nullptr;
+  for (const char* name : comma_locales) {
+    if (std::setlocale(LC_ALL, name)) {
+      // Only trust locales that actually use a comma separator.
+      if (std::localeconv()->decimal_point[0] == ',') {
+        active = name;
+        break;
+      }
+    }
+  }
+  if (!active) {
+    std::setlocale(LC_ALL, saved.c_str());
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  const std::string under_comma = doc.dump();
+  const Value reparsed = parse(under_comma);
+  std::setlocale(LC_ALL, saved.c_str());
+  EXPECT_EQ(under_comma, reference) << "dump changed under " << active;
+  EXPECT_EQ(reparsed, doc);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 //   asimt encode  prog.s -o fw.img [-k K] [--tt N] [--profile STEPS]
 //                                          build a power-encoded firmware image
 //   asimt info    fw.img                   inspect a firmware image
+//   asimt fuzz    [--seed S] [--iters N]   differential fuzz the encoder stack
 //
 // Observability (any command): `--metrics out.json` writes a metrics-registry
 // snapshot on exit, `--trace out.jsonl` streams phase spans as JSON lines,
@@ -22,11 +23,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cfg/cfg.h"
+#include "check/fuzzer.h"
 #include "core/fetch_decoder.h"
 #include "core/image.h"
 #include "core/selection.h"
@@ -39,18 +43,23 @@
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "util/args.h"
 
 namespace {
 
 using namespace asimt;
 
 const char kUsage[] =
-    "usage: asimt <disasm|run|report|encode|info> <file> [options]\n"
+    "usage: asimt <disasm|run|report|encode|info|fuzz> [<file>] [options]\n"
     "  disasm prog.s\n"
     "  run    prog.s [--max-steps N] [--json]\n"
     "  report prog.s [-k list] [--json]\n"
     "  encode prog.s -o out.img [-k K] [--tt N] [--profile STEPS | --static]\n"
     "  info   fw.img\n"
+    "  fuzz   [--seed S] [--iters N] [--out DIR] [--mutate RULE]\n"
+    "         differential fuzzing of the encoder/decoder stack; shrunk\n"
+    "         reproducers land in DIR (default fuzz-reproducers); --mutate\n"
+    "         overlap|initial-plain self-checks the oracles (must fail)\n"
     "observability options (any command):\n"
     "  --metrics out.json   write a metrics snapshot on exit\n"
     "  --trace out.jsonl    stream phase spans as JSON lines\n"
@@ -290,6 +299,18 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
+int cmd_fuzz(const check::FuzzOptions& options, const check::OracleHooks& hooks) {
+  const check::FuzzReport report = check::run_fuzz(options, hooks);
+  std::fputs(check::format_report(report, options).c_str(), stdout);
+  if (hooks.any()) {
+    // Mutation self-check: the deliberately broken rule MUST be caught.
+    std::printf("mutation check: %s\n",
+                report.ok() ? "NOT CAUGHT (oracle blind spot)" : "caught");
+    return report.ok() ? 1 : 0;
+  }
+  return report.ok() ? 0 : 1;
+}
+
 std::vector<int> parse_k_list(const std::string& text) {
   std::vector<int> out;
   std::stringstream ss(text);
@@ -324,11 +345,12 @@ int main(int argc, char** argv) {
   if (argc < 2) usage_error("missing command");
   const std::string command = argv[1];
   if (command != "disasm" && command != "run" && command != "report" &&
-      command != "encode" && command != "info") {
+      command != "encode" && command != "info" && command != "fuzz") {
     usage_error("unknown command '" + command + "'");
   }
-  if (argc < 3) usage_error("missing input file");
-  const std::string file = argv[2];
+  const bool takes_file = command != "fuzz";
+  if (takes_file && argc < 3) usage_error("missing input file");
+  const std::string file = takes_file ? argv[2] : "";
 
   std::string out_path;
   std::string metrics_path;
@@ -340,39 +362,63 @@ int main(int argc, char** argv) {
   std::uint64_t profile_steps = 1'000'000;
   bool static_mode = false;
   std::vector<int> k_list = {4, 5, 6, 7};
+  check::FuzzOptions fuzz;
+  fuzz.iters = 5000;
+  fuzz.reproducer_dir = "fuzz-reproducers";
+  check::OracleHooks hooks;
 
-  for (int i = 3; i < argc; ++i) {
+  for (int i = takes_file ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) usage_error("option '" + arg + "' needs a value");
       return argv[++i];
+    };
+    // Strict whole-string parse (util/args.h): junk or trailing characters
+    // are a usage error, never a silent 0.
+    auto next_int = [&](int min, int max) -> int {
+      const std::string value = next();
+      const std::optional<int> parsed = util::parse_int_in(value, min, max);
+      if (!parsed) {
+        usage_error("option '" + arg + "' needs an integer in [" +
+                    std::to_string(min) + ", " + std::to_string(max) +
+                    "], got '" + value + "'");
+      }
+      return *parsed;
+    };
+    auto next_u64 = [&]() -> std::uint64_t {
+      const std::string value = next();
+      const std::optional<std::uint64_t> parsed =
+          util::parse_number<std::uint64_t>(value);
+      if (!parsed) {
+        usage_error("option '" + arg + "' needs a non-negative integer, got '" +
+                    value + "'");
+      }
+      return *parsed;
     };
     if (arg == "-o") out_path = next();
     else if (arg == "-k") {
       const std::string value = next();
       k_list = parse_k_list(value);
       k = k_list[0];
-    } else if (arg == "--tt") tt_budget = std::atoi(next().c_str());
-    else if (arg == "--max-steps") max_steps = std::strtoull(next().c_str(), nullptr, 0);
-    else if (arg == "--profile") profile_steps = std::strtoull(next().c_str(), nullptr, 0);
+    } else if (arg == "--tt") tt_budget = next_int(0, 1 << 16);
+    else if (arg == "--max-steps") max_steps = next_u64();
+    else if (arg == "--profile") profile_steps = next_u64();
     else if (arg == "--static") static_mode = true;
     else if (arg == "--json") json_mode = true;
     else if (arg == "--metrics") metrics_path = next();
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--telemetry") telemetry::set_enabled(true);
-    else if (arg == "--jobs") {
-      const std::string value = next();
-      std::size_t pos = 0;
-      int jobs = 0;
-      try {
-        jobs = std::stoi(value, &pos);
-      } catch (const std::exception&) {
-        pos = 0;
-      }
-      if (pos != value.size() || jobs < 1) {
-        usage_error("--jobs needs an integer >= 1, got '" + value + "'");
-      }
-      parallel::set_default_jobs(static_cast<unsigned>(jobs));
+    else if (arg == "--seed") fuzz.seed = next_u64();
+    else if (arg == "--iters") fuzz.iters = next_u64();
+    else if (arg == "--out") fuzz.reproducer_dir = next();
+    else if (arg == "--mutate") {
+      const std::string rule = next();
+      if (rule == "overlap") hooks.break_overlap_reload = true;
+      else if (rule == "initial-plain") hooks.break_initial_plain = true;
+      else usage_error("--mutate needs 'overlap' or 'initial-plain'");
+    } else if (arg == "--jobs") {
+      parallel::set_default_jobs(static_cast<unsigned>(
+          next_int(1, std::numeric_limits<int>::max())));
     }
     else usage_error("unknown option '" + arg + "'");
   }
@@ -395,6 +441,8 @@ int main(int argc, char** argv) {
     else if (command == "encode") {
       if (out_path.empty()) usage_error("encode needs -o <output image>");
       rc = cmd_encode(file, out_path, k, tt_budget, profile_steps, static_mode);
+    } else if (command == "fuzz") {
+      rc = cmd_fuzz(fuzz, hooks);
     } else {
       rc = cmd_info(file);
     }
