@@ -12,11 +12,13 @@
 #include <cstdio>
 #include <random>
 
+#include "cfg/cfg.h"
 #include "core/block_code.h"
 #include "core/chain_encoder.h"
 #include "core/fetch_decoder.h"
 #include "core/program_encoder.h"
 #include "isa/assembler.h"
+#include "profile/transition_profiler.h"
 #include "sim/cpu.h"
 #include "telemetry/export.h"
 #include "telemetry/json.h"
@@ -124,6 +126,98 @@ loop:   addiu   $t0, $t0, 1
   state.SetItemsProcessed(state.iterations() * 40003);
 }
 BENCHMARK(BM_SimulatorLoop);
+
+// --- profiler overhead guard ----------------------------------------------
+// The transition profiler's budget mirrors telemetry's: a fetch loop that
+// carries the observe_fetch hook but has no profiler installed must stay
+// within 1% of the bare loop (the global-gate path is one relaxed atomic
+// load and a predicted-not-taken branch). BM_ProfilerEnabled* shows the real
+// cost of full attribution for comparison.
+
+void BM_ProfilerDisabledObserveFetch(benchmark::State& state) {
+  profile::set_current(nullptr);
+  std::uint32_t pc = 0x400000;
+  std::uint32_t word = 0x12345678;
+  for (auto _ : state) {
+    profile::observe_fetch(pc, word);
+    pc += 4;
+    word = word * 1664525u + 1013904223u;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ProfilerDisabledObserveFetch);
+
+void BM_ProfilerEnabledObserveFetch(benchmark::State& state) {
+  profile::TransitionProfiler prof(0x400000, 4096);
+  profile::set_current(&prof);
+  std::uint32_t pc = 0x400000;
+  std::uint32_t word = 0x12345678;
+  for (auto _ : state) {
+    profile::observe_fetch(pc, word);
+    pc = 0x400000 + ((pc - 0x400000 + 4) & 0x3FFF);
+    word = word * 1664525u + 1013904223u;
+    benchmark::ClobberMemory();
+  }
+  profile::set_current(nullptr);
+}
+BENCHMARK(BM_ProfilerEnabledObserveFetch);
+
+void BM_ProfilerDisabledFetchLoop(benchmark::State& state) {
+  const isa::Program program = isa::assemble(R"(
+        li      $t0, 0
+        li      $t1, 10000
+loop:   addiu   $t0, $t0, 1
+        lw      $t2, 0($a0)
+        addu    $t3, $t3, $t2
+        bne     $t0, $t1, loop
+        halt
+)");
+  profile::set_current(nullptr);
+  for (auto _ : state) {
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    cpu.state().r[isa::kA0] = 0x10000;
+    const std::uint64_t steps =
+        cpu.run(1'000'000, [](std::uint32_t pc, std::uint32_t word) {
+          profile::observe_fetch(pc, word);
+        });
+    benchmark::DoNotOptimize(steps);
+  }
+  state.SetItemsProcessed(state.iterations() * 40003);
+}
+BENCHMARK(BM_ProfilerDisabledFetchLoop);
+
+void BM_ProfilerEnabledFetchLoop(benchmark::State& state) {
+  const isa::Program program = isa::assemble(R"(
+        li      $t0, 0
+        li      $t1, 10000
+loop:   addiu   $t0, $t0, 1
+        lw      $t2, 0($a0)
+        addu    $t3, $t3, $t2
+        bne     $t0, $t1, loop
+        halt
+)");
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+  profile::TransitionProfiler prof(cfg);
+  profile::set_current(&prof);
+  for (auto _ : state) {
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    cpu.state().r[isa::kA0] = 0x10000;
+    const std::uint64_t steps =
+        cpu.run(1'000'000, [](std::uint32_t pc, std::uint32_t word) {
+          profile::observe_fetch(pc, word);
+        });
+    benchmark::DoNotOptimize(steps);
+  }
+  profile::set_current(nullptr);
+  state.SetItemsProcessed(state.iterations() * 40003);
+}
+BENCHMARK(BM_ProfilerEnabledFetchLoop);
 
 // --- telemetry overhead guard ---------------------------------------------
 // The observability layer must be free when off: these measure the exact

@@ -10,6 +10,7 @@
 #include "isa/assembler.h"
 #include "parallel/pool.h"
 #include "power/power.h"
+#include "profile/attribution.h"
 #include "sim/bus.h"
 #include "sim/cpu.h"
 #include "telemetry/metrics.h"
@@ -144,6 +145,11 @@ WorkloadResult run_workload(const workloads::Workload& workload,
           profile.block_counts[static_cast<std::size_t>(idx2)] *
           enc.original_words.size();
     }
+    if (options.hotspot_top_n > 0) {
+      per.hotspots = profile::top_blocks(
+          profile::attribute_dynamic(cfg, profile, image, selection.encodings),
+          static_cast<std::size_t>(options.hotspot_top_n));
+    }
     telemetry::count("experiment.measured_configs");
     result.per_block_size[idx] = per;
   });
@@ -169,6 +175,19 @@ json::Value to_json(const PerBlockSizeResult& result) {
   out.set("tt_entries_used", result.tt_entries_used);
   out.set("blocks_encoded", result.blocks_encoded);
   out.set("decoded_fetches", result.decoded_fetches);
+  if (!result.hotspots.empty()) {
+    json::Value hotspots = json::Value::array();
+    for (const profile::BlockCost& h : result.hotspots) {
+      json::Value entry = json::Value::object();
+      entry.set("block", h.index);
+      entry.set("start_pc", static_cast<long long>(h.start_pc));
+      entry.set("exec", h.exec);
+      entry.set("transitions", h.transitions);
+      entry.set("encoded", h.encoded);
+      hotspots.push_back(std::move(entry));
+    }
+    out.set("hotspots", std::move(hotspots));
+  }
   return out;
 }
 

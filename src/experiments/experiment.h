@@ -23,6 +23,7 @@
 
 #include "cfg/cfg.h"
 #include "core/selection.h"
+#include "profile/transition_profiler.h"
 #include "telemetry/json.h"
 #include "workloads/workload.h"
 
@@ -35,6 +36,11 @@ struct PerBlockSizeResult {
   int tt_entries_used = 0;
   int blocks_encoded = 0;
   std::uint64_t decoded_fetches = 0;  // dynamic fetches inside encoded blocks
+  // Residual hotspots after encoding: the top-N blocks by remaining dynamic
+  // transition cost (ExperimentOptions::hotspot_top_n; empty when 0). The
+  // `encoded` flag shows whether each hotspot already holds a TT entry —
+  // unencoded entries here are the selection's leftovers.
+  std::vector<profile::BlockCost> hotspots;
 };
 
 struct WorkloadResult {
@@ -56,6 +62,9 @@ struct ExperimentOptions {
   // and require exact restoration (cheap; on by default).
   bool verify_decode = true;
   std::uint64_t max_steps = 500'000'000;
+  // Opt-in profile pass: record the top-N residual-hotspot blocks per block
+  // size (analytic attribution — no extra simulation). 0 disables.
+  int hotspot_top_n = 0;
 };
 
 // Runs one workload through the full pipeline. The per-block-size sweep

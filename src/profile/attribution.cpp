@@ -1,0 +1,52 @@
+#include "profile/attribution.h"
+
+#include <bit>
+
+namespace asimt::profile {
+
+std::vector<BlockCost> attribute_dynamic(
+    const cfg::Cfg& cfg, const cfg::Profile& profile,
+    std::span<const std::uint32_t> image,
+    std::span<const core::BlockEncoding> encodings) {
+  std::vector<BlockCost> out;
+  out.reserve(cfg.blocks.size());
+  for (const cfg::BasicBlock& block : cfg.blocks) {
+    BlockCost cost;
+    cost.index = block.index;
+    cost.start_pc = block.start;
+    cost.end_pc = block.end;
+    cost.exec = profile.block_counts[static_cast<std::size_t>(block.index)];
+    if (cost.exec != 0) {
+      const std::size_t first = (block.start - cfg.text_base) / 4;
+      long long intra = 0;
+      for (std::size_t i = 1; i < block.instruction_count(); ++i) {
+        intra += std::popcount(image[first + i - 1] ^ image[first + i]);
+      }
+      cost.transitions = intra * static_cast<long long>(cost.exec);
+    }
+    out.push_back(cost);
+  }
+
+  // Edge costs land on the *destination* block (the transition happens while
+  // its first word is fetched) — the same attribution the stream profiler
+  // uses, and integer += is order-independent so the unordered_map iteration
+  // order can't perturb the result.
+  for (const auto& [key, count] : profile.edge_counts) {
+    const int from = static_cast<int>(key >> 32);
+    const int to = static_cast<int>(key & 0xFFFFFFFFu);
+    const cfg::BasicBlock& a = cfg.blocks[static_cast<std::size_t>(from)];
+    const cfg::BasicBlock& b = cfg.blocks[static_cast<std::size_t>(to)];
+    const std::uint32_t last = image[(a.last_pc() - cfg.text_base) / 4];
+    const std::uint32_t head = image[(b.start - cfg.text_base) / 4];
+    out[static_cast<std::size_t>(to)].transitions +=
+        static_cast<long long>(count) * std::popcount(last ^ head);
+  }
+
+  for (const core::BlockEncoding& enc : encodings) {
+    const int block = cfg.block_containing(enc.start_pc);
+    if (block >= 0) out[static_cast<std::size_t>(block)].encoded = true;
+  }
+  return out;
+}
+
+}  // namespace asimt::profile

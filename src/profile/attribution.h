@@ -1,0 +1,33 @@
+// Analytic per-block transition attribution.
+//
+// cfg::dynamic_transitions collapses a profile and a text image into one
+// total; this decomposes the same sum per basic block, attributing each
+// block's intra-block cost to the block itself and each dynamic edge's
+// boundary cost to the *destination* block's first word — exactly the
+// attribution a stream-based TransitionProfiler accumulates (the transition
+// between two consecutive fetches lands on the pc being fetched). For a
+// halted run the two agree block-for-block, and the sum over blocks equals
+// cfg::dynamic_transitions(cfg, profile, image) by construction, which is
+// what lets experiments::run_workload record residual-hotspot tables without
+// a second simulation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "core/program_encoder.h"
+#include "profile/transition_profiler.h"
+
+namespace asimt::profile {
+
+// `image` must cover cfg.text's range (the encoded image from
+// core::SelectionResult::apply_to_text, or cfg.text itself for the
+// baseline). `encodings` flags blocks covered by TT entries; pass {} when
+// attribution runs on the unencoded baseline.
+std::vector<BlockCost> attribute_dynamic(
+    const cfg::Cfg& cfg, const cfg::Profile& profile,
+    std::span<const std::uint32_t> image,
+    std::span<const core::BlockEncoding> encodings = {});
+
+}  // namespace asimt::profile

@@ -1,0 +1,202 @@
+#include "profile/report.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "isa/isa.h"
+
+namespace asimt::profile {
+
+namespace {
+
+json::Value block_to_json(const BlockCost& cost, long long total) {
+  json::Value b = json::Value::object();
+  b.set("index", cost.index);
+  b.set("start_pc", static_cast<long long>(cost.start_pc));
+  b.set("end_pc", static_cast<long long>(cost.end_pc));
+  b.set("exec", cost.exec);
+  b.set("transitions", cost.transitions);
+  b.set("encoded", cost.encoded);
+  b.set("share",
+        total > 0 ? static_cast<double>(cost.transitions) /
+                        static_cast<double>(total)
+                  : 0.0);
+  return b;
+}
+
+std::string hex_pc(std::uint32_t pc) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", pc);
+  return buf;
+}
+
+std::string pct(long long part, long long total) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%5.1f%%",
+                total > 0 ? 100.0 * static_cast<double>(part) /
+                                static_cast<double>(total)
+                          : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+json::Value profile_report(const TransitionProfiler& profiler,
+                           std::size_t top_n) {
+  const long long total = profiler.total_transitions();
+
+  json::Value doc = json::Value::object();
+  doc.set("fetches", profiler.fetches());
+
+  json::Value trans = json::Value::object();
+  trans.set("total", total);
+  trans.set("encoded", profiler.encoded_transitions());
+  trans.set("unencoded", profiler.unencoded_transitions());
+  trans.set("out_of_image", profiler.out_of_image_transitions());
+  doc.set("transitions", std::move(trans));
+
+  json::Value lines = json::Value::array();
+  for (const long long line : profiler.per_line()) lines.push_back(line);
+  doc.set("per_line", std::move(lines));
+
+  const std::vector<BlockCost> all = profiler.blocks();
+  doc.set("block_count", static_cast<long long>(all.size()));
+  json::Value blocks = json::Value::array();
+  for (const BlockCost& cost : top_blocks(all, top_n)) {
+    json::Value b = block_to_json(cost, total);
+    if (cost.index >= 0 && cost.index < profiler.block_count()) {
+      json::Value block_lines = json::Value::array();
+      for (unsigned line = 0; line < 32; ++line) {
+        block_lines.push_back(
+            static_cast<long long>(profiler.block_line(cost.index, line)));
+      }
+      b.set("lines", std::move(block_lines));
+    }
+    blocks.push_back(std::move(b));
+  }
+  doc.set("blocks", std::move(blocks));
+  return doc;
+}
+
+std::string annotate_listing(const isa::Program& program, const cfg::Cfg& cfg,
+                             const TransitionProfiler& profiler) {
+  const long long total = profiler.total_transitions();
+  std::string out;
+  out.reserve(program.text.size() * 64);
+  char buf[160];
+
+  std::snprintf(buf, sizeof buf,
+                "# transition-attribution listing: %zu instructions, "
+                "%llu fetches, %lld transitions\n"
+                "#       pc     word  E        exec  transitions  share\n",
+                program.text.size(),
+                static_cast<unsigned long long>(profiler.fetches()), total);
+  out += buf;
+
+  for (const cfg::BasicBlock& block : cfg.blocks) {
+    const std::size_t first = (block.start - cfg.text_base) / 4;
+    std::snprintf(buf, sizeof buf, "\n# block %d  [%s, %s)\n", block.index,
+                  hex_pc(block.start).c_str(), hex_pc(block.end).c_str());
+    out += buf;
+    for (std::size_t i = 0; i < block.instruction_count(); ++i) {
+      const std::size_t w = first + i;
+      const std::uint32_t pc =
+          block.start + 4 * static_cast<std::uint32_t>(i);
+      const std::uint32_t word = program.text[w];
+      std::snprintf(buf, sizeof buf, "%s %08x  %c %11llu %12lld  %s  %s\n",
+                    hex_pc(pc).c_str(), word,
+                    profiler.word_encoded(w) ? 'E' : '.',
+                    static_cast<unsigned long long>(profiler.word_exec(w)),
+                    profiler.word_transitions(w),
+                    pct(profiler.word_transitions(w), total).c_str(),
+                    isa::disassemble(word, pc).c_str());
+      out += buf;
+    }
+  }
+
+  out += "\n# per-block summary (transitions sum to the profiler total)\n";
+  out += "# block    start  E        exec  transitions  share\n";
+  long long check = 0;
+  for (const BlockCost& cost : profiler.blocks()) {
+    check += cost.transitions;
+    if (cost.index < 0) {
+      std::snprintf(buf, sizeof buf, "%7s %8s  . %11llu %12lld  %s\n",
+                    "out", "-",
+                    static_cast<unsigned long long>(cost.exec),
+                    cost.transitions, pct(cost.transitions, total).c_str());
+    } else {
+      std::snprintf(buf, sizeof buf, "%7d %8s  %c %11llu %12lld  %s\n",
+                    cost.index, hex_pc(cost.start_pc).c_str(),
+                    cost.encoded ? 'E' : '.',
+                    static_cast<unsigned long long>(cost.exec),
+                    cost.transitions, pct(cost.transitions, total).c_str());
+    }
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "%7s %8s    %11s %12lld  %s\n", "total", "",
+                "", check, pct(check, total).c_str());
+  out += buf;
+  return out;
+}
+
+std::string summary_text(const TransitionProfiler& profiler,
+                         std::size_t top_n) {
+  const long long total = profiler.total_transitions();
+  std::string out;
+  char buf[160];
+
+  std::snprintf(buf, sizeof buf,
+                "fetches:      %llu\ntransitions:  %lld\n",
+                static_cast<unsigned long long>(profiler.fetches()), total);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  encoded:    %lld (%s)\n",
+                profiler.encoded_transitions(),
+                pct(profiler.encoded_transitions(), total).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  unencoded:  %lld (%s)\n",
+                profiler.unencoded_transitions(),
+                pct(profiler.unencoded_transitions(), total).c_str());
+  out += buf;
+  if (profiler.out_of_image_transitions() != 0) {
+    std::snprintf(buf, sizeof buf, "  out-of-img: %lld (%s)\n",
+                  profiler.out_of_image_transitions(),
+                  pct(profiler.out_of_image_transitions(), total).c_str());
+    out += buf;
+  }
+
+  out += "hot blocks:\n";
+  for (const BlockCost& cost : top_blocks(profiler.blocks(), top_n)) {
+    if (cost.index < 0) {
+      std::snprintf(buf, sizeof buf,
+                    "  out-of-image      %12lld  %s\n", cost.transitions,
+                    pct(cost.transitions, total).c_str());
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "  block %4d @%s %c %12lld  %s\n", cost.index,
+                    hex_pc(cost.start_pc).c_str(), cost.encoded ? 'E' : '.',
+                    cost.transitions, pct(cost.transitions, total).c_str());
+    }
+    out += buf;
+  }
+
+  // The three busiest bus lines — the wires a bus-invert or custom encoding
+  // would target next.
+  const std::array<long long, 32> lines = profiler.per_line();
+  std::array<unsigned, 32> order{};
+  for (unsigned i = 0; i < 32; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    if (lines[a] != lines[b]) return lines[a] > lines[b];
+    return a < b;
+  });
+  out += "hot bus lines:\n";
+  for (unsigned i = 0; i < 3; ++i) {
+    std::snprintf(buf, sizeof buf, "  line %2u  %12lld  %s\n", order[i],
+                  lines[order[i]], pct(lines[order[i]], total).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace asimt::profile

@@ -1,0 +1,40 @@
+// Report rendering for TransitionProfiler results.
+//
+// Three consumers of the same attribution data: a JSON document (machine
+// interface, exported with telemetry::to_json_string), an annotated
+// disassembly listing (the human hotspot view — per-instruction dynamic
+// transition cost with encoding status), and a terse stdout summary. All
+// three reconcile: summed per-block costs equal the profiler's total, which
+// equals `bus.fetch.transitions` of the run that fed it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "cfg/cfg.h"
+#include "isa/assembler.h"
+#include "profile/transition_profiler.h"
+#include "telemetry/json.h"
+
+namespace asimt::profile {
+
+// Full machine-readable report: totals, encoded/unencoded/out-of-image
+// partition, the 32 per-bus-line totals, and the top `top_n` blocks (each
+// with its own per-line breakdown). Deterministic field order.
+json::Value profile_report(const TransitionProfiler& profiler,
+                           std::size_t top_n);
+
+// Annotated disassembly of `program` (which must be the program the profiler
+// observed — pass the *encoded* image via program.text to see what the bus
+// actually carried). One line per instruction:
+//   pc  word  E?  exec  transitions  disasm
+// with block headers and a trailing per-block summary table whose transition
+// column sums to the profiler total.
+std::string annotate_listing(const isa::Program& program, const cfg::Cfg& cfg,
+                             const TransitionProfiler& profiler);
+
+// Short human summary (totals, partition percentages, hottest blocks and
+// bus lines) for the CLI's stdout.
+std::string summary_text(const TransitionProfiler& profiler, std::size_t top_n);
+
+}  // namespace asimt::profile

@@ -1,0 +1,163 @@
+#include "profile/transition_profiler.h"
+
+#include <algorithm>
+
+namespace asimt::profile {
+
+namespace {
+
+std::atomic<TransitionProfiler*> g_current{nullptr};
+
+}  // namespace
+
+TransitionProfiler* current() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+void set_current(TransitionProfiler* profiler) {
+  g_current.store(profiler, std::memory_order_relaxed);
+}
+
+std::vector<BlockCost> top_blocks(std::vector<BlockCost> all, std::size_t n) {
+  std::sort(all.begin(), all.end(), [](const BlockCost& a, const BlockCost& b) {
+    if (a.transitions != b.transitions) return a.transitions > b.transitions;
+    return a.index < b.index;
+  });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+TransitionProfiler::TransitionProfiler(std::uint32_t text_base,
+                                       std::size_t n_words)
+    : base_(text_base), n_words_(n_words), n_blocks_(0) {
+  init_arrays();
+}
+
+TransitionProfiler::TransitionProfiler(const cfg::Cfg& cfg)
+    : cfg_(&cfg),
+      base_(cfg.text_base),
+      n_words_(cfg.text.size()),
+      n_blocks_(static_cast<int>(cfg.blocks.size())) {
+  init_arrays();
+  for (const cfg::BasicBlock& block : cfg.blocks) {
+    const std::size_t first = (block.start - base_) / 4;
+    for (std::size_t i = 0; i < block.instruction_count(); ++i) {
+      block_of_[first + i] = block.index;
+    }
+  }
+}
+
+void TransitionProfiler::init_arrays() {
+  exec_.assign(n_words_ + 1, 0);
+  trans_.assign(n_words_ + 1, 0);
+  encoded_.assign(n_words_ + 1, 0);
+  block_of_.assign(n_words_ + 1, n_blocks_);  // sentinel row by default
+  block_line_.assign(static_cast<std::size_t>(n_blocks_ + 1) * 32, 0);
+}
+
+void TransitionProfiler::reset() {
+  std::fill(exec_.begin(), exec_.end(), 0);
+  std::fill(trans_.begin(), trans_.end(), 0);
+  std::fill(block_line_.begin(), block_line_.end(), 0);
+  fetches_ = 0;
+  prev_ = 0;
+  first_ = true;
+}
+
+void TransitionProfiler::mark_encoded(std::uint32_t start_pc,
+                                      std::size_t n_words) {
+  for (std::size_t i = 0; i < n_words; ++i) {
+    const std::size_t idx = (start_pc - base_) / 4 + i;
+    if (idx < n_words_) encoded_[idx] = 1;
+  }
+}
+
+long long TransitionProfiler::total_transitions() const {
+  long long total = 0;
+  for (const long long t : trans_) total += t;
+  return total;
+}
+
+long long TransitionProfiler::encoded_transitions() const {
+  long long total = 0;
+  for (std::size_t i = 0; i < n_words_; ++i) {
+    if (encoded_[i]) total += trans_[i];
+  }
+  return total;
+}
+
+long long TransitionProfiler::unencoded_transitions() const {
+  long long total = 0;
+  for (std::size_t i = 0; i < n_words_; ++i) {
+    if (!encoded_[i]) total += trans_[i];
+  }
+  return total;
+}
+
+std::array<long long, 32> TransitionProfiler::per_line() const {
+  std::array<long long, 32> lines{};
+  for (int row = 0; row <= n_blocks_; ++row) {
+    const std::uint64_t* r = &block_line_[static_cast<std::size_t>(row) * 32];
+    for (unsigned b = 0; b < 32; ++b) {
+      lines[b] += static_cast<long long>(r[b]);
+    }
+  }
+  return lines;
+}
+
+std::uint64_t TransitionProfiler::block_line(int block, unsigned line) const {
+  return block_line_.at(static_cast<std::size_t>(block) * 32 + line);
+}
+
+std::vector<BlockCost> TransitionProfiler::blocks() const {
+  std::vector<BlockCost> out;
+  if (cfg_ != nullptr) {
+    out.reserve(cfg_->blocks.size() + 1);
+    for (const cfg::BasicBlock& block : cfg_->blocks) {
+      const std::size_t first = (block.start - base_) / 4;
+      BlockCost cost;
+      cost.index = block.index;
+      cost.start_pc = block.start;
+      cost.end_pc = block.end;
+      cost.exec = exec_[first];  // leader fetch count = executions
+      cost.encoded = encoded_[first] != 0;
+      for (std::size_t i = 0; i < block.instruction_count(); ++i) {
+        cost.transitions += trans_[first + i];
+      }
+      out.push_back(cost);
+    }
+  } else if (n_words_ > 0) {
+    // Raw-stream mode: the whole image is one synthetic block.
+    BlockCost cost;
+    cost.index = 0;
+    cost.start_pc = base_;
+    cost.end_pc = base_ + 4 * static_cast<std::uint32_t>(n_words_);
+    for (std::size_t i = 0; i < n_words_; ++i) {
+      cost.exec += exec_[i];
+      cost.transitions += trans_[i];
+    }
+    out.push_back(cost);
+  }
+  if (exec_[n_words_] != 0) {
+    BlockCost overflow;
+    overflow.index = -1;
+    overflow.exec = exec_[n_words_];
+    overflow.transitions = trans_[n_words_];
+    out.push_back(overflow);
+  }
+  return out;
+}
+
+void TransitionProfiler::publish(telemetry::MetricsRegistry& registry) const {
+  if (!telemetry::enabled()) return;
+  registry.counter("profile.fetches").add(static_cast<long long>(fetches_));
+  registry.counter("profile.transitions").add(total_transitions());
+  registry.counter("profile.transitions.encoded").add(encoded_transitions());
+  registry.counter("profile.transitions.unencoded").add(unencoded_transitions());
+  if (out_of_image_transitions() != 0) {
+    registry.counter("profile.transitions.out_of_image")
+        .add(out_of_image_transitions());
+  }
+}
+
+}  // namespace asimt::profile

@@ -1,0 +1,155 @@
+// Transition-attribution profiler for the instruction-memory data bus.
+//
+// Telemetry (docs/OBSERVABILITY.md) reports *aggregate* bus transition
+// counts; this layer answers the question the paper is actually about: which
+// instructions, basic blocks, and bus lines are burning the transitions the
+// encoding failed to remove. A TransitionProfiler observes the same
+// (pc, bus word) stream as sim::BusMonitor — through sim::Cpu::run's
+// on_fetch hook, the global observe_fetch() gate, or the icache refill hook
+// — and attributes the Hamming cost of every word-to-word transition to the
+// PC being fetched, split by the word's encoded/unencoded status so residual
+// cost after TT selection is directly visible.
+//
+// Hot-path design: everything is flat per-word arrays indexed off the text
+// image base — no hashing, no branches beyond one range check — and the
+// (block x line) matrix is updated by iterating only the *set* bits of the
+// flipped word. The totals reconcile exactly with a BusMonitor watching the
+// same stream: sum over blocks (plus the out-of-image slot) equals
+// `bus.fetch.transitions`, per line and in total.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "telemetry/metrics.h"
+
+namespace asimt::profile {
+
+// One basic block's attributed cost (also produced analytically by
+// attribution.h; the two agree exactly for halted runs).
+struct BlockCost {
+  int index = -1;              // cfg block index; -1 for the out-of-image slot
+  std::uint32_t start_pc = 0;  // 0 for the out-of-image slot
+  std::uint32_t end_pc = 0;
+  std::uint64_t exec = 0;      // executions (stream: fetches of the leader)
+  long long transitions = 0;   // dynamic transitions attributed to the block
+  bool encoded = false;        // covered by a TT entry (selection result)
+};
+
+// Sorts descending by transitions (ties: ascending block index, so output is
+// deterministic) and keeps the first `n`.
+std::vector<BlockCost> top_blocks(std::vector<BlockCost> all, std::size_t n);
+
+class TransitionProfiler {
+ public:
+  // Profile a raw word stream over [base, base + 4*n_words): per-word and
+  // per-line attribution only (every word maps to one synthetic block).
+  TransitionProfiler(std::uint32_t text_base, std::size_t n_words);
+  // Profile fetches from `cfg`'s text range with per-basic-block attribution.
+  explicit TransitionProfiler(const cfg::Cfg& cfg);
+
+  // Marks [start_pc, start_pc + 4*n_words) as encoded (call once per
+  // selected core::BlockEncoding). PCs outside the image are ignored.
+  void mark_encoded(std::uint32_t start_pc, std::size_t n_words);
+
+  // The hot path: attribute the transition from the previously fetched word
+  // to `word` (the bus value driven for `pc`). Fetches outside the image
+  // accumulate into a single out-of-image slot instead of being dropped, so
+  // totals still reconcile with a BusMonitor on the same stream.
+  void on_fetch(std::uint32_t pc, std::uint32_t word) {
+    const std::size_t idx = (pc - base_) / 4;  // below-base pcs wrap huge
+    const std::size_t slot = idx < n_words_ ? idx : n_words_;
+    ++exec_[slot];
+    ++fetches_;
+    if (first_) {
+      first_ = false;
+      prev_ = word;
+      return;
+    }
+    std::uint32_t flipped = prev_ ^ word;
+    prev_ = word;
+    if (flipped == 0) return;
+    trans_[slot] += std::popcount(flipped);
+    std::uint64_t* row = &block_line_[static_cast<std::size_t>(block_of_[slot]) * 32];
+    do {
+      ++row[std::countr_zero(flipped)];
+      flipped &= flipped - 1;
+    } while (flipped != 0);
+  }
+
+  void reset();
+
+  // --- raw per-word views ---------------------------------------------------
+  std::uint32_t text_base() const { return base_; }
+  std::size_t word_count() const { return n_words_; }
+  std::uint64_t fetches() const { return fetches_; }
+  std::uint64_t word_exec(std::size_t i) const { return exec_[i]; }
+  long long word_transitions(std::size_t i) const { return trans_[i]; }
+  bool word_encoded(std::size_t i) const { return encoded_[i] != 0; }
+
+  // --- derived attribution --------------------------------------------------
+  long long total_transitions() const;
+  long long encoded_transitions() const;    // attributed to encoded words
+  long long unencoded_transitions() const;  // attributed to plain words
+  long long out_of_image_transitions() const { return trans_[n_words_]; }
+  std::uint64_t out_of_image_fetches() const { return exec_[n_words_]; }
+
+  // Per-bus-line totals (columns of the block x line matrix).
+  std::array<long long, 32> per_line() const;
+  // Transitions on `line` attributed to cfg block `block`.
+  std::uint64_t block_line(int block, unsigned line) const;
+  int block_count() const { return n_blocks_; }
+
+  // One BlockCost per cfg block, in block order, plus (when any out-of-image
+  // fetch happened) a trailing index -1 slot. Sums reconcile with
+  // total_transitions() exactly.
+  std::vector<BlockCost> blocks() const;
+
+  // Publishes totals on the registry (profile.fetches, profile.transitions,
+  // profile.transitions.encoded / .unencoded / .out_of_image). No-op when
+  // telemetry is disabled.
+  void publish(telemetry::MetricsRegistry& registry =
+                   telemetry::MetricsRegistry::global()) const;
+
+ private:
+  void init_arrays();
+
+  const cfg::Cfg* cfg_ = nullptr;  // null for the raw-stream constructor
+  std::uint32_t base_ = 0;
+  std::size_t n_words_ = 0;
+  int n_blocks_ = 0;
+
+  // Flat arrays sized n_words_ + 1: the last slot collects out-of-image
+  // fetches. block_of_[w] indexes block_line_ rows; unmapped words and the
+  // overflow slot share the sentinel row n_blocks_.
+  std::vector<std::uint64_t> exec_;
+  std::vector<long long> trans_;
+  std::vector<std::uint8_t> encoded_;
+  std::vector<std::int32_t> block_of_;
+  std::vector<std::uint64_t> block_line_;  // (n_blocks_ + 1) x 32, row-major
+
+  std::uint64_t fetches_ = 0;
+  std::uint32_t prev_ = 0;
+  bool first_ = true;
+};
+
+// --- global hook ------------------------------------------------------------
+// Telemetry-style gate for call sites that always carry the hook (e.g. a
+// fetch loop that may or may not be profiled): observe_fetch costs one
+// relaxed atomic load and a predictable branch when no profiler is
+// installed. Not thread-safe against concurrent installs mid-run; install
+// before the run, clear after (the CLI pattern).
+TransitionProfiler* current();
+void set_current(TransitionProfiler* profiler);
+
+inline void observe_fetch(std::uint32_t pc, std::uint32_t word) {
+  if (TransitionProfiler* p = current()) p->on_fetch(pc, word);
+}
+
+}  // namespace asimt::profile

@@ -40,7 +40,9 @@ bool InstructionCache::access(std::uint32_t pc, const TextImage& image) {
   const std::uint32_t line_base = line_addr * config_.line_bytes;
   for (std::uint32_t offset = 0; offset < config_.line_bytes; offset += 4) {
     const std::uint32_t addr = line_base + offset;
-    refill_bus_.observe(image.contains(addr) ? image.word_at(addr) : 0);
+    const std::uint32_t word = image.contains(addr) ? image.word_at(addr) : 0;
+    refill_bus_.observe(word);
+    if (refill_hook_) refill_hook_(addr, word);
     ++stats_.refill_words;
   }
   // Victim selection: the lowest-index invalid way wins outright; only a

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/bus.h"
@@ -47,6 +49,15 @@ class InstructionCache {
   // Transitions on the memory->cache refill bus so far.
   long long refill_bus_transitions() const { return refill_bus_.total_transitions(); }
 
+  // Optional observer of every word streamed over the refill bus, called as
+  // hook(addr, word) in burst order. This is the miss path, so the
+  // std::function indirection never touches hit-path cost; pass {} to clear.
+  // profile::TransitionProfiler::on_fetch attaches here to attribute
+  // memory->cache traffic.
+  void set_refill_hook(std::function<void(std::uint32_t, std::uint32_t)> hook) {
+    refill_hook_ = std::move(hook);
+  }
+
   // Publishes accesses/hits/misses/refill traffic as registry-backed
   // counters under `sim.icache.*` plus the refill bus under
   // `bus.icache_refill.*`. No-op when telemetry is disabled.
@@ -77,6 +88,7 @@ class InstructionCache {
   std::vector<Way> ways_;  // sets x ways, row-major
   Stats stats_;
   BusMonitor refill_bus_;
+  std::function<void(std::uint32_t, std::uint32_t)> refill_hook_;
   std::uint64_t tick_ = 0;
 };
 

@@ -1,0 +1,103 @@
+#include "telemetry/chrome_trace.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace asimt::telemetry {
+
+namespace {
+
+long long tid_of(const json::Value& event) {
+  const json::Value* tid = event.find("tid");
+  return tid == nullptr ? 0 : tid->as_int();
+}
+
+json::Value base_event(const json::Value& src, const char* phase) {
+  json::Value out = json::Value::object();
+  out.set("name", src.at("name").as_string());
+  out.set("ph", phase);
+  out.set("pid", 1);
+  out.set("tid", tid_of(src));
+  out.set("ts", src.at("t_us").as_int());
+  return out;
+}
+
+}  // namespace
+
+json::Value chrome_trace_from_events(const std::vector<json::Value>& events) {
+  json::Value trace_events = json::Value::array();
+  std::set<long long> tids;
+
+  for (const json::Value& event : events) {
+    const json::Value* ev = event.find("ev");
+    if (ev == nullptr) {
+      throw std::runtime_error("chrome_trace: trace line without an 'ev' field");
+    }
+    const std::string& kind = ev->as_string();
+    if (kind == "begin") {
+      tids.insert(tid_of(event));
+      trace_events.push_back(base_event(event, "B"));
+    } else if (kind == "end") {
+      tids.insert(tid_of(event));
+      trace_events.push_back(base_event(event, "E"));
+    } else if (kind == "instant") {
+      tids.insert(tid_of(event));
+      json::Value out = base_event(event, "i");
+      out.set("s", "t");  // thread-scoped instant
+      // Extra string fields of the JSONL instant become Chrome args.
+      json::Value args = json::Value::object();
+      for (const auto& [key, value] : event.as_object()) {
+        if (key == "ev" || key == "name" || key == "t_us" || key == "tid" ||
+            key == "depth") {
+          continue;
+        }
+        args.set(key, value);
+      }
+      if (!args.as_object().empty()) out.set("args", std::move(args));
+      trace_events.push_back(std::move(out));
+    }
+    // Other kinds (future schema growth) are skipped, not errors.
+  }
+
+  // Metadata events so the timeline rows are labeled: tid 0 is the first
+  // thread that traced (the main thread in every current producer).
+  json::Value doc_events = json::Value::array();
+  {
+    json::Value proc = json::Value::object();
+    proc.set("name", "process_name");
+    proc.set("ph", "M");
+    proc.set("pid", 1);
+    json::Value args = json::Value::object();
+    args.set("name", "asimt");
+    proc.set("args", std::move(args));
+    doc_events.push_back(std::move(proc));
+  }
+  for (const long long tid : tids) {
+    json::Value meta = json::Value::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", 1);
+    meta.set("tid", tid);
+    json::Value args = json::Value::object();
+    args.set("name", tid == 0 ? std::string("main")
+                              : "worker-" + std::to_string(tid));
+    meta.set("args", std::move(args));
+    doc_events.push_back(std::move(meta));
+  }
+  for (json::Value& event : trace_events.as_array()) {
+    doc_events.push_back(std::move(event));
+  }
+
+  json::Value doc = json::Value::object();
+  doc.set("traceEvents", std::move(doc_events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+json::Value chrome_trace_from_jsonl(std::string_view jsonl) {
+  return chrome_trace_from_events(json::parse_lines(jsonl));
+}
+
+}  // namespace asimt::telemetry

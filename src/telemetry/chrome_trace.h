@@ -1,0 +1,37 @@
+// Chrome Trace Event conversion for the JSONL phase stream.
+//
+// Turns the trace emitted by telemetry/trace.h into the JSON object format
+// understood by chrome://tracing, Perfetto, and speedscope:
+//
+//   {"traceEvents":[
+//     {"name":"workload.fft","ph":"B","pid":1,"tid":0,"ts":12},
+//     {"name":"sweep.k5","ph":"B","pid":1,"tid":2,"ts":400},
+//     ...metadata "M" events naming each thread...
+//   ],"displayTimeUnit":"ms"}
+//
+// begin/end spans map to "B"/"E" phase events and instants to "i" (thread
+// scope); the JSONL `tid` field becomes the Chrome tid, so spans emitted by
+// pool workers (e.g. the per-block-size `sweep.k*` sweep under --jobs, see
+// docs/PARALLELISM.md) land on their own timeline rows. Events written
+// before the `tid` field existed default to tid 0. Chrome only requires
+// per-thread event ordering, which the stream guarantees because each thread
+// writes its own events in program order.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace asimt::telemetry {
+
+// Converts parsed JSONL trace events (one object per element, as returned by
+// json::parse_lines) into a Chrome trace document. Unknown event kinds are
+// skipped; objects without an "ev" field throw std::runtime_error.
+json::Value chrome_trace_from_events(const std::vector<json::Value>& events);
+
+// Parses a JSONL phase stream and converts it. Propagates json::ParseError
+// on malformed lines.
+json::Value chrome_trace_from_jsonl(std::string_view jsonl);
+
+}  // namespace asimt::telemetry

@@ -95,11 +95,25 @@ std::string metrics_prometheus(const MetricsRegistry& registry) {
   }
   for (const auto& row : snap.histograms) {
     const std::string pname = prometheus_name(row.name);
-    out += "# TYPE " + pname + " summary\n";
+    out += "# TYPE " + pname + " histogram\n";
+    // Standard cumulative bucket series. Histogram bucket i holds samples in
+    // [2^(i-1), 2^i) (bucket 0: < 1), so its upper bound — the `le` label —
+    // is 2^i. Snapshot buckets come sorted ascending and sparse; cumulation
+    // over them is exact because skipped buckets are empty.
+    std::uint64_t cumulative = 0;
+    for (const auto& [index, n] : row.buckets) {
+      cumulative += n;
+      out += pname + "_bucket{le=\"" + std::to_string(1ULL << index) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(row.count) + "\n";
     out += pname + "_count " + std::to_string(row.count) + "\n";
     out += pname + "_sum " + format_double(row.sum) + "\n";
+    // Not part of the Prometheus histogram convention, but kept so the three
+    // exporters stay field-compatible.
     out += pname + "_min " + format_double(row.min) + "\n";
     out += pname + "_max " + format_double(row.max) + "\n";
+    out += pname + "_mean " + format_double(row.mean) + "\n";
   }
   return out;
 }

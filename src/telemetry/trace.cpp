@@ -18,7 +18,15 @@ std::unique_ptr<std::ofstream> g_owned_file;  // file stream owned by open_trace
 
 thread_local int t_depth = 0;
 
+std::atomic<int> g_next_tid{0};
+thread_local int t_tid = -1;
+
 }  // namespace
+
+int trace_tid() {
+  if (t_tid < 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
 
 std::int64_t now_us() {
   using clock = std::chrono::steady_clock;
@@ -33,6 +41,8 @@ void TraceWriter::begin(std::string_view name, int depth, std::int64_t t_us) {
   line += json::escape(name);
   line += "\",\"depth\":";
   line += std::to_string(depth);
+  line += ",\"tid\":";
+  line += std::to_string(trace_tid());
   line += ",\"t_us\":";
   line += std::to_string(t_us);
   line += "}";
@@ -45,6 +55,8 @@ void TraceWriter::end(std::string_view name, int depth, std::int64_t t_us,
   line += json::escape(name);
   line += "\",\"depth\":";
   line += std::to_string(depth);
+  line += ",\"tid\":";
+  line += std::to_string(trace_tid());
   line += ",\"t_us\":";
   line += std::to_string(t_us);
   line += ",\"dur_us\":";
@@ -58,7 +70,9 @@ void TraceWriter::instant(
     const std::vector<std::pair<std::string, std::string>>& fields) {
   std::string line = "{\"ev\":\"instant\",\"name\":\"";
   line += json::escape(name);
-  line += "\",\"t_us\":";
+  line += "\",\"tid\":";
+  line += std::to_string(trace_tid());
+  line += ",\"t_us\":";
   line += std::to_string(now_us());
   for (const auto& [key, value] : fields) {
     line += ",\"";

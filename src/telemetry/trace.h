@@ -6,10 +6,13 @@
 //   {"ev":"end","name":"encode","depth":1,"t_us":5678,"dur_us":4444}
 //
 // `t_us` is microseconds on the steady clock since process start; `depth` is
-// the per-thread nesting level, so a consumer can rebuild the span tree from
-// stream order alone. The pipeline phases (assemble -> cfg -> profile ->
-// select -> encode -> verify -> measure) are pre-instrumented; see
-// docs/OBSERVABILITY.md for the schema.
+// the per-thread nesting level and `tid` a small stable per-thread index
+// (0 for the first thread that traces, usually main), so a consumer can
+// rebuild one span tree per thread even when pool workers interleave in the
+// stream. The pipeline phases (assemble -> cfg -> profile -> select ->
+// encode -> verify -> measure) are pre-instrumented; see
+// docs/OBSERVABILITY.md for the schema and telemetry/chrome_trace.h for the
+// Chrome-trace converter built on it.
 //
 // TracePhase writes to the *global* writer (installed by open_trace or
 // set_trace_stream) and additionally folds the duration into the global
@@ -34,6 +37,10 @@ namespace asimt::telemetry {
 
 // Microseconds since the first call in this process (steady clock).
 std::int64_t now_us();
+
+// Small dense id of the calling thread, assigned on its first trace event
+// (0, 1, 2, ... in first-trace order). Stable for the thread's lifetime.
+int trace_tid();
 
 class TraceWriter {
  public:

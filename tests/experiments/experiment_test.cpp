@@ -174,6 +174,51 @@ TEST(RunWorkload, BaselineTransitionsAreBlockSizeAndJobsInvariant) {
             reference.baseline_transitions);
 }
 
+// The opt-in hotspot pass: per-k residual hotspots are populated, ranked,
+// reconcile with the row's transition total, and stay bit-identical across
+// job counts (the determinism contract extends to every exported number).
+TEST(RunWorkload, HotspotPassRanksResidualBlocksDeterministically) {
+  const workloads::Workload w =
+      workloads::make_by_name("fft", workloads::SizeConfig::small());
+
+  ExperimentOptions opt;
+  opt.hotspot_top_n = 3;
+  parallel::set_default_jobs(1);
+  const WorkloadResult serial = run_workload(w, opt);
+  parallel::set_default_jobs(8);
+  const WorkloadResult threaded = run_workload(w, opt);
+  parallel::set_default_jobs(0);
+
+  ASSERT_FALSE(serial.per_block_size.empty());
+  for (const PerBlockSizeResult& p : serial.per_block_size) {
+    ASSERT_FALSE(p.hotspots.empty()) << "k=" << p.block_size;
+    EXPECT_LE(p.hotspots.size(), 3u);
+    long long prev = p.hotspots.front().transitions;
+    long long top_sum = 0;
+    for (const profile::BlockCost& h : p.hotspots) {
+      EXPECT_LE(h.transitions, prev);  // ranked descending
+      prev = h.transitions;
+      top_sum += h.transitions;
+      EXPECT_GE(h.exec, 0u);
+    }
+    // The top-N residual costs are a subset of the row's exact total.
+    EXPECT_LE(top_sum, p.transitions);
+    EXPECT_GT(top_sum, 0);
+  }
+
+  // Bit-exact across job counts, including the hotspot arrays: compare the
+  // full JSON serialization byte for byte.
+  EXPECT_EQ(to_json(serial).dump(2), to_json(threaded).dump(2));
+  EXPECT_NE(to_json(serial).dump(2).find("\"hotspots\""), std::string::npos);
+
+  // Off by default: no hotspot work, no JSON key.
+  const WorkloadResult plain = run_workload(w, ExperimentOptions{});
+  for (const PerBlockSizeResult& p : plain.per_block_size) {
+    EXPECT_TRUE(p.hotspots.empty());
+  }
+  EXPECT_EQ(to_json(plain).dump(2).find("\"hotspots\""), std::string::npos);
+}
+
 // The JSON export must carry exactly the numbers the text report prints:
 // serialize a real WorkloadResult, parse it back, and compare field by field
 // against the struct (and spot-check against the Fig. 6 table formatting).

@@ -1,0 +1,134 @@
+// The load-bearing equivalence of the profiler subsystem: analytic per-block
+// attribution (attribute_dynamic) must agree block-for-block with a stream
+// TransitionProfiler replaying the same execution, and both must sum to
+// cfg::dynamic_transitions — on the plain text and on an encoded image.
+#include "profile/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.h"
+#include "core/selection.h"
+#include "isa/assembler.h"
+#include "sim/cpu.h"
+
+namespace asimt::profile {
+namespace {
+
+// A loopy program with a branch so several blocks execute different counts.
+const char kSource[] = R"(
+        li      $t0, 0
+        li      $t1, 53
+        li      $t3, 0
+loop:   addiu   $t0, $t0, 1
+        andi    $t2, $t0, 3
+        beq     $t2, $zero, skip
+        xori    $t3, $t3, 0x2A5
+skip:   bne     $t0, $t1, loop
+        halt
+)";
+
+struct RunArtifacts {
+  isa::Program program;
+  cfg::Cfg cfg;
+  cfg::Profile profile;
+};
+
+RunArtifacts run_and_profile() {
+  RunArtifacts art{isa::assemble(kSource), {}, {}};
+  art.cfg = cfg::build_cfg(art.program);
+  sim::Memory memory;
+  memory.load_program(art.program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = art.program.entry();
+  cfg::Profiler profiler(art.cfg);
+  cpu.run(1'000'000,
+          [&](std::uint32_t pc, std::uint32_t) { profiler.on_fetch(pc); });
+  EXPECT_TRUE(cpu.state().halted);
+  art.profile = profiler.take();
+  return art;
+}
+
+// Replays the deterministic execution, feeding the stream profiler the words
+// `image` would have driven onto the bus.
+TransitionProfiler replay(const RunArtifacts& art,
+                          std::span<const std::uint32_t> image) {
+  TransitionProfiler prof(art.cfg);
+  sim::Memory memory;
+  memory.load_program(art.program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = art.program.entry();
+  cpu.run(1'000'000, [&](std::uint32_t pc, std::uint32_t) {
+    prof.on_fetch(pc, image[(pc - art.cfg.text_base) / 4]);
+  });
+  EXPECT_TRUE(cpu.state().halted);
+  return prof;
+}
+
+TEST(AttributionTest, SumsToDynamicTransitionsOnPlainText) {
+  const RunArtifacts art = run_and_profile();
+  const std::vector<BlockCost> costs =
+      attribute_dynamic(art.cfg, art.profile, art.cfg.text);
+  long long sum = 0;
+  for (const BlockCost& c : costs) {
+    sum += c.transitions;
+    EXPECT_FALSE(c.encoded);  // no encodings passed
+  }
+  EXPECT_EQ(sum, cfg::dynamic_transitions(art.cfg, art.profile, art.cfg.text));
+  EXPECT_GT(sum, 0);
+}
+
+TEST(AttributionTest, AgreesBlockForBlockWithStreamProfiler) {
+  const RunArtifacts art = run_and_profile();
+  const TransitionProfiler prof = replay(art, art.cfg.text);
+  const std::vector<BlockCost> analytic =
+      attribute_dynamic(art.cfg, art.profile, art.cfg.text);
+  const std::vector<BlockCost> stream = prof.blocks();
+
+  ASSERT_EQ(analytic.size(), art.cfg.blocks.size());
+  ASSERT_EQ(stream.size(), art.cfg.blocks.size());  // no out-of-image slot
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    EXPECT_EQ(analytic[i].index, stream[i].index);
+    EXPECT_EQ(analytic[i].transitions, stream[i].transitions)
+        << "block " << i;
+    EXPECT_EQ(analytic[i].exec, stream[i].exec) << "block " << i;
+  }
+}
+
+TEST(AttributionTest, AgreesOnEncodedImageAndFlagsEncodedBlocks) {
+  const RunArtifacts art = run_and_profile();
+  core::SelectionOptions sel;
+  sel.chain.block_size = 5;
+  sel.tt_budget = 16;
+  sel.bbit_budget = 16;
+  const core::SelectionResult selection =
+      core::select_and_encode(art.cfg, art.profile, sel);
+  ASSERT_FALSE(selection.encodings.empty());
+  const std::vector<std::uint32_t> image =
+      selection.apply_to_text(art.cfg.text, art.cfg.text_base);
+
+  const std::vector<BlockCost> analytic =
+      attribute_dynamic(art.cfg, art.profile, image, selection.encodings);
+  TransitionProfiler prof = replay(art, image);
+  for (const core::BlockEncoding& enc : selection.encodings) {
+    prof.mark_encoded(enc.start_pc, enc.encoded_words.size());
+  }
+  const std::vector<BlockCost> stream = prof.blocks();
+
+  long long analytic_sum = 0;
+  int encoded_blocks = 0;
+  ASSERT_EQ(analytic.size(), stream.size());
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    EXPECT_EQ(analytic[i].transitions, stream[i].transitions) << "block " << i;
+    EXPECT_EQ(analytic[i].encoded, stream[i].encoded) << "block " << i;
+    analytic_sum += analytic[i].transitions;
+    if (analytic[i].encoded) ++encoded_blocks;
+  }
+  EXPECT_EQ(analytic_sum, cfg::dynamic_transitions(art.cfg, art.profile, image));
+  EXPECT_EQ(encoded_blocks, static_cast<int>(selection.encodings.size()));
+  // Encoding must not have *increased* total dynamic cost on this workload.
+  EXPECT_LE(analytic_sum,
+            cfg::dynamic_transitions(art.cfg, art.profile, art.cfg.text));
+}
+
+}  // namespace
+}  // namespace asimt::profile

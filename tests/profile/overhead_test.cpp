@@ -1,0 +1,86 @@
+// Regression guard for the profiler's disabled-path budget: a simulator
+// fetch loop that carries the observe_fetch hook with no profiler installed
+// must run at the speed of the bare loop. The strict <1% number is tracked
+// by BM_ProfilerDisabled* in bench/micro_throughput; this test enforces a
+// CI-safe envelope (min-of-N timing, generous margin) so a real regression —
+// an accidental allocation, lock, or virtual call on the gate — fails fast
+// everywhere, while scheduler noise does not.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "isa/assembler.h"
+#include "profile/transition_profiler.h"
+#include "sim/cpu.h"
+
+namespace asimt::profile {
+namespace {
+
+const char kLoop[] = R"(
+        li      $t0, 0
+        li      $t1, 20000
+loop:   addiu   $t0, $t0, 1
+        xori    $t2, $t0, 0x3C3
+        bne     $t0, $t1, loop
+        halt
+)";
+
+template <typename Hook>
+double min_run_seconds(const isa::Program& program, int repeats, Hook hook) {
+  double best = 1e9;
+  for (int r = 0; r < repeats; ++r) {
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    const auto t0 = std::chrono::steady_clock::now();
+    cpu.run(1'000'000, hook);
+    const auto t1 = std::chrono::steady_clock::now();
+    EXPECT_TRUE(cpu.state().halted);
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+TEST(ProfilerOverheadTest, DisabledGateStaysNearBareLoopSpeed) {
+  const isa::Program program = isa::assemble(kLoop);
+  set_current(nullptr);
+
+  // Warm both paths once before timing.
+  min_run_seconds(program, 1, [](std::uint32_t, std::uint32_t) {});
+  min_run_seconds(program, 1, [](std::uint32_t pc, std::uint32_t word) {
+    observe_fetch(pc, word);
+  });
+
+  const double bare =
+      min_run_seconds(program, 5, [](std::uint32_t, std::uint32_t) {});
+  const double gated =
+      min_run_seconds(program, 5, [](std::uint32_t pc, std::uint32_t word) {
+        observe_fetch(pc, word);
+      });
+
+  // Budget: <1% tracked by the benches; 15% here absorbs CI scheduling noise
+  // while still catching anything structurally expensive on the gate.
+  EXPECT_LT(gated, bare * 1.15 + 1e-4)
+      << "disabled observe_fetch gate cost " << (gated / bare - 1.0) * 100.0
+      << "% over the bare fetch loop";
+}
+
+TEST(ProfilerOverheadTest, EnabledProfilerStillCompletesQuickly) {
+  // Not a perf assertion — just pins that full attribution is sane (no
+  // quadratic behavior) by running the same loop with a profiler installed.
+  const isa::Program program = isa::assemble(kLoop);
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+  TransitionProfiler prof(cfg);
+  set_current(&prof);
+  const double enabled =
+      min_run_seconds(program, 2, [](std::uint32_t pc, std::uint32_t word) {
+        observe_fetch(pc, word);
+      });
+  set_current(nullptr);
+  EXPECT_GT(prof.fetches(), 0u);
+  EXPECT_LT(enabled, 5.0);
+}
+
+}  // namespace
+}  // namespace asimt::profile

@@ -1,0 +1,123 @@
+// Tests for the report layer: the JSON report's partitions reconcile, the
+// annotated listing's columns sum to the profiler total, and the stdout
+// summary names the hot blocks.
+#include "profile/report.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cfg/cfg.h"
+#include "isa/assembler.h"
+#include "sim/cpu.h"
+#include "telemetry/json.h"
+
+namespace asimt::profile {
+namespace {
+
+// Heap-allocated and never moved: the profiler keeps a pointer to `cfg`.
+struct Fixture {
+  isa::Program program = isa::assemble(R"(
+        li      $t0, 0
+        li      $t1, 29
+loop:   addiu   $t0, $t0, 1
+        xori    $t2, $t0, 0x155
+        bne     $t0, $t1, loop
+        halt
+)");
+  cfg::Cfg cfg = cfg::build_cfg(program);
+  TransitionProfiler prof{cfg};
+
+  Fixture() {
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    cpu.run(100'000, [&](std::uint32_t pc, std::uint32_t word) {
+      prof.on_fetch(pc, word);
+    });
+    EXPECT_TRUE(cpu.state().halted);
+  }
+};
+
+std::unique_ptr<Fixture> make_fixture() { return std::make_unique<Fixture>(); }
+
+TEST(ReportTest, JsonReportPartitionsReconcile) {
+  const auto fxp = make_fixture();
+  const Fixture& fx = *fxp;
+  const json::Value doc = profile_report(fx.prof, 10);
+
+  const long long total = doc.at("transitions").at("total").as_int();
+  EXPECT_EQ(total, fx.prof.total_transitions());
+  EXPECT_EQ(doc.at("transitions").at("encoded").as_int() +
+                doc.at("transitions").at("unencoded").as_int() +
+                doc.at("transitions").at("out_of_image").as_int(),
+            total);
+  EXPECT_EQ(doc.at("fetches").as_int(),
+            static_cast<long long>(fx.prof.fetches()));
+
+  // per_line sums to the total (every transition flips some set of lines,
+  // each counted once per line).
+  long long line_sum = 0;
+  for (const json::Value& v : doc.at("per_line").as_array()) {
+    line_sum += v.as_int();
+  }
+  EXPECT_EQ(line_sum, total);
+
+  // Blocks are sorted by descending transitions, and each block's own lines
+  // array refines its transition count.
+  const auto& blocks = doc.at("blocks").as_array();
+  ASSERT_FALSE(blocks.empty());
+  long long prev = blocks[0].at("transitions").as_int();
+  for (const json::Value& b : blocks) {
+    const long long t = b.at("transitions").as_int();
+    EXPECT_LE(t, prev);
+    prev = t;
+    if (const json::Value* lines = b.find("lines")) {
+      long long bl = 0;
+      for (const json::Value& v : lines->as_array()) bl += v.as_int();
+      EXPECT_EQ(bl, t);
+    }
+  }
+  // Round-trips through the serializer like every other export.
+  EXPECT_EQ(json::parse(doc.dump(2)), doc);
+}
+
+TEST(ReportTest, AnnotatedListingReconcilesAndMarksEncoding) {
+  auto fxp = make_fixture();
+  Fixture& fx = *fxp;
+  // Mark the loop block encoded so both flags appear in the listing.
+  const cfg::BasicBlock& loop = fx.cfg.blocks[1];
+  fx.prof.mark_encoded(loop.start, loop.instruction_count());
+  const std::string listing = annotate_listing(fx.program, fx.cfg, fx.prof);
+
+  // Per-instruction lines carry pc, exec count, transitions, and disasm;
+  // summed per-word costs equal the total printed in the header.
+  long long word_sum = 0;
+  for (std::size_t i = 0; i < fx.prof.word_count(); ++i) {
+    word_sum += fx.prof.word_transitions(i);
+  }
+  EXPECT_EQ(word_sum, fx.prof.total_transitions());
+  EXPECT_NE(listing.find(std::to_string(fx.prof.total_transitions()) +
+                         " transitions"),
+            std::string::npos);
+  EXPECT_NE(listing.find("# block 0"), std::string::npos);
+  EXPECT_NE(listing.find("# per-block summary"), std::string::npos);
+  EXPECT_NE(listing.find(" E "), std::string::npos);   // encoded marker column
+  EXPECT_NE(listing.find("addiu"), std::string::npos); // disassembly present
+  EXPECT_NE(listing.find("100.0%"), std::string::npos);  // total share line
+}
+
+TEST(ReportTest, SummaryTextNamesHotBlocksAndLines) {
+  const auto fxp = make_fixture();
+  const Fixture& fx = *fxp;
+  const std::string summary = summary_text(fx.prof, 3);
+  EXPECT_NE(summary.find("transitions:"), std::string::npos);
+  EXPECT_NE(summary.find("hot blocks:"), std::string::npos);
+  EXPECT_NE(summary.find("hot bus lines:"), std::string::npos);
+  // The loop block dominates this program; it must lead the hot list.
+  EXPECT_NE(summary.find("block    1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asimt::profile

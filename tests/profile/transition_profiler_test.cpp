@@ -1,0 +1,220 @@
+// Tests for the transition-attribution profiler: hand-computed attribution,
+// exact reconciliation with BusMonitor on real fetch streams, the
+// encoded/unencoded partition, the (block x line) matrix, out-of-image
+// handling, deterministic top-N ordering, metric publication, and the global
+// observe_fetch gate.
+#include "profile/transition_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.h"
+#include "isa/assembler.h"
+#include "sim/bus.h"
+#include "sim/cpu.h"
+#include "telemetry/metrics.h"
+
+namespace asimt::profile {
+namespace {
+
+class TransitionProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_enabled(false);
+    telemetry::MetricsRegistry::global().reset();
+    set_current(nullptr);
+  }
+  void TearDown() override {
+    set_current(nullptr);
+    telemetry::set_enabled(false);
+    telemetry::MetricsRegistry::global().reset();
+  }
+};
+
+constexpr std::uint32_t kBase = 0x1000;
+
+TEST_F(TransitionProfilerTest, HandComputedRawStreamAttribution) {
+  TransitionProfiler prof(kBase, 4);
+  prof.on_fetch(kBase + 0, 0x0);  // first fetch: free
+  prof.on_fetch(kBase + 4, 0x3);  // 0 -> 3: 2 transitions at word 1
+  prof.on_fetch(kBase + 8, 0x1);  // 3 -> 1: 1 transition at word 2
+  prof.on_fetch(kBase + 4, 0x3);  // 1 -> 3: 1 transition at word 1 again
+
+  EXPECT_EQ(prof.fetches(), 4u);
+  EXPECT_EQ(prof.total_transitions(), 4);
+  EXPECT_EQ(prof.word_transitions(0), 0);
+  EXPECT_EQ(prof.word_transitions(1), 3);
+  EXPECT_EQ(prof.word_transitions(2), 1);
+  EXPECT_EQ(prof.word_exec(1), 2u);
+  // Line attribution: 0->3 flips lines 0,1; 3->1 flips line 1; 1->3 flips
+  // line 1.
+  const auto lines = prof.per_line();
+  EXPECT_EQ(lines[0], 1);
+  EXPECT_EQ(lines[1], 3);
+  EXPECT_EQ(lines[2], 0);
+}
+
+TEST_F(TransitionProfilerTest, MatchesBusMonitorOnAnyStream) {
+  TransitionProfiler prof(kBase, 8);
+  sim::BusMonitor bus(/*per_line=*/true);
+  std::uint32_t word = 0x9E3779B9;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t pc = kBase + 4 * (static_cast<std::uint32_t>(i) % 8);
+    bus.observe(word);
+    prof.on_fetch(pc, word);
+    word = word * 1664525u + 1013904223u;
+  }
+  EXPECT_EQ(prof.total_transitions(), bus.total_transitions());
+  const auto prof_lines = prof.per_line();
+  const auto& bus_lines = bus.per_line();
+  for (unsigned b = 0; b < 32; ++b) {
+    EXPECT_EQ(prof_lines[b], bus_lines[b]) << "line " << b;
+  }
+}
+
+TEST_F(TransitionProfilerTest, CfgModeReconcilesWithBusOnRealRun) {
+  const isa::Program program = isa::assemble(R"(
+        li      $t0, 0
+        li      $t1, 37
+loop:   addiu   $t0, $t0, 1
+        xori    $t2, $t0, 0x5A5
+        bne     $t0, $t1, loop
+        halt
+)");
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+  TransitionProfiler prof(cfg);
+  sim::BusMonitor bus(/*per_line=*/true);
+
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  cpu.run(100'000, [&](std::uint32_t pc, std::uint32_t word) {
+    bus.observe(word);
+    prof.on_fetch(pc, word);
+  });
+  ASSERT_TRUE(cpu.state().halted);
+
+  // Totals, per-line, and summed per-block attribution all reconcile with
+  // the monitor on the identical stream.
+  EXPECT_EQ(prof.total_transitions(), bus.total_transitions());
+  const auto prof_lines = prof.per_line();
+  for (unsigned b = 0; b < 32; ++b) {
+    EXPECT_EQ(prof_lines[b], bus.per_line()[b]) << "line " << b;
+  }
+  long long block_sum = 0;
+  for (const BlockCost& cost : prof.blocks()) block_sum += cost.transitions;
+  EXPECT_EQ(block_sum, bus.total_transitions());
+  EXPECT_EQ(prof.out_of_image_fetches(), 0u);
+
+  // The (block x line) matrix is a refinement of both marginals.
+  for (unsigned line = 0; line < 32; ++line) {
+    long long col = 0;
+    for (int blk = 0; blk <= prof.block_count(); ++blk) {
+      col += static_cast<long long>(prof.block_line(blk, line));
+    }
+    EXPECT_EQ(col, prof_lines[line]) << "line " << line;
+  }
+}
+
+TEST_F(TransitionProfilerTest, EncodedUnencodedPartitionIsExhaustive) {
+  TransitionProfiler prof(kBase, 8);
+  prof.mark_encoded(kBase + 8, 3);  // words 2..4 encoded
+  std::uint32_t word = 1;
+  for (int i = 0; i < 64; ++i) {
+    prof.on_fetch(kBase + 4 * (static_cast<std::uint32_t>(i) % 8), word);
+    word = (word << 1) | (word >> 31);
+  }
+  EXPECT_TRUE(prof.word_encoded(2));
+  EXPECT_TRUE(prof.word_encoded(4));
+  EXPECT_FALSE(prof.word_encoded(1));
+  EXPECT_FALSE(prof.word_encoded(5));
+  EXPECT_GT(prof.encoded_transitions(), 0);
+  EXPECT_GT(prof.unencoded_transitions(), 0);
+  EXPECT_EQ(prof.encoded_transitions() + prof.unencoded_transitions() +
+                prof.out_of_image_transitions(),
+            prof.total_transitions());
+}
+
+TEST_F(TransitionProfilerTest, OutOfImageFetchesLandInOverflowSlot) {
+  TransitionProfiler prof(kBase, 2);
+  prof.on_fetch(kBase, 0x0);
+  prof.on_fetch(0xFFFF0000, 0xF);   // above the image: 4 transitions
+  prof.on_fetch(kBase - 4, 0x0);    // below the image (wraps huge): 4 more
+  EXPECT_EQ(prof.out_of_image_fetches(), 2u);
+  EXPECT_EQ(prof.out_of_image_transitions(), 8);
+  EXPECT_EQ(prof.total_transitions(), 8);
+  // blocks() reports the overflow as a trailing index -1 entry.
+  const std::vector<BlockCost> blocks = prof.blocks();
+  ASSERT_FALSE(blocks.empty());
+  EXPECT_EQ(blocks.back().index, -1);
+  EXPECT_EQ(blocks.back().transitions, 8);
+}
+
+TEST_F(TransitionProfilerTest, TopBlocksSortsDeterministically) {
+  std::vector<BlockCost> all(4);
+  all[0] = {.index = 0, .transitions = 5};
+  all[1] = {.index = 1, .transitions = 9};
+  all[2] = {.index = 2, .transitions = 5};
+  all[3] = {.index = 3, .transitions = 7};
+  const std::vector<BlockCost> top = top_blocks(all, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].index, 1);
+  EXPECT_EQ(top[1].index, 3);
+  EXPECT_EQ(top[2].index, 0);  // tie with block 2 broken by lower index
+  EXPECT_EQ(top_blocks(all, 100).size(), 4u);
+}
+
+TEST_F(TransitionProfilerTest, PublishEmitsProfileCounters) {
+  telemetry::set_enabled(true);
+  TransitionProfiler prof(kBase, 4);
+  prof.mark_encoded(kBase, 2);
+  prof.on_fetch(kBase + 0, 0x0);
+  prof.on_fetch(kBase + 4, 0x7);   // 3 transitions, encoded
+  prof.on_fetch(kBase + 8, 0x6);   // 1 transition, unencoded
+  telemetry::MetricsRegistry reg;
+  prof.publish(reg);
+  EXPECT_EQ(reg.counter("profile.fetches").value(), 3);
+  EXPECT_EQ(reg.counter("profile.transitions").value(), 4);
+  EXPECT_EQ(reg.counter("profile.transitions.encoded").value(), 3);
+  EXPECT_EQ(reg.counter("profile.transitions.unencoded").value(), 1);
+}
+
+TEST_F(TransitionProfilerTest, PublishIsNoOpWhenTelemetryDisabled) {
+  TransitionProfiler prof(kBase, 4);
+  prof.on_fetch(kBase, 0xFF);
+  telemetry::MetricsRegistry reg;
+  prof.publish(reg);
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST_F(TransitionProfilerTest, GlobalGateRoutesToInstalledProfiler) {
+  // No profiler installed: the hook is a no-op, not a crash.
+  observe_fetch(kBase, 0xDEAD);
+  EXPECT_EQ(current(), nullptr);
+
+  TransitionProfiler prof(kBase, 4);
+  set_current(&prof);
+  observe_fetch(kBase + 0, 0x0);
+  observe_fetch(kBase + 4, 0x3);
+  set_current(nullptr);
+  observe_fetch(kBase + 8, 0xFFFF);  // after clearing: ignored
+  EXPECT_EQ(prof.fetches(), 2u);
+  EXPECT_EQ(prof.total_transitions(), 2);
+}
+
+TEST_F(TransitionProfilerTest, ResetClearsEverythingButEncodedMarks) {
+  TransitionProfiler prof(kBase, 4);
+  prof.mark_encoded(kBase, 4);
+  prof.on_fetch(kBase, 0x1);
+  prof.on_fetch(kBase + 4, 0x2);
+  prof.reset();
+  EXPECT_EQ(prof.fetches(), 0u);
+  EXPECT_EQ(prof.total_transitions(), 0);
+  EXPECT_TRUE(prof.word_encoded(0));  // the static encoding map survives
+  // The first fetch after reset is free again.
+  prof.on_fetch(kBase, 0xFFFFFFFF);
+  EXPECT_EQ(prof.total_transitions(), 0);
+}
+
+}  // namespace
+}  // namespace asimt::profile

@@ -113,6 +113,34 @@ TEST(ICache, OutOfImageRefillsReadZero) {
   EXPECT_EQ(cache.stats().refill_words, 4u);  // full line streamed anyway
 }
 
+TEST(ICache, RefillHookSeesEveryRefillWordInBurstOrder) {
+  InstructionCache cache({16, 4, 1});
+  const TextImage image = make_image(6, 0x1000);  // line 2 is half outside
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> seen;
+  cache.set_refill_hook([&](std::uint32_t addr, std::uint32_t word) {
+    seen.emplace_back(addr, word);
+  });
+
+  cache.access(0x1000, image);  // miss: one 4-word burst
+  cache.access(0x1004, image);  // hit: the hook must not fire
+  cache.access(0x1010, image);  // miss: burst straddles the image end
+
+  ASSERT_EQ(seen.size(), cache.stats().refill_words);
+  ASSERT_EQ(seen.size(), 8u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    const std::uint32_t addr = seen[i].first;
+    EXPECT_EQ(addr, 0x1000u + 4 * static_cast<std::uint32_t>(i));
+    EXPECT_EQ(seen[i].second,
+              image.contains(addr) ? image.word_at(addr) : 0u);
+  }
+
+  // The hook observes the exact refill-bus stream: replaying it through a
+  // fresh monitor reproduces the cache's own refill transition count.
+  BusMonitor replay;
+  for (const auto& pair : seen) replay.observe(pair.second);
+  EXPECT_EQ(replay.total_transitions(), cache.refill_bus_transitions());
+}
+
 TEST(ICache, ValidatesConfig) {
   EXPECT_THROW(InstructionCache({12, 4, 1}), std::invalid_argument);
   EXPECT_THROW(InstructionCache({16, 3, 1}), std::invalid_argument);

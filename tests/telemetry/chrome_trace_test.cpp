@@ -1,0 +1,117 @@
+// Tests for the JSONL -> Chrome Trace Event converter.
+#include "telemetry/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "telemetry/json.h"
+#include "telemetry/trace.h"
+
+namespace asimt::telemetry {
+namespace {
+
+// Collects the events of a given ph kind from a converted document.
+std::vector<const json::Value*> events_of(const json::Value& doc,
+                                          const std::string& ph) {
+  std::vector<const json::Value*> out;
+  for (const json::Value& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == ph) out.push_back(&e);
+  }
+  return out;
+}
+
+TEST(ChromeTraceTest, MapsBeginEndSpansWithTimestampsAndTids) {
+  const char* jsonl =
+      "{\"ev\":\"begin\",\"name\":\"workload.fft\",\"depth\":0,\"t_us\":10}\n"
+      "{\"ev\":\"begin\",\"name\":\"sweep.k5\",\"depth\":0,\"t_us\":40,"
+      "\"tid\":2}\n"
+      "{\"ev\":\"end\",\"name\":\"sweep.k5\",\"depth\":0,\"t_us\":90,"
+      "\"dur_us\":50,\"tid\":2}\n"
+      "{\"ev\":\"end\",\"name\":\"workload.fft\",\"depth\":0,\"t_us\":120,"
+      "\"dur_us\":110}\n";
+  const json::Value doc = chrome_trace_from_jsonl(jsonl);
+
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const auto begins = events_of(doc, "B");
+  const auto ends = events_of(doc, "E");
+  ASSERT_EQ(begins.size(), 2u);
+  ASSERT_EQ(ends.size(), 2u);
+
+  EXPECT_EQ(begins[0]->at("name").as_string(), "workload.fft");
+  EXPECT_EQ(begins[0]->at("ts").as_int(), 10);
+  EXPECT_EQ(begins[0]->at("tid").as_int(), 0);  // tid defaults to 0
+  EXPECT_EQ(begins[0]->at("pid").as_int(), 1);
+  EXPECT_EQ(begins[1]->at("name").as_string(), "sweep.k5");
+  EXPECT_EQ(begins[1]->at("tid").as_int(), 2);
+  EXPECT_EQ(ends[1]->at("ts").as_int(), 120);
+}
+
+TEST(ChromeTraceTest, EmitsProcessAndThreadNameMetadata) {
+  const char* jsonl =
+      "{\"ev\":\"begin\",\"name\":\"a\",\"depth\":0,\"t_us\":1}\n"
+      "{\"ev\":\"begin\",\"name\":\"b\",\"depth\":0,\"t_us\":2,\"tid\":3}\n";
+  const json::Value doc = chrome_trace_from_jsonl(jsonl);
+
+  const auto meta = events_of(doc, "M");
+  ASSERT_EQ(meta.size(), 3u);  // process_name + two thread_name entries
+  EXPECT_EQ(meta[0]->at("name").as_string(), "process_name");
+  EXPECT_EQ(meta[0]->at("args").at("name").as_string(), "asimt");
+  EXPECT_EQ(meta[1]->at("name").as_string(), "thread_name");
+  EXPECT_EQ(meta[1]->at("tid").as_int(), 0);
+  EXPECT_EQ(meta[1]->at("args").at("name").as_string(), "main");
+  EXPECT_EQ(meta[2]->at("tid").as_int(), 3);
+  EXPECT_EQ(meta[2]->at("args").at("name").as_string(), "worker-3");
+}
+
+TEST(ChromeTraceTest, InstantEventsCarryExtraFieldsAsArgs) {
+  const char* jsonl =
+      "{\"ev\":\"instant\",\"name\":\"note\",\"t_us\":7,\"tid\":1,"
+      "\"workload\":\"fft\",\"detail\":\"x\"}\n";
+  const json::Value doc = chrome_trace_from_jsonl(jsonl);
+
+  const auto instants = events_of(doc, "i");
+  ASSERT_EQ(instants.size(), 1u);
+  const json::Value& e = *instants[0];
+  EXPECT_EQ(e.at("s").as_string(), "t");
+  EXPECT_EQ(e.at("ts").as_int(), 7);
+  EXPECT_EQ(e.at("tid").as_int(), 1);
+  const json::Value& args = e.at("args");
+  EXPECT_EQ(args.at("workload").as_string(), "fft");
+  EXPECT_EQ(args.at("detail").as_string(), "x");
+  EXPECT_EQ(args.find("ev"), nullptr);    // bookkeeping fields excluded
+  EXPECT_EQ(args.find("t_us"), nullptr);
+}
+
+TEST(ChromeTraceTest, SkipsUnknownKindsAndRejectsMissingEv) {
+  const json::Value doc = chrome_trace_from_jsonl(
+      "{\"ev\":\"future_kind\",\"name\":\"x\",\"t_us\":1}\n");
+  EXPECT_TRUE(events_of(doc, "B").empty());
+  EXPECT_TRUE(events_of(doc, "E").empty());
+
+  EXPECT_THROW(chrome_trace_from_jsonl("{\"name\":\"x\",\"t_us\":1}\n"),
+               std::runtime_error);
+}
+
+TEST(ChromeTraceTest, ConvertsALiveTraceStreamAndRoundTrips) {
+  std::ostringstream oss;
+  set_trace_stream(&oss);
+  {
+    TracePhase outer("outer");
+    TracePhase inner("inner");
+    trace_instant("marker", {{"k", "v"}});
+  }
+  set_trace_stream(nullptr);
+
+  const json::Value doc = chrome_trace_from_jsonl(oss.str());
+  ASSERT_EQ(events_of(doc, "B").size(), 2u);
+  ASSERT_EQ(events_of(doc, "E").size(), 2u);
+  ASSERT_EQ(events_of(doc, "i").size(), 1u);
+  // The converted document survives its own serializer.
+  EXPECT_EQ(json::parse(doc.dump(2)), doc);
+}
+
+}  // namespace
+}  // namespace asimt::telemetry

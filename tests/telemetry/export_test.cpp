@@ -83,6 +83,34 @@ TEST_F(ExportTest, PrometheusSanitizesNamesAndTypes) {
   EXPECT_NE(prom.find("asimt_phase_encode_us_sum 7\n"), std::string::npos);
 }
 
+TEST_F(ExportTest, PrometheusEmitsCumulativeHistogramBuckets) {
+  Histogram& h = reg_.histogram("phase.encode.us");
+  h.observe(0.5);  // bucket 0: < 1          -> le="1"
+  h.observe(3.0);  // bucket 2: [2, 4)       -> le="4"
+  h.observe(3.5);  // bucket 2
+  h.observe(7.0);  // bucket 3: [4, 8)       -> le="8"
+  const std::string prom = metrics_prometheus(reg_);
+  EXPECT_NE(prom.find("# TYPE asimt_phase_encode_us histogram\n"),
+            std::string::npos);
+  // Cumulative counts at each power-of-two upper bound, ending in +Inf = count.
+  EXPECT_NE(prom.find("asimt_phase_encode_us_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("asimt_phase_encode_us_bucket{le=\"4\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("asimt_phase_encode_us_bucket{le=\"8\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("asimt_phase_encode_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  // The scalar series survive the histogram switch.
+  EXPECT_NE(prom.find("asimt_phase_encode_us_count 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("asimt_phase_encode_us_sum 14\n"), std::string::npos);
+  EXPECT_NE(prom.find("asimt_phase_encode_us_min 0.5\n"), std::string::npos);
+  EXPECT_NE(prom.find("asimt_phase_encode_us_max 7\n"), std::string::npos);
+  EXPECT_NE(prom.find("asimt_phase_encode_us_mean 3.5\n"), std::string::npos);
+  // Histograms no longer masquerade as the summary type.
+  EXPECT_EQ(prom.find("summary"), std::string::npos);
+}
+
 TEST_F(ExportTest, BusMonitorPublishesPerLineMetrics) {
   set_enabled(true);
   sim::BusMonitor bus(/*per_line=*/true);

@@ -1,0 +1,118 @@
+// Concurrent-tracing integration test (suite name must keep matching the
+// TraceConcurrency filter the CI TSan lane runs): a traced --jobs 8 workload
+// sweep must produce a JSONL stream where every line parses and every
+// thread's begin/end events replay as a coherent span stack, even though
+// pool workers interleave arbitrarily in the file.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiments/experiment.h"
+#include "parallel/pool.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "workloads/workload.h"
+
+namespace asimt::telemetry {
+namespace {
+
+class TraceConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+    set_trace_stream(&out_);
+  }
+  void TearDown() override {
+    set_trace_stream(nullptr);
+    parallel::set_default_jobs(0);
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+  }
+
+  std::ostringstream out_;
+};
+
+TEST_F(TraceConcurrencyTest, ParallelSweepEmitsCoherentPerThreadSpans) {
+  parallel::set_default_jobs(8);
+
+  experiments::ExperimentOptions options;
+  const experiments::WorkloadResult result = experiments::run_workload(
+      workloads::make_fft(workloads::SizeConfig::small()), options);
+  ASSERT_TRUE(result.check_passed) << result.check_error;
+
+  set_trace_stream(nullptr);  // flush/teardown before inspecting the buffer
+  const std::string jsonl = out_.str();
+  ASSERT_FALSE(jsonl.empty());
+
+  // Every line is a standalone JSON object — interleaved writers must never
+  // tear lines.
+  const std::vector<json::Value> events = json::parse_lines(jsonl);
+  ASSERT_FALSE(events.empty());
+
+  // Replay each thread's begin/end events as a stack: begins announce their
+  // own depth (== current stack size), ends match the innermost open span.
+  std::map<long long, std::vector<std::string>> stacks;
+  int sweep_spans = 0;
+  for (const json::Value& e : events) {
+    const std::string& kind = e.at("ev").as_string();
+    const json::Value* tid_field = e.find("tid");
+    const long long tid = tid_field == nullptr ? 0 : tid_field->as_int();
+    auto& stack = stacks[tid];
+    if (kind == "begin") {
+      EXPECT_EQ(e.at("depth").as_int(), static_cast<long long>(stack.size()))
+          << "tid " << tid << " span " << e.at("name").as_string();
+      stack.push_back(e.at("name").as_string());
+      if (stack.back().rfind("sweep.k", 0) == 0) ++sweep_spans;
+    } else if (kind == "end") {
+      ASSERT_FALSE(stack.empty()) << "tid " << tid << " end without begin";
+      EXPECT_EQ(e.at("name").as_string(), stack.back()) << "tid " << tid;
+      EXPECT_EQ(e.at("depth").as_int(),
+                static_cast<long long>(stack.size()) - 1);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "tid " << tid << " left "
+                               << stack.size() << " spans open";
+  }
+
+  // The per-block-size sweep spans all appear, one per configured k.
+  EXPECT_EQ(sweep_spans, static_cast<int>(options.block_sizes.size()));
+}
+
+TEST_F(TraceConcurrencyTest, StreamIsIdenticalInContentAcrossJobCounts) {
+  // Not byte-identical (timestamps and interleaving differ), but the
+  // multiset of span names must not depend on the job count.
+  auto span_names = [](const std::string& jsonl) {
+    std::map<std::string, int> names;
+    for (const json::Value& e : json::parse_lines(jsonl)) {
+      if (e.at("ev").as_string() == "begin") {
+        ++names[e.at("name").as_string()];
+      }
+    }
+    return names;
+  };
+
+  experiments::ExperimentOptions options;
+  const workloads::Workload workload =
+      workloads::make_fir(workloads::SizeConfig::small());
+
+  parallel::set_default_jobs(1);
+  (void)experiments::run_workload(workload, options);
+  const std::string serial = out_.str();
+  out_.str("");
+
+  parallel::set_default_jobs(8);
+  (void)experiments::run_workload(workload, options);
+  const std::string parallel_run = out_.str();
+
+  EXPECT_EQ(span_names(serial), span_names(parallel_run));
+}
+
+}  // namespace
+}  // namespace asimt::telemetry

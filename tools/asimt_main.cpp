@@ -7,6 +7,7 @@
 //                                          build a power-encoded firmware image
 //   asimt info    fw.img                   inspect a firmware image
 //   asimt fuzz    [--seed S] [--iters N]   differential fuzz the encoder stack
+//   asimt profile prog.s [--top N]         transition-attribution power profile
 //
 // Observability (any command): `--metrics out.json` writes a metrics-registry
 // snapshot on exit, `--trace out.jsonl` streams phase spans as JSON lines,
@@ -37,8 +38,11 @@
 #include "experiments/experiment.h"
 #include "isa/assembler.h"
 #include "parallel/pool.h"
+#include "profile/report.h"
+#include "profile/transition_profiler.h"
 #include "sim/bus.h"
 #include "sim/cpu.h"
+#include "telemetry/chrome_trace.h"
 #include "telemetry/export.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
@@ -50,7 +54,7 @@ namespace {
 using namespace asimt;
 
 const char kUsage[] =
-    "usage: asimt <disasm|run|report|encode|info|fuzz> [<file>] [options]\n"
+    "usage: asimt <disasm|run|report|encode|info|fuzz|profile> [<file>] [options]\n"
     "  disasm prog.s\n"
     "  run    prog.s [--max-steps N] [--json]\n"
     "  report prog.s [-k list] [--json]\n"
@@ -60,9 +64,15 @@ const char kUsage[] =
     "         differential fuzzing of the encoder/decoder stack; shrunk\n"
     "         reproducers land in DIR (default fuzz-reproducers); --mutate\n"
     "         overlap|initial-plain self-checks the oracles (must fail)\n"
+    "  profile prog.s [-k K] [--tt N] [--top N] [--out prof.json]\n"
+    "         [--annotate listing.txt] [--json] [--max-steps N]\n"
+    "         encode, replay the encoded bus stream, and attribute every\n"
+    "         dynamic bus transition to instructions, blocks, and bus lines\n"
     "observability options (any command):\n"
     "  --metrics out.json   write a metrics snapshot on exit\n"
     "  --trace out.jsonl    stream phase spans as JSON lines\n"
+    "  --chrome-trace t.json  write the phase trace as a Chrome/Perfetto\n"
+    "                       trace (standalone or alongside --trace)\n"
     "  --telemetry          enable metric counting without output files\n"
     "  --jobs N             worker threads for parallel stages (default:\n"
     "                       hardware concurrency; 1 = fully serial)\n"
@@ -189,6 +199,8 @@ int cmd_report(const std::string& path, const std::vector<int>& block_sizes,
   // a private slot, so totals never depend on reduction order.
   const std::vector<long long> encoded_per_k =
       parallel::parallel_map(block_sizes.size(), [&](std::size_t idx) {
+        telemetry::TracePhase sweep_phase("sweep.k" +
+                                          std::to_string(block_sizes[idx]));
         telemetry::TracePhase phase("encode");
         core::ChainOptions options;
         options.block_size = block_sizes[idx];
@@ -311,6 +323,104 @@ int cmd_fuzz(const check::FuzzOptions& options, const check::OracleHooks& hooks)
   return report.ok() ? 0 : 1;
 }
 
+// Encodes the program under (k, tt_budget), replays the same deterministic
+// execution with the *encoded* image on the bus, and attributes every dynamic
+// Hamming transition to the instruction fetching it. A BusMonitor rides the
+// identical stream; the command fails if the two ever disagree, so the
+// report's totals are guaranteed to equal `bus.fetch.transitions`.
+int cmd_profile(const std::string& path, int k, int tt_budget,
+                std::uint64_t max_steps, int top_n, bool json_mode,
+                const std::string& out_path, const std::string& annotate_path) {
+  const isa::Program program = assemble_or_die(path);
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+
+  // Run 1: the profile that drives selection (same policy as `encode`).
+  cfg::Profile profile;
+  {
+    telemetry::TracePhase phase("profile");
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    cfg::Profiler profiler(cfg);
+    cpu.run(max_steps,
+            [&](std::uint32_t pc, std::uint32_t) { profiler.on_fetch(pc); });
+    if (!cpu.state().halted) {
+      std::fprintf(stderr, "asimt: %s: did not halt within --max-steps\n",
+                   path.c_str());
+      return 1;
+    }
+    profile = profiler.take();
+  }
+
+  core::SelectionOptions sel;
+  sel.chain.block_size = k;
+  sel.tt_budget = tt_budget;
+  sel.bbit_budget = tt_budget;
+  const core::SelectionResult selection =
+      core::select_and_encode(cfg, profile, sel);
+  const std::vector<std::uint32_t> image =
+      selection.apply_to_text(cfg.text, cfg.text_base);
+
+  // Run 2: replay, observing the encoded words the bus actually carries.
+  profile::TransitionProfiler prof(cfg);
+  for (const core::BlockEncoding& enc : selection.encodings) {
+    prof.mark_encoded(enc.start_pc, enc.encoded_words.size());
+  }
+  sim::BusMonitor bus(/*per_line=*/true);
+  {
+    telemetry::TracePhase phase("measure");
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    profile::set_current(&prof);
+    cpu.run(max_steps, [&](std::uint32_t pc, std::uint32_t word) {
+      const std::size_t idx = (pc - cfg.text_base) / 4;
+      const std::uint32_t bus_word = idx < image.size() ? image[idx] : word;
+      bus.observe(bus_word);
+      profile::observe_fetch(pc, bus_word);
+    });
+    profile::set_current(nullptr);
+  }
+  bus.publish("bus.fetch");
+  prof.publish();
+
+  if (prof.total_transitions() != bus.total_transitions()) {
+    std::fprintf(stderr,
+                 "asimt: internal error: profiler total %lld != bus total %lld\n",
+                 prof.total_transitions(), bus.total_transitions());
+    return 1;
+  }
+
+  const json::Value report =
+      profile::profile_report(prof, static_cast<std::size_t>(top_n));
+  if (!out_path.empty() &&
+      !telemetry::write_text_file(out_path, report.dump(2) + "\n")) {
+    std::fprintf(stderr, "asimt: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!annotate_path.empty()) {
+    isa::Program encoded = program;
+    encoded.text = image;
+    if (!telemetry::write_text_file(
+            annotate_path, profile::annotate_listing(encoded, cfg, prof))) {
+      std::fprintf(stderr, "asimt: cannot write %s\n", annotate_path.c_str());
+      return 1;
+    }
+  }
+  if (json_mode) {
+    std::printf("%s\n", report.dump(2).c_str());
+  } else {
+    std::printf("%s: k=%d, %zu blocks encoded, %d/%d TT entries\n",
+                path.c_str(), k, selection.encodings.size(),
+                selection.tt_entries_used, tt_budget);
+    std::fputs(profile::summary_text(prof, static_cast<std::size_t>(top_n)).c_str(),
+               stdout);
+  }
+  return 0;
+}
+
 std::vector<int> parse_k_list(const std::string& text) {
   std::vector<int> out;
   std::stringstream ss(text);
@@ -345,7 +455,8 @@ int main(int argc, char** argv) {
   if (argc < 2) usage_error("missing command");
   const std::string command = argv[1];
   if (command != "disasm" && command != "run" && command != "report" &&
-      command != "encode" && command != "info" && command != "fuzz") {
+      command != "encode" && command != "info" && command != "fuzz" &&
+      command != "profile") {
     usage_error("unknown command '" + command + "'");
   }
   const bool takes_file = command != "fuzz";
@@ -355,9 +466,12 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string chrome_trace_path;
+  std::string annotate_path;
   bool json_mode = false;
   int k = 5;
   int tt_budget = 16;
+  int top_n = 10;
   std::uint64_t max_steps = 100'000'000;
   std::uint64_t profile_steps = 1'000'000;
   bool static_mode = false;
@@ -407,10 +521,19 @@ int main(int argc, char** argv) {
     else if (arg == "--json") json_mode = true;
     else if (arg == "--metrics") metrics_path = next();
     else if (arg == "--trace") trace_path = next();
+    else if (arg == "--chrome-trace") chrome_trace_path = next();
+    else if (arg == "--top") top_n = next_int(1, 1 << 20);
+    else if (arg == "--annotate") annotate_path = next();
     else if (arg == "--telemetry") telemetry::set_enabled(true);
     else if (arg == "--seed") fuzz.seed = next_u64();
     else if (arg == "--iters") fuzz.iters = next_u64();
-    else if (arg == "--out") fuzz.reproducer_dir = next();
+    else if (arg == "--out") {
+      // fuzz: reproducer directory; profile: report path. Set both — the
+      // commands never share an invocation.
+      const std::string value = next();
+      fuzz.reproducer_dir = value;
+      out_path = value;
+    }
     else if (arg == "--mutate") {
       const std::string rule = next();
       if (rule == "overlap") hooks.break_overlap_reload = true;
@@ -424,6 +547,10 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_path.empty()) telemetry::set_enabled(true);
+  // --chrome-trace without --trace captures the JSONL stream in memory and
+  // converts it on exit; with --trace, the written file is converted instead
+  // (both outputs come from the same stream, so they always agree).
+  std::ostringstream chrome_capture;
   if (!trace_path.empty()) {
     telemetry::set_enabled(true);
     if (!telemetry::open_trace(trace_path)) {
@@ -431,6 +558,9 @@ int main(int argc, char** argv) {
                    trace_path.c_str());
       return 1;
     }
+  } else if (!chrome_trace_path.empty()) {
+    telemetry::set_enabled(true);
+    telemetry::set_trace_stream(&chrome_capture);
   }
 
   int rc = 0;
@@ -443,6 +573,9 @@ int main(int argc, char** argv) {
       rc = cmd_encode(file, out_path, k, tt_budget, profile_steps, static_mode);
     } else if (command == "fuzz") {
       rc = cmd_fuzz(fuzz, hooks);
+    } else if (command == "profile") {
+      rc = cmd_profile(file, k, tt_budget, max_steps, top_n, json_mode,
+                       out_path, annotate_path);
     } else {
       rc = cmd_info(file);
     }
@@ -459,5 +592,27 @@ int main(int argc, char** argv) {
     rc = rc == 0 ? 1 : rc;
   }
   telemetry::close_trace();
+
+  if (!chrome_trace_path.empty()) {
+    std::string jsonl;
+    if (!trace_path.empty()) {
+      jsonl = read_text_file(trace_path);
+    } else {
+      telemetry::set_trace_stream(nullptr);
+      jsonl = chrome_capture.str();
+    }
+    try {
+      const json::Value chrome = telemetry::chrome_trace_from_jsonl(jsonl);
+      if (!telemetry::write_text_file(chrome_trace_path, chrome.dump(2) + "\n")) {
+        std::fprintf(stderr, "asimt: cannot write chrome trace file %s\n",
+                     chrome_trace_path.c_str());
+        rc = rc == 0 ? 1 : rc;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "asimt: chrome trace conversion failed: %s\n",
+                   e.what());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
   return rc;
 }

@@ -1,0 +1,184 @@
+// benchdiff — compare two BENCH_*.json perf-trajectory files.
+//
+//   benchdiff old.json new.json [--threshold PCT]
+//
+// Understands both bench artifact shapes:
+//   micro_throughput: {"bench":"micro_throughput","benchmarks":[{name,
+//       iterations, real_time_ns, cpu_time_ns, ...}]}  — rows keyed by name,
+//       cpu_time_ns compared; slower than --threshold percent (default 10)
+//       is a regression.
+//   verify_full: {"bench":"verify_full","rows":[{workload, block_size,
+//       transitions, reduction_percent, restored, ...}]} — rows keyed by
+//       (workload, block_size). Transition counts are *deterministic*, so any
+//       change at all is flagged (that is a measurement drift, not noise),
+//       and a row whose `restored` flips to false always fails.
+//
+// Exit status: 0 clean, 1 regression(s), 2 usage / unreadable input. Rows
+// present in only one file are reported but do not fail the diff (benches
+// grow; renames should read as add+remove, not silent coverage loss).
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "util/args.h"
+
+namespace {
+
+using asimt::json::Value;
+
+[[noreturn]] void usage_error(const char* diagnostic) {
+  if (diagnostic != nullptr) std::fprintf(stderr, "benchdiff: %s\n", diagnostic);
+  std::fputs("usage: benchdiff old.json new.json [--threshold PCT]\n", stderr);
+  std::exit(2);
+}
+
+Value load_or_die(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "benchdiff: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    return asimt::json::parse(ss.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", path.c_str(), e.what());
+    std::exit(2);
+  }
+}
+
+struct Row {
+  std::string key;
+  const Value* value;
+};
+
+// Key rows by name (micro_throughput) or workload/k (verify_full); `field` is
+// the array member each shape stores its rows under.
+std::vector<Row> rows_of(const Value& doc, const std::string& bench) {
+  const char* field = bench == "verify_full" ? "rows" : "benchmarks";
+  const Value* rows = doc.find(field);
+  if (rows == nullptr || !rows->is_array()) {
+    std::fprintf(stderr, "benchdiff: missing '%s' array\n", field);
+    std::exit(2);
+  }
+  std::vector<Row> out;
+  for (const Value& row : rows->as_array()) {
+    std::string key;
+    if (bench == "verify_full") {
+      key = row.at("workload").as_string() + "/k" +
+            std::to_string(row.at("block_size").as_int());
+    } else {
+      key = row.at("name").as_string();
+    }
+    out.push_back({std::move(key), &row});
+  }
+  return out;
+}
+
+const Value* find_row(const std::vector<Row>& rows, const std::string& key) {
+  for (const Row& row : rows) {
+    if (row.key == key) return row.value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  double threshold = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs("usage: benchdiff old.json new.json [--threshold PCT]\n",
+                 stdout);
+      return 0;
+    }
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) usage_error("--threshold needs a value");
+      const std::optional<double> parsed =
+          asimt::util::parse_number<double>(argv[++i]);
+      if (!parsed || *parsed < 0) {
+        usage_error("--threshold needs a non-negative percentage");
+      }
+      threshold = *parsed;
+    } else if (arg[0] == '-') {
+      usage_error(("unknown option '" + arg + "'").c_str());
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) usage_error("need exactly two files");
+
+  const Value old_doc = load_or_die(files[0]);
+  const Value new_doc = load_or_die(files[1]);
+  const Value* old_bench = old_doc.find("bench");
+  const Value* new_bench = new_doc.find("bench");
+  if (old_bench == nullptr || new_bench == nullptr) {
+    usage_error("inputs are not BENCH_*.json artifacts (no 'bench' field)");
+  }
+  if (!(*old_bench == *new_bench)) {
+    std::fprintf(stderr, "benchdiff: comparing different benches: %s vs %s\n",
+                 old_bench->as_string().c_str(),
+                 new_bench->as_string().c_str());
+    return 2;
+  }
+  const std::string bench = old_bench->as_string();
+  const std::vector<Row> old_rows = rows_of(old_doc, bench);
+  const std::vector<Row> new_rows = rows_of(new_doc, bench);
+
+  int regressions = 0;
+  std::printf("benchdiff: %s, %zu -> %zu rows, threshold %.1f%%\n",
+              bench.c_str(), old_rows.size(), new_rows.size(), threshold);
+  for (const Row& row : new_rows) {
+    const Value* old_row = find_row(old_rows, row.key);
+    if (old_row == nullptr) {
+      std::printf("  NEW   %s\n", row.key.c_str());
+      continue;
+    }
+    if (bench == "verify_full") {
+      const long long before = old_row->at("transitions").as_int();
+      const long long after = row.value->at("transitions").as_int();
+      const bool restored = row.value->at("restored").as_bool();
+      if (!restored) {
+        std::printf("  FAIL  %s: decode verification failed\n", row.key.c_str());
+        ++regressions;
+      } else if (before != after) {
+        std::printf("  DRIFT %s: transitions %lld -> %lld (deterministic "
+                    "metric changed)\n",
+                    row.key.c_str(), before, after);
+        ++regressions;
+      } else {
+        std::printf("  ok    %s: transitions %lld\n", row.key.c_str(), after);
+      }
+    } else {
+      const double before = old_row->at("cpu_time_ns").as_double();
+      const double after = row.value->at("cpu_time_ns").as_double();
+      const double delta =
+          before > 0 ? 100.0 * (after - before) / before : 0.0;
+      const bool slow = delta > threshold;
+      std::printf("  %s %-44s %12.1f -> %12.1f ns  %+6.1f%%\n",
+                  slow ? "SLOW " : "ok   ", row.key.c_str(), before, after,
+                  delta);
+      if (slow) ++regressions;
+    }
+  }
+  for (const Row& row : old_rows) {
+    if (find_row(new_rows, row.key) == nullptr) {
+      std::printf("  GONE  %s\n", row.key.c_str());
+    }
+  }
+  if (regressions > 0) {
+    std::printf("benchdiff: %d regression(s) beyond %.1f%%\n", regressions,
+                threshold);
+    return 1;
+  }
+  std::printf("benchdiff: clean\n");
+  return 0;
+}
