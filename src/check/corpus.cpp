@@ -1,0 +1,100 @@
+#include "check/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace asimt::check {
+namespace {
+
+// Reads the whole file; false (with errno-free diagnostics kept simple)
+// when the file cannot be opened or a read fails mid-way.
+bool slurp(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  out = buffer.str();
+  return true;
+}
+
+// The case text with comment and blank lines (and CR line endings) removed:
+// what remains is exactly what parse_case consumed, comparable against the
+// canonical serialize_case form.
+std::string strip_comments(std::string_view text) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view row = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!row.empty() && row.back() == '\r') row.remove_suffix(1);
+    if (row.empty() || row.front() == '#') continue;
+    out.append(row);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace
+
+CorpusReport replay_corpus_dir(const std::string& dir,
+                               const OracleHooks& hooks) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    throw std::runtime_error("corpus replay: cannot enumerate '" + dir +
+                             "': " + ec.message());
+  }
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file() && entry.path().extension() == ".case") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  CorpusReport report;
+  for (const std::filesystem::path& path : paths) {
+    CorpusFileResult result;
+    result.file = path.string();
+    std::string text;
+    if (!slurp(path, text)) {
+      result.error = result.file + ": read error: cannot open or read file";
+      report.files.push_back(std::move(result));
+      continue;
+    }
+    FuzzCase c;
+    try {
+      c = parse_case(text);
+    } catch (const std::exception& e) {
+      result.error = result.file + ": parse error: " + e.what();
+      report.files.push_back(std::move(result));
+      continue;
+    }
+    result.parsed = true;
+    result.oracle = c.oracle;
+    // A checked-in reproducer must stay canonical modulo comments: a hand
+    // edit that leaves stale or duplicate fields parses (last key wins), so
+    // the text could claim one case while the replay exercises another.
+    if (strip_comments(text) != serialize_case(c)) {
+      result.error = result.file + ": round-trip drift: file is not the "
+                                   "canonical form of the case it encodes "
+                                   "(re-serialize with `asimt fuzz` tooling)";
+      report.files.push_back(std::move(result));
+      continue;
+    }
+    if (std::optional<std::string> failure = run_case(c, hooks)) {
+      result.error = result.file + ": oracle " +
+                     std::string(oracle_name(c.oracle)) +
+                     " failed: " + *failure;
+    }
+    report.files.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace asimt::check

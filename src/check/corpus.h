@@ -1,0 +1,45 @@
+// Regression-corpus replay as a library: enumerate a directory of checked-in
+// .case reproducers, parse each, run its oracle, and report per-file results.
+//
+// Robustness contract (docs/FUZZING.md): a corrupt, truncated, or unreadable
+// .case file produces a NAMED error identifying the file and the stage that
+// rejected it — never a crash, and never a silent skip that would let a
+// rotted reproducer stop guarding its bug. Both the corpus_tests ctest lane
+// and external tooling replay through this one entry point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/fuzz_case.h"
+#include "check/oracles.h"
+
+namespace asimt::check {
+
+struct CorpusFileResult {
+  std::string file;                   // full path of the .case file
+  Oracle oracle = Oracle::kRoundTrip;  // valid only when parsed
+  bool parsed = false;
+  // Empty on success; otherwise "<file>: <stage>: <detail>" — read error,
+  // parse error, round-trip drift, or oracle failure.
+  std::string error;
+  bool passed() const { return error.empty(); }
+};
+
+struct CorpusReport {
+  std::vector<CorpusFileResult> files;  // sorted by path, every .case listed
+  std::size_t failures() const {
+    std::size_t n = 0;
+    for (const CorpusFileResult& f : files) n += !f.passed();
+    return n;
+  }
+  bool ok() const { return failures() == 0; }
+};
+
+// Replays every .case file under `dir` (non-recursive, sorted by path).
+// Throws std::runtime_error naming the directory when it cannot be
+// enumerated at all; per-file problems land in the report instead.
+CorpusReport replay_corpus_dir(const std::string& dir,
+                               const OracleHooks& hooks = {});
+
+}  // namespace asimt::check

@@ -1,7 +1,11 @@
 #include "check/fuzzer.h"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+
+#include "telemetry/json.h"
 
 #include "check/gen.h"
 #include "parallel/pool.h"
@@ -38,28 +42,52 @@ std::string write_reproducer(const std::string& dir, const FuzzFailure& failure)
 FuzzReport run_fuzz(const FuzzOptions& options, const OracleHooks& hooks) {
   telemetry::TracePhase phase("fuzz");
   const Rng root(options.seed);
-  std::vector<IterationVerdict> verdicts(options.iters);
 
   // Coarse grain: one oracle run is microseconds except the exhaustive cost
   // cross-check; 64 iterations per task amortizes pool dispatch either way.
   parallel::ForOptions fan;
   fan.grain = 64;
-  parallel::parallel_for(
-      options.iters,
-      [&](std::size_t i) {
-        const FuzzCase c = generate_case(root.fork(i));
-        IterationVerdict& v = verdicts[i];
-        v.oracle = static_cast<std::uint8_t>(c.oracle);
-        if (std::optional<std::string> err = run_case(c, hooks)) {
-          v.failed = true;
-          v.message = std::move(*err);
-        }
-      },
-      fan);
+  // Chunked so a wall-clock budget can stop the run at a deterministic
+  // boundary: each completed iteration is the same pure function of
+  // (seed, i) whether or not the clock intervenes later.
+  constexpr std::uint64_t kChunk = 1024;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<IterationVerdict> verdicts;
+  verdicts.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(options.iters, kChunk * 64)));
+  std::uint64_t completed = 0;
+  bool timed_out = false;
+  while (completed < options.iters) {
+    if (options.max_seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= options.max_seconds) {
+        timed_out = true;
+        break;
+      }
+    }
+    const std::uint64_t end = std::min(options.iters, completed + kChunk);
+    verdicts.resize(static_cast<std::size_t>(end));
+    parallel::parallel_for(
+        static_cast<std::size_t>(end - completed),
+        [&, base = completed](std::size_t i) {
+          const FuzzCase c = generate_case(root.fork(base + i));
+          IterationVerdict& v = verdicts[static_cast<std::size_t>(base) + i];
+          v.oracle = static_cast<std::uint8_t>(c.oracle);
+          if (std::optional<std::string> err = run_case(c, hooks)) {
+            v.failed = true;
+            v.message = std::move(*err);
+          }
+        },
+        fan);
+    completed = end;
+  }
 
   FuzzReport report;
-  report.iterations = options.iters;
-  for (std::uint64_t i = 0; i < options.iters; ++i) {
+  report.iterations = completed;
+  report.iterations_requested = options.iters;
+  report.timed_out = timed_out;
+  for (std::uint64_t i = 0; i < completed; ++i) {
     const IterationVerdict& v = verdicts[i];
     ++report.runs_per_oracle[v.oracle];
     if (!v.failed) continue;
@@ -97,6 +125,12 @@ std::string format_report(const FuzzReport& report, const FuzzOptions& options) 
            std::to_string(report.runs_per_oracle[o]);
   }
   out += ")\n";
+  if (report.timed_out) {
+    out += "TIMED OUT after " + std::to_string(options.max_seconds) +
+           "s: completed " + std::to_string(report.iterations) + " of " +
+           std::to_string(report.iterations_requested) +
+           " requested iterations\n";
+  }
   for (const FuzzFailure& f : report.failures) {
     out += "FAIL iter " + std::to_string(f.iteration) + ": " + f.message + '\n';
     out += "  shrunk (" + std::to_string(f.shrunk.accepted_edits) +
@@ -111,6 +145,34 @@ std::string format_report(const FuzzReport& report, const FuzzOptions& options) 
   out += report.ok() ? "all oracles green\n"
                      : std::to_string(report.failure_count) + " FAILURES\n";
   return out;
+}
+
+std::string json_report(const FuzzReport& report, const FuzzOptions& options) {
+  json::Value root = json::Value::object();
+  root.set("seed", options.seed);
+  root.set("iters_requested", report.iterations_requested);
+  root.set("iters_completed", report.iterations);
+  root.set("timed_out", report.timed_out);
+  root.set("max_seconds", options.max_seconds);
+  root.set("failure_count", report.failure_count);
+  json::Value per_oracle = json::Value::object();
+  for (int o = 0; o < kOracleCount; ++o) {
+    per_oracle.set(oracle_name(static_cast<Oracle>(o)),
+                   report.runs_per_oracle[o]);
+  }
+  root.set("runs_per_oracle", std::move(per_oracle));
+  json::Value failures = json::Value::array();
+  for (const FuzzFailure& f : report.failures) {
+    json::Value entry = json::Value::object();
+    entry.set("iteration", f.iteration);
+    entry.set("oracle", oracle_name(f.oracle));
+    entry.set("message", f.message);
+    entry.set("shrunk_failure", f.shrunk.failure);
+    if (!f.file.empty()) entry.set("reproducer", f.file);
+    failures.push_back(std::move(entry));
+  }
+  root.set("failures", std::move(failures));
+  return root.dump(2) + "\n";
 }
 
 }  // namespace asimt::check

@@ -27,6 +27,12 @@ struct FuzzOptions {
   // Failures shrunk/recorded in detail; the total failure count is exact
   // regardless.
   std::size_t max_failures = 10;
+  // Wall-clock budget in seconds; 0 = unlimited. A run that hits the budget
+  // stops at a chunk boundary, reports timed_out and the exact iteration
+  // count it completed — CI degrades to "ran fewer iterations" instead of
+  // hanging the lane. Every completed iteration is still a pure function of
+  // (seed, i), so partial runs stay reproducible.
+  double max_seconds = 0.0;
 };
 
 struct FuzzFailure {
@@ -38,8 +44,10 @@ struct FuzzFailure {
 };
 
 struct FuzzReport {
-  std::uint64_t iterations = 0;
-  std::uint64_t failure_count = 0;  // across ALL iterations
+  std::uint64_t iterations = 0;  // iterations actually completed
+  std::uint64_t iterations_requested = 0;
+  bool timed_out = false;  // stopped early on the wall-clock budget
+  std::uint64_t failure_count = 0;  // across ALL completed iterations
   std::array<std::uint64_t, kOracleCount> runs_per_oracle{};
   std::vector<FuzzFailure> failures;  // first max_failures, iteration order
   bool ok() const { return failure_count == 0; }
@@ -52,5 +60,9 @@ FuzzReport run_fuzz(const FuzzOptions& options, const OracleHooks& hooks = {});
 
 // Renders the report as the CLI's human-readable summary.
 std::string format_report(const FuzzReport& report, const FuzzOptions& options);
+
+// Deterministic machine report for --json (timeouts included, so CI can
+// tell "green but truncated" from "green and complete").
+std::string json_report(const FuzzReport& report, const FuzzOptions& options);
 
 }  // namespace asimt::check

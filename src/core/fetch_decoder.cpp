@@ -9,6 +9,21 @@ FetchDecoder::FetchDecoder(TtConfig tt, std::vector<BbitEntry> bbit)
   if (tt_.block_size < 2 || tt_.block_size > 16) {
     throw std::invalid_argument("FetchDecoder: bad block size");
   }
+  // A τ index is a 3-bit field indexing kPaperSubset; a wider value cannot
+  // come off the wire format and means the in-memory table is corrupt or was
+  // never packed. Fail with coordinates instead of silently masking.
+  for (std::size_t i = 0; i < tt_.entries.size(); ++i) {
+    for (unsigned line = 0; line < kBusLines; ++line) {
+      if (tt_.entries[i].tau[line] >= kPaperSubset.size()) {
+        throw DecodeFault(
+            "FetchDecoder: TT entry " + std::to_string(i) + " line " +
+                std::to_string(line) + ": transform index " +
+                std::to_string(tt_.entries[i].tau[line]) +
+                " outside the 8-transform subset",
+            /*pc=*/0, i, static_cast<int>(line));
+      }
+    }
+  }
   for (const BbitEntry& entry : bbit) {
     if (entry.tt_index >= tt_.entries.size() && !tt_.entries.empty()) {
       throw std::invalid_argument("FetchDecoder: BBIT points past TT");
@@ -17,9 +32,24 @@ FetchDecoder::FetchDecoder(TtConfig tt, std::vector<BbitEntry> bbit)
   }
 }
 
-void FetchDecoder::enter_entry(std::size_t index, bool at_bb_entry) {
+bool FetchDecoder::enter_entry(std::size_t index, bool at_bb_entry,
+                               std::uint32_t pc) {
   if (index >= tt_.entries.size()) {
-    throw std::logic_error("FetchDecoder: ran past the TT");
+    throw DecodeFault(
+        "FetchDecoder: pc " + std::to_string(pc) + ": block needs TT entry " +
+            std::to_string(index) + " but only " +
+            std::to_string(tt_.entries.size()) +
+            " are provisioned (truncated TT payload or corrupted E/CT chain)",
+        pc, index);
+  }
+  if (guard_ && !guard_(index, tt_.entries[index])) {
+    // Protection veto: the entry failed its check (e.g. TT parity). Degrade
+    // to identity until the next BBIT hit; the fetch engine serves the
+    // unencoded copy of the block from here on.
+    ++stats_.degraded;
+    active_ = false;
+    countdown_ = -1;
+    return false;
   }
   entry_index_ = index;
   pos_in_block_ = 0;
@@ -35,6 +65,7 @@ void FetchDecoder::enter_entry(std::size_t index, bool at_bb_entry) {
   } else {
     countdown_ = -1;
   }
+  return true;
 }
 
 std::uint32_t FetchDecoder::decode_word(std::uint32_t bus_word) {
@@ -57,8 +88,13 @@ std::uint32_t FetchDecoder::feed(std::uint32_t pc, std::uint32_t bus_word) {
   // decoding at the header (paper §7.2).
   if (const auto hit = bbit_.find(pc); hit != bbit_.end()) {
     ++stats_.bbit_hits;
+    if (!enter_entry(hit->second, /*at_bb_entry=*/true, pc)) {
+      // Vetoed at block entry: the chain-initial word is stored plain, so
+      // passing it through is still the correct instruction.
+      ++stats_.raw;
+      return bus_word;
+    }
     active_ = true;
-    enter_entry(hit->second, /*at_bb_entry=*/true);
     // The first instruction of a chain is stored plain; it seeds history.
     history_ = bus_word;
     ++stats_.decoded;
@@ -83,8 +119,9 @@ std::uint32_t FetchDecoder::feed(std::uint32_t pc, std::uint32_t bus_word) {
     // This fetch was the block's last instruction (the next block's overlap
     // bit): advance to the next TT entry and reload the history registers
     // from the RAW bus value (DESIGN.md §6 rule 3).
-    enter_entry(entry_index_ + 1, /*at_bb_entry=*/false);
-    history_ = bus_word;
+    if (enter_entry(entry_index_ + 1, /*at_bb_entry=*/false, pc)) {
+      history_ = bus_word;
+    }
   } else {
     history_ = decoded;
   }

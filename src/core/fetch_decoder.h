@@ -6,15 +6,48 @@
 // restore the original bits of each subsequent fetch. The E/CT fields of the
 // tail TT entry tell the hardware when the encoded region ends; everything
 // else passes through untouched (identity).
+//
+// Resilience hooks (docs/RESILIENCE.md): an entry guard lets a protection
+// checker veto a TT entry as it is selected (TT parity), corrupt_history
+// models a soft-error upset of the per-line history flip-flops, and
+// abandon_encoded_mode is the recovery action of a decode-time consistency
+// checker — the decoder drops to identity for the rest of the basic block,
+// trading the power win for architectural correctness.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/hw_tables.h"
 
 namespace asimt::core {
+
+// Structured decode-path failure: the fetch hardware hit state it cannot
+// trust (a τ index outside the 8-transform subset, or sequencing that ran
+// past the provisioned TT — a truncated payload or corrupted E/CT chain).
+// Carries the fault coordinates so campaigns and callers can attribute it.
+class DecodeFault : public std::runtime_error {
+ public:
+  DecodeFault(std::string what, std::uint32_t pc, std::size_t tt_index,
+              int line = -1)
+      : std::runtime_error(std::move(what)),
+        pc_(pc),
+        tt_index_(tt_index),
+        line_(line) {}
+
+  std::uint32_t pc() const { return pc_; }        // offending fetch address
+  std::size_t tt_index() const { return tt_index_; }  // TT entry involved
+  int line() const { return line_; }              // bus line, -1 when n/a
+
+ private:
+  std::uint32_t pc_;
+  std::size_t tt_index_;
+  int line_;
+};
 
 class FetchDecoder {
  public:
@@ -23,7 +56,14 @@ class FetchDecoder {
     std::uint64_t decoded = 0;    // fetches that went through transformations
     std::uint64_t raw = 0;        // identity / not-encoded fetches
     std::uint64_t bbit_hits = 0;  // encoded-mode entries
+    std::uint64_t degraded = 0;   // guard vetoes + external degrade requests
   };
+
+  // Called as a TT entry is selected; returning false vetoes the entry: the
+  // decoder leaves encoded mode and passes everything through as identity
+  // until the next BBIT hit (graceful degradation — the fetch path falls
+  // back to serving the unencoded backing copy of the block).
+  using EntryGuard = std::function<bool(std::size_t index, const TtEntry&)>;
 
   FetchDecoder(TtConfig tt, std::vector<BbitEntry> bbit);
 
@@ -34,17 +74,33 @@ class FetchDecoder {
   bool in_encoded_mode() const { return active_; }
   const Stats& stats() const { return stats_; }
 
+  // Installs the protection checker consulted on every entry selection.
+  void set_entry_guard(EntryGuard guard) { guard_ = std::move(guard); }
+
+  // Soft-error injection point: XOR-flips the per-line history flip-flops
+  // between fetches (a single-event upset flips exactly one mask bit).
+  void corrupt_history(std::uint32_t xor_mask) { history_ ^= xor_mask; }
+
+  // External recovery action: a consistency checker that caught a decode
+  // divergence forces identity mode for the remainder of the basic block.
+  void abandon_encoded_mode() {
+    if (active_) ++stats_.degraded;
+    active_ = false;
+  }
+
   // Hardware budget introspection.
   std::size_t tt_entries() const { return tt_.entries.size(); }
   std::size_t bbit_entries() const { return bbit_.size(); }
 
  private:
   std::uint32_t decode_word(std::uint32_t bus_word);
-  void enter_entry(std::size_t index, bool at_block_entry);
+  // Returns false when the guard vetoed the entry (decoder left encoded mode).
+  bool enter_entry(std::size_t index, bool at_block_entry, std::uint32_t pc);
 
   TtConfig tt_;
   std::unordered_map<std::uint32_t, std::uint16_t> bbit_;
   Stats stats_;
+  EntryGuard guard_;
 
   bool active_ = false;
   std::size_t entry_index_ = 0;  // current TT entry

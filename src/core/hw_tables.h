@@ -47,6 +47,24 @@ struct TtConfig {
   bool operator==(const TtConfig&) const = default;
 };
 
+// Even parity over every stored bit of one TT entry (the 3-bit τ index of
+// all 32 lines, E, and the 5-bit CT field of the wire format). A protected
+// implementation keeps one extra flip-flop per entry holding this value at
+// provisioning time; recomputing it at decode time detects any odd number of
+// upset bits in the entry (docs/RESILIENCE.md, "TT parity").
+constexpr int tt_entry_parity(const TtEntry& entry) {
+  unsigned acc = 0;
+  for (unsigned line = 0; line < kBusLines; ++line) {
+    acc ^= entry.tau[line] & ((1u << kTauIndexBits) - 1);
+  }
+  acc ^= entry.end ? 1u : 0u;
+  acc ^= entry.ct & 0x1Fu;
+  acc ^= acc >> 4;
+  acc ^= acc >> 2;
+  acc ^= acc >> 1;
+  return static_cast<int>(acc & 1u);
+}
+
 struct BbitEntry {
   std::uint32_t pc = 0;        // starting PC of the basic block
   std::uint16_t tt_index = 0;  // first TT entry for that block

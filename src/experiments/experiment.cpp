@@ -258,6 +258,93 @@ std::string format_fig6_table(const std::vector<WorkloadResult>& results) {
   return out;
 }
 
+VulnerabilityTable fault_vulnerability(std::uint64_t seed,
+                                       std::uint64_t iters_per_target,
+                                       fault::Protection protection) {
+  fault::CampaignOptions options;
+  options.seed = seed;
+  options.iters = iters_per_target * static_cast<std::uint64_t>(fault::kTargetCount);
+  options.protection = protection;
+  const fault::CampaignReport report = fault::run_campaign(options);
+
+  VulnerabilityTable table;
+  table.seed = seed;
+  table.iters_per_target = iters_per_target;
+  table.protection = protection;
+  table.rows.reserve(report.per_target.size());
+  for (const fault::TargetStats& t : report.per_target) {
+    VulnerabilityRow row;
+    row.target = t.target;
+    row.runs = t.runs;
+    row.corrupted_runs = t.corrupted_runs;
+    row.corruption_rate =
+        t.runs == 0 ? 0.0
+                    : static_cast<double>(t.corrupted_runs) /
+                          static_cast<double>(t.runs);
+    row.detected = t.detected;
+    row.degraded_runs = t.degraded_runs;
+    row.restored_runs = t.restored_runs;
+    row.blocks_escaped = t.blocks_escaped;
+    row.extra_transitions = t.extra_transitions;
+    table.rows.push_back(row);
+  }
+  return table;
+}
+
+std::string format_vulnerability_table(const VulnerabilityTable& table) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "Soft-error vulnerability (seed=%llu, %llu upsets/target, "
+                "protection=%s)\n",
+                static_cast<unsigned long long>(table.seed),
+                static_cast<unsigned long long>(table.iters_per_target),
+                std::string(fault::protection_name(table.protection)).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf, "%-10s %8s %10s %8s %8s %8s %8s %10s\n",
+                "target", "runs", "corrupt%", "detect", "degrade", "restore",
+                "escaped", "extra_tr");
+  out += buf;
+  for (const VulnerabilityRow& r : table.rows) {
+    std::snprintf(buf, sizeof buf,
+                  "%-10s %8llu %9.1f%% %8llu %8llu %8llu %8llu %10lld\n",
+                  std::string(fault::target_name(r.target)).c_str(),
+                  static_cast<unsigned long long>(r.runs),
+                  100.0 * r.corruption_rate,
+                  static_cast<unsigned long long>(r.detected),
+                  static_cast<unsigned long long>(r.degraded_runs),
+                  static_cast<unsigned long long>(r.restored_runs),
+                  static_cast<unsigned long long>(r.blocks_escaped),
+                  r.extra_transitions);
+    out += buf;
+  }
+  return out;
+}
+
+json::Value to_json(const VulnerabilityTable& table) {
+  json::Value out = json::Value::object();
+  out.set("seed", json::Value(table.seed));
+  out.set("iters_per_target", json::Value(table.iters_per_target));
+  out.set("protection",
+          json::Value(std::string(fault::protection_name(table.protection))));
+  json::Value rows = json::Value::array();
+  for (const VulnerabilityRow& r : table.rows) {
+    json::Value row = json::Value::object();
+    row.set("target", json::Value(std::string(fault::target_name(r.target))));
+    row.set("runs", json::Value(r.runs));
+    row.set("corrupted_runs", json::Value(r.corrupted_runs));
+    row.set("corruption_rate", json::Value(r.corruption_rate));
+    row.set("detected", json::Value(r.detected));
+    row.set("degraded_runs", json::Value(r.degraded_runs));
+    row.set("restored_runs", json::Value(r.restored_runs));
+    row.set("blocks_escaped", json::Value(r.blocks_escaped));
+    row.set("extra_transitions", json::Value(r.extra_transitions));
+    rows.push_back(std::move(row));
+  }
+  out.set("rows", std::move(rows));
+  return out;
+}
+
 bool fast_mode() {
   const char* value = std::getenv("ASIMT_FAST");
   return value != nullptr && value[0] != '\0' && value[0] != '0';

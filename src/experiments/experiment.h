@@ -23,6 +23,7 @@
 
 #include "cfg/cfg.h"
 #include "core/selection.h"
+#include "fault/campaign.h"
 #include "profile/transition_profiler.h"
 #include "telemetry/json.h"
 #include "workloads/workload.h"
@@ -94,6 +95,41 @@ std::string format_fig6_table(const std::vector<WorkloadResult>& results);
 json::Value to_json(const PerBlockSizeResult& result);
 json::Value to_json(const WorkloadResult& result);
 json::Value to_json(const std::vector<WorkloadResult>& results);
+
+// --- per-target soft-error vulnerability attribution -----------------------
+// The resilience companion to the Fig. 6 power table (docs/RESILIENCE.md):
+// for each fault target, how often a single random upset corrupts the
+// architectural stream, how well the chosen protection mode contains it, and
+// what the degradation costs in extra bus transitions.
+
+struct VulnerabilityRow {
+  fault::Target target = fault::Target::kTt;
+  std::uint64_t runs = 0;
+  std::uint64_t corrupted_runs = 0;
+  double corruption_rate = 0.0;  // corrupted_runs / runs
+  std::uint64_t detected = 0;
+  std::uint64_t degraded_runs = 0;
+  std::uint64_t restored_runs = 0;
+  std::uint64_t blocks_escaped = 0;
+  long long extra_transitions = 0;
+};
+
+struct VulnerabilityTable {
+  std::uint64_t seed = 0;
+  std::uint64_t iters_per_target = 0;
+  fault::Protection protection = fault::Protection::kNone;
+  std::vector<VulnerabilityRow> rows;  // one per fault::kAllTargets entry
+};
+
+// Runs a single-upset campaign of `iters_per_target` iterations per target
+// (deterministic, parallel under the PR 2 contract) and folds the per-target
+// stats into the attribution view.
+VulnerabilityTable fault_vulnerability(std::uint64_t seed,
+                                       std::uint64_t iters_per_target,
+                                       fault::Protection protection);
+
+std::string format_vulnerability_table(const VulnerabilityTable& table);
+json::Value to_json(const VulnerabilityTable& table);
 
 // True when the ASIMT_FAST environment variable asks for reduced problem
 // sizes (used by benches so CI-style runs stay quick).

@@ -1,0 +1,462 @@
+#include "fault/campaign.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "bitstream/bitseq.h"
+#include "check/gen.h"
+#include "check/rng.h"
+#include "core/chain_encoder.h"
+#include "core/fetch_decoder.h"
+#include "core/program_encoder.h"
+#include "parallel/pool.h"
+#include "sim/bus.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace asimt::fault {
+namespace {
+
+constexpr std::uint32_t kBlockPc = 0x1000;
+
+// The k-block (chain position) that decodes stream position p. Position 0 is
+// the chain-initial plain word; every overlap bit belongs to the block whose
+// τ restored it, so block j owns positions j(k-1)+1 .. (j+1)(k-1) for j >= 1
+// downshifted by the initial bit — i.e. (p-1)/(k-1).
+int owner_block(std::size_t p, int k) {
+  return p == 0 ? 0
+               : static_cast<int>((p - 1) / static_cast<std::size_t>(k - 1));
+}
+
+// Deterministic per-site Bernoulli draw: compare the top 53 bits of the RNG
+// word against rate scaled to 2^53 (exact in double, no UB-prone 2^64 cast).
+bool bernoulli(check::Rng& rng, double rate) {
+  constexpr double kTwo53 = 9007199254740992.0;  // 2^53
+  const auto threshold =
+      static_cast<std::uint64_t>(std::min(rate, 1.0) * kTwo53);
+  return (rng.next() >> 11) < threshold;
+}
+
+// Folds one iteration into the per-target rollup. Called serially in
+// iteration order — the aggregation itself is part of the determinism
+// contract (integer counters only, no float accumulation races).
+void absorb(CampaignReport& report, const CampaignOptions& options,
+            const IterationResult& r, std::uint64_t iteration) {
+  TargetStats& s = report.per_target[iteration % options.targets.size()];
+  ++s.runs;
+  s.flips += r.flips;
+  if (r.flips == 1 && r.target == Target::kTt) {
+    if (r.kind == SiteKind::kTauBit) ++s.tau_flips;
+    if (r.kind == SiteKind::kEBit) ++s.e_flips;
+    if (r.kind == SiteKind::kCtBit) ++s.ct_flips;
+  }
+  if (r.corrupted_words > 0) ++s.corrupted_runs;
+  s.corrupted_words += r.corrupted_words;
+  s.hamming += r.hamming;
+  s.lines_affected += r.lines_affected;
+  s.blocks_escaped += r.blocks_escaped;
+  if (r.blocks_escaped == 0) ++s.contained_runs;
+  if (r.expected_block >= 0 && !r.contained_in_expected) {
+    ++s.containment_violations;
+  }
+  if (r.decode_fault) ++s.decode_faults;
+  if (r.detected) ++s.detected;
+  if (r.degraded) ++s.degraded_runs;
+  if (r.restored) ++s.restored_runs;
+  s.extra_transitions += r.extra_transitions;
+  for (unsigned line = 0; line < core::kBusLines; ++line) {
+    s.line_corrupted[line] += r.line_corrupted[line];
+  }
+}
+
+}  // namespace
+
+std::string_view protection_name(Protection protection) {
+  switch (protection) {
+    case Protection::kNone: return "none";
+    case Protection::kParity: return "parity";
+    case Protection::kReencode: return "reencode";
+    case Protection::kBoth: return "both";
+  }
+  return "?";
+}
+
+std::optional<Protection> protection_from_name(std::string_view name) {
+  for (Protection p : {Protection::kNone, Protection::kParity,
+                       Protection::kReencode, Protection::kBoth}) {
+    if (name == protection_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+IterationResult run_iteration(const CampaignOptions& options,
+                              std::uint64_t iteration) {
+  check::Rng rng = check::Rng(options.seed).fork(iteration);
+  const Target target = options.targets[iteration % options.targets.size()];
+
+  // Workload: a random basic block of at least two words (a single-word
+  // block has no encoded region and therefore no fault sites beyond itself).
+  std::vector<std::uint32_t> words = check::gen_words(rng);
+  while (words.size() < 2) words = check::gen_words(rng);
+  const std::size_t m = words.size();
+  const int k = rng.range(2, 8);
+
+  core::ChainOptions chain;
+  chain.block_size = k;
+  const core::BlockEncoding enc = core::encode_basic_block(words, kBlockPc, chain);
+
+  // --- site selection (pure function of the iteration's RNG stream) -------
+  const std::size_t sites = site_count(target, m, enc.tt_entries.size());
+  std::vector<Site> flips;
+  if (options.rate <= 0.0) {
+    flips.push_back(site_at(target, m, enc.tt_entries.size(),
+                            static_cast<std::size_t>(rng.below(sites))));
+  } else {
+    for (std::size_t s = 0; s < sites; ++s) {
+      if (bernoulli(rng, options.rate)) {
+        flips.push_back(site_at(target, m, enc.tt_entries.size(), s));
+      }
+    }
+  }
+
+  // --- build the faulted machine state -------------------------------------
+  core::TtConfig golden_tt{k, enc.tt_entries};
+  core::TtConfig runtime_tt = golden_tt;
+  std::vector<std::uint32_t> runtime_image = enc.encoded_words;
+  std::vector<std::uint32_t> history_mask(m, 0);
+  std::vector<std::uint32_t> bus_mask(m, 0);
+  std::uint64_t tau_flips = 0;
+  for (const Site& site : flips) {
+    switch (site.kind) {
+      case SiteKind::kTauBit:
+        ++tau_flips;
+        [[fallthrough]];
+      case SiteKind::kEBit:
+      case SiteKind::kCtBit:
+        apply_tt_fault(runtime_tt, site);
+        break;
+      case SiteKind::kImageBit:
+        apply_image_fault(runtime_image, site);
+        break;
+      case SiteKind::kHistoryBit:
+        history_mask[site.index] |= 1u << site.line;
+        break;
+      case SiteKind::kBusBit:
+        bus_mask[site.index] |= 1u << site.line;
+        break;
+    }
+  }
+  (void)tau_flips;
+
+  IterationResult r;
+  r.target = target;
+  r.flips = static_cast<std::uint32_t>(flips.size());
+  r.words = static_cast<std::uint16_t>(m);
+  r.block_size = static_cast<std::uint16_t>(k);
+  if (!flips.empty()) r.kind = flips.front().kind;
+  if (flips.size() == 1) {
+    const Site& site = flips.front();
+    if (site.kind == SiteKind::kTauBit) {
+      r.expected_block = static_cast<std::int32_t>(site.index);
+    } else if (site.kind == SiteKind::kHistoryBit) {
+      r.expected_block = owner_block(site.index, k);
+    }
+  }
+
+  // --- replay through the hardware model -----------------------------------
+  const bool use_parity = options.protection == Protection::kParity ||
+                          options.protection == Protection::kBoth;
+  const bool use_shadow = options.protection == Protection::kReencode ||
+                          options.protection == Protection::kBoth;
+
+  std::vector<core::BbitEntry> bbit{{kBlockPc, 0}};
+  core::FetchDecoder primary(runtime_tt, bbit);
+  std::optional<core::FetchDecoder> shadow;
+  if (use_shadow) shadow.emplace(runtime_tt, bbit);
+
+  // Golden parity bits latched at TT-programming time (before the upset).
+  std::vector<int> parity(golden_tt.entries.size());
+  for (std::size_t i = 0; i < parity.size(); ++i) {
+    parity[i] = core::tt_entry_parity(golden_tt.entries[i]);
+  }
+  bool veto = false;
+  if (use_parity) {
+    primary.set_entry_guard([&](std::size_t index, const core::TtEntry& entry) {
+      const bool ok = core::tt_entry_parity(entry) == parity[index];
+      if (!ok) veto = true;
+      return ok;
+    });
+  }
+
+  sim::BusMonitor monitor;
+  std::vector<std::uint32_t> outputs(m);
+  bool degraded = false;
+  bool detected = false;
+  bool decode_fault = false;
+
+  for (std::size_t f = 0; f < m; ++f) {
+    // A history upset strikes the flip-flops between fetch f-1 and fetch f.
+    if (history_mask[f] != 0) primary.corrupt_history(history_mask[f]);
+
+    // Once degraded, the fetch engine serves the unencoded backing copy kept
+    // in firmware (paper §7.1) instead of the encoded image.
+    std::uint32_t bus_word =
+        (degraded ? enc.original_words[f] : runtime_image[f]) ^ bus_mask[f];
+    monitor.observe(bus_word);
+    const std::uint32_t pc = kBlockPc + 4u * static_cast<std::uint32_t>(f);
+
+    std::uint32_t out;
+    try {
+      out = primary.feed(pc, bus_word);
+    } catch (const core::DecodeFault&) {
+      // Sequencing ran past the TT (corrupted E/CT chain): the structured
+      // trap IS the detection; recovery re-fetches from the backing copy.
+      decode_fault = detected = degraded = true;
+      primary.abandon_encoded_mode();
+      if (shadow) shadow->abandon_encoded_mode();
+      out = enc.original_words[f];
+      monitor.observe(out);  // the corrective re-fetch is a real bus drive
+      outputs[f] = out;
+      continue;
+    }
+
+    if (shadow && !degraded) {
+      // Decode-time consistency check: an independent decode of the same
+      // observed bus stream. Faults injected into the primary's history
+      // flip-flops make the two copies diverge.
+      std::uint32_t shadow_out = out;
+      try {
+        shadow_out = shadow->feed(pc, bus_word);
+      } catch (const core::DecodeFault&) {
+        shadow->abandon_encoded_mode();
+      }
+      if (shadow_out != out) {
+        detected = degraded = true;
+        primary.abandon_encoded_mode();
+        shadow->abandon_encoded_mode();
+        out = enc.original_words[f];
+        monitor.observe(out);  // corrective re-fetch
+      }
+    }
+
+    if (veto && !degraded) {
+      // Parity veto fired while this entry was selected; the word returned
+      // for this fetch is still correct (chain-initial words are stored
+      // plain, boundary words were decoded under the previous, verified
+      // entry), but every later fetch comes from the backing copy.
+      detected = degraded = true;
+      if (shadow) shadow->abandon_encoded_mode();
+    }
+    outputs[f] = out;
+  }
+
+  // --- score the run against the golden decode -----------------------------
+  r.decode_fault = decode_fault;
+  r.detected = detected;
+  r.degraded = degraded;
+  for (std::size_t p = 0; p < m; ++p) {
+    const std::uint32_t diff = outputs[p] ^ enc.original_words[p];
+    if (diff == 0) continue;
+    ++r.corrupted_words;
+    r.hamming += static_cast<std::uint64_t>(std::popcount(diff));
+    for (unsigned line = 0; line < core::kBusLines; ++line) {
+      if ((diff >> line) & 1u) ++r.line_corrupted[line];
+    }
+  }
+  r.restored = r.corrupted_words == 0;
+  for (unsigned line = 0; line < core::kBusLines; ++line) {
+    if (r.line_corrupted[line] == 0) continue;
+    ++r.lines_affected;
+    // Positions are scanned in ascending order, so owners are nondecreasing:
+    // count owner changes to get distinct blocks touched on this line.
+    int owners = 0;
+    int last = -1;
+    for (std::size_t p = 0; p < m; ++p) {
+      if (((outputs[p] ^ enc.original_words[p]) >> line & 1u) == 0) continue;
+      const int b = owner_block(p, k);
+      if (b != last) {
+        ++owners;
+        last = b;
+      }
+      if (r.expected_block >= 0 && b != r.expected_block) {
+        r.contained_in_expected = false;
+      }
+    }
+    r.blocks_escaped += static_cast<std::uint32_t>(owners - 1);
+  }
+  r.extra_transitions = monitor.total_transitions() - enc.encoded_transitions;
+  return r;
+}
+
+CampaignReport run_campaign(const CampaignOptions& options) {
+  if (options.targets.empty()) {
+    throw std::invalid_argument("fault campaign: no targets selected");
+  }
+  if (!(options.rate >= 0.0) || options.rate > 1.0) {
+    throw std::invalid_argument("fault campaign: rate must be in [0, 1]");
+  }
+  telemetry::TracePhase phase("faults");
+
+  CampaignReport report;
+  report.seed = options.seed;
+  report.iters_requested = options.iters;
+  report.timed_out = false;
+  report.rate = options.rate;
+  report.max_seconds = options.max_seconds;
+  report.protection = options.protection;
+  report.per_target.resize(options.targets.size());
+  for (std::size_t t = 0; t < options.targets.size(); ++t) {
+    report.per_target[t].target = options.targets[t];
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t completed = 0;
+  // Chunked so the wall-clock budget is honored without touching per-
+  // iteration determinism: each chunk fans out into pre-sized slots, then is
+  // folded into the report serially in iteration order, so every completed
+  // iteration contributes the same bytes at any --jobs; only how many
+  // complete can depend on the clock.
+  constexpr std::uint64_t kChunk = 256;
+  parallel::ForOptions fan;
+  fan.grain = 8;
+  std::vector<IterationResult> slots;
+  while (completed < options.iters) {
+    if (options.max_seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= options.max_seconds) {
+        report.timed_out = true;
+        break;
+      }
+    }
+    const std::uint64_t end = std::min(options.iters, completed + kChunk);
+    slots.assign(static_cast<std::size_t>(end - completed), IterationResult{});
+    parallel::parallel_for(
+        slots.size(),
+        [&, base = completed](std::size_t i) {
+          slots[i] = run_iteration(options, base + i);
+        },
+        fan);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      absorb(report, options, slots[i], completed + i);
+    }
+    completed = end;
+  }
+  report.iters_completed = completed;
+
+  std::uint64_t flips = 0, corrupted = 0, det = 0, deg = 0, traps = 0;
+  for (const TargetStats& s : report.per_target) {
+    flips += s.flips;
+    corrupted += s.corrupted_runs;
+    det += s.detected;
+    deg += s.degraded_runs;
+    traps += s.decode_faults;
+  }
+  telemetry::count("fault.iterations", static_cast<long long>(completed));
+  telemetry::count("fault.flips", static_cast<long long>(flips));
+  telemetry::count("fault.corrupted_runs", static_cast<long long>(corrupted));
+  telemetry::count("fault.detected", static_cast<long long>(det));
+  telemetry::count("fault.degraded_runs", static_cast<long long>(deg));
+  telemetry::count("fault.decode_faults", static_cast<long long>(traps));
+  telemetry::count("fault.containment_violations",
+                   static_cast<long long>(report.containment_violations()));
+  return report;
+}
+
+json::Value to_json(const CampaignReport& report) {
+  json::Value root = json::Value::object();
+  root.set("seed", report.seed);
+  root.set("iters_requested", report.iters_requested);
+  root.set("iters_completed", report.iters_completed);
+  root.set("timed_out", report.timed_out);
+  root.set("rate", report.rate);
+  root.set("max_seconds", report.max_seconds);
+  root.set("protection", protection_name(report.protection));
+  root.set("containment_violations", report.containment_violations());
+  json::Value targets = json::Value::array();
+  for (const TargetStats& s : report.per_target) {
+    json::Value t = json::Value::object();
+    t.set("target", target_name(s.target));
+    t.set("runs", s.runs);
+    t.set("flips", s.flips);
+    if (s.target == Target::kTt) {
+      json::Value kinds = json::Value::object();
+      kinds.set("tau", s.tau_flips);
+      kinds.set("e", s.e_flips);
+      kinds.set("ct", s.ct_flips);
+      t.set("single_flip_kinds", std::move(kinds));
+    }
+    t.set("corrupted_runs", s.corrupted_runs);
+    t.set("corrupted_words", s.corrupted_words);
+    t.set("hamming", s.hamming);
+    t.set("lines_affected", s.lines_affected);
+    t.set("blocks_escaped", s.blocks_escaped);
+    t.set("contained_runs", s.contained_runs);
+    t.set("containment_violations", s.containment_violations);
+    t.set("decode_faults", s.decode_faults);
+    t.set("detected", s.detected);
+    t.set("degraded_runs", s.degraded_runs);
+    t.set("restored_runs", s.restored_runs);
+    t.set("extra_transitions", s.extra_transitions);
+    json::Value lines = json::Value::array();
+    for (unsigned line = 0; line < core::kBusLines; ++line) {
+      lines.push_back(s.line_corrupted[line]);
+    }
+    t.set("line_corrupted", std::move(lines));
+    targets.push_back(std::move(t));
+  }
+  root.set("targets", std::move(targets));
+  return root;
+}
+
+std::string format_report(const CampaignReport& report) {
+  std::ostringstream out;
+  out << "fault campaign: seed " << report.seed << ", "
+      << report.iters_completed << "/" << report.iters_requested
+      << " iterations, rate ";
+  if (report.rate <= 0.0) {
+    out << "single-upset";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", report.rate);
+    out << buf;
+  }
+  out << ", protection " << protection_name(report.protection);
+  if (report.timed_out) {
+    out << "  [TIMED OUT after " << report.max_seconds << "s]";
+  }
+  out << "\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "%-8s %8s %8s %8s %10s %8s %6s %8s %8s %10s\n",
+                "target", "runs", "flips", "corrupt", "hamming", "escaped",
+                "viol", "detect", "restore", "extra_tr");
+  out << line;
+  for (const TargetStats& s : report.per_target) {
+    std::snprintf(line, sizeof line,
+                  "%-8s %8llu %8llu %8llu %10llu %8llu %6llu %8llu %8llu %10lld\n",
+                  std::string(target_name(s.target)).c_str(),
+                  static_cast<unsigned long long>(s.runs),
+                  static_cast<unsigned long long>(s.flips),
+                  static_cast<unsigned long long>(s.corrupted_runs),
+                  static_cast<unsigned long long>(s.hamming),
+                  static_cast<unsigned long long>(s.blocks_escaped),
+                  static_cast<unsigned long long>(s.containment_violations),
+                  static_cast<unsigned long long>(s.detected),
+                  static_cast<unsigned long long>(s.restored_runs),
+                  s.extra_transitions);
+    out << line;
+  }
+  const std::uint64_t violations = report.containment_violations();
+  if (violations > 0) {
+    out << "CONTAINMENT VIOLATED: " << violations
+        << " single-flip tau/history runs escaped their k-bit block\n";
+  }
+  return out.str();
+}
+
+}  // namespace asimt::fault

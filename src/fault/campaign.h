@@ -1,0 +1,143 @@
+// Seed-driven soft-error campaigns over the TT/decode datapath.
+//
+// Every iteration is a pure function of (seed, iteration index): generate a
+// random basic block (the check subsystem's SplitMix64 generators), encode
+// it, inject bit flips into one of the four fault targets, replay through
+// the FetchDecoder hardware model, and diff the architectural outputs
+// against the golden originals. Iterations fan out across the parallel
+// engine into pre-sized slots, so the report — every count, every JSON byte
+// — is identical at any --jobs value (docs/PARALLELISM.md contract).
+//
+// Protection modes (docs/RESILIENCE.md):
+//   kParity    one parity flip-flop per TT entry, checked as the entry is
+//              selected; a mismatch vetoes the entry and the fetch path
+//              degrades to the unencoded backing copy for the rest of the
+//              basic block — correctness preserved, power win sacrificed.
+//   kReencode  decode-time consistency check: an independent shadow decode
+//              recomputes every restored word from the observed bus stream
+//              (for invertible τ this is algebraically the re-encode of the
+//              output against the bus bit); a divergence exposes corrupted
+//              history flip-flops, and recovery re-fetches from the backing
+//              copy from the detection point on.
+//   kBoth      both checkers.
+//
+// A DecodeFault raised mid-replay (E/CT corruption driving the sequencer
+// past the TT) counts as detected: the structured trap is itself the
+// containment mechanism, and the model degrades to the backing copy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault.h"
+#include "telemetry/json.h"
+
+namespace asimt::fault {
+
+enum class Protection { kNone, kParity, kReencode, kBoth };
+std::string_view protection_name(Protection protection);
+std::optional<Protection> protection_from_name(std::string_view name);
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 1000;
+  // Iteration i injects into targets[i % targets.size()] — exact per-target
+  // splits, independent of thread count.
+  std::vector<Target> targets{kAllTargets, kAllTargets + kTargetCount};
+  // Per-site Bernoulli flip probability; 0 injects exactly one uniformly
+  // chosen site per iteration (the classic single-event-upset model).
+  double rate = 0.0;
+  Protection protection = Protection::kNone;
+  // Wall-clock budget in seconds; 0 = unlimited. A campaign that hits the
+  // budget stops at a chunk boundary and reports timed_out plus the exact
+  // iteration count it completed, instead of hanging a CI lane.
+  double max_seconds = 0.0;
+};
+
+// Outcome of one iteration (slot-indexed; all fields deterministic).
+struct IterationResult {
+  Target target = Target::kTt;
+  SiteKind kind = SiteKind::kTauBit;  // of the first flip
+  std::uint32_t flips = 0;
+  std::uint16_t words = 0;       // basic-block length m
+  std::uint16_t block_size = 0;  // k
+  // The k-block (chain position) a single-flip τ/history fault belongs to;
+  // -1 for multi-flip runs and for E/CT/image/bus kinds.
+  std::int32_t expected_block = -1;
+  std::uint32_t corrupted_words = 0;  // architectural outputs != golden
+  std::uint64_t hamming = 0;          // total bit distance to golden decode
+  std::uint32_t lines_affected = 0;
+  // Sum over lines of (distinct k-blocks containing corrupted bits - 1):
+  // 0 means every line's corruption stayed inside one k-bit block.
+  std::uint32_t blocks_escaped = 0;
+  bool contained_in_expected = true;  // all corruption inside expected_block
+  bool decode_fault = false;          // DecodeFault trapped mid-replay
+  bool detected = false;              // any checker (or the trap) flagged it
+  bool degraded = false;              // fell back to the unencoded copy
+  bool restored = false;              // outputs == golden after recovery
+  // Bus transitions actually driven minus the fault-free encoded stream's
+  // transitions: the power price of degradation (and of the flipped bits).
+  long long extra_transitions = 0;
+  std::array<std::uint32_t, core::kBusLines> line_corrupted{};  // bits per line
+};
+
+// Per-target rollup (the vulnerability attribution view).
+struct TargetStats {
+  Target target = Target::kTt;
+  std::uint64_t runs = 0;
+  std::uint64_t flips = 0;
+  std::uint64_t tau_flips = 0, e_flips = 0, ct_flips = 0;  // kTt breakdown
+  std::uint64_t corrupted_runs = 0;
+  std::uint64_t corrupted_words = 0;
+  std::uint64_t hamming = 0;
+  std::uint64_t lines_affected = 0;
+  std::uint64_t blocks_escaped = 0;
+  std::uint64_t contained_runs = 0;  // blocks_escaped == 0
+  // Single-flip τ/history runs whose corruption left the k-block the fault
+  // was injected into — the paper-structure containment theorem says this
+  // must be 0; the CLI exits non-zero if it ever is not.
+  std::uint64_t containment_violations = 0;
+  std::uint64_t decode_faults = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t degraded_runs = 0;
+  std::uint64_t restored_runs = 0;
+  long long extra_transitions = 0;
+  std::array<std::uint64_t, core::kBusLines> line_corrupted{};
+};
+
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  std::uint64_t iters_requested = 0;
+  std::uint64_t iters_completed = 0;
+  bool timed_out = false;
+  double rate = 0.0;
+  double max_seconds = 0.0;
+  Protection protection = Protection::kNone;
+  std::vector<TargetStats> per_target;  // options.targets order
+
+  std::uint64_t containment_violations() const {
+    std::uint64_t n = 0;
+    for (const TargetStats& t : per_target) n += t.containment_violations;
+    return n;
+  }
+};
+
+// One iteration, exposed for tests: index selects the target (round-robin)
+// and the RNG stream exactly as the campaign driver would.
+IterationResult run_iteration(const CampaignOptions& options,
+                              std::uint64_t iteration);
+
+// Runs the campaign (parallel, chunked for the wall-clock budget).
+CampaignReport run_campaign(const CampaignOptions& options);
+
+// Deterministic machine report — byte-identical at any --jobs value.
+json::Value to_json(const CampaignReport& report);
+
+// Human-readable table for the CLI.
+std::string format_report(const CampaignReport& report);
+
+}  // namespace asimt::fault

@@ -1,0 +1,122 @@
+#include "fault/fault.h"
+
+#include <stdexcept>
+
+namespace asimt::fault {
+
+std::string_view target_name(Target target) {
+  switch (target) {
+    case Target::kTt: return "tt";
+    case Target::kHistory: return "history";
+    case Target::kImage: return "image";
+    case Target::kBus: return "bus";
+  }
+  return "?";
+}
+
+std::optional<Target> target_from_name(std::string_view name) {
+  for (Target t : kAllTargets) {
+    if (name == target_name(t)) return t;
+  }
+  return std::nullopt;
+}
+
+std::string_view site_kind_name(SiteKind kind) {
+  switch (kind) {
+    case SiteKind::kTauBit: return "tau";
+    case SiteKind::kEBit: return "e";
+    case SiteKind::kCtBit: return "ct";
+    case SiteKind::kHistoryBit: return "history";
+    case SiteKind::kImageBit: return "image";
+    case SiteKind::kBusBit: return "bus";
+  }
+  return "?";
+}
+
+std::size_t site_count(Target target, std::size_t words,
+                       std::size_t tt_entries) {
+  switch (target) {
+    case Target::kTt:
+      return tt_entries * kTtBitsPerEntry;
+    case Target::kHistory:
+      return words == 0 ? 0 : (words - 1) * core::kBusLines;
+    case Target::kImage:
+    case Target::kBus:
+      return words * core::kBusLines;
+  }
+  return 0;
+}
+
+Site site_at(Target target, std::size_t words, std::size_t tt_entries,
+             std::size_t index) {
+  if (index >= site_count(target, words, tt_entries)) {
+    throw std::out_of_range("fault::site_at: index past the site space");
+  }
+  Site site;
+  site.target = target;
+  switch (target) {
+    case Target::kTt: {
+      site.index = index / kTtBitsPerEntry;
+      const std::size_t within = index % kTtBitsPerEntry;
+      if (within < kTauBitsPerEntry) {
+        site.kind = SiteKind::kTauBit;
+        site.line = static_cast<unsigned>(within / core::kTauIndexBits);
+        site.bit = static_cast<unsigned>(within % core::kTauIndexBits);
+      } else if (within == kTauBitsPerEntry) {
+        site.kind = SiteKind::kEBit;
+      } else {
+        site.kind = SiteKind::kCtBit;
+        site.bit = static_cast<unsigned>(within - kTauBitsPerEntry - 1);
+      }
+      break;
+    }
+    case Target::kHistory:
+      site.kind = SiteKind::kHistoryBit;
+      site.index = 1 + index / core::kBusLines;  // upset precedes this fetch
+      site.line = static_cast<unsigned>(index % core::kBusLines);
+      break;
+    case Target::kImage:
+      site.kind = SiteKind::kImageBit;
+      site.index = index / core::kBusLines;
+      site.line = static_cast<unsigned>(index % core::kBusLines);
+      break;
+    case Target::kBus:
+      site.kind = SiteKind::kBusBit;
+      site.index = index / core::kBusLines;
+      site.line = static_cast<unsigned>(index % core::kBusLines);
+      break;
+  }
+  return site;
+}
+
+void apply_tt_fault(core::TtConfig& tt, const Site& site) {
+  if (site.target != Target::kTt || site.index >= tt.entries.size()) {
+    throw std::invalid_argument("apply_tt_fault: site does not address this TT");
+  }
+  core::TtEntry& entry = tt.entries[site.index];
+  switch (site.kind) {
+    case SiteKind::kTauBit:
+      entry.tau[site.line] = static_cast<std::uint8_t>(
+          (entry.tau[site.line] ^ (1u << site.bit)) &
+          ((1u << core::kTauIndexBits) - 1));
+      break;
+    case SiteKind::kEBit:
+      entry.end = !entry.end;
+      break;
+    case SiteKind::kCtBit:
+      entry.ct = static_cast<std::uint8_t>((entry.ct ^ (1u << site.bit)) & 0x1Fu);
+      break;
+    default:
+      throw std::invalid_argument("apply_tt_fault: not a TT site kind");
+  }
+}
+
+void apply_image_fault(std::vector<std::uint32_t>& words, const Site& site) {
+  if (site.target != Target::kImage || site.index >= words.size()) {
+    throw std::invalid_argument(
+        "apply_image_fault: site does not address this image");
+  }
+  words[site.index] ^= 1u << site.line;
+}
+
+}  // namespace asimt::fault

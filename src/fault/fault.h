@@ -1,0 +1,84 @@
+// Soft-error fault model for the TT/decode datapath (docs/RESILIENCE.md).
+//
+// The paper's hardware addition is tiny — a Transformation Table, one
+// 2-input gate and one history flip-flop per bus line — but every bit of it
+// is state a particle strike can flip. This module enumerates the four
+// upset-able structures as flat, deterministic site spaces so a campaign can
+// address "bit 2 of line 17's τ index in TT entry 3" the same way on every
+// platform and at every thread count:
+//
+//   kTt       TT entry bits: per entry 32 lines x 3 τ-index bits, the E
+//             delimiter, and the 5-bit CT tail counter (wire format,
+//             core/tt_format.h) — persistent until reprogrammed.
+//   kHistory  the 32 per-line history flip-flops, upset between two
+//             fetches — transient state, rewritten every cycle.
+//   kImage    the stored encoded text image in instruction memory —
+//             persistent for the run.
+//   kBus      the live instruction-memory data bus — transient, one fetch.
+//
+// Enumeration order is part of the determinism contract: site_at(i) must
+// mean the same physical bit forever (campaign reports are byte-identical
+// across --jobs and platforms, and seeds stay replayable across versions).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/hw_tables.h"
+
+namespace asimt::fault {
+
+enum class Target { kTt, kHistory, kImage, kBus };
+inline constexpr int kTargetCount = 4;
+inline constexpr Target kAllTargets[kTargetCount] = {
+    Target::kTt, Target::kHistory, Target::kImage, Target::kBus};
+
+std::string_view target_name(Target target);
+std::optional<Target> target_from_name(std::string_view name);
+
+// What the flipped bit physically is. TT entries subdivide: τ-index bits
+// leave the E/overlap structure intact (the containment theorem applies),
+// E/CT bits corrupt sequencing (the decoder may run past the TT — a
+// DecodeFault, which the campaign treats as detected-and-degraded).
+enum class SiteKind { kTauBit, kEBit, kCtBit, kHistoryBit, kImageBit, kBusBit };
+std::string_view site_kind_name(SiteKind kind);
+
+// One single-bit fault site, addressed within its target's site space.
+struct Site {
+  Target target = Target::kTt;
+  SiteKind kind = SiteKind::kTauBit;
+  // kTt*: TT entry index. kHistory/kBus: fetch index the upset precedes/hits.
+  // kImage: stored word index.
+  std::size_t index = 0;
+  // Bus line 0..31 (all kinds except kEBit/kCtBit, where it is 0).
+  unsigned line = 0;
+  // Bit within the field: τ bit 0..2, CT bit 0..4, otherwise 0.
+  unsigned bit = 0;
+};
+
+inline constexpr unsigned kTauBitsPerEntry = core::kBusLines * core::kTauIndexBits;
+inline constexpr unsigned kCtBits = 5;  // wire format (core/tt_format.h)
+inline constexpr unsigned kTtBitsPerEntry = kTauBitsPerEntry + 1 + kCtBits;
+
+// Number of eligible single-bit sites for `target` on a basic block of
+// `words` instructions whose encoding uses `tt_entries` TT entries. History
+// upsets are modeled between consecutive fetches (an upset before fetch 0
+// hits flip-flops that the chain-initial plain word is about to overwrite,
+// so fetch indices 1..words-1 are the observable sites).
+std::size_t site_count(Target target, std::size_t words, std::size_t tt_entries);
+
+// The site at flat `index` in [0, site_count). Deterministic enumeration:
+// kTt: entry-major, then τ bits line-major (line * 3 + bit), then E, then CT
+// bits; kHistory/kImage/kBus: index-major, then line.
+Site site_at(Target target, std::size_t words, std::size_t tt_entries,
+             std::size_t index);
+
+// Applies a kTt-target site to an in-memory TT (flips the addressed bit).
+void apply_tt_fault(core::TtConfig& tt, const Site& site);
+
+// Applies a kImage-target site to a stored word vector.
+void apply_image_fault(std::vector<std::uint32_t>& words, const Site& site);
+
+}  // namespace asimt::fault

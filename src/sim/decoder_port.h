@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 
@@ -58,9 +59,20 @@ class DecoderPeripheral {
                     [this](std::uint32_t offset, std::uint32_t v) { store(offset, v); });
   }
 
-  // The fetch path: decodes when enabled, passes through otherwise.
+  // The fetch path: decodes when enabled, passes through otherwise. An
+  // installed bus-fault hook perturbs the word BEFORE the decoder sees it —
+  // the soft-error injection point of the fault campaigns (src/fault/,
+  // docs/RESILIENCE.md): what it models is a transient upset on the
+  // instruction-memory data bus between the SRAM and the decode gates.
   std::uint32_t feed(std::uint32_t pc, std::uint32_t bus_word) {
+    if (bus_fault_) bus_word = bus_fault_(pc, bus_word);
     return decoder_ ? decoder_->feed(pc, bus_word) : bus_word;
+  }
+
+  // Installs (or clears, with nullptr) the per-fetch bus-fault hook.
+  void set_bus_fault(std::function<std::uint32_t(std::uint32_t pc,
+                                                 std::uint32_t word)> hook) {
+    bus_fault_ = std::move(hook);
   }
 
   bool enabled() const { return decoder_.has_value(); }
@@ -79,6 +91,7 @@ class DecoderPeripheral {
   std::array<std::uint32_t, core::kTtEntryWords> staged_entry_{};
   std::uint32_t staged_pc_ = 0;
   std::optional<core::FetchDecoder> decoder_;
+  std::function<std::uint32_t(std::uint32_t, std::uint32_t)> bus_fault_;
 };
 
 }  // namespace asimt::sim

@@ -245,6 +245,35 @@ TEST(Fuzzer, SmallCampaignIsGreen) {
   EXPECT_EQ(total, 300u);
 }
 
+TEST(Fuzzer, HonorsTheWallClockBudget) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.iters = 500'000'000;  // far more than the budget allows
+  options.max_seconds = 0.05;
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_LT(report.iterations, report.iterations_requested);
+  EXPECT_EQ(report.iterations_requested, options.iters);
+  // The truncation is visible in both report forms so CI can tell "green
+  // but shortened" from "green and complete".
+  EXPECT_NE(format_report(report, options).find("TIMED OUT"),
+            std::string::npos);
+  EXPECT_NE(json_report(report, options).find("\"timed_out\": true"),
+            std::string::npos);
+}
+
+TEST(Fuzzer, JsonReportCarriesTheCampaignSummary) {
+  FuzzOptions options;
+  options.seed = 3;
+  options.iters = 50;
+  const FuzzReport report = run_fuzz(options);
+  const std::string json = json_report(report, options);
+  EXPECT_NE(json.find("\"seed\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"iters_completed\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"timed_out\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"runs_per_oracle\""), std::string::npos);
+}
+
 TEST(Fuzzer, ReportIsIdenticalAcrossJobCounts) {
   FuzzOptions options;
   options.seed = 99;

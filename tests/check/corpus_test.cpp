@@ -3,16 +3,18 @@
 // parse and pass its oracle forever; a red run here means a fixed bug came
 // back. New reproducers land automatically via
 //   asimt fuzz --seed S --iters N --out tests/check/corpus
+//
+// The replay itself goes through check::replay_corpus_dir, whose robustness
+// contract (a corrupt or truncated file is a NAMED failure, not a crash or a
+// silent skip) is pinned by the CorpusRobustness tests below.
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <array>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <string>
-#include <vector>
 
+#include "check/corpus.h"
 #include "check/fuzz_case.h"
 #include "check/oracles.h"
 
@@ -23,53 +25,119 @@
 namespace asimt::check {
 namespace {
 
-std::vector<std::filesystem::path> corpus_files() {
-  std::vector<std::filesystem::path> files;
-  for (const auto& entry :
-       std::filesystem::directory_iterator(ASIMT_CHECK_CORPUS_DIR)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".case") {
-      files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  return files;
-}
-
-std::string slurp(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
 TEST(Corpus, IsNotEmpty) {
   // The corpus must ship with the boundary-shape seeds; an empty directory
   // means the replay lane is silently testing nothing.
-  EXPECT_GE(corpus_files().size(), 8u) << "corpus dir: " << ASIMT_CHECK_CORPUS_DIR;
+  const CorpusReport report = replay_corpus_dir(ASIMT_CHECK_CORPUS_DIR);
+  EXPECT_GE(report.files.size(), 8u) << "corpus dir: " << ASIMT_CHECK_CORPUS_DIR;
 }
 
 TEST(Corpus, EveryCaseParsesSerializesAndPasses) {
-  for (const std::filesystem::path& path : corpus_files()) {
-    SCOPED_TRACE(path.filename().string());
-    FuzzCase c;
-    ASSERT_NO_THROW(c = parse_case(slurp(path)));
-    // The stored text must stay canonical modulo comments: re-serializing
-    // the parsed case and parsing again is a fixed point.
-    EXPECT_EQ(parse_case(serialize_case(c)), c);
-    const auto failure = run_case(c);
-    EXPECT_FALSE(failure.has_value()) << *failure;
+  const CorpusReport report = replay_corpus_dir(ASIMT_CHECK_CORPUS_DIR);
+  for (const CorpusFileResult& f : report.files) {
+    EXPECT_TRUE(f.passed()) << f.error;
   }
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.failures(), 0u);
 }
 
 TEST(Corpus, CoversEveryOracle) {
   std::array<bool, kOracleCount> seen{};
-  for (const std::filesystem::path& path : corpus_files()) {
-    seen[static_cast<int>(parse_case(slurp(path)).oracle)] = true;
+  for (const CorpusFileResult& f : replay_corpus_dir(ASIMT_CHECK_CORPUS_DIR).files) {
+    if (f.parsed) seen[static_cast<int>(f.oracle)] = true;
   }
   for (int i = 0; i < kOracleCount; ++i) {
     EXPECT_TRUE(seen[i]) << "no corpus case exercises oracle "
                          << oracle_name(static_cast<Oracle>(i));
   }
+}
+
+// --- robustness of the replay machinery itself ------------------------------
+
+class CorpusRobustness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("asimt-corpus-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path write(const std::string& name,
+                              const std::string& text) {
+    const std::filesystem::path path = dir_ / name;
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CorpusRobustness, CorruptCaseIsANamedErrorNotACrash) {
+  write("bad.case", "this is not a fuzz case\n");
+  const CorpusReport report = replay_corpus_dir(dir_.string());
+  ASSERT_EQ(report.files.size(), 1u);
+  EXPECT_FALSE(report.files[0].passed());
+  EXPECT_NE(report.files[0].error.find("bad.case"), std::string::npos)
+      << "error must identify the offending file: " << report.files[0].error;
+  EXPECT_NE(report.files[0].error.find("parse error"), std::string::npos);
+}
+
+TEST_F(CorpusRobustness, TruncatedCaseIsANamedErrorNotASilentSkip) {
+  // A syntactically truncated file: the magic line alone, no body.
+  write("truncated.case", "asimt-fuzz-case v1\n");
+  const CorpusReport report = replay_corpus_dir(dir_.string());
+  ASSERT_EQ(report.files.size(), 1u);
+  EXPECT_FALSE(report.files[0].passed());
+  EXPECT_NE(report.files[0].error.find("truncated.case"), std::string::npos);
+}
+
+TEST_F(CorpusRobustness, ValidFileAlongsideCorruptOneStillPasses) {
+  FuzzCase c;
+  c.oracle = Oracle::kRoundTrip;
+  c.line = bits::BitSeq{};
+  write("good.case", serialize_case(c));
+  write("bad.case", "garbage\n");
+  const CorpusReport report = replay_corpus_dir(dir_.string());
+  ASSERT_EQ(report.files.size(), 2u);  // sorted: bad.case, good.case
+  EXPECT_FALSE(report.files[0].passed());
+  EXPECT_TRUE(report.files[1].passed()) << report.files[1].error;
+  EXPECT_EQ(report.failures(), 1u);
+}
+
+TEST_F(CorpusRobustness, NonCanonicalCaseIsRoundTripDrift) {
+  // Hand-edited duplicate field: parses, but re-serialization differs, so a
+  // replay could be exercising something other than what the text implies.
+  FuzzCase c;
+  const std::string canonical = serialize_case(c);
+  write("dup.case", canonical + canonical.substr(canonical.find('\n') + 1));
+  const CorpusReport report = replay_corpus_dir(dir_.string());
+  ASSERT_EQ(report.files.size(), 1u);
+  // Either the parser rejects the duplicate outright (parse error) or the
+  // canonical-form check flags it; silence is the only wrong answer.
+  EXPECT_FALSE(report.files[0].passed());
+  EXPECT_NE(report.files[0].error.find("dup.case"), std::string::npos);
+}
+
+TEST_F(CorpusRobustness, MissingDirectoryThrowsWithTheDirectoryName) {
+  const std::string missing = (dir_ / "does-not-exist").string();
+  try {
+    replay_corpus_dir(missing);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos);
+  }
+}
+
+TEST_F(CorpusRobustness, NonCaseFilesAreIgnored) {
+  write("README.md", "not a case\n");
+  EXPECT_TRUE(replay_corpus_dir(dir_.string()).files.empty());
 }
 
 }  // namespace

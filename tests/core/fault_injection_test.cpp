@@ -81,7 +81,7 @@ TEST(FaultInjection, CorruptedCtMissesTheBlockEnd) {
       decoder.feed(0x1000 + 4 * static_cast<std::uint32_t>(i),
                    e.enc.encoded_words[i]);
     }
-  } catch (const std::logic_error&) {
+  } catch (const DecodeFault&) {
     ran_past_tt = true;
   }
   EXPECT_TRUE(ran_past_tt || decoder.in_encoded_mode());
@@ -92,14 +92,64 @@ TEST(FaultInjection, ClearedEndBitRunsPastTheTable) {
   TtConfig corrupt = e.tt;
   corrupt.entries.back().end = false;
   FetchDecoder decoder(corrupt, e.bbit);
-  // Feeding enough sequential words must eventually run past the TT.
-  EXPECT_THROW(
-      {
-        for (std::uint32_t i = 0; i < 64; ++i) {
-          decoder.feed(0x1000 + 4 * i, 0);
-        }
-      },
-      std::logic_error);
+  // Feeding enough sequential words must eventually run past the TT — and
+  // the structured fault must carry the coordinates of the failure so a
+  // campaign (or a trap handler) can attribute it.
+  bool trapped = false;
+  try {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      decoder.feed(0x1000 + 4 * i, 0);
+    }
+  } catch (const DecodeFault& fault) {
+    trapped = true;
+    EXPECT_EQ(fault.tt_index(), e.tt.entries.size());
+    EXPECT_GE(fault.pc(), 0x1000u);
+    EXPECT_NE(std::string(fault.what()).find("TT entry"), std::string::npos);
+  }
+  EXPECT_TRUE(trapped);
+}
+
+TEST(FaultInjection, OutOfRangeTauIndexRejectedAtConstruction) {
+  // A τ index wider than 3 bits cannot come off the wire format; a decoder
+  // handed such a table must fail with the entry/line coordinates instead of
+  // indexing past the 8-transform subset (UB before the hardening).
+  const Encoded e = make_encoded(7);
+  TtConfig corrupt = e.tt;
+  corrupt.entries[1].tau[17] = 9;
+  bool rejected = false;
+  try {
+    FetchDecoder decoder(corrupt, e.bbit);
+  } catch (const DecodeFault& fault) {
+    rejected = true;
+    EXPECT_EQ(fault.tt_index(), 1u);
+    EXPECT_EQ(fault.line(), 17);
+    EXPECT_NE(std::string(fault.what()).find("entry 1"), std::string::npos);
+    EXPECT_NE(std::string(fault.what()).find("line 17"), std::string::npos);
+  }
+  EXPECT_TRUE(rejected);
+}
+
+TEST(FaultInjection, TruncatedTtPayloadFailsWithCoordinates) {
+  // Dropping the tail TT entry (a truncated payload) leaves the E/CT chain
+  // pointing past the table; the decoder must raise a structured DecodeFault
+  // naming the missing entry, not crash or decode garbage.
+  const Encoded e = make_encoded(8, 4, 12);
+  ASSERT_GE(e.tt.entries.size(), 2u);
+  TtConfig truncated = e.tt;
+  truncated.entries.pop_back();
+  truncated.entries.back().end = false;  // the chain expects a successor
+  FetchDecoder decoder(truncated, e.bbit);
+  bool trapped = false;
+  try {
+    for (std::size_t i = 0; i < e.enc.encoded_words.size(); ++i) {
+      decoder.feed(0x1000 + 4 * static_cast<std::uint32_t>(i),
+                   e.enc.encoded_words[i]);
+    }
+  } catch (const DecodeFault& fault) {
+    trapped = true;
+    EXPECT_EQ(fault.tt_index(), truncated.entries.size());
+  }
+  EXPECT_TRUE(trapped);
 }
 
 TEST(FaultInjection, WrongBbitPcMeansRawPassthrough) {

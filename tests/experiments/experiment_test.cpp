@@ -273,5 +273,46 @@ TEST(WorkloadResultJson, ArrayFormAndCheckErrorField) {
   EXPECT_FALSE(arr.as_array()[0].at("check_passed").as_bool());
 }
 
+TEST(Vulnerability, AttributionTableCoversEveryTargetDeterministically) {
+  const VulnerabilityTable a = fault_vulnerability(7, 40, fault::Protection::kNone);
+  const VulnerabilityTable b = fault_vulnerability(7, 40, fault::Protection::kNone);
+  ASSERT_EQ(a.rows.size(), static_cast<std::size_t>(fault::kTargetCount));
+  EXPECT_EQ(to_json(a).dump(2), to_json(b).dump(2));
+
+  std::uint64_t corrupted = 0;
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].target, fault::kAllTargets[i]);
+    EXPECT_EQ(a.rows[i].runs, 40u);
+    EXPECT_DOUBLE_EQ(a.rows[i].corruption_rate,
+                     static_cast<double>(a.rows[i].corrupted_runs) / 40.0);
+    corrupted += a.rows[i].corrupted_runs;
+  }
+  // Unprotected single upsets must corrupt something somewhere, or the
+  // attribution view is vacuous.
+  EXPECT_GT(corrupted, 0u);
+
+  const std::string table = format_vulnerability_table(a);
+  for (const VulnerabilityRow& r : a.rows) {
+    EXPECT_NE(table.find(std::string(fault::target_name(r.target))),
+              std::string::npos);
+  }
+  EXPECT_NE(table.find("corrupt%"), std::string::npos);
+}
+
+TEST(Vulnerability, ParityProtectionShowsUpInTheTtRow) {
+  const VulnerabilityTable t =
+      fault_vulnerability(3, 60, fault::Protection::kParity);
+  ASSERT_FALSE(t.rows.empty());
+  const VulnerabilityRow& tt = t.rows[0];
+  ASSERT_EQ(tt.target, fault::Target::kTt);
+  // Every single-bit TT upset is caught by parity and served from the
+  // backing copy: nothing corrupt, everything restored.
+  EXPECT_EQ(tt.corrupted_runs, 0u);
+  EXPECT_EQ(tt.restored_runs, tt.runs);
+  const json::Value j = to_json(t);
+  EXPECT_EQ(j.at("protection").as_string(), "parity");
+  EXPECT_EQ(j.at("rows").as_array().size(), t.rows.size());
+}
+
 }  // namespace
 }  // namespace asimt::experiments

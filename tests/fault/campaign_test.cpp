@@ -1,0 +1,199 @@
+// Campaign-level resilience tests: determinism across thread counts, the
+// paper-structure containment theorem, and the protection-mode guarantees.
+#include <gtest/gtest.h>
+
+#include "fault/campaign.h"
+#include "fault/fault.h"
+#include "parallel/pool.h"
+#include "sim/decoder_port.h"
+
+namespace asimt::fault {
+namespace {
+
+class JobsGuard {
+ public:
+  explicit JobsGuard(unsigned n) : saved_(parallel::default_jobs()) {
+    parallel::set_default_jobs(n);
+  }
+  ~JobsGuard() { parallel::set_default_jobs(saved_); }
+
+ private:
+  unsigned saved_;
+};
+
+TEST(FaultCampaign, RunIterationIsAPureFunctionOfSeedAndIndex) {
+  CampaignOptions options;
+  options.seed = 42;
+  for (std::uint64_t i : {0ull, 1ull, 17ull, 100ull}) {
+    const IterationResult a = run_iteration(options, i);
+    const IterationResult b = run_iteration(options, i);
+    EXPECT_EQ(a.target, b.target);
+    EXPECT_EQ(a.flips, b.flips);
+    EXPECT_EQ(a.words, b.words);
+    EXPECT_EQ(a.corrupted_words, b.corrupted_words);
+    EXPECT_EQ(a.hamming, b.hamming);
+    EXPECT_EQ(a.extra_transitions, b.extra_transitions);
+    EXPECT_EQ(a.line_corrupted, b.line_corrupted);
+  }
+}
+
+TEST(FaultCampaign, ReportIsByteIdenticalAcrossJobCounts) {
+  CampaignOptions options;
+  options.seed = 7;
+  options.iters = 256;
+  std::string serial, fanned;
+  {
+    JobsGuard jobs(1);
+    serial = to_json(run_campaign(options)).dump(2);
+  }
+  {
+    JobsGuard jobs(8);
+    fanned = to_json(run_campaign(options)).dump(2);
+  }
+  EXPECT_EQ(serial, fanned);
+}
+
+TEST(FaultCampaign, RoundRobinTargetSplitIsExact) {
+  CampaignOptions options;
+  options.seed = 3;
+  options.iters = 10;  // 4 targets: splits 3/3/2/2 regardless of threads
+  const CampaignReport report = run_campaign(options);
+  ASSERT_EQ(report.per_target.size(), 4u);
+  EXPECT_EQ(report.per_target[0].runs, 3u);
+  EXPECT_EQ(report.per_target[1].runs, 3u);
+  EXPECT_EQ(report.per_target[2].runs, 2u);
+  EXPECT_EQ(report.per_target[3].runs, 2u);
+  EXPECT_EQ(report.iters_completed, 10u);
+  EXPECT_FALSE(report.timed_out);
+}
+
+TEST(FaultCampaign, RejectsBadOptions) {
+  CampaignOptions options;
+  options.targets.clear();
+  EXPECT_THROW(run_campaign(options), std::invalid_argument);
+  options.targets = {Target::kTt};
+  options.rate = 1.5;
+  EXPECT_THROW(run_campaign(options), std::invalid_argument);
+}
+
+TEST(FaultCampaign, RateModeInjectsMultipleFlips) {
+  CampaignOptions options;
+  options.seed = 11;
+  options.iters = 64;
+  options.rate = 0.02;
+  const CampaignReport report = run_campaign(options);
+  std::uint64_t flips = 0, runs = 0;
+  for (const TargetStats& s : report.per_target) {
+    flips += s.flips;
+    runs += s.runs;
+  }
+  EXPECT_EQ(runs, 64u);
+  EXPECT_GT(flips, runs);  // a 2% Bernoulli over hundreds of sites per run
+}
+
+// --- the containment theorem ------------------------------------------------
+// A single flipped τ-index bit or history flip-flop corrupts at most the one
+// k-bit block it belongs to, on the lines it touches: history is reloaded
+// from the RAW bus word at every block boundary, so nothing leaks across.
+TEST(Resilience, SingleTauOrHistoryFaultStaysInItsBlock) {
+  CampaignOptions options;
+  options.seed = 101;
+  options.targets = {Target::kTt, Target::kHistory};
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    const IterationResult r = run_iteration(options, i);
+    if (r.expected_block < 0) continue;  // E/CT flips corrupt sequencing
+    EXPECT_EQ(r.blocks_escaped, 0u)
+        << "iteration " << i << ": " << site_kind_name(r.kind)
+        << " fault escaped its k-bit block";
+    EXPECT_TRUE(r.contained_in_expected)
+        << "iteration " << i << ": corruption outside block "
+        << r.expected_block;
+  }
+}
+
+TEST(Resilience, CampaignReportsZeroContainmentViolations) {
+  CampaignOptions options;
+  options.seed = 5;
+  options.iters = 400;
+  const CampaignReport report = run_campaign(options);
+  EXPECT_EQ(report.containment_violations(), 0u);
+}
+
+// --- protection modes -------------------------------------------------------
+TEST(Resilience, ParityRestoresGoldenDecodeOnEverySingleBitTtFault) {
+  // Acceptance gate: 2000 iterations, every one a single-bit TT upset, and
+  // the parity checker must restore the golden decode every single time —
+  // the veto happens before the corrupted entry decodes anything.
+  CampaignOptions options;
+  options.seed = 1;
+  options.iters = 2000;
+  options.targets = {Target::kTt};
+  options.protection = Protection::kParity;
+  const CampaignReport report = run_campaign(options);
+  ASSERT_EQ(report.per_target.size(), 1u);
+  const TargetStats& tt = report.per_target[0];
+  EXPECT_EQ(tt.runs, 2000u);
+  EXPECT_EQ(tt.restored_runs, 2000u);
+  EXPECT_EQ(tt.corrupted_runs, 0u);
+  EXPECT_EQ(tt.detected, tt.degraded_runs);
+  // The power price of degradation is visible: vetoed blocks ran unencoded.
+  EXPECT_GT(tt.degraded_runs, 0u);
+  EXPECT_NE(tt.extra_transitions, 0);
+}
+
+TEST(Resilience, ReencodeShadowDetectsAndRecoversHistoryUpsets) {
+  CampaignOptions options;
+  options.seed = 2;
+  options.iters = 500;
+  options.targets = {Target::kHistory};
+  options.protection = Protection::kReencode;
+  const CampaignReport report = run_campaign(options);
+  const TargetStats& h = report.per_target[0];
+  EXPECT_EQ(h.runs, 500u);
+  // Every run ends architecturally golden: the shadow decode diverges on the
+  // first corrupted word, the model re-fetches, and the rest is served from
+  // the backing copy. Upsets on lines whose τ ignores history are benign.
+  EXPECT_EQ(h.restored_runs, 500u);
+  EXPECT_EQ(h.corrupted_runs, 0u);
+  EXPECT_GT(h.detected, 0u);
+  EXPECT_EQ(h.detected, h.degraded_runs);
+}
+
+TEST(Resilience, UnprotectedTtFaultsDoCorruptSomething) {
+  // Guards the protection tests against vacuity: without protection the same
+  // fault population must visibly corrupt a fair share of the runs.
+  CampaignOptions options;
+  options.seed = 1;
+  options.iters = 200;
+  options.targets = {Target::kTt};
+  const CampaignReport report = run_campaign(options);
+  EXPECT_GT(report.per_target[0].corrupted_runs + report.per_target[0].decode_faults,
+            50u);
+}
+
+TEST(Resilience, CampaignHonorsTheWallClockBudget) {
+  CampaignOptions options;
+  options.seed = 9;
+  options.iters = 50'000'000;  // far more than the budget allows
+  options.max_seconds = 0.05;
+  const CampaignReport report = run_campaign(options);
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_LT(report.iters_completed, report.iters_requested);
+  const json::Value json = to_json(report);
+  EXPECT_NE(json.dump(2).find("\"timed_out\": true"), std::string::npos);
+}
+
+TEST(Resilience, DecoderPeripheralBusFaultHookPerturbsTheFetchPath) {
+  sim::DecoderPeripheral peripheral;
+  EXPECT_EQ(peripheral.feed(0x1000, 0xABCD1234u), 0xABCD1234u);
+  peripheral.set_bus_fault([](std::uint32_t pc, std::uint32_t word) {
+    return pc == 0x1004 ? word ^ 0x80u : word;
+  });
+  EXPECT_EQ(peripheral.feed(0x1000, 0xABCD1234u), 0xABCD1234u);
+  EXPECT_EQ(peripheral.feed(0x1004, 0xABCD1234u), 0xABCD1234u ^ 0x80u);
+  peripheral.set_bus_fault(nullptr);
+  EXPECT_EQ(peripheral.feed(0x1004, 0xABCD1234u), 0xABCD1234u);
+}
+
+}  // namespace
+}  // namespace asimt::fault

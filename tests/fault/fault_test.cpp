@@ -1,0 +1,146 @@
+// Fault-model unit tests: the site spaces are the addressing scheme every
+// campaign report is built on, so their enumeration order is pinned here.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/hw_tables.h"
+#include "fault/campaign.h"
+#include "fault/fault.h"
+
+namespace asimt::fault {
+namespace {
+
+core::TtEntry make_entry(std::uint8_t tau_seed, bool end, std::uint8_t ct) {
+  core::TtEntry entry;
+  for (unsigned line = 0; line < core::kBusLines; ++line) {
+    entry.tau[line] = static_cast<std::uint8_t>((tau_seed + line) % 8);
+  }
+  entry.end = end;
+  entry.ct = ct;
+  return entry;
+}
+
+TEST(FaultModel, TargetNamesRoundTrip) {
+  for (Target t : kAllTargets) {
+    EXPECT_EQ(target_from_name(target_name(t)), t);
+  }
+  EXPECT_FALSE(target_from_name("tlb").has_value());
+}
+
+TEST(FaultModel, ProtectionNamesRoundTrip) {
+  for (Protection p : {Protection::kNone, Protection::kParity,
+                       Protection::kReencode, Protection::kBoth}) {
+    EXPECT_EQ(protection_from_name(protection_name(p)), p);
+  }
+  EXPECT_FALSE(protection_from_name("ecc").has_value());
+}
+
+TEST(FaultModel, SiteCountsMatchTheHardwareBudget) {
+  // 13-word block, 4 TT entries: the numbers the paper's hardware implies.
+  EXPECT_EQ(site_count(Target::kTt, 13, 4), 4u * (32 * 3 + 1 + 5));
+  EXPECT_EQ(site_count(Target::kHistory, 13, 4), 12u * 32);
+  EXPECT_EQ(site_count(Target::kImage, 13, 4), 13u * 32);
+  EXPECT_EQ(site_count(Target::kBus, 13, 4), 13u * 32);
+  EXPECT_EQ(site_count(Target::kHistory, 0, 4), 0u);
+}
+
+TEST(FaultModel, SiteEnumerationCoversEverySiteExactlyOnce) {
+  constexpr std::size_t kWords = 13, kEntries = 4;
+  for (Target target : kAllTargets) {
+    const std::size_t n = site_count(target, kWords, kEntries);
+    std::set<std::tuple<int, std::size_t, unsigned, unsigned>> seen;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Site s = site_at(target, kWords, kEntries, i);
+      EXPECT_EQ(s.target, target);
+      seen.insert({static_cast<int>(s.kind), s.index, s.line, s.bit});
+    }
+    EXPECT_EQ(seen.size(), n) << target_name(target);
+    EXPECT_THROW(site_at(target, kWords, kEntries, n), std::out_of_range);
+  }
+}
+
+TEST(FaultModel, TtSiteOrderIsEntryMajorTauFirst) {
+  // Pinned forever: campaign seeds must replay identically across versions.
+  const Site first = site_at(Target::kTt, 13, 4, 0);
+  EXPECT_EQ(first.kind, SiteKind::kTauBit);
+  EXPECT_EQ(first.index, 0u);
+  EXPECT_EQ(first.line, 0u);
+  EXPECT_EQ(first.bit, 0u);
+  const Site e_bit = site_at(Target::kTt, 13, 4, 96);
+  EXPECT_EQ(e_bit.kind, SiteKind::kEBit);
+  const Site ct0 = site_at(Target::kTt, 13, 4, 97);
+  EXPECT_EQ(ct0.kind, SiteKind::kCtBit);
+  EXPECT_EQ(ct0.bit, 0u);
+  const Site next_entry = site_at(Target::kTt, 13, 4, 102);
+  EXPECT_EQ(next_entry.kind, SiteKind::kTauBit);
+  EXPECT_EQ(next_entry.index, 1u);
+  // History sites start at fetch 1: an upset before fetch 0 is overwritten
+  // by the chain-initial seed before anything reads it.
+  const Site h0 = site_at(Target::kHistory, 13, 4, 0);
+  EXPECT_EQ(h0.index, 1u);
+  EXPECT_EQ(h0.line, 0u);
+}
+
+TEST(FaultModel, ApplyTtFaultIsItsOwnInverse) {
+  core::TtConfig tt{5, {make_entry(2, false, 0), make_entry(5, true, 4)}};
+  const core::TtConfig golden = tt;
+  for (std::size_t i = 0; i < site_count(Target::kTt, 13, tt.entries.size());
+       ++i) {
+    const Site s = site_at(Target::kTt, 13, tt.entries.size(), i);
+    apply_tt_fault(tt, s);
+    apply_tt_fault(tt, s);  // XOR flip: applying twice restores the entry
+  }
+  for (std::size_t e = 0; e < tt.entries.size(); ++e) {
+    for (unsigned line = 0; line < core::kBusLines; ++line) {
+      EXPECT_EQ(tt.entries[e].tau[line], golden.entries[e].tau[line]);
+    }
+    EXPECT_EQ(tt.entries[e].end, golden.entries[e].end);
+    EXPECT_EQ(tt.entries[e].ct, golden.entries[e].ct);
+  }
+}
+
+TEST(FaultModel, ApplyImageFaultTogglesExactlyOneBit) {
+  std::vector<std::uint32_t> words = {0x0, 0xFFFFFFFFu, 0x12345678u};
+  Site s;
+  s.target = Target::kImage;
+  s.kind = SiteKind::kImageBit;
+  s.index = 1;
+  s.line = 9;
+  apply_image_fault(words, s);
+  EXPECT_EQ(words[1], 0xFFFFFFFFu ^ (1u << 9));
+  EXPECT_EQ(words[0], 0u);
+  EXPECT_EQ(words[2], 0x12345678u);
+}
+
+TEST(FaultModel, ApplyFaultRejectsMismatchedSites) {
+  core::TtConfig tt{5, {make_entry(1, true, 3)}};
+  std::vector<std::uint32_t> words = {1, 2};
+  Site image_site;
+  image_site.target = Target::kImage;
+  image_site.kind = SiteKind::kImageBit;
+  EXPECT_THROW(apply_tt_fault(tt, image_site), std::invalid_argument);
+  Site tt_site;
+  tt_site.target = Target::kTt;
+  tt_site.kind = SiteKind::kTauBit;
+  tt_site.index = 7;  // past the single-entry table
+  EXPECT_THROW(apply_tt_fault(tt, tt_site), std::invalid_argument);
+  EXPECT_THROW(apply_image_fault(words, tt_site), std::invalid_argument);
+}
+
+TEST(FaultModel, TtEntryParityCatchesEverySingleBitFlip) {
+  // The protection mode's whole value rests on this: flipping ANY one of the
+  // 102 wire-format bits of an entry must flip its parity.
+  core::TtConfig tt{5, {make_entry(3, true, 5)}};
+  const int golden = core::tt_entry_parity(tt.entries[0]);
+  for (std::size_t i = 0; i < kTtBitsPerEntry; ++i) {
+    core::TtConfig faulty = tt;
+    apply_tt_fault(faulty, site_at(Target::kTt, 13, 1, i));
+    EXPECT_NE(core::tt_entry_parity(faulty.entries[0]), golden)
+        << "site " << i << " escaped the parity bit";
+  }
+}
+
+}  // namespace
+}  // namespace asimt::fault

@@ -7,6 +7,7 @@
 //                                          build a power-encoded firmware image
 //   asimt info    fw.img                   inspect a firmware image
 //   asimt fuzz    [--seed S] [--iters N]   differential fuzz the encoder stack
+//   asimt faults  [--seed S] [--iters N]   soft-error fault-injection campaign
 //   asimt profile prog.s [--top N]         transition-attribution power profile
 //
 // Observability (any command): `--metrics out.json` writes a metrics-registry
@@ -32,6 +33,7 @@
 
 #include "cfg/cfg.h"
 #include "check/fuzzer.h"
+#include "fault/campaign.h"
 #include "core/fetch_decoder.h"
 #include "core/image.h"
 #include "core/selection.h"
@@ -54,16 +56,22 @@ namespace {
 using namespace asimt;
 
 const char kUsage[] =
-    "usage: asimt <disasm|run|report|encode|info|fuzz|profile> [<file>] [options]\n"
+    "usage: asimt <disasm|run|report|encode|info|fuzz|faults|profile> [<file>] [options]\n"
     "  disasm prog.s\n"
     "  run    prog.s [--max-steps N] [--json]\n"
     "  report prog.s [-k list] [--json]\n"
     "  encode prog.s -o out.img [-k K] [--tt N] [--profile STEPS | --static]\n"
     "  info   fw.img\n"
-    "  fuzz   [--seed S] [--iters N] [--out DIR] [--mutate RULE]\n"
+    "  fuzz   [--seed S] [--iters N] [--out DIR] [--mutate RULE] [--json]\n"
     "         differential fuzzing of the encoder/decoder stack; shrunk\n"
     "         reproducers land in DIR (default fuzz-reproducers); --mutate\n"
     "         overlap|initial-plain self-checks the oracles (must fail)\n"
+    "  faults [--seed S] [--iters N] [--target tt|history|image|bus|all]\n"
+    "         [--rate R] [--protect none|parity|reencode|both] [--json]\n"
+    "         [--out report.json]\n"
+    "         seed-driven soft-error campaign over the TT/decode datapath;\n"
+    "         fails if any single-flip tau/history fault escapes its k-bit\n"
+    "         block (docs/RESILIENCE.md)\n"
     "  profile prog.s [-k K] [--tt N] [--top N] [--out prof.json]\n"
     "         [--annotate listing.txt] [--json] [--max-steps N]\n"
     "         encode, replay the encoded bus stream, and attribute every\n"
@@ -76,6 +84,9 @@ const char kUsage[] =
     "  --telemetry          enable metric counting without output files\n"
     "  --jobs N             worker threads for parallel stages (default:\n"
     "                       hardware concurrency; 1 = fully serial)\n"
+    "  --max-seconds S      wall-clock budget for fuzz/faults campaigns; a\n"
+    "                       run that hits it reports timed_out and the exact\n"
+    "                       iteration count completed (env: ASIMT_MAX_SECONDS)\n"
     "  --help, -h           show this help\n";
 
 [[noreturn]] void usage_error(const std::string& diagnostic) {
@@ -311,16 +322,48 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
-int cmd_fuzz(const check::FuzzOptions& options, const check::OracleHooks& hooks) {
+int cmd_fuzz(const check::FuzzOptions& options, const check::OracleHooks& hooks,
+             bool json_mode) {
   const check::FuzzReport report = check::run_fuzz(options, hooks);
-  std::fputs(check::format_report(report, options).c_str(), stdout);
+  if (json_mode) {
+    std::fputs(check::json_report(report, options).c_str(), stdout);
+  } else {
+    std::fputs(check::format_report(report, options).c_str(), stdout);
+  }
   if (hooks.any()) {
     // Mutation self-check: the deliberately broken rule MUST be caught.
-    std::printf("mutation check: %s\n",
-                report.ok() ? "NOT CAUGHT (oracle blind spot)" : "caught");
-    return report.ok() ? 1 : 0;
+    // The blind-spot diagnostic is a failure, so it belongs on stderr.
+    if (report.ok()) {
+      std::fprintf(stderr, "asimt: mutation check: NOT CAUGHT (oracle blind spot)\n");
+      return 1;
+    }
+    if (!json_mode) std::printf("mutation check: caught\n");
+    return 0;
   }
   return report.ok() ? 0 : 1;
+}
+
+int cmd_faults(const fault::CampaignOptions& options, bool json_mode,
+               const std::string& out_path) {
+  const fault::CampaignReport report = fault::run_campaign(options);
+  const std::string json = fault::to_json(report).dump(2) + "\n";
+  if (!out_path.empty() && !telemetry::write_text_file(out_path, json)) {
+    std::fprintf(stderr, "asimt: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (json_mode) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::fputs(fault::format_report(report).c_str(), stdout);
+  }
+  if (const std::uint64_t violations = report.containment_violations()) {
+    std::fprintf(stderr,
+                 "asimt: fault campaign: %llu containment violation(s): "
+                 "single-flip tau/history corruption escaped its k-bit block\n",
+                 static_cast<unsigned long long>(violations));
+    return 1;
+  }
+  return 0;
 }
 
 // Encodes the program under (k, tt_budget), replays the same deterministic
@@ -456,10 +499,10 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command != "disasm" && command != "run" && command != "report" &&
       command != "encode" && command != "info" && command != "fuzz" &&
-      command != "profile") {
+      command != "faults" && command != "profile") {
     usage_error("unknown command '" + command + "'");
   }
-  const bool takes_file = command != "fuzz";
+  const bool takes_file = command != "fuzz" && command != "faults";
   if (takes_file && argc < 3) usage_error("missing input file");
   const std::string file = takes_file ? argv[2] : "";
 
@@ -480,6 +523,8 @@ int main(int argc, char** argv) {
   fuzz.iters = 5000;
   fuzz.reproducer_dir = "fuzz-reproducers";
   check::OracleHooks hooks;
+  fault::CampaignOptions campaign;
+  bool max_seconds_from_flag = false;
 
   for (int i = takes_file ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -525,9 +570,44 @@ int main(int argc, char** argv) {
     else if (arg == "--top") top_n = next_int(1, 1 << 20);
     else if (arg == "--annotate") annotate_path = next();
     else if (arg == "--telemetry") telemetry::set_enabled(true);
-    else if (arg == "--seed") fuzz.seed = next_u64();
-    else if (arg == "--iters") fuzz.iters = next_u64();
-    else if (arg == "--out") {
+    else if (arg == "--seed") campaign.seed = fuzz.seed = next_u64();
+    else if (arg == "--iters") campaign.iters = fuzz.iters = next_u64();
+    else if (arg == "--target") {
+      const std::string value = next();
+      if (value == "all") {
+        campaign.targets.assign(fault::kAllTargets,
+                                fault::kAllTargets + fault::kTargetCount);
+      } else if (const auto target = fault::target_from_name(value)) {
+        campaign.targets = {*target};
+      } else {
+        usage_error("--target needs tt|history|image|bus|all, got '" + value +
+                    "'");
+      }
+    } else if (arg == "--rate") {
+      const std::string value = next();
+      const std::optional<double> parsed = util::parse_number<double>(value);
+      if (!parsed || !(*parsed >= 0.0) || *parsed > 1.0) {
+        usage_error("--rate needs a number in [0, 1], got '" + value + "'");
+      }
+      campaign.rate = *parsed;
+    } else if (arg == "--protect") {
+      const std::string value = next();
+      const auto protection = fault::protection_from_name(value);
+      if (!protection) {
+        usage_error("--protect needs none|parity|reencode|both, got '" + value +
+                    "'");
+      }
+      campaign.protection = *protection;
+    } else if (arg == "--max-seconds") {
+      const std::string value = next();
+      const std::optional<double> parsed = util::parse_number<double>(value);
+      if (!parsed || !(*parsed >= 0.0)) {
+        usage_error("--max-seconds needs a non-negative number, got '" + value +
+                    "'");
+      }
+      campaign.max_seconds = fuzz.max_seconds = *parsed;
+      max_seconds_from_flag = true;
+    } else if (arg == "--out") {
       // fuzz: reproducer directory; profile: report path. Set both — the
       // commands never share an invocation.
       const std::string value = next();
@@ -544,6 +624,21 @@ int main(int argc, char** argv) {
           next_int(1, std::numeric_limits<int>::max())));
     }
     else usage_error("unknown option '" + arg + "'");
+  }
+
+  // Environment fallback for CI lanes that wrap many invocations: the flag,
+  // when given, wins. Parsed as strictly as the flag — a malformed value is
+  // a configuration error, not a silent "no budget".
+  if (!max_seconds_from_flag) {
+    if (const char* env = std::getenv("ASIMT_MAX_SECONDS")) {
+      const std::optional<double> parsed = util::parse_number<double>(env);
+      if (!parsed || !(*parsed >= 0.0)) {
+        usage_error(std::string("ASIMT_MAX_SECONDS needs a non-negative "
+                                "number, got '") +
+                    env + "'");
+      }
+      campaign.max_seconds = fuzz.max_seconds = *parsed;
+    }
   }
 
   if (!metrics_path.empty()) telemetry::set_enabled(true);
@@ -572,7 +667,9 @@ int main(int argc, char** argv) {
       if (out_path.empty()) usage_error("encode needs -o <output image>");
       rc = cmd_encode(file, out_path, k, tt_budget, profile_steps, static_mode);
     } else if (command == "fuzz") {
-      rc = cmd_fuzz(fuzz, hooks);
+      rc = cmd_fuzz(fuzz, hooks, json_mode);
+    } else if (command == "faults") {
+      rc = cmd_faults(campaign, json_mode, out_path);
     } else if (command == "profile") {
       rc = cmd_profile(file, k, tt_budget, max_steps, top_n, json_mode,
                        out_path, annotate_path);

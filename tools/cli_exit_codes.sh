@@ -1,0 +1,84 @@
+#!/bin/sh
+# Sweeps the asimt CLI's error paths and pins the exit-code contract:
+#   usage / parse failures   -> exit 2, diagnostic on stderr, nothing on stdout
+#   data / validation errors -> exit 1, diagnostic on stderr
+#   happy paths              -> exit 0
+# usage: cli_exit_codes.sh <asimt-binary> <demo.s>
+set -u
+
+asimt="$1"
+demo="$2"
+tmp="${TMPDIR:-/tmp}/cli_exit_codes_$$"
+mkdir -p "$tmp" || exit 1
+trap 'rm -rf "$tmp"' EXIT
+fails=0
+
+check() {
+  want="$1"
+  shift
+  "$@" >"$tmp/out" 2>"$tmp/err"
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: exit $got, want $want: $*"
+    fails=$((fails + 1))
+    return
+  fi
+  if [ "$want" -ne 0 ] && ! [ -s "$tmp/err" ]; then
+    echo "FAIL: exit $got but no stderr diagnostic: $*"
+    fails=$((fails + 1))
+  fi
+  # Usage errors must keep stdout clean for pipelines.
+  if [ "$want" -eq 2 ] && [ -s "$tmp/out" ]; then
+    echo "FAIL: usage error leaked onto stdout: $*"
+    fails=$((fails + 1))
+  fi
+}
+
+# --- usage / parse failures: exit 2 ----------------------------------------
+check 2 "$asimt"
+check 2 "$asimt" frobnicate
+check 2 "$asimt" disasm
+check 2 "$asimt" run
+check 2 "$asimt" report
+check 2 "$asimt" encode
+check 2 "$asimt" info
+check 2 "$asimt" profile
+check 2 "$asimt" report "$demo" --bogus
+check 2 "$asimt" report "$demo" -k
+check 2 "$asimt" report "$demo" -k 1
+check 2 "$asimt" report "$demo" -k 4,nope
+check 2 "$asimt" report "$demo" --tt junk
+check 2 "$asimt" report "$demo" --tt 5x
+check 2 "$asimt" report "$demo" --jobs 0
+check 2 "$asimt" run "$demo" --max-steps many
+check 2 "$asimt" encode "$demo" -k 5
+check 2 "$asimt" fuzz --iters many
+check 2 "$asimt" fuzz --mutate nonsense
+check 2 "$asimt" faults --target tlb
+check 2 "$asimt" faults --rate 1.5
+check 2 "$asimt" faults --rate soon
+check 2 "$asimt" faults --protect ecc
+check 2 "$asimt" faults --max-seconds -1
+check 2 "$asimt" faults --max-seconds soon
+check 2 env ASIMT_MAX_SECONDS=banana "$asimt" faults --iters 1
+
+# --- data / validation errors: exit 1 --------------------------------------
+check 1 "$asimt" disasm "$tmp/does-not-exist.s"
+check 1 "$asimt" run "$tmp/does-not-exist.s"
+check 1 "$asimt" info "$tmp/does-not-exist.img"
+printf 'not a firmware image' >"$tmp/garbage.img"
+check 1 "$asimt" info "$tmp/garbage.img"
+printf 'this is not assembly !!!\n' >"$tmp/bad.s"
+check 1 "$asimt" disasm "$tmp/bad.s"
+
+# --- happy paths still exit 0 ----------------------------------------------
+check 0 "$asimt" --help
+check 0 "$asimt" disasm "$demo"
+check 0 "$asimt" faults --seed 1 --iters 8
+check 0 "$asimt" fuzz --seed 1 --iters 20 --out "$tmp/repro"
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails exit-code contract violation(s)"
+  exit 1
+fi
+echo "cli exit-code contract OK"
