@@ -8,8 +8,9 @@
 #include "experiments/experiment.h"
 #include "isa/assembler.h"
 #include "sim/cpu.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   const workloads::SizeConfig sizes = workloads::SizeConfig::small();
 
@@ -52,3 +53,5 @@ int main() {
       "encoding.\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ablation_businvert")

@@ -12,6 +12,7 @@
 #include "isa/assembler.h"
 #include "sim/cpu.h"
 #include "workloads/workload.h"
+#include "obs/bench.h"
 
 namespace {
 
@@ -22,7 +23,7 @@ long long measure(const asimt::cfg::Cfg& cfg, const asimt::cfg::Profile& profile
 
 }  // namespace
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   std::printf("dynamic transition reduction: cold scheduling vs asimt (k=5)\n");
   std::printf("%-6s %12s %12s %12s\n", "bench", "schedule", "asimt", "both");
@@ -76,3 +77,5 @@ int main() {
       "right call.\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ablation_cold_schedule")

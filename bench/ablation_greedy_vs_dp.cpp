@@ -7,8 +7,9 @@
 
 #include "core/chain_encoder.h"
 #include "experiments/experiment.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   using core::ChainStrategy;
 
@@ -54,3 +55,5 @@ int main() {
   std::printf("\npaper §6 reproduced: greedy matches the optimum in practice\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ablation_greedy_vs_dp")

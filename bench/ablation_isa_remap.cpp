@@ -13,8 +13,9 @@
 #include "sim/bus.h"
 #include "sim/cpu.h"
 #include "workloads/workload.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   std::printf("opcode-field (bits 31:26) dynamic transitions\n");
   std::printf("%-6s %12s %12s %12s %12s %12s\n", "bench", "raw ISA",
@@ -78,3 +79,5 @@ int main() {
       "application-specific techniques).\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ablation_isa_remap")

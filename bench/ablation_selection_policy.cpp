@@ -9,8 +9,9 @@
 #include "isa/assembler.h"
 #include "sim/cpu.h"
 #include "workloads/workload.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   std::printf("hot-block selection: greedy density vs optimal knapsack (k=5)\n");
   std::printf("%-6s %4s %14s %14s %12s\n", "bench", "TT", "greedy red%",
@@ -55,3 +56,5 @@ int main() {
       "paper's 16-entry budget; gaps only open when the budget is starved.\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ablation_selection_policy")

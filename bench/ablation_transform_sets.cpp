@@ -6,8 +6,9 @@
 #include "core/chain_encoder.h"
 #include "isa/assembler.h"
 #include "workloads/workload.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   using core::Transform;
 
@@ -63,3 +64,5 @@ int main() {
       "invertible(4) trails slightly; identity saves nothing.\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ablation_transform_sets")

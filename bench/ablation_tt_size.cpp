@@ -3,8 +3,9 @@
 #include <cstdio>
 
 #include "experiments/experiment.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   const workloads::SizeConfig sizes = workloads::SizeConfig::small();
   const int budgets[] = {1, 2, 4, 8, 16, 32, 64};
@@ -32,3 +33,5 @@ int main() {
       core::TtConfig::entry_bits());
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ablation_tt_size")

@@ -10,6 +10,7 @@
 #include "core/chain_encoder.h"
 #include "isa/assembler.h"
 #include "workloads/workload.h"
+#include "obs/bench.h"
 
 namespace {
 
@@ -26,7 +27,7 @@ constexpr Field kFields[] = {
 
 }  // namespace
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   std::printf("static per-field transition reduction, k=5 (whole text)\n");
   std::printf("%-6s", "bench");
@@ -72,3 +73,5 @@ int main() {
   }
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("analysis_bitlines")

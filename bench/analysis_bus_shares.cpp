@@ -12,8 +12,9 @@
 #include "isa/effects.h"
 #include "sim/cpu.h"
 #include "workloads/workload.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   std::printf("bus transfer shares per workload (reduced sizes)\n");
   std::printf("%-6s %16s %16s %16s %8s\n", "bench", "instr fetches",
@@ -61,3 +62,5 @@ int main() {
       "exactly what the paper's static, input-independent encoding avoids.)\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("analysis_bus_shares")

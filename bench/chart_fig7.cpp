@@ -7,8 +7,9 @@
 
 #include "experiments/experiment.h"
 #include "parallel/pool.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   const workloads::SizeConfig sizes = experiments::bench_sizes();
   experiments::ExperimentOptions opt;
@@ -49,3 +50,5 @@ int main() {
   }
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("chart_fig7")

@@ -11,8 +11,9 @@
 #include "sim/bus.h"
 #include "sim/cpu.h"
 #include "workloads/workload.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   std::printf("self vs coupling activity, k=5, 16-entry TT (reduced sizes)\n");
   std::printf("%-6s %12s %12s %12s %12s %10s %10s\n", "bench", "self base",
@@ -71,3 +72,5 @@ int main() {
       "the natural follow-up the later literature pursued.\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ext_coupling")

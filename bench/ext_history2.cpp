@@ -5,8 +5,9 @@
 
 #include "core/block_code.h"
 #include "core/history2.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt::core;
   std::printf("h=1 (16 fns, 3-bit index) vs h=2 (256 fns, 8-bit index)\n\n");
   std::printf("%-4s %8s %10s %10s %12s %12s\n", "k", "TTN", "RTN(h=1)",
@@ -30,3 +31,5 @@ int main() {
       subset, subset <= 16 ? 4 : (subset <= 32 ? 5 : 8));
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ext_history2")

@@ -15,8 +15,9 @@
 #include "sim/cpu.h"
 #include "sim/icache.h"
 #include "workloads/workload.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   const workloads::SizeConfig sizes = workloads::SizeConfig::small();
   const sim::InstructionCache::Config cache_config{16, 64, 2};  // 8 KiB
@@ -82,3 +83,5 @@ int main() {
       "bursts over the memory->cache bus gain a smaller but free bonus.\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ext_icache")

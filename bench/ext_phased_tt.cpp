@@ -12,8 +12,9 @@
 #include "isa/assembler.h"
 #include "sim/cpu.h"
 #include "workloads/workload.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   const workloads::SizeConfig sizes = workloads::SizeConfig::small();
   std::printf("single TT configuration vs per-loop reprogramming (k=5)\n");
@@ -63,3 +64,5 @@ int main() {
       "in volume' claim for the software path).\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ext_phased_tt")

@@ -12,8 +12,9 @@
 #include "sim/cpu.h"
 #include "sim/timing.h"
 #include "workloads/workload.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   std::printf("pipeline CPI (5-stage, forwarding, 2-cycle taken-branch flush)\n");
   std::printf("%-6s %10s %10s %12s %12s %12s\n", "bench", "CPI", "flushes",
@@ -51,3 +52,5 @@ int main() {
       "what makes the technique performance-free.\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ext_timing")

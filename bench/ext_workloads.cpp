@@ -8,8 +8,9 @@
 #include <cstdio>
 
 #include "experiments/experiment.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   const workloads::SizeConfig sizes = experiments::bench_sizes();
   experiments::ExperimentOptions opt;
@@ -40,3 +41,5 @@ int main() {
       "encoding regularity rather than on numerical code specifically.\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("ext_workloads")

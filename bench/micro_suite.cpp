@@ -1,0 +1,235 @@
+// The registered microbenchmark suite: tooling throughput (encoder, decoder
+// model, simulator, solver) plus the telemetry and profiler overhead guards
+// (the *Disabled* benches verify the off path costs ~nothing). These are
+// engineering numbers for the library itself, not paper results.
+//
+// Built as an OBJECT library linked into both the standalone
+// `micro_throughput` binary and `asimt bench`, so the registrar statics are
+// never dropped and both front ends run the identical suite. Bench names
+// keep the historical BM_* spelling so trajectory rows line up with the v1
+// BENCH_micro_throughput.json artifacts.
+#include <random>
+
+#include "cfg/cfg.h"
+#include "core/block_code.h"
+#include "core/chain_encoder.h"
+#include "core/fetch_decoder.h"
+#include "core/program_encoder.h"
+#include "isa/assembler.h"
+#include "obs/bench.h"
+#include "profile/transition_profiler.h"
+#include "sim/cpu.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+using namespace asimt;
+
+bits::BitSeq random_seq(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  bits::BitSeq seq(n);
+  for (std::size_t i = 0; i < n; ++i) seq.set(i, static_cast<int>(rng() & 1));
+  return seq;
+}
+
+const char* kLoopProgram = R"(
+        li      $t0, 0
+        li      $t1, 10000
+loop:   addiu   $t0, $t0, 1
+        lw      $t2, 0($a0)
+        addu    $t3, $t3, $t2
+        bne     $t0, $t1, loop
+        halt
+)";
+
+void BM_ChainEncodeGreedy(obs::BenchContext& ctx, int n) {
+  const bits::BitSeq seq = random_seq(static_cast<std::size_t>(n), 1);
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  const core::ChainEncoder encoder(opt);
+  ctx.set_items_per_iter(static_cast<std::uint64_t>(n));
+  ctx.measure([&] { obs::do_not_optimize(encoder.encode(seq)); });
+}
+ASIMT_BENCH_ARG(BM_ChainEncodeGreedy, 100);
+ASIMT_BENCH_ARG(BM_ChainEncodeGreedy, 1000);
+
+void BM_ChainEncodeDp(obs::BenchContext& ctx, int n) {
+  const bits::BitSeq seq = random_seq(static_cast<std::size_t>(n), 2);
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  opt.strategy = core::ChainStrategy::kOptimalDp;
+  const core::ChainEncoder encoder(opt);
+  ctx.set_items_per_iter(static_cast<std::uint64_t>(n));
+  ctx.measure([&] { obs::do_not_optimize(encoder.encode(seq)); });
+}
+ASIMT_BENCH_ARG(BM_ChainEncodeDp, 100);
+ASIMT_BENCH_ARG(BM_ChainEncodeDp, 1000);
+
+void BM_EncodeBasicBlock(obs::BenchContext& ctx, int n) {
+  std::mt19937 rng(3);
+  std::vector<std::uint32_t> words(static_cast<std::size_t>(n));
+  for (auto& w : words) w = rng();
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  ctx.set_items_per_iter(static_cast<std::uint64_t>(n));
+  ctx.measure(
+      [&] { obs::do_not_optimize(core::encode_basic_block(words, 0x1000, opt)); });
+}
+ASIMT_BENCH_ARG(BM_EncodeBasicBlock, 8);
+ASIMT_BENCH_ARG(BM_EncodeBasicBlock, 64);
+
+void BM_FetchDecoderFeed(obs::BenchContext& ctx) {
+  std::mt19937 rng(4);
+  std::vector<std::uint32_t> words(64);
+  for (auto& w : words) w = rng();
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  const core::BlockEncoding enc = core::encode_basic_block(words, 0x1000, opt);
+  core::TtConfig tt;
+  tt.block_size = 5;
+  tt.entries = enc.tt_entries;
+  core::FetchDecoder decoder(tt, {core::BbitEntry{0x1000, 0}});
+  ctx.set_items_per_iter(words.size());
+  ctx.measure([&] {
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      obs::do_not_optimize(decoder.feed(
+          0x1000 + 4 * static_cast<std::uint32_t>(i), enc.encoded_words[i]));
+    }
+  });
+}
+ASIMT_BENCH(BM_FetchDecoderFeed);
+
+void BM_SolveBlockCode(obs::BenchContext& ctx, int k) {
+  ctx.measure([&] { obs::do_not_optimize(core::solve_block_code(k)); });
+}
+ASIMT_BENCH_ARG(BM_SolveBlockCode, 5);
+ASIMT_BENCH_ARG(BM_SolveBlockCode, 7);
+
+void BM_SimulatorLoop(obs::BenchContext& ctx) {
+  const isa::Program program = isa::assemble(kLoopProgram);
+  ctx.set_items_per_iter(40003);
+  ctx.measure([&] {
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    cpu.state().r[isa::kA0] = 0x10000;
+    const std::uint64_t steps = cpu.run(1'000'000);
+    obs::do_not_optimize(steps);
+    ctx.set_counter("instructions", static_cast<double>(steps));
+  });
+}
+ASIMT_BENCH(BM_SimulatorLoop);
+
+// --- profiler overhead guard ----------------------------------------------
+// The transition profiler's budget mirrors telemetry's: a fetch loop that
+// carries the observe_fetch hook but has no profiler installed must stay
+// within 1% of the bare loop. The *Enabled* variants show the real cost of
+// full attribution for comparison.
+
+void BM_ProfilerDisabledObserveFetch(obs::BenchContext& ctx) {
+  profile::set_current(nullptr);
+  std::uint32_t pc = 0x400000;
+  std::uint32_t word = 0x12345678;
+  ctx.measure([&] {
+    profile::observe_fetch(pc, word);
+    pc += 4;
+    word = word * 1664525u + 1013904223u;
+  });
+}
+ASIMT_BENCH(BM_ProfilerDisabledObserveFetch);
+
+void BM_ProfilerEnabledObserveFetch(obs::BenchContext& ctx) {
+  profile::TransitionProfiler prof(0x400000, 4096);
+  profile::set_current(&prof);
+  std::uint32_t pc = 0x400000;
+  std::uint32_t word = 0x12345678;
+  ctx.measure([&] {
+    profile::observe_fetch(pc, word);
+    pc = 0x400000 + ((pc - 0x400000 + 4) & 0x3FFF);
+    word = word * 1664525u + 1013904223u;
+  });
+  profile::set_current(nullptr);
+}
+ASIMT_BENCH(BM_ProfilerEnabledObserveFetch);
+
+void BM_ProfilerDisabledFetchLoop(obs::BenchContext& ctx) {
+  const isa::Program program = isa::assemble(kLoopProgram);
+  profile::set_current(nullptr);
+  ctx.set_items_per_iter(40003);
+  ctx.measure([&] {
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    cpu.state().r[isa::kA0] = 0x10000;
+    const std::uint64_t steps =
+        cpu.run(1'000'000, [](std::uint32_t pc, std::uint32_t word) {
+          profile::observe_fetch(pc, word);
+        });
+    obs::do_not_optimize(steps);
+  });
+}
+ASIMT_BENCH(BM_ProfilerDisabledFetchLoop);
+
+void BM_ProfilerEnabledFetchLoop(obs::BenchContext& ctx) {
+  const isa::Program program = isa::assemble(kLoopProgram);
+  const cfg::Cfg cfg = cfg::build_cfg(program);
+  profile::TransitionProfiler prof(cfg);
+  profile::set_current(&prof);
+  ctx.set_items_per_iter(40003);
+  ctx.measure([&] {
+    sim::Memory memory;
+    memory.load_program(program);
+    sim::Cpu cpu(memory);
+    cpu.state().pc = program.entry();
+    cpu.state().r[isa::kA0] = 0x10000;
+    const std::uint64_t steps =
+        cpu.run(1'000'000, [](std::uint32_t pc, std::uint32_t word) {
+          profile::observe_fetch(pc, word);
+        });
+    obs::do_not_optimize(steps);
+  });
+  profile::set_current(nullptr);
+}
+ASIMT_BENCH(BM_ProfilerEnabledFetchLoop);
+
+// --- telemetry overhead guard ---------------------------------------------
+// The observability layer must be free when off: these measure the exact
+// instrumented operations with telemetry disabled vs. enabled. The encoder
+// benchmarks above are the end-to-end check (they run with telemetry off
+// and their numbers gate regressions in the hot path).
+
+void BM_TelemetryDisabledCount(obs::BenchContext& ctx) {
+  telemetry::set_enabled(false);
+  ctx.measure([&] { telemetry::count("bench.disabled.counter"); });
+}
+ASIMT_BENCH(BM_TelemetryDisabledCount);
+
+void BM_TelemetryEnabledCount(obs::BenchContext& ctx) {
+  telemetry::set_enabled(true);
+  ctx.measure([&] { telemetry::count("bench.enabled.counter"); });
+  telemetry::set_enabled(false);
+}
+ASIMT_BENCH(BM_TelemetryEnabledCount);
+
+void BM_TelemetryDisabledScopedTimer(obs::BenchContext& ctx) {
+  telemetry::set_enabled(false);
+  ctx.measure([&] { telemetry::ScopedTimer timer("bench.disabled.us"); });
+}
+ASIMT_BENCH(BM_TelemetryDisabledScopedTimer);
+
+void BM_ChainEncodeGreedyTelemetryOn(obs::BenchContext& ctx) {
+  telemetry::set_enabled(true);
+  const bits::BitSeq seq = random_seq(1000, 1);
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  const core::ChainEncoder encoder(opt);
+  ctx.set_items_per_iter(1000);
+  ctx.measure([&] { obs::do_not_optimize(encoder.encode(seq)); });
+  telemetry::set_enabled(false);
+}
+ASIMT_BENCH(BM_ChainEncodeGreedyTelemetryOn);
+
+}  // namespace

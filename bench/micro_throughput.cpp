@@ -1,319 +1,17 @@
-// A6 — google-benchmark microbenchmarks: tooling throughput (encoder,
-// decoder model, simulator, solver) plus the telemetry overhead guard
-// (BM_*Telemetry* verify the disabled path costs ~nothing). These are
-// engineering numbers for the library itself, not paper results.
+// A6 — microbenchmarks on the statistical harness (src/obs/bench.h):
+// tooling throughput for the encoder, decoder model, simulator, and solver,
+// plus the telemetry/profiler overhead guards. The suite itself lives in
+// micro_suite.cpp and is shared with `asimt bench`; this binary is the
+// standalone front end the CI bench loop runs.
 //
-// Besides the console table, every run writes BENCH_micro_throughput.json
-// (via the telemetry JSON exporter) so the perf trajectory is machine
-// readable: one row per benchmark with iteration counts, times, and user
-// counters.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-#include <random>
-
-#include "cfg/cfg.h"
-#include "core/block_code.h"
-#include "core/chain_encoder.h"
-#include "core/fetch_decoder.h"
-#include "core/program_encoder.h"
-#include "isa/assembler.h"
-#include "profile/transition_profiler.h"
-#include "sim/cpu.h"
-#include "telemetry/export.h"
-#include "telemetry/json.h"
-#include "telemetry/metrics.h"
-#include "telemetry/trace.h"
-
-namespace {
-
-using namespace asimt;
-
-bits::BitSeq random_seq(std::size_t n, std::uint32_t seed) {
-  std::mt19937 rng(seed);
-  bits::BitSeq seq(n);
-  for (std::size_t i = 0; i < n; ++i) seq.set(i, static_cast<int>(rng() & 1));
-  return seq;
-}
-
-void BM_ChainEncodeGreedy(benchmark::State& state) {
-  const bits::BitSeq seq = random_seq(static_cast<std::size_t>(state.range(0)), 1);
-  core::ChainOptions opt;
-  opt.block_size = 5;
-  const core::ChainEncoder encoder(opt);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(encoder.encode(seq));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_ChainEncodeGreedy)->Arg(100)->Arg(1000);
-
-void BM_ChainEncodeDp(benchmark::State& state) {
-  const bits::BitSeq seq = random_seq(static_cast<std::size_t>(state.range(0)), 2);
-  core::ChainOptions opt;
-  opt.block_size = 5;
-  opt.strategy = core::ChainStrategy::kOptimalDp;
-  const core::ChainEncoder encoder(opt);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(encoder.encode(seq));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_ChainEncodeDp)->Arg(100)->Arg(1000);
-
-void BM_EncodeBasicBlock(benchmark::State& state) {
-  std::mt19937 rng(3);
-  std::vector<std::uint32_t> words(static_cast<std::size_t>(state.range(0)));
-  for (auto& w : words) w = rng();
-  core::ChainOptions opt;
-  opt.block_size = 5;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::encode_basic_block(words, 0x1000, opt));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_EncodeBasicBlock)->Arg(8)->Arg(64);
-
-void BM_FetchDecoderFeed(benchmark::State& state) {
-  std::mt19937 rng(4);
-  std::vector<std::uint32_t> words(64);
-  for (auto& w : words) w = rng();
-  core::ChainOptions opt;
-  opt.block_size = 5;
-  const core::BlockEncoding enc = core::encode_basic_block(words, 0x1000, opt);
-  core::TtConfig tt;
-  tt.block_size = 5;
-  tt.entries = enc.tt_entries;
-  core::FetchDecoder decoder(tt, {core::BbitEntry{0x1000, 0}});
-  for (auto _ : state) {
-    for (std::size_t i = 0; i < words.size(); ++i) {
-      benchmark::DoNotOptimize(decoder.feed(
-          0x1000 + 4 * static_cast<std::uint32_t>(i), enc.encoded_words[i]));
-    }
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long long>(words.size()));
-}
-BENCHMARK(BM_FetchDecoderFeed);
-
-void BM_SolveBlockCode(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::solve_block_code(k));
-  }
-}
-BENCHMARK(BM_SolveBlockCode)->Arg(5)->Arg(7);
-
-void BM_SimulatorLoop(benchmark::State& state) {
-  const isa::Program program = isa::assemble(R"(
-        li      $t0, 0
-        li      $t1, 10000
-loop:   addiu   $t0, $t0, 1
-        lw      $t2, 0($a0)
-        addu    $t3, $t3, $t2
-        bne     $t0, $t1, loop
-        halt
-)");
-  for (auto _ : state) {
-    sim::Memory memory;
-    memory.load_program(program);
-    sim::Cpu cpu(memory);
-    cpu.state().pc = program.entry();
-    cpu.state().r[isa::kA0] = 0x10000;
-    const std::uint64_t steps = cpu.run(1'000'000);
-    benchmark::DoNotOptimize(steps);
-    state.counters["instructions"] = static_cast<double>(steps);
-  }
-  state.SetItemsProcessed(state.iterations() * 40003);
-}
-BENCHMARK(BM_SimulatorLoop);
-
-// --- profiler overhead guard ----------------------------------------------
-// The transition profiler's budget mirrors telemetry's: a fetch loop that
-// carries the observe_fetch hook but has no profiler installed must stay
-// within 1% of the bare loop (the global-gate path is one relaxed atomic
-// load and a predicted-not-taken branch). BM_ProfilerEnabled* shows the real
-// cost of full attribution for comparison.
-
-void BM_ProfilerDisabledObserveFetch(benchmark::State& state) {
-  profile::set_current(nullptr);
-  std::uint32_t pc = 0x400000;
-  std::uint32_t word = 0x12345678;
-  for (auto _ : state) {
-    profile::observe_fetch(pc, word);
-    pc += 4;
-    word = word * 1664525u + 1013904223u;
-    benchmark::ClobberMemory();
-  }
-}
-BENCHMARK(BM_ProfilerDisabledObserveFetch);
-
-void BM_ProfilerEnabledObserveFetch(benchmark::State& state) {
-  profile::TransitionProfiler prof(0x400000, 4096);
-  profile::set_current(&prof);
-  std::uint32_t pc = 0x400000;
-  std::uint32_t word = 0x12345678;
-  for (auto _ : state) {
-    profile::observe_fetch(pc, word);
-    pc = 0x400000 + ((pc - 0x400000 + 4) & 0x3FFF);
-    word = word * 1664525u + 1013904223u;
-    benchmark::ClobberMemory();
-  }
-  profile::set_current(nullptr);
-}
-BENCHMARK(BM_ProfilerEnabledObserveFetch);
-
-void BM_ProfilerDisabledFetchLoop(benchmark::State& state) {
-  const isa::Program program = isa::assemble(R"(
-        li      $t0, 0
-        li      $t1, 10000
-loop:   addiu   $t0, $t0, 1
-        lw      $t2, 0($a0)
-        addu    $t3, $t3, $t2
-        bne     $t0, $t1, loop
-        halt
-)");
-  profile::set_current(nullptr);
-  for (auto _ : state) {
-    sim::Memory memory;
-    memory.load_program(program);
-    sim::Cpu cpu(memory);
-    cpu.state().pc = program.entry();
-    cpu.state().r[isa::kA0] = 0x10000;
-    const std::uint64_t steps =
-        cpu.run(1'000'000, [](std::uint32_t pc, std::uint32_t word) {
-          profile::observe_fetch(pc, word);
-        });
-    benchmark::DoNotOptimize(steps);
-  }
-  state.SetItemsProcessed(state.iterations() * 40003);
-}
-BENCHMARK(BM_ProfilerDisabledFetchLoop);
-
-void BM_ProfilerEnabledFetchLoop(benchmark::State& state) {
-  const isa::Program program = isa::assemble(R"(
-        li      $t0, 0
-        li      $t1, 10000
-loop:   addiu   $t0, $t0, 1
-        lw      $t2, 0($a0)
-        addu    $t3, $t3, $t2
-        bne     $t0, $t1, loop
-        halt
-)");
-  const cfg::Cfg cfg = cfg::build_cfg(program);
-  profile::TransitionProfiler prof(cfg);
-  profile::set_current(&prof);
-  for (auto _ : state) {
-    sim::Memory memory;
-    memory.load_program(program);
-    sim::Cpu cpu(memory);
-    cpu.state().pc = program.entry();
-    cpu.state().r[isa::kA0] = 0x10000;
-    const std::uint64_t steps =
-        cpu.run(1'000'000, [](std::uint32_t pc, std::uint32_t word) {
-          profile::observe_fetch(pc, word);
-        });
-    benchmark::DoNotOptimize(steps);
-  }
-  profile::set_current(nullptr);
-  state.SetItemsProcessed(state.iterations() * 40003);
-}
-BENCHMARK(BM_ProfilerEnabledFetchLoop);
-
-// --- telemetry overhead guard ---------------------------------------------
-// The observability layer must be free when off: these measure the exact
-// instrumented operations with telemetry disabled vs. enabled. The encoder
-// benchmarks above are the end-to-end check (they run with telemetry off and
-// their numbers gate regressions in the hot path).
-
-void BM_TelemetryDisabledCount(benchmark::State& state) {
-  telemetry::set_enabled(false);
-  for (auto _ : state) {
-    telemetry::count("bench.disabled.counter");
-    benchmark::ClobberMemory();
-  }
-}
-BENCHMARK(BM_TelemetryDisabledCount);
-
-void BM_TelemetryEnabledCount(benchmark::State& state) {
-  telemetry::set_enabled(true);
-  for (auto _ : state) {
-    telemetry::count("bench.enabled.counter");
-    benchmark::ClobberMemory();
-  }
-  telemetry::set_enabled(false);
-}
-BENCHMARK(BM_TelemetryEnabledCount);
-
-void BM_TelemetryDisabledScopedTimer(benchmark::State& state) {
-  telemetry::set_enabled(false);
-  for (auto _ : state) {
-    telemetry::ScopedTimer timer("bench.disabled.us");
-    benchmark::ClobberMemory();
-  }
-}
-BENCHMARK(BM_TelemetryDisabledScopedTimer);
-
-void BM_ChainEncodeGreedyTelemetryOn(benchmark::State& state) {
-  telemetry::set_enabled(true);
-  const bits::BitSeq seq = random_seq(1000, 1);
-  core::ChainOptions opt;
-  opt.block_size = 5;
-  const core::ChainEncoder encoder(opt);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(encoder.encode(seq));
-  }
-  state.SetItemsProcessed(state.iterations() * 1000);
-  telemetry::set_enabled(false);
-}
-BENCHMARK(BM_ChainEncodeGreedyTelemetryOn);
-
-// Captures every finished run into a JSON array while still printing the
-// normal console table.
-class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
- public:
-  // No OO_Color: the default ConsoleReporter only drops ANSI codes when the
-  // library constructs it, not when handed in externally.
-  JsonTrajectoryReporter() : benchmark::ConsoleReporter(OO_Tabular) {}
-
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const Run& run : runs) {
-      if (run.error_occurred) continue;
-      json::Value row = json::Value::object();
-      row.set("name", run.benchmark_name());
-      row.set("iterations", static_cast<long long>(run.iterations));
-      row.set("real_time_ns", run.GetAdjustedRealTime());
-      row.set("cpu_time_ns", run.GetAdjustedCPUTime());
-      for (const auto& [counter_name, counter] : run.counters) {
-        row.set(counter_name, static_cast<double>(counter.value));
-      }
-      rows_.push_back(std::move(row));
-    }
-    ConsoleReporter::ReportRuns(runs);
-  }
-
-  const json::Value& rows() const { return rows_; }
-
- private:
-  json::Value rows_ = json::Value::array();
-};
-
-}  // namespace
+// Every run writes BENCH_micro_throughput.json (schema v2): RunManifest,
+// per-bench median/MAD and seeded-bootstrap 95% CIs over warmed-up
+// repetitions, and process self-metrics. `--history DIR` appends the
+// artifact to the JSONL trajectory store consumed by
+// `tools/benchdiff --trajectory` (docs/BENCHMARKING.md).
+#include "obs/bench.h"
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  JsonTrajectoryReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  benchmark::Shutdown();
-
-  json::Value doc = json::Value::object();
-  doc.set("bench", "micro_throughput");
-  doc.set("benchmarks", reporter.rows());
-  const char* out_path = "BENCH_micro_throughput.json";
-  if (!telemetry::write_text_file(out_path, doc.dump(2) + "\n")) {
-    std::fprintf(stderr, "micro_throughput: cannot write %s\n", out_path);
-    return 1;
-  }
-  std::printf("wrote %s\n", out_path);
-  return 0;
+  return asimt::obs::bench_suite_cli_main(argc, argv, "micro_throughput",
+                                          "BENCH_micro_throughput.json");
 }

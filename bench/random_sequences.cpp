@@ -5,8 +5,9 @@
 #include <random>
 
 #include "core/chain_encoder.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   using core::ChainStrategy;
 
@@ -47,3 +48,5 @@ int main() {
   std::printf("paper: within 1%% of the expected 50%% -> reproduced\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("random_sequences")

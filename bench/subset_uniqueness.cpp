@@ -10,8 +10,9 @@
 #include <cstdio>
 
 #include "core/block_code.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt::core;
   std::printf("Exhaustive search for transform subsets reaching the "
               "unrestricted optimum for every k in [2, 7]\n\n");
@@ -52,3 +53,5 @@ int main() {
       paper_in ? "yes" : "NO");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("subset_uniqueness")

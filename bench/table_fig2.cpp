@@ -4,8 +4,9 @@
 
 #include "bitstream/bitseq.h"
 #include "core/block_code.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   std::printf("Figure 2: power efficient transformations for three bit blocks\n");
   std::printf("%-6s %-6s %-5s %-4s %-4s\n", "X", "X~", "tau", "Tx", "Tx~");
@@ -23,3 +24,5 @@ int main() {
               ttn, rtn, 100.0 * static_cast<double>(ttn - rtn) / static_cast<double>(ttn));
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("table_fig2")

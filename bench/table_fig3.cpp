@@ -3,8 +3,9 @@
 #include <cstdio>
 
 #include "core/block_code.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt::core;
   struct PaperRow {
     long long ttn, rtn;
@@ -36,3 +37,5 @@ int main() {
               "same percentage; k=7 paper RTN=234 vs exhaustive 236)\n");
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("table_fig3")

@@ -5,8 +5,9 @@
 
 #include "bitstream/bitseq.h"
 #include "core/block_code.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   std::printf(
       "Figure 4: power efficient transformations for five bit blocks\n"
@@ -28,3 +29,5 @@ int main() {
               code.ttn(), code.rtn(), code.improvement_percent());
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("table_fig4")

@@ -9,8 +9,9 @@
 #include <cstdio>
 
 #include "experiments/experiment.h"
+#include "obs/bench.h"
 
-int main() {
+static int run_bench() {
   using namespace asimt;
   const workloads::SizeConfig sizes = experiments::bench_sizes();
   experiments::ExperimentOptions opt;
@@ -53,3 +54,5 @@ int main() {
   }
   return 0;
 }
+
+ASIMT_BENCH_ARTIFACT_MAIN("table_fig6")

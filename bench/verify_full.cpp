@@ -10,8 +10,11 @@
 // Results are bit-exact at any job count: every row, including the analytic
 // reduction percentages, is computed from per-task state and written into
 // its own slot. Besides the console table, writes BENCH_verify_full.json
-// with one row per (workload, k) plus the job count and wall-clock time so
-// the speedup trajectory is machine readable.
+// (schema v2): one row per (workload, k), the RunManifest, the job count,
+// and — because wall_ms is a *measurement*, not a deterministic quantity —
+// the repetition count, warmup policy, and median/MAD/CI statistics over
+// the timed repetitions (--repetitions N, --warmup N; default one labeled
+// repetition, no warmup), so the speedup trajectory carries error bars.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +26,9 @@
 #include "core/selection.h"
 #include "experiments/experiment.h"
 #include "isa/assembler.h"
+#include "obs/manifest.h"
+#include "obs/selfmetrics.h"
+#include "obs/stats.h"
 #include "parallel/pool.h"
 #include "power/power.h"
 #include "sim/bus.h"
@@ -111,50 +117,82 @@ ReplayRow replay_workload(const workloads::Workload& w,
 }  // namespace
 
 int main(int argc, char** argv) {
+  int repetitions = 1;
+  int warmup = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      // Strict whole-string parse: "2x" or "abc" is an error, not atoi's 0.
-      const std::optional<int> jobs =
-          util::parse_int_in(argv[++i], 1, std::numeric_limits<int>::max());
+    // Strict whole-string parses: "2x" or "abc" is an error, not atoi's 0.
+    const auto next_int = [&](int min) -> std::optional<int> {
+      if (i + 1 >= argc) return std::nullopt;
+      return util::parse_int_in(argv[++i], min,
+                                std::numeric_limits<int>::max());
+    };
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      const std::optional<int> jobs = next_int(1);
       if (!jobs) {
-        std::fprintf(stderr,
-                     "verify_full: --jobs needs an integer >= 1, got '%s'\n",
-                     argv[i]);
+        std::fprintf(stderr, "verify_full: --jobs needs an integer >= 1\n");
         return 2;
       }
       parallel::set_default_jobs(static_cast<unsigned>(*jobs));
+    } else if (std::strcmp(argv[i], "--repetitions") == 0) {
+      const std::optional<int> reps = next_int(1);
+      if (!reps) {
+        std::fprintf(stderr,
+                     "verify_full: --repetitions needs an integer >= 1\n");
+        return 2;
+      }
+      repetitions = *reps;
+    } else if (std::strcmp(argv[i], "--warmup") == 0) {
+      const std::optional<int> w = next_int(0);
+      if (!w) {
+        std::fprintf(stderr, "verify_full: --warmup needs an integer >= 0\n");
+        return 2;
+      }
+      warmup = *w;
     } else {
-      std::fprintf(stderr, "usage: verify_full [--jobs N]\n");
+      std::fprintf(stderr,
+                   "usage: verify_full [--jobs N] [--repetitions N] "
+                   "[--warmup N]\n");
       return 2;
     }
   }
   const unsigned jobs = parallel::default_jobs();
   const workloads::SizeConfig sizes = experiments::bench_sizes();
-  const auto t_start = std::chrono::steady_clock::now();
 
   std::vector<workloads::Workload> suite = workloads::make_all(sizes);
   for (workloads::Workload& w : workloads::make_extra(sizes)) {
     suite.push_back(std::move(w));
   }
 
-  // Stage 1: profile every workload (one task each).
-  const std::vector<ProfiledWorkload> profiled = parallel::parallel_map(
-      suite.size(), [&](std::size_t i) { return profile_workload(suite[i]); });
-
-  // Stage 2: one task per (workload, k) replay; rows land in sweep order.
+  // The timed unit is the full two-stage sweep. Results are bit-exact at
+  // any job count and across repetitions, so only the last repetition's
+  // rows are kept; the wall-clock samples feed the stats block.
   constexpr std::size_t kNumK = std::size(kBlockSizes);
-  const std::vector<ReplayRow> replays =
-      parallel::parallel_map(suite.size() * kNumK, [&](std::size_t idx) {
-        const std::size_t wi = idx / kNumK;
-        if (!profiled[wi].check_ok) return ReplayRow{};
-        return replay_workload(suite[wi], profiled[wi],
-                               kBlockSizes[idx % kNumK]);
-      });
+  std::vector<ProfiledWorkload> profiled;
+  std::vector<ReplayRow> replays;
+  std::vector<double> wall_samples;
+  wall_samples.reserve(static_cast<std::size_t>(repetitions));
+  for (int rep = 0; rep < warmup + repetitions; ++rep) {
+    const auto t_start = std::chrono::steady_clock::now();
 
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                t_start)
-          .count();
+    // Stage 1: profile every workload (one task each).
+    profiled = parallel::parallel_map(
+        suite.size(), [&](std::size_t i) { return profile_workload(suite[i]); });
+
+    // Stage 2: one task per (workload, k) replay; rows land in sweep order.
+    replays =
+        parallel::parallel_map(suite.size() * kNumK, [&](std::size_t idx) {
+          const std::size_t wi = idx / kNumK;
+          if (!profiled[wi].check_ok) return ReplayRow{};
+          return replay_workload(suite[wi], profiled[wi],
+                                 kBlockSizes[idx % kNumK]);
+        });
+
+    const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t_start)
+                                  .count();
+    if (rep >= warmup) wall_samples.push_back(elapsed_ms);
+  }
+  const double wall_ms = wall_samples.back();
 
   bool all_ok = true;
   json::Value rows = json::Value::array();
@@ -195,10 +233,16 @@ int main(int argc, char** argv) {
               jobs, wall_ms);
 
   json::Value doc = json::Value::object();
+  doc.set("schema_version", obs::kBenchSchemaVersion);
   doc.set("bench", "verify_full");
+  obs::embed_manifest(doc);
   doc.set("fast_mode", experiments::fast_mode());
   doc.set("jobs", static_cast<long long>(jobs));
+  doc.set("repetitions", repetitions);
+  doc.set("warmup", warmup);
   doc.set("wall_ms", wall_ms);
+  doc.set("wall_ms_stats", obs::to_json(obs::summarize(wall_samples)));
+  doc.set("process", obs::to_json(obs::sample_process_metrics()));
   doc.set("all_restored", all_ok);
   doc.set("rows", std::move(rows));
   const char* out_path = "BENCH_verify_full.json";

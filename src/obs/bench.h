@@ -1,0 +1,138 @@
+// Statistical measurement harness: registered microbenchmarks with warmup,
+// calibrated repetitions, robust statistics, and schema-v2 artifacts.
+//
+// Replaces the one-shot timings the benches used to emit. A bench is a
+// function that does its setup, then hands the harness the operation to
+// time:
+//
+//   void BM_SolveBlockCode(obs::BenchContext& ctx, int k) {
+//     ctx.measure([&] { obs::do_not_optimize(core::solve_block_code(k)); });
+//   }
+//   ASIMT_BENCH_ARG(BM_SolveBlockCode, 5);
+//
+// The harness calibrates an inner iteration count until one timed sample
+// costs at least `min_sample_ms` (steady clock), runs `warmup` discarded
+// samples, then `repetitions` measured ones, and summarizes the per-op
+// nanoseconds with the stats kernel (median/MAD, outlier rejection,
+// seeded-bootstrap 95% CI — see obs/stats.h). Every artifact carries the
+// RunManifest and process self-metrics; schema in docs/BENCHMARKING.md.
+//
+// `mock_time` replaces the stopwatch with a deterministic synthetic source
+// derived from (bench name, seed, sample index). It exists so tests — and
+// the byte-identical-statistics acceptance check — can drive the whole
+// pipeline without a real clock; it is not a measurement mode.
+//
+// Registration uses static objects in the defining TU; link bench suites as
+// OBJECT libraries (or direct sources) so the registrars are not dropped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace asimt::obs {
+
+// Keeps `value` observable so the optimizer cannot delete the measured op.
+template <typename T>
+inline void do_not_optimize(T&& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(value) : "memory");
+#else
+  volatile auto sink = value;
+  (void)sink;
+#endif
+}
+
+class BenchContext {
+ public:
+  // Inner iterations the measured operation must run per measure() call.
+  std::uint64_t iterations() const { return iters_; }
+
+  // Times `op` executed iterations() times. A bench body calls this exactly
+  // once; everything before it is untimed setup.
+  void measure(const std::function<void()>& op);
+
+  // Work items per inner iteration — reported as items_per_second.
+  void set_items_per_iter(std::uint64_t n) { items_per_iter_ = n; }
+
+  // Free-form numeric counter attached to the artifact row.
+  void set_counter(const std::string& name, double value);
+
+ private:
+  friend class BenchRunner;
+  std::uint64_t iters_ = 1;
+  std::int64_t elapsed_ns_ = 0;       // written by measure()
+  bool measured_ = false;
+  bool mock_ = false;
+  std::int64_t mock_elapsed_ns_ = 0;  // injected when mock_
+  std::uint64_t items_per_iter_ = 0;
+  std::vector<std::pair<std::string, double>> counters_;
+};
+
+using BenchFn = std::function<void(BenchContext&)>;
+
+struct BenchSpec {
+  std::string name;
+  BenchFn fn;
+};
+
+// Registration order = execution order (deterministic artifacts).
+std::vector<BenchSpec>& bench_registry();
+
+struct BenchRegistrar {
+  BenchRegistrar(std::string name, BenchFn fn);
+};
+
+#define ASIMT_BENCH(fn) \
+  static const ::asimt::obs::BenchRegistrar asimt_bench_reg_##fn(#fn, fn)
+#define ASIMT_BENCH_ARG(fn, arg)                                          \
+  static const ::asimt::obs::BenchRegistrar asimt_bench_reg_##fn##_##arg( \
+      #fn "/" #arg,                                                       \
+      [](::asimt::obs::BenchContext& ctx) { fn(ctx, arg); })
+
+struct BenchOptions {
+  std::string filter;        // substring match on the bench name; empty = all
+  int repetitions = 10;      // measured samples per bench
+  int warmup = 2;            // discarded samples per bench
+  double min_sample_ms = 10.0;  // calibration target for one timed sample
+  std::uint64_t seed = 42;   // bootstrap seed (mixed with the bench name)
+  bool mock_time = false;
+  bool verbose_console = true;  // print the table while running
+
+  // Defaults honoring ASIMT_FAST=1 (reduced sizes, same statistics shape).
+  static BenchOptions defaults();
+};
+
+// Runs every registered bench whose name contains `options.filter`, printing
+// a console table (unless disabled), and returns the schema-v2 artifact:
+//   {"schema_version":2,"bench":<artifact_name>,"manifest":{...},
+//    "options":{...},"benchmarks":[{name,iterations,stats:{...},...}],
+//    "process":{...}}
+json::Value run_benches(const BenchOptions& options,
+                        const std::string& artifact_name);
+
+// Shared command line for the standalone suite binaries (micro_throughput)
+// and `asimt bench`: --filter/--repetitions/--warmup/--min-sample-ms/
+// --seed/--history DIR/--out PATH/--json/--list/--mock-time. Writes the
+// artifact to `default_out` (or --out), appends to --history when given.
+int bench_suite_cli_main(int argc, char** argv, const char* artifact_name,
+                         const char* default_out);
+
+// Wrapper main for the standalone table/figure benches: times `body`
+// (warmup + repetitions, default 0 + 1 — these run minutes, not
+// microseconds), then writes BENCH_<name>.json with the manifest,
+// repetition count, warmup policy, and wall_ms_stats. Returns the body's
+// exit code; the artifact records it as "ok".
+int bench_artifact_main(const char* bench_name, int argc, char** argv,
+                        int (*body)());
+
+#define ASIMT_BENCH_ARTIFACT_MAIN(name)                                   \
+  int main(int argc, char** argv) {                                       \
+    return ::asimt::obs::bench_artifact_main(name, argc, argv, &run_bench); \
+  }
+
+}  // namespace asimt::obs

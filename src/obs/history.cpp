@@ -1,0 +1,40 @@
+#include "obs/history.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace asimt::obs {
+
+std::string history_path(const std::string& dir, const std::string& bench) {
+  return dir + "/" + bench + ".jsonl";
+}
+
+bool append_history(const std::string& dir, const json::Value& artifact) {
+  const json::Value* bench = artifact.find("bench");
+  if (bench == nullptr || !bench->is_string()) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  std::ofstream out(history_path(dir, bench->as_string()), std::ios::app);
+  if (!out) return false;
+  out << artifact.dump() << "\n";
+  return static_cast<bool>(out);
+}
+
+bool read_history(const std::string& path, std::vector<json::Value>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      out.push_back(json::parse(line));
+    } catch (const json::ParseError&) {
+      return false;  // entries parsed so far stay in `out`
+    }
+  }
+  return true;
+}
+
+}  // namespace asimt::obs

@@ -1,0 +1,30 @@
+// Append-only JSONL trajectory store for bench artifacts.
+//
+// One file per bench (`<dir>/<bench>.jsonl`), one compact artifact per
+// line, newest last. Entries are whole schema-v2 artifacts — manifest,
+// stats blocks, and all — so a history line is self-describing: keyed by
+// bench × git sha × manifest by construction. `tools/benchdiff
+// --trajectory` compares a fresh run against the rolling median of the
+// last N entries (docs/BENCHMARKING.md describes the gate).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace asimt::obs {
+
+// `<dir>/<bench>.jsonl` for an artifact whose "bench" field is `bench`.
+std::string history_path(const std::string& dir, const std::string& bench);
+
+// Appends `artifact` (compact, one line) to the store, creating `dir` if
+// needed. Returns false on I/O failure.
+bool append_history(const std::string& dir, const json::Value& artifact);
+
+// All entries of a history file, oldest first. Returns false when the file
+// cannot be read or a line fails to parse (out is left with the entries
+// parsed so far).
+bool read_history(const std::string& path, std::vector<json::Value>& out);
+
+}  // namespace asimt::obs

@@ -1,0 +1,119 @@
+#include "obs/manifest.h"
+
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "obs/buildinfo.h"
+#include "parallel/pool.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace asimt::obs {
+
+namespace {
+
+std::string capture_hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+std::string capture_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+std::string capture_timestamp_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+RunManifest capture() {
+  RunManifest m;
+  m.git_sha = ASIMT_BUILD_GIT_SHA;
+  m.git_dirty = ASIMT_BUILD_GIT_DIRTY != 0;
+  m.compiler = ASIMT_BUILD_COMPILER;
+  m.cxx_flags = ASIMT_BUILD_CXX_FLAGS;
+  m.build_type = ASIMT_BUILD_TYPE;
+  m.hostname = capture_hostname();
+  m.cpu_model = capture_cpu_model();
+  m.cores = static_cast<int>(std::thread::hardware_concurrency());
+  m.jobs = parallel::default_jobs();
+  m.timestamp_utc = capture_timestamp_utc();
+  return m;
+}
+
+}  // namespace
+
+const RunManifest& run_manifest() {
+  static const RunManifest manifest = capture();
+  return manifest;
+}
+
+json::Value to_json(const RunManifest& m, ManifestFields fields) {
+  json::Value v = json::Value::object();
+  v.set("schema_version", m.schema_version);
+  v.set("git_sha", m.git_sha);
+  v.set("git_dirty", m.git_dirty);
+  v.set("compiler", m.compiler);
+  v.set("cxx_flags", m.cxx_flags);
+  v.set("build_type", m.build_type);
+  v.set("hostname", m.hostname);
+  v.set("cpu_model", m.cpu_model);
+  v.set("cores", m.cores);
+  if (fields == ManifestFields::kFull) {
+    v.set("jobs", static_cast<long long>(m.jobs));
+    v.set("timestamp_utc", m.timestamp_utc);
+  }
+  return v;
+}
+
+RunManifest manifest_from_json(const json::Value& v) {
+  RunManifest m;
+  m.schema_version = static_cast<int>(v.at("schema_version").as_int());
+  m.git_sha = v.at("git_sha").as_string();
+  m.git_dirty = v.at("git_dirty").as_bool();
+  m.compiler = v.at("compiler").as_string();
+  m.cxx_flags = v.at("cxx_flags").as_string();
+  m.build_type = v.at("build_type").as_string();
+  m.hostname = v.at("hostname").as_string();
+  m.cpu_model = v.at("cpu_model").as_string();
+  m.cores = static_cast<int>(v.at("cores").as_int());
+  if (const json::Value* jobs = v.find("jobs")) {
+    m.jobs = static_cast<unsigned>(jobs->as_int());
+  }
+  if (const json::Value* ts = v.find("timestamp_utc")) {
+    m.timestamp_utc = ts->as_string();
+  }
+  return m;
+}
+
+void embed_manifest(json::Value& doc, ManifestFields fields) {
+  doc.set("manifest", to_json(run_manifest(), fields));
+}
+
+}  // namespace asimt::obs

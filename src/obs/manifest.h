@@ -1,0 +1,63 @@
+// RunManifest: the provenance block embedded in every JSON artifact.
+//
+// The paper's claims are relative numbers; a performance or reduction figure
+// without "measured on what, built how, from which commit" cannot be
+// reproduced or compared across commits. The manifest answers that once per
+// process: build identity (git sha + dirty flag, compiler + flags, build
+// type, captured at configure time), machine identity (hostname, CPU model,
+// core count), and run identity (worker count, UTC timestamp).
+//
+// Two serialized views exist because the repo has two kinds of artifact:
+//
+//   kFull    — BENCH_*.json files, trajectory-store entries, --out files:
+//              everything, including the per-invocation volatile fields
+//              (timestamp, jobs).
+//   kStable  — machine-readable stdout (report --json, profile --json, ...):
+//              omits timestamp and jobs so the determinism contract of
+//              docs/PARALLELISM.md ("--jobs changes nothing but wall time,
+//              byte for byte") keeps holding for those streams.
+#pragma once
+
+#include <string>
+
+#include "telemetry/json.h"
+
+namespace asimt::obs {
+
+// Artifact schema generation for BENCH_*.json and history entries. v1 files
+// (no schema_version, no manifest) predate this header; tools/benchdiff
+// still reads them.
+inline constexpr int kBenchSchemaVersion = 2;
+
+struct RunManifest {
+  int schema_version = kBenchSchemaVersion;
+  std::string git_sha;      // "unknown" when the build tree had no git
+  bool git_dirty = false;   // uncommitted changes at configure time
+  std::string compiler;     // id + version, e.g. "GNU 13.2.0"
+  std::string cxx_flags;    // base + build-type flags
+  std::string build_type;   // CMAKE_BUILD_TYPE
+  std::string hostname;
+  std::string cpu_model;    // /proc/cpuinfo "model name" or "unknown"
+  int cores = 0;            // hardware_concurrency
+  unsigned jobs = 0;        // parallel::default_jobs() at capture
+  std::string timestamp_utc;  // ISO 8601, e.g. "2026-08-07T12:34:56Z"
+};
+
+enum class ManifestFields { kFull, kStable };
+
+// Captured once per process on first call (after CLI flag parsing in
+// practice, so `jobs` reflects --jobs). The timestamp is the capture time.
+const RunManifest& run_manifest();
+
+json::Value to_json(const RunManifest& m,
+                    ManifestFields fields = ManifestFields::kFull);
+
+// Inverse of to_json(kFull); missing volatile fields parse as defaults so a
+// kStable block round-trips too. Throws json errors on malformed blocks.
+RunManifest manifest_from_json(const json::Value& v);
+
+// Convenience: doc.set("manifest", ...) on an artifact under construction.
+void embed_manifest(json::Value& doc,
+                    ManifestFields fields = ManifestFields::kFull);
+
+}  // namespace asimt::obs

@@ -1,0 +1,47 @@
+#include "obs/selfmetrics.h"
+
+#include "telemetry/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace asimt::obs {
+
+ProcessMetrics sample_process_metrics() {
+  ProcessMetrics m;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    m.max_rss_bytes = usage.ru_maxrss;  // bytes on Darwin
+#else
+    m.max_rss_bytes = usage.ru_maxrss * 1024LL;  // KiB on Linux
+#endif
+    m.cpu_user_seconds = static_cast<double>(usage.ru_utime.tv_sec) +
+                         static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+    m.cpu_sys_seconds = static_cast<double>(usage.ru_stime.tv_sec) +
+                        static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+  }
+#endif
+  return m;
+}
+
+void publish_process_metrics() {
+  if (!telemetry::enabled()) return;
+  const ProcessMetrics m = sample_process_metrics();
+  telemetry::set_gauge("process.max_rss_bytes",
+                       static_cast<double>(m.max_rss_bytes));
+  telemetry::set_gauge("process.cpu_user_seconds", m.cpu_user_seconds);
+  telemetry::set_gauge("process.cpu_sys_seconds", m.cpu_sys_seconds);
+}
+
+json::Value to_json(const ProcessMetrics& m) {
+  json::Value v = json::Value::object();
+  v.set("max_rss_bytes", m.max_rss_bytes);
+  v.set("cpu_user_seconds", m.cpu_user_seconds);
+  v.set("cpu_sys_seconds", m.cpu_sys_seconds);
+  return v;
+}
+
+}  // namespace asimt::obs

@@ -1,0 +1,33 @@
+// Process self-metrics: peak RSS and CPU time, sampled from the kernel's
+// accounting (getrusage) rather than estimated.
+//
+// They flow two ways: `publish_process_metrics()` sets the gauges
+// `process.max_rss_bytes`, `process.cpu_user_seconds`, and
+// `process.cpu_sys_seconds` on the global metrics registry (exported as
+// `asimt_process_*` by the Prometheus exporter), and `to_json` embeds a
+// snapshot into bench artifacts so a trajectory entry records what the run
+// cost, not just how long it took. Per-phase wall time already flows into
+// the registry via the `phase.<name>.us` histograms (telemetry/trace.h).
+#pragma once
+
+#include "telemetry/json.h"
+
+namespace asimt::obs {
+
+struct ProcessMetrics {
+  long long max_rss_bytes = 0;
+  double cpu_user_seconds = 0.0;
+  double cpu_sys_seconds = 0.0;
+};
+
+// Current values for this process; zeros on platforms without getrusage.
+ProcessMetrics sample_process_metrics();
+
+// Sets the process.* gauges on the global registry. Honors the telemetry
+// enable switch like every other recorder (no-op when telemetry is off).
+void publish_process_metrics();
+
+// {"max_rss_bytes":..,"cpu_user_seconds":..,"cpu_sys_seconds":..}
+json::Value to_json(const ProcessMetrics& m);
+
+}  // namespace asimt::obs

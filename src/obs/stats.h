@@ -1,0 +1,64 @@
+// Statistics kernel for the bench harness: robust location/spread plus a
+// seeded-bootstrap confidence interval.
+//
+// Wall-clock samples on a shared machine are contaminated by scheduler
+// noise, so the harness reports *robust* statistics — median and MAD
+// (median absolute deviation) — rather than mean/stddev, and rejects gross
+// outliers (beyond median ± k·MAD) before summarizing. The 95% CI on the
+// median comes from a percentile bootstrap driven by a fully specified
+// SplitMix64 stream: the same samples and the same seed produce
+// byte-identical CIs on every platform, which is what lets tests pin them
+// and lets two artifacts from the same data diff clean.
+//
+// Everything here is pure: no clocks, no globals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace asimt::obs {
+
+struct StatsOptions {
+  // Bootstrap resampling of the median: `resamples` draws, percentile CI at
+  // `confidence`. The stream is a pure function of `seed`.
+  std::uint64_t seed = 42;
+  int resamples = 200;
+  double confidence = 0.95;
+  // Samples outside median ± outlier_mad_k · MAD are rejected before the
+  // summary (a page fault storm should not shift the CI). 0 disables
+  // rejection. With MAD == 0 (all-equal samples) nothing is rejected.
+  double outlier_mad_k = 8.0;
+};
+
+struct SampleStats {
+  std::size_t n = 0;                  // samples kept
+  std::size_t outliers_rejected = 0;  // samples dropped by the MAD fence
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double mad = 0.0;     // median(|x - median|)
+  double ci_lo = 0.0;   // bootstrap CI on the median
+  double ci_hi = 0.0;
+};
+
+// Median of `v` (average of the two middle elements for even n); 0 for
+// empty input. Takes a copy because selection reorders.
+double median(std::vector<double> v);
+
+// Median absolute deviation around `center`.
+double mad(const std::vector<double>& v, double center);
+
+// Full summary: outlier rejection, then order statistics, then the seeded
+// bootstrap. n == 1 degenerates cleanly (mad 0, CI collapsed on the value).
+SampleStats summarize(const std::vector<double>& samples,
+                      const StatsOptions& options = {});
+
+// {"n":..,"outliers_rejected":..,"min":..,"max":..,"mean":..,"median":..,
+//  "mad":..,"ci95_lo":..,"ci95_hi":..}
+json::Value to_json(const SampleStats& s);
+SampleStats stats_from_json(const json::Value& v);
+
+}  // namespace asimt::obs

@@ -1,0 +1,126 @@
+// Tests for the measurement harness driving locally registered benchmarks:
+// artifact schema, filter semantics, repetition accounting, and the
+// mock-time determinism contract (two runs, same seed -> byte-identical
+// statistics blocks).
+#include "obs/bench.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/manifest.h"
+#include "telemetry/json.h"
+
+namespace asimt::obs {
+namespace {
+
+// Trivial registered benchmarks for the harness to chew on. Registration is
+// global, so names carry a Harness prefix no real suite uses; harness tests
+// filter on it to stay independent of bench/micro_suite.cpp (not linked into
+// this binary anyway).
+void BM_HarnessSpin(BenchContext& ctx) {
+  ctx.set_items_per_iter(4);
+  ctx.set_counter("answer", 42.0);
+  ctx.measure([&] {
+    volatile int x = 0;
+    for (int i = 0; i < 100; ++i) x = x + i;
+    do_not_optimize(x);
+  });
+}
+ASIMT_BENCH(BM_HarnessSpin);
+
+void BM_HarnessOther(BenchContext& ctx) {
+  ctx.measure([] {
+    volatile int x = 1;
+    do_not_optimize(x);
+  });
+}
+ASIMT_BENCH(BM_HarnessOther);
+
+BenchOptions mock_options() {
+  BenchOptions options;
+  options.filter = "BM_Harness";
+  options.repetitions = 6;
+  options.warmup = 2;
+  options.seed = 99;
+  options.mock_time = true;
+  options.verbose_console = false;
+  return options;
+}
+
+TEST(BenchHarnessTest, ArtifactCarriesSchemaManifestAndStats) {
+  const json::Value doc = run_benches(mock_options(), "harness_test");
+  EXPECT_EQ(doc.at("schema_version").as_int(), kBenchSchemaVersion);
+  EXPECT_EQ(doc.at("bench").as_string(), "harness_test");
+  EXPECT_EQ(doc.at("manifest").at("git_sha").as_string(),
+            run_manifest().git_sha);
+  EXPECT_NE(doc.find("process"), nullptr);
+  EXPECT_EQ(doc.at("options").at("seed").as_int(), 99);
+
+  const auto& rows = doc.at("benchmarks").as_array();
+  ASSERT_EQ(rows.size(), 2u);
+  for (const json::Value& row : rows) {
+    EXPECT_EQ(row.at("repetitions").as_int(), 6);
+    EXPECT_EQ(row.at("warmup").as_int(), 2);
+    // Every measured sample survives into the summary (the mock stream has
+    // no gross outliers), so n == repetitions.
+    EXPECT_EQ(row.at("stats").at("n").as_int(), 6);
+    EXPECT_GT(row.at("stats").at("median").as_double(), 0.0);
+  }
+  // Registration order is execution order.
+  EXPECT_EQ(rows[0].at("name").as_string(), "BM_HarnessSpin");
+  EXPECT_EQ(rows[1].at("name").as_string(), "BM_HarnessOther");
+}
+
+TEST(BenchHarnessTest, ItemsPerIterAndCountersLand) {
+  const json::Value doc = run_benches(mock_options(), "harness_test");
+  const json::Value& spin = doc.at("benchmarks").as_array()[0];
+  EXPECT_EQ(spin.at("items_per_iter").as_int(), 4);
+  EXPECT_GT(spin.at("items_per_second").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(spin.at("counters").at("answer").as_double(), 42.0);
+}
+
+TEST(BenchHarnessTest, FilterSelectsSubstring) {
+  BenchOptions options = mock_options();
+  options.filter = "HarnessOther";
+  const json::Value doc = run_benches(options, "harness_test");
+  const auto& rows = doc.at("benchmarks").as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("name").as_string(), "BM_HarnessOther");
+
+  options.filter = "NoSuchBenchAnywhere";
+  EXPECT_TRUE(
+      run_benches(options, "harness_test").at("benchmarks").as_array().empty());
+}
+
+TEST(BenchHarnessTest, MockTimeStatisticsAreByteIdentical) {
+  const json::Value a = run_benches(mock_options(), "harness_test");
+  const json::Value b = run_benches(mock_options(), "harness_test");
+  // The full docs differ (timestamp, RSS); the statistics must not.
+  EXPECT_EQ(a.at("benchmarks").dump(), b.at("benchmarks").dump());
+
+  BenchOptions reseeded = mock_options();
+  reseeded.seed = 100;
+  const json::Value c = run_benches(reseeded, "harness_test");
+  EXPECT_NE(a.at("benchmarks").dump(), c.at("benchmarks").dump());
+}
+
+TEST(BenchHarnessTest, RealClockProducesPlausibleStats) {
+  BenchOptions options = mock_options();
+  options.mock_time = false;
+  options.repetitions = 3;
+  options.warmup = 0;
+  options.min_sample_ms = 0.01;  // keep calibration fast in CI
+  options.filter = "BM_HarnessSpin";
+  const json::Value doc = run_benches(options, "harness_test");
+  const auto& rows = doc.at("benchmarks").as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GE(rows[0].at("iterations").as_int(), 1);
+  const json::Value& stats = rows[0].at("stats");
+  EXPECT_GT(stats.at("median").as_double(), 0.0);
+  EXPECT_LE(stats.at("ci95_lo").as_double(), stats.at("median").as_double());
+  EXPECT_GE(stats.at("ci95_hi").as_double(), stats.at("median").as_double());
+}
+
+}  // namespace
+}  // namespace asimt::obs

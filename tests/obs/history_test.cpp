@@ -1,0 +1,106 @@
+// Tests for the JSONL trajectory store: path layout, append/read round
+// trips, and the partial-result contract on a corrupt line.
+#include "obs/history.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace asimt::obs {
+namespace {
+
+// TempDir() is shared across runs; start every test from an empty store.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+json::Value sample_artifact(const std::string& bench, int run) {
+  json::Value doc = json::Value::object();
+  doc.set("schema_version", 2);
+  doc.set("bench", bench);
+  doc.set("run", run);
+  return doc;
+}
+
+TEST(HistoryTest, PathIsPerBenchJsonl) {
+  EXPECT_EQ(history_path("bench/history", "micro_throughput"),
+            "bench/history/micro_throughput.jsonl");
+}
+
+TEST(HistoryTest, AppendThenReadRoundTrips) {
+  const std::string dir = fresh_dir("obs_history_rt");
+  ASSERT_TRUE(append_history(dir, sample_artifact("micro", 1)));
+  ASSERT_TRUE(append_history(dir, sample_artifact("micro", 2)));
+  ASSERT_TRUE(append_history(dir, sample_artifact("micro", 3)));
+
+  std::vector<json::Value> entries;
+  ASSERT_TRUE(read_history(history_path(dir, "micro"), entries));
+  ASSERT_EQ(entries.size(), 3u);
+  // Oldest first, newest last.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(entries[static_cast<std::size_t>(i)].at("run").as_int(), i + 1);
+  }
+}
+
+TEST(HistoryTest, DistinctBenchesGetDistinctFiles) {
+  const std::string dir = fresh_dir("obs_history_split");
+  ASSERT_TRUE(append_history(dir, sample_artifact("alpha", 1)));
+  ASSERT_TRUE(append_history(dir, sample_artifact("beta", 1)));
+  std::vector<json::Value> entries;
+  ASSERT_TRUE(read_history(history_path(dir, "alpha"), entries));
+  EXPECT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].at("bench").as_string(), "alpha");
+}
+
+TEST(HistoryTest, ArtifactWithoutBenchNameIsRejected) {
+  json::Value doc = json::Value::object();
+  doc.set("schema_version", 2);
+  EXPECT_FALSE(append_history(fresh_dir("obs_history_bad"), doc));
+}
+
+TEST(HistoryTest, MissingFileReadFails) {
+  std::vector<json::Value> entries;
+  EXPECT_FALSE(
+      read_history(::testing::TempDir() + "no_such_store.jsonl", entries));
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST(HistoryTest, CorruptLineKeepsEarlierEntries) {
+  const std::string dir = fresh_dir("obs_history_corrupt");
+  ASSERT_TRUE(append_history(dir, sample_artifact("micro", 1)));
+  ASSERT_TRUE(append_history(dir, sample_artifact("micro", 2)));
+  const std::string path = history_path(dir, "micro");
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{ this is not json\n";
+  }
+  std::vector<json::Value> entries;
+  EXPECT_FALSE(read_history(path, entries));
+  // The contract: entries parsed before the bad line survive.
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[1].at("run").as_int(), 2);
+}
+
+TEST(HistoryTest, BlankLinesAreSkipped) {
+  const std::string dir = fresh_dir("obs_history_blank");
+  ASSERT_TRUE(append_history(dir, sample_artifact("micro", 1)));
+  const std::string path = history_path(dir, "micro");
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "\n  \n";
+  }
+  ASSERT_TRUE(append_history(dir, sample_artifact("micro", 2)));
+  std::vector<json::Value> entries;
+  EXPECT_TRUE(read_history(path, entries));
+  EXPECT_EQ(entries.size(), 2u);
+}
+
+}  // namespace
+}  // namespace asimt::obs

@@ -1,0 +1,84 @@
+// Tests for the RunManifest: capture sanity, round-trip through the
+// telemetry JSON parser, and the stable view's field omissions (the
+// determinism contract for stdout artifacts).
+#include "obs/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/json.h"
+
+namespace asimt::obs {
+namespace {
+
+TEST(ManifestTest, CaptureHasBuildAndMachineIdentity) {
+  const RunManifest& m = run_manifest();
+  EXPECT_EQ(m.schema_version, kBenchSchemaVersion);
+  EXPECT_FALSE(m.git_sha.empty());
+  EXPECT_FALSE(m.compiler.empty());
+  EXPECT_FALSE(m.build_type.empty());
+  EXPECT_FALSE(m.hostname.empty());
+  EXPECT_FALSE(m.cpu_model.empty());
+  EXPECT_GE(m.cores, 1);
+  EXPECT_GE(m.jobs, 1u);
+  // ISO 8601 UTC: "YYYY-MM-DDThh:mm:ssZ".
+  ASSERT_EQ(m.timestamp_utc.size(), 20u);
+  EXPECT_EQ(m.timestamp_utc[10], 'T');
+  EXPECT_EQ(m.timestamp_utc.back(), 'Z');
+}
+
+TEST(ManifestTest, CaptureIsCachedPerProcess) {
+  EXPECT_EQ(&run_manifest(), &run_manifest());
+}
+
+TEST(ManifestTest, FullViewRoundTripsThroughParser) {
+  const RunManifest& m = run_manifest();
+  const json::Value serialized = to_json(m, ManifestFields::kFull);
+  const RunManifest back = manifest_from_json(json::parse(serialized.dump()));
+  EXPECT_EQ(back.schema_version, m.schema_version);
+  EXPECT_EQ(back.git_sha, m.git_sha);
+  EXPECT_EQ(back.git_dirty, m.git_dirty);
+  EXPECT_EQ(back.compiler, m.compiler);
+  EXPECT_EQ(back.cxx_flags, m.cxx_flags);
+  EXPECT_EQ(back.build_type, m.build_type);
+  EXPECT_EQ(back.hostname, m.hostname);
+  EXPECT_EQ(back.cpu_model, m.cpu_model);
+  EXPECT_EQ(back.cores, m.cores);
+  EXPECT_EQ(back.jobs, m.jobs);
+  EXPECT_EQ(back.timestamp_utc, m.timestamp_utc);
+}
+
+TEST(ManifestTest, StableViewOmitsVolatileFields) {
+  const json::Value stable = to_json(run_manifest(), ManifestFields::kStable);
+  EXPECT_EQ(stable.find("jobs"), nullptr);
+  EXPECT_EQ(stable.find("timestamp_utc"), nullptr);
+  // Everything reproducible stays.
+  EXPECT_NE(stable.find("git_sha"), nullptr);
+  EXPECT_NE(stable.find("compiler"), nullptr);
+  EXPECT_NE(stable.find("cpu_model"), nullptr);
+}
+
+TEST(ManifestTest, StableViewStillParses) {
+  // Missing volatile fields come back as defaults, not a parse error.
+  const json::Value stable = to_json(run_manifest(), ManifestFields::kStable);
+  const RunManifest back = manifest_from_json(json::parse(stable.dump()));
+  EXPECT_EQ(back.git_sha, run_manifest().git_sha);
+  EXPECT_EQ(back.jobs, 0u);
+  EXPECT_TRUE(back.timestamp_utc.empty());
+}
+
+TEST(ManifestTest, EmbedManifestSetsDocumentKey) {
+  json::Value doc = json::Value::object();
+  doc.set("bench", "example");
+  embed_manifest(doc);
+  const json::Value* m = doc.find("manifest");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->at("git_sha").as_string(), run_manifest().git_sha);
+  EXPECT_NE(m->find("timestamp_utc"), nullptr);
+
+  json::Value stable_doc = json::Value::object();
+  embed_manifest(stable_doc, ManifestFields::kStable);
+  EXPECT_EQ(stable_doc.at("manifest").find("timestamp_utc"), nullptr);
+}
+
+}  // namespace
+}  // namespace asimt::obs

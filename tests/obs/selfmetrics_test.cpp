@@ -1,0 +1,74 @@
+// Tests for process self-metrics: getrusage sampling sanity, the telemetry
+// enable gate, and the Prometheus exposition of the process.* gauges (the
+// exporter-format regression test for the scrape surface).
+#include "obs/selfmetrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/export.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace asimt::obs {
+namespace {
+
+class SelfMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_enabled(false);
+    telemetry::MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    telemetry::set_enabled(false);
+    telemetry::MetricsRegistry::global().reset();
+  }
+};
+
+TEST_F(SelfMetricsTest, SampleReportsLiveProcess) {
+  const ProcessMetrics m = sample_process_metrics();
+  // A running gtest binary has mapped megabytes and burned CPU.
+  EXPECT_GT(m.max_rss_bytes, 1 << 20);
+  EXPECT_GE(m.cpu_user_seconds + m.cpu_sys_seconds, 0.0);
+}
+
+TEST_F(SelfMetricsTest, ToJsonShape) {
+  ProcessMetrics m;
+  m.max_rss_bytes = 123456;
+  m.cpu_user_seconds = 1.5;
+  m.cpu_sys_seconds = 0.25;
+  const json::Value v = to_json(m);
+  EXPECT_EQ(v.at("max_rss_bytes").as_int(), 123456);
+  EXPECT_DOUBLE_EQ(v.at("cpu_user_seconds").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(v.at("cpu_sys_seconds").as_double(), 0.25);
+}
+
+TEST_F(SelfMetricsTest, PublishIsGatedOnTelemetryEnable) {
+  publish_process_metrics();
+  EXPECT_TRUE(telemetry::MetricsRegistry::global().snapshot().empty());
+
+  telemetry::set_enabled(true);
+  publish_process_metrics();
+  const auto snapshot = telemetry::MetricsRegistry::global().snapshot();
+  double rss = -1.0;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "process.max_rss_bytes") rss = value;
+  }
+  EXPECT_GT(rss, 0.0);
+}
+
+TEST_F(SelfMetricsTest, PrometheusExposesProcessGauges) {
+  telemetry::set_enabled(true);
+  publish_process_metrics();
+  const std::string text =
+      telemetry::metrics_prometheus(telemetry::MetricsRegistry::global());
+  // The exporter prefixes asimt_ and maps dots to underscores; these series
+  // names are the scrape contract (docs/OBSERVABILITY.md).
+  EXPECT_NE(text.find("asimt_process_max_rss_bytes"), std::string::npos);
+  EXPECT_NE(text.find("asimt_process_cpu_user_seconds"), std::string::npos);
+  EXPECT_NE(text.find("asimt_process_cpu_sys_seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asimt::obs

@@ -9,6 +9,8 @@
 //   asimt fuzz    [--seed S] [--iters N]   differential fuzz the encoder stack
 //   asimt faults  [--seed S] [--iters N]   soft-error fault-injection campaign
 //   asimt profile prog.s [--top N]         transition-attribution power profile
+//   asimt bench   [--filter S]             registered microbenchmark suite on
+//                                          the statistical harness (obs/bench.h)
 //
 // Observability (any command): `--metrics out.json` writes a metrics-registry
 // snapshot on exit, `--trace out.jsonl` streams phase spans as JSON lines,
@@ -39,6 +41,10 @@
 #include "core/selection.h"
 #include "experiments/experiment.h"
 #include "isa/assembler.h"
+#include "obs/bench.h"
+#include "obs/history.h"
+#include "obs/manifest.h"
+#include "obs/selfmetrics.h"
 #include "parallel/pool.h"
 #include "profile/report.h"
 #include "profile/transition_profiler.h"
@@ -56,7 +62,7 @@ namespace {
 using namespace asimt;
 
 const char kUsage[] =
-    "usage: asimt <disasm|run|report|encode|info|fuzz|faults|profile> [<file>] [options]\n"
+    "usage: asimt <disasm|run|report|encode|info|fuzz|faults|profile|bench> [<file>] [options]\n"
     "  disasm prog.s\n"
     "  run    prog.s [--max-steps N] [--json]\n"
     "  report prog.s [-k list] [--json]\n"
@@ -76,6 +82,13 @@ const char kUsage[] =
     "         [--annotate listing.txt] [--json] [--max-steps N]\n"
     "         encode, replay the encoded bus stream, and attribute every\n"
     "         dynamic bus transition to instructions, blocks, and bus lines\n"
+    "  bench  [--filter S] [--repetitions N] [--warmup N] [--min-sample-ms M]\n"
+    "         [--seed S] [--out BENCH.json] [--history DIR] [--json] [--list]\n"
+    "         run the registered microbenchmark suite on the statistical\n"
+    "         harness: warmup + calibrated repetitions, median/MAD and\n"
+    "         bootstrap 95% CIs, RunManifest provenance; writes a schema-v2\n"
+    "         artifact and, with --history DIR, appends it to the JSONL\n"
+    "         trajectory store gated by benchdiff (docs/BENCHMARKING.md)\n"
     "observability options (any command):\n"
     "  --metrics out.json   write a metrics snapshot on exit\n"
     "  --trace out.jsonl    stream phase spans as JSON lines\n"
@@ -169,6 +182,9 @@ int cmd_run(const std::string& path, std::uint64_t max_steps, bool json_mode) {
       regs.set(isa::reg_name(r), static_cast<long long>(cpu.state().r[r]));
     }
     out.set("registers", std::move(regs));
+    // kStable: stdout JSON stays byte-identical across --jobs and reruns
+    // (determinism contract, docs/PARALLELISM.md).
+    obs::embed_manifest(out, obs::ManifestFields::kStable);
     std::printf("%s\n", out.dump(2).c_str());
     return cpu.state().halted ? 0 : 1;
   }
@@ -245,6 +261,7 @@ int cmd_report(const std::string& path, const std::vector<int>& block_sizes,
     out.set("instructions", static_cast<long long>(program.text.size()));
     out.set("static_transitions", base);
     out.set("per_block_size", std::move(sweep));
+    obs::embed_manifest(out, obs::ManifestFields::kStable);
     std::printf("%s\n", out.dump(2).c_str());
   }
   return 0;
@@ -326,7 +343,11 @@ int cmd_fuzz(const check::FuzzOptions& options, const check::OracleHooks& hooks,
              bool json_mode) {
   const check::FuzzReport report = check::run_fuzz(options, hooks);
   if (json_mode) {
-    std::fputs(check::json_report(report, options).c_str(), stdout);
+    // Round-trip through the parser to splice the provenance manifest in;
+    // kStable keeps the stream byte-identical across --jobs.
+    json::Value doc = json::parse(check::json_report(report, options));
+    obs::embed_manifest(doc, obs::ManifestFields::kStable);
+    std::fputs((doc.dump(2) + "\n").c_str(), stdout);
   } else {
     std::fputs(check::format_report(report, options).c_str(), stdout);
   }
@@ -346,7 +367,9 @@ int cmd_fuzz(const check::FuzzOptions& options, const check::OracleHooks& hooks,
 int cmd_faults(const fault::CampaignOptions& options, bool json_mode,
                const std::string& out_path) {
   const fault::CampaignReport report = fault::run_campaign(options);
-  const std::string json = fault::to_json(report).dump(2) + "\n";
+  json::Value doc = fault::to_json(report);
+  obs::embed_manifest(doc, obs::ManifestFields::kStable);
+  const std::string json = doc.dump(2) + "\n";
   if (!out_path.empty() && !telemetry::write_text_file(out_path, json)) {
     std::fprintf(stderr, "asimt: cannot write %s\n", out_path.c_str());
     return 1;
@@ -436,8 +459,9 @@ int cmd_profile(const std::string& path, int k, int tt_budget,
     return 1;
   }
 
-  const json::Value report =
+  json::Value report =
       profile::profile_report(prof, static_cast<std::size_t>(top_n));
+  obs::embed_manifest(report, obs::ManifestFields::kStable);
   if (!out_path.empty() &&
       !telemetry::write_text_file(out_path, report.dump(2) + "\n")) {
     std::fprintf(stderr, "asimt: cannot write %s\n", out_path.c_str());
@@ -460,6 +484,46 @@ int cmd_profile(const std::string& path, int k, int tt_budget,
                 selection.tt_entries_used, tt_budget);
     std::fputs(profile::summary_text(prof, static_cast<std::size_t>(top_n)).c_str(),
                stdout);
+  }
+  return 0;
+}
+
+// The registered microbenchmark suite (bench/micro_suite.cpp, linked in) on
+// the statistical harness. Writes the schema-v2 artifact, optionally appends
+// it to the JSONL trajectory store, and with --json prints the artifact —
+// manifest, stats blocks and all — to stdout instead of the console table.
+int cmd_bench(obs::BenchOptions options, bool json_mode, std::string out_path,
+              const std::string& history_dir, bool list_only) {
+  if (list_only) {
+    for (const obs::BenchSpec& spec : obs::bench_registry()) {
+      if (options.filter.empty() ||
+          spec.name.find(options.filter) != std::string::npos) {
+        std::printf("%s\n", spec.name.c_str());
+      }
+    }
+    return 0;
+  }
+  if (json_mode) options.verbose_console = false;
+  const json::Value doc = obs::run_benches(options, "asimt_bench");
+  if (doc.at("benchmarks").as_array().empty()) {
+    std::fprintf(stderr, "asimt: bench: no benchmark matches filter '%s'\n",
+                 options.filter.c_str());
+    return 1;
+  }
+  if (out_path.empty()) out_path = "BENCH_asimt_bench.json";
+  if (!telemetry::write_text_file(out_path, doc.dump(2) + "\n")) {
+    std::fprintf(stderr, "asimt: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!history_dir.empty() && !obs::append_history(history_dir, doc)) {
+    std::fprintf(stderr, "asimt: cannot append to trajectory store %s\n",
+                 history_dir.c_str());
+    return 1;
+  }
+  if (json_mode) {
+    std::printf("%s\n", doc.dump(2).c_str());
+  } else {
+    std::printf("wrote %s\n", out_path.c_str());
   }
   return 0;
 }
@@ -499,10 +563,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command != "disasm" && command != "run" && command != "report" &&
       command != "encode" && command != "info" && command != "fuzz" &&
-      command != "faults" && command != "profile") {
+      command != "faults" && command != "profile" && command != "bench") {
     usage_error("unknown command '" + command + "'");
   }
-  const bool takes_file = command != "fuzz" && command != "faults";
+  const bool takes_file =
+      command != "fuzz" && command != "faults" && command != "bench";
   if (takes_file && argc < 3) usage_error("missing input file");
   const std::string file = takes_file ? argv[2] : "";
 
@@ -525,6 +590,9 @@ int main(int argc, char** argv) {
   check::OracleHooks hooks;
   fault::CampaignOptions campaign;
   bool max_seconds_from_flag = false;
+  obs::BenchOptions bench_opts = obs::BenchOptions::defaults();
+  std::string history_dir;
+  bool bench_list = false;
 
   for (int i = takes_file ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -570,8 +638,26 @@ int main(int argc, char** argv) {
     else if (arg == "--top") top_n = next_int(1, 1 << 20);
     else if (arg == "--annotate") annotate_path = next();
     else if (arg == "--telemetry") telemetry::set_enabled(true);
-    else if (arg == "--seed") campaign.seed = fuzz.seed = next_u64();
+    else if (arg == "--seed") {
+      campaign.seed = fuzz.seed = bench_opts.seed = next_u64();
+    }
     else if (arg == "--iters") campaign.iters = fuzz.iters = next_u64();
+    else if (arg == "--filter") bench_opts.filter = next();
+    else if (arg == "--repetitions") {
+      bench_opts.repetitions = next_int(1, std::numeric_limits<int>::max());
+    } else if (arg == "--warmup") {
+      bench_opts.warmup = next_int(0, std::numeric_limits<int>::max());
+    } else if (arg == "--min-sample-ms") {
+      const std::string value = next();
+      const std::optional<double> parsed = util::parse_number<double>(value);
+      if (!parsed || !(*parsed >= 0.0)) {
+        usage_error("--min-sample-ms needs a non-negative number, got '" +
+                    value + "'");
+      }
+      bench_opts.min_sample_ms = *parsed;
+    } else if (arg == "--history") history_dir = next();
+    else if (arg == "--mock-time") bench_opts.mock_time = true;
+    else if (arg == "--list") bench_list = true;
     else if (arg == "--target") {
       const std::string value = next();
       if (value == "all") {
@@ -673,6 +759,8 @@ int main(int argc, char** argv) {
     } else if (command == "profile") {
       rc = cmd_profile(file, k, tt_budget, max_steps, top_n, json_mode,
                        out_path, annotate_path);
+    } else if (command == "bench") {
+      rc = cmd_bench(bench_opts, json_mode, out_path, history_dir, bench_list);
     } else {
       rc = cmd_info(file);
     }
@@ -681,6 +769,10 @@ int main(int argc, char** argv) {
     rc = 1;
   }
 
+  // Process self-metrics (peak RSS, user/sys CPU) land in the registry just
+  // before the snapshot, so every --metrics file and Prometheus scrape
+  // carries them. No-op while telemetry is disabled.
+  obs::publish_process_metrics();
   if (!metrics_path.empty() &&
       !telemetry::write_text_file(
           metrics_path, telemetry::metrics_json(telemetry::MetricsRegistry::global()))) {

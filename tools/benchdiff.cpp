@@ -1,21 +1,41 @@
-// benchdiff — compare two BENCH_*.json perf-trajectory files.
+// benchdiff — compare BENCH_*.json perf-trajectory artifacts.
+//
+// Two-file mode (the original):
 //
 //   benchdiff old.json new.json [--threshold PCT]
 //
-// Understands both bench artifact shapes:
-//   micro_throughput: {"bench":"micro_throughput","benchmarks":[{name,
-//       iterations, real_time_ns, cpu_time_ns, ...}]}  — rows keyed by name,
-//       cpu_time_ns compared; slower than --threshold percent (default 10)
-//       is a regression.
-//   verify_full: {"bench":"verify_full","rows":[{workload, block_size,
-//       transitions, reduction_percent, restored, ...}]} — rows keyed by
-//       (workload, block_size). Transition counts are *deterministic*, so any
-//       change at all is flagged (that is a measurement drift, not noise),
-//       and a row whose `restored` flips to false always fails.
+// Trajectory mode (the regression gate, docs/BENCHMARKING.md):
+//
+//   benchdiff --trajectory history.jsonl new.json
+//             [--window N] [--mad-k K] [--noise-floor PCT]
+//             [--markdown out.md] [--append]
+//
+// Artifact shapes understood, v1 (no schema_version) and v2 alike:
+//   micro suite:  {"bench":...,"benchmarks":[{name, cpu_time_ns | stats:
+//       {median,...}, ...}]} — rows keyed by name. v1 rows carry a one-shot
+//       cpu_time_ns; v2 rows carry the stats block, whose median is used.
+//   verify_full:  {"bench":"verify_full","rows":[{workload, block_size,
+//       transitions, restored, ...}]} — rows keyed by (workload,
+//       block_size). Transition counts are *deterministic*: any change is a
+//       drift failure, not noise, and `restored` flipping false always
+//       fails. v2 adds a wall_ms_stats block, compared like a perf row.
+//   wrapped table benches (v2): {"bench":...,"wall_ms_stats":{...}} — one
+//       synthetic "wall_ms" perf row.
+//
+// Trajectory gate: for each perf row, the baseline is the rolling median of
+// that row's medians over the last --window history entries, and the noise
+// scale is their MAD. The new median regresses when
+//     new > baseline + mad_k * max(MAD, noise_floor% of baseline)
+// so a 20% slowdown trips on a quiet history while run-to-run jitter below
+// the noise scale passes. Deterministic verify_full rows must match the
+// newest history entry exactly. --append appends the new artifact to the
+// history file only when the gate passes (the store stays regression-gated);
+// --markdown writes the comparison as a table for CI job summaries.
 //
 // Exit status: 0 clean, 1 regression(s), 2 usage / unreadable input. Rows
-// present in only one file are reported but do not fail the diff (benches
-// grow; renames should read as add+remove, not silent coverage loss).
+// present in only one side are reported but do not fail (benches grow;
+// renames read as add+remove, not silent coverage loss).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -33,7 +53,12 @@ using asimt::json::Value;
 
 [[noreturn]] void usage_error(const char* diagnostic) {
   if (diagnostic != nullptr) std::fprintf(stderr, "benchdiff: %s\n", diagnostic);
-  std::fputs("usage: benchdiff old.json new.json [--threshold PCT]\n", stderr);
+  std::fputs(
+      "usage: benchdiff old.json new.json [--threshold PCT]\n"
+      "       benchdiff --trajectory history.jsonl new.json [--window N]\n"
+      "                 [--mad-k K] [--noise-floor PCT] [--markdown out.md]\n"
+      "                 [--append]\n",
+      stderr);
   std::exit(2);
 }
 
@@ -53,117 +78,138 @@ Value load_or_die(const std::string& path) {
   }
 }
 
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double mad_of(const std::vector<double>& v, double center) {
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (const double x : v) dev.push_back(std::abs(x - center));
+  return median_of(std::move(dev));
+}
+
+// A comparable row extracted from an artifact: either a perf measurement
+// (time_ns from stats.median or the v1 one-shot cpu_time_ns) or a
+// deterministic verify row (transitions + restored).
 struct Row {
   std::string key;
-  const Value* value;
+  bool deterministic = false;
+  double time = 0.0;           // perf rows; ns for micro, ms for wall
+  long long transitions = 0;   // deterministic rows
+  bool restored = true;
 };
 
-// Key rows by name (micro_throughput) or workload/k (verify_full); `field` is
-// the array member each shape stores its rows under.
-std::vector<Row> rows_of(const Value& doc, const std::string& bench) {
-  const char* field = bench == "verify_full" ? "rows" : "benchmarks";
-  const Value* rows = doc.find(field);
-  if (rows == nullptr || !rows->is_array()) {
-    std::fprintf(stderr, "benchdiff: missing '%s' array\n", field);
-    std::exit(2);
-  }
-  std::vector<Row> out;
-  for (const Value& row : rows->as_array()) {
-    std::string key;
-    if (bench == "verify_full") {
-      key = row.at("workload").as_string() + "/k" +
-            std::to_string(row.at("block_size").as_int());
-    } else {
-      key = row.at("name").as_string();
+std::optional<double> row_time(const Value& row) {
+  if (const Value* stats = row.find("stats");
+      stats != nullptr && stats->is_object()) {
+    if (const Value* median = stats->find("median")) {
+      return median->as_double();
     }
-    out.push_back({std::move(key), &row});
+  }
+  if (const Value* t = row.find("cpu_time_ns")) return t->as_double();
+  return std::nullopt;
+}
+
+std::vector<Row> rows_of(const Value& doc) {
+  std::vector<Row> out;
+  if (const Value* benches = doc.find("benchmarks");
+      benches != nullptr && benches->is_array()) {
+    for (const Value& row : benches->as_array()) {
+      const std::optional<double> time = row_time(row);
+      if (!time) continue;
+      out.push_back({row.at("name").as_string(), false, *time, 0, true});
+    }
+  }
+  if (const Value* rows = doc.find("rows");
+      rows != nullptr && rows->is_array()) {
+    for (const Value& row : rows->as_array()) {
+      Row r;
+      r.key = row.at("workload").as_string() + "/k" +
+              std::to_string(row.at("block_size").as_int());
+      r.deterministic = true;
+      r.transitions = row.at("transitions").as_int();
+      r.restored = row.at("restored").as_bool();
+      out.push_back(std::move(r));
+    }
+  }
+  if (const Value* wall_stats = doc.find("wall_ms_stats");
+      wall_stats != nullptr && wall_stats->is_object()) {
+    out.push_back(
+        {"wall_ms", false, wall_stats->at("median").as_double(), 0, true});
+  } else if (out.empty()) {
+    if (const Value* wall = doc.find("wall_ms")) {
+      out.push_back({"wall_ms", false, wall->as_double(), 0, true});
+    }
+  }
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "benchdiff: artifact has no comparable rows (need "
+                 "'benchmarks', 'rows', or 'wall_ms_stats')\n");
+    std::exit(2);
   }
   return out;
 }
 
-const Value* find_row(const std::vector<Row>& rows, const std::string& key) {
+const Row* find_row(const std::vector<Row>& rows, const std::string& key) {
   for (const Row& row : rows) {
-    if (row.key == key) return row.value;
+    if (row.key == key) return &row;
   }
   return nullptr;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::vector<std::string> files;
-  double threshold = 10.0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
-      std::fputs("usage: benchdiff old.json new.json [--threshold PCT]\n",
-                 stdout);
-      return 0;
-    }
-    if (arg == "--threshold") {
-      if (i + 1 >= argc) usage_error("--threshold needs a value");
-      const std::optional<double> parsed =
-          asimt::util::parse_number<double>(argv[++i]);
-      if (!parsed || *parsed < 0) {
-        usage_error("--threshold needs a non-negative percentage");
-      }
-      threshold = *parsed;
-    } else if (arg[0] == '-') {
-      usage_error(("unknown option '" + arg + "'").c_str());
-    } else {
-      files.push_back(arg);
-    }
+std::string bench_name_of(const Value& doc) {
+  const Value* bench = doc.find("bench");
+  if (bench == nullptr || !bench->is_string()) {
+    usage_error("input is not a BENCH_*.json artifact (no 'bench' field)");
   }
-  if (files.size() != 2) usage_error("need exactly two files");
+  return bench->as_string();
+}
 
-  const Value old_doc = load_or_die(files[0]);
-  const Value new_doc = load_or_die(files[1]);
-  const Value* old_bench = old_doc.find("bench");
-  const Value* new_bench = new_doc.find("bench");
-  if (old_bench == nullptr || new_bench == nullptr) {
-    usage_error("inputs are not BENCH_*.json artifacts (no 'bench' field)");
-  }
-  if (!(*old_bench == *new_bench)) {
+// --- two-file mode ---------------------------------------------------------
+
+int diff_two(const Value& old_doc, const Value& new_doc, double threshold) {
+  const std::string old_bench = bench_name_of(old_doc);
+  const std::string new_bench = bench_name_of(new_doc);
+  if (old_bench != new_bench) {
     std::fprintf(stderr, "benchdiff: comparing different benches: %s vs %s\n",
-                 old_bench->as_string().c_str(),
-                 new_bench->as_string().c_str());
+                 old_bench.c_str(), new_bench.c_str());
     return 2;
   }
-  const std::string bench = old_bench->as_string();
-  const std::vector<Row> old_rows = rows_of(old_doc, bench);
-  const std::vector<Row> new_rows = rows_of(new_doc, bench);
+  const std::vector<Row> old_rows = rows_of(old_doc);
+  const std::vector<Row> new_rows = rows_of(new_doc);
 
   int regressions = 0;
   std::printf("benchdiff: %s, %zu -> %zu rows, threshold %.1f%%\n",
-              bench.c_str(), old_rows.size(), new_rows.size(), threshold);
+              old_bench.c_str(), old_rows.size(), new_rows.size(), threshold);
   for (const Row& row : new_rows) {
-    const Value* old_row = find_row(old_rows, row.key);
+    const Row* old_row = find_row(old_rows, row.key);
     if (old_row == nullptr) {
       std::printf("  NEW   %s\n", row.key.c_str());
       continue;
     }
-    if (bench == "verify_full") {
-      const long long before = old_row->at("transitions").as_int();
-      const long long after = row.value->at("transitions").as_int();
-      const bool restored = row.value->at("restored").as_bool();
-      if (!restored) {
+    if (row.deterministic) {
+      if (!row.restored) {
         std::printf("  FAIL  %s: decode verification failed\n", row.key.c_str());
         ++regressions;
-      } else if (before != after) {
+      } else if (old_row->transitions != row.transitions) {
         std::printf("  DRIFT %s: transitions %lld -> %lld (deterministic "
                     "metric changed)\n",
-                    row.key.c_str(), before, after);
+                    row.key.c_str(), old_row->transitions, row.transitions);
         ++regressions;
       } else {
-        std::printf("  ok    %s: transitions %lld\n", row.key.c_str(), after);
+        std::printf("  ok    %s: transitions %lld\n", row.key.c_str(),
+                    row.transitions);
       }
     } else {
-      const double before = old_row->at("cpu_time_ns").as_double();
-      const double after = row.value->at("cpu_time_ns").as_double();
-      const double delta =
-          before > 0 ? 100.0 * (after - before) / before : 0.0;
+      const double before = old_row->time;
+      const double after = row.time;
+      const double delta = before > 0 ? 100.0 * (after - before) / before : 0.0;
       const bool slow = delta > threshold;
-      std::printf("  %s %-44s %12.1f -> %12.1f ns  %+6.1f%%\n",
+      std::printf("  %s %-44s %12.1f -> %12.1f  %+6.1f%%\n",
                   slow ? "SLOW " : "ok   ", row.key.c_str(), before, after,
                   delta);
       if (slow) ++regressions;
@@ -181,4 +227,224 @@ int main(int argc, char** argv) {
   }
   std::printf("benchdiff: clean\n");
   return 0;
+}
+
+// --- trajectory mode -------------------------------------------------------
+
+struct TrajectoryOptions {
+  int window = 5;
+  double mad_k = 3.0;
+  double noise_floor_pct = 1.0;  // MAD floor as a percentage of the baseline
+  std::string markdown_path;
+  bool append = false;
+};
+
+int diff_trajectory(const std::string& history_file, const std::string& new_file,
+                    const TrajectoryOptions& options) {
+  const Value new_doc = load_or_die(new_file);
+  const std::string bench = bench_name_of(new_doc);
+  const std::vector<Row> new_rows = rows_of(new_doc);
+
+  // Read the history; a missing or empty store establishes the baseline.
+  std::vector<std::vector<Row>> history;  // oldest first, same bench only
+  {
+    std::ifstream in(history_file);
+    std::string line;
+    int lineno = 0;
+    while (in && std::getline(in, line)) {
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      Value entry;
+      try {
+        entry = asimt::json::parse(line);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "benchdiff: %s:%d: %s\n", history_file.c_str(),
+                     lineno, e.what());
+        return 2;
+      }
+      const Value* entry_bench = entry.find("bench");
+      if (entry_bench == nullptr || !entry_bench->is_string() ||
+          entry_bench->as_string() != bench) {
+        continue;
+      }
+      history.push_back(rows_of(entry));
+    }
+  }
+  if (static_cast<int>(history.size()) > options.window) {
+    history.erase(history.begin(),
+                  history.end() - static_cast<std::ptrdiff_t>(options.window));
+  }
+
+  const auto append_new = [&]() -> int {
+    if (!options.append) return 0;
+    std::ofstream out(history_file, std::ios::app);
+    if (!out || !(out << new_doc.dump() << "\n")) {
+      std::fprintf(stderr, "benchdiff: cannot append to %s\n",
+                   history_file.c_str());
+      return 2;
+    }
+    std::printf("benchdiff: appended to %s (%zu entries in window)\n",
+                history_file.c_str(), history.size() + 1);
+    return 0;
+  };
+
+  if (history.empty()) {
+    std::printf("benchdiff: %s: no history in %s, baseline established\n",
+                bench.c_str(), history_file.c_str());
+    return append_new();
+  }
+
+  std::string md =
+      "| row | baseline median | new median | delta | noise (MAD) | verdict |\n"
+      "|---|---:|---:|---:|---:|---|\n";
+  int regressions = 0;
+  std::printf("benchdiff: %s vs rolling median of last %zu run(s)\n",
+              bench.c_str(), history.size());
+  for (const Row& row : new_rows) {
+    char md_row[256];
+    if (row.deterministic) {
+      // Deterministic metrics: compare against the newest entry that has
+      // the row. Any change is drift, not noise.
+      const Row* last = nullptr;
+      for (auto it = history.rbegin(); it != history.rend() && !last; ++it) {
+        last = find_row(*it, row.key);
+      }
+      const char* verdict;
+      if (!row.restored) {
+        verdict = "FAIL";
+        ++regressions;
+      } else if (last != nullptr && last->transitions != row.transitions) {
+        verdict = "DRIFT";
+        ++regressions;
+      } else {
+        verdict = last == nullptr ? "new" : "ok";
+      }
+      std::printf("  %-5s %-44s transitions %lld\n", verdict, row.key.c_str(),
+                  row.transitions);
+      std::snprintf(md_row, sizeof md_row,
+                    "| %s | %lld | %lld | - | - | %s |\n", row.key.c_str(),
+                    last != nullptr ? last->transitions : row.transitions,
+                    row.transitions, verdict);
+      md += md_row;
+      continue;
+    }
+    std::vector<double> series;
+    for (const std::vector<Row>& entry : history) {
+      if (const Row* old_row = find_row(entry, row.key)) {
+        series.push_back(old_row->time);
+      }
+    }
+    if (series.empty()) {
+      std::printf("  NEW   %s\n", row.key.c_str());
+      std::snprintf(md_row, sizeof md_row, "| %s | - | %.1f | - | - | new |\n",
+                    row.key.c_str(), row.time);
+      md += md_row;
+      continue;
+    }
+    const double baseline = median_of(series);
+    const double noise = mad_of(series, baseline);
+    const double floor = baseline * options.noise_floor_pct / 100.0;
+    const double gate = baseline + options.mad_k * std::max(noise, floor);
+    const double delta =
+        baseline > 0 ? 100.0 * (row.time - baseline) / baseline : 0.0;
+    const bool slow = row.time > gate;
+    if (slow) ++regressions;
+    std::printf("  %s %-44s %12.1f -> %12.1f  %+6.1f%%  (gate %.1f, MAD %.2f)\n",
+                slow ? "SLOW " : "ok   ", row.key.c_str(), baseline, row.time,
+                delta, gate, noise);
+    std::snprintf(md_row, sizeof md_row,
+                  "| %s | %.1f | %.1f | %+.1f%% | %.2f | %s |\n",
+                  row.key.c_str(), baseline, row.time, delta, noise,
+                  slow ? "**SLOW**" : "ok");
+    md += md_row;
+  }
+
+  if (!options.markdown_path.empty()) {
+    std::ofstream out(options.markdown_path);
+    char header[160];
+    std::snprintf(header, sizeof header,
+                  "### benchdiff: %s (window %zu, gate median + %.1f*MAD)\n\n",
+                  bench.c_str(), history.size(), options.mad_k);
+    if (!out || !(out << header << md)) {
+      std::fprintf(stderr, "benchdiff: cannot write %s\n",
+                   options.markdown_path.c_str());
+      return 2;
+    }
+  }
+
+  if (regressions > 0) {
+    std::printf("benchdiff: %d trajectory regression(s)\n", regressions);
+    return 1;
+  }
+  std::printf("benchdiff: clean\n");
+  return append_new();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  double threshold = 10.0;
+  bool trajectory = false;
+  TrajectoryOptions traj;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(("option " + arg + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(
+          "usage: benchdiff old.json new.json [--threshold PCT]\n"
+          "       benchdiff --trajectory history.jsonl new.json [--window N]\n"
+          "                 [--mad-k K] [--noise-floor PCT] [--markdown out.md]\n"
+          "                 [--append]\n",
+          stdout);
+      return 0;
+    }
+    if (arg == "--threshold") {
+      const std::optional<double> parsed =
+          asimt::util::parse_number<double>(next());
+      if (!parsed || *parsed < 0) {
+        usage_error("--threshold needs a non-negative percentage");
+      }
+      threshold = *parsed;
+    } else if (arg == "--trajectory") {
+      trajectory = true;
+    } else if (arg == "--window") {
+      const std::optional<int> parsed = asimt::util::parse_int_in(
+          next(), 1, std::numeric_limits<int>::max());
+      if (!parsed) usage_error("--window needs an integer >= 1");
+      traj.window = *parsed;
+    } else if (arg == "--mad-k") {
+      const std::optional<double> parsed =
+          asimt::util::parse_number<double>(next());
+      if (!parsed || *parsed < 0) usage_error("--mad-k needs a number >= 0");
+      traj.mad_k = *parsed;
+    } else if (arg == "--noise-floor") {
+      const std::optional<double> parsed =
+          asimt::util::parse_number<double>(next());
+      if (!parsed || *parsed < 0) {
+        usage_error("--noise-floor needs a non-negative percentage");
+      }
+      traj.noise_floor_pct = *parsed;
+    } else if (arg == "--markdown") {
+      traj.markdown_path = next();
+    } else if (arg == "--append") {
+      traj.append = true;
+    } else if (arg[0] == '-') {
+      usage_error(("unknown option '" + arg + "'").c_str());
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    usage_error(trajectory ? "need history.jsonl and new.json"
+                           : "need exactly two files");
+  }
+
+  if (trajectory) return diff_trajectory(files[0], files[1], traj);
+  const Value old_doc = load_or_die(files[0]);
+  const Value new_doc = load_or_die(files[1]);
+  return diff_two(old_doc, new_doc, threshold);
 }
