@@ -10,11 +10,13 @@
 // BENCH_micro_throughput.json artifacts.
 #include <random>
 
+#include "bitstream/reference.h"
 #include "cfg/cfg.h"
 #include "core/block_code.h"
 #include "core/chain_encoder.h"
 #include "core/fetch_decoder.h"
 #include "core/program_encoder.h"
+#include "core/reference_encoder.h"
 #include "isa/assembler.h"
 #include "obs/bench.h"
 #include "profile/transition_profiler.h"
@@ -121,6 +123,61 @@ void BM_SimulatorLoop(obs::BenchContext& ctx) {
   });
 }
 ASIMT_BENCH(BM_SimulatorLoop);
+
+// --- bit-plane kernel benches ----------------------------------------------
+// The packed word-parallel kernels next to their scalar-oracle counterparts
+// (bitstream/reference.h). The *Scalar* rows are the historical byte-per-bit
+// cost — they exist so the trajectory artifact shows the kernel gap directly
+// (docs/BENCHMARKING.md, "proving a kernel rewrite").
+
+void BM_BitplaneTransitions(obs::BenchContext& ctx, int n) {
+  const bits::BitSeq seq = random_seq(static_cast<std::size_t>(n), 11);
+  ctx.set_items_per_iter(static_cast<std::uint64_t>(n));
+  ctx.measure([&] { obs::do_not_optimize(seq.transitions()); });
+}
+ASIMT_BENCH_ARG(BM_BitplaneTransitions, 4096);
+
+void BM_BitplaneScalarTransitions(obs::BenchContext& ctx, int n) {
+  const bits::reference::BitSeq seq =
+      bits::reference::from_packed(random_seq(static_cast<std::size_t>(n), 11));
+  ctx.set_items_per_iter(static_cast<std::uint64_t>(n));
+  ctx.measure([&] { obs::do_not_optimize(seq.transitions()); });
+}
+ASIMT_BENCH_ARG(BM_BitplaneScalarTransitions, 4096);
+
+void BM_BitplaneVerticalLines(obs::BenchContext& ctx, int n) {
+  std::mt19937 rng(12);
+  std::vector<std::uint32_t> words(static_cast<std::size_t>(n));
+  for (auto& w : words) w = rng();
+  ctx.set_items_per_iter(static_cast<std::uint64_t>(n));
+  ctx.measure([&] { obs::do_not_optimize(bits::vertical_lines(words)); });
+}
+ASIMT_BENCH_ARG(BM_BitplaneVerticalLines, 1024);
+
+void BM_BitplaneDecodeBasicBlock(obs::BenchContext& ctx, int n) {
+  std::mt19937 rng(13);
+  std::vector<std::uint32_t> words(static_cast<std::size_t>(n));
+  for (auto& w : words) w = rng();
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  const core::BlockEncoding enc = core::encode_basic_block(words, 0x1000, opt);
+  ctx.set_items_per_iter(static_cast<std::uint64_t>(n));
+  ctx.measure([&] {
+    obs::do_not_optimize(
+        core::decode_basic_block(enc.encoded_words, enc.tt_entries, 5));
+  });
+}
+ASIMT_BENCH_ARG(BM_BitplaneDecodeBasicBlock, 256);
+
+void BM_BitplaneScalarChainEncode(obs::BenchContext& ctx, int n) {
+  const bits::BitSeq seq = random_seq(static_cast<std::size_t>(n), 1);
+  core::ChainOptions opt;
+  opt.block_size = 5;
+  ctx.set_items_per_iter(static_cast<std::uint64_t>(n));
+  ctx.measure(
+      [&] { obs::do_not_optimize(core::reference::encode_chain(seq, opt)); });
+}
+ASIMT_BENCH_ARG(BM_BitplaneScalarChainEncode, 1000);
 
 // --- profiler overhead guard ----------------------------------------------
 // The transition profiler's budget mirrors telemetry's: a fetch loop that

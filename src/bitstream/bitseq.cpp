@@ -1,73 +1,165 @@
 #include "bitstream/bitseq.h"
 
 #include <algorithm>
-#include <bit>
 #include <stdexcept>
 
 namespace asimt::bits {
 
+namespace {
+
+constexpr std::size_t kWordBits = BitSeq::kWordBits;
+
+constexpr std::uint64_t low_mask(std::size_t n) {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+}  // namespace
+
 BitSeq::BitSeq(std::size_t n, int fill)
-    : bits_(n, static_cast<std::uint8_t>(fill & 1)) {}
+    : words_((n + kWordBits - 1) / kWordBits,
+             (fill & 1) ? ~std::uint64_t{0} : 0),
+      size_(n) {
+  trim_tail();
+}
 
 BitSeq BitSeq::from_stream_string(std::string_view s) {
   BitSeq seq;
-  seq.bits_.reserve(s.size());
-  for (char c : s) {
+  seq.size_ = s.size();
+  seq.words_.assign((s.size() + kWordBits - 1) / kWordBits, 0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
     if (c != '0' && c != '1') {
       throw std::invalid_argument("BitSeq: expected only '0'/'1' characters");
     }
-    seq.bits_.push_back(static_cast<std::uint8_t>(c - '0'));
+    seq.words_[i / kWordBits] |= static_cast<std::uint64_t>(c - '0')
+                                 << (i % kWordBits);
   }
   return seq;
 }
 
 BitSeq BitSeq::from_figure_string(std::string_view s) {
-  BitSeq seq = from_stream_string(s);
-  std::reverse(seq.bits_.begin(), seq.bits_.end());
-  return seq;
-}
-
-BitSeq BitSeq::from_word(std::uint64_t word, std::size_t n) {
   BitSeq seq;
-  seq.bits_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    seq.bits_.push_back(static_cast<std::uint8_t>((word >> i) & 1));
+  seq.size_ = s.size();
+  seq.words_.assign((s.size() + kWordBits - 1) / kWordBits, 0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[s.size() - 1 - i];  // rightmost character is earliest
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("BitSeq: expected only '0'/'1' characters");
+    }
+    seq.words_[i / kWordBits] |= static_cast<std::uint64_t>(c - '0')
+                                 << (i % kWordBits);
   }
   return seq;
 }
 
-int BitSeq::transitions() const {
-  if (bits_.empty()) return 0;
-  return transitions_in(0, bits_.size() - 1);
+BitSeq BitSeq::from_word(std::uint64_t word, std::size_t n) {
+  if (n > 64) throw std::invalid_argument("BitSeq::from_word: n > 64");
+  BitSeq seq;
+  seq.size_ = n;
+  if (n != 0) seq.words_.push_back(word & low_mask(n));
+  return seq;
+}
+
+BitSeq BitSeq::from_packed_words(std::vector<std::uint64_t> words,
+                                 std::size_t n) {
+  if (words.size() != (n + kWordBits - 1) / kWordBits) {
+    throw std::invalid_argument(
+        "BitSeq::from_packed_words: word count != ceil(n/64)");
+  }
+  BitSeq seq;
+  seq.words_ = std::move(words);
+  seq.size_ = n;
+  seq.trim_tail();
+  return seq;
 }
 
 int BitSeq::transitions_in(std::size_t first, std::size_t last) const {
+  if (last <= first) return 0;
+  if (last >= size_) {
+    throw std::out_of_range("BitSeq::transitions_in: window past end");
+  }
+  // The "difference stream" d_i = bit_i XOR bit_{i+1} has one bit per
+  // adjacent pair; its word j is w[j] ^ (w[j] >> 1 with the seam bit of
+  // w[j+1] shifted in). Counting pairs i in [first, last-1] is a masked
+  // popcount over d — 64 pairs per operation instead of one.
+  const std::size_t lo = first;       // first pair index
+  const std::size_t hi = last - 1;    // last pair index (inclusive)
   int count = 0;
-  for (std::size_t i = first; i < last; ++i) {
-    count += bits_[i] != bits_[i + 1];
+  for (std::size_t j = lo / kWordBits; j <= hi / kWordBits; ++j) {
+    const std::uint64_t next = j + 1 < words_.size() ? words_[j + 1] : 0;
+    const std::uint64_t d =
+        words_[j] ^ ((words_[j] >> 1) | (next << (kWordBits - 1)));
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (j == lo / kWordBits) mask &= ~low_mask(lo % kWordBits);
+    if (j == hi / kWordBits) {
+      const std::size_t keep = hi % kWordBits + 1;
+      mask &= low_mask(keep);
+    }
+    count += std::popcount(d & mask);
   }
   return count;
 }
 
 BitSeq BitSeq::slice(std::size_t first, std::size_t len) const {
+  if (first + len > size_) {
+    throw std::out_of_range("BitSeq::slice: window past end");
+  }
   BitSeq out;
-  out.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(first),
-                   bits_.begin() + static_cast<std::ptrdiff_t>(first + len));
+  out.size_ = len;
+  out.words_.assign((len + kWordBits - 1) / kWordBits, 0);
+  const std::size_t w = first / kWordBits;
+  const std::size_t off = first % kWordBits;
+  for (std::size_t j = 0; j < out.words_.size(); ++j) {
+    std::uint64_t v = words_[w + j] >> off;
+    if (off != 0 && w + j + 1 < words_.size()) {
+      v |= words_[w + j + 1] << (kWordBits - off);
+    }
+    out.words_[j] = v;
+  }
+  out.trim_tail();
   return out;
 }
 
-std::uint64_t BitSeq::to_word(std::size_t n) const {
-  std::uint64_t word = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    word |= static_cast<std::uint64_t>(bits_[i]) << i;
+std::uint64_t BitSeq::window(std::size_t first, std::size_t len) const {
+  if (len > 64) throw std::invalid_argument("BitSeq::window: len > 64");
+  if (first + len > size_) {
+    throw std::out_of_range("BitSeq::window: window past end");
   }
-  return word;
+  if (len == 0) return 0;
+  const std::size_t w = first / kWordBits;
+  const std::size_t off = first % kWordBits;
+  std::uint64_t v = words_[w] >> off;
+  if (off != 0 && w + 1 < words_.size()) {
+    v |= words_[w + 1] << (kWordBits - off);
+  }
+  return v & low_mask(len);
+}
+
+void BitSeq::set_window(std::size_t first, std::size_t len,
+                        std::uint64_t value) {
+  if (len > 64) throw std::invalid_argument("BitSeq::set_window: len > 64");
+  if (first + len > size_) {
+    throw std::out_of_range("BitSeq::set_window: window past end");
+  }
+  if (len == 0) return;
+  value &= low_mask(len);
+  const std::size_t w = first / kWordBits;
+  const std::size_t off = first % kWordBits;
+  const std::size_t in_first = std::min(len, kWordBits - off);
+  const std::uint64_t mask0 = low_mask(in_first) << off;
+  words_[w] = (words_[w] & ~mask0) | ((value << off) & mask0);
+  if (in_first < len) {
+    const std::uint64_t mask1 = low_mask(len - in_first);
+    words_[w + 1] = (words_[w + 1] & ~mask1) | (value >> in_first);
+  }
 }
 
 std::string BitSeq::to_stream_string() const {
   std::string s;
-  s.reserve(bits_.size());
-  for (std::uint8_t b : bits_) s.push_back(static_cast<char>('0' + b));
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    s.push_back(static_cast<char>('0' + (*this)[i]));
+  }
   return s;
 }
 
@@ -86,11 +178,38 @@ int word_transitions(std::uint64_t word, int k) {
 }
 
 BitSeq vertical_line(std::span<const std::uint32_t> words, unsigned line) {
-  BitSeq seq;
+  BitSeq seq(words.size());
   for (std::size_t i = 0; i < words.size(); ++i) {
-    seq.push_back(static_cast<int>((words[i] >> line) & 1u));
+    if ((words[i] >> line) & 1u) seq.set(i, 1);
   }
   return seq;
+}
+
+std::vector<BitSeq> vertical_lines(std::span<const std::uint32_t> words) {
+  const std::size_t nwords = (words.size() + kWordBits - 1) / kWordBits;
+  std::vector<std::vector<std::uint64_t>> planes(
+      32, std::vector<std::uint64_t>(nwords, 0));
+  // 32 fetch cycles at a time: the 32x32 matrix whose row i is words[c+i]
+  // transposes into 32 rows of 32 cycles each, which land in the low or high
+  // half of bit-plane word c/64.
+  std::uint32_t m[32];
+  for (std::size_t c = 0; c < words.size(); c += 32) {
+    const std::size_t n = std::min<std::size_t>(32, words.size() - c);
+    for (std::size_t i = 0; i < n; ++i) m[i] = words[c + i];
+    for (std::size_t i = n; i < 32; ++i) m[i] = 0;
+    transpose32(m);
+    const std::size_t w = c / kWordBits;
+    const unsigned shift = (c % kWordBits) ? 32 : 0;
+    for (unsigned b = 0; b < 32; ++b) {
+      planes[b][w] |= static_cast<std::uint64_t>(m[b]) << shift;
+    }
+  }
+  std::vector<BitSeq> lines;
+  lines.reserve(32);
+  for (unsigned b = 0; b < 32; ++b) {
+    lines.push_back(BitSeq::from_packed_words(std::move(planes[b]), words.size()));
+  }
+  return lines;
 }
 
 std::vector<std::uint32_t> from_vertical_lines(std::span<const BitSeq> lines,
@@ -104,10 +223,18 @@ std::vector<std::uint32_t> from_vertical_lines(std::span<const BitSeq> lines,
     }
   }
   std::vector<std::uint32_t> words(count, 0);
-  for (unsigned b = 0; b < 32; ++b) {
-    for (std::size_t i = 0; i < count; ++i) {
-      words[i] |= static_cast<std::uint32_t>(lines[b][i]) << b;
+  // The inverse transpose: rows of 32 cycles per line back into 32 fetch
+  // words per chunk (the transpose is an involution).
+  std::uint32_t m[32];
+  for (std::size_t c = 0; c < count; c += 32) {
+    const std::size_t n = std::min<std::size_t>(32, count - c);
+    const std::size_t w = c / BitSeq::kWordBits;
+    const unsigned shift = (c % BitSeq::kWordBits) ? 32 : 0;
+    for (unsigned b = 0; b < 32; ++b) {
+      m[b] = static_cast<std::uint32_t>(lines[b].words()[w] >> shift);
     }
+    transpose32(m);
+    for (std::size_t i = 0; i < n; ++i) words[c + i] = m[i];
   }
   return words;
 }

@@ -8,8 +8,21 @@
 // Bit-order convention (normative, see DESIGN.md §6): index 0 is the bit that
 // appears EARLIEST in time. The paper's figures print the earliest bit as the
 // RIGHTMOST character; conversion helpers for that notation are provided.
+//
+// Storage contract (normative, DESIGN.md §6 rule 8): bits are PACKED, 64 per
+// std::uint64_t word, bit i of the sequence living in bit (i % 64) of word
+// (i / 64) — one word holds 64 consecutive cycles of one bus line. Unused
+// bits past size() in the last word are always zero, which makes word-wise
+// equality, hashing, and the word-parallel kernels below valid without
+// masking. Transition counting is popcount(x ^ (x >> 1)) with the seam bit
+// carried in from the next word; this is exactly the XOR+flip-flop network a
+// hardware bit-transition counter implements, done 64 cycles per operation.
+// The historical byte-per-bit implementation survives unchanged in
+// bitstream/reference.h (namespace bits::reference) as the scalar oracle the
+// differential test layer checks this file against.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -19,13 +32,26 @@
 
 namespace asimt::bits {
 
-// A sequence of bits with index 0 = earliest in time.
-//
-// Bits are stored one per byte (values 0/1). Sequences in this library are
-// short (basic-block length, at most a few thousand bits), so simplicity and
-// O(1) random access win over packed storage.
+// Transposes a 32x32 bit matrix in place. Row i, bit j (LSB-first) holds
+// M[i][j] on entry and M[j][i] on return. The butterfly network from
+// Hacker's Delight §7-3, oriented for the LSB-first convention above; shared
+// by the bit-plane extraction below and sim::BusMonitor's per-line counts.
+inline void transpose32(std::uint32_t a[32]) {
+  std::uint32_t m = 0x0000FFFFu;
+  for (unsigned j = 16; j != 0; j >>= 1, m ^= m << j) {
+    for (unsigned k = 0; k < 32; k = (k + j + 1) & ~j) {
+      const std::uint32_t t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k] ^= t << j;
+      a[k + j] ^= t;
+    }
+  }
+}
+
+// A sequence of bits with index 0 = earliest in time, packed 64 per word.
 class BitSeq {
  public:
+  static constexpr std::size_t kWordBits = 64;
+
   BitSeq() = default;
 
   // `n` bits, all set to `fill` (0 or 1).
@@ -43,16 +69,37 @@ class BitSeq {
   // earliest bit.
   static BitSeq from_word(std::uint64_t word, std::size_t n);
 
-  std::size_t size() const { return bits_.size(); }
-  bool empty() const { return bits_.empty(); }
+  // Adopts packed backing words directly (bit i of the sequence = bit i%64
+  // of words[i/64]). `words` must hold exactly ceil(n/64) entries; tail bits
+  // past `n` are cleared to restore the invariant.
+  static BitSeq from_packed_words(std::vector<std::uint64_t> words,
+                                  std::size_t n);
 
-  int operator[](std::size_t i) const { return bits_[i]; }
-  void set(std::size_t i, int value) { bits_[i] = static_cast<std::uint8_t>(value & 1); }
-  void push_back(int value) { bits_.push_back(static_cast<std::uint8_t>(value & 1)); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  int operator[](std::size_t i) const {
+    return static_cast<int>((words_[i / kWordBits] >> (i % kWordBits)) & 1u);
+  }
+  void set(std::size_t i, int value) {
+    const std::uint64_t bit = std::uint64_t{1} << (i % kWordBits);
+    if (value & 1) {
+      words_[i / kWordBits] |= bit;
+    } else {
+      words_[i / kWordBits] &= ~bit;
+    }
+  }
+  void push_back(int value) {
+    if (size_ % kWordBits == 0) words_.push_back(0);
+    ++size_;
+    if (value & 1) set(size_ - 1, 1);
+  }
 
   // Number of adjacent positions i with bit[i] != bit[i+1] — the quantity
   // proportional to bus switching power.
-  int transitions() const;
+  int transitions() const {
+    return size_ <= 1 ? 0 : transitions_in(0, size_ - 1);
+  }
 
   // Transitions restricted to the window [first, last] (inclusive indices).
   int transitions_in(std::size_t first, std::size_t last) const;
@@ -60,19 +107,42 @@ class BitSeq {
   // Sub-sequence [first, first+len).
   BitSeq slice(std::size_t first, std::size_t len) const;
 
+  // Packs bits [first, first+len) into a word, bit 0 of the result = bit
+  // `first`. Requires len <= 64 and first+len <= size(). The packed window
+  // read the chain encoder's block search runs on.
+  std::uint64_t window(std::size_t first, std::size_t len) const;
+
+  // Overwrites bits [first, first+len) with the low `len` bits of `value`.
+  // Requires len <= 64 and first+len <= size().
+  void set_window(std::size_t first, std::size_t len, std::uint64_t value);
+
   // Packs bits [0, n) into a word, bit 0 of the result = earliest bit.
   // Requires n <= 64 and n <= size().
-  std::uint64_t to_word(std::size_t n) const;
+  std::uint64_t to_word(std::size_t n) const { return window(0, n); }
+
+  // The packed backing words (64 cycles each); tail bits are zero.
+  std::span<const std::uint64_t> words() const { return words_; }
+  std::size_t word_count() const { return words_.size(); }
 
   // Stream order: earliest bit first.
   std::string to_stream_string() const;
   // Figure order: earliest bit rightmost (matches the paper's tables).
   std::string to_figure_string() const;
 
+  // Tail bits past size() are zero by invariant, so word-wise comparison is
+  // exact sequence equality.
   bool operator==(const BitSeq&) const = default;
 
  private:
-  std::vector<std::uint8_t> bits_;
+  void trim_tail() {
+    const std::size_t tail = size_ % kWordBits;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
 };
 
 // Transitions of the low `k` bits of `word` viewed as a bit sequence
@@ -83,8 +153,15 @@ int word_transitions(std::uint64_t word, int k);
 // instruction `words` in fetch order — Fig. 1b's column view.
 BitSeq vertical_line(std::span<const std::uint32_t> words, unsigned line);
 
+// Extracts all 32 vertical lines at once as packed bit-planes, using
+// word-parallel 32x32 bit-matrix transposes (two per 64 fetch cycles). This
+// is the fast path the program encoder uses; element `line` equals
+// vertical_line(words, line).
+std::vector<BitSeq> vertical_lines(std::span<const std::uint32_t> words);
+
 // Rebuilds 32-bit words from 32 per-line sequences (inverse of taking
-// vertical_line for each line). All sequences must have length `count`.
+// vertical_line for each line), via the same transpose network run in the
+// opposite direction. All sequences must have length `count`.
 std::vector<std::uint32_t> from_vertical_lines(std::span<const BitSeq> lines,
                                                std::size_t count);
 

@@ -1,0 +1,80 @@
+#include "bitstream/reference.h"
+
+#include <stdexcept>
+
+#include "bitstream/bitseq.h"
+
+namespace asimt::bits::reference {
+
+BitSeq::BitSeq(std::size_t n, int fill)
+    : bits_(n, static_cast<std::uint8_t>(fill & 1)) {}
+
+BitSeq BitSeq::from_stream_string(std::string_view s) {
+  BitSeq seq;
+  seq.bits_.reserve(s.size());
+  for (char c : s) {
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("BitSeq: expected only '0'/'1' characters");
+    }
+    seq.bits_.push_back(static_cast<std::uint8_t>(c - '0'));
+  }
+  return seq;
+}
+
+int BitSeq::transitions() const {
+  if (bits_.empty()) return 0;
+  return transitions_in(0, bits_.size() - 1);
+}
+
+int BitSeq::transitions_in(std::size_t first, std::size_t last) const {
+  int count = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    count += bits_[i] != bits_[i + 1];
+  }
+  return count;
+}
+
+BitSeq BitSeq::slice(std::size_t first, std::size_t len) const {
+  BitSeq out;
+  out.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(first),
+                   bits_.begin() + static_cast<std::ptrdiff_t>(first + len));
+  return out;
+}
+
+std::uint64_t BitSeq::to_word(std::size_t n) const {
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    word |= static_cast<std::uint64_t>(bits_[i]) << i;
+  }
+  return word;
+}
+
+std::string BitSeq::to_stream_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (std::uint8_t b : bits_) s.push_back(static_cast<char>('0' + b));
+  return s;
+}
+
+int word_transitions(std::uint64_t word, int k) {
+  int count = 0;
+  for (int i = 0; i + 1 < k; ++i) {
+    count += static_cast<int>((word >> i) & 1u) !=
+             static_cast<int>((word >> (i + 1)) & 1u);
+  }
+  return count;
+}
+
+BitSeq from_packed(const bits::BitSeq& seq) {
+  BitSeq out(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) out.set(i, seq[i]);
+  return out;
+}
+
+bits::BitSeq to_packed(const BitSeq& seq) {
+  bits::BitSeq out(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) out.set(i, seq[i]);
+  return out;
+}
+
+}  // namespace asimt::bits::reference

@@ -1,0 +1,65 @@
+// The scalar oracle: the historical byte-per-bit BitSeq, retained verbatim.
+//
+// When src/bitstream moved to the packed bit-plane representation
+// (bitseq.h), this file kept the original one-bit-per-byte storage and the
+// naive per-bit loops as an independent implementation of the same
+// contract. It exists to be WRONG-RESISTANT, not fast: every kernel here is
+// the obvious scalar formulation, so the differential test layer
+// (tests/bitstream/bitplane_equivalence_test.cpp) and the `bitplane` fuzz
+// oracle can check the word-parallel code against it bit for bit. Do not
+// optimize this file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asimt::bits {
+class BitSeq;  // packed representation (bitseq.h)
+}  // namespace asimt::bits
+
+namespace asimt::bits::reference {
+
+// A sequence of bits with index 0 = earliest in time, stored one per byte.
+class BitSeq {
+ public:
+  BitSeq() = default;
+  explicit BitSeq(std::size_t n, int fill = 0);
+
+  static BitSeq from_stream_string(std::string_view s);
+
+  std::size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  int operator[](std::size_t i) const { return bits_[i]; }
+  void set(std::size_t i, int value) {
+    bits_[i] = static_cast<std::uint8_t>(value & 1);
+  }
+  void push_back(int value) {
+    bits_.push_back(static_cast<std::uint8_t>(value & 1));
+  }
+
+  // Per-pair scalar loop — the oracle for the packed popcount kernel.
+  int transitions() const;
+  int transitions_in(std::size_t first, std::size_t last) const;
+
+  BitSeq slice(std::size_t first, std::size_t len) const;
+  std::uint64_t to_word(std::size_t n) const;
+  std::string to_stream_string() const;
+
+  bool operator==(const BitSeq&) const = default;
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+// Scalar loop form of bits::word_transitions.
+int word_transitions(std::uint64_t word, int k);
+
+// Conversions between the packed representation and the oracle's.
+BitSeq from_packed(const bits::BitSeq& seq);
+bits::BitSeq to_packed(const BitSeq& seq);
+
+}  // namespace asimt::bits::reference

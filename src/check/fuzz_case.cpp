@@ -35,6 +35,7 @@ std::string_view oracle_name(Oracle oracle) {
     case Oracle::kCost: return "cost";
     case Oracle::kReplay: return "replay";
     case Oracle::kJson: return "json";
+    case Oracle::kBitplane: return "bitplane";
   }
   return "?";
 }
@@ -114,6 +115,7 @@ FuzzCase parse_case(std::string_view text) {
       else if (value == "cost") c.oracle = Oracle::kCost;
       else if (value == "replay") c.oracle = Oracle::kReplay;
       else if (value == "json") c.oracle = Oracle::kJson;
+      else if (value == "bitplane") c.oracle = Oracle::kBitplane;
       else fail(line_no, "unknown oracle '" + std::string(value) + "'");
     } else if (key == "strategy") {
       if (value == "greedy") c.strategy = core::ChainStrategy::kGreedy;
@@ -171,7 +173,9 @@ FuzzCase parse_case(std::string_view text) {
   if (!saw_oracle) fail(line_no, "missing 'oracle' key");
   if (c.oracle == Oracle::kJson && !saw_json) fail(line_no, "json oracle needs a 'json' line");
   if (c.oracle == Oracle::kReplay && !saw_words) fail(line_no, "replay oracle needs a 'words' line");
-  if ((c.oracle == Oracle::kRoundTrip || c.oracle == Oracle::kCost) && !saw_line) {
+  if ((c.oracle == Oracle::kRoundTrip || c.oracle == Oracle::kCost ||
+       c.oracle == Oracle::kBitplane) &&
+      !saw_line) {
     fail(line_no, "oracle needs a 'line' line");
   }
   if (c.oracle == Oracle::kReplay && c.transforms == TransformSet::kAll) {

@@ -25,8 +25,9 @@ enum class Oracle {
   kCost,       // greedy cost >= DP cost; DP == exhaustive optimum (short lines)
   kReplay,     // ProgramEncoder image replayed through FetchDecoder/BusMonitor
   kJson,       // JSON export -> parse -> re-export is byte-stable
+  kBitplane,   // packed word-parallel kernels == scalar byte-per-bit oracle
 };
-inline constexpr int kOracleCount = 4;
+inline constexpr int kOracleCount = 5;
 
 // Which transform universe the encoder may draw from.
 enum class TransformSet {

@@ -172,6 +172,22 @@ FuzzCase generate_case(Rng rng) {
       // output internally).
       c.json_text = gen_json_value(rng).dump();
       break;
+    case Oracle::kBitplane:
+      // The packed-kernel differential oracle runs both strategies itself.
+      c.transforms = static_cast<TransformSet>(rng.below(3));
+      if (rng.chance(1, 3)) {
+        // Pin the length near a 64-bit word seam, where the packed kernels'
+        // boundary handling (seam carries, tail masks) actually lives.
+        const std::size_t len = 62 + rng.below(70);  // 62..131
+        bits::BitSeq line(len);
+        for (std::size_t i = 0; i < len; ++i) {
+          line.set(i, static_cast<int>(rng.below(2)));
+        }
+        c.line = std::move(line);
+      } else {
+        c.line = gen_line(rng);
+      }
+      break;
   }
   return c;
 }

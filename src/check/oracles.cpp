@@ -4,8 +4,10 @@
 #include <stdexcept>
 
 #include "bitstream/bitseq.h"
+#include "bitstream/reference.h"
 #include "core/fetch_decoder.h"
 #include "core/program_encoder.h"
+#include "core/reference_encoder.h"
 #include "sim/bus.h"
 #include "telemetry/json.h"
 
@@ -235,6 +237,83 @@ std::optional<std::string> oracle_json(const FuzzCase& c) {
   return std::nullopt;
 }
 
+// The bit-plane differential oracle: every packed word-parallel kernel must
+// agree exactly with the scalar byte-per-bit oracle (bitstream/reference.h,
+// core/reference_encoder.h) on the same input — transition counts, windowed
+// counts across word seams, and both encode strategies bit for bit.
+std::optional<std::string> oracle_bitplane(const FuzzCase& c) {
+  const bits::reference::BitSeq scalar = bits::reference::from_packed(c.line);
+  if (bits::reference::to_packed(scalar) != c.line) {
+    return "packed <-> scalar conversion is not lossless on " +
+           c.line.to_stream_string();
+  }
+  if (c.line.transitions() != scalar.transitions()) {
+    return "packed transitions " + std::to_string(c.line.transitions()) +
+           " != scalar " + std::to_string(scalar.transitions()) + " on " +
+           c.line.to_stream_string();
+  }
+  if (!c.line.empty()) {
+    // Windows anchored at the ends, the middle, and every 64-bit seam.
+    std::vector<std::size_t> edges = {0, c.line.size() / 2, c.line.size() - 1};
+    for (std::size_t seam = 63; seam < c.line.size(); seam += 64) {
+      edges.push_back(seam);
+      if (seam + 1 < c.line.size()) edges.push_back(seam + 1);
+    }
+    for (const std::size_t first : edges) {
+      for (const std::size_t last : edges) {
+        if (last < first) continue;
+        if (c.line.transitions_in(first, last) !=
+            scalar.transitions_in(first, last)) {
+          return "transitions_in(" + std::to_string(first) + ", " +
+                 std::to_string(last) + ") packed " +
+                 std::to_string(c.line.transitions_in(first, last)) +
+                 " != scalar " +
+                 std::to_string(scalar.transitions_in(first, last)) + " on " +
+                 c.line.to_stream_string();
+        }
+      }
+    }
+  }
+  core::ChainOptions options;
+  options.block_size = c.block_size;
+  options.allowed = c.transform_span();
+  for (const core::ChainStrategy strategy :
+       {core::ChainStrategy::kGreedy, core::ChainStrategy::kOptimalDp}) {
+    options.strategy = strategy;
+    const char* tag =
+        strategy == core::ChainStrategy::kGreedy ? "greedy" : "dp";
+    const core::EncodedChain fast =
+        core::ChainEncoder(options).encode(c.line);
+    const core::EncodedChain oracle =
+        core::reference::encode_chain(c.line, options);
+    if (fast.blocks.size() != oracle.blocks.size()) {
+      return std::string(tag) + ": packed encoder made " +
+             std::to_string(fast.blocks.size()) + " blocks, scalar oracle " +
+             std::to_string(oracle.blocks.size());
+    }
+    if (fast.stored != oracle.stored) {
+      return std::string(tag) + ": stored bits diverge: packed=" +
+             fast.stored.to_stream_string() + " scalar=" +
+             oracle.stored.to_stream_string() + " original=" +
+             c.line.to_stream_string();
+    }
+    for (std::size_t bi = 0; bi < fast.blocks.size(); ++bi) {
+      if (fast.blocks[bi].tau != oracle.blocks[bi].tau) {
+        return std::string(tag) + ": block " + std::to_string(bi) +
+               " tau diverges: packed=" + fast.blocks[bi].tau.name() +
+               " scalar=" + oracle.blocks[bi].tau.name() + " on " +
+               c.line.to_stream_string();
+      }
+    }
+    if (core::decode_chain(fast) != c.line) {
+      return std::string(tag) + ": packed encoding does not round-trip: " +
+             fast.stored.to_stream_string() + " vs " +
+             c.line.to_stream_string();
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 bits::BitSeq decode_chain_reference(const core::EncodedChain& chain,
@@ -322,6 +401,7 @@ std::optional<std::string> run_case(const FuzzCase& c,
       case Oracle::kCost: result = oracle_cost(c, hooks); break;
       case Oracle::kReplay: result = oracle_replay(c); break;
       case Oracle::kJson: result = oracle_json(c); break;
+      case Oracle::kBitplane: result = oracle_bitplane(c); break;
     }
   } catch (const std::exception& e) {
     result = std::string("unexpected exception: ") + e.what();

@@ -1,83 +1,159 @@
 #include "core/chain_encoder.h"
 
+#include <algorithm>
+#include <array>
 #include <limits>
-#include <optional>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <string>
 
-#include "core/block_code.h"
 #include "parallel/pool.h"
 #include "telemetry/metrics.h"
 
 namespace asimt::core {
 
-namespace {
+namespace detail {
 
-// A candidate (code word, transform) pair for one block.
-struct BlockChoice {
-  std::uint32_t code = 0;
-  Transform tau;
-  int cost = 0;  // transitions inside the stored block
+// The per-block search, hoisted out of the encode loop. For every block
+// length len and every possible original window the table stores the winning
+// (code word, τ) outright, so encoding a block is a single packed-window
+// extraction plus one table load instead of a 2^(len-1)·|allowed| scan.
+//
+// Keying works because chain-initial and overlapped decode produce IDENTICAL
+// bits 1..len-1 for a given (τ, code) — history starts at the encoded bit 0
+// either way — and bit 0 of the decoded word is forced (code bit 0 for
+// chain-initial, the already-decoded overlap value otherwise). So the
+// original's bits 1..len-1 ("rest") plus the stored overlap value s_in fully
+// determine the candidate set, and one table serves both block kinds.
+//
+// Tie-break parity with the reference scan (core/reference_encoder.cpp) is
+// load-bearing for byte-identical artifacts: candidates fold in code-ascending
+// order, only the FIRST τ in `allowed` that produces a given decode is
+// credited per code (the scan breaks there), greedy prefers lower cost, then
+// earlier τ, then smaller code; the DP fold keeps the first strict cost
+// minimum per (s_in, s_out).
+
+inline constexpr std::uint8_t kInfeasible = 0xFF;
+
+struct Choice {
+  std::uint16_t code = 0;
+  std::uint8_t tau_rank = 0;
+  std::uint8_t cost = kInfeasible;
 };
 
-// Finds the cheapest feasible choice for a block whose original bits are the
-// low `len` bits of `word` (bit 0 = overlap/first bit) given that the stored
-// value of the first bit is `s_in`. Returns nullopt when no transform in
-// `allowed` can realize the block (possible only for exotic transform sets
-// lacking the identity).
-std::optional<BlockChoice> best_choice(std::uint32_t word, int len, int s_in,
-                                       bool chain_initial,
-                                       std::span<const Transform> allowed) {
-  if (chain_initial && s_in != static_cast<int>(word & 1u)) {
-    return std::nullopt;  // chain-initial blocks store their first bit plain
+struct LenTable {
+  // best[s_in][rest]: greedy winner for a block whose original bits 1.. equal
+  // `rest`, given the stored overlap bit s_in.
+  std::array<std::vector<Choice>, 2> best;
+  // dp[s_in][s_out][rest]: cheapest candidate whose code's top bit is s_out.
+  std::array<std::array<std::vector<Choice>, 2>, 2> dp;
+};
+
+struct ChoiceTable {
+  int block_size = 0;
+  std::vector<Transform> allowed;  // stable copy; tau_rank indexes into it
+  std::vector<LenTable> tables;    // index len - 2, len in [2, block_size]
+
+  const LenTable& len(int l) const {
+    return tables[static_cast<std::size_t>(l - 2)];
   }
-  std::optional<BlockChoice> best;
-  int best_tau_rank = 0;
+};
+
+namespace {
+
+LenTable build_len_table(int len, std::span<const Transform> allowed) {
+  LenTable t;
   const std::uint32_t rest_count = std::uint32_t{1} << (len - 1);
-  for (std::uint32_t rest = 0; rest < rest_count; ++rest) {
-    const std::uint32_t code =
-        static_cast<std::uint32_t>(s_in & 1) | (rest << 1);
-    const int cost = bits::word_transitions(code, len);
-    for (std::size_t ti = 0; ti < allowed.size(); ++ti) {
-      const Transform tau = allowed[ti];
-      const std::uint32_t decoded =
-          chain_initial
-              ? decode_block(tau, code, len)
-              : decode_block_overlapped(tau, code, static_cast<int>(word & 1u),
-                                        len);
-      if (decoded != word) continue;
-      const bool better =
-          !best || cost < best->cost ||
-          (cost == best->cost &&
-           (static_cast<int>(ti) < best_tau_rank ||
-            (static_cast<int>(ti) == best_tau_rank && code < best->code)));
-      if (better) {
-        best = BlockChoice{code, tau, cost};
-        best_tau_rank = static_cast<int>(ti);
+  for (int s = 0; s < 2; ++s) {
+    t.best[s].assign(rest_count, Choice{});
+    for (int so = 0; so < 2; ++so) t.dp[s][so].assign(rest_count, Choice{});
+  }
+  std::vector<std::uint32_t> seen(allowed.size());
+  for (int s_in = 0; s_in < 2; ++s_in) {
+    for (std::uint32_t rest = 0; rest < rest_count; ++rest) {
+      const std::uint32_t code =
+          static_cast<std::uint32_t>(s_in) | (rest << 1);
+      const int cost = bits::word_transitions(code, len);
+      const int s_out = static_cast<int>((code >> (len - 1)) & 1u);
+      std::size_t nseen = 0;
+      for (std::size_t ti = 0; ti < allowed.size(); ++ti) {
+        // Decoded bits 1..len-1; history starts at the encoded bit 0.
+        std::uint32_t drest = 0;
+        int prev = s_in;
+        for (int i = 1; i < len; ++i) {
+          const int enc = static_cast<int>((code >> i) & 1u);
+          const int orig = allowed[ti].apply(enc, prev);
+          drest |= static_cast<std::uint32_t>(orig) << (i - 1);
+          prev = orig;
+        }
+        bool duplicate = false;
+        for (std::size_t j = 0; j < nseen; ++j) {
+          if (seen[j] == drest) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;  // an earlier τ owns this decode for `code`
+        seen[nseen++] = drest;
+
+        Choice& g = t.best[s_in][drest];
+        const bool better =
+            g.cost == kInfeasible || cost < g.cost ||
+            (cost == g.cost &&
+             (ti < g.tau_rank || (ti == g.tau_rank && code < g.code)));
+        if (better) {
+          g = Choice{static_cast<std::uint16_t>(code),
+                     static_cast<std::uint8_t>(ti),
+                     static_cast<std::uint8_t>(cost)};
+        }
+        Choice& d = t.dp[s_in][s_out][drest];
+        if (d.cost == kInfeasible || cost < d.cost) {
+          d = Choice{static_cast<std::uint16_t>(code),
+                     static_cast<std::uint8_t>(ti),
+                     static_cast<std::uint8_t>(cost)};
+        }
       }
-      break;  // earlier transforms in `allowed` were already tried for this code
     }
   }
-  return best;
+  return t;
 }
 
-std::uint32_t window_word(const bits::BitSeq& seq, std::size_t start, int len) {
-  std::uint32_t w = 0;
-  for (int i = 0; i < len; ++i) {
-    w |= static_cast<std::uint32_t>(seq[start + static_cast<std::size_t>(i)])
-         << i;
+std::shared_ptr<const ChoiceTable> build_table(
+    int block_size, std::span<const Transform> allowed) {
+  auto table = std::make_shared<ChoiceTable>();
+  table->block_size = block_size;
+  table->allowed.assign(allowed.begin(), allowed.end());
+  table->tables.reserve(static_cast<std::size_t>(block_size - 1));
+  for (int len = 2; len <= block_size; ++len) {
+    table->tables.push_back(build_len_table(len, allowed));
   }
-  return w;
+  return table;
 }
 
-void write_code(bits::BitSeq& stored, std::size_t start, int len,
-                std::uint32_t code) {
-  for (int i = 0; i < len; ++i) {
-    stored.set(start + static_cast<std::size_t>(i),
-               static_cast<int>((code >> i) & 1u));
+// Process-wide memo: ChainEncoders are cheap to construct (the fuzz and
+// bench harnesses build one per case) but tables are not, so share them by
+// (block_size, allowed) value.
+std::shared_ptr<const ChoiceTable> acquire_table(
+    int block_size, std::span<const Transform> allowed) {
+  std::string key;
+  key.reserve(allowed.size() + 1);
+  key.push_back(static_cast<char>(block_size));
+  for (Transform t : allowed) {
+    key.push_back(static_cast<char>('a' + t.truth_table()));
   }
+  static std::mutex mu;
+  static auto* cache =
+      new std::map<std::string, std::shared_ptr<const ChoiceTable>>;
+  const std::lock_guard<std::mutex> lock(mu);
+  auto& slot = (*cache)[key];
+  if (!slot) slot = build_table(block_size, allowed);
+  return slot;
 }
 
 }  // namespace
+
+}  // namespace detail
 
 ChainEncoder::ChainEncoder(ChainOptions options) : options_(options) {
   if (options_.block_size < 2 || options_.block_size > 16) {
@@ -86,6 +162,7 @@ ChainEncoder::ChainEncoder(ChainOptions options) : options_(options) {
   if (options_.allowed.empty()) {
     throw std::invalid_argument("chain encoder needs a non-empty transform set");
   }
+  table_ = detail::acquire_table(options_.block_size, options_.allowed);
 }
 
 std::vector<ChainBlock> ChainEncoder::partition(std::size_t m, int block_size) {
@@ -153,18 +230,21 @@ EncodedChain ChainEncoder::encode_greedy(const bits::BitSeq& original) const {
     out.stored.set(0, original[0]);
     return out;
   }
-  int s_in = original[0];
+  const detail::ChoiceTable& table = *table_;
+  int s_in = original[0];  // chain-initial block stores its first bit plain
   for (std::size_t bi = 0; bi < out.blocks.size(); ++bi) {
     ChainBlock& block = out.blocks[bi];
-    const std::uint32_t word = window_word(original, block.start, block.length);
-    const auto choice =
-        best_choice(word, block.length, s_in, bi == 0, options_.allowed);
-    if (!choice) {
+    const std::uint64_t word = original.window(block.start,
+                                               static_cast<std::size_t>(block.length));
+    const detail::Choice& c =
+        table.len(block.length).best[s_in][static_cast<std::size_t>(word >> 1)];
+    if (c.cost == detail::kInfeasible) {
       throw std::logic_error("chain encoder: infeasible block (no identity?)");
     }
-    block.tau = choice->tau;
-    write_code(out.stored, block.start, block.length, choice->code);
-    s_in = static_cast<int>((choice->code >> (block.length - 1)) & 1u);
+    block.tau = table.allowed[c.tau_rank];
+    out.stored.set_window(block.start, static_cast<std::size_t>(block.length),
+                          c.code);
+    s_in = static_cast<int>((c.code >> (block.length - 1)) & 1u);
   }
   return out;
 }
@@ -181,6 +261,7 @@ EncodedChain ChainEncoder::encode_dp(const bits::BitSeq& original) const {
 
   constexpr int kInf = std::numeric_limits<int>::max() / 2;
   const std::size_t nblocks = out.blocks.size();
+  const detail::ChoiceTable& table = *table_;
 
   // cost[s]: cheapest total transitions with the current boundary bit stored
   // as s. Backpointers record each block's decision per outgoing state.
@@ -195,31 +276,21 @@ EncodedChain ChainEncoder::encode_dp(const bits::BitSeq& original) const {
 
   for (std::size_t bi = 0; bi < nblocks; ++bi) {
     const ChainBlock& block = out.blocks[bi];
-    const std::uint32_t word = window_word(original, block.start, block.length);
+    const std::uint64_t word = original.window(block.start,
+                                               static_cast<std::size_t>(block.length));
+    const std::size_t rest = static_cast<std::size_t>(word >> 1);
+    const detail::LenTable& lt = table.len(block.length);
     std::array<int, 2> next_cost = {kInf, kInf};
     for (int s_in = 0; s_in < 2; ++s_in) {
       if (cost[s_in] >= kInf) continue;
-      // Enumerate every feasible (code, tau); fold into the outgoing state.
-      const std::uint32_t rest_count = std::uint32_t{1} << (block.length - 1);
-      for (std::uint32_t rest = 0; rest < rest_count; ++rest) {
-        const std::uint32_t code =
-            static_cast<std::uint32_t>(s_in) | (rest << 1);
-        const int block_cost = bits::word_transitions(code, block.length);
-        for (Transform tau : options_.allowed) {
-          const std::uint32_t decoded =
-              bi == 0 ? decode_block(tau, code, block.length)
-                      : decode_block_overlapped(
-                            tau, code, static_cast<int>(word & 1u),
-                            block.length);
-          if (decoded != word) continue;
-          const int s_out =
-              static_cast<int>((code >> (block.length - 1)) & 1u);
-          const int total = cost[s_in] + block_cost;
-          if (total < next_cost[s_out]) {
-            next_cost[s_out] = total;
-            decisions[bi][s_out] = Decision{code, tau, s_in};
-          }
-          break;  // cheaper tau ranks first; cost identical for same code
+      for (int s_out = 0; s_out < 2; ++s_out) {
+        const detail::Choice& c = lt.dp[s_in][s_out][rest];
+        if (c.cost == detail::kInfeasible) continue;
+        const int total = cost[s_in] + c.cost;
+        if (total < next_cost[s_out]) {
+          next_cost[s_out] = total;
+          decisions[bi][s_out] =
+              Decision{c.code, table.allowed[c.tau_rank], s_in};
         }
       }
     }
@@ -233,7 +304,9 @@ EncodedChain ChainEncoder::encode_dp(const bits::BitSeq& original) const {
   for (std::size_t bi = nblocks; bi-- > 0;) {
     const Decision& d = decisions[bi][state];
     out.blocks[bi].tau = d.tau;
-    write_code(out.stored, out.blocks[bi].start, out.blocks[bi].length, d.code);
+    out.stored.set_window(out.blocks[bi].start,
+                          static_cast<std::size_t>(out.blocks[bi].length),
+                          d.code);
     state = d.prev_state;
   }
   return out;

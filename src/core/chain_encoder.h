@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,10 @@
 #include "core/transform.h"
 
 namespace asimt::core {
+
+namespace detail {
+struct ChoiceTable;
+}  // namespace detail
 
 // One block of an encoded chain.
 struct ChainBlock {
@@ -74,6 +79,10 @@ class ChainEncoder {
   EncodedChain encode_dp(const bits::BitSeq& original) const;
 
   ChainOptions options_;
+  // Precomputed per-(block_size, allowed) choice tables: for every block
+  // length and every original window, the winning (code, τ) under the
+  // encoder's deterministic tie-break — built once, shared process-wide.
+  std::shared_ptr<const detail::ChoiceTable> table_;
 };
 
 // Serial hardware-faithful decode: replays the per-bit recurrence, reloading

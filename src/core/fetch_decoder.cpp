@@ -24,6 +24,13 @@ FetchDecoder::FetchDecoder(TtConfig tt, std::vector<BbitEntry> bbit)
       }
     }
   }
+  lane_masks_.resize(tt_.entries.size());
+  for (std::size_t i = 0; i < tt_.entries.size(); ++i) {
+    lane_masks_[i].fill(0);
+    for (unsigned line = 0; line < kBusLines; ++line) {
+      lane_masks_[i][tt_.entries[i].tau[line]] |= 1u << line;
+    }
+  }
   for (const BbitEntry& entry : bbit) {
     if (entry.tt_index >= tt_.entries.size() && !tt_.entries.empty()) {
       throw std::invalid_argument("FetchDecoder: BBIT points past TT");
@@ -69,13 +76,13 @@ bool FetchDecoder::enter_entry(std::size_t index, bool at_bb_entry,
 }
 
 std::uint32_t FetchDecoder::decode_word(std::uint32_t bus_word) {
-  const TtEntry& entry = tt_.entries[entry_index_];
+  const std::array<std::uint32_t, 8>& masks = lane_masks_[entry_index_];
   std::uint32_t word = 0;
-  for (unsigned line = 0; line < kBusLines; ++line) {
-    const int enc = static_cast<int>((bus_word >> line) & 1u);
-    const int hist = static_cast<int>((history_ >> line) & 1u);
-    word |= static_cast<std::uint32_t>(entry.transform(line).apply(enc, hist))
-            << line;
+  for (std::size_t t = 0; t < masks.size(); ++t) {
+    if (!masks[t]) continue;
+    word |= static_cast<std::uint32_t>(
+                kPaperSubset[t].apply_word(bus_word, history_)) &
+            masks[t];
   }
   return word;
 }

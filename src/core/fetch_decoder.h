@@ -15,6 +15,7 @@
 // trading the power win for architectural correctness.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
@@ -98,6 +99,12 @@ class FetchDecoder {
   bool enter_entry(std::size_t index, bool at_block_entry, std::uint32_t pc);
 
   TtConfig tt_;
+  // Per-TT-entry lane masks: lane_masks_[i][t] has bit `line` set iff entry i
+  // decodes that line with kPaperSubset[t]. Lets decode_word restore all 32
+  // lines with one τ-parallel apply per populated transform instead of 32
+  // scalar gate evaluations (built once at construction; the TT is immutable
+  // for the decoder's lifetime).
+  std::vector<std::array<std::uint32_t, 8>> lane_masks_;
   std::unordered_map<std::uint32_t, std::uint16_t> bbit_;
   Stats stats_;
   EntryGuard guard_;

@@ -1,5 +1,6 @@
 #include "core/program_encoder.h"
 
+#include <array>
 #include <stdexcept>
 
 #include "bitstream/bitseq.h"
@@ -31,10 +32,7 @@ BlockEncoding encode_basic_block(std::span<const std::uint32_t> words,
   // across the parallel engine for large blocks (and stays serial for the
   // common small ones). Results are written per line index, so the TT bytes
   // and stored lines are identical at any thread count.
-  std::vector<bits::BitSeq> original_lines(kBusLines);
-  for (unsigned line = 0; line < kBusLines; ++line) {
-    original_lines[line] = bits::vertical_line(words, line);
-  }
+  std::vector<bits::BitSeq> original_lines = bits::vertical_lines(words);
   const ChainEncoder encoder(options);
   std::vector<EncodedChain> chains = encoder.encode_many(original_lines);
   std::vector<bits::BitSeq> stored_lines(kBusLines);
@@ -85,17 +83,24 @@ std::vector<std::uint32_t> decode_basic_block(
   decoded[0] = encoded_words[0];  // chain-initial words stored plain
   for (std::size_t bi = 0; bi < layout.size(); ++bi) {
     const ChainBlock& block = layout[bi];
+    // Lane masks: mask[t] has bit `line` set iff this TT entry decodes that
+    // line with kPaperSubset[t]. One τ-parallel apply_word per populated
+    // transform then restores all 32 lines of a cycle together, instead of 32
+    // scalar recurrence steps.
+    std::array<std::uint32_t, kPaperSubset.size()> mask{};
+    for (unsigned line = 0; line < kBusLines; ++line) {
+      mask[tt_entries[bi].tau[line] & 7u] |= 1u << line;
+    }
     // History registers reload from the raw bus word at each block start.
     std::uint32_t history = encoded_words[block.start];
     for (int j = 1; j < block.length; ++j) {
       const std::size_t pos = block.start + static_cast<std::size_t>(j);
       std::uint32_t word = 0;
-      for (unsigned line = 0; line < kBusLines; ++line) {
-        const int enc_bit = static_cast<int>((encoded_words[pos] >> line) & 1u);
-        const int hist_bit = static_cast<int>((history >> line) & 1u);
+      for (std::size_t t = 0; t < mask.size(); ++t) {
+        if (!mask[t]) continue;
         word |= static_cast<std::uint32_t>(
-                    tt_entries[bi].transform(line).apply(enc_bit, hist_bit))
-                << line;
+                    kPaperSubset[t].apply_word(encoded_words[pos], history)) &
+                mask[t];
       }
       decoded[pos] = word;
       history = word;

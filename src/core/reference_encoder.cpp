@@ -1,0 +1,236 @@
+#include "core/reference_encoder.h"
+
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "bitstream/reference.h"
+
+namespace asimt::core::reference {
+
+namespace {
+
+namespace refbits = asimt::bits::reference;
+
+// Local scalar decode recurrences — deliberately NOT the ones in
+// core/block_code.cpp, so the oracle stays independent of fast-path code.
+std::uint32_t ref_decode_block(Transform tau, std::uint32_t code, int k) {
+  std::uint32_t word = code & 1u;  // x_0 = x̃_0
+  int prev = static_cast<int>(code & 1u);
+  for (int i = 1; i < k; ++i) {
+    const int enc = static_cast<int>((code >> i) & 1u);
+    const int orig = tau.apply(enc, prev);
+    word |= static_cast<std::uint32_t>(orig) << i;
+    prev = orig;
+  }
+  return word;
+}
+
+std::uint32_t ref_decode_block_overlapped(Transform tau, std::uint32_t code,
+                                          int overlap_original, int k) {
+  std::uint32_t word = static_cast<std::uint32_t>(overlap_original & 1);
+  // History for the first recurrence instance is the ENCODED overlap bit.
+  int prev = static_cast<int>(code & 1u);
+  for (int i = 1; i < k; ++i) {
+    const int enc = static_cast<int>((code >> i) & 1u);
+    const int orig = tau.apply(enc, prev);
+    word |= static_cast<std::uint32_t>(orig) << i;
+    prev = orig;
+  }
+  return word;
+}
+
+struct BlockChoice {
+  std::uint32_t code = 0;
+  Transform tau;
+  int cost = 0;
+};
+
+// The original exhaustive per-block scan: every (code, first-matching-τ)
+// candidate, cheapest cost wins, ties to earliest τ then smallest code.
+std::optional<BlockChoice> best_choice(std::uint32_t word, int len, int s_in,
+                                       bool chain_initial,
+                                       std::span<const Transform> allowed) {
+  if (chain_initial && s_in != static_cast<int>(word & 1u)) {
+    return std::nullopt;  // chain-initial blocks store their first bit plain
+  }
+  std::optional<BlockChoice> best;
+  int best_tau_rank = 0;
+  const std::uint32_t rest_count = std::uint32_t{1} << (len - 1);
+  for (std::uint32_t rest = 0; rest < rest_count; ++rest) {
+    const std::uint32_t code =
+        static_cast<std::uint32_t>(s_in & 1) | (rest << 1);
+    const int cost = refbits::word_transitions(code, len);
+    for (std::size_t ti = 0; ti < allowed.size(); ++ti) {
+      const Transform tau = allowed[ti];
+      const std::uint32_t decoded =
+          chain_initial ? ref_decode_block(tau, code, len)
+                        : ref_decode_block_overlapped(
+                              tau, code, static_cast<int>(word & 1u), len);
+      if (decoded != word) continue;
+      const bool better =
+          !best || cost < best->cost ||
+          (cost == best->cost &&
+           (static_cast<int>(ti) < best_tau_rank ||
+            (static_cast<int>(ti) == best_tau_rank && code < best->code)));
+      if (better) {
+        best = BlockChoice{code, tau, cost};
+        best_tau_rank = static_cast<int>(ti);
+      }
+      break;  // earlier transforms in `allowed` were already tried for this code
+    }
+  }
+  return best;
+}
+
+std::uint32_t window_word(const refbits::BitSeq& seq, std::size_t start,
+                          int len) {
+  std::uint32_t w = 0;
+  for (int i = 0; i < len; ++i) {
+    w |= static_cast<std::uint32_t>(seq[start + static_cast<std::size_t>(i)])
+         << i;
+  }
+  return w;
+}
+
+void write_code(refbits::BitSeq& stored, std::size_t start, int len,
+                std::uint32_t code) {
+  for (int i = 0; i < len; ++i) {
+    stored.set(start + static_cast<std::size_t>(i),
+               static_cast<int>((code >> i) & 1u));
+  }
+}
+
+EncodedChain encode_greedy(const refbits::BitSeq& original,
+                           const ChainOptions& options) {
+  refbits::BitSeq stored(original.size());
+  EncodedChain out;
+  out.blocks = ChainEncoder::partition(original.size(), options.block_size);
+  if (out.blocks.empty()) {
+    out.stored = refbits::to_packed(stored);
+    return out;
+  }
+  if (original.size() == 1) {
+    stored.set(0, original[0]);
+    out.stored = refbits::to_packed(stored);
+    return out;
+  }
+  int s_in = original[0];
+  for (std::size_t bi = 0; bi < out.blocks.size(); ++bi) {
+    ChainBlock& block = out.blocks[bi];
+    const std::uint32_t word = window_word(original, block.start, block.length);
+    const auto choice =
+        best_choice(word, block.length, s_in, bi == 0, options.allowed);
+    if (!choice) {
+      throw std::logic_error("chain encoder: infeasible block (no identity?)");
+    }
+    block.tau = choice->tau;
+    write_code(stored, block.start, block.length, choice->code);
+    s_in = static_cast<int>((choice->code >> (block.length - 1)) & 1u);
+  }
+  out.stored = refbits::to_packed(stored);
+  return out;
+}
+
+EncodedChain encode_dp(const refbits::BitSeq& original,
+                       const ChainOptions& options) {
+  refbits::BitSeq stored(original.size());
+  EncodedChain out;
+  out.blocks = ChainEncoder::partition(original.size(), options.block_size);
+  if (out.blocks.empty()) {
+    out.stored = refbits::to_packed(stored);
+    return out;
+  }
+  if (original.size() == 1) {
+    stored.set(0, original[0]);
+    out.stored = refbits::to_packed(stored);
+    return out;
+  }
+
+  constexpr int kInf = std::numeric_limits<int>::max() / 2;
+  const std::size_t nblocks = out.blocks.size();
+
+  struct Decision {
+    std::uint32_t code = 0;
+    Transform tau;
+    int prev_state = 0;
+  };
+  std::vector<std::array<Decision, 2>> decisions(nblocks);
+  std::array<int, 2> cost = {kInf, kInf};
+  cost[original[0]] = 0;  // chain-initial block stores its first bit plain
+
+  for (std::size_t bi = 0; bi < nblocks; ++bi) {
+    const ChainBlock& block = out.blocks[bi];
+    const std::uint32_t word = window_word(original, block.start, block.length);
+    std::array<int, 2> next_cost = {kInf, kInf};
+    for (int s_in = 0; s_in < 2; ++s_in) {
+      if (cost[s_in] >= kInf) continue;
+      const std::uint32_t rest_count = std::uint32_t{1} << (block.length - 1);
+      for (std::uint32_t rest = 0; rest < rest_count; ++rest) {
+        const std::uint32_t code =
+            static_cast<std::uint32_t>(s_in) | (rest << 1);
+        const int block_cost = refbits::word_transitions(code, block.length);
+        for (Transform tau : options.allowed) {
+          const std::uint32_t decoded =
+              bi == 0 ? ref_decode_block(tau, code, block.length)
+                      : ref_decode_block_overlapped(
+                            tau, code, static_cast<int>(word & 1u),
+                            block.length);
+          if (decoded != word) continue;
+          const int s_out =
+              static_cast<int>((code >> (block.length - 1)) & 1u);
+          const int total = cost[s_in] + block_cost;
+          if (total < next_cost[s_out]) {
+            next_cost[s_out] = total;
+            decisions[bi][s_out] = Decision{code, tau, s_in};
+          }
+          break;  // cheaper tau ranks first; cost identical for same code
+        }
+      }
+    }
+    cost = next_cost;
+  }
+
+  int state = cost[0] <= cost[1] ? 0 : 1;
+  if (cost[state] >= kInf) {
+    throw std::logic_error("chain encoder DP: no feasible encoding");
+  }
+  for (std::size_t bi = nblocks; bi-- > 0;) {
+    const Decision& d = decisions[bi][state];
+    out.blocks[bi].tau = d.tau;
+    write_code(stored, out.blocks[bi].start, out.blocks[bi].length, d.code);
+    state = d.prev_state;
+  }
+  out.stored = refbits::to_packed(stored);
+  return out;
+}
+
+}  // namespace
+
+EncodedChain encode_chain(const bits::BitSeq& original,
+                          const ChainOptions& options) {
+  if (options.block_size < 2 || options.block_size > 16) {
+    throw std::invalid_argument("chain block size must be in [2, 16]");
+  }
+  if (options.allowed.empty()) {
+    throw std::invalid_argument("chain encoder needs a non-empty transform set");
+  }
+  const refbits::BitSeq scalar = refbits::from_packed(original);
+  switch (options.strategy) {
+    case ChainStrategy::kGreedy: return encode_greedy(scalar, options);
+    case ChainStrategy::kOptimalDp: return encode_dp(scalar, options);
+    default: throw std::logic_error("unknown chain strategy");
+  }
+}
+
+std::vector<EncodedChain> encode_many(std::span<const bits::BitSeq> originals,
+                                      const ChainOptions& options) {
+  std::vector<EncodedChain> out;
+  out.reserve(originals.size());
+  for (const bits::BitSeq& line : originals) {
+    out.push_back(encode_chain(line, options));
+  }
+  return out;
+}
+
+}  // namespace asimt::core::reference

@@ -1,0 +1,31 @@
+// Scalar-oracle chain encoder: the pre-bit-plane implementation, verbatim.
+//
+// When core/chain_encoder.cpp moved to table-driven search over packed
+// 64-bit windows, the original formulation — byte-per-bit storage
+// (bits::reference::BitSeq), per-bit window extraction, and a fresh
+// enumeration of every (code word, τ) pair per block — was moved here
+// unchanged. It is the ground truth the differential test layer
+// (tests/bitstream/bitplane_equivalence_test.cpp) and the `bitplane` fuzz
+// oracle compare the fast path against: same ChainOptions in, bit-identical
+// EncodedChain out (stored bits, per-block τ choices, costs). Do not
+// optimize this file; its value is that it shares no kernels with the fast
+// path beyond Transform::apply and the partition rule.
+#pragma once
+
+#include "core/chain_encoder.h"
+
+namespace asimt::core::reference {
+
+// Greedy / DP encode exactly as options.strategy selects, using the original
+// scalar algorithms. Deterministic tie-breaking is identical to the packed
+// encoder's contract: cheapest cost, then earliest transform in
+// options.allowed, then numerically smallest code word.
+EncodedChain encode_chain(const bits::BitSeq& original,
+                          const ChainOptions& options);
+
+// Serial scalar counterpart of ChainEncoder::encode_many (no thread pool —
+// the oracle stays single-threaded and obvious).
+std::vector<EncodedChain> encode_many(std::span<const bits::BitSeq> originals,
+                                      const ChainOptions& options);
+
+}  // namespace asimt::core::reference

@@ -27,6 +27,20 @@ class Transform {
     return static_cast<int>((tt_ >> ((x & 1) + 2 * (y & 1))) & 1u);
   }
 
+  // τ applied to 64 independent lanes at once: bit i of the result is
+  // τ(bit i of x, bit i of y). Branchless boolean algebra — each minterm of
+  // the truth table contributes through an all-ones/all-zeros lane mask, so
+  // one call decodes 64 cycles of one bus line (or all 32 lines of two bus
+  // words) in a handful of word ops. Lanes past the data are garbage-in/
+  // garbage-out; callers mask as needed.
+  constexpr std::uint64_t apply_word(std::uint64_t x, std::uint64_t y) const {
+    const std::uint64_t m00 = ~(static_cast<std::uint64_t>(tt_ >> 0 & 1u) - 1);
+    const std::uint64_t m10 = ~(static_cast<std::uint64_t>(tt_ >> 1 & 1u) - 1);
+    const std::uint64_t m01 = ~(static_cast<std::uint64_t>(tt_ >> 2 & 1u) - 1);
+    const std::uint64_t m11 = ~(static_cast<std::uint64_t>(tt_ >> 3 & 1u) - 1);
+    return (m00 & ~x & ~y) | (m10 & x & ~y) | (m01 & ~x & y) | (m11 & x & y);
+  }
+
   constexpr unsigned truth_table() const { return tt_; }
 
   // The transform obtained by inverting every bit of both X and X̃ — the

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "bitstream/bitseq.h"
+
 namespace asimt::profile {
 
 std::vector<BlockCost> attribute_dynamic(
@@ -18,10 +20,8 @@ std::vector<BlockCost> attribute_dynamic(
     cost.exec = profile.block_counts[static_cast<std::size_t>(block.index)];
     if (cost.exec != 0) {
       const std::size_t first = (block.start - cfg.text_base) / 4;
-      long long intra = 0;
-      for (std::size_t i = 1; i < block.instruction_count(); ++i) {
-        intra += std::popcount(image[first + i - 1] ^ image[first + i]);
-      }
+      const long long intra = bits::total_bus_transitions(
+          image.subspan(first, block.instruction_count()));
       cost.transitions = intra * static_cast<long long>(cost.exec);
     }
     out.push_back(cost);
