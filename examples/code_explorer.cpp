@@ -10,19 +10,25 @@
 // codes behave on arbitrary vertical bit sequences.
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "core/block_code.h"
 #include "core/chain_encoder.h"
+#include "util/args.h"
 
 int main(int argc, char** argv) {
   using namespace asimt;
 
-  const int k = argc > 1 ? std::atoi(argv[1]) : 5;
-  if (k < 2 || k > 8) {
-    std::fprintf(stderr, "block size must be in [2, 8]\n");
+  // Strict parse: atoi would quietly turn "5x" (or "banana") into a number.
+  std::optional<int> parsed_k = argc > 1 ? util::parse_int_in(argv[1], 2, 8)
+                                         : std::optional<int>(5);
+  if (!parsed_k) {
+    std::fprintf(stderr, "block size must be an integer in [2, 8], got '%s'\n",
+                 argv[1]);
     return 1;
   }
+  const int k = *parsed_k;
   const std::string stream_text =
       argc > 2 ? argv[2] : "10101100111000101011010000111100101101";
 

@@ -2,10 +2,10 @@
 
 #include <bit>
 #include <cctype>
-#include <cstdlib>
 #include <optional>
 
 #include "isa/isa.h"
+#include "util/args.h"
 
 namespace asimt::isa {
 
@@ -255,21 +255,24 @@ class Assembler {
 
   // ---- operand parsing -----------------------------------------------------
 
+  // Strict whole-string parses (util/args.h). strtoll/strtof would accept
+  // the same prefixes but saturate out-of-range literals silently (LLONG_MAX
+  // / +-inf), which then truncate into instruction words with no diagnostic;
+  // here an overflowing literal is an AssemblyError like any other typo.
   std::int64_t parse_integer(int line, const std::string& text) const {
     const std::string t = trim(text);
     if (t.empty()) fail(line, "empty integer operand");
-    char* end = nullptr;
-    const long long v = std::strtoll(t.c_str(), &end, 0);
-    if (end != t.c_str() + t.size()) fail(line, "bad integer: " + t);
-    return v;
+    const std::optional<long long> v = util::parse_integer_literal(t);
+    if (!v) fail(line, "bad integer (junk or out of 64-bit range): " + t);
+    return *v;
   }
 
   float parse_float(int line, const std::string& text) const {
     const std::string t = trim(text);
-    char* end = nullptr;
-    const float v = std::strtof(t.c_str(), &end);
-    if (end != t.c_str() + t.size()) fail(line, "bad float: " + t);
-    return v;
+    if (t.empty()) fail(line, "empty float operand");
+    const std::optional<float> v = util::parse_float_literal(t);
+    if (!v) fail(line, "bad float (junk or out of single-precision range): " + t);
+    return *v;
   }
 
   // Integer literal, label address, or %hi/%lo of a label.

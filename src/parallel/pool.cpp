@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <string>
 
 #include "telemetry/metrics.h"
+#include "util/args.h"
 
 namespace asimt::parallel {
 
@@ -17,14 +19,21 @@ namespace {
 thread_local bool t_on_worker = false;
 
 unsigned env_or_hardware_jobs() {
+  const unsigned automatic = std::max(1u, std::thread::hardware_concurrency());
   if (const char* env = std::getenv("ASIMT_JOBS")) {
-    char* end = nullptr;
-    const long value = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && value > 0) {
-      return static_cast<unsigned>(value);
+    if (const std::optional<unsigned> parsed = parse_jobs_env(env)) {
+      return *parsed;
     }
+    // Never fall back silently: a CI lane that exports ASIMT_JOBS=8x (or a
+    // value that overflowed strtol) would otherwise run at the wrong worker
+    // count with nothing in the logs — and `asimt serve` inherits its pool
+    // size from exactly this path.
+    std::fprintf(stderr,
+                 "asimt: ignoring ASIMT_JOBS='%s' (need a positive integer); "
+                 "using %u worker thread(s)\n",
+                 env, automatic);
   }
-  return std::max(1u, std::thread::hardware_concurrency());
+  return automatic;
 }
 
 std::atomic<unsigned> g_jobs_override{0};
@@ -93,6 +102,12 @@ void ThreadPool::worker_loop() {
     }
     task();  // packaged_task captures any exception into its future
   }
+}
+
+std::optional<unsigned> parse_jobs_env(std::string_view text) {
+  const std::optional<unsigned> parsed = util::parse_number<unsigned>(text);
+  if (!parsed || *parsed == 0) return std::nullopt;
+  return parsed;
 }
 
 unsigned default_jobs() {

@@ -34,6 +34,8 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -75,8 +77,14 @@ class ThreadPool {
 
 // The effective job count: the last set_default_jobs(n > 0) value, else the
 // ASIMT_JOBS environment variable, else std::thread::hardware_concurrency()
-// (never less than 1).
+// (never less than 1). A malformed ASIMT_JOBS value is ignored with a stderr
+// diagnostic, never silently truncated or clamped.
 unsigned default_jobs();
+
+// Strict ASIMT_JOBS parse (util::parse_number<unsigned>, whole string,
+// > 0). nullopt for junk, trailing garbage ("8x"), zero, or overflow —
+// exposed so tests can pin the contract without touching the environment.
+std::optional<unsigned> parse_jobs_env(std::string_view text);
 
 // Overrides the job count (CLI --jobs, tests). 0 restores the automatic
 // default. Takes effect on the next parallel_for; must not race an active

@@ -1,0 +1,107 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "telemetry/metrics.h"
+
+namespace asimt::serve {
+
+namespace {
+
+unsigned clamp_shards(unsigned shards) {
+  const unsigned clamped = std::clamp(shards, 1u, 256u);
+  return std::bit_ceil(clamped);
+}
+
+}  // namespace
+
+ShardedCache::ShardedCache(std::size_t capacity, unsigned shards) {
+  const unsigned n = clamp_shards(shards);
+  capacity_ = std::max<std::size_t>(capacity, n);
+  per_shard_capacity_ = std::max<std::size_t>(1, capacity_ / n);
+  shards_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+unsigned ShardedCache::shard_of(const CacheKey& key) const {
+  // Select by the avalanched top bits so shard choice is independent of the
+  // map's bucket choice (which uses the low bits of the same hash).
+  const std::uint64_t h = KeyHash{}(key);
+  const unsigned n = static_cast<unsigned>(shards_.size());
+  return static_cast<unsigned>((h >> 48) & (n - 1));
+}
+
+std::shared_ptr<const std::string> ShardedCache::lookup(const CacheKey& key) {
+  Shard& shard = shard_for(key);
+  std::shared_ptr<const std::string> payload;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      payload = it->second->payload;
+    }
+  }
+  if (payload) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count("serve.cache.hits");
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count("serve.cache.misses");
+  }
+  return payload;
+}
+
+std::shared_ptr<const std::string> ShardedCache::insert(const CacheKey& key,
+                                                        std::string payload) {
+  Shard& shard = shard_for(key);
+  auto incoming = std::make_shared<const std::string>(std::move(payload));
+  std::shared_ptr<const std::string> resident;
+  std::uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Raced by another worker: keep the first payload so every concurrent
+      // caller for this key replies with the same bytes.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      resident = it->second->payload;
+    } else {
+      shard.lru.push_front(Entry{key, incoming});
+      shard.index.emplace(key, shard.lru.begin());
+      resident = incoming;
+      while (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  if (resident == incoming) {
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count("serve.cache.insertions");
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    telemetry::count("serve.cache.evictions", static_cast<long long>(evicted));
+  }
+  return resident;
+}
+
+CacheStats ShardedCache::stats() const {
+  CacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+}  // namespace asimt::serve

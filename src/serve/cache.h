@@ -1,0 +1,133 @@
+// Sharded, content-addressed result cache for the encoding daemon.
+//
+// The paper's transformations are computed per application image; in a
+// deployment the expensive step — extracting the 32 vertical bit lines and
+// solving the per-line τ-chain DP — is identical for every client that
+// submits the same hot loop. The daemon therefore caches the *reply payload*
+// keyed by content: a 64-bit FNV-1a hash over the packed bit-line words
+// plus the encoding parameters (k, transform set, strategy, operation).
+// Identical requests hit the same entry regardless of which client, socket,
+// or worker produced it, and a hit returns the exact bytes the cold encode
+// produced — cache state can never change reply bytes (the byte-identity
+// contract of docs/SERVING.md).
+//
+// Concurrency: the cache is split into 2^n shards selected by the top hash
+// bits; each shard is an independent mutex + LRU list + open-addressed map,
+// so unrelated requests never contend on one lock. Eviction is per shard,
+// LRU by lookup/insert recency, capped at capacity()/shards entries (at
+// least one per shard).
+//
+// Observability: hits/misses/evictions/insertions are counted in local
+// atomics (always on, served by the `stats` protocol op) and mirrored into
+// the telemetry registry as serve.cache.* counters when telemetry is
+// enabled, which puts them on every --metrics snapshot and Prometheus
+// scrape.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace asimt::serve {
+
+// Content-addressed cache key. `content_hash` is the digest of the request
+// payload (bit lines + parameters, see hash_* in service.h); the remaining
+// fields are kept alongside it so an astronomically unlikely hash collision
+// degrades to a miss instead of a wrong answer.
+struct CacheKey {
+  std::uint64_t content_hash = 0;
+  int k = 0;
+  std::uint8_t transform_set = 0;
+  std::uint8_t strategy = 0;
+  std::uint8_t op = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t entries = 0;  // current resident entries across all shards
+};
+
+class ShardedCache {
+ public:
+  // `shards` is rounded up to a power of two in [1, 256]; `capacity` is the
+  // total entry budget across shards (>= shards; each shard holds at least
+  // one entry).
+  explicit ShardedCache(std::size_t capacity = 4096, unsigned shards = 16);
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  // The cached payload for `key`, or nullptr on miss. A hit refreshes the
+  // entry's LRU position. The returned payload is immutable and outlives
+  // any later eviction of the entry.
+  std::shared_ptr<const std::string> lookup(const CacheKey& key);
+
+  // Inserts (or refreshes) `key` -> `payload`, evicting the shard's least
+  // recently used entries while it is over budget. Returns the resident
+  // payload: when another worker raced the same key in first, *its* payload
+  // wins and is returned, so every caller replies with identical bytes.
+  std::shared_ptr<const std::string> insert(const CacheKey& key,
+                                            std::string payload);
+
+  CacheStats stats() const;
+
+  std::size_t capacity() const { return capacity_; }
+  unsigned shard_count() const { return static_cast<unsigned>(shards_.size()); }
+
+  // Which shard `key` lands in — exposed for the distribution tests.
+  unsigned shard_of(const CacheKey& key) const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& key) const {
+      // content_hash is already a 64-bit digest; fold the parameters in so
+      // keys differing only in (k, set, strategy, op) spread too.
+      std::uint64_t h = key.content_hash;
+      h ^= (static_cast<std::uint64_t>(static_cast<unsigned>(key.k)) << 32) ^
+           (static_cast<std::uint64_t>(key.transform_set) << 16) ^
+           (static_cast<std::uint64_t>(key.strategy) << 8) ^ key.op;
+      h *= 0x9E3779B97F4A7C15ull;  // avalanche the folded bits
+      h ^= h >> 29;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const std::string> payload;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used. The map owns iterators into the list.
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+  };
+
+  Shard& shard_for(const CacheKey& key) {
+    return *shards_[shard_of(key)];
+  }
+
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Always-on relaxed counters (the daemon serves `stats` with telemetry
+  // off too); `entries` is computed by summing shard sizes on demand.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+};
+
+}  // namespace asimt::serve

@@ -1,0 +1,50 @@
+// Minimal blocking client for the serve protocol: connect to the daemon's
+// unix socket, send request lines, read reply lines. Used by the load
+// generator's connections and by the integration tests; scripts can speak
+// the same protocol with nothing fancier than `nc -U`.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace asimt::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  // Connects to the daemon at `socket_path`. On failure returns false and
+  // leaves the reason in error().
+  bool connect(const std::string& socket_path);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // Sends `line` plus the terminating newline. False on a broken pipe.
+  bool send_line(const std::string& line);
+
+  // Blocks for the next reply line (newline stripped). nullopt on EOF or a
+  // read error — e.g. the daemon drained and closed.
+  std::optional<std::string> recv_line();
+
+  // One request, one reply.
+  std::optional<std::string> roundtrip(const std::string& line) {
+    if (!send_line(line)) return std::nullopt;
+    return recv_line();
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last returned line
+  std::string error_;
+};
+
+}  // namespace asimt::serve

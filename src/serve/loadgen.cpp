@@ -1,0 +1,293 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "obs/manifest.h"
+#include "serve/client.h"
+#include "telemetry/json.h"
+
+namespace asimt::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// SplitMix64: the repo's standard seed-expansion PRNG (check/rng.h uses the
+// same construction). Deterministic across platforms.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  // Uniform double in (0, 1] — never 0, so -log() is finite.
+  double next_unit() {
+    return (static_cast<double>(next() >> 11) + 1.0) / 9007199254740993.0;
+  }
+};
+
+// The deterministic workload pool: small countdown kernels whose loop bodies
+// differ enough that each assembles to a distinct instruction image (its own
+// cache entry). Generated, not loaded from disk, so the loadgen needs no
+// fixture files and every invocation agrees on the pool.
+std::vector<std::string> make_program_pool() {
+  std::vector<std::string> pool;
+  for (int variant = 0; variant < 6; ++variant) {
+    std::string text = ".text\nstart:\n";
+    text += "  li $t0, " + std::to_string(17 + 11 * variant) + "\n";
+    text += "  li $t1, 0\n";
+    text += "loop:\n";
+    for (int op = 0; op <= variant; ++op) {
+      text += "  addiu $t1, $t1, " + std::to_string(3 + op) + "\n";
+    }
+    text += "  addiu $t0, $t0, -1\n";
+    text += "  bnez $t0, loop\n";
+    text += "  halt\n";
+    pool.push_back(std::move(text));
+  }
+  return pool;
+}
+
+// Requests are pre-rendered minus the id ("body" = everything after the id
+// field), so the per-send cost is one integer format + two appends, not a
+// JSON escape of the program text.
+std::vector<std::string> make_request_bodies() {
+  std::vector<std::string> bodies;
+  const std::vector<std::string> pool = make_program_pool();
+  for (const std::string& text : pool) {
+    for (int k = 4; k <= 6; ++k) {
+      bodies.push_back(",\"op\":\"encode\",\"text\":\"" + json::escape(text) +
+                       "\",\"k\":" + std::to_string(k) + "}");
+    }
+  }
+  // One verify body per program (k=5) keeps the decode path in the mix.
+  for (const std::string& text : pool) {
+    bodies.push_back(",\"op\":\"verify\",\"text\":\"" + json::escape(text) +
+                     "\",\"k\":5}");
+  }
+  return bodies;
+}
+
+struct ConnResult {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t errors = 0;
+  bool connect_failed = false;
+  std::vector<double> latencies_ms;
+  Clock::time_point last_reply{};
+};
+
+// One loadgen connection: a sender thread pacing the open-loop schedule and
+// a receiver thread matching FIFO replies to their scheduled send times.
+void run_connection(const LoadgenOptions& options, unsigned conn_index,
+                    const std::vector<std::string>& bodies,
+                    Clock::time_point start, ConnResult& result) {
+  Client client;
+  if (!client.connect(options.socket_path)) {
+    result.connect_failed = true;
+    return;
+  }
+  const double per_conn_rate =
+      options.rate / static_cast<double>(std::max(1u, options.conns));
+  const double mean_gap_s = 1.0 / std::max(1e-6, per_conn_rate);
+
+  std::mutex inflight_mu;
+  std::deque<Clock::time_point> inflight;  // scheduled send time, FIFO
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<bool> sender_done{false};
+
+  std::thread receiver([&] {
+    for (;;) {
+      const std::uint64_t target = sent.load(std::memory_order_acquire);
+      if (result.received == target) {
+        if (sender_done.load(std::memory_order_acquire)) break;
+        // All outstanding replies drained but the sender is still pacing:
+        // yield briefly instead of blocking on a reply that is not due.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      const std::optional<std::string> reply = client.recv_line();
+      if (!reply) break;  // daemon went away; remaining requests are lost
+      const Clock::time_point now = Clock::now();
+      Clock::time_point scheduled;
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu);
+        scheduled = inflight.front();
+        inflight.pop_front();
+      }
+      ++result.received;
+      result.last_reply = now;
+      result.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(now - scheduled).count());
+      if (reply->find("\"ok\":true") == std::string::npos) ++result.errors;
+    }
+  });
+
+  SplitMix64 rng{options.seed ^ (0x9E3779B97F4A7C15ull * (conn_index + 1))};
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.seconds));
+  Clock::time_point scheduled = start;
+  std::uint64_t seq = 0;
+  for (;;) {
+    scheduled += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(-std::log(rng.next_unit()) * mean_gap_s));
+    if (scheduled >= deadline) break;
+    // Open loop: sleep until the *scheduled* instant regardless of how the
+    // previous request fared, then stamp latency from that instant.
+    std::this_thread::sleep_until(scheduled);
+    const std::uint64_t pick = rng.next();
+    const std::string& body = bodies[pick % bodies.size()];
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(conn_index) * 1'000'000'000ull + seq++;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu);
+      inflight.push_back(scheduled);
+    }
+    if (!client.send_line("{\"id\":" + std::to_string(id) + body)) {
+      std::lock_guard<std::mutex> lock(inflight_mu);
+      inflight.pop_back();
+      break;
+    }
+    sent.fetch_add(1, std::memory_order_release);
+  }
+  sender_done.store(true, std::memory_order_release);
+  receiver.join();
+  result.sent = sent.load(std::memory_order_relaxed);
+  client.close();
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+json::Value stats_row(const std::string& name, double median,
+                      std::uint64_t count) {
+  json::Value stats = json::Value::object();
+  stats.set("median", median);
+  stats.set("count", static_cast<long long>(count));
+  json::Value row = json::Value::object();
+  row.set("name", name);
+  row.set("stats", std::move(stats));
+  return row;
+}
+
+}  // namespace
+
+LoadgenReport run_loadgen(const LoadgenOptions& options) {
+  const std::vector<std::string> bodies = make_request_bodies();
+  const unsigned conns = std::max(1u, options.conns);
+  std::vector<ConnResult> results(conns);
+  // A common start instant slightly in the future so every connection's
+  // schedule begins together (connection setup cost stays off the clock).
+  const Clock::time_point start =
+      Clock::now() + std::chrono::milliseconds(20);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (unsigned c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      run_connection(options, c, bodies, start, results[c]);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LoadgenReport report;
+  std::vector<double> latencies;
+  Clock::time_point last_reply = start;
+  for (const ConnResult& result : results) {
+    report.sent += result.sent;
+    report.received += result.received;
+    report.errors += result.errors;
+    if (result.connect_failed) ++report.connect_failures;
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+    if (result.received > 0 && result.last_reply > last_reply) {
+      last_reply = result.last_reply;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.elapsed_seconds =
+      std::chrono::duration<double>(last_reply - start).count();
+  report.throughput_rps =
+      report.elapsed_seconds > 0.0
+          ? static_cast<double>(report.received) / report.elapsed_seconds
+          : 0.0;
+  report.p50_ms = percentile(latencies, 0.50);
+  report.p90_ms = percentile(latencies, 0.90);
+  report.p99_ms = percentile(latencies, 0.99);
+  report.p999_ms = percentile(latencies, 0.999);
+  report.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (const double v : latencies) sum += v;
+    report.mean_ms = sum / static_cast<double>(latencies.size());
+  }
+  return report;
+}
+
+json::Value loadgen_artifact(const LoadgenOptions& options,
+                             const LoadgenReport& report) {
+  json::Value doc = json::Value::object();
+  doc.set("schema_version", 2);
+  doc.set("bench", "serve_loadgen");
+  json::Value opts = json::Value::object();
+  opts.set("conns", options.conns);
+  opts.set("rate", options.rate);
+  opts.set("seconds", options.seconds);
+  opts.set("seed", options.seed);
+  doc.set("options", std::move(opts));
+  json::Value summary = json::Value::object();
+  summary.set("sent", report.sent);
+  summary.set("received", report.received);
+  summary.set("errors", report.errors);
+  summary.set("connect_failures", report.connect_failures);
+  summary.set("elapsed_seconds", report.elapsed_seconds);
+  summary.set("throughput_rps", report.throughput_rps);
+  doc.set("summary", std::move(summary));
+  json::Value rows = json::Value::array();
+  rows.push_back(stats_row("latency/p50", report.p50_ms, report.received));
+  rows.push_back(stats_row("latency/p90", report.p90_ms, report.received));
+  rows.push_back(stats_row("latency/p99", report.p99_ms, report.received));
+  rows.push_back(stats_row("latency/p999", report.p999_ms, report.received));
+  // Throughput in gate-friendly lower-is-better form: ns per request. The
+  // human-readable requests/second lives in "summary".
+  rows.push_back(stats_row(
+      "req_time_ns",
+      report.throughput_rps > 0.0 ? 1e9 / report.throughput_rps : 0.0,
+      report.received));
+  doc.set("benchmarks", std::move(rows));
+  obs::embed_manifest(doc, obs::ManifestFields::kFull);
+  return doc;
+}
+
+std::string format_report(const LoadgenReport& report) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "sent %llu  received %llu  errors %llu  connect_failures %llu\n"
+                "elapsed %.3f s  throughput %.0f req/s\n"
+                "latency ms  p50 %.3f  p90 %.3f  p99 %.3f  p99.9 %.3f  "
+                "max %.3f  mean %.3f\n",
+                static_cast<unsigned long long>(report.sent),
+                static_cast<unsigned long long>(report.received),
+                static_cast<unsigned long long>(report.errors),
+                static_cast<unsigned long long>(report.connect_failures),
+                report.elapsed_seconds, report.throughput_rps, report.p50_ms,
+                report.p90_ms, report.p99_ms, report.p999_ms, report.max_ms,
+                report.mean_ms);
+  return buffer;
+}
+
+}  // namespace asimt::serve

@@ -1,0 +1,67 @@
+// Open-loop load generator for the serve daemon (`asimt loadgen`).
+//
+// Models the arrival process of independent clients the way mutated-style
+// load generators do: each connection draws exponential inter-arrival gaps
+// from a seeded PRNG and sends at those *scheduled* instants, never waiting
+// for the previous reply. Latency is measured from the scheduled send time,
+// so a server that stalls accumulates the queueing delay of every request
+// that should have been sent meanwhile — the open-loop property that makes
+// tail percentiles honest (no coordinated omission).
+//
+// The request mix is deterministic in (seed, conns, rate, seconds): a fixed
+// pool of generated workloads, each request choosing op/program/k from the
+// per-connection PRNG stream. Identical invocations replay identical
+// request sequences, which is what lets CI assert on the artifact.
+//
+// Results are reported as a schema-v2 artifact ("bench": "serve_loadgen")
+// whose rows carry stats.median like every other bench artifact, so
+// `tools/benchdiff --trajectory` gates serve latency exactly like compute
+// benches: latency/p50|p90|p99|p999 in milliseconds, plus req_time_ns
+// (1e9 / throughput — lower-better, the gate-friendly form of throughput).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace asimt::serve {
+
+struct LoadgenOptions {
+  std::string socket_path;
+  unsigned conns = 4;
+  double rate = 2000.0;   // total target requests/second across connections
+  double seconds = 2.0;   // send window; receive drains past it
+  std::uint64_t seed = 42;
+};
+
+struct LoadgenReport {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t errors = 0;        // replies with "ok":false
+  std::uint64_t connect_failures = 0;
+  double elapsed_seconds = 0.0;    // first scheduled send to last reply
+  double throughput_rps = 0.0;     // received / elapsed
+  // Latency percentiles over all received replies, milliseconds.
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_ms = 0.0;
+
+  bool ok() const { return connect_failures == 0 && errors == 0 && received > 0; }
+};
+
+// Runs the load and blocks until every in-flight reply is drained.
+LoadgenReport run_loadgen(const LoadgenOptions& options);
+
+// The schema-v2 artifact for `report` (manifest embedded, kFull fields).
+json::Value loadgen_artifact(const LoadgenOptions& options,
+                             const LoadgenReport& report);
+
+// Console summary table.
+std::string format_report(const LoadgenReport& report);
+
+}  // namespace asimt::serve

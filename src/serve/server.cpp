@@ -1,0 +1,274 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "telemetry/metrics.h"
+
+namespace asimt::serve {
+
+namespace {
+
+// Writes all of `data`, riding out EINTR and short writes. MSG_NOSIGNAL
+// turns a peer that vanished mid-reply into EPIPE instead of fatal SIGPIPE
+// (the daemon must outlive any one client — docs/SERVING.md).
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)), service_(options_.service) {}
+
+Server::~Server() {
+  notify_stop();
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto& connection : connections_) {
+      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+  for (auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+    if (connection->fd >= 0) ::close(connection->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+bool Server::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    error_ = "socket path too long: " + options_.socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    error_ = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  // The wake pipe must never block the signal handler's single-byte write.
+  ::fcntl(wake_write_fd_, F_SETFL, O_NONBLOCK);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A stale socket file from a crashed daemon refuses bind; connect() tells
+  // a live server (ECONNREFUSED-free) apart from a leftover inode.
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (errno == EADDRINUSE) {
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      const bool alive =
+          probe >= 0 && ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                                  sizeof(addr)) == 0;
+      if (probe >= 0) ::close(probe);
+      if (alive) {
+        error_ = "another server is already listening on " +
+                 options_.socket_path;
+        return false;
+      }
+      ::unlink(options_.socket_path.c_str());
+      if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        error_ = "bind " + options_.socket_path + ": " + std::strerror(errno);
+        return false;
+      }
+    } else {
+      error_ = "bind " + options_.socket_path + ": " + std::strerror(errno);
+      return false;
+    }
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t Server::run() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_read_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("poll: ") + std::strerror(errno);
+      break;
+    }
+    if (fds[1].revents != 0) break;  // notify_stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      error_ = std::string("accept: ") + std::strerror(errno);
+      break;
+    }
+    ++connections_served_;
+    telemetry::count("serve.connections");
+    auto connection = std::make_unique<Connection>();
+    connection->fd = client;
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+    reap_finished_connections();
+  }
+
+  // Graceful drain: no new connections, then unblock every live reader.
+  // SHUT_RD makes a blocked recv() return 0 (protocol EOF) while leaving
+  // the write side open, so in-flight replies still reach their client.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto& connection : connections_) {
+      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+  for (auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  return connections_served_;
+}
+
+void Server::notify_stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    // Async-signal-safe; a full pipe already guarantees a wakeup.
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Server::handle_connection(Connection* connection) {
+  const int fd = connection->fd;
+  std::string buffer;
+  char chunk[4096];
+  // A single line may legitimately reach max_text_bytes (the program text
+  // is JSON-escaped inline); beyond the service's own guard we only bound
+  // the buffer enough to keep a garbage-spewing client from ballooning it.
+  const std::size_t max_line =
+      service_.options().max_text_bytes * 2 + (1 << 16);
+  bool overlong = false;
+
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // client reset; nothing sensible left to do
+    }
+    if (n == 0) break;  // EOF: client done (or drain shut the read side)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         open && nl != std::string::npos; nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (overlong) {
+        // The tail of a line we already rejected: swallow up to its newline
+        // and resynchronize on the next line.
+        overlong = false;
+        continue;
+      }
+      if (line.empty()) continue;  // blank keep-alives are fine
+      const std::string reply = service_.handle_line(line) + "\n";
+      // send_all failing means the client hung up mid-reply (EPIPE): drop
+      // the connection, never the process.
+      open = send_all(fd, reply.data(), reply.size());
+    }
+    buffer.erase(0, start);
+    if (open && buffer.size() > max_line) {
+      // No newline within the budget: reject once, then keep discarding
+      // input until the next newline so the stream resynchronizes (one
+      // oversized line gets exactly one error reply, however many reads it
+      // spans).
+      if (!overlong) {
+        overlong = true;
+        const std::string reply =
+            service_.error_reply("bad_request", "request line too large") +
+            "\n";
+        open = send_all(fd, reply.data(), reply.size());
+      }
+      buffer.clear();
+    }
+  }
+  ::close(fd);
+  connection->fd = -1;
+  connection->done.store(true, std::memory_order_release);
+}
+
+void Server::reap_finished_connections() {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire) &&
+        (*it)->thread.joinable()) {
+      (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+namespace {
+
+std::atomic<Server*> g_signal_server{nullptr};
+
+void stop_signal_handler(int) {
+  if (Server* server = g_signal_server.load(std::memory_order_acquire)) {
+    server->notify_stop();
+  }
+}
+
+}  // namespace
+
+void install_stop_signal_handlers(Server* server) {
+  g_signal_server.store(server, std::memory_order_release);
+  struct sigaction action {};
+  if (server != nullptr) {
+    action.sa_handler = stop_signal_handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: poll() must return EINTR
+  } else {
+    action.sa_handler = SIG_DFL;
+  }
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace asimt::serve

@@ -1,0 +1,91 @@
+// `asimt serve`: the long-lived encoding daemon.
+//
+// Listens on a unix-domain socket and runs the newline-delimited JSON
+// protocol of serve/service.h: one request per line in, one reply per line
+// out, any number of requests pipelined per connection. Each accepted
+// connection gets a handler thread; the encode work inside a request fans
+// out over the shared parallel pool (parallel::default_pool()), so one big
+// program saturates the cores while many small requests interleave.
+//
+// Shutdown contract (tested by tests/serve/server_test.cpp and the CLI
+// smoke lane): SIGINT/SIGTERM — delivered to notify_stop(), which is
+// async-signal-safe — triggers a graceful drain: stop accepting, unlink the
+// socket path, shut down the read side of every live connection so blocked
+// reads see EOF, let in-flight replies finish, join all handler threads,
+// and return from run() normally. Clients with requests in flight get their
+// replies; clients that connect after the drain starts are refused.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace asimt::serve {
+
+struct ServeOptions {
+  std::string socket_path;
+  ServiceOptions service;
+  // Accept backlog; connections beyond it queue in the kernel.
+  int backlog = 64;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the socket. Returns false (with a message in error()) when the
+  // path is unusable — already bound by a live server, too long for
+  // sockaddr_un, or in an unwritable directory.
+  bool start();
+
+  // Accept-and-serve loop; blocks until notify_stop() (or a fatal accept
+  // error). Returns the number of connections served.
+  std::uint64_t run();
+
+  // Requests a graceful drain. Async-signal-safe (one write() to a pipe);
+  // callable from any thread or from a signal handler.
+  void notify_stop();
+
+  const std::string& error() const { return error_; }
+  Service& service() { return service_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void handle_connection(Connection* connection);
+  void reap_finished_connections();
+
+  ServeOptions options_;
+  Service service_;
+  std::string error_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;   // self-pipe: signal handler writes,
+  int wake_write_fd_ = -1;  // accept loop polls the read end
+  std::atomic<bool> stopping_{false};
+  std::mutex connections_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+  std::uint64_t connections_served_ = 0;
+};
+
+// Installs SIGINT/SIGTERM handlers that call notify_stop() on `server`
+// (pass nullptr to uninstall). Only one server can be signal-driven at a
+// time — the CLI use case.
+void install_stop_signal_handlers(Server* server);
+
+}  // namespace asimt::serve

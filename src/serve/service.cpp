@@ -1,0 +1,390 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bitstream/bitseq.h"
+#include "core/chain_encoder.h"
+#include "isa/assembler.h"
+#include "sim/bus.h"
+#include "sim/cpu.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace asimt::serve {
+
+namespace {
+
+// Thrown by request handlers; turned into the structured error reply by
+// handle_line. `kind` is one of the protocol's error kinds.
+struct RequestError {
+  const char* kind;
+  std::string message;
+};
+
+[[noreturn]] void bad_request(std::string message) {
+  throw RequestError{"bad_request", std::move(message)};
+}
+
+// ---------------------------------------------------------------------------
+// Request decoding
+
+struct EncodeParams {
+  std::string text;
+  int k = 5;
+  core::ChainStrategy strategy = core::ChainStrategy::kOptimalDp;
+  std::uint8_t strategy_id = 0;       // 0 = dp, 1 = greedy
+  std::uint8_t transform_set_id = 0;  // 0 = paper, 1 = all, 2 = invertible
+  std::span<const core::Transform> allowed = core::kPaperSubset;
+  const char* strategy_name = "dp";
+  const char* transforms_name = "paper";
+};
+
+const json::Value* find_member(const json::Value& request, std::string_view key) {
+  return request.find(key);
+}
+
+std::string require_text(const json::Value& request, const ServiceOptions& options) {
+  const json::Value* text = find_member(request, "text");
+  if (!text) bad_request("missing required field 'text'");
+  if (!text->is_string()) bad_request("field 'text' must be a string");
+  if (text->as_string().size() > options.max_text_bytes) {
+    bad_request("field 'text' exceeds " +
+                std::to_string(options.max_text_bytes) + " bytes");
+  }
+  return text->as_string();
+}
+
+EncodeParams decode_encode_params(const json::Value& request,
+                                  const ServiceOptions& options) {
+  EncodeParams params;
+  params.text = require_text(request, options);
+  if (const json::Value* k = find_member(request, "k")) {
+    if (!k->is_int()) bad_request("field 'k' must be an integer");
+    const long long value = k->as_int();
+    if (value < options.min_k || value > options.max_k) {
+      bad_request("field 'k' must be in [" + std::to_string(options.min_k) +
+                  ", " + std::to_string(options.max_k) + "], got " +
+                  std::to_string(value));
+    }
+    params.k = static_cast<int>(value);
+  }
+  if (const json::Value* strategy = find_member(request, "strategy")) {
+    if (!strategy->is_string()) bad_request("field 'strategy' must be a string");
+    const std::string& name = strategy->as_string();
+    if (name == "dp") {
+      params.strategy = core::ChainStrategy::kOptimalDp;
+      params.strategy_id = 0;
+      params.strategy_name = "dp";
+    } else if (name == "greedy") {
+      params.strategy = core::ChainStrategy::kGreedy;
+      params.strategy_id = 1;
+      params.strategy_name = "greedy";
+    } else {
+      bad_request("field 'strategy' must be 'dp' or 'greedy', got '" + name +
+                  "'");
+    }
+  }
+  if (const json::Value* transforms = find_member(request, "transforms")) {
+    if (!transforms->is_string()) {
+      bad_request("field 'transforms' must be a string");
+    }
+    const std::string& name = transforms->as_string();
+    if (name == "paper") {
+      params.allowed = core::kPaperSubset;
+      params.transform_set_id = 0;
+      params.transforms_name = "paper";
+    } else if (name == "all") {
+      params.allowed = core::kAllTransforms;
+      params.transform_set_id = 1;
+      params.transforms_name = "all";
+    } else if (name == "invertible") {
+      params.allowed = core::kInvertibleSubset;
+      params.transform_set_id = 2;
+      params.transforms_name = "invertible";
+    } else {
+      bad_request("field 'transforms' must be 'paper', 'all' or 'invertible', "
+                  "got '" + name + "'");
+    }
+  }
+  return params;
+}
+
+isa::Program assemble_request(const std::string& text) {
+  try {
+    return isa::assemble(text);
+  } catch (const isa::AssemblyError& e) {
+    throw RequestError{"assembly", e.what()};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Content addressing
+
+// FNV-1a 64-bit over the packed bit-line words — the program's *content* in
+// exactly the representation the encoder consumes, so textual differences
+// that assemble to the same image (comments, label names, spacing) share one
+// cache entry.
+class Fnv1a {
+ public:
+  void mix_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xFFu;
+      hash_ *= 0x100000001B3ull;
+    }
+  }
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+std::uint64_t hash_bit_lines(const std::vector<bits::BitSeq>& lines) {
+  Fnv1a fnv;
+  fnv.mix_u64(lines.size());
+  for (const bits::BitSeq& line : lines) {
+    fnv.mix_u64(line.size());
+    for (const std::uint64_t word : line.words()) fnv.mix_u64(word);
+  }
+  return fnv.digest();
+}
+
+constexpr std::uint8_t kOpEncode = 1;
+constexpr std::uint8_t kOpVerify = 2;
+
+CacheKey make_key(const std::vector<bits::BitSeq>& lines,
+                  const EncodeParams& params, std::uint8_t op) {
+  CacheKey key;
+  key.content_hash = hash_bit_lines(lines);
+  key.k = params.k;
+  key.transform_set = params.transform_set_id;
+  key.strategy = params.strategy_id;
+  key.op = op;
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// Result payloads (the cached, byte-identity-critical part of a reply)
+
+json::Value encode_summary(const isa::Program& program,
+                           const EncodeParams& params, long long original,
+                           long long encoded) {
+  json::Value result = json::Value::object();
+  result.set("instructions", static_cast<long long>(program.text.size()));
+  result.set("k", params.k);
+  result.set("strategy", params.strategy_name);
+  result.set("transforms", params.transforms_name);
+  result.set("original_transitions", original);
+  result.set("encoded_transitions", encoded);
+  result.set("saved_transitions", original - encoded);
+  result.set("reduction_percent",
+             original == 0 ? 0.0
+                           : 100.0 * static_cast<double>(original - encoded) /
+                                 static_cast<double>(original));
+  return result;
+}
+
+std::string compute_encode_payload(const isa::Program& program,
+                                   const std::vector<bits::BitSeq>& lines,
+                                   const EncodeParams& params) {
+  core::ChainOptions options;
+  options.block_size = params.k;
+  options.allowed = params.allowed;
+  options.strategy = params.strategy;
+  const core::ChainEncoder encoder(options);
+  long long original = 0;
+  long long encoded = 0;
+  for (const bits::BitSeq& line : lines) original += line.transitions();
+  for (const core::EncodedChain& chain : encoder.encode_many(lines)) {
+    encoded += chain.stored.transitions();
+  }
+  return encode_summary(program, params, original, encoded).dump();
+}
+
+std::string compute_verify_payload(const isa::Program& program,
+                                   const std::vector<bits::BitSeq>& lines,
+                                   const EncodeParams& params) {
+  core::ChainOptions options;
+  options.block_size = params.k;
+  options.allowed = params.allowed;
+  options.strategy = params.strategy;
+  const core::ChainEncoder encoder(options);
+  const std::vector<core::EncodedChain> chains = encoder.encode_many(lines);
+  long long original = 0;
+  long long encoded = 0;
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    original += lines[i].transitions();
+    encoded += chains[i].stored.transitions();
+    if (!(core::decode_chain(chains[i]) == lines[i])) ++mismatches;
+  }
+  json::Value result = encode_summary(program, params, original, encoded);
+  result.set("lines_checked", static_cast<long long>(lines.size()));
+  result.set("roundtrip_ok", mismatches == 0);
+  result.set("roundtrip_mismatches", static_cast<long long>(mismatches));
+  return result.dump();
+}
+
+std::string compute_profile_payload(const json::Value& request,
+                                    const ServiceOptions& options) {
+  const std::string text = require_text(request, options);
+  std::uint64_t max_steps = 1'000'000;
+  if (const json::Value* steps = find_member(request, "max_steps")) {
+    if (!steps->is_int() || steps->as_int() <= 0) {
+      bad_request("field 'max_steps' must be a positive integer");
+    }
+    max_steps = static_cast<std::uint64_t>(steps->as_int());
+    if (max_steps > options.max_profile_steps) {
+      bad_request("field 'max_steps' exceeds the server cap of " +
+                  std::to_string(options.max_profile_steps));
+    }
+  }
+  const isa::Program program = assemble_request(text);
+  sim::Memory memory;
+  memory.load_program(program);
+  sim::Cpu cpu(memory);
+  cpu.state().pc = program.entry();
+  sim::BusMonitor bus(/*per_line=*/false);
+  try {
+    cpu.run(max_steps,
+            [&](std::uint32_t, std::uint32_t word) { bus.observe(word); });
+  } catch (const std::exception& e) {
+    throw RequestError{"exec", e.what()};
+  }
+  json::Value result = json::Value::object();
+  result.set("instructions",
+             static_cast<long long>(cpu.state().instructions));
+  result.set("halted", cpu.state().halted);
+  result.set("bus_transitions", bus.total_transitions());
+  result.set("transitions_per_fetch",
+             static_cast<double>(bus.total_transitions()) /
+                 static_cast<double>(
+                     std::max<std::uint64_t>(1, bus.words_observed())));
+  return result.dump();
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {}
+
+std::string Service::error_reply(const char* kind, const std::string& message) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::count("serve.requests");
+  telemetry::count("serve.errors");
+  json::Value error = json::Value::object();
+  error.set("kind", kind);
+  error.set("message", message);
+  return "{\"id\":null,\"ok\":false,\"error\":" + error.dump() + "}";
+}
+
+std::string Service::handle_line(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::count("serve.requests");
+
+  // The id is echoed into every reply, including error replies, so clients
+  // multiplexing one connection can match responses. Until it is decoded the
+  // reply carries "id":null.
+  std::string id_dump = "null";
+  const char* error_kind = nullptr;
+  std::string error_message;
+  std::string payload;
+
+  try {
+    if (line.size() > options_.max_text_bytes + 4096) {
+      throw RequestError{"bad_request", "request line too large"};
+    }
+    json::Value request;
+    try {
+      request = json::parse(line);
+    } catch (const json::ParseError& e) {
+      throw RequestError{"parse", e.what()};
+    }
+    if (!request.is_object()) {
+      throw RequestError{"parse", "request must be a JSON object"};
+    }
+    if (const json::Value* id = request.find("id")) {
+      if (!id->is_int() && !id->is_string() && !id->is_null()) {
+        bad_request("field 'id' must be an integer or a string");
+      }
+      id_dump = id->dump();
+    }
+    const json::Value* op = request.find("op");
+    if (!op) bad_request("missing required field 'op'");
+    if (!op->is_string()) bad_request("field 'op' must be a string");
+    const std::string& name = op->as_string();
+
+    if (name == "ping") {
+      payload = "{\"pong\":true}";
+    } else if (name == "encode" || name == "verify") {
+      const std::uint8_t op_id = name == "encode" ? kOpEncode : kOpVerify;
+      const EncodeParams params = decode_encode_params(request, options_);
+      const isa::Program program = assemble_request(params.text);
+      const std::vector<bits::BitSeq> lines =
+          bits::vertical_lines(program.text);
+      const CacheKey key = make_key(lines, params, op_id);
+      if (const std::shared_ptr<const std::string> hit = cache_.lookup(key)) {
+        payload = *hit;
+      } else {
+        std::string cold = op_id == kOpEncode
+                               ? compute_encode_payload(program, lines, params)
+                               : compute_verify_payload(program, lines, params);
+        // insert() returns the resident payload: if another worker computed
+        // the same key first, its bytes win for every caller.
+        payload = *cache_.insert(key, std::move(cold));
+      }
+    } else if (name == "profile") {
+      payload = compute_profile_payload(request, options_);
+    } else if (name == "stats") {
+      const CacheStats stats = cache_.stats();
+      json::Value result = json::Value::object();
+      result.set("requests", requests());
+      result.set("errors", errors());
+      json::Value cache = json::Value::object();
+      cache.set("hits", stats.hits);
+      cache.set("misses", stats.misses);
+      cache.set("evictions", stats.evictions);
+      cache.set("insertions", stats.insertions);
+      cache.set("entries", stats.entries);
+      cache.set("capacity", static_cast<long long>(cache_.capacity()));
+      cache.set("shards", cache_.shard_count());
+      result.set("cache", std::move(cache));
+      payload = result.dump();
+    } else {
+      bad_request("unknown op '" + name + "'");
+    }
+  } catch (const RequestError& e) {
+    error_kind = e.kind;
+    error_message = e.message;
+  } catch (const std::exception& e) {
+    error_kind = "internal";
+    error_message = e.what();
+  } catch (...) {
+    error_kind = "internal";
+    error_message = "unknown error";
+  }
+
+  if (error_kind) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count("serve.errors");
+    // Build the error object through the JSON layer so arbitrary exception
+    // text is always escaped correctly.
+    json::Value error = json::Value::object();
+    error.set("kind", error_kind);
+    error.set("message", error_message);
+    return "{\"id\":" + id_dump + ",\"ok\":false,\"error\":" + error.dump() +
+           "}";
+  }
+  // Replies are spliced as strings around the cached payload, so a cache hit
+  // returns exactly the bytes the cold encode produced.
+  return "{\"id\":" + id_dump + ",\"ok\":true,\"result\":" + payload + "}";
+}
+
+}  // namespace asimt::serve

@@ -1,0 +1,84 @@
+// Request dispatch for the encoding daemon: newline-delimited JSON in,
+// newline-delimited JSON out, no sockets.
+//
+// This layer is everything `asimt serve` does between reading a line and
+// writing one, factored away from file descriptors so tests (and the
+// determinism contract) can drive it directly. One request is one JSON
+// object on one line:
+//
+//   {"id": 1, "op": "encode", "text": ".text\n...", "k": 5,
+//    "strategy": "dp", "transforms": "paper"}
+//
+// Operations: "ping", "encode", "verify", "profile", "stats", "metrics"
+// (docs/SERVING.md has the full schema). Every reply echoes the request id:
+//
+//   {"id": 1, "ok": true, "result": {...}}
+//   {"id": null, "ok": false, "error": {"kind": "parse", "message": "..."}}
+//
+// Contracts (enforced by tests/serve/service_test.cpp):
+//   - A malformed line NEVER crashes or closes the stream: it produces a
+//     structured error reply with a kind from {parse, bad_request,
+//     assembly, exec, internal} — the PR 5 structured-error contract across
+//     a process boundary.
+//   - Replies are byte-identical for byte-identical requests, at any
+//     --jobs count and any cache state. Cache hits return the exact bytes
+//     the cold encode produced (replies carry no timestamps, no manifest
+//     volatile fields, no cache flags).
+//
+// encode/verify results are cached content-addressed: the key hashes the
+// packed vertical bit-line words of the assembled program together with
+// (k, transform set, strategy, op) — see serve/cache.h.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/cache.h"
+
+namespace asimt::serve {
+
+struct ServiceOptions {
+  std::size_t cache_capacity = 4096;
+  unsigned cache_shards = 16;
+  // Request guards: a line (and the program text inside it) larger than
+  // this is a bad_request, not an allocation storm.
+  std::size_t max_text_bytes = 1 << 20;
+  std::uint64_t max_profile_steps = 100'000'000;
+  int min_k = 2;
+  int max_k = 12;  // choice tables are 2^k; keep the solver bounded
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  // Handles one request line (no trailing newline) and returns the reply
+  // line (no trailing newline). Never throws.
+  std::string handle_line(const std::string& line);
+
+  // A structured error reply (id null) minted outside handle_line — the
+  // server uses this for transport-level rejections (e.g. an unterminated
+  // line that outgrew the buffer budget). Counted as a request + error so
+  // `stats` sees every reply the daemon ever sent.
+  std::string error_reply(const char* kind, const std::string& message);
+
+  // Counters for the `stats` op and the graceful-shutdown summary.
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+  const ShardedCache& cache() const { return cache_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  ServiceOptions options_;
+  ShardedCache cache_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace asimt::serve

@@ -32,4 +32,58 @@ inline std::optional<int> parse_int_in(std::string_view text, int min, int max) 
   return v;
 }
 
+// Strict assembler-style integer literal: optional sign, then a base prefix
+// ("0x"/"0X" hex, leading "0" octal, else decimal) — the strtoll(,,0)
+// convention, minus strtoll's two silent failure modes: trailing garbage
+// ("8x") and saturating overflow ("99999999999999999999" quietly becoming
+// LLONG_MAX, which then truncates into an instruction word with no
+// diagnostic). The whole string must parse and fit in long long.
+inline std::optional<long long> parse_integer_literal(std::string_view text) {
+  std::string_view rest = text;
+  bool negative = false;
+  if (!rest.empty() && (rest.front() == '+' || rest.front() == '-')) {
+    negative = rest.front() == '-';
+    rest.remove_prefix(1);
+  }
+  if (rest.empty()) return std::nullopt;
+  int base = 10;
+  if (rest.size() > 1 && rest.front() == '0' &&
+      (rest[1] == 'x' || rest[1] == 'X')) {
+    base = 16;
+    rest.remove_prefix(2);
+    if (rest.empty()) return std::nullopt;
+  } else if (rest.size() > 1 && rest.front() == '0') {
+    base = 8;
+  }
+  // Parse the magnitude unsigned so -0x80000000-style literals keep working,
+  // then apply the sign with an explicit range check.
+  unsigned long long magnitude = 0;
+  const char* const last = rest.data() + rest.size();
+  const auto [ptr, ec] = std::from_chars(rest.data(), last, magnitude, base);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  if (negative) {
+    if (magnitude > 0x8000000000000000ull) return std::nullopt;
+    return static_cast<long long>(0ull - magnitude);
+  }
+  if (magnitude > 0x7FFFFFFFFFFFFFFFull) return std::nullopt;
+  return static_cast<long long>(magnitude);
+}
+
+// Strict float literal for .float/li.s operands. Parses as double so a
+// denormal-or-smaller constant quietly flushes toward zero (as the hardware
+// would), but a magnitude beyond float range ("1e99"), junk, or trailing
+// characters is a nullopt — strtof would have silently pinned to +/-inf.
+inline std::optional<float> parse_float_literal(std::string_view text) {
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);  // from_chars rejects '+'
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  if (value > 3.4028234663852886e38 || value < -3.4028234663852886e38) {
+    return std::nullopt;
+  }
+  return static_cast<float>(value);
+}
+
 }  // namespace asimt::util

@@ -294,6 +294,54 @@ TEST(AssemblerErrors, InstructionInDataSection) {
   EXPECT_THROW(assemble(".word 1\n"), AssemblyError);  // .word outside .data
 }
 
+// Strict literal parsing. The pre-fix strtoll/strtof silently saturated:
+// an out-of-range integer literal became LLONG_MAX (then truncated to a
+// plausible-looking word) and an overflowing float became +inf — both
+// assembled "successfully" into a wrong image. Each rejection here fails
+// against that implementation.
+TEST(AssemblerErrors, IntegerLiteralOverflowIsDiagnosedNotSaturated) {
+  EXPECT_THROW(assemble("li $t0, 99999999999999999999\n"), AssemblyError);
+  EXPECT_THROW(assemble(".data\n.word 99999999999999999999\n"), AssemblyError);
+  EXPECT_THROW(assemble("li $t0, 0x1FFFFFFFFFFFFFFFF\n"), AssemblyError);
+  // INT64_MIN itself is fine (magnitude parse + explicit sign).
+  const Program p = assemble("li $t0, -9223372036854775808\n");
+  EXPECT_FALSE(p.text.empty());
+}
+
+TEST(AssemblerErrors, IntegerLiteralJunkIsDiagnosed) {
+  // strtoll would have parsed the prefix and ignored the tail.
+  EXPECT_THROW(assemble("li $t0, 12abc\n"), AssemblyError);
+  EXPECT_THROW(assemble("li $t0, 0x\n"), AssemblyError);
+  EXPECT_THROW(assemble(".data\n.word 1,2,3x\n"), AssemblyError);
+  try {
+    assemble("li $t0, 12abc\n");
+    FAIL() << "expected AssemblyError";
+  } catch (const AssemblyError& e) {
+    EXPECT_EQ(e.line(), 1);  // the diagnostic names the offending line
+  }
+}
+
+TEST(AssemblerErrors, FloatLiteralOverflowAndJunkAreDiagnosed) {
+  // strtof turned 1e99 into +inf and stored a garbage IEEE pattern.
+  EXPECT_THROW(assemble(".data\n.float 1e99\n"), AssemblyError);
+  EXPECT_THROW(assemble(".data\n.float -1e99\n"), AssemblyError);
+  EXPECT_THROW(assemble(".data\n.float 0.5x\n"), AssemblyError);
+  EXPECT_THROW(assemble("li.s $f0, nope\n"), AssemblyError);
+}
+
+TEST(Assembler, StrictLiteralsStillAcceptTheFullDialect) {
+  // Hex, octal, explicit signs, and float forms that must keep working.
+  const Program p = assemble(
+      ".data\n"
+      "vals: .word 0x7FFFFFFF, -0x80000000, 017, +42\n"
+      "fs:   .float 0.375, -1.5e2, +0.25\n"
+      ".text\n"
+      "  li $t0, 0xFF\n"
+      "  li.s $f1, 2.5\n"
+      "  halt\n");
+  EXPECT_EQ(p.data.size(), 4u * 7u);
+}
+
 TEST(Assembler, SymbolLookupThrowsForUnknown) {
   const Program p = assemble("nop\n");
   EXPECT_THROW(p.symbol("missing"), std::out_of_range);

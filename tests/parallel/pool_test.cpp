@@ -176,5 +176,29 @@ TEST(DefaultJobs, JobsOneSkipsThePoolEntirely) {
   set_default_jobs(0);
 }
 
+// ASIMT_JOBS parsing. The pre-fix strtol accepted "8x" as 8 and junk as 0
+// (and 0 then meant "spin up zero workers" downstream) — every rejection
+// case here is a regression test for that.
+TEST(ParseJobsEnv, AcceptsPositiveIntegers) {
+  EXPECT_EQ(parse_jobs_env("1"), 1u);
+  EXPECT_EQ(parse_jobs_env("8"), 8u);
+  EXPECT_EQ(parse_jobs_env("64"), 64u);
+}
+
+TEST(ParseJobsEnv, RejectsTrailingGarbage) {
+  // strtol would have silently returned 8 for all of these.
+  EXPECT_FALSE(parse_jobs_env("8x").has_value());
+  EXPECT_FALSE(parse_jobs_env("8 ").has_value());
+  EXPECT_FALSE(parse_jobs_env("8.5").has_value());
+}
+
+TEST(ParseJobsEnv, RejectsJunkZeroNegativeAndOverflow) {
+  EXPECT_FALSE(parse_jobs_env("").has_value());
+  EXPECT_FALSE(parse_jobs_env("auto").has_value());   // strtol: silent 0
+  EXPECT_FALSE(parse_jobs_env("0").has_value());      // zero workers is junk
+  EXPECT_FALSE(parse_jobs_env("-4").has_value());
+  EXPECT_FALSE(parse_jobs_env("99999999999999").has_value());  // > unsigned
+}
+
 }  // namespace
 }  // namespace asimt::parallel

@@ -1,0 +1,171 @@
+// The sharded content-addressed LRU cache: eviction order, shard
+// distribution, stats accounting, and thread-safety under concurrent
+// hammering (this file runs in the TSan CI lane).
+#include "serve/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace asimt::serve {
+namespace {
+
+CacheKey key_of(std::uint64_t content, int k = 5, std::uint8_t set = 0,
+                std::uint8_t strategy = 0, std::uint8_t op = 1) {
+  CacheKey key;
+  key.content_hash = content;
+  key.k = k;
+  key.transform_set = set;
+  key.strategy = strategy;
+  key.op = op;
+  return key;
+}
+
+TEST(ShardedCache, MissThenHitReturnsInsertedPayload) {
+  ShardedCache cache(16, 1);
+  EXPECT_EQ(cache.lookup(key_of(1)), nullptr);
+  cache.insert(key_of(1), "payload-1");
+  const auto hit = cache.lookup(key_of(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "payload-1");
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ShardedCache, KeyIncludesEveryParameter) {
+  ShardedCache cache(64, 1);
+  cache.insert(key_of(1, 5, 0, 0, 1), "base");
+  EXPECT_EQ(cache.lookup(key_of(1, 6, 0, 0, 1)), nullptr);  // k differs
+  EXPECT_EQ(cache.lookup(key_of(1, 5, 1, 0, 1)), nullptr);  // set differs
+  EXPECT_EQ(cache.lookup(key_of(1, 5, 0, 1, 1)), nullptr);  // strategy differs
+  EXPECT_EQ(cache.lookup(key_of(1, 5, 0, 0, 2)), nullptr);  // op differs
+  EXPECT_EQ(cache.lookup(key_of(2, 5, 0, 0, 1)), nullptr);  // content differs
+  ASSERT_NE(cache.lookup(key_of(1, 5, 0, 0, 1)), nullptr);
+}
+
+TEST(ShardedCache, EvictsLeastRecentlyUsedFirst) {
+  // Single shard, capacity 3: inserting a 4th entry evicts the LRU one.
+  ShardedCache cache(3, 1);
+  cache.insert(key_of(1), "a");
+  cache.insert(key_of(2), "b");
+  cache.insert(key_of(3), "c");
+  // Touch 1 so 2 becomes least recently used.
+  ASSERT_NE(cache.lookup(key_of(1)), nullptr);
+  cache.insert(key_of(4), "d");
+  EXPECT_NE(cache.lookup(key_of(1)), nullptr);
+  EXPECT_EQ(cache.lookup(key_of(2)), nullptr);  // evicted
+  EXPECT_NE(cache.lookup(key_of(3)), nullptr);
+  EXPECT_NE(cache.lookup(key_of(4)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ShardedCache, EvictionIsPerShardInOrder) {
+  ShardedCache cache(8, 1);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    std::string payload = "v";
+    payload += std::to_string(i);
+    cache.insert(key_of(i), std::move(payload));
+  }
+  // Two more evict exactly the two oldest untouched entries, in LRU order.
+  cache.insert(key_of(100), "x");
+  EXPECT_EQ(cache.lookup(key_of(0)), nullptr);
+  cache.insert(key_of(101), "y");
+  EXPECT_EQ(cache.lookup(key_of(1)), nullptr);
+  EXPECT_NE(cache.lookup(key_of(2)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(ShardedCache, InsertRaceKeepsFirstPayload) {
+  ShardedCache cache(16, 1);
+  const auto first = cache.insert(key_of(7), "first");
+  const auto second = cache.insert(key_of(7), "second");
+  // The loser of the race is handed the resident payload so every caller
+  // replies with identical bytes.
+  EXPECT_EQ(*first, "first");
+  EXPECT_EQ(*second, "first");
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ShardedCache, ShardCountRoundsToPowerOfTwo) {
+  EXPECT_EQ(ShardedCache(64, 1).shard_count(), 1u);
+  EXPECT_EQ(ShardedCache(64, 3).shard_count(), 4u);
+  EXPECT_EQ(ShardedCache(64, 16).shard_count(), 16u);
+  EXPECT_EQ(ShardedCache(64, 300).shard_count(), 256u);
+}
+
+TEST(ShardedCache, ContentHashesSpreadAcrossShards) {
+  // Sequential content hashes (the realistic pattern: FNV digests are
+  // pseudorandom, but even adversarially regular keys must spread) should
+  // touch every shard of a 16-shard cache well before 4096 keys.
+  ShardedCache cache(4096, 16);
+  std::set<unsigned> seen;
+  for (std::uint64_t i = 0; i < 4096 && seen.size() < 16; ++i) {
+    seen.insert(cache.shard_of(key_of(i * 0x9E3779B97F4A7C15ull)));
+  }
+  EXPECT_EQ(seen.size(), 16u);
+  // And no shard hogs the distribution: with 4096 pseudorandom keys each of
+  // 16 shards expects 256; allow a generous 3x band.
+  std::vector<int> counts(16, 0);
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    ++counts[cache.shard_of(key_of(i * 0x9E3779B97F4A7C15ull))];
+  }
+  for (const int count : counts) {
+    EXPECT_GT(count, 256 / 3);
+    EXPECT_LT(count, 256 * 3);
+  }
+}
+
+TEST(ShardedCache, PayloadSurvivesEviction) {
+  ShardedCache cache(1, 1);
+  const auto payload = cache.insert(key_of(1), "keep-me");
+  cache.insert(key_of(2), "evictor");
+  EXPECT_EQ(cache.lookup(key_of(1)), nullptr);
+  // The shared_ptr handed out before the eviction still owns the bytes.
+  EXPECT_EQ(*payload, "keep-me");
+}
+
+TEST(ShardedCache, ConcurrentHammeringIsSafeAndConverges) {
+  // 8 threads × mixed lookup/insert over a key space larger than capacity:
+  // exercises eviction under contention. TSan (CI lane) checks the locking;
+  // the assertions check the accounting stays coherent.
+  ShardedCache cache(64, 4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      std::uint64_t state = 0x1234 + static_cast<std::uint64_t>(t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint64_t content = (state >> 33) % 256;
+        const CacheKey key = key_of(content);
+        std::string canonical = "v";
+        canonical += std::to_string(content);
+        if (const auto hit = cache.lookup(key)) {
+          // Payload must always be the canonical bytes for this key.
+          EXPECT_EQ(*hit, canonical);
+        } else {
+          cache.insert(key, std::move(canonical));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(stats.entries, 64u);
+  EXPECT_EQ(stats.entries, stats.insertions - stats.evictions);
+}
+
+}  // namespace
+}  // namespace asimt::serve

@@ -1,0 +1,113 @@
+// The open-loop load generator against a real in-process daemon: the run
+// must drain fully, report sane percentiles, and emit a schema-v2 artifact
+// whose rows benchdiff --trajectory can gate.
+#include "serve/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+#include "telemetry/json.h"
+
+namespace asimt::serve {
+namespace {
+
+class LoadgenFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServeOptions options;
+    options.socket_path =
+        "/tmp/asimt_loadgen_" + std::to_string(::getpid()) + ".sock";
+    server_ = std::make_unique<Server>(options);
+    ASSERT_TRUE(server_->start()) << server_->error();
+    thread_ = std::thread([this] { server_->run(); });
+    loadgen_.socket_path = options.socket_path;
+    loadgen_.conns = 2;
+    loadgen_.rate = 400.0;
+    loadgen_.seconds = 0.5;
+    loadgen_.seed = 12345;
+  }
+
+  void TearDown() override {
+    server_->notify_stop();
+    thread_.join();
+  }
+
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  LoadgenOptions loadgen_;
+};
+
+TEST_F(LoadgenFixture, DrainsEveryRequestWithoutErrors) {
+  const LoadgenReport report = run_loadgen(loadgen_);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.connect_failures, 0u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.received, report.sent);
+  // ~400 req/s for 0.5 s: the Poisson draw should land well inside [50, 600].
+  EXPECT_GT(report.sent, 50u);
+  EXPECT_LT(report.sent, 600u);
+  // Percentiles are ordered and positive.
+  EXPECT_GT(report.p50_ms, 0.0);
+  EXPECT_LE(report.p50_ms, report.p90_ms);
+  EXPECT_LE(report.p90_ms, report.p99_ms);
+  EXPECT_LE(report.p99_ms, report.p999_ms);
+  EXPECT_LE(report.p999_ms, report.max_ms);
+  EXPECT_GT(report.throughput_rps, 0.0);
+  // The request mix repeats a small program pool, so the daemon's cache must
+  // have absorbed most of the work.
+  const CacheStats stats = server_->service().cache().stats();
+  EXPECT_GT(stats.hits, stats.misses);
+}
+
+TEST_F(LoadgenFixture, RequestCountIsSeedDeterministic) {
+  // The schedule and mix derive only from (seed, conns, rate, seconds); the
+  // number of *scheduled* sends must replay exactly.
+  const LoadgenReport first = run_loadgen(loadgen_);
+  const LoadgenReport second = run_loadgen(loadgen_);
+  EXPECT_EQ(first.sent, second.sent);
+  LoadgenOptions other = loadgen_;
+  other.seed = 999;
+  const LoadgenReport reseeded = run_loadgen(other);
+  EXPECT_NE(reseeded.sent, first.sent);
+}
+
+TEST_F(LoadgenFixture, ArtifactIsSchemaV2WithGateableRows) {
+  const LoadgenReport report = run_loadgen(loadgen_);
+  const json::Value doc = loadgen_artifact(loadgen_, report);
+  EXPECT_EQ(doc.at("schema_version").as_int(), 2);
+  EXPECT_EQ(doc.at("bench").as_string(), "serve_loadgen");
+  // Provenance manifest like every bench artifact.
+  EXPECT_NE(doc.at("manifest").find("git_sha"), nullptr);
+  // Rows carry name + stats.median — the exact shape tools/benchdiff reads.
+  const json::Array& rows = doc.at("benchmarks").as_array();
+  ASSERT_EQ(rows.size(), 5u);
+  const char* const expected[] = {"latency/p50", "latency/p90", "latency/p99",
+                                  "latency/p999", "req_time_ns"};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].at("name").as_string(), expected[i]);
+    EXPECT_GE(rows[i].at("stats").at("median").as_double(), 0.0);
+  }
+  EXPECT_EQ(doc.at("summary").at("received").as_int(),
+            static_cast<long long>(report.received));
+  EXPECT_EQ(doc.at("options").at("seed").as_int(), 12345);
+}
+
+TEST(Loadgen, UnreachableSocketFailsFastAndHonestly) {
+  LoadgenOptions options;
+  options.socket_path = "/tmp/asimt_no_such_daemon.sock";
+  options.conns = 2;
+  options.rate = 100.0;
+  options.seconds = 0.1;
+  const LoadgenReport report = run_loadgen(options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.connect_failures, 2u);
+  EXPECT_EQ(report.sent, 0u);
+}
+
+}  // namespace
+}  // namespace asimt::serve

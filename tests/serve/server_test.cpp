@@ -1,0 +1,229 @@
+// Socket-level integration tests for the daemon: request/reply over a real
+// unix socket, pipelining, concurrent clients (TSan lane), transport-level
+// rejection, stale-socket takeover, and the graceful drain contract.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "telemetry/json.h"
+
+namespace asimt::serve {
+namespace {
+
+const char kProgram[] =
+    ".text\\nstart:\\n  li $t0, 9\\nloop:\\n  addiu $t0, $t0, -1\\n"
+    "  bnez $t0, loop\\n  halt\\n";
+
+std::string encode_request(int id) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"op\":\"encode\",\"text\":\"" + std::string(kProgram) +
+         "\",\"k\":5}";
+}
+
+// A unique abstract-enough socket path per test (unix sockets cap at ~100
+// chars, so /tmp, not the build tree).
+std::string test_socket_path(const char* tag) {
+  return "/tmp/asimt_test_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+// Runs a server on its own thread for the duration of one test.
+class ServerFixture {
+ public:
+  explicit ServerFixture(const char* tag, ServeOptions options = {}) {
+    options.socket_path = test_socket_path(tag);
+    server_ = std::make_unique<Server>(std::move(options));
+    started_ = server_->start();
+    if (started_) {
+      thread_ = std::thread([this] { connections_ = server_->run(); });
+    }
+  }
+
+  ~ServerFixture() { stop(); }
+
+  void stop() {
+    if (thread_.joinable()) {
+      server_->notify_stop();
+      thread_.join();
+    }
+  }
+
+  bool started() const { return started_; }
+  Server& server() { return *server_; }
+  const std::string& socket_path() const {
+    return server_->options().socket_path;
+  }
+  std::uint64_t connections() const { return connections_; }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  bool started_ = false;
+  std::uint64_t connections_ = 0;
+};
+
+TEST(Server, AnswersOverTheSocket) {
+  ServerFixture fixture("basic");
+  ASSERT_TRUE(fixture.started()) << fixture.server().error();
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socket_path())) << client.error();
+  const auto reply = client.roundtrip("{\"id\":1,\"op\":\"ping\"}");
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "{\"id\":1,\"ok\":true,\"result\":{\"pong\":true}}");
+}
+
+TEST(Server, PipelinedRequestsReplyInOrder) {
+  ServerFixture fixture("pipeline");
+  ASSERT_TRUE(fixture.started()) << fixture.server().error();
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socket_path()));
+  // Send a burst without reading, then collect: replies must come back in
+  // request order (the FIFO contract the loadgen's latency matching needs).
+  for (int id = 0; id < 20; ++id) {
+    ASSERT_TRUE(client.send_line(encode_request(id)));
+  }
+  for (int id = 0; id < 20; ++id) {
+    const auto reply = client.recv_line();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(json::parse(*reply).at("id").as_int(), id);
+  }
+}
+
+TEST(Server, MalformedLineKeepsTheConnectionAlive) {
+  ServerFixture fixture("malformed");
+  ASSERT_TRUE(fixture.started()) << fixture.server().error();
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socket_path()));
+  const auto error_reply = client.roundtrip("{{{{ definitely not json");
+  ASSERT_TRUE(error_reply.has_value());
+  EXPECT_FALSE(json::parse(*error_reply).at("ok").as_bool());
+  // The same connection still serves the next request.
+  const auto ok_reply = client.roundtrip("{\"id\":2,\"op\":\"ping\"}");
+  ASSERT_TRUE(ok_reply.has_value());
+  EXPECT_TRUE(json::parse(*ok_reply).at("ok").as_bool());
+}
+
+TEST(Server, OverlongLineIsRejectedAndStreamResynchronizes) {
+  ServeOptions options;
+  options.service.max_text_bytes = 1024;  // tiny budget to trip the guard
+  ServerFixture fixture("overlong", options);
+  ASSERT_TRUE(fixture.started()) << fixture.server().error();
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socket_path()));
+  // One gigantic unterminated line, eventually newline-terminated.
+  const std::string huge(300000, 'x');
+  ASSERT_TRUE(client.send_line(huge));
+  const auto reply = client.recv_line();
+  ASSERT_TRUE(reply.has_value());
+  const json::Value parsed = json::parse(*reply);
+  EXPECT_FALSE(parsed.at("ok").as_bool());
+  EXPECT_EQ(parsed.at("error").at("kind").as_string(), "bad_request");
+  // After resync the connection behaves normally.
+  const auto ok_reply = client.roundtrip("{\"id\":3,\"op\":\"ping\"}");
+  ASSERT_TRUE(ok_reply.has_value());
+  EXPECT_TRUE(json::parse(*ok_reply).at("ok").as_bool());
+}
+
+TEST(Server, ConcurrentClientsHammerOneCache) {
+  ServerFixture fixture("hammer");
+  ASSERT_TRUE(fixture.started()) << fixture.server().error();
+  constexpr int kClients = 8;
+  constexpr int kRequests = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  std::vector<std::string> first_replies(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.connect(fixture.socket_path())) {
+        mismatches.fetch_add(1000);
+        return;
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        // Identical request from every client: all replies must carry
+        // byte-identical results whether they hit or filled the cache.
+        const auto reply = client.roundtrip(encode_request(1));
+        if (!reply) {
+          mismatches.fetch_add(100);
+          return;
+        }
+        if (first_replies[c].empty()) {
+          first_replies[c] = *reply;
+        } else if (*reply != first_replies[c]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  for (int c = 1; c < kClients; ++c) {
+    EXPECT_EQ(first_replies[c], first_replies[0]);
+  }
+  const CacheStats stats = fixture.server().service().cache().stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kClients) * kRequests);
+  // Exactly one cold encode is resident; every other request hit it.
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(Server, GracefulDrainAnswersInFlightThenUnlinksSocket) {
+  ServerFixture fixture("drain");
+  ASSERT_TRUE(fixture.started()) << fixture.server().error();
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socket_path()));
+  // A first roundtrip guarantees the connection is accepted (not just queued
+  // in the listen backlog) before the stop request races the accept loop.
+  ASSERT_TRUE(client.roundtrip("{\"id\":0,\"op\":\"ping\"}").has_value());
+  ASSERT_TRUE(client.send_line(encode_request(1)));
+  fixture.server().notify_stop();
+  // The in-flight request still gets its reply...
+  const auto reply = client.recv_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(json::parse(*reply).at("ok").as_bool());
+  // ...then the drained server closes the stream and run() returns.
+  EXPECT_FALSE(client.recv_line().has_value());
+  fixture.stop();
+  EXPECT_EQ(fixture.connections(), 1u);
+  // The socket path is gone: no half-dead inode for the next start to trip on.
+  Client late;
+  EXPECT_FALSE(late.connect(fixture.socket_path()));
+}
+
+TEST(Server, RefusesSocketOfLiveServerButReclaimsStaleOne) {
+  ServerFixture fixture("claim");
+  ASSERT_TRUE(fixture.started()) << fixture.server().error();
+  // A second server on the same path must refuse: the first one is alive.
+  ServeOptions options;
+  options.socket_path = fixture.socket_path();
+  Server rival(options);
+  EXPECT_FALSE(rival.start());
+  EXPECT_NE(rival.error().find("already listening"), std::string::npos);
+  fixture.stop();
+
+  // A stale socket file (crashed daemon) is reclaimed silently.
+  const std::string stale = test_socket_path("stale");
+  {
+    ServeOptions first;
+    first.socket_path = stale;
+    Server crashed(first);
+    ASSERT_TRUE(crashed.start());
+    // Destroyed without run(): the destructor closes the fd but only run()
+    // unlinks the path, so the inode stays behind exactly like a crash.
+  }
+  ServeOptions second;
+  second.socket_path = stale;
+  Server reclaimer(second);
+  EXPECT_TRUE(reclaimer.start()) << reclaimer.error();
+  ::unlink(stale.c_str());
+}
+
+}  // namespace
+}  // namespace asimt::serve

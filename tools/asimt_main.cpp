@@ -23,6 +23,8 @@
 // still profiled). With --static, every eligible block is weighted equally
 // instead.
 #include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +50,8 @@
 #include "parallel/pool.h"
 #include "profile/report.h"
 #include "profile/transition_profiler.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "sim/bus.h"
 #include "sim/cpu.h"
 #include "telemetry/chrome_trace.h"
@@ -62,7 +66,7 @@ namespace {
 using namespace asimt;
 
 const char kUsage[] =
-    "usage: asimt <disasm|run|report|encode|info|fuzz|faults|profile|bench> [<file>] [options]\n"
+    "usage: asimt <disasm|run|report|encode|info|fuzz|faults|profile|bench|serve|loadgen> [<file>] [options]\n"
     "  disasm prog.s\n"
     "  run    prog.s [--max-steps N] [--json]\n"
     "  report prog.s [-k list] [--json]\n"
@@ -89,6 +93,16 @@ const char kUsage[] =
     "         bootstrap 95% CIs, RunManifest provenance; writes a schema-v2\n"
     "         artifact and, with --history DIR, appends it to the JSONL\n"
     "         trajectory store gated by benchdiff (docs/BENCHMARKING.md)\n"
+    "  serve  --socket PATH [--cache-capacity N] [--shards N] [--jobs N]\n"
+    "         long-lived encoding daemon on a unix socket: newline-delimited\n"
+    "         JSON requests (encode/verify/profile/ping/stats), replies\n"
+    "         answered from a sharded content-addressed result cache;\n"
+    "         SIGINT/SIGTERM drain gracefully (docs/SERVING.md)\n"
+    "  loadgen --socket PATH [--conns C] [--rate R] [--seconds S] [--seed S]\n"
+    "         [--out BENCH.json] [--history DIR] [--json]\n"
+    "         seed-deterministic open-loop load against a running daemon;\n"
+    "         reports p50/p90/p99/p99.9 latency and throughput as a\n"
+    "         schema-v2 artifact gated by benchdiff --trajectory\n"
     "observability options (any command):\n"
     "  --metrics out.json   write a metrics snapshot on exit\n"
     "  --trace out.jsonl    stream phase spans as JSON lines\n"
@@ -528,6 +542,72 @@ int cmd_bench(obs::BenchOptions options, bool json_mode, std::string out_path,
   return 0;
 }
 
+int cmd_serve(const serve::ServeOptions& options) {
+  serve::Server server(options);
+  if (!server.start()) {
+    std::fprintf(stderr, "asimt: serve: %s\n", server.error().c_str());
+    return 1;
+  }
+  // Readiness line on stdout (flushed) so wrappers can wait for it instead
+  // of polling the socket path.
+  std::printf("asimt serve: listening on %s (cache %zu entries, %u shards)\n",
+              options.socket_path.c_str(), server.service().cache().capacity(),
+              server.service().cache().shard_count());
+  std::fflush(stdout);
+  serve::install_stop_signal_handlers(&server);
+  const std::uint64_t connections = server.run();
+  serve::install_stop_signal_handlers(nullptr);
+  if (!server.error().empty()) {
+    std::fprintf(stderr, "asimt: serve: %s\n", server.error().c_str());
+    return 1;
+  }
+  const serve::CacheStats stats = server.service().cache().stats();
+  std::printf("asimt serve: drained: %llu connections, %llu requests "
+              "(%llu errors), cache %llu hits / %llu misses / %llu evictions\n",
+              static_cast<unsigned long long>(connections),
+              static_cast<unsigned long long>(server.service().requests()),
+              static_cast<unsigned long long>(server.service().errors()),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions));
+  return 0;
+}
+
+int cmd_loadgen(const serve::LoadgenOptions& options, bool json_mode,
+                std::string out_path, const std::string& history_dir) {
+  const serve::LoadgenReport report = serve::run_loadgen(options);
+  if (report.connect_failures > 0) {
+    std::fprintf(stderr,
+                 "asimt: loadgen: %llu connection(s) could not reach %s\n",
+                 static_cast<unsigned long long>(report.connect_failures),
+                 options.socket_path.c_str());
+    return 1;
+  }
+  const json::Value artifact = serve::loadgen_artifact(options, report);
+  if (out_path.empty()) out_path = "BENCH_serve_loadgen.json";
+  if (!telemetry::write_text_file(out_path, artifact.dump(2) + "\n")) {
+    std::fprintf(stderr, "asimt: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!history_dir.empty() && !obs::append_history(history_dir, artifact)) {
+    std::fprintf(stderr, "asimt: cannot append to trajectory store %s\n",
+                 history_dir.c_str());
+    return 1;
+  }
+  if (json_mode) {
+    std::printf("%s\n", artifact.dump(2).c_str());
+  } else {
+    std::fputs(serve::format_report(report).c_str(), stdout);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (report.errors > 0) {
+    std::fprintf(stderr, "asimt: loadgen: %llu error reply(ies)\n",
+                 static_cast<unsigned long long>(report.errors));
+    return 1;
+  }
+  return report.received > 0 ? 0 : 1;
+}
+
 std::vector<int> parse_k_list(const std::string& text) {
   std::vector<int> out;
   std::stringstream ss(text);
@@ -552,6 +632,10 @@ std::vector<int> parse_k_list(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // SIGPIPE off, process-wide: a downstream pager/`head` that exits early
+  // must turn into EPIPE write errors (absorbed in finalize below), never a
+  // signal death. The daemon additionally uses MSG_NOSIGNAL on sockets.
+  std::signal(SIGPIPE, SIG_IGN);
   // --help anywhere wins, before any other validation.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -563,11 +647,13 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command != "disasm" && command != "run" && command != "report" &&
       command != "encode" && command != "info" && command != "fuzz" &&
-      command != "faults" && command != "profile" && command != "bench") {
+      command != "faults" && command != "profile" && command != "bench" &&
+      command != "serve" && command != "loadgen") {
     usage_error("unknown command '" + command + "'");
   }
   const bool takes_file =
-      command != "fuzz" && command != "faults" && command != "bench";
+      command != "fuzz" && command != "faults" && command != "bench" &&
+      command != "serve" && command != "loadgen";
   if (takes_file && argc < 3) usage_error("missing input file");
   const std::string file = takes_file ? argv[2] : "";
 
@@ -593,6 +679,8 @@ int main(int argc, char** argv) {
   obs::BenchOptions bench_opts = obs::BenchOptions::defaults();
   std::string history_dir;
   bool bench_list = false;
+  serve::ServeOptions serve_opts;
+  serve::LoadgenOptions loadgen_opts;
 
   for (int i = takes_file ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -639,7 +727,8 @@ int main(int argc, char** argv) {
     else if (arg == "--annotate") annotate_path = next();
     else if (arg == "--telemetry") telemetry::set_enabled(true);
     else if (arg == "--seed") {
-      campaign.seed = fuzz.seed = bench_opts.seed = next_u64();
+      campaign.seed = fuzz.seed = bench_opts.seed = loadgen_opts.seed =
+          next_u64();
     }
     else if (arg == "--iters") campaign.iters = fuzz.iters = next_u64();
     else if (arg == "--filter") bench_opts.filter = next();
@@ -669,13 +758,6 @@ int main(int argc, char** argv) {
         usage_error("--target needs tt|history|image|bus|all, got '" + value +
                     "'");
       }
-    } else if (arg == "--rate") {
-      const std::string value = next();
-      const std::optional<double> parsed = util::parse_number<double>(value);
-      if (!parsed || !(*parsed >= 0.0) || *parsed > 1.0) {
-        usage_error("--rate needs a number in [0, 1], got '" + value + "'");
-      }
-      campaign.rate = *parsed;
     } else if (arg == "--protect") {
       const std::string value = next();
       const auto protection = fault::protection_from_name(value);
@@ -708,6 +790,39 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       parallel::set_default_jobs(static_cast<unsigned>(
           next_int(1, std::numeric_limits<int>::max())));
+    } else if (arg == "--socket") {
+      serve_opts.socket_path = loadgen_opts.socket_path = next();
+    } else if (arg == "--cache-capacity") {
+      serve_opts.service.cache_capacity =
+          static_cast<std::size_t>(next_int(1, 1 << 24));
+    } else if (arg == "--shards") {
+      serve_opts.service.cache_shards =
+          static_cast<unsigned>(next_int(1, 256));
+    } else if (arg == "--conns") {
+      loadgen_opts.conns = static_cast<unsigned>(next_int(1, 4096));
+    } else if (arg == "--rate") {
+      // loadgen: requests/second; faults: flip probability. The commands
+      // never share an invocation, so parse by command.
+      const std::string value = next();
+      const std::optional<double> parsed = util::parse_number<double>(value);
+      if (command == "loadgen") {
+        if (!parsed || !(*parsed > 0.0)) {
+          usage_error("--rate needs a positive number, got '" + value + "'");
+        }
+        loadgen_opts.rate = *parsed;
+      } else {
+        if (!parsed || !(*parsed >= 0.0) || *parsed > 1.0) {
+          usage_error("--rate needs a number in [0, 1], got '" + value + "'");
+        }
+        campaign.rate = *parsed;
+      }
+    } else if (arg == "--seconds") {
+      const std::string value = next();
+      const std::optional<double> parsed = util::parse_number<double>(value);
+      if (!parsed || !(*parsed > 0.0)) {
+        usage_error("--seconds needs a positive number, got '" + value + "'");
+      }
+      loadgen_opts.seconds = *parsed;
     }
     else usage_error("unknown option '" + arg + "'");
   }
@@ -761,6 +876,16 @@ int main(int argc, char** argv) {
                        out_path, annotate_path);
     } else if (command == "bench") {
       rc = cmd_bench(bench_opts, json_mode, out_path, history_dir, bench_list);
+    } else if (command == "serve") {
+      if (serve_opts.socket_path.empty()) {
+        usage_error("serve needs --socket <path>");
+      }
+      rc = cmd_serve(serve_opts);
+    } else if (command == "loadgen") {
+      if (loadgen_opts.socket_path.empty()) {
+        usage_error("loadgen needs --socket <path>");
+      }
+      rc = cmd_loadgen(loadgen_opts, json_mode, out_path, history_dir);
     } else {
       rc = cmd_info(file);
     }
@@ -802,6 +927,22 @@ int main(int argc, char** argv) {
                    e.what());
       rc = rc == 0 ? 1 : rc;
     }
+  }
+
+  // EPIPE-aware stdout finalization: with SIGPIPE ignored, `asimt ... |
+  // head` surfaces the closed pipe as a write error on stdout. A closed
+  // downstream is the *reader's* choice and not a failure of this process,
+  // so EPIPE preserves rc; any other stdout write error is a real I/O
+  // failure and must not exit 0.
+  // Only a *failing final flush* carries a trustworthy errno; an error flag
+  // left by an earlier write (errno long since overwritten) is the
+  // closed-pipe case by construction — any persistent device error would
+  // fail this flush too.
+  errno = 0;
+  if (std::fflush(stdout) != 0 && errno != EPIPE && rc == 0) {
+    std::fprintf(stderr, "asimt: error writing to stdout: %s\n",
+                 std::strerror(errno));
+    rc = 1;
   }
   return rc;
 }

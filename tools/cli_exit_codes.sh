@@ -62,6 +62,18 @@ check 2 "$asimt" faults --max-seconds -1
 check 2 "$asimt" faults --max-seconds soon
 check 2 env ASIMT_MAX_SECONDS=banana "$asimt" faults --iters 1
 
+# --- serve / loadgen usage failures: exit 2 --------------------------------
+check 2 "$asimt" serve
+check 2 "$asimt" loadgen
+check 2 "$asimt" serve --socket "$tmp/s.sock" --cache-capacity 0
+check 2 "$asimt" serve --socket "$tmp/s.sock" --cache-capacity lots
+check 2 "$asimt" serve --socket "$tmp/s.sock" --shards 0
+check 2 "$asimt" serve --socket "$tmp/s.sock" --shards 999
+check 2 "$asimt" loadgen --socket "$tmp/s.sock" --conns 0
+check 2 "$asimt" loadgen --socket "$tmp/s.sock" --rate -3
+check 2 "$asimt" loadgen --socket "$tmp/s.sock" --rate soon
+check 2 "$asimt" loadgen --socket "$tmp/s.sock" --seconds 0
+
 # --- data / validation errors: exit 1 --------------------------------------
 check 1 "$asimt" disasm "$tmp/does-not-exist.s"
 check 1 "$asimt" run "$tmp/does-not-exist.s"
@@ -70,10 +82,33 @@ printf 'not a firmware image' >"$tmp/garbage.img"
 check 1 "$asimt" info "$tmp/garbage.img"
 printf 'this is not assembly !!!\n' >"$tmp/bad.s"
 check 1 "$asimt" disasm "$tmp/bad.s"
+# A loadgen pointed at a dead socket reports the failure as a data error.
+check 1 "$asimt" loadgen --socket "$tmp/no-daemon.sock" --conns 1 --rate 50 --seconds 0.1
+
+# --- SIGPIPE: a truncating consumer must not kill the producer --------------
+# Disassemble a program big enough to overflow the pipe buffer, then let
+# `head -c` close the read end early. The CLI ignores SIGPIPE, sees EPIPE,
+# and exits 0: the consumer choosing to stop reading is not an asimt failure.
+awk 'BEGIN { print ".text"; for (i = 0; i < 20000; i++) print "  addiu $t0, $t0, 1"; print "  halt" }' >"$tmp/big.s"
+( "$asimt" disasm "$tmp/big.s"; echo $? >"$tmp/pipe_rc" ) | head -c 100 >/dev/null
+read pipe_rc <"$tmp/pipe_rc"
+if [ "$pipe_rc" -ne 0 ]; then
+  echo "FAIL: exit $pipe_rc after downstream head closed the pipe, want 0"
+  fails=$((fails + 1))
+fi
+
+# --- junk ASIMT_JOBS is diagnosed on stderr, never silently misparsed ------
+env ASIMT_JOBS=banana "$asimt" report "$demo" >/dev/null 2>"$tmp/jobs_err"
+if ! grep -q "ignoring ASIMT_JOBS" "$tmp/jobs_err"; then
+  echo "FAIL: junk ASIMT_JOBS produced no stderr diagnostic"
+  fails=$((fails + 1))
+fi
 
 # --- happy paths still exit 0 ----------------------------------------------
 check 0 "$asimt" --help
 check 0 "$asimt" disasm "$demo"
+# The junk value is ignored with a warning; the run itself still succeeds.
+check 0 env ASIMT_JOBS=banana "$asimt" disasm "$demo"
 check 0 "$asimt" faults --seed 1 --iters 8
 check 0 "$asimt" fuzz --seed 1 --iters 20 --out "$tmp/repro"
 

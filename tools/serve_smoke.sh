@@ -1,0 +1,70 @@
+#!/bin/sh
+# End-to-end smoke for the serving stack (docs/SERVING.md): boot the daemon,
+# wait for its readiness line, drive a seeded open-loop loadgen burst,
+# validate the schema-v2 artifact, gate it with benchdiff --trajectory, then
+# SIGTERM-drain and check the clean exit + unlinked socket.
+# usage: serve_smoke.sh <asimt-binary> <json_check-binary> <benchdiff-binary>
+set -u
+
+asimt="$1"
+json_check="$2"
+benchdiff="$3"
+tmp="${TMPDIR:-/tmp}/serve_smoke_$$"
+mkdir -p "$tmp" || exit 1
+sock="$tmp/daemon.sock"
+server_pid=
+trap 'test -n "$server_pid" && kill "$server_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "FAIL: $*"
+  sed 's/^/  serve stderr: /' "$tmp/serve_err" 2>/dev/null
+  exit 1
+}
+
+"$asimt" serve --socket "$sock" --cache-capacity 1024 --shards 8 \
+  >"$tmp/serve_out" 2>"$tmp/serve_err" &
+server_pid=$!
+
+# The daemon prints (and flushes) a readiness line before accepting, so
+# wrappers wait for it instead of polling the socket path.
+tries=0
+until grep -q "listening on" "$tmp/serve_out" 2>/dev/null; do
+  kill -0 "$server_pid" 2>/dev/null || fail "daemon died before readiness"
+  tries=$((tries + 1))
+  [ "$tries" -gt 100 ] && fail "daemon never became ready"
+  sleep 0.1
+done
+
+# A seeded open-loop burst: short, but enough traffic to warm the cache.
+"$asimt" loadgen --socket "$sock" --conns 2 --rate 500 --seconds 1 \
+  --seed 42 --out "$tmp/BENCH_serve_loadgen.json" >"$tmp/loadgen_out" 2>&1 \
+  || fail "loadgen run failed: $(cat "$tmp/loadgen_out")"
+grep -q "p99" "$tmp/loadgen_out" || fail "loadgen summary missing percentiles"
+
+# The artifact must be valid JSON in the schema-v2 shape benchdiff reads...
+"$json_check" "$tmp/BENCH_serve_loadgen.json" || fail "artifact is not valid JSON"
+grep -q '"schema_version": 2' "$tmp/BENCH_serve_loadgen.json" \
+  || fail "artifact is not schema v2"
+grep -q '"req_time_ns"' "$tmp/BENCH_serve_loadgen.json" \
+  || fail "artifact lacks the throughput gate row"
+grep -q '"git_sha"' "$tmp/BENCH_serve_loadgen.json" \
+  || fail "artifact lacks the provenance manifest"
+
+# ...and the trajectory gate must accept it (the first --append establishes
+# the baseline the CI lane compares later runs against).
+"$benchdiff" --trajectory "$tmp/history.jsonl" \
+  "$tmp/BENCH_serve_loadgen.json" --append >/dev/null \
+  || fail "benchdiff rejected the baseline artifact"
+[ "$(wc -l <"$tmp/history.jsonl")" -eq 1 ] || fail "baseline not appended"
+
+# SIGTERM: graceful drain, summary line, exit 0, socket unlinked.
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_rc=$?
+server_pid=
+[ "$server_rc" -eq 0 ] || fail "daemon exited $server_rc after SIGTERM"
+grep -q "drained:" "$tmp/serve_out" || fail "no drain summary on stdout"
+grep -q "hits" "$tmp/serve_out" || fail "no cache stats in drain summary"
+[ ! -e "$sock" ] || fail "socket file survived the drain"
+
+echo "serve smoke OK"
