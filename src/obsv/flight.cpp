@@ -1,0 +1,399 @@
+#include "obsv/flight.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace asimt::obsv {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe row formatting: a fixed stack buffer, hand-rolled
+// decimal conversion, fixed enum strings. No allocation, no stdio.
+
+struct RowBuffer {
+  char data[1024];
+  std::size_t len = 0;
+
+  void put_str(const char* s) {
+    while (*s != '\0' && len < sizeof(data)) data[len++] = *s++;
+  }
+  void put_u64(std::uint64_t v) {
+    char digits[20];
+    std::size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0 && len < sizeof(data)) data[len++] = digits[--n];
+  }
+  void put_field(const char* key, std::uint64_t v) {
+    put_str(",\"");
+    put_str(key);
+    put_str("\":");
+    put_u64(v);
+  }
+  void put_str_field(const char* key, const char* v) {
+    put_str(",\"");
+    put_str(key);
+    put_str("\":\"");
+    put_str(v);
+    put_str("\"");
+  }
+};
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void format_span_row(const Span& span, RowBuffer& row) {
+  row.len = 0;
+  row.put_str("{\"seq\":");
+  row.put_u64(span.seq);
+  row.put_field("conn", span.conn_id);
+  row.put_field("start_ns", span.start_ns);
+  static const char* const kStageKeys[kStageCount] = {
+      "read_ns", "parse_ns", "cache_ns",
+      "execute_ns", "serialize_ns", "write_ns"};
+  for (unsigned s = 0; s < kStageCount; ++s) {
+    row.put_field(kStageKeys[s], span.stage_ns[s]);
+  }
+  row.put_str_field("op", op_name(static_cast<Op>(span.op)));
+  row.put_str_field("outcome", outcome_name(static_cast<Outcome>(span.outcome)));
+  row.put_str_field("error", error_kind_name(span.error_kind));
+  row.put_field("shard", span.shard);
+  row.put_field("request_bytes", span.request_bytes);
+  row.put_field("payload_bytes", span.payload_bytes);
+  row.put_str("}\n");
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(const std::string& path,
+                               std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity) {
+  const std::size_t n = std::min(path.size(), kMaxPath - 1);
+  std::memcpy(path_, path.data(), n);
+  path_[n] = '\0';
+  for (std::size_t i = 0; i < kMaxRings; ++i) {
+    rings_[i].store(nullptr, std::memory_order_relaxed);
+    busy_[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  for (std::size_t i = 0; i < kMaxRings; ++i) {
+    delete rings_[i].load(std::memory_order_acquire);
+  }
+}
+
+SpanRing* FlightRecorder::acquire_ring(std::uint64_t conn_id) {
+  // Pass 1: reuse a released ring (reset so the previous connection's spans
+  // stop shadowing the new one's).
+  for (std::size_t i = 0; i < kMaxRings; ++i) {
+    SpanRing* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    bool expected = false;
+    if (busy_[i].compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+      ring->reset();
+      ring->set_conn_id(conn_id);
+      return ring;
+    }
+  }
+  // Pass 2: claim an empty slot with a fresh ring.
+  for (std::size_t i = 0; i < kMaxRings; ++i) {
+    if (rings_[i].load(std::memory_order_acquire) != nullptr) continue;
+    bool expected = false;
+    if (!busy_[i].compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+      continue;
+    }
+    SpanRing* fresh = new SpanRing(ring_capacity_);
+    fresh->set_conn_id(conn_id);
+    rings_[i].store(fresh, std::memory_order_release);
+    return fresh;
+  }
+  // Registry exhausted (> kMaxRings live connections): share a slot. Two
+  // writers on one ring can garble a row under extreme interleaving, which
+  // a reader detects-or-tolerates; post-mortem coverage beats refusing.
+  SpanRing* shared =
+      rings_[conn_id % kMaxRings].load(std::memory_order_acquire);
+  return shared != nullptr ? shared : acquire_ring(conn_id);
+}
+
+void FlightRecorder::release_ring(SpanRing* ring) {
+  if (ring == nullptr) return;
+  for (std::size_t i = 0; i < kMaxRings; ++i) {
+    if (rings_[i].load(std::memory_order_acquire) == ring) {
+      // Contents are kept: a post-mortem dump should still show the last
+      // spans of connections that already closed.
+      busy_[i].store(false, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+long long FlightRecorder::dump(const char* reason) const {
+  const int fd = ::open(path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return -1;
+  RowBuffer row;
+  row.put_str("{\"asimt_flight\":1");
+  row.put_str_field("reason", reason);
+  row.put_field("pid", static_cast<std::uint64_t>(::getpid()));
+  row.put_str("}\n");
+  bool ok = write_all(fd, row.data, row.len);
+  long long rows = 0;
+  for (std::size_t i = 0; ok && i < kMaxRings; ++i) {
+    const SpanRing* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::size_t capacity = ring->capacity();
+    for (std::size_t slot = 0; ok && slot < capacity; ++slot) {
+      Span span;
+      if (!ring->read_slot(slot, span)) continue;
+      format_span_row(span, row);
+      ok = write_all(fd, row.data, row.len);
+      if (ok) ++rows;
+    }
+  }
+  ::close(fd);
+  return ok ? rows : -1;
+}
+
+std::size_t FlightRecorder::resident_spans() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kMaxRings; ++i) {
+    const SpanRing* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::size_t capacity = ring->capacity();
+    for (std::size_t slot = 0; slot < capacity; ++slot) {
+      Span span;
+      if (ring->read_slot(slot, span)) ++total;
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Crash handlers
+
+namespace {
+
+std::atomic<FlightRecorder*> g_crash_recorder{nullptr};
+
+const char* signal_label(int signo) {
+  switch (signo) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+  }
+  return "signal";
+}
+
+void crash_handler(int signo) {
+  if (const FlightRecorder* recorder =
+          g_crash_recorder.load(std::memory_order_acquire)) {
+    recorder->dump(signal_label(signo));
+  }
+  // Re-raise under the default disposition so the exit status (and any core
+  // dump) is exactly what it would have been without the recorder.
+  struct sigaction dfl {};
+  dfl.sa_handler = SIG_DFL;
+  ::sigaction(signo, &dfl, nullptr);
+  ::raise(signo);
+}
+
+constexpr int kCrashSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE};
+
+}  // namespace
+
+void install_crash_handlers(FlightRecorder* recorder) {
+  g_crash_recorder.store(recorder, std::memory_order_release);
+  struct sigaction action {};
+  if (recorder != nullptr) {
+    action.sa_handler = crash_handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+  } else {
+    action.sa_handler = SIG_DFL;
+  }
+  for (const int signo : kCrashSignals) ::sigaction(signo, &action, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Reading dumps back
+
+namespace {
+
+std::uint64_t u64_field(const json::Value& row, const char* key) {
+  return static_cast<std::uint64_t>(row.at(key).as_int());
+}
+
+Span span_from_row(const json::Value& row) {
+  Span span;
+  span.seq = u64_field(row, "seq");
+  span.conn_id = u64_field(row, "conn");
+  span.start_ns = u64_field(row, "start_ns");
+  static const char* const kStageKeys[kStageCount] = {
+      "read_ns", "parse_ns", "cache_ns",
+      "execute_ns", "serialize_ns", "write_ns"};
+  for (unsigned s = 0; s < kStageCount; ++s) {
+    span.stage_ns[s] = u64_field(row, kStageKeys[s]);
+  }
+  // Names map back to ids; unknown strings degrade to the catch-all values
+  // rather than failing the row.
+  const std::string& op = row.at("op").as_string();
+  span.op = static_cast<std::uint8_t>(Op::kOther);
+  for (unsigned i = 0; i < kOpCount; ++i) {
+    if (op == op_name(static_cast<Op>(i))) {
+      span.op = static_cast<std::uint8_t>(i);
+    }
+  }
+  const std::string& outcome = row.at("outcome").as_string();
+  for (unsigned i = 0; i < kOutcomeCount; ++i) {
+    if (outcome == outcome_name(static_cast<Outcome>(i))) {
+      span.outcome = static_cast<std::uint8_t>(i);
+    }
+  }
+  span.error_kind = error_kind_id(row.at("error").as_string().c_str());
+  span.shard = static_cast<std::uint8_t>(u64_field(row, "shard"));
+  span.request_bytes = static_cast<std::uint32_t>(u64_field(row, "request_bytes"));
+  span.payload_bytes = static_cast<std::uint32_t>(u64_field(row, "payload_bytes"));
+  return span;
+}
+
+}  // namespace
+
+json::Value span_to_json(const Span& span) {
+  json::Value row = json::Value::object();
+  row.set("seq", span.seq);
+  row.set("conn", span.conn_id);
+  row.set("start_ns", span.start_ns);
+  static const char* const kStageKeys[kStageCount] = {
+      "read_ns", "parse_ns", "cache_ns",
+      "execute_ns", "serialize_ns", "write_ns"};
+  for (unsigned s = 0; s < kStageCount; ++s) {
+    row.set(kStageKeys[s], span.stage_ns[s]);
+  }
+  row.set("op", op_name(static_cast<Op>(span.op)));
+  row.set("outcome", outcome_name(static_cast<Outcome>(span.outcome)));
+  row.set("error", error_kind_name(span.error_kind));
+  row.set("shard", span.shard);
+  row.set("request_bytes", span.request_bytes);
+  row.set("payload_bytes", span.payload_bytes);
+  return row;
+}
+
+FlightDump load_flight_dump(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("flight: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  FlightDump dump;
+  bool saw_header = false;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    const bool has_newline = nl != std::string::npos;
+    if (!has_newline) nl = text.size();
+    const std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    try {
+      const json::Value row = json::parse(line);
+      if (!saw_header) {
+        if (row.find("asimt_flight") == nullptr) {
+          throw std::runtime_error("flight: " + path +
+                                   " is not a flight-recorder dump");
+        }
+        dump.reason = row.at("reason").as_string();
+        dump.pid = row.at("pid").as_int();
+        saw_header = true;
+        continue;
+      }
+      dump.spans.push_back(span_from_row(row));
+    } catch (const std::runtime_error&) {
+      if (!saw_header) throw;  // a bad header is a bad file, not a bad row
+      if (!has_newline) {
+        dump.truncated = true;  // the crash cut the final row short
+      } else {
+        ++dump.corrupt_rows;
+      }
+    }
+  }
+  if (!saw_header) {
+    throw std::runtime_error("flight: " + path +
+                             " is not a flight-recorder dump");
+  }
+  std::sort(dump.spans.begin(), dump.spans.end(),
+            [](const Span& a, const Span& b) {
+              return a.conn_id != b.conn_id ? a.conn_id < b.conn_id
+                                            : a.seq < b.seq;
+            });
+  return dump;
+}
+
+std::vector<json::Value> flight_trace_events(const FlightDump& dump) {
+  std::vector<json::Value> events;
+  events.reserve(dump.spans.size() * (2 * kStageCount + 2));
+  for (const Span& span : dump.spans) {
+    const long long tid = static_cast<long long>(span.conn_id) + 1;
+    std::uint64_t cursor = span.start_ns;
+    std::uint64_t end = span.start_ns;
+    for (unsigned s = 0; s < kStageCount; ++s) end += span.stage_ns[s];
+
+    json::Value open = json::Value::object();
+    open.set("ev", "begin");
+    open.set("name", std::string(op_name(static_cast<Op>(span.op))));
+    open.set("t_us", cursor / 1000);
+    open.set("tid", tid);
+    events.push_back(std::move(open));
+
+    for (unsigned s = 0; s < kStageCount; ++s) {
+      const std::uint64_t duration = span.stage_ns[s];
+      if (duration == 0) continue;
+      json::Value begin = json::Value::object();
+      begin.set("ev", "begin");
+      begin.set("name", std::string(stage_name(static_cast<Stage>(s))));
+      begin.set("t_us", cursor / 1000);
+      begin.set("tid", tid);
+      events.push_back(std::move(begin));
+      cursor += duration;
+      json::Value finish = json::Value::object();
+      finish.set("ev", "end");
+      finish.set("name", std::string(stage_name(static_cast<Stage>(s))));
+      finish.set("t_us", cursor / 1000);
+      finish.set("tid", tid);
+      events.push_back(std::move(finish));
+    }
+
+    json::Value close = json::Value::object();
+    close.set("ev", "end");
+    close.set("name", std::string(op_name(static_cast<Op>(span.op))));
+    close.set("t_us", end / 1000);
+    close.set("tid", tid);
+    events.push_back(std::move(close));
+  }
+  return events;
+}
+
+}  // namespace asimt::obsv

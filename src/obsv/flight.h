@@ -1,0 +1,119 @@
+// Crash-safe flight recorder: the last N spans per connection, dumped from
+// a signal handler.
+//
+// The serving daemon's post-mortem story: every connection records its
+// recent spans into a SpanRing registered here; on SIGSEGV / SIGABRT /
+// SIGBUS / SIGFPE (which is also where a fatal escaped DecodeFault ends up,
+// via std::terminate → abort) an async-signal-safe writer walks the rings
+// and emits one JSONL row per span, then re-raises the signal so the exit
+// status is unchanged. The same writer serves the on-demand `dump` protocol
+// op.
+//
+// Async-signal-safety is load-bearing in every line of the dump path:
+//   - ring slots are lock-free 64-bit atomics (obsv/span.h) — reading them
+//     in a handler is defined behavior;
+//   - the writer uses only open/write/close and a stack buffer with
+//     hand-rolled integer formatting — no malloc, no stdio, no locale;
+//   - the dump path and ring registry are fixed-size arrays written before
+//     handlers are installed.
+//
+// Dump format (JSONL; integers and fixed enum strings only):
+//   {"asimt_flight":1,"reason":"SIGABRT","pid":12345}
+//   {"seq":9,"conn":2,"start_ns":...,"read_ns":...,"parse_ns":...,
+//    "cache_ns":...,"execute_ns":...,"serialize_ns":...,"write_ns":...,
+//    "op":"encode","outcome":"hit","error":"ok","shard":3,
+//    "request_bytes":142,"payload_bytes":286}
+//
+// load_flight_dump() reads a dump back tolerantly (a crash can truncate the
+// last row; corruption must not take the reader down too), and
+// flight_trace_events() converts spans into the JSONL event shape
+// telemetry::chrome_trace_from_events consumes, one timeline row per
+// connection, one sub-span per stage — the PR 4 Chrome-trace path applied
+// to the serving layer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obsv/span.h"
+#include "telemetry/json.h"
+
+namespace asimt::obsv {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kMaxRings = 256;
+  static constexpr std::size_t kMaxPath = 512;
+
+  // `path` is where dumps land; it is copied into a fixed buffer so the
+  // signal handler never touches std::string. `ring_capacity` is the span
+  // count each connection retains.
+  FlightRecorder(const std::string& path, std::size_t ring_capacity = 256);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  const char* path() const { return path_; }
+
+  // Hands out a ring for a connection (reusing a released one, reset, when
+  // the registry is full of idle rings). Never returns nullptr; if all
+  // kMaxRings slots hold busy rings the busiest-slot ring is shared —
+  // overflow degrades attribution, never availability. Thread-safe.
+  SpanRing* acquire_ring(std::uint64_t conn_id);
+  void release_ring(SpanRing* ring);
+
+  // Writes every readable span in every registered ring to path() and
+  // returns the number of rows written, or -1 when the file cannot be
+  // opened. Async-signal-safe; also the implementation of the `dump` op.
+  long long dump(const char* reason) const;
+
+  // Spans currently resident across all rings (the `dump` op's row count
+  // precheck and tests). Not signal-safe.
+  std::size_t resident_spans() const;
+
+ private:
+  char path_[kMaxPath];
+  std::size_t ring_capacity_;
+  // Slots are created on demand and never freed while the recorder lives:
+  // the signal handler iterates this array with plain atomic loads.
+  std::atomic<SpanRing*> rings_[kMaxRings];
+  std::atomic<bool> busy_[kMaxRings];
+};
+
+// Installs SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that dump `recorder` and
+// re-raise with the default disposition (so exit codes and core dumps are
+// unchanged). Pass nullptr to uninstall. One recorder at a time — the
+// daemon use case.
+void install_crash_handlers(FlightRecorder* recorder);
+
+// ---------------------------------------------------------------------------
+// Reading dumps back
+
+struct FlightDump {
+  std::string reason;
+  long long pid = 0;
+  std::vector<Span> spans;          // sorted by (conn, seq)
+  std::size_t corrupt_rows = 0;     // unparseable interior lines, skipped
+  bool truncated = false;           // final line was cut mid-row (crash)
+};
+
+// One span as the dump-row JSON object (same schema as the signal-safe
+// writer emits); the slow-request log reuses it so both formats stay one.
+json::Value span_to_json(const Span& span);
+
+// Parses a flight dump. Throws std::runtime_error when the file cannot be
+// read or its first line is not a flight header; tolerates (and counts)
+// corrupt rows and a truncated tail.
+FlightDump load_flight_dump(const std::string& path);
+
+// Converts a dump into the JSONL event objects chrome_trace_from_events
+// consumes: per span a begin/end pair per non-empty stage, tid = the span's
+// connection id (+1, so conn 0 is not mislabeled "main").
+std::vector<json::Value> flight_trace_events(const FlightDump& dump);
+
+}  // namespace asimt::obsv

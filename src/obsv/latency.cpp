@@ -1,0 +1,76 @@
+#include "obsv/latency.h"
+
+#include <bit>
+
+namespace asimt::obsv {
+
+unsigned LogHistogram::bucket_of(std::uint64_t v) {
+  if (v < kSub) return static_cast<unsigned>(v);
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+  const unsigned sub =
+      static_cast<unsigned>((v >> (msb - kSubBits)) & (kSub - 1));
+  return (msb - kSubBits + 1) * kSub + sub;
+}
+
+std::uint64_t LogHistogram::bucket_upper_bound(unsigned index) {
+  if (index < kSub) return index;
+  const unsigned msb = index / kSub + kSubBits - 1;
+  const unsigned sub = index & (kSub - 1);
+  if (msb == 63 && sub == kSub - 1) return ~0ull;
+  return ((static_cast<std::uint64_t>(kSub) + sub + 1) << (msb - kSubBits)) - 1;
+}
+
+void LogHistogram::observe(std::uint64_t v) {
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void LogHistogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+LogHistogram::Snapshot LogHistogram::snapshot() const {
+  Snapshot snap;
+  for (unsigned i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    snap.buckets.emplace_back(i, n);
+    snap.count += n;  // derived from what was read: count == Σ buckets
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double LogHistogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t cumulative = 0;
+  for (const auto& [index, n] : buckets) {
+    if (static_cast<double>(cumulative + n) > rank) {
+      const std::uint64_t lower =
+          index == 0 ? 0 : bucket_upper_bound(index - 1) + 1;
+      const std::uint64_t upper = bucket_upper_bound(index);
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(n);
+      return static_cast<double>(lower) +
+             within * static_cast<double>(upper - lower);
+    }
+    cumulative += n;
+  }
+  return static_cast<double>(max);
+}
+
+void LatencyMatrix::reset() {
+  for (LogHistogram& cell : cells_) cell.reset();
+}
+
+}  // namespace asimt::obsv

@@ -1,0 +1,89 @@
+// Log-bucketed (HDR-style) latency histograms for the serving path.
+//
+// The telemetry registry's Histogram uses pure power-of-two buckets — fine
+// for orders of magnitude, far too coarse for latency percentiles (one
+// bucket spans 2x). LogHistogram refines each power-of-two octave into 16
+// linear sub-buckets, bounding the relative quantization error at 1/16
+// (≈6%) across the full uint64 nanosecond range with a fixed 976-counter
+// footprint and a branch-free bucket index (one bit-scan, one shift).
+//
+// Recording is one relaxed atomic increment plus two relaxed updates — safe
+// from any number of threads. A Snapshot derives `count` as the sum of the
+// bucket counters it actually read, so `count == Σ buckets` holds in every
+// snapshot *by construction* (the consistency the `metrics` op promises),
+// even while writers race the reader.
+//
+// LatencyMatrix is the op × cache-outcome grid the serve layer records
+// into; the `metrics` protocol op and the Prometheus exposition both render
+// from its snapshots (docs/OBSERVABILITY.md has the wire formats).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obsv/span.h"
+
+namespace asimt::obsv {
+
+class LogHistogram {
+ public:
+  static constexpr unsigned kSubBits = 4;           // 16 sub-buckets per octave
+  static constexpr unsigned kSub = 1u << kSubBits;  // 16
+  // Values < 16 are their own bucket (0..15); larger values index by
+  // (octave, sub-bucket) with octaves 4..63 -> indices 16..975.
+  static constexpr unsigned kBucketCount = (65 - kSubBits) * kSub;  // 976
+
+  static unsigned bucket_of(std::uint64_t v);
+  // Inclusive upper bound of bucket `index` (the largest value mapping to
+  // it); lower bound is bucket_upper_bound(index-1)+1.
+  static std::uint64_t bucket_upper_bound(unsigned index);
+
+  void observe(std::uint64_t v);
+  void reset();
+
+  struct Snapshot {
+    std::uint64_t count = 0;   // == Σ buckets, by construction
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    // (bucket index, count), ascending, non-empty buckets only.
+    std::vector<std::pair<unsigned, std::uint64_t>> buckets;
+
+    // Quantile estimate by linear interpolation inside the covering bucket;
+    // q in [0, 1]. Returns 0 for an empty snapshot.
+    double quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// One LogHistogram per (op, cache outcome) cell, always allocated (the grid
+// is small and fixed) so recording never takes a lock or an allocation.
+class LatencyMatrix {
+ public:
+  void observe(Op op, Outcome outcome, std::uint64_t ns) {
+    cell(op, outcome).observe(ns);
+  }
+
+  LogHistogram& cell(Op op, Outcome outcome) {
+    return cells_[static_cast<unsigned>(op) * kOutcomeCount +
+                  static_cast<unsigned>(outcome)];
+  }
+  const LogHistogram& cell(Op op, Outcome outcome) const {
+    return cells_[static_cast<unsigned>(op) * kOutcomeCount +
+                  static_cast<unsigned>(outcome)];
+  }
+
+  void reset();
+
+ private:
+  std::array<LogHistogram, kOpCount * kOutcomeCount> cells_;
+};
+
+}  // namespace asimt::obsv

@@ -1,0 +1,62 @@
+#include "obsv/recorder.h"
+
+#include <cstdio>
+
+#include "obs/manifest.h"
+
+namespace asimt::obsv {
+
+Recorder::Recorder(const RecorderOptions& options) : options_(options) {
+  if (!options_.enabled) return;
+  if (!options_.flight_path.empty()) {
+    flight_ = std::make_unique<FlightRecorder>(options_.flight_path,
+                                               options_.ring_capacity);
+  }
+  if (options_.slow_ms > 0 && !options_.slow_log_path.empty()) {
+    slow_log_.open(options_.slow_log_path, std::ios::out | std::ios::trunc);
+    if (slow_log_) {
+      // Header row carries the run manifest so a slow-log file is
+      // self-describing provenance-wise, like every other artifact.
+      json::Value header = json::Value::object();
+      header.set("asimt_slow_log", 1);
+      header.set("slow_ms", options_.slow_ms);
+      obs::embed_manifest(header, obs::ManifestFields::kFull);
+      slow_log_ << header.dump() << "\n" << std::flush;
+      slow_log_open_ = true;
+    } else {
+      std::fprintf(stderr, "asimt: cannot open slow log %s\n",
+                   options_.slow_log_path.c_str());
+    }
+  }
+}
+
+SpanRing* Recorder::acquire_ring(std::uint64_t conn_id) {
+  return flight_ ? flight_->acquire_ring(conn_id) : nullptr;
+}
+
+void Recorder::release_ring(SpanRing* ring) {
+  if (flight_ && ring != nullptr) flight_->release_ring(ring);
+}
+
+void Recorder::observe(const Span& span) {
+  if (!options_.enabled) return;
+  latency_.observe(static_cast<Op>(span.op), static_cast<Outcome>(span.outcome),
+                   span.total_ns());
+}
+
+bool Recorder::is_slow(const Span& span) const {
+  return options_.enabled && options_.slow_ms > 0 &&
+         span.total_ns() >= options_.slow_ms * 1'000'000ull;
+}
+
+void Recorder::record(const Span& span, SpanRing* ring) {
+  if (!options_.enabled) return;
+  if (ring != nullptr) ring->push(span);
+  if (slow_log_open_ && is_slow(span)) {
+    const std::string row = span_to_json(span).dump();
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    slow_log_ << row << "\n" << std::flush;  // flush-per-line: crash-visible
+  }
+}
+
+}  // namespace asimt::obsv

@@ -1,0 +1,79 @@
+// Recorder: the single observability handle the serving layer talks to.
+//
+// One object owns the three sinks a request's span can land in —
+//   - the op × cache-outcome LatencyMatrix behind the `metrics` op,
+//   - the crash-safe FlightRecorder behind the `dump` op and the signal
+//     handlers,
+//   - the slow-request JSONL log (--slow-ms),
+// so Service and Server thread a single pointer instead of three, and
+// "observability off" is one flag that turns the whole thing into a few
+// predictable branches (the <2% warm-path overhead budget is enforced by
+// bench/micro_serve.cpp and the trajectory gate).
+//
+// Split of duties along the request path:
+//   Service calls observe(span) at the end of handle_line — *before* the
+//   reply bytes go to the socket — so once a client has a reply, the metrics
+//   op already counts it (the smoke test's count-equality assertion depends
+//   on this ordering). Server calls record(span, ring) after the write
+//   completes, which pushes the full span (now including the write stage)
+//   into the connection's flight ring and the slow log.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obsv/flight.h"
+#include "obsv/latency.h"
+#include "obsv/span.h"
+
+namespace asimt::obsv {
+
+struct RecorderOptions {
+  bool enabled = true;
+  std::size_t ring_capacity = 256;  // spans retained per connection
+  std::uint64_t slow_ms = 0;        // 0 disables the slow-request log
+  std::string slow_log_path;        // JSONL sink for slow spans
+  std::string flight_path;          // empty disables the flight recorder
+};
+
+class Recorder {
+ public:
+  explicit Recorder(const RecorderOptions& options);
+
+  bool enabled() const { return options_.enabled; }
+  const RecorderOptions& options() const { return options_; }
+
+  LatencyMatrix& latency() { return latency_; }
+  const LatencyMatrix& latency() const { return latency_; }
+
+  // nullptr when no flight path was configured (or disabled).
+  FlightRecorder* flight() { return flight_.get(); }
+  const FlightRecorder* flight() const { return flight_.get(); }
+
+  // Ring plumbing for Server; nullptr when flight recording is off, and all
+  // downstream calls accept that quietly.
+  SpanRing* acquire_ring(std::uint64_t conn_id);
+  void release_ring(SpanRing* ring);
+
+  // Latency-matrix attribution; called before the reply is written.
+  void observe(const Span& span);
+
+  // Terminal record after the write stage: flight ring + slow log.
+  void record(const Span& span, SpanRing* ring);
+
+  // True when the span would qualify for the slow log (exposed for tests).
+  bool is_slow(const Span& span) const;
+
+ private:
+  RecorderOptions options_;
+  LatencyMatrix latency_;
+  std::unique_ptr<FlightRecorder> flight_;
+  std::mutex slow_mu_;
+  std::ofstream slow_log_;
+  bool slow_log_open_ = false;
+};
+
+}  // namespace asimt::obsv

@@ -1,0 +1,164 @@
+#include "obsv/span.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace asimt::obsv {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kRead: return "read";
+    case Stage::kParse: return "parse";
+    case Stage::kCacheLookup: return "cache";
+    case Stage::kExecute: return "execute";
+    case Stage::kSerialize: return "serialize";
+    case Stage::kWrite: return "write";
+  }
+  return "unknown";
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kEncode: return "encode";
+    case Op::kVerify: return "verify";
+    case Op::kProfile: return "profile";
+    case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
+    case Op::kDump: return "dump";
+    case Op::kOther: return "other";
+  }
+  return "other";
+}
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kNone: return "none";
+    case Outcome::kHit: return "hit";
+    case Outcome::kMiss: return "miss";
+  }
+  return "none";
+}
+
+namespace {
+const char* const kErrorKindNames[kErrorKindCount] = {
+    "ok", "parse", "bad_request", "assembly", "exec", "internal"};
+}  // namespace
+
+const char* error_kind_name(std::uint8_t kind) {
+  return kind < kErrorKindCount ? kErrorKindNames[kind] : "internal";
+}
+
+std::uint8_t error_kind_id(const char* kind) {
+  for (unsigned i = 0; i < kErrorKindCount; ++i) {
+    if (std::strcmp(kind, kErrorKindNames[i]) == 0) {
+      return static_cast<std::uint8_t>(i);
+    }
+  }
+  return kErrorKindCount - 1;  // unknown kinds degrade to "internal"
+}
+
+void span_to_words(const Span& span, std::uint64_t out[kSpanWords]) {
+  out[0] = span.seq;
+  out[1] = span.conn_id;
+  out[2] = span.start_ns;
+  for (unsigned s = 0; s < kStageCount; ++s) out[3 + s] = span.stage_ns[s];
+  out[9] = static_cast<std::uint64_t>(span.op) |
+           (static_cast<std::uint64_t>(span.outcome) << 8) |
+           (static_cast<std::uint64_t>(span.error_kind) << 16) |
+           (static_cast<std::uint64_t>(span.shard) << 24);
+  out[10] = static_cast<std::uint64_t>(span.request_bytes) |
+            (static_cast<std::uint64_t>(span.payload_bytes) << 32);
+}
+
+Span span_from_words(const std::uint64_t in[kSpanWords]) {
+  Span span;
+  span.seq = in[0];
+  span.conn_id = in[1];
+  span.start_ns = in[2];
+  for (unsigned s = 0; s < kStageCount; ++s) span.stage_ns[s] = in[3 + s];
+  span.op = static_cast<std::uint8_t>(in[9] & 0xFF);
+  span.outcome = static_cast<std::uint8_t>((in[9] >> 8) & 0xFF);
+  span.error_kind = static_cast<std::uint8_t>((in[9] >> 16) & 0xFF);
+  span.shard = static_cast<std::uint8_t>((in[9] >> 24) & 0xFF);
+  span.request_bytes = static_cast<std::uint32_t>(in[10] & 0xFFFFFFFFu);
+  span.payload_bytes = static_cast<std::uint32_t>(in[10] >> 32);
+  return span;
+}
+
+SpanRing::SpanRing(std::size_t capacity) {
+  const std::size_t n = std::bit_ceil(capacity < 8 ? 8 : capacity);
+  slots_ = std::make_unique<Slot[]>(n);
+  mask_ = n - 1;
+}
+
+void SpanRing::push(const Span& span) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[head & mask_];
+  std::uint64_t words[kSpanWords];
+  span_to_words(span, words);
+  // Seqlock write: mark odd, publish words, mark even. The release fence
+  // orders the odd marker before the word stores; the final release store
+  // orders the word stores before the even marker — readers that see
+  // matching even markers around their copy got untorn data.
+  const std::uint64_t version =
+      slot.marker.load(std::memory_order_relaxed) | 1u;
+  slot.marker.store(version, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t w = 0; w < kSpanWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.marker.store(version + 1, std::memory_order_release);
+  head_.store(head + 1, std::memory_order_release);
+}
+
+bool SpanRing::read_slot(std::size_t i, Span& out) const {
+  const Slot& slot = slots_[i & mask_];
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint64_t before = slot.marker.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1u) != 0) return false;  // empty / mid-write
+    std::uint64_t words[kSpanWords];
+    for (std::size_t w = 0; w < kSpanWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.marker.load(std::memory_order_relaxed) == before) {
+      out = span_from_words(words);
+      return out.seq != 0;
+    }
+  }
+  return false;  // writer kept lapping us; treat as torn
+}
+
+std::vector<Span> SpanRing::snapshot() const {
+  std::vector<Span> out;
+  const std::size_t n = capacity();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Span span;
+    if (read_slot(i, span)) out.push_back(span);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void SpanRing::reset() {
+  const std::size_t n = capacity();
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[i].marker.store(0, std::memory_order_release);
+  }
+  head_.store(0, std::memory_order_release);
+}
+
+std::uint64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point anchor = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           anchor)
+          .count());
+}
+
+}  // namespace asimt::obsv

@@ -1,0 +1,222 @@
+// Per-request spans for the serving path (docs/OBSERVABILITY.md).
+//
+// A Span is the request-level analogue of the PR 4 transition profiler's
+// per-fetch attribution: one record per protocol request carrying monotonic
+// stage durations (read, parse, cache lookup, execute, serialize, write)
+// plus the dimensions tail latency gets attributed to — op, cache outcome,
+// shard, error kind, request/payload sizes.
+//
+// Spans are recorded into fixed-size per-connection ring buffers (SpanRing)
+// that a crash handler, the `dump` protocol op, and the metrics snapshot can
+// all read while the connection thread keeps writing:
+//
+//   - Every slot is an array of std::atomic<uint64_t> words guarded by a
+//     per-slot sequence marker (a seqlock). The writer never blocks and
+//     never allocates; readers retry torn slots. All accesses are atomic, so
+//     the scheme is race-free under TSan, and because lock-free 64-bit
+//     atomics need no locks it is also async-signal-safe — the flight
+//     recorder (obsv/flight.h) walks rings from inside SIGSEGV/SIGABRT.
+//   - One writer per ring (the connection thread); any number of readers.
+//
+// SpanBuilder is the stamping helper threaded through serve::Service and
+// serve::Server: begin() anchors the request, mark(stage) charges the time
+// since the previous boundary to that stage. When observability is disabled
+// the builder stays inactive and every call is a cheap early-out.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace asimt::obsv {
+
+// ---------------------------------------------------------------------------
+// Dimensions
+
+enum class Stage : unsigned {
+  kRead = 0,       // waiting for / receiving the request line
+  kParse,          // JSON parse, validation, assembly
+  kCacheLookup,    // content hash + shard lookup
+  kExecute,        // encode/verify/profile compute (cache miss only)
+  kSerialize,      // reply string construction
+  kWrite,          // send() of the reply bytes
+};
+inline constexpr unsigned kStageCount = 6;
+const char* stage_name(Stage stage);
+
+enum class Op : unsigned {
+  kPing = 0,
+  kEncode,
+  kVerify,
+  kProfile,
+  kStats,
+  kMetrics,
+  kDump,
+  kOther,  // unknown/unparsable op — errors before dispatch land here
+};
+inline constexpr unsigned kOpCount = 8;
+const char* op_name(Op op);
+
+enum class Outcome : unsigned {
+  kNone = 0,  // op has no cache interaction (ping, profile, stats, errors)
+  kHit,
+  kMiss,
+};
+inline constexpr unsigned kOutcomeCount = 3;
+const char* outcome_name(Outcome outcome);
+
+// Protocol error kinds as small ids (0 = ok). Matches the wire strings of
+// docs/SERVING.md so dumps and metrics agree with replies.
+inline constexpr unsigned kErrorKindCount = 6;
+const char* error_kind_name(std::uint8_t kind);           // "ok", "parse", ...
+std::uint8_t error_kind_id(const char* kind);             // inverse; 5 if unknown
+
+// ---------------------------------------------------------------------------
+// Span
+
+struct Span {
+  std::uint64_t seq = 0;       // process-wide request sequence; 0 = empty slot
+  std::uint64_t conn_id = 0;   // connection ordinal (the flight dump's "tid")
+  std::uint64_t start_ns = 0;  // monotonic ns since process start
+  std::uint64_t stage_ns[kStageCount] = {};
+  std::uint8_t op = 0;          // Op
+  std::uint8_t outcome = 0;     // Outcome
+  std::uint8_t error_kind = 0;  // 0 = ok
+  std::uint8_t shard = 0;       // cache shard (hit/miss only)
+  std::uint32_t request_bytes = 0;
+  std::uint32_t payload_bytes = 0;
+
+  // Server-side processing time: every stage except the read wait (which
+  // measures client think time, not server work).
+  std::uint64_t total_ns() const {
+    std::uint64_t total = 0;
+    for (unsigned s = 1; s < kStageCount; ++s) total += stage_ns[s];
+    return total;
+  }
+};
+
+// Fixed word layout so a Span round-trips through the atomic slot exactly.
+inline constexpr std::size_t kSpanWords = 11;
+void span_to_words(const Span& span, std::uint64_t out[kSpanWords]);
+Span span_from_words(const std::uint64_t in[kSpanWords]);
+
+// ---------------------------------------------------------------------------
+// SpanRing
+
+class SpanRing {
+ public:
+  // Capacity is rounded up to a power of two (minimum 8).
+  explicit SpanRing(std::size_t capacity = 256);
+
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+  std::uint64_t pushed() const { return head_.load(std::memory_order_acquire); }
+
+  // Writer side: one thread only.
+  void push(const Span& span);
+
+  // The connection this ring currently records; stamped on acquire so a
+  // dump can label rows even when slots from a previous owner remain.
+  void set_conn_id(std::uint64_t id) {
+    conn_id_.store(id, std::memory_order_relaxed);
+  }
+  std::uint64_t conn_id() const {
+    return conn_id_.load(std::memory_order_relaxed);
+  }
+
+  // Reader side, any thread. Returns false when slot `i` is empty or was
+  // being rewritten (torn) — callers skip it. Async-signal-safe.
+  bool read_slot(std::size_t i, Span& out) const;
+
+  // Every currently readable span, oldest first (by seq). Not signal-safe
+  // (allocates); the signal path uses read_slot directly.
+  std::vector<Span> snapshot() const;
+
+  // Forgets all recorded spans (ring reuse across connections).
+  void reset();
+
+ private:
+  struct Slot {
+    // Seqlock marker: 0 = empty, odd = write in progress, even = version.
+    std::atomic<std::uint64_t> marker{0};
+    std::atomic<std::uint64_t> words[kSpanWords] = {};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> conn_id_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Clock + builder
+
+// Monotonic nanoseconds since process start (steady_clock anchored at the
+// first call — cheap, overflow-free for centuries).
+std::uint64_t now_ns();
+
+class SpanBuilder {
+ public:
+  SpanBuilder() = default;
+
+  bool active() const { return active_; }
+
+  // Starts a span whose read stage began at `read_start_ns` (the instant
+  // the previous reply finished, i.e. when the server started waiting for
+  // this line). Passing 0 uses now (no read attribution — direct calls).
+  void begin(std::uint64_t conn_id, std::uint64_t seq,
+             std::uint64_t read_start_ns = 0) {
+    const std::uint64_t now = now_ns();
+    span_ = Span{};
+    span_.seq = seq;
+    span_.conn_id = conn_id;
+    span_.start_ns = read_start_ns == 0 ? now : read_start_ns;
+    span_.stage_ns[static_cast<unsigned>(Stage::kRead)] =
+        read_start_ns == 0 ? 0 : now - read_start_ns;
+    last_ns_ = now;
+    active_ = true;
+  }
+
+  // Charges the time since the previous boundary to `stage` (accumulating,
+  // so a stage touched twice keeps both shares).
+  void mark(Stage stage) {
+    if (!active_) return;
+    const std::uint64_t now = now_ns();
+    span_.stage_ns[static_cast<unsigned>(stage)] += now - last_ns_;
+    last_ns_ = now;
+  }
+
+  void set_op(Op op) { span_.op = static_cast<std::uint8_t>(op); }
+  void set_outcome(Outcome outcome) {
+    span_.outcome = static_cast<std::uint8_t>(outcome);
+  }
+  void set_error_kind(std::uint8_t kind) { span_.error_kind = kind; }
+  void set_shard(unsigned shard) {
+    span_.shard = static_cast<std::uint8_t>(shard & 0xFF);
+  }
+  void set_request_bytes(std::size_t n) {
+    span_.request_bytes = n > 0xFFFFFFFFu ? 0xFFFFFFFFu
+                                          : static_cast<std::uint32_t>(n);
+  }
+  void set_payload_bytes(std::size_t n) {
+    span_.payload_bytes = n > 0xFFFFFFFFu ? 0xFFFFFFFFu
+                                          : static_cast<std::uint32_t>(n);
+  }
+
+  const Span& span() const { return span_; }
+  // Elapsed server time so far — the value echoed to clients that request
+  // "echo_span" (serve protocol, docs/SERVING.md).
+  std::uint64_t server_ns() const { return span_.total_ns(); }
+
+ private:
+  Span span_;
+  std::uint64_t last_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace asimt::obsv

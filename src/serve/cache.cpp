@@ -44,12 +44,18 @@ std::shared_ptr<const std::string> ShardedCache::lookup(const CacheKey& key) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       payload = it->second->payload;
     }
+    // Counted inside the critical section so lookups == hits + misses in
+    // every stats() snapshot, not just eventually.
+    ++shard.lookups;
+    if (payload) {
+      ++shard.hits;
+    } else {
+      ++shard.misses;
+    }
   }
   if (payload) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
     telemetry::count("serve.cache.hits");
   } else {
-    misses_.fetch_add(1, std::memory_order_relaxed);
     telemetry::count("serve.cache.misses");
   }
   return payload;
@@ -78,14 +84,14 @@ std::shared_ptr<const std::string> ShardedCache::insert(const CacheKey& key,
         shard.lru.pop_back();
         ++evicted;
       }
+      ++shard.insertions;
+      shard.evictions += evicted;
     }
   }
   if (resident == incoming) {
-    insertions_.fetch_add(1, std::memory_order_relaxed);
     telemetry::count("serve.cache.insertions");
   }
   if (evicted > 0) {
-    evictions_.fetch_add(evicted, std::memory_order_relaxed);
     telemetry::count("serve.cache.evictions", static_cast<long long>(evicted));
   }
   return resident;
@@ -93,12 +99,18 @@ std::shared_ptr<const std::string> ShardedCache::insert(const CacheKey& key,
 
 CacheStats ShardedCache::stats() const {
   CacheStats out;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  out.evictions = evictions_.load(std::memory_order_relaxed);
-  out.insertions = insertions_.load(std::memory_order_relaxed);
+  // Each shard is summed under its own lock: the per-shard invariant
+  // lookups == hits + misses holds at the instant of the read, so the sums
+  // satisfy it too. (The snapshot is per-shard-consistent, not a global
+  // point-in-time cut — good enough for the invariant the stats op
+  // promises, without a stop-the-world lock.)
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    out.lookups += shard->lookups;
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.insertions += shard->insertions;
     out.entries += shard->lru.size();
   }
   return out;

@@ -17,14 +17,16 @@
 // LRU by lookup/insert recency, capped at capacity()/shards entries (at
 // least one per shard).
 //
-// Observability: hits/misses/evictions/insertions are counted in local
-// atomics (always on, served by the `stats` protocol op) and mirrored into
-// the telemetry registry as serve.cache.* counters when telemetry is
-// enabled, which puts them on every --metrics snapshot and Prometheus
-// scrape.
+// Observability: lookups/hits/misses/evictions/insertions are per-shard
+// counters incremented inside the shard's critical section, so stats()
+// (which sums them under each shard lock) returns a snapshot in which
+// `hits + misses == lookups` holds exactly — the `stats` protocol op
+// promises that invariant even under concurrent load. The counters are
+// mirrored into the telemetry registry as serve.cache.* counters when
+// telemetry is enabled, which puts them on every --metrics snapshot and
+// Prometheus scrape.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -50,6 +52,7 @@ struct CacheKey {
 };
 
 struct CacheStats {
+  std::uint64_t lookups = 0;  // == hits + misses in every snapshot
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
@@ -112,6 +115,13 @@ class ShardedCache {
     // Front = most recently used. The map owns iterators into the list.
     std::list<Entry> lru;
     std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+    // Counters live under `mu` so each shard's lookups == hits + misses at
+    // every instant, and a stats() sum over shards inherits the invariant.
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
   };
 
   Shard& shard_for(const CacheKey& key) {
@@ -121,13 +131,6 @@ class ShardedCache {
   std::size_t capacity_;
   std::size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
-
-  // Always-on relaxed counters (the daemon serves `stats` with telemetry
-  // off too); `entries` is computed by summing shard sizes on demand.
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> insertions_{0};
 };
 
 }  // namespace asimt::serve

@@ -61,18 +61,22 @@ std::vector<std::string> make_program_pool() {
 // field), so the per-send cost is one integer format + two appends, not a
 // JSON escape of the program text.
 std::vector<std::string> make_request_bodies() {
+  // Every request opts into the server-side latency echo; the echoed field
+  // lives in the reply envelope, outside the cached payload, so this does
+  // not disturb the byte-identity contract.
   std::vector<std::string> bodies;
   const std::vector<std::string> pool = make_program_pool();
   for (const std::string& text : pool) {
     for (int k = 4; k <= 6; ++k) {
-      bodies.push_back(",\"op\":\"encode\",\"text\":\"" + json::escape(text) +
-                       "\",\"k\":" + std::to_string(k) + "}");
+      bodies.push_back(",\"echo_span\":true,\"op\":\"encode\",\"text\":\"" +
+                       json::escape(text) + "\",\"k\":" + std::to_string(k) +
+                       "}");
     }
   }
   // One verify body per program (k=5) keeps the decode path in the mix.
   for (const std::string& text : pool) {
-    bodies.push_back(",\"op\":\"verify\",\"text\":\"" + json::escape(text) +
-                     "\",\"k\":5}");
+    bodies.push_back(",\"echo_span\":true,\"op\":\"verify\",\"text\":\"" +
+                     json::escape(text) + "\",\"k\":5}");
   }
   return bodies;
 }
@@ -83,8 +87,26 @@ struct ConnResult {
   std::uint64_t errors = 0;
   bool connect_failed = false;
   std::vector<double> latencies_ms;
+  std::vector<double> server_ms;  // echoed server_ns per reply, as ms
   Clock::time_point last_reply{};
 };
+
+// Pulls the echoed "server_ns" integer out of a reply line, if present.
+// The envelope is spliced (not re-serialized), so the field, when present,
+// is exactly `"server_ns":<digits>`.
+bool parse_server_ns(const std::string& reply, std::uint64_t& out) {
+  static const std::string kField = "\"server_ns\":";
+  const std::size_t pos = reply.find(kField);
+  if (pos == std::string::npos) return false;
+  std::uint64_t value = 0;
+  std::size_t i = pos + kField.size();
+  if (i >= reply.size() || reply[i] < '0' || reply[i] > '9') return false;
+  for (; i < reply.size() && reply[i] >= '0' && reply[i] <= '9'; ++i) {
+    value = value * 10 + static_cast<std::uint64_t>(reply[i] - '0');
+  }
+  out = value;
+  return true;
+}
 
 // One loadgen connection: a sender thread pacing the open-loop schedule and
 // a receiver thread matching FIFO replies to their scheduled send times.
@@ -129,6 +151,10 @@ void run_connection(const LoadgenOptions& options, unsigned conn_index,
       result.latencies_ms.push_back(
           std::chrono::duration<double, std::milli>(now - scheduled).count());
       if (reply->find("\"ok\":true") == std::string::npos) ++result.errors;
+      std::uint64_t server_ns = 0;
+      if (parse_server_ns(*reply, server_ns)) {
+        result.server_ms.push_back(static_cast<double>(server_ns) / 1e6);
+      }
     }
   });
 
@@ -166,14 +192,6 @@ void run_connection(const LoadgenOptions& options, unsigned conn_index,
   client.close();
 }
 
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double rank = q * static_cast<double>(sorted.size());
-  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
-  if (index > 0) --index;
-  return sorted[std::min(index, sorted.size() - 1)];
-}
-
 json::Value stats_row(const std::string& name, double median,
                       std::uint64_t count) {
   json::Value stats = json::Value::object();
@@ -186,6 +204,20 @@ json::Value stats_row(const std::string& name, double median,
 }
 
 }  // namespace
+
+double interpolated_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  // Type-7 (the R/NumPy default): rank h = (n-1)q, linear between the two
+  // covering order statistics. The old ceil-rank selection returned the max
+  // for every q > (n-1)/n, which made p99.9 meaningless below 1000 samples.
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
 
 LoadgenReport run_loadgen(const LoadgenOptions& options) {
   const std::vector<std::string> bodies = make_request_bodies();
@@ -206,6 +238,7 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
 
   LoadgenReport report;
   std::vector<double> latencies;
+  std::vector<double> server;
   Clock::time_point last_reply = start;
   for (const ConnResult& result : results) {
     report.sent += result.sent;
@@ -214,26 +247,40 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
     if (result.connect_failed) ++report.connect_failures;
     latencies.insert(latencies.end(), result.latencies_ms.begin(),
                      result.latencies_ms.end());
+    server.insert(server.end(), result.server_ms.begin(),
+                  result.server_ms.end());
     if (result.received > 0 && result.last_reply > last_reply) {
       last_reply = result.last_reply;
     }
   }
   std::sort(latencies.begin(), latencies.end());
+  std::sort(server.begin(), server.end());
   report.elapsed_seconds =
       std::chrono::duration<double>(last_reply - start).count();
   report.throughput_rps =
       report.elapsed_seconds > 0.0
           ? static_cast<double>(report.received) / report.elapsed_seconds
           : 0.0;
-  report.p50_ms = percentile(latencies, 0.50);
-  report.p90_ms = percentile(latencies, 0.90);
-  report.p99_ms = percentile(latencies, 0.99);
-  report.p999_ms = percentile(latencies, 0.999);
+  report.p50_ms = interpolated_quantile(latencies, 0.50);
+  report.p90_ms = interpolated_quantile(latencies, 0.90);
+  report.p99_ms = interpolated_quantile(latencies, 0.99);
+  report.p999_ms = interpolated_quantile(latencies, 0.999);
   report.max_ms = latencies.empty() ? 0.0 : latencies.back();
   if (!latencies.empty()) {
     double sum = 0.0;
     for (const double v : latencies) sum += v;
     report.mean_ms = sum / static_cast<double>(latencies.size());
+  }
+  report.server_samples = server.size();
+  report.server_p50_ms = interpolated_quantile(server, 0.50);
+  report.server_p90_ms = interpolated_quantile(server, 0.90);
+  report.server_p99_ms = interpolated_quantile(server, 0.99);
+  report.server_p999_ms = interpolated_quantile(server, 0.999);
+  report.server_max_ms = server.empty() ? 0.0 : server.back();
+  if (!server.empty()) {
+    double sum = 0.0;
+    for (const double v : server) sum += v;
+    report.server_mean_ms = sum / static_cast<double>(server.size());
   }
   return report;
 }
@@ -256,6 +303,18 @@ json::Value loadgen_artifact(const LoadgenOptions& options,
   summary.set("connect_failures", report.connect_failures);
   summary.set("elapsed_seconds", report.elapsed_seconds);
   summary.set("throughput_rps", report.throughput_rps);
+  // Server-observed latency rides in the summary (not the gated benchmark
+  // rows): it is context for reading the client-observed numbers, with the
+  // client-minus-server gap isolating queueing + transport.
+  json::Value server = json::Value::object();
+  server.set("samples", report.server_samples);
+  server.set("p50_ms", report.server_p50_ms);
+  server.set("p90_ms", report.server_p90_ms);
+  server.set("p99_ms", report.server_p99_ms);
+  server.set("p999_ms", report.server_p999_ms);
+  server.set("max_ms", report.server_max_ms);
+  server.set("mean_ms", report.server_mean_ms);
+  summary.set("server_latency", std::move(server));
   doc.set("summary", std::move(summary));
   json::Value rows = json::Value::array();
   rows.push_back(stats_row("latency/p50", report.p50_ms, report.received));
@@ -274,19 +333,31 @@ json::Value loadgen_artifact(const LoadgenOptions& options,
 }
 
 std::string format_report(const LoadgenReport& report) {
-  char buffer[512];
-  std::snprintf(buffer, sizeof(buffer),
-                "sent %llu  received %llu  errors %llu  connect_failures %llu\n"
-                "elapsed %.3f s  throughput %.0f req/s\n"
-                "latency ms  p50 %.3f  p90 %.3f  p99 %.3f  p99.9 %.3f  "
-                "max %.3f  mean %.3f\n",
-                static_cast<unsigned long long>(report.sent),
-                static_cast<unsigned long long>(report.received),
-                static_cast<unsigned long long>(report.errors),
-                static_cast<unsigned long long>(report.connect_failures),
-                report.elapsed_seconds, report.throughput_rps, report.p50_ms,
-                report.p90_ms, report.p99_ms, report.p999_ms, report.max_ms,
-                report.mean_ms);
+  char buffer[768];
+  int n = std::snprintf(
+      buffer, sizeof(buffer),
+      "sent %llu  received %llu  errors %llu  connect_failures %llu\n"
+      "elapsed %.3f s  throughput %.0f req/s\n"
+      "client ms   p50 %.3f  p90 %.3f  p99 %.3f  p99.9 %.3f  "
+      "max %.3f  mean %.3f\n",
+      static_cast<unsigned long long>(report.sent),
+      static_cast<unsigned long long>(report.received),
+      static_cast<unsigned long long>(report.errors),
+      static_cast<unsigned long long>(report.connect_failures),
+      report.elapsed_seconds, report.throughput_rps, report.p50_ms,
+      report.p90_ms, report.p99_ms, report.p999_ms, report.max_ms,
+      report.mean_ms);
+  if (n > 0 && report.server_samples > 0 &&
+      static_cast<std::size_t>(n) < sizeof(buffer)) {
+    std::snprintf(buffer + n, sizeof(buffer) - static_cast<std::size_t>(n),
+                  "server ms   p50 %.3f  p90 %.3f  p99 %.3f  p99.9 %.3f  "
+                  "max %.3f  mean %.3f  (echoed by %llu replies; "
+                  "client - server = queueing + transport)\n",
+                  report.server_p50_ms, report.server_p90_ms,
+                  report.server_p99_ms, report.server_p999_ms,
+                  report.server_max_ms, report.server_mean_ms,
+                  static_cast<unsigned long long>(report.server_samples));
+  }
   return buffer;
 }
 

@@ -43,16 +43,34 @@ struct LoadgenReport {
   std::uint64_t connect_failures = 0;
   double elapsed_seconds = 0.0;    // first scheduled send to last reply
   double throughput_rps = 0.0;     // received / elapsed
-  // Latency percentiles over all received replies, milliseconds.
+  // Client-observed latency percentiles over all received replies,
+  // milliseconds, measured from the *scheduled* send instant (open loop).
   double p50_ms = 0.0;
   double p90_ms = 0.0;
   double p99_ms = 0.0;
   double p999_ms = 0.0;
   double max_ms = 0.0;
   double mean_ms = 0.0;
+  // Server-observed latency (the "server_ns" field the daemon echoes into
+  // replies when the request carries "echo_span":true — server work only,
+  // no queueing/transfer). Reported side by side with the client view: the
+  // gap between the two is the queueing + transport share of the tail.
+  std::uint64_t server_samples = 0;  // replies that carried the echo
+  double server_p50_ms = 0.0;
+  double server_p90_ms = 0.0;
+  double server_p99_ms = 0.0;
+  double server_p999_ms = 0.0;
+  double server_max_ms = 0.0;
+  double server_mean_ms = 0.0;
 
   bool ok() const { return connect_failures == 0 && errors == 0 && received > 0; }
 };
+
+// Type-7 quantile (linear interpolation at rank h = (n-1)·q) over an
+// ascending-sorted sample — the estimator every reported percentile uses.
+// Unlike ceil-rank selection it does not collapse p99.9 onto the max for
+// n < 1000 samples. Exposed for tests.
+double interpolated_quantile(const std::vector<double>& sorted, double q);
 
 // Runs the load and blocks until every in-flight reply is drained.
 LoadgenReport run_loadgen(const LoadgenOptions& options);

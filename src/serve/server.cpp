@@ -135,6 +135,7 @@ std::uint64_t Server::run() {
     telemetry::count("serve.connections");
     auto connection = std::make_unique<Connection>();
     connection->fd = client;
+    connection->id = connections_served_;
     Connection* raw = connection.get();
     {
       std::lock_guard<std::mutex> lock(connections_mu_);
@@ -175,6 +176,17 @@ void Server::notify_stop() {
 
 void Server::handle_connection(Connection* connection) {
   const int fd = connection->fd;
+  obsv::Recorder& recorder = service_.recorder();
+  const bool observing = recorder.enabled();
+  // The connection's flight ring (nullptr when no flight recorder is
+  // configured — spans then feed the latency matrix and slow log only).
+  obsv::SpanRing* ring =
+      observing ? recorder.acquire_ring(connection->id) : nullptr;
+  std::uint64_t span_seq = 0;
+  // When the read stage of request N starts: at connect, and thereafter the
+  // instant reply N-1 finished — so read_ns measures the wait for bytes
+  // (client think time + transfer), never server work.
+  std::uint64_t read_start = observing ? obsv::now_ns() : 0;
   std::string buffer;
   char chunk[4096];
   // A single line may legitimately reach max_text_bytes (the program text
@@ -206,10 +218,19 @@ void Server::handle_connection(Connection* connection) {
         continue;
       }
       if (line.empty()) continue;  // blank keep-alives are fine
-      const std::string reply = service_.handle_line(line) + "\n";
+      obsv::SpanBuilder sb;
+      if (observing) sb.begin(connection->id, ++span_seq, read_start);
+      const std::string reply = service_.handle_line(line, &sb) + "\n";
       // send_all failing means the client hung up mid-reply (EPIPE): drop
       // the connection, never the process.
       open = send_all(fd, reply.data(), reply.size());
+      if (observing) {
+        sb.mark(obsv::Stage::kWrite);
+        // Terminal record (flight ring + slow log). The latency matrix was
+        // already fed inside handle_line, before the reply bytes left.
+        recorder.record(sb.span(), ring);
+        read_start = obsv::now_ns();
+      }
     }
     buffer.erase(0, start);
     if (open && buffer.size() > max_line) {
@@ -228,6 +249,7 @@ void Server::handle_connection(Connection* connection) {
     }
   }
   ::close(fd);
+  recorder.release_ring(ring);
   connection->fd = -1;
   connection->done.store(true, std::memory_order_release);
 }

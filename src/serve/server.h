@@ -64,6 +64,7 @@ class Server {
  private:
   struct Connection {
     int fd = -1;
+    std::uint64_t id = 0;  // accept ordinal; spans carry it as conn_id
     std::thread thread;
     std::atomic<bool> done{false};
   };

@@ -11,8 +11,10 @@
 #include "bitstream/bitseq.h"
 #include "core/chain_encoder.h"
 #include "isa/assembler.h"
+#include "obsv/latency.h"
 #include "sim/bus.h"
 #include "sim/cpu.h"
+#include "telemetry/export.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 
@@ -113,6 +115,17 @@ EncodeParams decode_encode_params(const json::Value& request,
     }
   }
   return params;
+}
+
+obsv::Op op_from_name(const std::string& name) {
+  if (name == "ping") return obsv::Op::kPing;
+  if (name == "encode") return obsv::Op::kEncode;
+  if (name == "verify") return obsv::Op::kVerify;
+  if (name == "profile") return obsv::Op::kProfile;
+  if (name == "stats") return obsv::Op::kStats;
+  if (name == "metrics") return obsv::Op::kMetrics;
+  if (name == "dump") return obsv::Op::kDump;
+  return obsv::Op::kOther;
 }
 
 isa::Program assemble_request(const std::string& text) {
@@ -272,22 +285,45 @@ std::string compute_profile_payload(const json::Value& request,
 
 Service::Service(ServiceOptions options)
     : options_(options),
-      cache_(options.cache_capacity, options.cache_shards) {}
+      cache_(options.cache_capacity, options.cache_shards),
+      recorder_(options.recorder) {}
 
 std::string Service::error_reply(const char* kind, const std::string& message) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   errors_.fetch_add(1, std::memory_order_relaxed);
   telemetry::count("serve.requests");
   telemetry::count("serve.errors");
+  if (recorder_.enabled()) {
+    // Transport-level rejections never reach handle_line; record a span so
+    // the metrics op still accounts for every reply the daemon sent.
+    obsv::SpanBuilder sb;
+    sb.begin(0, 1);
+    sb.set_op(obsv::Op::kOther);
+    sb.set_error_kind(obsv::error_kind_id(kind));
+    recorder_.observe(sb.span());
+  }
   json::Value error = json::Value::object();
   error.set("kind", kind);
   error.set("message", message);
   return "{\"id\":null,\"ok\":false,\"error\":" + error.dump() + "}";
 }
 
-std::string Service::handle_line(const std::string& line) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+std::string Service::handle_line(const std::string& line,
+                                 obsv::SpanBuilder* sb) {
+  const std::uint64_t seq =
+      requests_.fetch_add(1, std::memory_order_relaxed) + 1;
   telemetry::count("serve.requests");
+
+  // Socket-less callers (tests, benches, direct embedding) get a local
+  // builder so the latency matrix sees their requests too; the server passes
+  // its own with the connection id and read-stage timing already stamped.
+  obsv::SpanBuilder local;
+  if (sb == nullptr) {
+    sb = &local;
+    if (recorder_.enabled()) local.begin(0, seq);
+  }
+  sb->set_op(obsv::Op::kOther);  // until the op field decodes
+  sb->set_request_bytes(line.size());
 
   // The id is echoed into every reply, including error replies, so clients
   // multiplexing one connection can match responses. Until it is decoded the
@@ -296,6 +332,7 @@ std::string Service::handle_line(const std::string& line) {
   const char* error_kind = nullptr;
   std::string error_message;
   std::string payload;
+  bool echo_span = false;
 
   try {
     if (line.size() > options_.max_text_bytes + 4096) {
@@ -316,10 +353,16 @@ std::string Service::handle_line(const std::string& line) {
       }
       id_dump = id->dump();
     }
+    if (const json::Value* echo = request.find("echo_span")) {
+      if (!echo->is_bool()) bad_request("field 'echo_span' must be a boolean");
+      echo_span = echo->as_bool();
+    }
     const json::Value* op = request.find("op");
     if (!op) bad_request("missing required field 'op'");
     if (!op->is_string()) bad_request("field 'op' must be a string");
     const std::string& name = op->as_string();
+    sb->set_op(op_from_name(name));
+    sb->mark(obsv::Stage::kParse);
 
     if (name == "ping") {
       payload = "{\"pong\":true}";
@@ -330,24 +373,33 @@ std::string Service::handle_line(const std::string& line) {
       const std::vector<bits::BitSeq> lines =
           bits::vertical_lines(program.text);
       const CacheKey key = make_key(lines, params, op_id);
-      if (const std::shared_ptr<const std::string> hit = cache_.lookup(key)) {
+      sb->mark(obsv::Stage::kParse);  // decode + assembly charge to parse
+      sb->set_shard(cache_.shard_of(key));
+      const std::shared_ptr<const std::string> hit = cache_.lookup(key);
+      sb->mark(obsv::Stage::kCacheLookup);
+      if (hit) {
+        sb->set_outcome(obsv::Outcome::kHit);
         payload = *hit;
       } else {
+        sb->set_outcome(obsv::Outcome::kMiss);
         std::string cold = op_id == kOpEncode
                                ? compute_encode_payload(program, lines, params)
                                : compute_verify_payload(program, lines, params);
         // insert() returns the resident payload: if another worker computed
         // the same key first, its bytes win for every caller.
         payload = *cache_.insert(key, std::move(cold));
+        sb->mark(obsv::Stage::kExecute);
       }
     } else if (name == "profile") {
       payload = compute_profile_payload(request, options_);
+      sb->mark(obsv::Stage::kExecute);
     } else if (name == "stats") {
       const CacheStats stats = cache_.stats();
       json::Value result = json::Value::object();
       result.set("requests", requests());
       result.set("errors", errors());
       json::Value cache = json::Value::object();
+      cache.set("lookups", stats.lookups);
       cache.set("hits", stats.hits);
       cache.set("misses", stats.misses);
       cache.set("evictions", stats.evictions);
@@ -357,6 +409,25 @@ std::string Service::handle_line(const std::string& line) {
       cache.set("shards", cache_.shard_count());
       result.set("cache", std::move(cache));
       payload = result.dump();
+      sb->mark(obsv::Stage::kExecute);
+    } else if (name == "metrics") {
+      payload = metrics_payload(request);
+      sb->mark(obsv::Stage::kExecute);
+    } else if (name == "dump") {
+      obsv::FlightRecorder* flight = recorder_.flight();
+      if (flight == nullptr) {
+        bad_request("flight recorder not configured (start with --flight)");
+      }
+      const long long rows = flight->dump("dump_op");
+      if (rows < 0) {
+        throw RequestError{"internal", std::string("cannot write flight dump ") +
+                                           flight->path()};
+      }
+      json::Value result = json::Value::object();
+      result.set("path", flight->path());
+      result.set("rows", rows);
+      payload = result.dump();
+      sb->mark(obsv::Stage::kExecute);
     } else {
       bad_request("unknown op '" + name + "'");
     }
@@ -371,20 +442,177 @@ std::string Service::handle_line(const std::string& line) {
     error_message = "unknown error";
   }
 
+  std::string reply;
   if (error_kind) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     telemetry::count("serve.errors");
+    sb->set_error_kind(obsv::error_kind_id(error_kind));
     // Build the error object through the JSON layer so arbitrary exception
     // text is always escaped correctly.
     json::Value error = json::Value::object();
     error.set("kind", error_kind);
     error.set("message", error_message);
-    return "{\"id\":" + id_dump + ",\"ok\":false,\"error\":" + error.dump() +
-           "}";
+    sb->mark(obsv::Stage::kSerialize);
+    reply = "{\"id\":" + id_dump + ",\"ok\":false,\"error\":" + error.dump() +
+            "}";
+  } else {
+    sb->set_payload_bytes(payload.size());
+    sb->mark(obsv::Stage::kSerialize);
+    // Replies are spliced as strings around the cached payload, so a cache
+    // hit returns exactly the bytes the cold encode produced. The opt-in
+    // echoed latency lives in the envelope, outside `result`, so the cached
+    // payload (and the byte-identity contract) is untouched.
+    if (echo_span) {
+      reply = "{\"id\":" + id_dump +
+              ",\"ok\":true,\"server_ns\":" + std::to_string(sb->server_ns()) +
+              ",\"result\":" + payload + "}";
+    } else {
+      reply = "{\"id\":" + id_dump + ",\"ok\":true,\"result\":" + payload + "}";
+    }
   }
-  // Replies are spliced as strings around the cached payload, so a cache hit
-  // returns exactly the bytes the cold encode produced.
-  return "{\"id\":" + id_dump + ",\"ok\":true,\"result\":" + payload + "}";
+  // Recorded before the reply leaves this function — by the time a client
+  // holds the reply bytes, the metrics op already counts the request (the
+  // smoke test's count-equality assertion rests on this ordering).
+  if (recorder_.enabled() && sb->active()) recorder_.observe(sb->span());
+  return reply;
+}
+
+std::string Service::metrics_payload(const json::Value& request) {
+  bool prometheus = false;
+  if (const json::Value* format = request.find("format")) {
+    if (!format->is_string()) bad_request("field 'format' must be a string");
+    const std::string& name = format->as_string();
+    if (name == "prometheus") {
+      prometheus = true;
+    } else if (name != "json") {
+      bad_request("field 'format' must be 'json' or 'prometheus', got '" +
+                  name + "'");
+    }
+  }
+
+  // Snapshot every latency cell once; each snapshot's count is the sum of
+  // the buckets it read, so counts and buckets are consistent per cell.
+  struct Cell {
+    obsv::Op op;
+    obsv::Outcome outcome;
+    obsv::LogHistogram::Snapshot snap;
+  };
+  std::vector<Cell> cells;
+  std::uint64_t by_op[obsv::kOpCount] = {};
+  for (unsigned op = 0; op < obsv::kOpCount; ++op) {
+    for (unsigned outcome = 0; outcome < obsv::kOutcomeCount; ++outcome) {
+      obsv::LogHistogram::Snapshot snap =
+          recorder_.latency()
+              .cell(static_cast<obsv::Op>(op),
+                    static_cast<obsv::Outcome>(outcome))
+              .snapshot();
+      by_op[op] += snap.count;
+      if (snap.count > 0) {
+        cells.push_back(Cell{static_cast<obsv::Op>(op),
+                             static_cast<obsv::Outcome>(outcome),
+                             std::move(snap)});
+      }
+    }
+  }
+  const CacheStats stats = cache_.stats();
+
+  if (!prometheus) {
+    json::Value result = json::Value::object();
+    result.set("requests", requests());
+    result.set("errors", errors());
+    json::Value ops = json::Value::object();
+    for (unsigned op = 0; op < obsv::kOpCount; ++op) {
+      ops.set(obsv::op_name(static_cast<obsv::Op>(op)), by_op[op]);
+    }
+    result.set("by_op", std::move(ops));
+    json::Value hists = json::Value::object();
+    for (const Cell& cell : cells) {
+      json::Value h = json::Value::object();
+      h.set("count", cell.snap.count);
+      h.set("sum_ns", cell.snap.sum);
+      h.set("max_ns", cell.snap.max);
+      h.set("p50_ns", cell.snap.quantile(0.50));
+      h.set("p90_ns", cell.snap.quantile(0.90));
+      h.set("p99_ns", cell.snap.quantile(0.99));
+      h.set("p999_ns", cell.snap.quantile(0.999));
+      hists.set(std::string(obsv::op_name(cell.op)) + "." +
+                    obsv::outcome_name(cell.outcome),
+                std::move(h));
+    }
+    result.set("histograms", std::move(hists));
+    json::Value cache = json::Value::object();
+    cache.set("lookups", stats.lookups);
+    cache.set("hits", stats.hits);
+    cache.set("misses", stats.misses);
+    cache.set("evictions", stats.evictions);
+    cache.set("insertions", stats.insertions);
+    cache.set("entries", stats.entries);
+    result.set("cache", std::move(cache));
+    json::Value obs = json::Value::object();
+    obs.set("enabled", recorder_.enabled());
+    obs.set("slow_ms", recorder_.options().slow_ms);
+    obs.set("flight", recorder_.flight() != nullptr);
+    result.set("observability", std::move(obs));
+    return result.dump();
+  }
+
+  std::vector<telemetry::PromFamily> families;
+  families.push_back(telemetry::PromFamily{
+      "asimt_serve_requests_total", "counter", "requests handled",
+      {telemetry::PromSample{"", {}, std::to_string(requests())}}});
+  families.push_back(telemetry::PromFamily{
+      "asimt_serve_errors_total", "counter", "error replies sent",
+      {telemetry::PromSample{"", {}, std::to_string(errors())}}});
+  telemetry::PromFamily duration{
+      "asimt_serve_request_ns", "histogram",
+      "server-side request latency in nanoseconds by op and cache outcome",
+      {}};
+  for (const Cell& cell : cells) {
+    const std::string op = obsv::op_name(cell.op);
+    const std::string outcome = obsv::outcome_name(cell.outcome);
+    std::uint64_t cumulative = 0;
+    for (const auto& [index, n] : cell.snap.buckets) {
+      cumulative += n;
+      duration.samples.push_back(telemetry::PromSample{
+          "_bucket",
+          {{"op", op},
+           {"outcome", outcome},
+           {"le",
+            std::to_string(obsv::LogHistogram::bucket_upper_bound(index))}},
+          std::to_string(cumulative)});
+    }
+    duration.samples.push_back(telemetry::PromSample{
+        "_bucket",
+        {{"op", op}, {"outcome", outcome}, {"le", "+Inf"}},
+        std::to_string(cell.snap.count)});
+    duration.samples.push_back(telemetry::PromSample{
+        "_count",
+        {{"op", op}, {"outcome", outcome}},
+        std::to_string(cell.snap.count)});
+    duration.samples.push_back(telemetry::PromSample{
+        "_sum",
+        {{"op", op}, {"outcome", outcome}},
+        std::to_string(cell.snap.sum)});
+  }
+  families.push_back(std::move(duration));
+  const std::pair<const char*, std::uint64_t> cache_counters[] = {
+      {"lookups", stats.lookups},   {"hits", stats.hits},
+      {"misses", stats.misses},     {"evictions", stats.evictions},
+      {"insertions", stats.insertions}};
+  for (const auto& [name, value] : cache_counters) {
+    families.push_back(telemetry::PromFamily{
+        std::string("asimt_serve_cache_") + name + "_total", "counter",
+        std::string("cache ") + name,
+        {telemetry::PromSample{"", {}, std::to_string(value)}}});
+  }
+  families.push_back(telemetry::PromFamily{
+      "asimt_serve_cache_entries", "gauge", "resident cache entries",
+      {telemetry::PromSample{"", {}, std::to_string(stats.entries)}}});
+
+  json::Value result = json::Value::object();
+  result.set("content_type", "text/plain; version=0.0.4");
+  result.set("text", telemetry::render_prometheus(std::move(families)));
+  return result.dump();
 }
 
 }  // namespace asimt::serve

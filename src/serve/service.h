@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obsv/recorder.h"
 #include "serve/cache.h"
 
 namespace asimt::serve {
@@ -47,6 +48,10 @@ struct ServiceOptions {
   std::uint64_t max_profile_steps = 100'000'000;
   int min_k = 2;
   int max_k = 12;  // choice tables are 2^k; keep the solver bounded
+  // Serving-path observability (spans, latency matrix, slow log, flight
+  // recorder). Enabled by default: the <2% overhead budget is part of the
+  // feature, not a reason to ship it off.
+  obsv::RecorderOptions recorder;
 };
 
 class Service {
@@ -55,7 +60,19 @@ class Service {
 
   // Handles one request line (no trailing newline) and returns the reply
   // line (no trailing newline). Never throws.
-  std::string handle_line(const std::string& line);
+  //
+  // When `sb` is provided the span is annotated (op, cache outcome, shard,
+  // error kind, payload bytes) and its parse/cache/execute/serialize stages
+  // are stamped; the request latency is recorded into the latency matrix
+  // *before* returning, so a client that has the reply is already counted
+  // by the `metrics` op. Without `sb` an internal builder is used so
+  // socket-less callers (tests, benches) still feed the histograms.
+  //
+  // A request carrying `"echo_span": true` gets `"server_ns": N` spliced
+  // into its reply envelope — outside `result`, so the cached payload and
+  // the byte-identity contract are untouched.
+  std::string handle_line(const std::string& line,
+                          obsv::SpanBuilder* sb = nullptr);
 
   // A structured error reply (id null) minted outside handle_line — the
   // server uses this for transport-level rejections (e.g. an unterminated
@@ -74,9 +91,15 @@ class Service {
   const ShardedCache& cache() const { return cache_; }
   const ServiceOptions& options() const { return options_; }
 
+  obsv::Recorder& recorder() { return recorder_; }
+  const obsv::Recorder& recorder() const { return recorder_; }
+
  private:
+  std::string metrics_payload(const json::Value& request);
+
   ServiceOptions options_;
   ShardedCache cache_;
+  obsv::Recorder recorder_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
 };

@@ -1,5 +1,6 @@
 #include "telemetry/export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -13,6 +14,42 @@ std::string format_double(double v) {
   return buf;
 }
 
+// HELP text shares the label escapes except the double quote (HELP lines are
+// not quoted).
+std::string escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 // Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*
 std::string prometheus_name(const std::string& name) {
   std::string out = "asimt_";
@@ -24,7 +61,40 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
-}  // namespace
+std::string render_prometheus(std::vector<PromFamily> families) {
+  std::stable_sort(families.begin(), families.end(),
+                   [](const PromFamily& a, const PromFamily& b) {
+                     return a.name < b.name;
+                   });
+  std::string out;
+  const std::string* previous = nullptr;
+  for (const PromFamily& family : families) {
+    // Duplicate family names merge into the first occurrence so # HELP and
+    // # TYPE appear exactly once per family no matter how callers batch.
+    if (previous == nullptr || *previous != family.name) {
+      if (!family.help.empty()) {
+        out += "# HELP " + family.name + " " + escape_help(family.help) + "\n";
+      }
+      out += "# TYPE " + family.name + " " + family.type + "\n";
+      previous = &family.name;
+    }
+    for (const PromSample& sample : family.samples) {
+      out += family.name + sample.suffix;
+      if (!sample.labels.empty()) {
+        out += "{";
+        bool first = true;
+        for (const auto& [label, value] : sample.labels) {
+          if (!first) out += ",";
+          first = false;
+          out += label + "=\"" + prometheus_escape_label(value) + "\"";
+        }
+        out += "}";
+      }
+      out += " " + sample.value + "\n";
+    }
+  }
+  return out;
+}
 
 json::Value metrics_to_json(const MetricsRegistry& registry) {
   const MetricsRegistry::Snapshot snap = registry.snapshot();
@@ -82,20 +152,18 @@ std::string metrics_csv(const MetricsRegistry& registry) {
 
 std::string metrics_prometheus(const MetricsRegistry& registry) {
   const MetricsRegistry::Snapshot snap = registry.snapshot();
-  std::string out;
+  std::vector<PromFamily> families;
   for (const auto& [name, value] : snap.counters) {
-    const std::string pname = prometheus_name(name);
-    out += "# TYPE " + pname + " counter\n";
-    out += pname + " " + std::to_string(value) + "\n";
+    families.push_back(PromFamily{prometheus_name(name), "counter", name,
+                                  {PromSample{"", {}, std::to_string(value)}}});
   }
   for (const auto& [name, value] : snap.gauges) {
-    const std::string pname = prometheus_name(name);
-    out += "# TYPE " + pname + " gauge\n";
-    out += pname + " " + format_double(value) + "\n";
+    families.push_back(PromFamily{prometheus_name(name), "gauge", name,
+                                  {PromSample{"", {}, format_double(value)}}});
   }
   for (const auto& row : snap.histograms) {
     const std::string pname = prometheus_name(row.name);
-    out += "# TYPE " + pname + " histogram\n";
+    PromFamily hist{pname, "histogram", row.name, {}};
     // Standard cumulative bucket series. Histogram bucket i holds samples in
     // [2^(i-1), 2^i) (bucket 0: < 1), so its upper bound — the `le` label —
     // is 2^i. Snapshot buckets come sorted ascending and sparse; cumulation
@@ -103,19 +171,26 @@ std::string metrics_prometheus(const MetricsRegistry& registry) {
     std::uint64_t cumulative = 0;
     for (const auto& [index, n] : row.buckets) {
       cumulative += n;
-      out += pname + "_bucket{le=\"" + std::to_string(1ULL << index) + "\"} " +
-             std::to_string(cumulative) + "\n";
+      hist.samples.push_back(PromSample{"_bucket",
+                                        {{"le", std::to_string(1ULL << index)}},
+                                        std::to_string(cumulative)});
     }
-    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(row.count) + "\n";
-    out += pname + "_count " + std::to_string(row.count) + "\n";
-    out += pname + "_sum " + format_double(row.sum) + "\n";
-    // Not part of the Prometheus histogram convention, but kept so the three
-    // exporters stay field-compatible.
-    out += pname + "_min " + format_double(row.min) + "\n";
-    out += pname + "_max " + format_double(row.max) + "\n";
-    out += pname + "_mean " + format_double(row.mean) + "\n";
+    hist.samples.push_back(
+        PromSample{"_bucket", {{"le", "+Inf"}}, std::to_string(row.count)});
+    hist.samples.push_back(
+        PromSample{"_count", {}, std::to_string(row.count)});
+    hist.samples.push_back(PromSample{"_sum", {}, format_double(row.sum)});
+    families.push_back(std::move(hist));
+    // Not part of the Prometheus histogram convention, but kept (as gauge
+    // families of their own) so the three exporters stay field-compatible.
+    families.push_back(PromFamily{pname + "_min", "gauge", row.name + " min",
+                                  {PromSample{"", {}, format_double(row.min)}}});
+    families.push_back(PromFamily{pname + "_max", "gauge", row.name + " max",
+                                  {PromSample{"", {}, format_double(row.max)}}});
+    families.push_back(PromFamily{pname + "_mean", "gauge", row.name + " mean",
+                                  {PromSample{"", {}, format_double(row.mean)}}});
   }
-  return out;
+  return render_prometheus(std::move(families));
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {

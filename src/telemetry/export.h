@@ -9,11 +9,47 @@
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 
 namespace asimt::telemetry {
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition, structured form.
+//
+// A family is one metric name with one # HELP and one # TYPE line followed
+// by its samples; render_prometheus() enforces the format contracts the
+// ad-hoc string building used to miss: label values are escaped, HELP/TYPE
+// appear exactly once per family (duplicate family names merge), and
+// families render in sorted-by-name order so scrapes diff cleanly across
+// runs.
+
+// Escapes a label value per the exposition format: backslash, double quote
+// and newline become \\, \" and \n.
+std::string prometheus_escape_label(std::string_view value);
+
+// Sanitizes a dotted metric name into the asimt_ namespace:
+// [a-zA-Z0-9_] survive, everything else becomes '_'.
+std::string prometheus_name(const std::string& name);
+
+struct PromSample {
+  std::string suffix;  // appended to the family name: "", "_bucket", ...
+  std::vector<std::pair<std::string, std::string>> labels;  // (name, raw value)
+  std::string value;   // pre-rendered number
+};
+
+struct PromFamily {
+  std::string name;  // full exposition name (already sanitized)
+  std::string type;  // "counter" | "gauge" | "histogram" | "untyped"
+  std::string help;  // omitted when empty
+  std::vector<PromSample> samples;
+};
+
+std::string render_prometheus(std::vector<PromFamily> families);
 
 // Structured snapshot:
 //   {"counters":{name:int,...},
@@ -29,8 +65,10 @@ std::string metrics_json(const MetricsRegistry& registry);
 // to count/sum/min/max/mean rows.
 std::string metrics_csv(const MetricsRegistry& registry);
 
-// Prometheus text exposition format (untyped buckets; histograms export
-// _count/_sum/_min/_max series).
+// Prometheus text exposition of a registry snapshot, via render_prometheus:
+// counters and gauges one family each, histograms as cumulative-`le` bucket
+// families plus _min/_max/_mean gauge families (kept so the three exporters
+// stay field-compatible).
 std::string metrics_prometheus(const MetricsRegistry& registry);
 
 // Writes `content` to `path`, returning false on I/O failure.

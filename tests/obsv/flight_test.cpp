@@ -1,0 +1,195 @@
+// The crash-safe flight recorder: ring registry lifecycle, dump/load round
+// trips, tolerance for the damage a crash leaves behind (corrupt rows,
+// truncated tails), a real SIGABRT death test, and the Chrome-trace export.
+#include "obsv/flight.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "telemetry/chrome_trace.h"
+#include "telemetry/json.h"
+
+namespace asimt::obsv {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  return "/tmp/asimt_flight_" + tag + "_" + std::to_string(::getpid());
+}
+
+Span make_span(std::uint64_t conn, std::uint64_t seq) {
+  Span span;
+  span.seq = seq;
+  span.conn_id = conn;
+  span.start_ns = seq * 1000;
+  span.stage_ns[static_cast<unsigned>(Stage::kParse)] = 10 * seq;
+  span.stage_ns[static_cast<unsigned>(Stage::kExecute)] = 100 * seq;
+  span.op = static_cast<std::uint8_t>(Op::kEncode);
+  span.outcome = static_cast<std::uint8_t>(Outcome::kMiss);
+  span.shard = 3;
+  span.request_bytes = 142;
+  span.payload_bytes = 286;
+  return span;
+}
+
+TEST(FlightRecorder, SpanToJsonCarriesTheDocumentedSchema) {
+  const json::Value row = span_to_json(make_span(2, 9));
+  EXPECT_EQ(row.at("seq").as_int(), 9);
+  EXPECT_EQ(row.at("conn").as_int(), 2);
+  EXPECT_EQ(row.at("start_ns").as_int(), 9000);
+  EXPECT_EQ(row.at("parse_ns").as_int(), 90);
+  EXPECT_EQ(row.at("execute_ns").as_int(), 900);
+  EXPECT_EQ(row.at("read_ns").as_int(), 0);
+  EXPECT_EQ(row.at("op").as_string(), "encode");
+  EXPECT_EQ(row.at("outcome").as_string(), "miss");
+  EXPECT_EQ(row.at("error").as_string(), "ok");
+  EXPECT_EQ(row.at("shard").as_int(), 3);
+  EXPECT_EQ(row.at("request_bytes").as_int(), 142);
+  EXPECT_EQ(row.at("payload_bytes").as_int(), 286);
+}
+
+TEST(FlightRecorder, DistinctConnectionsGetDistinctRingsAndReleaseReuses) {
+  FlightRecorder recorder(temp_path("rings"), 16);
+  SpanRing* a = recorder.acquire_ring(1);
+  SpanRing* b = recorder.acquire_ring(2);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a->conn_id(), 1u);
+  EXPECT_EQ(b->conn_id(), 2u);
+  a->push(make_span(1, 1));
+  recorder.release_ring(a);
+  // Released rings keep their contents (post-mortem coverage) until reuse.
+  EXPECT_EQ(recorder.resident_spans(), 1u);
+  SpanRing* c = recorder.acquire_ring(3);
+  EXPECT_EQ(c, a);  // the released slot is reused...
+  EXPECT_EQ(c->conn_id(), 3u);
+  EXPECT_EQ(c->pushed(), 0u);  // ...reset for its new owner
+}
+
+TEST(FlightRecorder, DumpLoadRoundTripsEverySpan) {
+  const std::string path = temp_path("roundtrip");
+  FlightRecorder recorder(path, 16);
+  SpanRing* r1 = recorder.acquire_ring(1);
+  SpanRing* r2 = recorder.acquire_ring(2);
+  r1->push(make_span(1, 1));
+  r1->push(make_span(1, 2));
+  r2->push(make_span(2, 3));
+  EXPECT_EQ(recorder.resident_spans(), 3u);
+
+  const long long rows = recorder.dump("test_reason");
+  EXPECT_EQ(rows, 3);
+
+  const FlightDump dump = load_flight_dump(path);
+  EXPECT_EQ(dump.reason, "test_reason");
+  EXPECT_EQ(dump.pid, static_cast<long long>(::getpid()));
+  EXPECT_EQ(dump.corrupt_rows, 0u);
+  EXPECT_FALSE(dump.truncated);
+  ASSERT_EQ(dump.spans.size(), 3u);
+  // Sorted by (conn, seq).
+  EXPECT_EQ(dump.spans[0].conn_id, 1u);
+  EXPECT_EQ(dump.spans[0].seq, 1u);
+  EXPECT_EQ(dump.spans[1].seq, 2u);
+  EXPECT_EQ(dump.spans[2].conn_id, 2u);
+  // Field fidelity through the signal-safe writer and back.
+  EXPECT_EQ(dump.spans[2].stage_ns[static_cast<unsigned>(Stage::kExecute)],
+            300u);
+  EXPECT_EQ(dump.spans[2].op, static_cast<std::uint8_t>(Op::kEncode));
+  EXPECT_EQ(dump.spans[2].outcome, static_cast<std::uint8_t>(Outcome::kMiss));
+  EXPECT_EQ(dump.spans[2].request_bytes, 142u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, ReaderToleratesCorruptAndTruncatedDumps) {
+  const std::string path = temp_path("corrupt");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"asimt_flight\":1,\"reason\":\"SIGSEGV\",\"pid\":42}\n";
+    out << span_to_json(make_span(1, 1)).dump() << "\n";
+    out << "{\"seq\":2,\"conn\":1,GARBAGE!!\n";          // corrupt interior row
+    out << span_to_json(make_span(1, 3)).dump() << "\n";
+    out << "{\"seq\":4,\"conn\":1,\"start_ns\":12";      // cut mid-write, no \n
+  }
+  const FlightDump dump = load_flight_dump(path);
+  EXPECT_EQ(dump.reason, "SIGSEGV");
+  EXPECT_EQ(dump.pid, 42);
+  EXPECT_EQ(dump.corrupt_rows, 1u);
+  EXPECT_TRUE(dump.truncated);
+  ASSERT_EQ(dump.spans.size(), 2u);
+  EXPECT_EQ(dump.spans[0].seq, 1u);
+  EXPECT_EQ(dump.spans[1].seq, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, NonDumpFilesAreRejectedLoudly) {
+  const std::string path = temp_path("notadump");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"some\":\"other json\"}\n";
+  }
+  EXPECT_THROW(load_flight_dump(path), std::runtime_error);
+  EXPECT_THROW(load_flight_dump(temp_path("missing")), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, TraceEventsDriveTheChromeExporter) {
+  FlightDump dump;
+  dump.spans.push_back(make_span(2, 9));
+  const std::vector<json::Value> events = flight_trace_events(dump);
+  // One enclosing begin/end pair plus one per non-empty stage (parse,
+  // execute) — six events total for this span.
+  ASSERT_EQ(events.size(), 6u);
+  for (const json::Value& event : events) {
+    EXPECT_EQ(event.at("tid").as_int(), 3);  // conn 2 + 1: never "main"
+    EXPECT_TRUE(event.at("t_us").is_int());
+  }
+  const json::Value chrome = telemetry::chrome_trace_from_events(events);
+  const json::Array& trace = chrome.at("traceEvents").as_array();
+  // Every B has a matching E once metadata rows are set aside.
+  int depth = 0;
+  std::size_t span_events = 0;
+  for (const json::Value& event : trace) {
+    const std::string& ph = event.at("ph").as_string();
+    if (ph == "B") { ++depth; ++span_events; }
+    if (ph == "E") { --depth; ++span_events; }
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(span_events, 6u);
+}
+
+using FlightRecorderDeathTest = ::testing::Test;
+
+TEST(FlightRecorderDeathTest, AbortMidRequestLeavesAParseableDump) {
+  const std::string path = temp_path("sigabrt");
+  std::remove(path.c_str());
+  // The child installs the crash handlers with a populated ring and dies on
+  // SIGABRT; the re-raise keeps the kill-by-signal exit status. The parent
+  // then reads the dump the handler wrote on the way down.
+  EXPECT_EXIT(
+      {
+        FlightRecorder recorder(path, 16);
+        SpanRing* ring = recorder.acquire_ring(5);
+        ring->push(make_span(5, 1));
+        ring->push(make_span(5, 2));
+        install_crash_handlers(&recorder);
+        std::abort();
+      },
+      ::testing::KilledBySignal(SIGABRT), "");
+  const FlightDump dump = load_flight_dump(path);
+  EXPECT_EQ(dump.reason, "SIGABRT");
+  ASSERT_EQ(dump.spans.size(), 2u);
+  EXPECT_EQ(dump.spans[0].conn_id, 5u);
+  EXPECT_EQ(dump.spans[1].seq, 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace asimt::obsv

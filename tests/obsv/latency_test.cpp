@@ -1,0 +1,139 @@
+// LogHistogram bucket math, snapshot consistency under racing writers, and
+// quantile interpolation — the numeric backbone of the `metrics` op.
+#include "obsv/latency.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace asimt::obsv {
+namespace {
+
+TEST(LogHistogram, SmallValuesAreTheirOwnBucket) {
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(LogHistogram::bucket_of(v), v);
+    EXPECT_EQ(LogHistogram::bucket_upper_bound(static_cast<unsigned>(v)), v);
+  }
+}
+
+TEST(LogHistogram, BucketBoundsAreAnExactInverse) {
+  // For a spread of values across the range: v lands inside the bucket whose
+  // bounds bucket_upper_bound defines, exclusive below, inclusive above.
+  for (std::uint64_t v : {16ull, 17ull, 100ull, 1000ull, 4095ull, 4096ull,
+                          123456789ull, 1ull << 40, (1ull << 40) + 12345,
+                          ~0ull - 1, ~0ull}) {
+    const unsigned bucket = LogHistogram::bucket_of(v);
+    ASSERT_LT(bucket, LogHistogram::kBucketCount) << v;
+    EXPECT_LE(v, LogHistogram::bucket_upper_bound(bucket)) << v;
+    if (bucket > 0) {
+      EXPECT_GT(v, LogHistogram::bucket_upper_bound(bucket - 1)) << v;
+    }
+  }
+}
+
+TEST(LogHistogram, RelativeQuantizationErrorIsBoundedBySubBuckets) {
+  // Above the linear range each bucket spans one sixteenth of an octave, so
+  // upper/lower <= 1 + 1/8 even at the smallest refined octave.
+  for (unsigned bucket = 17; bucket < LogHistogram::kBucketCount - 1; ++bucket) {
+    const double lo =
+        static_cast<double>(LogHistogram::bucket_upper_bound(bucket - 1)) + 1;
+    const double hi = static_cast<double>(LogHistogram::bucket_upper_bound(bucket));
+    EXPECT_LE(hi / lo, 1.125) << "bucket " << bucket;
+  }
+}
+
+TEST(LogHistogram, SnapshotCountIsTheSumOfItsBuckets) {
+  LogHistogram h;
+  for (std::uint64_t v = 0; v < 1000; ++v) h.observe(v * 37);
+  const LogHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  std::uint64_t total = 0;
+  for (const auto& [bucket, count] : snap.buckets) total += count;
+  EXPECT_EQ(snap.count, total);
+  EXPECT_EQ(snap.max, 999u * 37);
+  EXPECT_EQ(snap.sum, 37u * (999u * 1000u / 2));
+}
+
+TEST(LogHistogram, ResetClears) {
+  LogHistogram h;
+  h.observe(123);
+  h.reset();
+  const LogHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_TRUE(snap.buckets.empty());
+  EXPECT_EQ(snap.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, QuantilesTrackKnownDistributions) {
+  LogHistogram h;
+  // 1..10000 ns uniformly: quantiles must land within one bucket width
+  // (≈6% relative) of the exact order statistics.
+  for (std::uint64_t v = 1; v <= 10'000; ++v) h.observe(v);
+  const LogHistogram::Snapshot snap = h.snapshot();
+  EXPECT_NEAR(snap.quantile(0.5), 5000.0, 5000.0 * 0.07);
+  EXPECT_NEAR(snap.quantile(0.99), 9900.0, 9900.0 * 0.07);
+  EXPECT_NEAR(snap.quantile(0.999), 9990.0, 9990.0 * 0.07);
+  // The extremes pin to the data range, quantization aside.
+  EXPECT_GE(snap.quantile(1.0), 9990.0);
+  EXPECT_LE(snap.quantile(0.0), 16.0);
+  // Monotone in q.
+  EXPECT_LE(snap.quantile(0.5), snap.quantile(0.9));
+  EXPECT_LE(snap.quantile(0.9), snap.quantile(0.999));
+}
+
+TEST(LogHistogram, SingleObservationQuantileIsThatValue) {
+  LogHistogram h;
+  h.observe(777);
+  const LogHistogram::Snapshot snap = h.snapshot();
+  // Within the covering bucket's bounds.
+  const unsigned bucket = LogHistogram::bucket_of(777);
+  EXPECT_GE(snap.quantile(0.5),
+            static_cast<double>(LogHistogram::bucket_upper_bound(bucket - 1)));
+  EXPECT_LE(snap.quantile(0.5),
+            static_cast<double>(LogHistogram::bucket_upper_bound(bucket)));
+}
+
+// Consistency is the point: while writers hammer, every snapshot a reader
+// takes must satisfy count == Σ buckets (the metrics op's contract), and the
+// final snapshot must account for every observation exactly.
+TEST(LogHistogram, ConcurrentObserveKeepsSnapshotsConsistent) {
+  LogHistogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.observe(i * (t + 1));
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const LogHistogram::Snapshot snap = h.snapshot();
+    std::uint64_t total = 0;
+    for (const auto& [bucket, count] : snap.buckets) total += count;
+    ASSERT_EQ(snap.count, total) << "snapshot " << i;
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(h.snapshot().count, kThreads * kPerThread);
+}
+
+TEST(LatencyMatrix, CellsAreIndependentAndResettable) {
+  LatencyMatrix m;
+  m.observe(Op::kEncode, Outcome::kHit, 100);
+  m.observe(Op::kEncode, Outcome::kMiss, 200);
+  m.observe(Op::kVerify, Outcome::kHit, 300);
+  EXPECT_EQ(m.cell(Op::kEncode, Outcome::kHit).snapshot().count, 1u);
+  EXPECT_EQ(m.cell(Op::kEncode, Outcome::kMiss).snapshot().count, 1u);
+  EXPECT_EQ(m.cell(Op::kVerify, Outcome::kHit).snapshot().count, 1u);
+  EXPECT_EQ(m.cell(Op::kVerify, Outcome::kMiss).snapshot().count, 0u);
+  m.reset();
+  EXPECT_EQ(m.cell(Op::kEncode, Outcome::kHit).snapshot().count, 0u);
+}
+
+}  // namespace
+}  // namespace asimt::obsv

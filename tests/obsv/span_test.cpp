@@ -1,0 +1,195 @@
+// The span record and its lock-free ring: word-layout round trips, seqlock
+// tearing behavior under a racing writer, wrap semantics, and the
+// SpanBuilder stage-attribution arithmetic the serving path depends on.
+#include "obsv/span.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace asimt::obsv {
+namespace {
+
+Span make_span(std::uint64_t seq) {
+  Span span;
+  span.seq = seq;
+  span.conn_id = seq * 3 + 1;
+  span.start_ns = seq * 1000;
+  for (unsigned s = 0; s < kStageCount; ++s) span.stage_ns[s] = seq + s;
+  span.op = static_cast<std::uint8_t>(Op::kEncode);
+  span.outcome = static_cast<std::uint8_t>(Outcome::kHit);
+  span.error_kind = 0;
+  span.shard = static_cast<std::uint8_t>(seq & 0xFF);
+  span.request_bytes = static_cast<std::uint32_t>(seq * 7);
+  span.payload_bytes = static_cast<std::uint32_t>(seq * 11);
+  return span;
+}
+
+TEST(Span, NameTablesRoundTrip) {
+  EXPECT_STREQ(stage_name(Stage::kRead), "read");
+  EXPECT_STREQ(stage_name(Stage::kWrite), "write");
+  EXPECT_STREQ(op_name(Op::kEncode), "encode");
+  EXPECT_STREQ(op_name(Op::kOther), "other");
+  EXPECT_STREQ(outcome_name(Outcome::kMiss), "miss");
+  for (std::uint8_t kind = 0; kind < kErrorKindCount; ++kind) {
+    EXPECT_EQ(error_kind_id(error_kind_name(kind)), kind);
+  }
+  // Unknown strings degrade to the internal kind, never out of range.
+  EXPECT_EQ(error_kind_id("no_such_kind"), kErrorKindCount - 1);
+}
+
+TEST(Span, WordLayoutRoundTripsEveryField) {
+  const Span original = make_span(42);
+  std::uint64_t words[kSpanWords];
+  span_to_words(original, words);
+  const Span back = span_from_words(words);
+  EXPECT_EQ(back.seq, original.seq);
+  EXPECT_EQ(back.conn_id, original.conn_id);
+  EXPECT_EQ(back.start_ns, original.start_ns);
+  for (unsigned s = 0; s < kStageCount; ++s) {
+    EXPECT_EQ(back.stage_ns[s], original.stage_ns[s]) << "stage " << s;
+  }
+  EXPECT_EQ(back.op, original.op);
+  EXPECT_EQ(back.outcome, original.outcome);
+  EXPECT_EQ(back.error_kind, original.error_kind);
+  EXPECT_EQ(back.shard, original.shard);
+  EXPECT_EQ(back.request_bytes, original.request_bytes);
+  EXPECT_EQ(back.payload_bytes, original.payload_bytes);
+}
+
+TEST(Span, TotalExcludesTheReadWait) {
+  Span span;
+  span.stage_ns[static_cast<unsigned>(Stage::kRead)] = 1'000'000;  // client think
+  span.stage_ns[static_cast<unsigned>(Stage::kParse)] = 10;
+  span.stage_ns[static_cast<unsigned>(Stage::kExecute)] = 20;
+  span.stage_ns[static_cast<unsigned>(Stage::kWrite)] = 5;
+  EXPECT_EQ(span.total_ns(), 35u);
+}
+
+TEST(SpanRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpanRing(1).capacity(), 8u);
+  EXPECT_EQ(SpanRing(8).capacity(), 8u);
+  EXPECT_EQ(SpanRing(9).capacity(), 16u);
+  EXPECT_EQ(SpanRing(256).capacity(), 256u);
+}
+
+TEST(SpanRing, EmptySlotsAreUnreadable) {
+  SpanRing ring(8);
+  Span out;
+  for (std::size_t i = 0; i < ring.capacity(); ++i) {
+    EXPECT_FALSE(ring.read_slot(i, out)) << "slot " << i;
+  }
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(SpanRing, SnapshotIsOldestFirstAndWrapKeepsTheLatest) {
+  SpanRing ring(8);
+  for (std::uint64_t seq = 1; seq <= 20; ++seq) ring.push(make_span(seq));
+  const std::vector<Span> spans = ring.snapshot();
+  // 20 pushes into 8 slots: the 8 most recent survive, ascending by seq.
+  ASSERT_EQ(spans.size(), 8u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].seq, 13 + i);
+  }
+}
+
+TEST(SpanRing, ResetForgetsAndConnIdRestamps) {
+  SpanRing ring(8);
+  ring.set_conn_id(7);
+  ring.push(make_span(1));
+  EXPECT_EQ(ring.conn_id(), 7u);
+  EXPECT_EQ(ring.pushed(), 1u);
+  ring.reset();
+  ring.set_conn_id(9);
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_EQ(ring.pushed(), 0u);
+  EXPECT_EQ(ring.conn_id(), 9u);
+}
+
+// The seqlock contract: a reader racing the single writer either skips a
+// slot or sees one complete span — never a torn mix of two. Every field of
+// make_span derives from seq, so internal consistency is checkable.
+TEST(SpanRing, ConcurrentReadersNeverSeeTornSpans) {
+  SpanRing ring(16);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::thread reader([&] {
+    Span out;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (std::size_t i = 0; i < ring.capacity(); ++i) {
+        if (!ring.read_slot(i, out)) continue;
+        const Span expected = make_span(out.seq);
+        if (out.conn_id != expected.conn_id ||
+            out.start_ns != expected.start_ns ||
+            std::memcmp(out.stage_ns, expected.stage_ns,
+                        sizeof(out.stage_ns)) != 0 ||
+            out.request_bytes != expected.request_bytes ||
+            out.payload_bytes != expected.payload_bytes) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  for (std::uint64_t seq = 1; seq <= 200'000; ++seq) ring.push(make_span(seq));
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(ring.pushed(), 200'000u);
+}
+
+TEST(SpanBuilder, InactiveUntilBegunAndMarksAccumulate) {
+  SpanBuilder sb;
+  EXPECT_FALSE(sb.active());
+  sb.mark(Stage::kParse);  // no-op while inactive
+  EXPECT_EQ(sb.span().stage_ns[static_cast<unsigned>(Stage::kParse)], 0u);
+
+  sb.begin(/*conn_id=*/3, /*seq=*/17);
+  EXPECT_TRUE(sb.active());
+  sb.mark(Stage::kParse);
+  sb.mark(Stage::kExecute);
+  sb.mark(Stage::kParse);  // second parse share adds, not overwrites
+  const Span& span = sb.span();
+  EXPECT_EQ(span.conn_id, 3u);
+  EXPECT_EQ(span.seq, 17u);
+  // Direct begin (read_start 0): no read-stage attribution.
+  EXPECT_EQ(span.stage_ns[static_cast<unsigned>(Stage::kRead)], 0u);
+  EXPECT_EQ(sb.server_ns(), span.total_ns());
+}
+
+TEST(SpanBuilder, ReadStartAnchorsTheReadStage) {
+  const std::uint64_t before = now_ns();
+  SpanBuilder sb;
+  sb.begin(1, 1, before);
+  EXPECT_EQ(sb.span().start_ns, before);
+  // The read stage charges the wait between read_start and begin().
+  EXPECT_GE(sb.span().stage_ns[static_cast<unsigned>(Stage::kRead)], 0u);
+  // total_ns still excludes it.
+  EXPECT_EQ(sb.span().total_ns(), 0u);
+}
+
+TEST(SpanBuilder, ByteCountsSaturateAt32Bits) {
+  SpanBuilder sb;
+  sb.begin(1, 1);
+  sb.set_request_bytes(std::size_t{1} << 40);
+  sb.set_payload_bytes(123);
+  EXPECT_EQ(sb.span().request_bytes, 0xFFFFFFFFu);
+  EXPECT_EQ(sb.span().payload_bytes, 123u);
+}
+
+TEST(Clock, MonotonicNanosNeverGoBackwards) {
+  std::uint64_t last = now_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = now_ns();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace asimt::obsv

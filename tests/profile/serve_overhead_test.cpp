@@ -1,0 +1,90 @@
+// Regression guard for the serving path's observability budget: a warm
+// (cache-hit) handle_line with spans + histograms enabled must track the
+// recorder-off path. The strict <2% number from the ISSUE is tracked by
+// BM_ServeHandleLineWarm/{0,1} in bench/micro_serve through the trajectory
+// gate; this test enforces a CI-safe envelope (min-of-N timing, generous
+// margin) so a structural regression — an allocation, lock, or syscall on
+// the hot path — fails fast everywhere, while scheduler noise does not.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "obsv/span.h"
+#include "serve/service.h"
+#include "telemetry/json.h"
+
+namespace asimt::serve {
+namespace {
+
+const char kProgram[] =
+    ".text\n"
+    "start:\n"
+    "  li $t0, 64\n"
+    "loop:\n"
+    "  addiu $t1, $t1, 3\n"
+    "  xor $t2, $t1, $t0\n"
+    "  addiu $t0, $t0, -1\n"
+    "  bnez $t0, loop\n"
+    "  halt\n";
+
+std::string request_line() {
+  json::Value req = json::Value::object();
+  req.set("id", 1);
+  req.set("op", "encode");
+  req.set("text", kProgram);
+  req.set("k", 5);
+  return req.dump();
+}
+
+// One warm pass the way the server drives it: span begun, handle_line,
+// write mark, recorder record. Returns the best of `repeats` timed runs of
+// `iters` requests.
+double min_run_seconds(Service& service, const std::string& line, int repeats,
+                       int iters) {
+  obsv::SpanBuilder span;
+  std::uint64_t seq = 0;
+  double best = 1e9;
+  std::size_t bytes = 0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      span.begin(1, ++seq);
+      bytes += service.handle_line(line, &span).size();
+      span.mark(obsv::Stage::kWrite);
+      service.recorder().record(span.span(), nullptr);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  EXPECT_GT(bytes, 0u);
+  return best;
+}
+
+TEST(ServeOverheadTest, EnabledObservabilityStaysNearTheDisabledPath) {
+  ServiceOptions off;
+  off.recorder.enabled = false;
+  Service disabled(off);
+  Service enabled;  // recorder on by default
+  const std::string line = request_line();
+  constexpr int kIters = 2000;
+
+  // Warm both services (cold encode + allocator) before timing.
+  min_run_seconds(disabled, line, 1, kIters);
+  min_run_seconds(enabled, line, 1, kIters);
+
+  const double off_s = min_run_seconds(disabled, line, 5, kIters);
+  const double on_s = min_run_seconds(enabled, line, 5, kIters);
+
+  // Budget: <2% tracked by the benches; 25% here absorbs CI scheduling
+  // noise while still catching anything structurally expensive (the span
+  // path must stay allocation- and lock-free per warm request).
+  EXPECT_LT(on_s, off_s * 1.25 + 1e-4)
+      << "observability-enabled warm path cost "
+      << (on_s / off_s - 1.0) * 100.0
+      << "% over the disabled path (" << on_s * 1e9 / kIters << " vs "
+      << off_s * 1e9 / kIters << " ns/req)";
+}
+
+}  // namespace
+}  // namespace asimt::serve

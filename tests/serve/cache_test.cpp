@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <string>
@@ -165,6 +166,42 @@ TEST(ShardedCache, ConcurrentHammeringIsSafeAndConverges) {
             static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
   EXPECT_LE(stats.entries, 64u);
   EXPECT_EQ(stats.entries, stats.insertions - stats.evictions);
+}
+
+TEST(ShardedCache, StatsSnapshotsAreConsistentUnderConcurrentLoad) {
+  // The `stats`/`metrics` ops promise hits + misses == lookups in every
+  // snapshot, not just at quiescence. A reader races the writers and checks
+  // the invariant on every read; relaxed free-running counters would fail
+  // this (and TSan, which runs this suite in CI, would flag the old ones).
+  ShardedCache cache(32, 4);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20'000;
+  std::atomic<bool> done{false};
+  std::thread reader([&cache, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      const CacheStats stats = cache.stats();
+      ASSERT_EQ(stats.lookups, stats.hits + stats.misses);
+      ASSERT_EQ(stats.entries, stats.insertions - stats.evictions);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&cache, t] {
+      std::uint64_t state = 0x9e37 + static_cast<std::uint64_t>(t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const CacheKey key = key_of((state >> 33) % 512);
+        if (cache.lookup(key) == nullptr) cache.insert(key, "payload");
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "serve/server.h"
 #include "telemetry/json.h"
@@ -95,6 +96,53 @@ TEST_F(LoadgenFixture, ArtifactIsSchemaV2WithGateableRows) {
   EXPECT_EQ(doc.at("summary").at("received").as_int(),
             static_cast<long long>(report.received));
   EXPECT_EQ(doc.at("options").at("seed").as_int(), 12345);
+}
+
+TEST_F(LoadgenFixture, ServerObservedLatencyRidesAlongWithClientLatency) {
+  const LoadgenReport report = run_loadgen(loadgen_);
+  ASSERT_TRUE(report.ok());
+  // Every reply carries the echoed span, so the server-side sample count
+  // matches the client-side one exactly.
+  EXPECT_EQ(report.server_samples, report.received);
+  EXPECT_GT(report.server_p50_ms, 0.0);
+  EXPECT_LE(report.server_p50_ms, report.server_p90_ms);
+  EXPECT_LE(report.server_p90_ms, report.server_p99_ms);
+  EXPECT_LE(report.server_p99_ms, report.server_p999_ms);
+  // Server time excludes the socket round trip, so its median cannot beat
+  // the client's view of the same requests.
+  EXPECT_LE(report.server_p50_ms, report.p50_ms);
+  // The artifact carries the side-by-side block in the summary (not as
+  // benchmark rows — the trajectory gate's row set stays fixed).
+  const json::Value doc = loadgen_artifact(loadgen_, report);
+  const json::Value& server = doc.at("summary").at("server_latency");
+  EXPECT_EQ(server.at("samples").as_int(),
+            static_cast<long long>(report.server_samples));
+  EXPECT_GT(server.at("p999_ms").as_double(), 0.0);
+  ASSERT_EQ(doc.at("benchmarks").as_array().size(), 5u);
+}
+
+TEST(Loadgen, InterpolatedQuantileDoesNotCollapseTailsOntoTheMax) {
+  // Type-7 interpolation: with n samples, p99.9 must interpolate between
+  // order statistics instead of snapping to the max — the whole point of the
+  // estimator for runs shorter than 1000 requests.
+  std::vector<double> sorted;
+  for (int i = 1; i <= 100; ++i) sorted.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(interpolated_quantile(sorted, 0.5), 50.5);
+  EXPECT_DOUBLE_EQ(interpolated_quantile(sorted, 0.25), 25.75);
+  // h = (n-1)q = 99 * 0.999 = 98.901 -> 99 + 0.901 * (100 - 99).
+  EXPECT_NEAR(interpolated_quantile(sorted, 0.999), 99.901, 1e-9);
+  EXPECT_LT(interpolated_quantile(sorted, 0.999), sorted.back());
+  EXPECT_DOUBLE_EQ(interpolated_quantile(sorted, 0.99), 99.01);
+}
+
+TEST(Loadgen, InterpolatedQuantileEdgeCases) {
+  EXPECT_DOUBLE_EQ(interpolated_quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(interpolated_quantile({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(interpolated_quantile({42.0}, 0.999), 42.0);
+  const std::vector<double> pair = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(interpolated_quantile(pair, -0.5), 10.0);  // clamps low
+  EXPECT_DOUBLE_EQ(interpolated_quantile(pair, 1.5), 20.0);   // clamps high
+  EXPECT_DOUBLE_EQ(interpolated_quantile(pair, 0.5), 15.0);
 }
 
 TEST(Loadgen, UnreachableSocketFailsFastAndHonestly) {

@@ -1,0 +1,290 @@
+// The serving path's observability contract: the metrics op counts exactly
+// the replies already sent, Prometheus exposition comes out conformant,
+// echo_span never perturbs the cached payload bytes, the dump op feeds the
+// flight pipeline, and the slow-request log captures qualifying spans.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "obsv/flight.h"
+#include "obsv/recorder.h"
+#include "serve/service.h"
+#include "telemetry/json.h"
+
+namespace asimt::serve {
+namespace {
+
+const char kProgram[] =
+    ".text\n"
+    "start:\n"
+    "  li $t0, 12\n"
+    "loop:\n"
+    "  addiu $t1, $t1, 3\n"
+    "  addiu $t0, $t0, -1\n"
+    "  bnez $t0, loop\n"
+    "  halt\n";
+
+std::string encode_request(int id = 1, int k = 5, bool echo = false) {
+  json::Value req = json::Value::object();
+  req.set("id", id);
+  req.set("op", "encode");
+  req.set("text", kProgram);
+  req.set("k", k);
+  if (echo) req.set("echo_span", true);
+  return req.dump();
+}
+
+json::Value metrics_of(Service& service, const char* format = nullptr) {
+  json::Value req = json::Value::object();
+  req.set("id", 99);
+  req.set("op", "metrics");
+  if (format != nullptr) req.set("format", format);
+  const json::Value reply = json::parse(service.handle_line(req.dump()));
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  return reply.at("result");
+}
+
+std::string temp_path(const std::string& tag) {
+  return "/tmp/asimt_obs_" + tag + "_" + std::to_string(::getpid());
+}
+
+TEST(ServiceObservability, MetricsCountsEqualRepliesAlreadySent) {
+  Service service;
+  // 1 cold encode (miss) + 3 warm (hits) + 1 distinct-k cold (miss).
+  service.handle_line(encode_request(1, 5));
+  service.handle_line(encode_request(2, 5));
+  service.handle_line(encode_request(3, 5));
+  service.handle_line(encode_request(4, 5));
+  service.handle_line(encode_request(5, 6));
+
+  const json::Value result = metrics_of(service);
+  EXPECT_EQ(result.at("requests").as_int(), 6);  // including the metrics op
+  EXPECT_EQ(result.at("errors").as_int(), 0);
+  // by_op lists every op exactly once; encode carries all five replies. The
+  // count-equality the smoke lane asserts: replies received by a client are
+  // already in these histograms (observe happens before the reply bytes go
+  // out).
+  EXPECT_EQ(result.at("by_op").at("encode").as_int(), 5);
+  EXPECT_EQ(result.at("by_op").at("ping").as_int(), 0);
+  const json::Value& hists = result.at("histograms");
+  EXPECT_EQ(hists.at("encode.hit").at("count").as_int(), 3);
+  EXPECT_EQ(hists.at("encode.miss").at("count").as_int(), 2);
+  // Quantile fields are present, ordered, and in nanoseconds.
+  const json::Value& hit = hists.at("encode.hit");
+  EXPECT_GT(hit.at("p50_ns").as_double(), 0.0);
+  EXPECT_LE(hit.at("p50_ns").as_double(), hit.at("p99_ns").as_double());
+  EXPECT_LE(hit.at("p99_ns").as_double(), hit.at("p999_ns").as_double());
+  EXPECT_GT(hit.at("sum_ns").as_int(), 0);
+  EXPECT_GT(hit.at("max_ns").as_int(), 0);
+  // Cache block satisfies the lookup invariant.
+  const json::Value& cache = result.at("cache");
+  EXPECT_EQ(cache.at("lookups").as_int(),
+            cache.at("hits").as_int() + cache.at("misses").as_int());
+  EXPECT_EQ(cache.at("hits").as_int(), 3);
+  EXPECT_EQ(cache.at("misses").as_int(), 2);
+  EXPECT_EQ(cache.at("insertions").as_int(), 2);
+  // Observability self-description.
+  EXPECT_TRUE(result.at("observability").at("enabled").as_bool());
+}
+
+TEST(ServiceObservability, StatsOpCarriesTheLookupInvariantToo) {
+  Service service;
+  service.handle_line(encode_request(1));
+  service.handle_line(encode_request(2));
+  const json::Value reply =
+      json::parse(service.handle_line("{\"id\":1,\"op\":\"stats\"}"));
+  const json::Value& cache = reply.at("result").at("cache");
+  EXPECT_EQ(cache.at("lookups").as_int(), 2);
+  EXPECT_EQ(cache.at("lookups").as_int(),
+            cache.at("hits").as_int() + cache.at("misses").as_int());
+}
+
+TEST(ServiceObservability, MetricsPrometheusFormatIsExpositionText) {
+  Service service;
+  service.handle_line(encode_request(1));
+  service.handle_line(encode_request(2));
+  const json::Value result = metrics_of(service, "prometheus");
+  EXPECT_EQ(result.at("content_type").as_string(),
+            "text/plain; version=0.0.4");
+  const std::string& text = result.at("text").as_string();
+  EXPECT_NE(text.find("# TYPE asimt_serve_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE asimt_serve_request_ns histogram\n"),
+            std::string::npos);
+  // requests_total counts the in-flight metrics request too: 2 encodes + 1.
+  EXPECT_NE(text.find("asimt_serve_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("asimt_serve_cache_lookups_total 2\n"),
+            std::string::npos);
+  // Histogram series carry op/outcome labels and the cumulative +Inf bucket.
+  EXPECT_NE(text.find("asimt_serve_request_ns_bucket{op=\"encode\","
+                      "outcome=\"hit\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("asimt_serve_request_ns_count{op=\"encode\",outcome=\"hit\"}"),
+      std::string::npos);
+  // HELP/TYPE appear exactly once per family even with many label series.
+  const std::string type_line = "# TYPE asimt_serve_request_ns histogram\n";
+  const std::size_t first = text.find(type_line);
+  EXPECT_EQ(text.find(type_line, first + 1), std::string::npos);
+}
+
+TEST(ServiceObservability, MetricsRejectsUnknownFormats) {
+  Service service;
+  const json::Value reply = json::parse(
+      service.handle_line("{\"id\":1,\"op\":\"metrics\",\"format\":\"xml\"}"));
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("kind").as_string(), "bad_request");
+}
+
+TEST(ServiceObservability, EchoSpanSplicesServerNsWithoutTouchingThePayload) {
+  Service service;
+  const std::string plain_cold = service.handle_line(encode_request(1));
+  const std::string echo_warm = service.handle_line(encode_request(1, 5, true));
+  const std::string plain_warm = service.handle_line(encode_request(1));
+
+  // Byte-identity holds for non-echo replies, cold or cached.
+  EXPECT_EQ(plain_cold, plain_warm);
+  // The echoed reply differs only by the spliced field in the envelope.
+  EXPECT_NE(echo_warm.find("\"ok\":true,\"server_ns\":"), std::string::npos);
+  const std::string stripped =
+      std::regex_replace(echo_warm, std::regex("\"server_ns\":[0-9]+,"), "");
+  EXPECT_EQ(stripped, plain_cold);
+  // And the echoed value is a plausible nanosecond duration.
+  const json::Value parsed = json::parse(echo_warm);
+  EXPECT_GT(parsed.at("server_ns").as_int(), 0);
+}
+
+TEST(ServiceObservability, EchoSpanMustBeABoolean) {
+  Service service;
+  const json::Value reply = json::parse(service.handle_line(
+      "{\"id\":1,\"op\":\"ping\",\"echo_span\":\"yes\"}"));
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("kind").as_string(), "bad_request");
+}
+
+TEST(ServiceObservability, DisabledObservabilityKeepsReplyBytesIdentical) {
+  ServiceOptions off;
+  off.recorder.enabled = false;
+  Service disabled(off);
+  Service enabled;
+  // The observability layer must never change what clients receive.
+  EXPECT_EQ(disabled.handle_line(encode_request(1)),
+            enabled.handle_line(encode_request(1)));
+  const json::Value result = metrics_of(disabled);
+  EXPECT_FALSE(result.at("observability").at("enabled").as_bool());
+  EXPECT_TRUE(result.at("histograms").as_object().empty());
+}
+
+TEST(ServiceObservability, DumpWithoutFlightRecorderIsBadRequest) {
+  Service service;  // no flight path configured
+  const json::Value reply =
+      json::parse(service.handle_line("{\"id\":1,\"op\":\"dump\"}"));
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("kind").as_string(), "bad_request");
+}
+
+TEST(ServiceObservability, DumpOpWritesALoadableFlightFile) {
+  const std::string path = temp_path("dump");
+  ServiceOptions options;
+  options.recorder.flight_path = path;
+  Service service(options);
+
+  // Simulate the server loop: spans recorded into an acquired ring.
+  obsv::SpanRing* ring = service.recorder().acquire_ring(7);
+  ASSERT_NE(ring, nullptr);
+  obsv::SpanBuilder sb;
+  sb.begin(7, 1);
+  service.handle_line(encode_request(1), &sb);
+  sb.mark(obsv::Stage::kWrite);
+  service.recorder().record(sb.span(), ring);
+
+  const json::Value reply =
+      json::parse(service.handle_line("{\"id\":1,\"op\":\"dump\"}"));
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("result").at("path").as_string(), path);
+  EXPECT_GE(reply.at("result").at("rows").as_int(), 1);
+
+  const obsv::FlightDump dump = obsv::load_flight_dump(path);
+  EXPECT_EQ(dump.reason, "dump_op");
+  ASSERT_GE(dump.spans.size(), 1u);
+  EXPECT_EQ(dump.spans[0].conn_id, 7u);
+  EXPECT_EQ(dump.spans[0].op, static_cast<std::uint8_t>(obsv::Op::kEncode));
+  std::remove(path.c_str());
+}
+
+TEST(ServiceObservability, SpanBuilderIsAnnotatedAlongTheRequestPath) {
+  Service service;
+  obsv::SpanBuilder sb;
+  sb.begin(3, 1);
+  service.handle_line(encode_request(1), &sb);  // cold: miss + execute
+  const obsv::Span& cold = sb.span();
+  EXPECT_EQ(cold.op, static_cast<std::uint8_t>(obsv::Op::kEncode));
+  EXPECT_EQ(cold.outcome, static_cast<std::uint8_t>(obsv::Outcome::kMiss));
+  EXPECT_EQ(cold.error_kind, 0);
+  EXPECT_GT(cold.request_bytes, 0u);
+  EXPECT_GT(cold.payload_bytes, 0u);
+  EXPECT_GT(cold.stage_ns[static_cast<unsigned>(obsv::Stage::kParse)], 0u);
+  EXPECT_GT(cold.stage_ns[static_cast<unsigned>(obsv::Stage::kExecute)], 0u);
+
+  obsv::SpanBuilder warm;
+  warm.begin(3, 2);
+  service.handle_line(encode_request(1), &warm);  // warm: hit, no execute
+  EXPECT_EQ(warm.span().outcome, static_cast<std::uint8_t>(obsv::Outcome::kHit));
+  EXPECT_EQ(warm.span().stage_ns[static_cast<unsigned>(obsv::Stage::kExecute)],
+            0u);
+
+  obsv::SpanBuilder bad;
+  bad.begin(3, 3);
+  service.handle_line("{\"id\":1,\"op\":\"nope\"}", &bad);
+  EXPECT_EQ(bad.span().error_kind,
+            obsv::error_kind_id("bad_request"));
+}
+
+TEST(ServiceObservability, SlowLogCapturesQualifyingSpansAsJsonl) {
+  const std::string path = temp_path("slow");
+  obsv::RecorderOptions options;
+  options.slow_ms = 1;
+  options.slow_log_path = path;
+  obsv::Recorder recorder(options);
+
+  obsv::Span fast;
+  fast.seq = 1;
+  fast.stage_ns[static_cast<unsigned>(obsv::Stage::kExecute)] = 10'000;  // 10µs
+  obsv::Span slow;
+  slow.seq = 2;
+  slow.conn_id = 4;
+  slow.op = static_cast<std::uint8_t>(obsv::Op::kEncode);
+  slow.stage_ns[static_cast<unsigned>(obsv::Stage::kExecute)] = 5'000'000;  // 5ms
+  EXPECT_FALSE(recorder.is_slow(fast));
+  EXPECT_TRUE(recorder.is_slow(slow));
+  recorder.record(fast, nullptr);
+  recorder.record(slow, nullptr);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string header_line, row_line, extra;
+  ASSERT_TRUE(std::getline(in, header_line));
+  ASSERT_TRUE(std::getline(in, row_line));
+  EXPECT_FALSE(std::getline(in, extra));  // the fast span stayed out
+
+  // Header: self-describing, manifest-stamped. Row: the span schema.
+  const json::Value header = json::parse(header_line);
+  EXPECT_EQ(header.at("asimt_slow_log").as_int(), 1);
+  EXPECT_EQ(header.at("slow_ms").as_int(), 1);
+  EXPECT_NE(header.at("manifest").find("git_sha"), nullptr);
+  const json::Value row = json::parse(row_line);
+  EXPECT_EQ(row.at("seq").as_int(), 2);
+  EXPECT_EQ(row.at("conn").as_int(), 4);
+  EXPECT_EQ(row.at("op").as_string(), "encode");
+  EXPECT_EQ(row.at("execute_ns").as_int(), 5'000'000);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace asimt::serve

@@ -134,6 +134,71 @@ TEST_F(ExportTest, BusMonitorPublishIsNoOpWhenDisabled) {
   EXPECT_TRUE(reg_.snapshot().empty());
 }
 
+TEST(PromRender, AdversarialLabelValuesAreEscaped) {
+  // Backslash, double quote, and newline are the three characters the
+  // exposition format requires escaping in label values; a raw one of any of
+  // them corrupts the scrape.
+  std::vector<PromFamily> families;
+  families.push_back(PromFamily{
+      "asimt_test_total", "counter", "",
+      {PromSample{"", {{"path", "C:\\tmp\\\"quoted\"\nline2"}}, "1"}}});
+  const std::string out = render_prometheus(std::move(families));
+  EXPECT_NE(out.find("asimt_test_total{path=\"C:\\\\tmp\\\\\\\"quoted\\\""
+                     "\\nline2\"} 1\n"),
+            std::string::npos);
+  // No raw newline survives inside the sample line.
+  EXPECT_EQ(out.find("\nline2"), std::string::npos);
+  EXPECT_EQ(prometheus_escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+}
+
+TEST(PromRender, HelpAndTypeAppearOncePerFamilyAndNamesSort) {
+  // Callers may batch the same family several times (one per label series);
+  // the renderer must merge them under a single HELP/TYPE header, and emit
+  // families in sorted-by-name order so scrapes diff cleanly.
+  std::vector<PromFamily> families;
+  families.push_back(PromFamily{
+      "asimt_zz_total", "counter", "last by name",
+      {PromSample{"", {}, "9"}}});
+  families.push_back(PromFamily{
+      "asimt_dup_total", "counter", "dup help",
+      {PromSample{"", {{"shard", "0"}}, "1"}}});
+  families.push_back(PromFamily{
+      "asimt_dup_total", "counter", "dup help",
+      {PromSample{"", {{"shard", "1"}}, "2"}}});
+  const std::string out = render_prometheus(std::move(families));
+
+  const std::string help = "# HELP asimt_dup_total dup help\n";
+  const std::string type = "# TYPE asimt_dup_total counter\n";
+  const std::size_t help_at = out.find(help);
+  const std::size_t type_at = out.find(type);
+  ASSERT_NE(help_at, std::string::npos);
+  ASSERT_NE(type_at, std::string::npos);
+  EXPECT_EQ(out.find(help, help_at + 1), std::string::npos);
+  EXPECT_EQ(out.find(type, type_at + 1), std::string::npos);
+  // Both series survive the merge.
+  EXPECT_NE(out.find("asimt_dup_total{shard=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("asimt_dup_total{shard=\"1\"} 2\n"), std::string::npos);
+  // dup sorts before zz regardless of insertion order.
+  EXPECT_LT(out.find("asimt_dup_total"), out.find("asimt_zz_total"));
+}
+
+TEST(PromRender, HelpTextEscapesItsOwnSpecials) {
+  std::vector<PromFamily> families;
+  families.push_back(PromFamily{
+      "asimt_h_total", "counter", "help with \\ and\nnewline",
+      {PromSample{"", {}, "0"}}});
+  const std::string out = render_prometheus(std::move(families));
+  EXPECT_NE(out.find("# HELP asimt_h_total help with \\\\ and\\nnewline\n"),
+            std::string::npos);
+}
+
+TEST(PromRender, MetricNamesAreSanitizedIntoTheNamespace) {
+  EXPECT_EQ(prometheus_name("serve.request-latency ns"),
+            "asimt_serve_request_latency_ns");
+  EXPECT_EQ(prometheus_name("already_fine"), "asimt_already_fine");
+}
+
 TEST_F(ExportTest, EnergyReportJsonMatchesTextPath) {
   const power::BusParams params = power::BusParams::off_chip();
   const power::EnergyReport baseline =

@@ -24,6 +24,7 @@
 // instead.
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +34,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cfg/cfg.h"
@@ -47,9 +49,11 @@
 #include "obs/history.h"
 #include "obs/manifest.h"
 #include "obs/selfmetrics.h"
+#include "obsv/flight.h"
 #include "parallel/pool.h"
 #include "profile/report.h"
 #include "profile/transition_profiler.h"
+#include "serve/client.h"
 #include "serve/loadgen.h"
 #include "serve/server.h"
 #include "sim/bus.h"
@@ -66,7 +70,7 @@ namespace {
 using namespace asimt;
 
 const char kUsage[] =
-    "usage: asimt <disasm|run|report|encode|info|fuzz|faults|profile|bench|serve|loadgen> [<file>] [options]\n"
+    "usage: asimt <disasm|run|report|encode|info|fuzz|faults|profile|bench|serve|loadgen|stats|flight> [<file>] [options]\n"
     "  disasm prog.s\n"
     "  run    prog.s [--max-steps N] [--json]\n"
     "  report prog.s [-k list] [--json]\n"
@@ -94,15 +98,29 @@ const char kUsage[] =
     "         artifact and, with --history DIR, appends it to the JSONL\n"
     "         trajectory store gated by benchdiff (docs/BENCHMARKING.md)\n"
     "  serve  --socket PATH [--cache-capacity N] [--shards N] [--jobs N]\n"
+    "         [--slow-ms M [--slow-log F.jsonl]] [--flight F] [--no-flight]\n"
+    "         [--no-obs]\n"
     "         long-lived encoding daemon on a unix socket: newline-delimited\n"
-    "         JSON requests (encode/verify/profile/ping/stats), replies\n"
-    "         answered from a sharded content-addressed result cache;\n"
-    "         SIGINT/SIGTERM drain gracefully (docs/SERVING.md)\n"
+    "         JSON requests (encode/verify/profile/ping/stats/metrics/dump),\n"
+    "         replies answered from a sharded content-addressed result cache;\n"
+    "         SIGINT/SIGTERM drain gracefully (docs/SERVING.md). Request\n"
+    "         spans, latency histograms, and a crash-safe flight recorder\n"
+    "         (dump file defaults to <socket>.flight) are on by default;\n"
+    "         --slow-ms M logs every request slower than M ms as JSONL\n"
+    "         (docs/OBSERVABILITY.md)\n"
     "  loadgen --socket PATH [--conns C] [--rate R] [--seconds S] [--seed S]\n"
     "         [--out BENCH.json] [--history DIR] [--json]\n"
     "         seed-deterministic open-loop load against a running daemon;\n"
-    "         reports p50/p90/p99/p99.9 latency and throughput as a\n"
-    "         schema-v2 artifact gated by benchdiff --trajectory\n"
+    "         reports client- and server-observed p50/p90/p99/p99.9 latency\n"
+    "         and throughput as a schema-v2 artifact gated by benchdiff\n"
+    "         --trajectory\n"
+    "  stats  --socket PATH [--watch N] [--json | --prometheus]\n"
+    "         one `metrics` round trip against a running daemon: request\n"
+    "         counts, per-op latency histograms (p50/p90/p99/p99.9), cache\n"
+    "         counters; --watch N repeats every N seconds until interrupted\n"
+    "  flight dump.flight [-o trace.json]\n"
+    "         convert a flight-recorder dump (crash or `dump` op) into a\n"
+    "         Chrome/Perfetto trace, one timeline row per connection\n"
     "observability options (any command):\n"
     "  --metrics out.json   write a metrics snapshot on exit\n"
     "  --trace out.jsonl    stream phase spans as JSON lines\n"
@@ -548,15 +566,23 @@ int cmd_serve(const serve::ServeOptions& options) {
     std::fprintf(stderr, "asimt: serve: %s\n", server.error().c_str());
     return 1;
   }
-  // Readiness line on stdout (flushed) so wrappers can wait for it instead
-  // of polling the socket path.
+  // The readiness line is a contract: the instant a wrapper reads it, the
+  // daemon must already behave as advertised. That means (a) stdout is
+  // line-buffered so the line leaves the process with its newline even under
+  // a pipe, and (b) the drain signal handlers are installed *before* the
+  // line is printed — a supervisor that SIGTERMs immediately after readiness
+  // must trigger a graceful drain, never the default disposition (exit 143,
+  // replies dropped). Pinned by tools/serve_ready_test.sh.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  serve::install_stop_signal_handlers(&server);
+  obsv::install_crash_handlers(server.service().recorder().flight());
   std::printf("asimt serve: listening on %s (cache %zu entries, %u shards)\n",
               options.socket_path.c_str(), server.service().cache().capacity(),
               server.service().cache().shard_count());
   std::fflush(stdout);
-  serve::install_stop_signal_handlers(&server);
   const std::uint64_t connections = server.run();
   serve::install_stop_signal_handlers(nullptr);
+  obsv::install_crash_handlers(nullptr);
   if (!server.error().empty()) {
     std::fprintf(stderr, "asimt: serve: %s\n", server.error().c_str());
     return 1;
@@ -608,6 +634,119 @@ int cmd_loadgen(const serve::LoadgenOptions& options, bool json_mode,
   return report.received > 0 ? 0 : 1;
 }
 
+// Renders one `metrics` snapshot as the human console table: request and
+// cache counters, then one row per non-empty op×outcome histogram cell.
+void print_stats_human(const json::Value& result) {
+  std::printf("requests %lld  errors %lld\n",
+              result.at("requests").as_int(), result.at("errors").as_int());
+  const json::Value& cache = result.at("cache");
+  std::printf("cache: lookups %lld  hits %lld  misses %lld  entries %lld  "
+              "evictions %lld\n",
+              cache.at("lookups").as_int(), cache.at("hits").as_int(),
+              cache.at("misses").as_int(), cache.at("entries").as_int(),
+              cache.at("evictions").as_int());
+  const json::Value& histograms = result.at("histograms");
+  if (histograms.as_object().empty()) {
+    std::printf("no requests observed yet\n");
+    return;
+  }
+  std::printf("%-22s %10s %10s %10s %10s %10s\n", "op.outcome", "count",
+              "p50 ms", "p99 ms", "p99.9 ms", "max ms");
+  for (const auto& [name, cell] : histograms.as_object()) {
+    std::printf("%-22s %10lld %10.3f %10.3f %10.3f %10.3f\n", name.c_str(),
+                cell.at("count").as_int(),
+                cell.at("p50_ns").as_double() / 1e6,
+                cell.at("p99_ns").as_double() / 1e6,
+                cell.at("p999_ns").as_double() / 1e6,
+                cell.at("max_ns").as_double() / 1e6);
+  }
+}
+
+// `asimt stats`: round-trip the `metrics` protocol op against a running
+// daemon. Human table by default, raw snapshot JSON with --json, Prometheus
+// exposition text with --prometheus; --watch N reconnects and reprints every
+// N seconds until interrupted (each snapshot is one short-lived connection,
+// so a watcher never holds a daemon connection open between samples).
+int cmd_stats(const std::string& socket_path, int watch_seconds,
+              bool json_mode, bool prometheus) {
+  const std::string request =
+      prometheus ? "{\"op\":\"metrics\",\"format\":\"prometheus\"}"
+                 : "{\"op\":\"metrics\"}";
+  for (bool first = true;; first = false) {
+    if (!first) {
+      std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
+      std::printf("\n");
+    }
+    serve::Client client;
+    if (!client.connect(socket_path)) {
+      std::fprintf(stderr, "asimt: stats: %s\n", client.error().c_str());
+      return 1;
+    }
+    const std::optional<std::string> reply = client.roundtrip(request);
+    if (!reply) {
+      std::fprintf(stderr, "asimt: stats: daemon closed the connection\n");
+      return 1;
+    }
+    try {
+      const json::Value doc = json::parse(*reply);
+      if (!doc.at("ok").as_bool()) {
+        const json::Value& error = doc.at("error");
+        std::fprintf(stderr, "asimt: stats: %s: %s\n",
+                     error.at("kind").as_string().c_str(),
+                     error.at("message").as_string().c_str());
+        return 1;
+      }
+      const json::Value& result = doc.at("result");
+      if (prometheus) {
+        std::fputs(result.at("text").as_string().c_str(), stdout);
+      } else if (json_mode) {
+        std::printf("%s\n", result.dump(2).c_str());
+      } else {
+        print_stats_human(result);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "asimt: stats: malformed reply: %s\n", e.what());
+      return 1;
+    }
+    if (watch_seconds <= 0) return 0;
+    std::fflush(stdout);
+  }
+}
+
+// `asimt flight`: replay a flight-recorder dump (written by a crash handler
+// or the `dump` protocol op) into a Chrome/Perfetto trace. Tolerant of the
+// damage a crash leaves behind — corrupt rows and a truncated tail are
+// reported on stderr, the surviving spans still convert.
+int cmd_flight(const std::string& path, std::string out_path) {
+  obsv::FlightDump dump;
+  try {
+    dump = obsv::load_flight_dump(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "asimt: flight: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  if (dump.corrupt_rows > 0) {
+    std::fprintf(stderr, "asimt: flight: %s: skipped %zu corrupt row(s)\n",
+                 path.c_str(), dump.corrupt_rows);
+  }
+  if (dump.truncated) {
+    std::fprintf(stderr,
+                 "asimt: flight: %s: final row truncated (crash mid-write)\n",
+                 path.c_str());
+  }
+  const json::Value chrome =
+      telemetry::chrome_trace_from_events(obsv::flight_trace_events(dump));
+  if (out_path.empty()) out_path = path + ".trace.json";
+  if (!telemetry::write_text_file(out_path, chrome.dump(2) + "\n")) {
+    std::fprintf(stderr, "asimt: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("asimt flight: %s: reason=%s pid=%lld, %zu span(s) -> %s\n",
+              path.c_str(), dump.reason.c_str(), dump.pid, dump.spans.size(),
+              out_path.c_str());
+  return 0;
+}
+
 std::vector<int> parse_k_list(const std::string& text) {
   std::vector<int> out;
   std::stringstream ss(text);
@@ -648,12 +787,13 @@ int main(int argc, char** argv) {
   if (command != "disasm" && command != "run" && command != "report" &&
       command != "encode" && command != "info" && command != "fuzz" &&
       command != "faults" && command != "profile" && command != "bench" &&
-      command != "serve" && command != "loadgen") {
+      command != "serve" && command != "loadgen" && command != "stats" &&
+      command != "flight") {
     usage_error("unknown command '" + command + "'");
   }
   const bool takes_file =
       command != "fuzz" && command != "faults" && command != "bench" &&
-      command != "serve" && command != "loadgen";
+      command != "serve" && command != "loadgen" && command != "stats";
   if (takes_file && argc < 3) usage_error("missing input file");
   const std::string file = takes_file ? argv[2] : "";
 
@@ -681,6 +821,9 @@ int main(int argc, char** argv) {
   bool bench_list = false;
   serve::ServeOptions serve_opts;
   serve::LoadgenOptions loadgen_opts;
+  bool serve_no_flight = false;
+  int stats_watch = 0;
+  bool stats_prometheus = false;
 
   for (int i = takes_file ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -823,6 +966,20 @@ int main(int argc, char** argv) {
         usage_error("--seconds needs a positive number, got '" + value + "'");
       }
       loadgen_opts.seconds = *parsed;
+    } else if (arg == "--slow-ms") {
+      serve_opts.service.recorder.slow_ms = next_u64();
+    } else if (arg == "--slow-log") {
+      serve_opts.service.recorder.slow_log_path = next();
+    } else if (arg == "--flight") {
+      serve_opts.service.recorder.flight_path = next();
+    } else if (arg == "--no-flight") {
+      serve_no_flight = true;
+    } else if (arg == "--no-obs") {
+      serve_opts.service.recorder.enabled = false;
+    } else if (arg == "--watch") {
+      stats_watch = next_int(1, 86'400);
+    } else if (arg == "--prometheus") {
+      stats_prometheus = true;
     }
     else usage_error("unknown option '" + arg + "'");
   }
@@ -880,7 +1037,26 @@ int main(int argc, char** argv) {
       if (serve_opts.socket_path.empty()) {
         usage_error("serve needs --socket <path>");
       }
+      // Observability defaults derive from the socket path: the flight
+      // recorder is on unless suppressed, and a --slow-ms threshold without
+      // an explicit log path gets a sibling file. --no-obs trumps both.
+      obsv::RecorderOptions& rec = serve_opts.service.recorder;
+      if (serve_no_flight) rec.flight_path.clear();
+      else if (rec.flight_path.empty()) {
+        rec.flight_path = serve_opts.socket_path + ".flight";
+      }
+      if (rec.slow_ms > 0 && rec.slow_log_path.empty()) {
+        rec.slow_log_path = serve_opts.socket_path + ".slow.jsonl";
+      }
       rc = cmd_serve(serve_opts);
+    } else if (command == "stats") {
+      if (serve_opts.socket_path.empty()) {
+        usage_error("stats needs --socket <path>");
+      }
+      rc = cmd_stats(serve_opts.socket_path, stats_watch, json_mode,
+                     stats_prometheus);
+    } else if (command == "flight") {
+      rc = cmd_flight(file, out_path);
     } else if (command == "loadgen") {
       if (loadgen_opts.socket_path.empty()) {
         usage_error("loadgen needs --socket <path>");

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Pins the serve readiness contract (cmd_serve in tools/asimt_main.cpp):
+# the "listening on" line must reach a *non-tty* stdout before the accept
+# loop starts. The daemon sets stdout line-buffered and prints readiness
+# only after listen() and the signal handlers are installed, so:
+#   1. the line appears promptly even when stdout is a file/pipe (a
+#      regression to default block-buffering makes this test time out), and
+#   2. a client scrape issued the instant the line is visible must succeed
+#      with no retry loop.
+# usage: serve_ready_test.sh <asimt-binary>
+set -u
+
+asimt="$1"
+tmp="${TMPDIR:-/tmp}/serve_ready_$$"
+mkdir -p "$tmp" || exit 1
+sock="$tmp/daemon.sock"
+server_pid=
+trap 'test -n "$server_pid" && kill "$server_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "FAIL: $*"
+  sed 's/^/  serve stderr: /' "$tmp/serve_err" 2>/dev/null
+  exit 1
+}
+
+"$asimt" serve --socket "$sock" >"$tmp/serve_out" 2>"$tmp/serve_err" &
+server_pid=$!
+
+# The readiness line must show up within a few seconds of boot even though
+# stdout is a regular file here, because cmd_serve line-buffers it
+# explicitly before printing.
+tries=0
+until grep -q "listening on" "$tmp/serve_out" 2>/dev/null; do
+  kill -0 "$server_pid" 2>/dev/null || fail "daemon died before readiness"
+  tries=$((tries + 1))
+  [ "$tries" -gt 50 ] && fail "readiness line not flushed within 5s (buffering regression?)"
+  sleep 0.1
+done
+
+# Readiness means ready: the very first connect must be accepted.
+"$asimt" stats --socket "$sock" >"$tmp/stats_out" 2>&1 \
+  || fail "metrics scrape right after readiness failed: $(cat "$tmp/stats_out")"
+grep -q "requests" "$tmp/stats_out" || fail "scrape produced no metrics"
+
+# And the stop handlers were installed before readiness too: an immediate
+# SIGTERM drains cleanly instead of killing the process.
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_rc=$?
+server_pid=
+[ "$server_rc" -eq 0 ] || fail "daemon exited $server_rc after SIGTERM"
+grep -q "drained:" "$tmp/serve_out" || fail "no drain summary after SIGTERM"
+
+echo "serve ready OK"

@@ -50,6 +50,30 @@ grep -q '"req_time_ns"' "$tmp/BENCH_serve_loadgen.json" \
 grep -q '"git_sha"' "$tmp/BENCH_serve_loadgen.json" \
   || fail "artifact lacks the provenance manifest"
 
+# The metrics op must account for every reply the loadgen received: the
+# daemon observes a request into its histograms before the reply bytes go
+# out, so once the burst has drained, histogram counts equal the client's
+# received count exactly (encode + verify are the only ops in the mix).
+received=$(grep -o '"received": [0-9]*' "$tmp/BENCH_serve_loadgen.json" \
+  | grep -o '[0-9]*')
+[ -n "$received" ] || fail "artifact lacks a received count"
+"$asimt" stats --socket "$sock" --json >"$tmp/metrics.json" 2>&1 \
+  || fail "stats --json scrape failed: $(cat "$tmp/metrics.json")"
+"$json_check" "$tmp/metrics.json" || fail "metrics snapshot is not valid JSON"
+counted=$(grep -o '"count": [0-9]*' "$tmp/metrics.json" \
+  | awk '{ s += $2 } END { print s + 0 }')
+[ "$counted" -eq "$received" ] \
+  || fail "histogram counts ($counted) != loadgen received ($received)"
+grep -q '"lookups"' "$tmp/metrics.json" || fail "metrics lack cache counters"
+
+# The same snapshot in Prometheus exposition text, HELP/TYPE and all.
+"$asimt" stats --socket "$sock" --prometheus >"$tmp/metrics.prom" 2>&1 \
+  || fail "stats --prometheus scrape failed"
+grep -q '^# TYPE asimt_serve_request_ns histogram$' "$tmp/metrics.prom" \
+  || fail "prometheus scrape lacks the latency histogram family"
+grep -q '^asimt_serve_requests_total [0-9]' "$tmp/metrics.prom" \
+  || fail "prometheus scrape lacks the request counter"
+
 # ...and the trajectory gate must accept it (the first --append establishes
 # the baseline the CI lane compares later runs against).
 "$benchdiff" --trajectory "$tmp/history.jsonl" \
@@ -66,5 +90,34 @@ server_pid=
 grep -q "drained:" "$tmp/serve_out" || fail "no drain summary on stdout"
 grep -q "hits" "$tmp/serve_out" || fail "no cache stats in drain summary"
 [ ! -e "$sock" ] || fail "socket file survived the drain"
+
+# Crash path: a fresh daemon takes a short burst, then dies on SIGABRT. The
+# async-signal-safe flight handler must leave a dump at the default
+# <socket>.flight path that round-trips through `asimt flight` into a valid
+# Chrome trace (docs/OBSERVABILITY.md).
+sock2="$tmp/crash.sock"
+"$asimt" serve --socket "$sock2" >"$tmp/crash_out" 2>"$tmp/crash_err" &
+server_pid=$!
+tries=0
+until grep -q "listening on" "$tmp/crash_out" 2>/dev/null; do
+  kill -0 "$server_pid" 2>/dev/null || fail "crash daemon died before readiness"
+  tries=$((tries + 1))
+  [ "$tries" -gt 100 ] && fail "crash daemon never became ready"
+  sleep 0.1
+done
+"$asimt" loadgen --socket "$sock2" --conns 1 --rate 200 --seconds 0.3 \
+  --seed 7 --out "$tmp/crash_bench.json" >/dev/null 2>&1 \
+  || fail "crash-daemon warm-up burst failed"
+kill -ABRT "$server_pid"
+wait "$server_pid" 2>/dev/null
+crash_rc=$?
+server_pid=
+[ "$crash_rc" -ge 128 ] || fail "daemon survived SIGABRT (exit $crash_rc)"
+[ -s "$sock2.flight" ] || fail "SIGABRT left no flight dump"
+grep -q '"reason":"SIGABRT"' "$sock2.flight" \
+  || fail "flight dump reason is not SIGABRT"
+"$asimt" flight "$sock2.flight" -o "$tmp/crash_trace.json" >/dev/null \
+  || fail "flight dump did not convert to a trace"
+"$json_check" "$tmp/crash_trace.json" || fail "flight trace is not valid JSON"
 
 echo "serve smoke OK"
