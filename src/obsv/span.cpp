@@ -43,7 +43,8 @@ const char* outcome_name(Outcome outcome) {
 
 namespace {
 const char* const kErrorKindNames[kErrorKindCount] = {
-    "ok", "parse", "bad_request", "assembly", "exec", "internal"};
+    "ok",      "parse",   "bad_request", "assembly",
+    "exec",    "timeout", "overloaded",  "internal"};
 }  // namespace
 
 const char* error_kind_name(std::uint8_t kind) {

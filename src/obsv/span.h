@@ -69,10 +69,11 @@ inline constexpr unsigned kOutcomeCount = 3;
 const char* outcome_name(Outcome outcome);
 
 // Protocol error kinds as small ids (0 = ok). Matches the wire strings of
-// docs/SERVING.md so dumps and metrics agree with replies.
-inline constexpr unsigned kErrorKindCount = 6;
+// docs/SERVING.md so dumps and metrics agree with replies. "internal" is
+// deliberately last: unknown kinds degrade to it, whatever the table grows to.
+inline constexpr unsigned kErrorKindCount = 8;
 const char* error_kind_name(std::uint8_t kind);           // "ok", "parse", ...
-std::uint8_t error_kind_id(const char* kind);             // inverse; 5 if unknown
+std::uint8_t error_kind_id(const char* kind);             // inverse; last if unknown
 
 // ---------------------------------------------------------------------------
 // Span

@@ -1,0 +1,70 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obsv/span.h"
+
+namespace asimt::serve {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+Admission AdmissionController::admit(std::uint64_t deadline_ns) {
+  if (!enabled()) return Admission::kAdmitted;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < options_.max_inflight) {
+    ++inflight_;
+    return Admission::kAdmitted;
+  }
+  // Shed before queue: a full wait queue rejects immediately instead of
+  // growing — the client gets `overloaded` + retry_after_ms while the
+  // daemon's backlog stays bounded.
+  if (waiting_ >= options_.queue_depth) return Admission::kShed;
+
+  // Queue before block: the wait is bounded by the queue policy and, when
+  // the request carries its own deadline, by whichever comes first.
+  const std::uint64_t now = obsv::now_ns();
+  std::uint64_t wait_until = now + options_.queue_timeout_ms * 1'000'000ull;
+  bool deadline_binds = false;
+  if (deadline_ns != 0 && deadline_ns < wait_until) {
+    wait_until = deadline_ns;
+    deadline_binds = true;
+  }
+  ++waiting_;
+  for (;;) {
+    if (inflight_ < options_.max_inflight) {
+      --waiting_;
+      ++inflight_;
+      return Admission::kAdmitted;
+    }
+    const std::uint64_t current = obsv::now_ns();
+    if (current >= wait_until) {
+      --waiting_;
+      return deadline_binds ? Admission::kDeadline : Admission::kQueueTimeout;
+    }
+    slot_available_.wait_for(lock,
+                             std::chrono::nanoseconds(wait_until - current));
+  }
+}
+
+void AdmissionController::release() {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (inflight_ > 0) --inflight_;
+  }
+  slot_available_.notify_one();
+}
+
+unsigned AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+unsigned AdmissionController::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+}  // namespace asimt::serve

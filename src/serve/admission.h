@@ -1,0 +1,108 @@
+// Admission control for the encoding daemon: a bounded concurrency limiter
+// with an explicit degradation order (docs/SERVING.md § Resilience).
+//
+// The server has two capacity dials. `--max-conns` bounds connection threads
+// and is enforced in the accept loop (server.h); `--max-inflight` bounds the
+// number of *expensive requests* (encode/verify cache misses, profile runs)
+// executing at once and is enforced here, between the cache lookup and the
+// compute. Cheap requests — ping, stats, metrics, dump, cache hits — bypass
+// admission entirely: monitoring must keep working while the daemon sheds.
+//
+// Degradation order, from the ISSUE contract:
+//   shed before queue:  when the wait queue is full, reject immediately with
+//                       a structured `overloaded` error (+ retry_after_ms)
+//                       rather than letting the queue grow;
+//   queue before block: a request that does queue waits a *bounded* time
+//                       (min of the queue policy and its own deadline), never
+//                       indefinitely.
+//
+// Every decision is counted in OverloadCounters, which the `stats` and
+// `metrics` ops expose and the drain summary prints — overload is observable,
+// never silent.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace asimt::serve {
+
+// Shed/timeout accounting shared by the admission controller (request-level)
+// and the server (transport-level). Plain relaxed atomics: these are
+// monotonic counters, not synchronization.
+struct OverloadCounters {
+  std::atomic<std::uint64_t> shed_connections{0};  // --max-conns rejections
+  std::atomic<std::uint64_t> shed_requests{0};     // queue-full rejections
+  std::atomic<std::uint64_t> queue_timeouts{0};    // waited, slot never came
+  std::atomic<std::uint64_t> deadline_expired{0};  // request deadline hit
+  std::atomic<std::uint64_t> read_timeouts{0};     // slow-loris evictions
+  std::atomic<std::uint64_t> write_timeouts{0};    // stalled-reader evictions
+};
+
+struct AdmissionOptions {
+  // Concurrent expensive requests; 0 = unlimited (admission disabled).
+  unsigned max_inflight = 0;
+  // Requests allowed to wait for a slot; one more is shed, not queued.
+  unsigned queue_depth = 16;
+  // Server-policy cap on the queue wait. A request's own deadline can only
+  // shorten it.
+  std::uint64_t queue_timeout_ms = 100;
+};
+
+enum class Admission {
+  kAdmitted,      // caller holds a slot; must call release()
+  kShed,          // queue full — reject now ("overloaded")
+  kQueueTimeout,  // queued, but no slot within the policy ("overloaded")
+  kDeadline,      // queued, but the request deadline expired ("timeout")
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Tries to take an execution slot. `deadline_ns` is an absolute
+  // obsv::now_ns() instant (0 = none); expiring while queued yields
+  // kDeadline so the caller reports `timeout`, not `overloaded`.
+  Admission admit(std::uint64_t deadline_ns = 0);
+
+  // Returns a slot taken by a successful admit(). Wakes one waiter.
+  void release();
+
+  // RAII slot: releases on destruction iff the admit succeeded.
+  class Ticket {
+   public:
+    Ticket(AdmissionController& controller, std::uint64_t deadline_ns = 0)
+        : controller_(controller), result_(controller.admit(deadline_ns)) {}
+    ~Ticket() {
+      if (result_ == Admission::kAdmitted) controller_.release();
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    Admission result() const { return result_; }
+
+   private:
+    AdmissionController& controller_;
+    Admission result_;
+  };
+
+  bool enabled() const { return options_.max_inflight > 0; }
+  const AdmissionOptions& options() const { return options_; }
+
+  // Snapshot accessors (approximate under concurrency; exact in tests that
+  // control the threads).
+  unsigned inflight() const;
+  unsigned waiting() const;
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_available_;
+  unsigned inflight_ = 0;
+  unsigned waiting_ = 0;
+};
+
+}  // namespace asimt::serve

@@ -1,9 +1,22 @@
-// Minimal blocking client for the serve protocol: connect to the daemon's
-// unix socket, send request lines, read reply lines. Used by the load
-// generator's connections and by the integration tests; scripts can speak
-// the same protocol with nothing fancier than `nc -U`.
+// Clients for the serve protocol.
+//
+// `Client` is the minimal transport: connect to the daemon's unix socket,
+// send request lines, read reply lines. The fd is nonblocking and all I/O is
+// poll-paced, so an optional io timeout (set_io_timeout_ms) bounds every
+// send and recv — a daemon that stalls mid-reply surfaces as kTimeout, not a
+// hung caller. With no timeout configured the behavior is the old blocking
+// one. Used by the load generator's connections and the integration tests;
+// scripts can speak the same protocol with nothing fancier than `nc -U`.
+//
+// `RetryingClient` layers deadline propagation and jittered-exponential-
+// backoff retries under a retry *budget* on top: transport failures and
+// `overloaded` replies are retried (honoring the server's retry_after_ms
+// hint), but each retry spends a token from a bucket that only successes
+// refill — a persistently failing server exhausts the budget instead of
+// being hammered by a retry storm (docs/SERVING.md § Resilience).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -11,6 +24,12 @@ namespace asimt::serve {
 
 class Client {
  public:
+  enum class LineResult {
+    kLine,     // a full line was produced
+    kTimeout,  // io timeout expired first
+    kClosed,   // EOF or a hard socket error
+  };
+
   Client() = default;
   ~Client();
 
@@ -25,13 +44,28 @@ class Client {
 
   bool connected() const { return fd_ >= 0; }
   void close();
+  int fd() const { return fd_; }
 
-  // Sends `line` plus the terminating newline. False on a broken pipe.
+  // Bounds every subsequent send/recv (0 = wait forever, the default).
+  void set_io_timeout_ms(std::uint64_t ms) { io_timeout_ms_ = ms; }
+
+  // Half-closes the write side (SHUT_WR): the daemon sees EOF after the
+  // bytes already sent, while replies still flow back — the half-open
+  // pattern `tests/serve/server_test.cpp` pins.
+  bool shutdown_write();
+
+  // Sends `line` plus the terminating newline. False on a broken pipe or an
+  // expired io timeout.
   bool send_line(const std::string& line);
 
-  // Blocks for the next reply line (newline stripped). nullopt on EOF or a
-  // read error — e.g. the daemon drained and closed.
+  // Blocks for the next reply line (newline stripped), up to the io timeout.
+  // nullopt on EOF, a read error, or timeout — error() tells them apart.
   std::optional<std::string> recv_line();
+
+  // recv_line with an explicit wait bound (-1 = forever, overriding the io
+  // timeout) and a three-way result, for callers that must distinguish a
+  // slow daemon from a gone one.
+  LineResult recv_line_wait(std::string& line, int timeout_ms);
 
   // One request, one reply.
   std::optional<std::string> roundtrip(const std::string& line) {
@@ -43,7 +77,66 @@ class Client {
 
  private:
   int fd_ = -1;
+  std::uint64_t io_timeout_ms_ = 0;
   std::string buffer_;  // bytes received past the last returned line
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Retries under a budget
+
+struct RetryPolicy {
+  unsigned max_attempts = 4;          // total tries per roundtrip
+  std::uint64_t base_backoff_ms = 10; // first retry's backoff ceiling
+  std::uint64_t max_backoff_ms = 500; // exponential growth cap
+  std::uint64_t io_timeout_ms = 0;    // per-send/recv bound (0 = forever)
+  std::uint64_t seed = 1;             // jitter PRNG seed (deterministic)
+  // Token-bucket retry budget: each retry spends one token; each success
+  // earns budget_per_success back (capped). A failing server drains the
+  // bucket and further retries are refused — no retry storms.
+  double initial_budget = 10.0;
+  double budget_per_success = 0.1;
+  double budget_cap = 10.0;
+};
+
+// Full-jitter exponential backoff: uniform in [0, min(max, base << attempt)].
+// Deterministic in (rng_state, attempt); exposed for tests.
+std::uint64_t jittered_backoff_ms(std::uint64_t& rng_state, unsigned attempt,
+                                  const RetryPolicy& policy);
+
+class RetryingClient {
+ public:
+  struct Stats {
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t budget_exhausted = 0;   // retries refused for lack of budget
+    std::uint64_t overloaded_replies = 0; // server shed us at least this often
+  };
+
+  explicit RetryingClient(std::string socket_path, RetryPolicy policy = {});
+
+  // One request with retries: transport failures (connect/send/recv/timeout)
+  // and `overloaded` replies are retried with full-jitter exponential
+  // backoff, sleeping at least the server's retry_after_ms hint when one is
+  // present. Other error replies (bad_request, timeout, ...) are returned to
+  // the caller — retrying a request the server *answered* is the caller's
+  // decision. nullopt when every attempt failed or the budget ran dry.
+  std::optional<std::string> roundtrip(const std::string& line);
+
+  const Stats& stats() const { return stats_; }
+  const std::string& error() const { return error_; }
+  Client& client() { return client_; }
+
+ private:
+  bool ensure_connected();
+
+  std::string socket_path_;
+  RetryPolicy policy_;
+  Client client_;
+  std::uint64_t rng_state_;
+  double budget_;
+  Stats stats_;
   std::string error_;
 };
 

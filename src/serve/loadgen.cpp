@@ -1,13 +1,11 @@
 #include "serve/loadgen.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <deque>
-#include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "obs/manifest.h"
 #include "serve/client.h"
@@ -60,22 +58,27 @@ std::vector<std::string> make_program_pool() {
 // Requests are pre-rendered minus the id ("body" = everything after the id
 // field), so the per-send cost is one integer format + two appends, not a
 // JSON escape of the program text.
-std::vector<std::string> make_request_bodies() {
+std::vector<std::string> make_request_bodies(const LoadgenOptions& options) {
   // Every request opts into the server-side latency echo; the echoed field
   // lives in the reply envelope, outside the cached payload, so this does
   // not disturb the byte-identity contract.
+  std::string prefix;
+  if (options.deadline_ms > 0) {
+    prefix = ",\"deadline_ms\":" + std::to_string(options.deadline_ms);
+  }
+  prefix += ",\"echo_span\":true";
   std::vector<std::string> bodies;
   const std::vector<std::string> pool = make_program_pool();
   for (const std::string& text : pool) {
     for (int k = 4; k <= 6; ++k) {
-      bodies.push_back(",\"echo_span\":true,\"op\":\"encode\",\"text\":\"" +
+      bodies.push_back(prefix + ",\"op\":\"encode\",\"text\":\"" +
                        json::escape(text) + "\",\"k\":" + std::to_string(k) +
                        "}");
     }
   }
   // One verify body per program (k=5) keeps the decode path in the mix.
   for (const std::string& text : pool) {
-    bodies.push_back(",\"echo_span\":true,\"op\":\"verify\",\"text\":\"" +
+    bodies.push_back(prefix + ",\"op\":\"verify\",\"text\":\"" +
                      json::escape(text) + "\",\"k\":5}");
   }
   return bodies;
@@ -85,7 +88,15 @@ struct ConnResult {
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
   std::uint64_t errors = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t unmatched = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t ok_replies = 0;
   bool connect_failed = false;
+  bool gave_up = false;
   std::vector<double> latencies_ms;
   std::vector<double> server_ms;  // echoed server_ns per reply, as ms
   Clock::time_point last_reply{};
@@ -108,12 +119,32 @@ bool parse_server_ns(const std::string& reply, std::uint64_t& out) {
   return true;
 }
 
-// One loadgen connection: a sender thread pacing the open-loop schedule and
-// a receiver thread matching FIFO replies to their scheduled send times.
+// The reply envelope is spliced with the id first: `{"id":<dump>,...`. Only
+// integer ids match a loadgen request; "id":null (the daemon answering an
+// injected garbage line) parses false and lands in `unmatched`.
+bool parse_reply_id(const std::string& reply, std::uint64_t& out) {
+  static const std::string kPrefix = "{\"id\":";
+  if (reply.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  std::size_t i = kPrefix.size();
+  if (i >= reply.size() || reply[i] < '0' || reply[i] > '9') return false;
+  std::uint64_t value = 0;
+  for (; i < reply.size() && reply[i] >= '0' && reply[i] <= '9'; ++i) {
+    value = value * 10 + static_cast<std::uint64_t>(reply[i] - '0');
+  }
+  out = value;
+  return true;
+}
+
+// One loadgen connection: a single poll loop that paces the open-loop
+// schedule, drains replies between scheduled instants, and matches each
+// reply to its request by id.
 void run_connection(const LoadgenOptions& options, unsigned conn_index,
                     const std::vector<std::string>& bodies,
                     Clock::time_point start, ConnResult& result) {
   Client client;
+  // The initial connect is deliberately single-attempt: a daemon that was
+  // never there fails the run fast and honestly. Only a connection that
+  // *worked* and then dropped earns reconnect attempts.
   if (!client.connect(options.socket_path)) {
     result.connect_failed = true;
     return;
@@ -122,44 +153,112 @@ void run_connection(const LoadgenOptions& options, unsigned conn_index,
       options.rate / static_cast<double>(std::max(1u, options.conns));
   const double mean_gap_s = 1.0 / std::max(1e-6, per_conn_rate);
 
-  std::mutex inflight_mu;
-  std::deque<Clock::time_point> inflight;  // scheduled send time, FIFO
-  std::atomic<std::uint64_t> sent{0};
-  std::atomic<bool> sender_done{false};
+  // Workload stream: pacing + request picks, byte-compatible with the
+  // pre-reconnect loadgen. Backoff stream: separate state, so an outage
+  // consumes no workload draws and the request sequence stays deterministic.
+  SplitMix64 rng{options.seed ^ (0x9E3779B97F4A7C15ull * (conn_index + 1))};
+  SplitMix64 backoff_rng{options.seed ^ 0xB4C0FF5EED5EED5Eull ^
+                         (0x9E3779B97F4A7C15ull * (conn_index + 1))};
 
-  std::thread receiver([&] {
-    for (;;) {
-      const std::uint64_t target = sent.load(std::memory_order_acquire);
-      if (result.received == target) {
-        if (sender_done.load(std::memory_order_acquire)) break;
-        // All outstanding replies drained but the sender is still pacing:
-        // yield briefly instead of blocking on a reply that is not due.
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-        continue;
+  std::unordered_map<std::uint64_t, Clock::time_point> inflight;
+  bool connected = true;
+
+  auto on_disconnect = [&] {
+    // Whatever was in flight will never be answered on this socket.
+    result.lost += inflight.size();
+    inflight.clear();
+    client.close();
+    connected = false;
+  };
+
+  auto handle_reply = [&](const std::string& reply) {
+    const Clock::time_point now = Clock::now();
+    std::uint64_t id = 0;
+    if (!parse_reply_id(reply, id)) {
+      ++result.unmatched;
+      return;
+    }
+    const auto it = inflight.find(id);
+    if (it == inflight.end()) {
+      ++result.unmatched;
+      return;
+    }
+    const Clock::time_point scheduled = it->second;
+    inflight.erase(it);
+    ++result.received;
+    result.last_reply = now;
+    result.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(now - scheduled).count());
+    if (reply.find("\"ok\":true") != std::string::npos) {
+      ++result.ok_replies;
+    } else if (reply.find("\"kind\":\"overloaded\"") != std::string::npos) {
+      ++result.shed;
+    } else if (reply.find("\"kind\":\"timeout\"") != std::string::npos) {
+      ++result.timeouts;
+    } else {
+      ++result.errors;
+    }
+    std::uint64_t server_ns = 0;
+    if (parse_server_ns(reply, server_ns)) {
+      result.server_ms.push_back(static_cast<double>(server_ns) / 1e6);
+    }
+  };
+
+  // Bounded full-jitter reconnect; false once the outage exhausted its
+  // attempts (the connection is then done for good — `gave_up`).
+  auto try_reconnect = [&]() -> bool {
+    if (result.gave_up) return false;
+    for (unsigned attempt = 0; attempt < options.reconnect_attempts;
+         ++attempt) {
+      std::uint64_t ceiling = options.reconnect_base_ms;
+      for (unsigned i = 0; i < attempt && ceiling < options.reconnect_max_ms;
+           ++i) {
+        ceiling *= 2;
       }
-      const std::optional<std::string> reply = client.recv_line();
-      if (!reply) break;  // daemon went away; remaining requests are lost
-      const Clock::time_point now = Clock::now();
-      Clock::time_point scheduled;
-      {
-        std::lock_guard<std::mutex> lock(inflight_mu);
-        scheduled = inflight.front();
-        inflight.pop_front();
+      ceiling = std::min(ceiling, options.reconnect_max_ms);
+      const std::uint64_t sleep_ms =
+          ceiling == 0 ? 0 : backoff_rng.next() % (ceiling + 1);
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
       }
-      ++result.received;
-      result.last_reply = now;
-      result.latencies_ms.push_back(
-          std::chrono::duration<double, std::milli>(now - scheduled).count());
-      if (reply->find("\"ok\":true") == std::string::npos) ++result.errors;
-      std::uint64_t server_ns = 0;
-      if (parse_server_ns(*reply, server_ns)) {
-        result.server_ms.push_back(static_cast<double>(server_ns) / 1e6);
+      if (client.connect(options.socket_path)) {
+        connected = true;
+        ++result.reconnects;
+        return true;
       }
     }
-  });
+    result.gave_up = true;
+    return false;
+  };
 
-  SplitMix64 rng{options.seed ^ (0x9E3779B97F4A7C15ull * (conn_index + 1))};
-  const Clock::time_point deadline =
+  // Drains replies until `until` (or, when asked, until nothing is in
+  // flight); returns false when the connection died.
+  auto drain_until = [&](Clock::time_point until,
+                         bool stop_when_drained) -> bool {
+    while (connected) {
+      if (stop_when_drained && inflight.empty()) return true;
+      const Clock::time_point now = Clock::now();
+      if (now >= until) return true;
+      const int wait_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(until - now)
+              .count()) +
+          1;
+      std::string line;
+      switch (client.recv_line_wait(line, wait_ms)) {
+        case Client::LineResult::kLine:
+          handle_reply(line);
+          break;
+        case Client::LineResult::kTimeout:
+          return true;  // the scheduled instant arrived
+        case Client::LineResult::kClosed:
+          on_disconnect();
+          return false;
+      }
+    }
+    return false;
+  };
+
+  const Clock::time_point send_deadline =
       start + std::chrono::duration_cast<Clock::duration>(
                   std::chrono::duration<double>(options.seconds));
   Clock::time_point scheduled = start;
@@ -167,28 +266,44 @@ void run_connection(const LoadgenOptions& options, unsigned conn_index,
   for (;;) {
     scheduled += std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(-std::log(rng.next_unit()) * mean_gap_s));
-    if (scheduled >= deadline) break;
-    // Open loop: sleep until the *scheduled* instant regardless of how the
-    // previous request fared, then stamp latency from that instant.
+    const std::uint64_t pick = rng.next();  // drawn unconditionally: the
+    // workload sequence is a pure function of the seed, outages included.
+    if (scheduled >= send_deadline) break;
+    if (connected) {
+      drain_until(scheduled, /*stop_when_drained=*/false);
+    } else {
+      std::this_thread::sleep_until(scheduled);
+    }
+    if (!connected && !try_reconnect()) {
+      // Open loop: a send slot inside an outage is *missed*, not deferred —
+      // no burst of stale requests when the daemon comes back.
+      ++result.missed;
+      ++seq;  // the id space also stays a pure function of the schedule
+      continue;
+    }
     std::this_thread::sleep_until(scheduled);
-    const std::uint64_t pick = rng.next();
     const std::string& body = bodies[pick % bodies.size()];
     const std::uint64_t id =
         static_cast<std::uint64_t>(conn_index) * 1'000'000'000ull + seq++;
-    {
-      std::lock_guard<std::mutex> lock(inflight_mu);
-      inflight.push_back(scheduled);
-    }
     if (!client.send_line("{\"id\":" + std::to_string(id) + body)) {
-      std::lock_guard<std::mutex> lock(inflight_mu);
-      inflight.pop_back();
-      break;
+      on_disconnect();
+      ++result.missed;
+      continue;
     }
-    sent.fetch_add(1, std::memory_order_release);
+    inflight.emplace(id, scheduled);
+    ++result.sent;
   }
-  sender_done.store(true, std::memory_order_release);
-  receiver.join();
-  result.sent = sent.load(std::memory_order_relaxed);
+
+  // Drain stragglers past the send window, bounded: a daemon that stopped
+  // replying costs drain_seconds, not forever.
+  const Clock::time_point drain_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(options.drain_seconds));
+  if (connected && !inflight.empty()) {
+    drain_until(drain_deadline, /*stop_when_drained=*/true);
+  }
+  result.lost += inflight.size();
+  inflight.clear();
   client.close();
 }
 
@@ -220,7 +335,7 @@ double interpolated_quantile(const std::vector<double>& sorted, double q) {
 }
 
 LoadgenReport run_loadgen(const LoadgenOptions& options) {
-  const std::vector<std::string> bodies = make_request_bodies();
+  const std::vector<std::string> bodies = make_request_bodies(options);
   const unsigned conns = std::max(1u, options.conns);
   std::vector<ConnResult> results(conns);
   // A common start instant slightly in the future so every connection's
@@ -237,6 +352,7 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   for (std::thread& thread : threads) thread.join();
 
   LoadgenReport report;
+  std::uint64_t ok_replies = 0;
   std::vector<double> latencies;
   std::vector<double> server;
   Clock::time_point last_reply = start;
@@ -244,7 +360,15 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
     report.sent += result.sent;
     report.received += result.received;
     report.errors += result.errors;
+    report.shed += result.shed;
+    report.timeouts += result.timeouts;
+    report.missed_sends += result.missed;
+    report.lost += result.lost;
+    report.unmatched += result.unmatched;
+    report.reconnects += result.reconnects;
+    ok_replies += result.ok_replies;
     if (result.connect_failed) ++report.connect_failures;
+    if (result.gave_up) ++report.conns_gave_up;
     latencies.insert(latencies.end(), result.latencies_ms.begin(),
                      result.latencies_ms.end());
     server.insert(server.end(), result.server_ms.begin(),
@@ -257,10 +381,15 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   std::sort(server.begin(), server.end());
   report.elapsed_seconds =
       std::chrono::duration<double>(last_reply - start).count();
-  report.throughput_rps =
-      report.elapsed_seconds > 0.0
-          ? static_cast<double>(report.received) / report.elapsed_seconds
-          : 0.0;
+  if (report.elapsed_seconds > 0.0) {
+    report.throughput_rps =
+        static_cast<double>(report.received) / report.elapsed_seconds;
+    report.goodput_rps =
+        static_cast<double>(ok_replies) / report.elapsed_seconds;
+    report.attempted_rps =
+        static_cast<double>(report.sent + report.missed_sends) /
+        report.elapsed_seconds;
+  }
   report.p50_ms = interpolated_quantile(latencies, 0.50);
   report.p90_ms = interpolated_quantile(latencies, 0.90);
   report.p99_ms = interpolated_quantile(latencies, 0.99);
@@ -295,14 +424,24 @@ json::Value loadgen_artifact(const LoadgenOptions& options,
   opts.set("rate", options.rate);
   opts.set("seconds", options.seconds);
   opts.set("seed", options.seed);
+  opts.set("deadline_ms", options.deadline_ms);
   doc.set("options", std::move(opts));
   json::Value summary = json::Value::object();
   summary.set("sent", report.sent);
   summary.set("received", report.received);
   summary.set("errors", report.errors);
+  summary.set("shed", report.shed);
+  summary.set("timeouts", report.timeouts);
   summary.set("connect_failures", report.connect_failures);
+  summary.set("missed_sends", report.missed_sends);
+  summary.set("lost", report.lost);
+  summary.set("unmatched", report.unmatched);
+  summary.set("reconnects", report.reconnects);
+  summary.set("conns_gave_up", report.conns_gave_up);
   summary.set("elapsed_seconds", report.elapsed_seconds);
   summary.set("throughput_rps", report.throughput_rps);
+  summary.set("goodput_rps", report.goodput_rps);
+  summary.set("attempted_rps", report.attempted_rps);
   // Server-observed latency rides in the summary (not the gated benchmark
   // rows): it is context for reading the client-observed numbers, with the
   // client-minus-server gap isolating queueing + transport.
@@ -322,10 +461,16 @@ json::Value loadgen_artifact(const LoadgenOptions& options,
   rows.push_back(stats_row("latency/p99", report.p99_ms, report.received));
   rows.push_back(stats_row("latency/p999", report.p999_ms, report.received));
   // Throughput in gate-friendly lower-is-better form: ns per request. The
-  // human-readable requests/second lives in "summary".
+  // human-readable requests/second lives in "summary". goodput_time_ns
+  // counts only "ok":true replies — under overload or chaos it diverges
+  // from req_time_ns by exactly the shed/timeout/error toll.
   rows.push_back(stats_row(
       "req_time_ns",
       report.throughput_rps > 0.0 ? 1e9 / report.throughput_rps : 0.0,
+      report.received));
+  rows.push_back(stats_row(
+      "goodput_time_ns",
+      report.goodput_rps > 0.0 ? 1e9 / report.goodput_rps : 0.0,
       report.received));
   doc.set("benchmarks", std::move(rows));
   obs::embed_manifest(doc, obs::ManifestFields::kFull);
@@ -333,20 +478,31 @@ json::Value loadgen_artifact(const LoadgenOptions& options,
 }
 
 std::string format_report(const LoadgenReport& report) {
-  char buffer[768];
+  char buffer[1024];
   int n = std::snprintf(
       buffer, sizeof(buffer),
-      "sent %llu  received %llu  errors %llu  connect_failures %llu\n"
-      "elapsed %.3f s  throughput %.0f req/s\n"
+      "sent %llu  received %llu  errors %llu  shed %llu  timeouts %llu  "
+      "connect_failures %llu\n"
+      "missed %llu  lost %llu  unmatched %llu  reconnects %llu  "
+      "gave_up %llu\n"
+      "elapsed %.3f s  throughput %.0f req/s  goodput %.0f req/s  "
+      "attempted %.0f req/s\n"
       "client ms   p50 %.3f  p90 %.3f  p99 %.3f  p99.9 %.3f  "
       "max %.3f  mean %.3f\n",
       static_cast<unsigned long long>(report.sent),
       static_cast<unsigned long long>(report.received),
       static_cast<unsigned long long>(report.errors),
+      static_cast<unsigned long long>(report.shed),
+      static_cast<unsigned long long>(report.timeouts),
       static_cast<unsigned long long>(report.connect_failures),
-      report.elapsed_seconds, report.throughput_rps, report.p50_ms,
-      report.p90_ms, report.p99_ms, report.p999_ms, report.max_ms,
-      report.mean_ms);
+      static_cast<unsigned long long>(report.missed_sends),
+      static_cast<unsigned long long>(report.lost),
+      static_cast<unsigned long long>(report.unmatched),
+      static_cast<unsigned long long>(report.reconnects),
+      static_cast<unsigned long long>(report.conns_gave_up),
+      report.elapsed_seconds, report.throughput_rps, report.goodput_rps,
+      report.attempted_rps, report.p50_ms, report.p90_ms, report.p99_ms,
+      report.p999_ms, report.max_ms, report.mean_ms);
   if (n > 0 && report.server_samples > 0 &&
       static_cast<std::size_t>(n) < sizeof(buffer)) {
     std::snprintf(buffer + n, sizeof(buffer) - static_cast<std::size_t>(n),

@@ -8,16 +8,29 @@
 // that should have been sent meanwhile — the open-loop property that makes
 // tail percentiles honest (no coordinated omission).
 //
+// Replies are matched to requests by id (the daemon echoes "id" as the first
+// reply field), not arrival order, so an injected junk reply or a daemon
+// restart cannot silently shift every subsequent latency sample onto the
+// wrong request. A connection dropped mid-run (daemon restart, chaos
+// disconnect) reconnects with bounded full-jitter backoff; every scheduled
+// send that falls inside the outage is *missed*, not deferred — the gap
+// shows up in the loss accounting instead of as a thundering-herd burst,
+// and the run fails only when every connection is gone for good.
+//
 // The request mix is deterministic in (seed, conns, rate, seconds): a fixed
 // pool of generated workloads, each request choosing op/program/k from the
-// per-connection PRNG stream. Identical invocations replay identical
-// request sequences, which is what lets CI assert on the artifact.
+// per-connection PRNG stream. Reconnect backoff draws from a separate
+// stream, so outages do not perturb the workload sequence. Identical
+// invocations replay identical request sequences, which is what lets CI
+// assert on the artifact.
 //
 // Results are reported as a schema-v2 artifact ("bench": "serve_loadgen")
 // whose rows carry stats.median like every other bench artifact, so
 // `tools/benchdiff --trajectory` gates serve latency exactly like compute
 // benches: latency/p50|p90|p99|p999 in milliseconds, plus req_time_ns
-// (1e9 / throughput — lower-better, the gate-friendly form of throughput).
+// (1e9 / throughput — lower-better, the gate-friendly form of throughput)
+// and goodput_time_ns (the same form for *successful* replies only — the
+// attempted-vs-goodput gap is the overload + fault toll).
 #pragma once
 
 #include <cstdint>
@@ -34,15 +47,36 @@ struct LoadgenOptions {
   double rate = 2000.0;   // total target requests/second across connections
   double seconds = 2.0;   // send window; receive drains past it
   std::uint64_t seed = 42;
+  // When nonzero, every request carries "deadline_ms": the daemon sheds
+  // work it cannot finish in time instead of the client timing out blind.
+  std::uint64_t deadline_ms = 0;
+  // Mid-run reconnect policy (the *initial* connect stays single-attempt, so
+  // a wrong socket path fails fast instead of retrying into the void).
+  unsigned reconnect_attempts = 5;      // per outage; then the conn gives up
+  std::uint64_t reconnect_base_ms = 10; // full-jitter backoff ceiling start
+  std::uint64_t reconnect_max_ms = 200; // backoff ceiling cap
+  double drain_seconds = 5.0;           // post-window wait for stragglers
 };
 
 struct LoadgenReport {
   std::uint64_t sent = 0;
-  std::uint64_t received = 0;
-  std::uint64_t errors = 0;        // replies with "ok":false
+  std::uint64_t received = 0;      // replies matched to a sent request
+  std::uint64_t errors = 0;        // "ok":false, other than shed/timeout
+  std::uint64_t shed = 0;          // "kind":"overloaded" replies
+  std::uint64_t timeouts = 0;      // "kind":"timeout" replies
   std::uint64_t connect_failures = 0;
+  // Overload/fault loss accounting: scheduled sends skipped while the
+  // connection was down, requests in flight when it dropped, replies that
+  // matched no outstanding id (chaos garbage answered by the daemon).
+  std::uint64_t missed_sends = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t unmatched = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t conns_gave_up = 0;  // outages that exhausted reconnects
   double elapsed_seconds = 0.0;    // first scheduled send to last reply
   double throughput_rps = 0.0;     // received / elapsed
+  double goodput_rps = 0.0;        // successful ("ok":true) replies / elapsed
+  double attempted_rps = 0.0;      // (sent + missed) / elapsed: offered load
   // Client-observed latency percentiles over all received replies,
   // milliseconds, measured from the *scheduled* send instant (open loop).
   double p50_ms = 0.0;
@@ -63,7 +97,10 @@ struct LoadgenReport {
   double server_max_ms = 0.0;
   double server_mean_ms = 0.0;
 
-  bool ok() const { return connect_failures == 0 && errors == 0 && received > 0; }
+  // The run is useful when *any* reply came back: errors, sheds, and
+  // outages are degradation the report quantifies, not failure. Only a run
+  // where every connection failed (or nothing was ever answered) is void.
+  bool ok() const { return received > 0; }
 };
 
 // Type-7 quantile (linear interpolation at rank h = (n-1)·q) over an

@@ -10,26 +10,54 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "obsv/span.h"
 #include "telemetry/metrics.h"
 
 namespace asimt::serve {
 
 namespace {
 
-// Writes all of `data`, riding out EINTR and short writes. MSG_NOSIGNAL
-// turns a peer that vanished mid-reply into EPIPE instead of fatal SIGPIPE
-// (the daemon must outlive any one client — docs/SERVING.md).
-bool send_all(int fd, const char* data, std::size_t len) {
+enum class SendStatus {
+  kOk,
+  kTimeout,  // peer stopped draining within the write deadline
+  kClosed,   // peer hung up (EPIPE/ECONNRESET) or hard error
+};
+
+// Writes all of `data` to a nonblocking fd, riding out EINTR and short
+// writes; when the kernel buffer fills, waits for POLLOUT bounded by
+// `timeout_ms` (0 = wait forever). MSG_NOSIGNAL turns a peer that vanished
+// mid-reply into EPIPE instead of fatal SIGPIPE (the daemon must outlive any
+// one client — docs/SERVING.md). A stalled reader — a client that sent a
+// request but never drains the reply — therefore blocks its connection for
+// at most the deadline, not forever.
+SendStatus send_all(int fd, const char* data, std::size_t len,
+                    std::uint64_t timeout_ms) {
+  const std::uint64_t deadline_ns =
+      timeout_ms == 0 ? 0 : obsv::now_ns() + timeout_ms * 1'000'000ull;
   while (len > 0) {
     const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        int wait_ms = -1;
+        if (deadline_ns != 0) {
+          const std::uint64_t now = obsv::now_ns();
+          if (now >= deadline_ns) return SendStatus::kTimeout;
+          wait_ms =
+              static_cast<int>((deadline_ns - now) / 1'000'000ull) + 1;
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, wait_ms);
+        if (ready < 0 && errno != EINTR) return SendStatus::kClosed;
+        if (ready == 0) return SendStatus::kTimeout;
+        continue;
+      }
+      return SendStatus::kClosed;
     }
     data += static_cast<std::size_t>(n);
     len -= static_cast<std::size_t>(n);
   }
-  return true;
+  return SendStatus::kOk;
 }
 
 }  // namespace
@@ -131,6 +159,31 @@ std::uint64_t Server::run() {
       error_ = std::string("accept: ") + std::strerror(errno);
       break;
     }
+    if (options_.max_conns > 0) {
+      reap_finished_connections();
+      std::size_t live = 0;
+      {
+        std::lock_guard<std::mutex> lock(connections_mu_);
+        live = connections_.size();
+      }
+      if (live >= options_.max_conns) {
+        // Shed at the door: one structured reply explaining why (best
+        // effort — the socket buffer of a fresh connection always has
+        // room), then close. No thread is spawned, so a connection storm
+        // cannot multiply threads past the cap.
+        service_.overload().shed_connections.fetch_add(
+            1, std::memory_order_relaxed);
+        const std::string reply =
+            service_.error_reply(
+                "overloaded", "server at --max-conns capacity",
+                static_cast<long long>(service_.options().retry_after_ms)) +
+            "\n";
+        [[maybe_unused]] const ssize_t n = ::send(
+            client, reply.data(), reply.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+        ::close(client);
+        continue;
+      }
+    }
     ++connections_served_;
     telemetry::count("serve.connections");
     auto connection = std::make_unique<Connection>();
@@ -176,6 +229,12 @@ void Server::notify_stop() {
 
 void Server::handle_connection(Connection* connection) {
   const int fd = connection->fd;
+  // Nonblocking from here on: reads are poll-paced so a partial line can be
+  // deadlined (slow loris), writes are poll-paced so a stalled reader can be
+  // deadlined — the two halves of the per-request socket timeout.
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  const std::uint64_t timeout_ms = service_.options().request_timeout_ms;
+  OverloadCounters& overload = service_.overload();
   obsv::Recorder& recorder = service_.recorder();
   const bool observing = recorder.enabled();
   // The connection's flight ring (nullptr when no flight recorder is
@@ -195,15 +254,59 @@ void Server::handle_connection(Connection* connection) {
   const std::size_t max_line =
       service_.options().max_text_bytes * 2 + (1 << 16);
   bool overlong = false;
+  // When the pending partial line started arriving. An *idle* connection
+  // (empty buffer) is never deadlined — only one that began a request and
+  // stopped feeding it, the slow-loris shape.
+  std::uint64_t line_start_ns = 0;
+
+  auto send_reply = [&](const std::string& reply) {
+    switch (send_all(fd, reply.data(), reply.size(), timeout_ms)) {
+      case SendStatus::kOk:
+        return true;
+      case SendStatus::kTimeout:
+        overload.write_timeouts.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      case SendStatus::kClosed:
+        return false;  // client hung up mid-reply: drop the connection
+    }
+    return false;
+  };
 
   bool open = true;
   while (open) {
+    int wait_ms = -1;
+    if (timeout_ms > 0 && !buffer.empty()) {
+      const std::uint64_t deadline_ns =
+          line_start_ns + timeout_ms * 1'000'000ull;
+      const std::uint64_t now = obsv::now_ns();
+      if (now >= deadline_ns) {
+        // Slow loris: a request line started but never finished within the
+        // budget. One structured reply (best effort), then evict.
+        overload.read_timeouts.fetch_add(1, std::memory_order_relaxed);
+        const std::string reply =
+            service_.error_reply("timeout",
+                                 "request line not completed within " +
+                                     std::to_string(timeout_ms) + " ms") +
+            "\n";
+        send_reply(reply);
+        break;
+      }
+      wait_ms = static_cast<int>((deadline_ns - now) / 1'000'000ull) + 1;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // poll deadline: the loop re-checks above
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       break;  // client reset; nothing sensible left to do
     }
     if (n == 0) break;  // EOF: client done (or drain shut the read side)
+    if (buffer.empty()) line_start_ns = obsv::now_ns();
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t start = 0;
     for (std::size_t nl = buffer.find('\n', start);
@@ -221,9 +324,7 @@ void Server::handle_connection(Connection* connection) {
       obsv::SpanBuilder sb;
       if (observing) sb.begin(connection->id, ++span_seq, read_start);
       const std::string reply = service_.handle_line(line, &sb) + "\n";
-      // send_all failing means the client hung up mid-reply (EPIPE): drop
-      // the connection, never the process.
-      open = send_all(fd, reply.data(), reply.size());
+      open = send_reply(reply);
       if (observing) {
         sb.mark(obsv::Stage::kWrite);
         // Terminal record (flight ring + slow log). The latency matrix was
@@ -233,6 +334,9 @@ void Server::handle_connection(Connection* connection) {
       }
     }
     buffer.erase(0, start);
+    // Whatever remains is the start of the *next* request: its read clock
+    // starts now, not when the previous requests' bytes arrived.
+    if (start > 0 && !buffer.empty()) line_start_ns = obsv::now_ns();
     if (open && buffer.size() > max_line) {
       // No newline within the budget: reject once, then keep discarding
       // input until the next newline so the stream resynchronizes (one
@@ -243,7 +347,7 @@ void Server::handle_connection(Connection* connection) {
         const std::string reply =
             service_.error_reply("bad_request", "request line too large") +
             "\n";
-        open = send_all(fd, reply.data(), reply.size());
+        open = send_reply(reply);
       }
       buffer.clear();
     }

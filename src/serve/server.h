@@ -34,6 +34,11 @@ struct ServeOptions {
   ServiceOptions service;
   // Accept backlog; connections beyond it queue in the kernel.
   int backlog = 64;
+  // Connection-thread cap; 0 = unlimited. A connection accepted at capacity
+  // is shed immediately: one structured `overloaded` reply (with the
+  // retry_after_ms hint), then close — shed before queue, and the client
+  // learns why instead of hanging in the backlog.
+  unsigned max_conns = 0;
 };
 
 class Server {

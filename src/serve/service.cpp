@@ -23,10 +23,13 @@ namespace asimt::serve {
 namespace {
 
 // Thrown by request handlers; turned into the structured error reply by
-// handle_line. `kind` is one of the protocol's error kinds.
+// handle_line. `kind` is one of the protocol's error kinds. A non-negative
+// retry_after_ms rides into the error object — `overloaded` replies carry it
+// so clients know how long to back off before retrying.
 struct RequestError {
   const char* kind;
   std::string message;
+  long long retry_after_ms = -1;
 };
 
 [[noreturn]] void bad_request(std::string message) {
@@ -286,9 +289,11 @@ std::string compute_profile_payload(const json::Value& request,
 Service::Service(ServiceOptions options)
     : options_(options),
       cache_(options.cache_capacity, options.cache_shards),
-      recorder_(options.recorder) {}
+      recorder_(options.recorder),
+      admission_(options.admission) {}
 
-std::string Service::error_reply(const char* kind, const std::string& message) {
+std::string Service::error_reply(const char* kind, const std::string& message,
+                                 long long retry_after_ms) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   errors_.fetch_add(1, std::memory_order_relaxed);
   telemetry::count("serve.requests");
@@ -305,11 +310,13 @@ std::string Service::error_reply(const char* kind, const std::string& message) {
   json::Value error = json::Value::object();
   error.set("kind", kind);
   error.set("message", message);
+  if (retry_after_ms >= 0) error.set("retry_after_ms", retry_after_ms);
   return "{\"id\":null,\"ok\":false,\"error\":" + error.dump() + "}";
 }
 
 std::string Service::handle_line(const std::string& line,
                                  obsv::SpanBuilder* sb) {
+  const std::uint64_t entry_ns = obsv::now_ns();
   const std::uint64_t seq =
       requests_.fetch_add(1, std::memory_order_relaxed) + 1;
   telemetry::count("serve.requests");
@@ -331,6 +338,7 @@ std::string Service::handle_line(const std::string& line,
   std::string id_dump = "null";
   const char* error_kind = nullptr;
   std::string error_message;
+  long long error_retry_after_ms = -1;
   std::string payload;
   bool echo_span = false;
 
@@ -357,6 +365,52 @@ std::string Service::handle_line(const std::string& line,
       if (!echo->is_bool()) bad_request("field 'echo_span' must be a boolean");
       echo_span = echo->as_bool();
     }
+    // Effective deadline: the server cap, shortened (never extended) by a
+    // client-supplied deadline_ms, anchored at handle_line entry. 0 = none.
+    // Checked only on the expensive paths (cache miss, profile, queue wait)
+    // so the warm path stays inside its <2% overhead budget.
+    std::uint64_t budget_ms = options_.request_timeout_ms;
+    if (const json::Value* dl = request.find("deadline_ms")) {
+      if (!dl->is_int() || dl->as_int() <= 0) {
+        bad_request("field 'deadline_ms' must be a positive integer");
+      }
+      const std::uint64_t client_ms = static_cast<std::uint64_t>(dl->as_int());
+      budget_ms = budget_ms == 0 ? client_ms : std::min(budget_ms, client_ms);
+    }
+    const std::uint64_t deadline_ns =
+        budget_ms == 0 ? 0 : entry_ns + budget_ms * 1'000'000ull;
+    auto check_deadline = [&](const char* stage) {
+      if (deadline_ns != 0 && obsv::now_ns() >= deadline_ns) {
+        overload_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        throw RequestError{"timeout",
+                           std::string("deadline expired before ") + stage};
+      }
+    };
+    // Translates an admission verdict into the structured reply the contract
+    // demands: queue full -> overloaded (shed before queue), queue wait
+    // exhausted -> overloaded + retry_after, own deadline hit while queued ->
+    // timeout. The Ticket at each call site releases the slot on scope exit.
+    auto require_admission = [&](Admission verdict) {
+      switch (verdict) {
+        case Admission::kAdmitted:
+          return;
+        case Admission::kShed:
+          overload_.shed_requests.fetch_add(1, std::memory_order_relaxed);
+          throw RequestError{
+              "overloaded", "server at --max-inflight capacity (queue full)",
+              static_cast<long long>(options_.retry_after_ms)};
+        case Admission::kQueueTimeout:
+          overload_.queue_timeouts.fetch_add(1, std::memory_order_relaxed);
+          throw RequestError{
+              "overloaded", "no execution slot within the queue timeout",
+              static_cast<long long>(options_.retry_after_ms)};
+        case Admission::kDeadline:
+          overload_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+          throw RequestError{
+              "timeout", "deadline expired while queued for execution"};
+      }
+    };
+
     const json::Value* op = request.find("op");
     if (!op) bad_request("missing required field 'op'");
     if (!op->is_string()) bad_request("field 'op' must be a string");
@@ -382,6 +436,9 @@ std::string Service::handle_line(const std::string& line,
         payload = *hit;
       } else {
         sb->set_outcome(obsv::Outcome::kMiss);
+        check_deadline("execute");
+        AdmissionController::Ticket ticket(admission_, deadline_ns);
+        require_admission(ticket.result());
         std::string cold = op_id == kOpEncode
                                ? compute_encode_payload(program, lines, params)
                                : compute_verify_payload(program, lines, params);
@@ -391,6 +448,9 @@ std::string Service::handle_line(const std::string& line,
         sb->mark(obsv::Stage::kExecute);
       }
     } else if (name == "profile") {
+      check_deadline("execute");
+      AdmissionController::Ticket ticket(admission_, deadline_ns);
+      require_admission(ticket.result());
       payload = compute_profile_payload(request, options_);
       sb->mark(obsv::Stage::kExecute);
     } else if (name == "stats") {
@@ -408,6 +468,20 @@ std::string Service::handle_line(const std::string& line,
       cache.set("capacity", static_cast<long long>(cache_.capacity()));
       cache.set("shards", cache_.shard_count());
       result.set("cache", std::move(cache));
+      json::Value overload = json::Value::object();
+      overload.set("shed_connections",
+                   overload_.shed_connections.load(std::memory_order_relaxed));
+      overload.set("shed_requests",
+                   overload_.shed_requests.load(std::memory_order_relaxed));
+      overload.set("queue_timeouts",
+                   overload_.queue_timeouts.load(std::memory_order_relaxed));
+      overload.set("deadline_expired",
+                   overload_.deadline_expired.load(std::memory_order_relaxed));
+      overload.set("read_timeouts",
+                   overload_.read_timeouts.load(std::memory_order_relaxed));
+      overload.set("write_timeouts",
+                   overload_.write_timeouts.load(std::memory_order_relaxed));
+      result.set("overload", std::move(overload));
       payload = result.dump();
       sb->mark(obsv::Stage::kExecute);
     } else if (name == "metrics") {
@@ -434,6 +508,7 @@ std::string Service::handle_line(const std::string& line,
   } catch (const RequestError& e) {
     error_kind = e.kind;
     error_message = e.message;
+    error_retry_after_ms = e.retry_after_ms;
   } catch (const std::exception& e) {
     error_kind = "internal";
     error_message = e.what();
@@ -452,6 +527,9 @@ std::string Service::handle_line(const std::string& line,
     json::Value error = json::Value::object();
     error.set("kind", error_kind);
     error.set("message", error_message);
+    if (error_retry_after_ms >= 0) {
+      error.set("retry_after_ms", error_retry_after_ms);
+    }
     sb->mark(obsv::Stage::kSerialize);
     reply = "{\"id\":" + id_dump + ",\"ok\":false,\"error\":" + error.dump() +
             "}";
@@ -515,6 +593,19 @@ std::string Service::metrics_payload(const json::Value& request) {
     }
   }
   const CacheStats stats = cache_.stats();
+  const std::pair<const char*, std::uint64_t> overload_counters[] = {
+      {"shed_connections",
+       overload_.shed_connections.load(std::memory_order_relaxed)},
+      {"shed_requests",
+       overload_.shed_requests.load(std::memory_order_relaxed)},
+      {"queue_timeouts",
+       overload_.queue_timeouts.load(std::memory_order_relaxed)},
+      {"deadline_expired",
+       overload_.deadline_expired.load(std::memory_order_relaxed)},
+      {"read_timeouts",
+       overload_.read_timeouts.load(std::memory_order_relaxed)},
+      {"write_timeouts",
+       overload_.write_timeouts.load(std::memory_order_relaxed)}};
 
   if (!prometheus) {
     json::Value result = json::Value::object();
@@ -548,6 +639,11 @@ std::string Service::metrics_payload(const json::Value& request) {
     cache.set("insertions", stats.insertions);
     cache.set("entries", stats.entries);
     result.set("cache", std::move(cache));
+    json::Value overload = json::Value::object();
+    for (const auto& [name, value] : overload_counters) {
+      overload.set(name, value);
+    }
+    result.set("overload", std::move(overload));
     json::Value obs = json::Value::object();
     obs.set("enabled", recorder_.enabled());
     obs.set("slow_ms", recorder_.options().slow_ms);
@@ -608,6 +704,15 @@ std::string Service::metrics_payload(const json::Value& request) {
   families.push_back(telemetry::PromFamily{
       "asimt_serve_cache_entries", "gauge", "resident cache entries",
       {telemetry::PromSample{"", {}, std::to_string(stats.entries)}}});
+  telemetry::PromFamily overload_family{
+      "asimt_serve_overload_total", "counter",
+      "requests and connections shed or timed out by overload protection",
+      {}};
+  for (const auto& [name, value] : overload_counters) {
+    overload_family.samples.push_back(
+        telemetry::PromSample{"", {{"reason", name}}, std::to_string(value)});
+  }
+  families.push_back(std::move(overload_family));
 
   json::Value result = json::Value::object();
   result.set("content_type", "text/plain; version=0.0.4");

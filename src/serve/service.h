@@ -35,6 +35,7 @@
 #include <string>
 
 #include "obsv/recorder.h"
+#include "serve/admission.h"
 #include "serve/cache.h"
 
 namespace asimt::serve {
@@ -48,6 +49,19 @@ struct ServiceOptions {
   std::uint64_t max_profile_steps = 100'000'000;
   int min_k = 2;
   int max_k = 12;  // choice tables are 2^k; keep the solver bounded
+  // Server-side cap on how long one request may take end to end, and the
+  // default deadline for requests that do not send `deadline_ms`. 0 disables
+  // deadlines entirely. A client-supplied `deadline_ms` can only shorten it.
+  // The same budget drives the server's socket read/write timeouts (a
+  // slow-loris sender or a stalled reader is evicted within it).
+  std::uint64_t request_timeout_ms = 30'000;
+  // The retry_after_ms hint carried by `overloaded` error replies — the
+  // client-side backoff floor (client.h honors it).
+  std::uint64_t retry_after_ms = 50;
+  // Concurrency limiter for expensive requests (encode/verify misses and
+  // profile runs). Disabled by default (max_inflight 0); `asimt serve
+  // --max-inflight N` turns it on.
+  AdmissionOptions admission;
   // Serving-path observability (spans, latency matrix, slow log, flight
   // recorder). Enabled by default: the <2% overhead budget is part of the
   // feature, not a reason to ship it off.
@@ -75,10 +89,13 @@ class Service {
                           obsv::SpanBuilder* sb = nullptr);
 
   // A structured error reply (id null) minted outside handle_line — the
-  // server uses this for transport-level rejections (e.g. an unterminated
-  // line that outgrew the buffer budget). Counted as a request + error so
-  // `stats` sees every reply the daemon ever sent.
-  std::string error_reply(const char* kind, const std::string& message);
+  // server uses this for transport-level rejections (an unterminated line
+  // that outgrew the buffer budget, a shed connection, a read timeout).
+  // Counted as a request + error so `stats` sees every reply the daemon ever
+  // sent. `retry_after_ms` >= 0 adds the hint to the error object
+  // (`overloaded` replies carry it; others pass -1).
+  std::string error_reply(const char* kind, const std::string& message,
+                          long long retry_after_ms = -1);
 
   // Counters for the `stats` op and the graceful-shutdown summary.
   std::uint64_t requests() const {
@@ -94,12 +111,21 @@ class Service {
   obsv::Recorder& recorder() { return recorder_; }
   const obsv::Recorder& recorder() const { return recorder_; }
 
+  // Overload accounting shared with the server: the admission controller
+  // counts request-level sheds here, the server counts connection sheds and
+  // socket timeouts. Exposed by the `stats` and `metrics` ops.
+  OverloadCounters& overload() { return overload_; }
+  const OverloadCounters& overload() const { return overload_; }
+  AdmissionController& admission() { return admission_; }
+
  private:
   std::string metrics_payload(const json::Value& request);
 
   ServiceOptions options_;
   ShardedCache cache_;
   obsv::Recorder recorder_;
+  AdmissionController admission_;
+  OverloadCounters overload_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
 };

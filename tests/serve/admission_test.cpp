@@ -1,0 +1,188 @@
+// The admission controller's degradation order, pinned at the unit level:
+// shed before queue (a full wait queue rejects immediately), queue before
+// block (a queued request waits a bounded time — the policy cap or its own
+// deadline, whichever is sooner), and the RAII ticket releases exactly the
+// slots that were granted.
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obsv/span.h"
+
+namespace asimt::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+AdmissionOptions tiny_options() {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.queue_depth = 1;
+  options.queue_timeout_ms = 40;
+  return options;
+}
+
+TEST(Admission, DisabledControllerAdmitsEverythingWithoutAccounting) {
+  AdmissionController controller(AdmissionOptions{});  // max_inflight = 0
+  EXPECT_FALSE(controller.enabled());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(controller.admit(), Admission::kAdmitted);
+  }
+  EXPECT_EQ(controller.inflight(), 0u);  // disabled path never counts
+}
+
+TEST(Admission, AdmitsUpToMaxInflightThenQueues) {
+  AdmissionOptions options = tiny_options();
+  options.max_inflight = 2;
+  AdmissionController controller(options);
+  EXPECT_EQ(controller.admit(), Admission::kAdmitted);
+  EXPECT_EQ(controller.admit(), Admission::kAdmitted);
+  EXPECT_EQ(controller.inflight(), 2u);
+  controller.release();
+  controller.release();
+  EXPECT_EQ(controller.inflight(), 0u);
+}
+
+TEST(Admission, ShedsBeforeQueueingWhenTheQueueIsFull) {
+  // One slot, one queue seat. Occupy the slot, park a waiter in the seat,
+  // then a third request must be shed *immediately* — not queued, not
+  // blocked.
+  AdmissionController controller(tiny_options());
+  ASSERT_EQ(controller.admit(), Admission::kAdmitted);
+
+  std::thread waiter([&] {
+    // Fills the queue seat, then times out (nobody releases for 40 ms).
+    EXPECT_EQ(controller.admit(), Admission::kQueueTimeout);
+  });
+  // Wait until the waiter is actually parked.
+  while (controller.waiting() == 0u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto before = Clock::now();
+  EXPECT_EQ(controller.admit(), Admission::kShed);
+  const auto shed_latency = Clock::now() - before;
+  // The shed decision must not wait for the queue policy to expire.
+  EXPECT_LT(shed_latency, std::chrono::milliseconds(30));
+
+  waiter.join();
+  controller.release();
+}
+
+TEST(Admission, QueuedRequestAdmitsWhenASlotFrees) {
+  AdmissionController controller(tiny_options());
+  ASSERT_EQ(controller.admit(), Admission::kAdmitted);
+
+  Admission queued = Admission::kShed;
+  std::thread waiter([&] { queued = controller.admit(); });
+  while (controller.waiting() == 0u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  controller.release();  // hands the slot to the waiter
+  waiter.join();
+  EXPECT_EQ(queued, Admission::kAdmitted);
+  EXPECT_EQ(controller.inflight(), 1u);
+  controller.release();
+}
+
+TEST(Admission, QueueWaitIsBoundedByThePolicy) {
+  AdmissionController controller(tiny_options());  // queue_timeout_ms = 40
+  ASSERT_EQ(controller.admit(), Admission::kAdmitted);
+
+  const auto before = Clock::now();
+  EXPECT_EQ(controller.admit(), Admission::kQueueTimeout);
+  const auto waited = Clock::now() - before;
+  EXPECT_GE(waited, std::chrono::milliseconds(35));
+  EXPECT_LT(waited, std::chrono::seconds(5));  // bounded, never indefinite
+  EXPECT_EQ(controller.waiting(), 0u);
+  controller.release();
+}
+
+TEST(Admission, RequestDeadlineShortensTheQueueWait) {
+  AdmissionOptions options = tiny_options();
+  options.queue_timeout_ms = 10'000;  // policy would wait 10 s
+  AdmissionController controller(options);
+  ASSERT_EQ(controller.admit(), Admission::kAdmitted);
+
+  const std::uint64_t deadline_ns =
+      obsv::now_ns() + 30ull * 1'000'000;  // 30 ms from now
+  const auto before = Clock::now();
+  EXPECT_EQ(controller.admit(deadline_ns), Admission::kDeadline);
+  const auto waited = Clock::now() - before;
+  EXPECT_LT(waited, std::chrono::seconds(2));  // far below the 10 s policy
+  controller.release();
+}
+
+TEST(Admission, AlreadyExpiredDeadlineFailsWithoutQueueing) {
+  AdmissionController controller(tiny_options());
+  ASSERT_EQ(controller.admit(), Admission::kAdmitted);
+  // A deadline in the past must come back kDeadline immediately. now_ns()
+  // is anchored at its first call, so when this test runs alone "now" can
+  // be ~0 — saturate instead of underflowing into the far future.
+  const std::uint64_t now = obsv::now_ns();
+  const std::uint64_t expired = now > 1'000'000 ? now - 1'000'000 : 1;
+  const auto before = Clock::now();
+  EXPECT_EQ(controller.admit(expired), Admission::kDeadline);
+  EXPECT_LT(Clock::now() - before, std::chrono::milliseconds(30));
+  controller.release();
+}
+
+TEST(Admission, TicketReleasesOnlyWhenAdmitted) {
+  AdmissionController controller(tiny_options());
+  {
+    AdmissionController::Ticket ticket(controller);
+    EXPECT_EQ(ticket.result(), Admission::kAdmitted);
+    EXPECT_EQ(controller.inflight(), 1u);
+    {
+      // Second ticket times out in the queue — its destructor must NOT
+      // release a slot it never held.
+      AdmissionController::Ticket loser(controller);
+      EXPECT_EQ(loser.result(), Admission::kQueueTimeout);
+    }
+    EXPECT_EQ(controller.inflight(), 1u);
+  }
+  EXPECT_EQ(controller.inflight(), 0u);
+  // The slot really is free again.
+  AdmissionController::Ticket fresh(controller);
+  EXPECT_EQ(fresh.result(), Admission::kAdmitted);
+}
+
+TEST(Admission, ManyThreadsNeverExceedMaxInflight) {
+  AdmissionOptions options;
+  options.max_inflight = 3;
+  options.queue_depth = 64;
+  options.queue_timeout_ms = 2'000;
+  AdmissionController controller(options);
+
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        AdmissionController::Ticket ticket(controller);
+        if (ticket.result() != Admission::kAdmitted) continue;
+        ++admitted;
+        const int now = ++concurrent;
+        int seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        --concurrent;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_GT(admitted.load(), 0);
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_EQ(controller.inflight(), 0u);
+  EXPECT_EQ(controller.waiting(), 0u);
+}
+
+}  // namespace
+}  // namespace asimt::serve

@@ -1,0 +1,281 @@
+// Request deadlines and the structured overload protocol, end to end at the
+// Service layer: `deadline_ms` validation, server-cap semantics (a client
+// deadline can only shorten `--request-timeout-ms`), the error-kind contract
+// (queue full / queue timeout -> `overloaded` + retry_after_ms, own deadline
+// hit -> `timeout`, no hint), the monitoring bypass (cheap ops and cache
+// hits never queue), and the client-side retry budget that consumes
+// `overloaded` replies.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "telemetry/json.h"
+
+namespace asimt::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char kProgram[] =
+    ".text\n"
+    "start:\n"
+    "  li $t0, 12\n"
+    "loop:\n"
+    "  addiu $t1, $t1, 3\n"
+    "  addiu $t0, $t0, -1\n"
+    "  bnez $t0, loop\n"
+    "  halt\n";
+
+std::string encode_request(int id, const char* extra_fields = "") {
+  json::Value req = json::Value::object();
+  req.set("id", id);
+  req.set("op", "encode");
+  req.set("text", std::string(kProgram));
+  req.set("k", 5);
+  std::string line = req.dump();
+  if (*extra_fields) {
+    line.insert(line.size() - 1, std::string(",") + extra_fields);
+  }
+  return line;
+}
+
+// A service saturated at --max-inflight 1 by an externally held slot: every
+// expensive request that arrives while the guard lives must shed, queue, or
+// expire — deterministically, with no racing worker threads.
+class SlotGuard {
+ public:
+  explicit SlotGuard(Service& service) : service_(service) {
+    EXPECT_EQ(service_.admission().admit(), Admission::kAdmitted);
+  }
+  ~SlotGuard() { release(); }
+  void release() {
+    if (!released_) service_.admission().release();
+    released_ = true;
+  }
+
+ private:
+  Service& service_;
+  bool released_ = false;
+};
+
+ServiceOptions saturated_options() {
+  ServiceOptions options;
+  options.admission.max_inflight = 1;
+  options.admission.queue_depth = 0;  // every queue attempt sheds
+  options.admission.queue_timeout_ms = 30;
+  options.retry_after_ms = 77;
+  options.recorder.enabled = false;
+  return options;
+}
+
+TEST(Deadline, DeadlineFieldMustBeAPositiveInteger) {
+  Service service;
+  for (const char* bad : {"\"deadline_ms\":0", "\"deadline_ms\":-3",
+                          "\"deadline_ms\":\"soon\"", "\"deadline_ms\":1.5"}) {
+    const json::Value reply = json::parse(service.handle_line(
+        encode_request(1, bad)));
+    EXPECT_FALSE(reply.at("ok").as_bool()) << bad;
+    EXPECT_EQ(reply.at("error").at("kind").as_string(), "bad_request") << bad;
+  }
+}
+
+TEST(Deadline, QueueFullShedsWithRetryAfterHint) {
+  Service service(saturated_options());
+  SlotGuard guard(service);
+  const json::Value reply =
+      json::parse(service.handle_line(encode_request(1)));
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("kind").as_string(), "overloaded");
+  // The shed reply carries the server's backoff hint, verbatim.
+  EXPECT_EQ(reply.at("error").at("retry_after_ms").as_int(), 77);
+  EXPECT_EQ(service.overload().shed_requests.load(), 1u);
+}
+
+TEST(Deadline, QueueTimeoutYieldsOverloadedWithHint) {
+  ServiceOptions options = saturated_options();
+  options.admission.queue_depth = 4;  // this time the request *does* queue
+  Service service(options);
+  SlotGuard guard(service);
+  const auto before = Clock::now();
+  const json::Value reply =
+      json::parse(service.handle_line(encode_request(1)));
+  EXPECT_GE(Clock::now() - before, std::chrono::milliseconds(25));
+  EXPECT_EQ(reply.at("error").at("kind").as_string(), "overloaded");
+  EXPECT_EQ(reply.at("error").at("retry_after_ms").as_int(), 77);
+  EXPECT_EQ(service.overload().queue_timeouts.load(), 1u);
+  EXPECT_EQ(service.overload().shed_requests.load(), 0u);
+}
+
+TEST(Deadline, OwnDeadlineWhileQueuedYieldsTimeoutWithoutHint) {
+  ServiceOptions options = saturated_options();
+  options.admission.queue_depth = 4;
+  options.admission.queue_timeout_ms = 10'000;  // policy alone would wait 10 s
+  Service service(options);
+  SlotGuard guard(service);
+  const auto before = Clock::now();
+  const std::string raw =
+      service.handle_line(encode_request(1, "\"deadline_ms\":30"));
+  // The request's own 30 ms deadline binds long before the queue policy.
+  EXPECT_LT(Clock::now() - before, std::chrono::seconds(5));
+  const json::Value reply = json::parse(raw);
+  EXPECT_EQ(reply.at("error").at("kind").as_string(), "timeout");
+  // `timeout` is the client's own fault budget — no retry hint.
+  EXPECT_EQ(raw.find("retry_after_ms"), std::string::npos);
+  EXPECT_EQ(service.overload().deadline_expired.load(), 1u);
+}
+
+TEST(Deadline, ClientDeadlineCannotExtendTheServerCap) {
+  ServiceOptions options = saturated_options();
+  options.admission.queue_depth = 4;
+  options.admission.queue_timeout_ms = 10'000;
+  options.request_timeout_ms = 30;  // the server cap
+  Service service(options);
+  SlotGuard guard(service);
+  const auto before = Clock::now();
+  const json::Value reply = json::parse(
+      service.handle_line(encode_request(1, "\"deadline_ms\":3600000")));
+  // An hour-long client deadline is clamped to the 30 ms server cap.
+  EXPECT_LT(Clock::now() - before, std::chrono::seconds(5));
+  EXPECT_EQ(reply.at("error").at("kind").as_string(), "timeout");
+}
+
+TEST(Deadline, CheapOpsKeepWorkingWhileTheServiceSheds) {
+  Service service(saturated_options());
+  SlotGuard guard(service);
+  // Monitoring must not queue behind the saturated execution slots.
+  const json::Value ping =
+      json::parse(service.handle_line("{\"id\":1,\"op\":\"ping\"}"));
+  EXPECT_TRUE(ping.at("ok").as_bool());
+  const json::Value stats =
+      json::parse(service.handle_line("{\"id\":2,\"op\":\"stats\"}"));
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  // The stats reply carries the overload block the CLI renders.
+  EXPECT_NE(stats.at("result").find("overload"), nullptr);
+}
+
+TEST(Deadline, CacheHitsBypassAdmission) {
+  Service service(saturated_options());
+  // Warm the cache while the slot is free.
+  const json::Value cold = json::parse(service.handle_line(encode_request(1)));
+  ASSERT_TRUE(cold.at("ok").as_bool());
+  SlotGuard guard(service);
+  // The identical request is a cache hit: answered despite saturation.
+  const json::Value hit = json::parse(service.handle_line(encode_request(1)));
+  EXPECT_TRUE(hit.at("ok").as_bool());
+  EXPECT_EQ(service.overload().shed_requests.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Client-side backoff and the retry budget
+
+TEST(Deadline, JitteredBackoffIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 500;
+  std::uint64_t state_a = 42, state_b = 42;
+  for (unsigned attempt = 0; attempt < 10; ++attempt) {
+    std::uint64_t ceiling = policy.base_backoff_ms;
+    for (unsigned i = 0; i < attempt && ceiling < policy.max_backoff_ms; ++i) {
+      ceiling *= 2;
+    }
+    ceiling = std::min<std::uint64_t>(ceiling, policy.max_backoff_ms);
+    const std::uint64_t a = jittered_backoff_ms(state_a, attempt, policy);
+    const std::uint64_t b = jittered_backoff_ms(state_b, attempt, policy);
+    EXPECT_EQ(a, b) << "same seed must replay the same jitter";
+    EXPECT_LE(a, ceiling);
+  }
+  // A different seed decorrelates (at least one of 10 draws differs).
+  std::uint64_t state_c = 43;
+  bool any_differ = false;
+  std::uint64_t state_a2 = 42;
+  for (unsigned attempt = 0; attempt < 10; ++attempt) {
+    any_differ |= jittered_backoff_ms(state_c, attempt, policy) !=
+                  jittered_backoff_ms(state_a2, attempt, policy);
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+class RetryFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServeOptions options;
+    options.socket_path =
+        "/tmp/asimt_retry_" + std::to_string(::getpid()) + ".sock";
+    options.service = saturated_options();
+    options.service.retry_after_ms = 5;  // keep the backoff floor test-fast
+    server_ = std::make_unique<Server>(options);
+    ASSERT_TRUE(server_->start()) << server_->error();
+    thread_ = std::thread([this] { server_->run(); });
+    socket_path_ = options.socket_path;
+  }
+
+  void TearDown() override {
+    server_->notify_stop();
+    thread_.join();
+  }
+
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  std::string socket_path_;
+};
+
+TEST_F(RetryFixture, RetryingClientRidesOutAnOverloadWindow) {
+  // Saturate the daemon, let the client collect `overloaded` replies, then
+  // free the slot: the client's retry must land and return the real answer.
+  Service& service = server_->service();
+  ASSERT_EQ(service.admission().admit(), Admission::kAdmitted);
+
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  policy.base_backoff_ms = 2;
+  policy.max_backoff_ms = 20;
+  policy.io_timeout_ms = 5'000;
+  policy.seed = 7;
+  RetryingClient client(socket_path_, policy);
+
+  std::optional<std::string> reply;
+  std::thread requester(
+      [&] { reply = client.roundtrip(encode_request(1)); });
+  // Release the slot only after the daemon provably shed this client.
+  while (service.overload().shed_requests.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.admission().release();
+  requester.join();
+
+  ASSERT_TRUE(reply.has_value()) << client.error();
+  EXPECT_NE(reply->find("\"ok\":true"), std::string::npos);
+  EXPECT_GE(client.stats().overloaded_replies, 1u);
+  EXPECT_GE(client.stats().retries, 1u);
+}
+
+TEST_F(RetryFixture, RetryBudgetStopsTheStorm) {
+  // With no budget, the first `overloaded` reply ends the roundtrip: one
+  // attempt on the wire, zero retries, an explicit budget_exhausted count —
+  // a persistently shedding server is not hammered.
+  Service& service = server_->service();
+  ASSERT_EQ(service.admission().admit(), Admission::kAdmitted);
+
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  policy.io_timeout_ms = 5'000;
+  policy.initial_budget = 0.0;
+  RetryingClient client(socket_path_, policy);
+  const std::optional<std::string> reply = client.roundtrip(encode_request(1));
+  EXPECT_FALSE(reply.has_value());
+  EXPECT_EQ(client.stats().attempts, 1u);
+  EXPECT_EQ(client.stats().retries, 0u);
+  EXPECT_EQ(client.stats().budget_exhausted, 1u);
+  EXPECT_EQ(client.stats().overloaded_replies, 1u);
+  service.admission().release();
+}
+
+}  // namespace
+}  // namespace asimt::serve

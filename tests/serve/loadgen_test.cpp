@@ -59,6 +59,14 @@ TEST_F(LoadgenFixture, DrainsEveryRequestWithoutErrors) {
   EXPECT_LE(report.p99_ms, report.p999_ms);
   EXPECT_LE(report.p999_ms, report.max_ms);
   EXPECT_GT(report.throughput_rps, 0.0);
+  // A clean run has no sheds, no outages, no lost in-flight requests — the
+  // goodput equals the throughput and the attempted load saw no misses.
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_EQ(report.timeouts, 0u);
+  EXPECT_EQ(report.missed_sends, 0u);
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.reconnects, 0u);
+  EXPECT_DOUBLE_EQ(report.goodput_rps, report.throughput_rps);
   // The request mix repeats a small program pool, so the daemon's cache must
   // have absorbed most of the work.
   const CacheStats stats = server_->service().cache().stats();
@@ -86,9 +94,10 @@ TEST_F(LoadgenFixture, ArtifactIsSchemaV2WithGateableRows) {
   EXPECT_NE(doc.at("manifest").find("git_sha"), nullptr);
   // Rows carry name + stats.median — the exact shape tools/benchdiff reads.
   const json::Array& rows = doc.at("benchmarks").as_array();
-  ASSERT_EQ(rows.size(), 5u);
-  const char* const expected[] = {"latency/p50", "latency/p90", "latency/p99",
-                                  "latency/p999", "req_time_ns"};
+  ASSERT_EQ(rows.size(), 6u);
+  const char* const expected[] = {"latency/p50",  "latency/p90",
+                                  "latency/p99",  "latency/p999",
+                                  "req_time_ns",  "goodput_time_ns"};
   for (std::size_t i = 0; i < rows.size(); ++i) {
     EXPECT_EQ(rows[i].at("name").as_string(), expected[i]);
     EXPECT_GE(rows[i].at("stats").at("median").as_double(), 0.0);
@@ -118,7 +127,7 @@ TEST_F(LoadgenFixture, ServerObservedLatencyRidesAlongWithClientLatency) {
   EXPECT_EQ(server.at("samples").as_int(),
             static_cast<long long>(report.server_samples));
   EXPECT_GT(server.at("p999_ms").as_double(), 0.0);
-  ASSERT_EQ(doc.at("benchmarks").as_array().size(), 5u);
+  ASSERT_EQ(doc.at("benchmarks").as_array().size(), 6u);
 }
 
 TEST(Loadgen, InterpolatedQuantileDoesNotCollapseTailsOntoTheMax) {

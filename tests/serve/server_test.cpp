@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -223,6 +225,108 @@ TEST(Server, RefusesSocketOfLiveServerButReclaimsStaleOne) {
   Server reclaimer(second);
   EXPECT_TRUE(reclaimer.start()) << reclaimer.error();
   ::unlink(stale.c_str());
+}
+
+TEST(Server, HalfOpenClientStillReceivesItsReplies) {
+  // The half-open pattern: a client pipelines its whole batch, SHUT_WRs to
+  // say "no more requests", and must still receive every reply before the
+  // server closes — EOF on the read side is end-of-requests, not abort.
+  ServerFixture fixture("halfopen");
+  ASSERT_TRUE(fixture.started()) << fixture.server().error();
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socket_path()));
+  for (int id = 0; id < 5; ++id) {
+    ASSERT_TRUE(client.send_line(encode_request(id)));
+  }
+  ASSERT_TRUE(client.shutdown_write()) << client.error();
+  client.set_io_timeout_ms(10'000);
+  for (int id = 0; id < 5; ++id) {
+    const auto reply = client.recv_line();
+    ASSERT_TRUE(reply.has_value()) << client.error();
+    EXPECT_EQ(json::parse(*reply).at("id").as_int(), id);
+    EXPECT_TRUE(json::parse(*reply).at("ok").as_bool());
+  }
+  // All requests answered, read side saw EOF: the server closes cleanly.
+  std::string line;
+  EXPECT_EQ(client.recv_line_wait(line, 10'000), Client::LineResult::kClosed);
+}
+
+TEST(Server, MaxConnsShedsAtTheDoorWithAStructuredReply) {
+  ServeOptions options;
+  options.max_conns = 1;
+  ServerFixture fixture("shed", options);
+  ASSERT_TRUE(fixture.started()) << fixture.server().error();
+
+  Client occupant;
+  ASSERT_TRUE(occupant.connect(fixture.socket_path()));
+  // Roundtrip proves the occupant's handler thread is live before the
+  // second connection arrives.
+  ASSERT_TRUE(occupant.roundtrip("{\"id\":1,\"op\":\"ping\"}").has_value());
+
+  Client shed;
+  ASSERT_TRUE(shed.connect(fixture.socket_path()));
+  shed.set_io_timeout_ms(5'000);
+  const auto reply = shed.recv_line();
+  ASSERT_TRUE(reply.has_value()) << shed.error();
+  const json::Value parsed = json::parse(*reply);
+  EXPECT_FALSE(parsed.at("ok").as_bool());
+  EXPECT_EQ(parsed.at("error").at("kind").as_string(), "overloaded");
+  EXPECT_GT(parsed.at("error").at("retry_after_ms").as_int(), 0);
+  // Shed means *closed*, not parked in a queue.
+  std::string line;
+  EXPECT_EQ(shed.recv_line_wait(line, 5'000), Client::LineResult::kClosed);
+  EXPECT_EQ(
+      fixture.server().service().overload().shed_connections.load(), 1u);
+
+  // Capacity freed is capacity usable: once the occupant leaves, a new
+  // client is admitted (the accept loop reaps before counting).
+  occupant.close();
+  bool admitted = false;
+  for (int attempt = 0; attempt < 200 && !admitted; ++attempt) {
+    Client retry;
+    if (retry.connect(fixture.socket_path())) {
+      retry.set_io_timeout_ms(1'000);
+      const auto pong = retry.roundtrip("{\"id\":2,\"op\":\"ping\"}");
+      admitted = pong.has_value() &&
+                 pong->find("\"ok\":true") != std::string::npos;
+    }
+    if (!admitted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(admitted);
+}
+
+TEST(Server, SlowLorisReaderIsEvictedWithinTheBudget) {
+  ServeOptions options;
+  options.service.request_timeout_ms = 150;
+  ServerFixture fixture("loris", options);
+  ASSERT_TRUE(fixture.started()) << fixture.server().error();
+
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socket_path()));
+  client.set_io_timeout_ms(10'000);
+  // An *idle* connection is never deadlined: stay silent past the budget,
+  // then speak — the daemon must still answer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_TRUE(client.roundtrip("{\"id\":1,\"op\":\"ping\"}").has_value());
+
+  // Now the loris shape: start a request line and never finish it. The
+  // eviction must land within the budget (plus scheduling slack), with one
+  // structured timeout reply before the close.
+  const char partial[] = "{\"id\":2,\"op\":\"enc";
+  ASSERT_GT(::send(client.fd(), partial, sizeof(partial) - 1, 0), 0);
+  const auto before = std::chrono::steady_clock::now();
+  const auto reply = client.recv_line();
+  const auto waited = std::chrono::steady_clock::now() - before;
+  ASSERT_TRUE(reply.has_value()) << client.error();
+  const json::Value parsed = json::parse(*reply);
+  EXPECT_FALSE(parsed.at("ok").as_bool());
+  EXPECT_EQ(parsed.at("error").at("kind").as_string(), "timeout");
+  EXPECT_LT(waited, std::chrono::seconds(5));
+  std::string line;
+  EXPECT_EQ(client.recv_line_wait(line, 5'000), Client::LineResult::kClosed);
+  EXPECT_EQ(fixture.server().service().overload().read_timeouts.load(), 1u);
 }
 
 }  // namespace

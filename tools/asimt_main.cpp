@@ -53,6 +53,7 @@
 #include "parallel/pool.h"
 #include "profile/report.h"
 #include "profile/transition_profiler.h"
+#include "serve/chaos.h"
 #include "serve/client.h"
 #include "serve/loadgen.h"
 #include "serve/server.h"
@@ -70,7 +71,7 @@ namespace {
 using namespace asimt;
 
 const char kUsage[] =
-    "usage: asimt <disasm|run|report|encode|info|fuzz|faults|profile|bench|serve|loadgen|stats|flight> [<file>] [options]\n"
+    "usage: asimt <disasm|run|report|encode|info|fuzz|faults|profile|bench|serve|loadgen|stats|chaos|flight> [<file>] [options]\n"
     "  disasm prog.s\n"
     "  run    prog.s [--max-steps N] [--json]\n"
     "  report prog.s [-k list] [--json]\n"
@@ -98,26 +99,42 @@ const char kUsage[] =
     "         artifact and, with --history DIR, appends it to the JSONL\n"
     "         trajectory store gated by benchdiff (docs/BENCHMARKING.md)\n"
     "  serve  --socket PATH [--cache-capacity N] [--shards N] [--jobs N]\n"
+    "         [--request-timeout-ms M] [--max-conns N] [--max-inflight N]\n"
+    "         [--queue-depth N] [--queue-timeout-ms M] [--retry-after-ms M]\n"
     "         [--slow-ms M [--slow-log F.jsonl]] [--flight F] [--no-flight]\n"
     "         [--no-obs]\n"
     "         long-lived encoding daemon on a unix socket: newline-delimited\n"
     "         JSON requests (encode/verify/profile/ping/stats/metrics/dump),\n"
     "         replies answered from a sharded content-addressed result cache;\n"
-    "         SIGINT/SIGTERM drain gracefully (docs/SERVING.md). Request\n"
-    "         spans, latency histograms, and a crash-safe flight recorder\n"
-    "         (dump file defaults to <socket>.flight) are on by default;\n"
-    "         --slow-ms M logs every request slower than M ms as JSONL\n"
-    "         (docs/OBSERVABILITY.md)\n"
+    "         SIGINT/SIGTERM drain gracefully (docs/SERVING.md). Overload\n"
+    "         protection: per-request deadlines (client deadline_ms capped by\n"
+    "         --request-timeout-ms, enforced on read, execute, and write),\n"
+    "         --max-conns sheds connections at accept, --max-inflight bounds\n"
+    "         concurrent execution with a --queue-depth wait queue; shed\n"
+    "         work gets a structured `overloaded` reply with retry_after_ms\n"
+    "         (docs/SERVING.md § Resilience). Request spans, latency\n"
+    "         histograms, and a crash-safe flight recorder (dump file\n"
+    "         defaults to <socket>.flight) are on by default; --slow-ms M\n"
+    "         logs every request slower than M ms (docs/OBSERVABILITY.md)\n"
     "  loadgen --socket PATH [--conns C] [--rate R] [--seconds S] [--seed S]\n"
-    "         [--out BENCH.json] [--history DIR] [--json]\n"
+    "         [--deadline-ms M] [--out BENCH.json] [--history DIR] [--json]\n"
     "         seed-deterministic open-loop load against a running daemon;\n"
-    "         reports client- and server-observed p50/p90/p99/p99.9 latency\n"
-    "         and throughput as a schema-v2 artifact gated by benchdiff\n"
-    "         --trajectory\n"
+    "         reports client- and server-observed p50/p90/p99/p99.9 latency,\n"
+    "         throughput vs goodput, and shed/timeout/loss accounting as a\n"
+    "         schema-v2 artifact gated by benchdiff --trajectory. Mid-run\n"
+    "         drops reconnect with jittered backoff; exits 1 only when no\n"
+    "         reply was ever received\n"
     "  stats  --socket PATH [--watch N] [--json | --prometheus]\n"
     "         one `metrics` round trip against a running daemon: request\n"
     "         counts, per-op latency histograms (p50/p90/p99/p99.9), cache\n"
-    "         counters; --watch N repeats every N seconds until interrupted\n"
+    "         and overload counters; --watch N repeats every N seconds until\n"
+    "         interrupted, riding out daemon restarts with a reconnect note\n"
+    "  chaos  --listen PATH --upstream PATH [--seed S] [--faults LIST]\n"
+    "         [--stall-ms M] [--chop-bytes N] [--gap-bytes N]\n"
+    "         seeded fault-injecting proxy between clients and a daemon:\n"
+    "         LIST is comma-separated chop|stall|garbage|disconnect or\n"
+    "         'all'; the fault schedule is a pure function of the seed, so\n"
+    "         campaigns replay byte-identically (docs/SERVING.md)\n"
     "  flight dump.flight [-o trace.json]\n"
     "         convert a flight-recorder dump (crash or `dump` op) into a\n"
     "         Chrome/Perfetto trace, one timeline row per connection\n"
@@ -596,18 +613,80 @@ int cmd_serve(const serve::ServeOptions& options) {
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.misses),
               static_cast<unsigned long long>(stats.evictions));
+  const serve::OverloadCounters& overload = server.service().overload();
+  std::printf("asimt serve: overload: %llu conns shed, %llu requests shed, "
+              "%llu queue timeouts, %llu deadlines expired, "
+              "%llu read timeouts, %llu write timeouts\n",
+              static_cast<unsigned long long>(
+                  overload.shed_connections.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  overload.shed_requests.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  overload.queue_timeouts.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  overload.deadline_expired.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  overload.read_timeouts.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  overload.write_timeouts.load(std::memory_order_relaxed)));
+  return 0;
+}
+
+// `asimt chaos`: the seeded fault-injecting proxy (serve/chaos.h) as a
+// process, with the same readiness/drain contract as `asimt serve` so the
+// campaign scripts can supervise both identically.
+int cmd_chaos(const serve::ChaosOptions& options) {
+  serve::ChaosProxy proxy(options);
+  if (!proxy.start()) {
+    std::fprintf(stderr, "asimt: chaos: %s\n", proxy.error().c_str());
+    return 1;
+  }
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  serve::install_chaos_signal_handlers(&proxy);
+  std::printf("asimt chaos: listening on %s -> %s (seed %llu)\n",
+              options.listen_path.c_str(), options.upstream_path.c_str(),
+              static_cast<unsigned long long>(options.seed));
+  std::fflush(stdout);
+  const std::uint64_t connections = proxy.run();
+  serve::install_chaos_signal_handlers(nullptr);
+  if (!proxy.error().empty()) {
+    std::fprintf(stderr, "asimt: chaos: %s\n", proxy.error().c_str());
+    return 1;
+  }
+  const serve::ChaosStats& stats = proxy.stats();
+  std::printf(
+      "asimt chaos: drained: %llu connections, %llu bytes forwarded, "
+      "faults: %llu chop, %llu stall, %llu garbage, %llu disconnect\n",
+      static_cast<unsigned long long>(connections),
+      static_cast<unsigned long long>(
+          stats.bytes_forwarded.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats.faults[0].load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats.faults[1].load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats.faults[2].load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats.faults[3].load(std::memory_order_relaxed)));
   return 0;
 }
 
 int cmd_loadgen(const serve::LoadgenOptions& options, bool json_mode,
                 std::string out_path, const std::string& history_dir) {
   const serve::LoadgenReport report = serve::run_loadgen(options);
+  if (report.connect_failures >= std::max(1u, options.conns)) {
+    // Every connection failed its (single-attempt) initial connect: there
+    // is no daemon to measure. Fail fast, no artifact.
+    std::fprintf(stderr,
+                 "asimt: loadgen: no connection could reach %s\n",
+                 options.socket_path.c_str());
+    return 1;
+  }
   if (report.connect_failures > 0) {
     std::fprintf(stderr,
                  "asimt: loadgen: %llu connection(s) could not reach %s\n",
                  static_cast<unsigned long long>(report.connect_failures),
                  options.socket_path.c_str());
-    return 1;
   }
   const json::Value artifact = serve::loadgen_artifact(options, report);
   if (out_path.empty()) out_path = "BENCH_serve_loadgen.json";
@@ -626,12 +705,25 @@ int cmd_loadgen(const serve::LoadgenOptions& options, bool json_mode,
     std::fputs(serve::format_report(report).c_str(), stdout);
     std::printf("wrote %s\n", out_path.c_str());
   }
-  if (report.errors > 0) {
-    std::fprintf(stderr, "asimt: loadgen: %llu error reply(ies)\n",
-                 static_cast<unsigned long long>(report.errors));
+  // Degradation (error replies, sheds, outages) is *reported*, not fatal:
+  // the artifact quantifies it and downstream gates judge it. Only a run
+  // where nothing was ever answered exits nonzero.
+  if (report.errors > 0 || report.shed > 0 || report.timeouts > 0) {
+    std::fprintf(
+        stderr,
+        "asimt: loadgen: degraded: %llu error / %llu shed / %llu timeout "
+        "reply(ies), %llu lost, %llu missed\n",
+        static_cast<unsigned long long>(report.errors),
+        static_cast<unsigned long long>(report.shed),
+        static_cast<unsigned long long>(report.timeouts),
+        static_cast<unsigned long long>(report.lost),
+        static_cast<unsigned long long>(report.missed_sends));
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "asimt: loadgen: no replies received\n");
     return 1;
   }
-  return report.received > 0 ? 0 : 1;
+  return 0;
 }
 
 // Renders one `metrics` snapshot as the human console table: request and
@@ -645,6 +737,17 @@ void print_stats_human(const json::Value& result) {
               cache.at("lookups").as_int(), cache.at("hits").as_int(),
               cache.at("misses").as_int(), cache.at("entries").as_int(),
               cache.at("evictions").as_int());
+  if (const json::Value* overload = result.find("overload")) {
+    std::printf("overload: conns shed %lld  requests shed %lld  "
+                "queue timeouts %lld  deadlines %lld  read timeouts %lld  "
+                "write timeouts %lld\n",
+                overload->at("shed_connections").as_int(),
+                overload->at("shed_requests").as_int(),
+                overload->at("queue_timeouts").as_int(),
+                overload->at("deadline_expired").as_int(),
+                overload->at("read_timeouts").as_int(),
+                overload->at("write_timeouts").as_int());
+  }
   const json::Value& histograms = result.at("histograms");
   if (histograms.as_object().empty()) {
     std::printf("no requests observed yet\n");
@@ -666,12 +769,25 @@ void print_stats_human(const json::Value& result) {
 // daemon. Human table by default, raw snapshot JSON with --json, Prometheus
 // exposition text with --prometheus; --watch N reconnects and reprints every
 // N seconds until interrupted (each snapshot is one short-lived connection,
-// so a watcher never holds a daemon connection open between samples).
+// so a watcher never holds a daemon connection open between samples). In
+// watch mode a failed sample — daemon restarting, socket momentarily gone —
+// is a "reconnecting" note, not an exit: the watcher outlives the daemon
+// (pinned by tools/stats_watch_test.sh).
 int cmd_stats(const std::string& socket_path, int watch_seconds,
               bool json_mode, bool prometheus) {
   const std::string request =
       prometheus ? "{\"op\":\"metrics\",\"format\":\"prometheus\"}"
                  : "{\"op\":\"metrics\"}";
+  auto sample_failed = [&](const std::string& reason) -> bool {
+    if (watch_seconds > 0) {
+      std::printf("asimt stats: reconnecting to %s (%s)\n",
+                  socket_path.c_str(), reason.c_str());
+      std::fflush(stdout);
+      return false;  // keep watching; the next interval retries
+    }
+    std::fprintf(stderr, "asimt: stats: %s\n", reason.c_str());
+    return true;
+  };
   for (bool first = true;; first = false) {
     if (!first) {
       std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
@@ -679,13 +795,13 @@ int cmd_stats(const std::string& socket_path, int watch_seconds,
     }
     serve::Client client;
     if (!client.connect(socket_path)) {
-      std::fprintf(stderr, "asimt: stats: %s\n", client.error().c_str());
-      return 1;
+      if (sample_failed(client.error())) return 1;
+      continue;
     }
     const std::optional<std::string> reply = client.roundtrip(request);
     if (!reply) {
-      std::fprintf(stderr, "asimt: stats: daemon closed the connection\n");
-      return 1;
+      if (sample_failed("daemon closed the connection")) return 1;
+      continue;
     }
     try {
       const json::Value doc = json::parse(*reply);
@@ -788,12 +904,13 @@ int main(int argc, char** argv) {
       command != "encode" && command != "info" && command != "fuzz" &&
       command != "faults" && command != "profile" && command != "bench" &&
       command != "serve" && command != "loadgen" && command != "stats" &&
-      command != "flight") {
+      command != "chaos" && command != "flight") {
     usage_error("unknown command '" + command + "'");
   }
   const bool takes_file =
       command != "fuzz" && command != "faults" && command != "bench" &&
-      command != "serve" && command != "loadgen" && command != "stats";
+      command != "serve" && command != "loadgen" && command != "stats" &&
+      command != "chaos";
   if (takes_file && argc < 3) usage_error("missing input file");
   const std::string file = takes_file ? argv[2] : "";
 
@@ -821,6 +938,7 @@ int main(int argc, char** argv) {
   bool bench_list = false;
   serve::ServeOptions serve_opts;
   serve::LoadgenOptions loadgen_opts;
+  serve::ChaosOptions chaos_opts;
   bool serve_no_flight = false;
   int stats_watch = 0;
   bool stats_prometheus = false;
@@ -871,7 +989,7 @@ int main(int argc, char** argv) {
     else if (arg == "--telemetry") telemetry::set_enabled(true);
     else if (arg == "--seed") {
       campaign.seed = fuzz.seed = bench_opts.seed = loadgen_opts.seed =
-          next_u64();
+          chaos_opts.seed = next_u64();
     }
     else if (arg == "--iters") campaign.iters = fuzz.iters = next_u64();
     else if (arg == "--filter") bench_opts.filter = next();
@@ -980,6 +1098,58 @@ int main(int argc, char** argv) {
       stats_watch = next_int(1, 86'400);
     } else if (arg == "--prometheus") {
       stats_prometheus = true;
+    } else if (arg == "--request-timeout-ms") {
+      serve_opts.service.request_timeout_ms = next_u64();
+    } else if (arg == "--retry-after-ms") {
+      serve_opts.service.retry_after_ms = next_u64();
+    } else if (arg == "--max-conns") {
+      serve_opts.max_conns = static_cast<unsigned>(next_int(0, 1 << 20));
+    } else if (arg == "--max-inflight") {
+      serve_opts.service.admission.max_inflight =
+          static_cast<unsigned>(next_int(0, 1 << 20));
+    } else if (arg == "--queue-depth") {
+      serve_opts.service.admission.queue_depth =
+          static_cast<unsigned>(next_int(0, 1 << 20));
+    } else if (arg == "--queue-timeout-ms") {
+      serve_opts.service.admission.queue_timeout_ms = next_u64();
+    } else if (arg == "--deadline-ms") {
+      loadgen_opts.deadline_ms = next_u64();
+    } else if (arg == "--listen") {
+      chaos_opts.listen_path = next();
+    } else if (arg == "--upstream") {
+      chaos_opts.upstream_path = next();
+    } else if (arg == "--stall-ms") {
+      chaos_opts.stall_ms = next_u64();
+    } else if (arg == "--chop-bytes") {
+      chaos_opts.chop_bytes =
+          static_cast<std::uint64_t>(next_int(1, 1 << 20));
+    } else if (arg == "--gap-bytes") {
+      chaos_opts.mean_gap_bytes =
+          static_cast<std::uint64_t>(next_int(1, 1 << 30));
+    } else if (arg == "--faults") {
+      const std::string value = next();
+      for (unsigned m = 0; m < serve::kChaosModeCount; ++m) {
+        chaos_opts.enabled[m] = value == "all";
+      }
+      if (value != "all") {
+        std::stringstream ss(value);
+        std::string item;
+        bool any = false;
+        while (std::getline(ss, item, ',')) {
+          const auto mode = serve::chaos_mode_from_name(item);
+          if (!mode) {
+            usage_error(
+                "--faults needs a comma-separated list of "
+                "chop|stall|garbage|disconnect (or 'all'), got '" +
+                item + "'");
+          }
+          chaos_opts.enabled[static_cast<unsigned>(*mode)] = true;
+          any = true;
+        }
+        if (!any) {
+          usage_error("--faults needs at least one fault mode (or 'all')");
+        }
+      }
     }
     else usage_error("unknown option '" + arg + "'");
   }
@@ -1062,6 +1232,11 @@ int main(int argc, char** argv) {
         usage_error("loadgen needs --socket <path>");
       }
       rc = cmd_loadgen(loadgen_opts, json_mode, out_path, history_dir);
+    } else if (command == "chaos") {
+      if (chaos_opts.listen_path.empty() || chaos_opts.upstream_path.empty()) {
+        usage_error("chaos needs --listen <path> and --upstream <path>");
+      }
+      rc = cmd_chaos(chaos_opts);
     } else {
       rc = cmd_info(file);
     }

@@ -1,0 +1,111 @@
+#!/bin/sh
+# Seeded chaos campaign for the serving stack (docs/SERVING.md § Resilience):
+# boot the daemon, park the fault-injecting proxy in front of it, drive a
+# deadline-carrying open-loop load through the faults, then prove the
+# overload-protection contract held:
+#   - the daemon never crashed or wedged (it still answers, then drains
+#     cleanly on SIGTERM with exit 0);
+#   - the loadgen exits 0 — faults are degradation it quantifies, not
+#     failure — and its artifact carries the goodput-vs-attempted gap;
+#   - the proxy injected at least <min-faults> faults (the campaign actually
+#     exercised something) and its drain summary accounts for them;
+#   - every shed/timeout is visible in the `stats` overload counters.
+# Byte-identity of surviving replies is pinned by tests/serve/chaos_test.cpp;
+# this lane is the process-level endurance half of the same contract.
+# usage: chaos_campaign.sh <asimt-binary> [min-faults] [seconds] [rate] [seed]
+set -u
+
+asimt="$1"
+min_faults="${2:-300}"
+seconds="${3:-1.5}"
+rate="${4:-1200}"
+seed="${5:-42}"
+tmp="${TMPDIR:-/tmp}/chaos_campaign_$$"
+mkdir -p "$tmp" || exit 1
+sock="$tmp/daemon.sock"
+chaos_sock="$tmp/chaos.sock"
+server_pid=
+chaos_pid=
+trap 'test -n "$server_pid" && kill "$server_pid" 2>/dev/null;
+      test -n "$chaos_pid" && kill "$chaos_pid" 2>/dev/null;
+      rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "FAIL: $*"
+  sed 's/^/  serve stderr: /' "$tmp/serve_err" 2>/dev/null
+  sed 's/^/  chaos stderr: /' "$tmp/chaos_err" 2>/dev/null
+  sed 's/^/  loadgen: /' "$tmp/loadgen_out" 2>/dev/null
+  exit 1
+}
+
+wait_ready() {
+  # wait_ready <pid> <logfile> <name>
+  tries=0
+  until grep -q "listening on" "$2" 2>/dev/null; do
+    kill -0 "$1" 2>/dev/null || fail "$3 died before readiness"
+    tries=$((tries + 1))
+    [ "$tries" -gt 100 ] && fail "$3 never became ready"
+    sleep 0.1
+  done
+}
+
+# Overload protection armed: bounded inflight, bounded queue, short request
+# timeout — the campaign must light the shed/timeout counters, not avoid them.
+"$asimt" serve --socket "$sock" --max-inflight 4 --queue-depth 8 \
+  --queue-timeout-ms 100 --request-timeout-ms 2000 --retry-after-ms 25 \
+  >"$tmp/serve_out" 2>"$tmp/serve_err" &
+server_pid=$!
+wait_ready "$server_pid" "$tmp/serve_out" "daemon"
+
+"$asimt" chaos --listen "$chaos_sock" --upstream "$sock" --seed "$seed" \
+  --gap-bytes 96 --stall-ms 5 --chop-bytes 32 \
+  >"$tmp/chaos_out" 2>"$tmp/chaos_err" &
+chaos_pid=$!
+wait_ready "$chaos_pid" "$tmp/chaos_out" "chaos proxy"
+
+# The load rides *through* the proxy, with per-request deadlines so the
+# daemon sheds slow work instead of the client timing out blind. Exit 0 is
+# part of the contract: mid-run drops reconnect, losses are counted rows.
+"$asimt" loadgen --socket "$chaos_sock" --conns 4 --rate "$rate" \
+  --seconds "$seconds" --seed "$seed" --deadline-ms 2000 \
+  --out "$tmp/BENCH_chaos_loadgen.json" >"$tmp/loadgen_out" 2>&1 \
+  || fail "loadgen exited nonzero under chaos: $(cat "$tmp/loadgen_out")"
+grep -q "goodput" "$tmp/loadgen_out" || fail "loadgen summary lacks goodput"
+grep -q '"goodput_time_ns"' "$tmp/BENCH_chaos_loadgen.json" \
+  || fail "artifact lacks the goodput gate row"
+grep -q '"reconnects"' "$tmp/BENCH_chaos_loadgen.json" \
+  || fail "artifact lacks the reconnect accounting"
+
+# The daemon behind the campaign is alive and its overload ledger is
+# queryable — a wedged or crashed daemon fails right here.
+"$asimt" stats --socket "$sock" --json >"$tmp/stats.json" 2>&1 \
+  || fail "daemon unresponsive after the campaign"
+grep -q '"overload"' "$tmp/stats.json" \
+  || fail "stats snapshot lacks the overload block"
+grep -q 'read_timeouts' "$tmp/stats.json" \
+  || fail "stats snapshot lacks socket-timeout counters"
+
+# Proxy drain: SIGTERM, exit 0, and a fault ledger big enough to mean the
+# campaign actually exercised the fault paths.
+kill -TERM "$chaos_pid"
+wait "$chaos_pid"
+chaos_rc=$?
+chaos_pid=
+[ "$chaos_rc" -eq 0 ] || fail "chaos proxy exited $chaos_rc after SIGTERM"
+grep -q "drained:" "$tmp/chaos_out" || fail "no chaos drain summary"
+faults=$(sed -n 's/.*faults: \([0-9]*\) chop, \([0-9]*\) stall, \([0-9]*\) garbage, \([0-9]*\) disconnect.*/\1 \2 \3 \4/p' \
+  "$tmp/chaos_out" | awk '{ print $1 + $2 + $3 + $4 }')
+[ -n "$faults" ] || fail "could not parse the fault ledger"
+[ "$faults" -ge "$min_faults" ] \
+  || fail "only $faults faults injected, want >= $min_faults (raise --seconds/--rate)"
+
+# Daemon drain: SIGTERM, exit 0, overload summary on stdout, socket gone.
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_rc=$?
+server_pid=
+[ "$server_rc" -eq 0 ] || fail "daemon exited $server_rc after SIGTERM"
+grep -q "overload:" "$tmp/serve_out" || fail "no overload line in drain summary"
+[ ! -e "$sock" ] || fail "daemon socket survived the drain"
+
+echo "chaos campaign OK: $faults faults injected, daemon survived"

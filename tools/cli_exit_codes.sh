@@ -74,6 +74,22 @@ check 2 "$asimt" loadgen --socket "$tmp/s.sock" --rate -3
 check 2 "$asimt" loadgen --socket "$tmp/s.sock" --rate soon
 check 2 "$asimt" loadgen --socket "$tmp/s.sock" --seconds 0
 
+# --- overload/deadline/chaos option strictness: exit 2 ---------------------
+check 2 "$asimt" serve --socket "$tmp/s.sock" --request-timeout-ms soon
+check 2 "$asimt" serve --socket "$tmp/s.sock" --max-conns lots
+check 2 "$asimt" serve --socket "$tmp/s.sock" --max-inflight lots
+check 2 "$asimt" serve --socket "$tmp/s.sock" --queue-depth soon
+check 2 "$asimt" serve --socket "$tmp/s.sock" --queue-timeout-ms soon
+check 2 "$asimt" loadgen --socket "$tmp/s.sock" --deadline-ms soon
+check 2 "$asimt" chaos
+check 2 "$asimt" chaos --listen "$tmp/c.sock"
+check 2 "$asimt" chaos --upstream "$tmp/s.sock"
+check 2 "$asimt" chaos --listen "$tmp/c.sock" --upstream "$tmp/s.sock" --faults thermite
+check 2 "$asimt" chaos --listen "$tmp/c.sock" --upstream "$tmp/s.sock" --faults ""
+check 2 "$asimt" chaos --listen "$tmp/c.sock" --upstream "$tmp/s.sock" --gap-bytes 0
+check 2 "$asimt" chaos --listen "$tmp/c.sock" --upstream "$tmp/s.sock" --chop-bytes 0
+check 2 "$asimt" chaos --listen "$tmp/c.sock" --upstream "$tmp/s.sock" --stall-ms soon
+
 # --- data / validation errors: exit 1 --------------------------------------
 check 1 "$asimt" disasm "$tmp/does-not-exist.s"
 check 1 "$asimt" run "$tmp/does-not-exist.s"
@@ -84,6 +100,10 @@ printf 'this is not assembly !!!\n' >"$tmp/bad.s"
 check 1 "$asimt" disasm "$tmp/bad.s"
 # A loadgen pointed at a dead socket reports the failure as a data error.
 check 1 "$asimt" loadgen --socket "$tmp/no-daemon.sock" --conns 1 --rate 50 --seconds 0.1
+# One-shot stats against a dead socket fails hard (only --watch survives it).
+check 1 "$asimt" stats --socket "$tmp/no-daemon.sock"
+# A chaos proxy that cannot bind its listen path is a data error, not a hang.
+check 1 "$asimt" chaos --listen "$tmp/no-such-dir/c.sock" --upstream "$tmp/s.sock"
 
 # --- SIGPIPE: a truncating consumer must not kill the producer --------------
 # Disassemble a program big enough to overflow the pipe buffer, then let

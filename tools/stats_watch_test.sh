@@ -1,0 +1,88 @@
+#!/bin/sh
+# Pins the `asimt stats --watch` restart contract (docs/SERVING.md): a
+# watcher sampling a daemon must *outlive* that daemon — when the socket
+# goes away mid-watch it prints a "reconnecting" note and keeps sampling,
+# and when a new daemon binds the same path the samples resume. Only the
+# non-watch (one-shot) form fails hard on a dead socket.
+# usage: stats_watch_test.sh <asimt-binary>
+set -u
+
+asimt="$1"
+tmp="${TMPDIR:-/tmp}/stats_watch_$$"
+mkdir -p "$tmp" || exit 1
+sock="$tmp/daemon.sock"
+server_pid=
+watch_pid=
+trap 'test -n "$watch_pid" && kill "$watch_pid" 2>/dev/null;
+      test -n "$server_pid" && kill "$server_pid" 2>/dev/null;
+      rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "FAIL: $*"
+  sed 's/^/  watch: /' "$tmp/watch_out" 2>/dev/null
+  exit 1
+}
+
+boot_daemon() {
+  "$asimt" serve --socket "$sock" >"$tmp/serve_out" 2>"$tmp/serve_err" &
+  server_pid=$!
+  tries=0
+  until grep -q "listening on" "$tmp/serve_out" 2>/dev/null; do
+    kill -0 "$server_pid" 2>/dev/null || fail "daemon died before readiness"
+    tries=$((tries + 1))
+    [ "$tries" -gt 100 ] && fail "daemon never became ready"
+    sleep 0.1
+  done
+}
+
+count_samples() {
+  grep -c "^requests " "$tmp/watch_out" 2>/dev/null || echo 0
+}
+
+wait_for() {
+  # wait_for <predicate-command...> — bounded poll, then fail.
+  tries=0
+  until "$@"; do
+    tries=$((tries + 1))
+    [ "$tries" -gt 150 ] && fail "timed out waiting for: $*"
+    sleep 0.1
+  done
+}
+
+boot_daemon
+
+"$asimt" stats --socket "$sock" --watch 1 >"$tmp/watch_out" 2>"$tmp/watch_err" &
+watch_pid=$!
+
+# First sample lands against the live daemon.
+wait_for sh -c "[ \"\$(grep -c '^requests ' '$tmp/watch_out')\" -ge 1 ]"
+
+# Kill the daemon under the watcher. The watcher must report the outage and
+# stay alive — not exit, not crash.
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "daemon exited nonzero on SIGTERM"
+server_pid=
+wait_for grep -q "reconnecting" "$tmp/watch_out"
+kill -0 "$watch_pid" 2>/dev/null || fail "watcher died with the daemon"
+
+# A new daemon takes over the same path; the watcher's samples resume
+# without a restart of the watcher.
+before=$(count_samples)
+boot_daemon
+wait_for sh -c "[ \"\$(grep -c '^requests ' '$tmp/watch_out')\" -gt $before ]"
+
+kill "$watch_pid" 2>/dev/null
+wait "$watch_pid" 2>/dev/null
+watch_pid=
+
+# The one-shot form keeps its hard-failure contract: no daemon, exit 1,
+# diagnostic on stderr.
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=
+if "$asimt" stats --socket "$sock" >"$tmp/oneshot_out" 2>"$tmp/oneshot_err"; then
+  fail "one-shot stats against a dead socket exited 0"
+fi
+[ -s "$tmp/oneshot_err" ] || fail "one-shot failure left no stderr diagnostic"
+
+echo "stats --watch restart contract OK"
